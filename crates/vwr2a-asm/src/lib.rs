@@ -1,0 +1,437 @@
+//! Textual assembler for VWR2A column programs.
+//!
+//! The paper's kernels are mapped by hand; this crate provides a small
+//! human-writable assembly syntax for doing the same thing in text form,
+//! which is convenient for experiments and for documenting kernels (Table 1
+//! of the paper is essentially this format).  One *row* (a wide instruction
+//! issued in one cycle) is a group of `slot instruction` lines terminated by
+//! a blank line or `---`; labels are written as `label:` on their own line
+//! and referenced by branches.
+//!
+//! ```text
+//! ; element-wise add of VWR A and VWR B into VWR C
+//!     lsu  load.vwr a, 0
+//! ---
+//!     lsu  load.vwr b, 1
+//!     mxcu setidx 0
+//!     lcu  li r0, 0
+//! ---
+//! loop:
+//!     rc*  add vwr.c, vwr.a, vwr.b
+//!     mxcu addidx 1
+//!     lcu  add r0, 1
+//! ---
+//!     lcu  blt r0, 32, loop
+//! ---
+//!     lsu  store.vwr c, 2
+//! ---
+//!     lcu  exit
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use vwr2a_asm::assemble_column;
+//!
+//! let program = assemble_column("
+//!     lcu li r0, 3
+//! ---
+//!     lcu exit
+//! ").unwrap();
+//! assert_eq!(program.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use vwr2a_core::geometry::VwrId;
+use vwr2a_core::isa::{
+    LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
+    ShuffleOp,
+};
+use vwr2a_core::program::{ColumnProgram, Row};
+
+/// Errors produced while assembling a textual program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| err(line, format!("expected a number, got `{tok}`")))
+}
+
+fn parse_vwr(tok: &str, line: usize) -> Result<VwrId, AsmError> {
+    match tok.trim().trim_end_matches(',').trim_start_matches("vwr.") {
+        "a" | "A" => Ok(VwrId::A),
+        "b" | "B" => Ok(VwrId::B),
+        "c" | "C" => Ok(VwrId::C),
+        "d" | "D" => Ok(VwrId::D),
+        other => Err(err(line, format!("unknown VWR `{other}`"))),
+    }
+}
+
+fn parse_rc_src(tok: &str, line: usize) -> Result<RcSrc, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    Ok(match t {
+        "zero" => RcSrc::Zero,
+        "above" => RcSrc::RcAbove,
+        "below" => RcSrc::RcBelow,
+        "self" => RcSrc::SelfPrev,
+        _ if t.starts_with("vwr.") => RcSrc::Vwr(parse_vwr(t, line)?),
+        _ if t.starts_with("srf") => RcSrc::Srf(parse_int(&t[3..], line)? as u8),
+        _ if t.starts_with('r') && t[1..].chars().all(|c| c.is_ascii_digit()) => {
+            RcSrc::Reg(parse_int(&t[1..], line)? as u8)
+        }
+        _ => RcSrc::Imm(parse_int(t, line)? as i16),
+    })
+}
+
+fn parse_rc_dst(tok: &str, line: usize) -> Result<RcDst, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    Ok(match t {
+        "none" => RcDst::None,
+        _ if t.starts_with("vwr.") => RcDst::Vwr(parse_vwr(t, line)?),
+        _ if t.starts_with("srf") => RcDst::Srf(parse_int(&t[3..], line)? as u8),
+        _ if t.starts_with('r') => RcDst::Reg(parse_int(&t[1..], line)? as u8),
+        _ => return Err(err(line, format!("unknown RC destination `{t}`"))),
+    })
+}
+
+fn parse_rc_op(tok: &str, line: usize) -> Result<RcOpcode, AsmError> {
+    Ok(match tok {
+        "nop" => RcOpcode::Nop,
+        "mov" => RcOpcode::Mov,
+        "add" => RcOpcode::Add,
+        "sub" => RcOpcode::Sub,
+        "mul" => RcOpcode::Mul,
+        "mul.fxp" => RcOpcode::MulFxp,
+        "and" => RcOpcode::And,
+        "or" => RcOpcode::Or,
+        "xor" => RcOpcode::Xor,
+        "sll" => RcOpcode::Sll,
+        "srl" => RcOpcode::Srl,
+        "sra" => RcOpcode::Sra,
+        "min" => RcOpcode::Min,
+        "max" => RcOpcode::Max,
+        "abs" => RcOpcode::Abs,
+        "sgt" => RcOpcode::Sgt,
+        "slt" => RcOpcode::Slt,
+        "seq" => RcOpcode::Seq,
+        other => return Err(err(line, format!("unknown RC opcode `{other}`"))),
+    })
+}
+
+fn parse_lsu_addr(tok: &str, line: usize) -> Result<LsuAddr, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(s) = t.strip_prefix("srf") {
+        Ok(LsuAddr::Srf(parse_int(s, line)? as u8))
+    } else {
+        Ok(LsuAddr::Imm(parse_int(t, line)? as u16))
+    }
+}
+
+fn parse_shuffle(tok: &str, line: usize) -> Result<ShuffleOp, AsmError> {
+    Ok(match tok {
+        "interleave.lower" => ShuffleOp::InterleaveLower,
+        "interleave.upper" => ShuffleOp::InterleaveUpper,
+        "even" => ShuffleOp::EvenPrune,
+        "odd" => ShuffleOp::OddPrune,
+        "bitrev.lower" => ShuffleOp::BitRevLower,
+        "bitrev.upper" => ShuffleOp::BitRevUpper,
+        "circshift.lower" => ShuffleOp::CircShiftLower,
+        "circshift.upper" => ShuffleOp::CircShiftUpper,
+        other => return Err(err(line, format!("unknown shuffle operation `{other}`"))),
+    })
+}
+
+#[derive(Debug, Clone)]
+enum PendingLcu {
+    Ready(LcuInstr),
+    Branch {
+        cond: LcuCond,
+        a: u8,
+        b: LcuSrc,
+        label: String,
+    },
+    Jump(String),
+}
+
+/// Assembles one column program (4 RC slots) from its textual form.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first syntax problem, undefined
+/// label, or structural issue (e.g. an empty program).
+pub fn assemble_column(source: &str) -> Result<ColumnProgram, AsmError> {
+    let mut rows: Vec<(Row, Vec<(usize, PendingLcu)>)> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut current = Row::new(4);
+    let mut current_pending: Vec<(usize, PendingLcu)> = Vec::new();
+    let mut row_open = false;
+
+    let finish_row =
+        |rows: &mut Vec<(Row, Vec<(usize, PendingLcu)>)>, current: &mut Row, pending: &mut Vec<(usize, PendingLcu)>, open: &mut bool| {
+            if *open {
+                rows.push((std::mem::replace(current, Row::new(4)), std::mem::take(pending)));
+                *open = false;
+            }
+        };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("---") {
+            finish_row(&mut rows, &mut current, &mut current_pending, &mut row_open);
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            finish_row(&mut rows, &mut current, &mut current_pending, &mut row_open);
+            labels.insert(label.trim().to_string(), rows.len());
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let slot = parts.next().unwrap_or_default().to_lowercase();
+        let rest: Vec<&str> = parts.collect();
+        row_open = true;
+        match slot.as_str() {
+            "lcu" => {
+                let op = rest.first().copied().unwrap_or_default();
+                let pending = match op {
+                    "nop" => PendingLcu::Ready(LcuInstr::Nop),
+                    "exit" => PendingLcu::Ready(LcuInstr::Exit),
+                    "li" => {
+                        let r = parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches('r'), line_no)? as u8;
+                        let v = parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32;
+                        PendingLcu::Ready(LcuInstr::Li { r, value: v })
+                    }
+                    "add" => {
+                        let r = parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches('r'), line_no)? as u8;
+                        let v = parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32;
+                        PendingLcu::Ready(LcuInstr::Add {
+                            r,
+                            src: LcuSrc::Imm(v),
+                        })
+                    }
+                    "jump" => PendingLcu::Jump(rest.get(1).copied().unwrap_or_default().to_string()),
+                    "blt" | "bge" | "beq" | "bne" => {
+                        let cond = match op {
+                            "blt" => LcuCond::Lt,
+                            "bge" => LcuCond::Ge,
+                            "beq" => LcuCond::Eq,
+                            _ => LcuCond::Ne,
+                        };
+                        let a = parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches('r'), line_no)? as u8;
+                        let b = LcuSrc::Imm(parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32);
+                        let label = rest.get(3).copied().unwrap_or_default().to_string();
+                        PendingLcu::Branch { cond, a, b, label }
+                    }
+                    other => return Err(err(line_no, format!("unknown LCU instruction `{other}`"))),
+                };
+                current_pending.push((line_no, pending));
+            }
+            "lsu" => {
+                let op = rest.first().copied().unwrap_or_default();
+                current.lsu = match op {
+                    "nop" => LsuInstr::Nop,
+                    "load.vwr" => LsuInstr::LoadVwr {
+                        vwr: parse_vwr(rest.get(1).copied().unwrap_or_default(), line_no)?,
+                        line: parse_lsu_addr(rest.get(2).copied().unwrap_or_default(), line_no)?,
+                    },
+                    "store.vwr" => LsuInstr::StoreVwr {
+                        vwr: parse_vwr(rest.get(1).copied().unwrap_or_default(), line_no)?,
+                        line: parse_lsu_addr(rest.get(2).copied().unwrap_or_default(), line_no)?,
+                    },
+                    "shuffle" => LsuInstr::Shuffle(parse_shuffle(
+                        rest.get(1).copied().unwrap_or_default(),
+                        line_no,
+                    )?),
+                    "addsrf" => LsuInstr::AddSrf {
+                        srf: parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches("srf"), line_no)? as u8,
+                        imm: parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i16,
+                    },
+                    other => return Err(err(line_no, format!("unknown LSU instruction `{other}`"))),
+                };
+            }
+            "mxcu" => {
+                let op = rest.first().copied().unwrap_or_default();
+                current.mxcu = match op {
+                    "nop" => MxcuInstr::Nop,
+                    "setidx" => MxcuInstr::SetIdx(
+                        parse_int(rest.get(1).copied().unwrap_or_default(), line_no)? as u16,
+                    ),
+                    "addidx" => MxcuInstr::AddIdx(
+                        parse_int(rest.get(1).copied().unwrap_or_default(), line_no)? as i16,
+                    ),
+                    other => return Err(err(line_no, format!("unknown MXCU instruction `{other}`"))),
+                };
+            }
+            s if s.starts_with("rc") => {
+                let op = parse_rc_op(rest.first().copied().unwrap_or_default(), line_no)?;
+                let instr = if op == RcOpcode::Nop {
+                    RcInstr::NOP
+                } else {
+                    let dst = parse_rc_dst(rest.get(1).copied().unwrap_or_default(), line_no)?;
+                    let a = parse_rc_src(rest.get(2).copied().unwrap_or_default(), line_no)?;
+                    let b = rest
+                        .get(3)
+                        .map(|t| parse_rc_src(t, line_no))
+                        .transpose()?
+                        .unwrap_or(RcSrc::Zero);
+                    RcInstr::new(op, dst, a, b)
+                };
+                if s == "rc*" {
+                    for rc in &mut current.rcs {
+                        *rc = instr;
+                    }
+                } else {
+                    let idx = parse_int(&s[2..], line_no)? as usize;
+                    if idx >= current.rcs.len() {
+                        return Err(err(line_no, format!("RC index {idx} out of range")));
+                    }
+                    current.rcs[idx] = instr;
+                }
+            }
+            other => return Err(err(line_no, format!("unknown slot `{other}`"))),
+        }
+    }
+    finish_row(&mut rows, &mut current, &mut current_pending, &mut row_open);
+
+    if rows.is_empty() {
+        return Err(err(0, "program has no rows"));
+    }
+    // Resolve labels.
+    let mut final_rows = Vec::with_capacity(rows.len());
+    for (row_idx, (mut row, pendings)) in rows.into_iter().enumerate() {
+        for (line_no, pending) in pendings {
+            row.lcu = match pending {
+                PendingLcu::Ready(i) => i,
+                PendingLcu::Jump(label) => {
+                    let target = *labels
+                        .get(&label)
+                        .ok_or_else(|| err(line_no, format!("undefined label `{label}`")))?;
+                    LcuInstr::Jump(target as u16)
+                }
+                PendingLcu::Branch { cond, a, b, label } => {
+                    let target = *labels
+                        .get(&label)
+                        .ok_or_else(|| err(line_no, format!("undefined label `{label}`")))?;
+                    LcuInstr::Branch {
+                        cond,
+                        a,
+                        b,
+                        target: target as u16,
+                    }
+                }
+            };
+        }
+        let _ = row_idx;
+        final_rows.push(row);
+    }
+    ColumnProgram::new(final_rows).map_err(|e| err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vwr2a_core::program::KernelProgram;
+    use vwr2a_core::Vwr2a;
+
+    const VADD: &str = "
+    ; vector add kernel
+        lsu  load.vwr a, 0
+    ---
+        lsu  load.vwr b, 1
+        mxcu setidx 0
+        lcu  li r0, 0
+    ---
+    loop:
+        rc*  add vwr.c, vwr.a, vwr.b
+        mxcu addidx 1
+        lcu  add r0, 1
+    ---
+        lcu  blt r0, 32, loop
+    ---
+        lsu  store.vwr c, 2
+    ---
+        lcu  exit
+    ";
+
+    #[test]
+    fn assembles_and_runs_a_vector_add() {
+        let program = assemble_column(VADD).unwrap();
+        assert_eq!(program.len(), 6);
+        let kernel = KernelProgram::new("vadd-asm", vec![program]).unwrap();
+        let mut accel = Vwr2a::new();
+        accel
+            .spm_mut()
+            .write_line(0, &(0..128).collect::<Vec<i32>>())
+            .unwrap();
+        accel
+            .spm_mut()
+            .write_line(1, &vec![100; 128])
+            .unwrap();
+        accel.run_program(&kernel).unwrap();
+        let out = accel.spm().read_line(2).unwrap();
+        assert_eq!(out[5], 105);
+        assert_eq!(out[127], 227);
+    }
+
+    #[test]
+    fn reports_unknown_tokens_with_line_numbers() {
+        let e = assemble_column("  lcu frobnicate\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("frobnicate"));
+        let e = assemble_column("  rc0 add vwr.z, vwr.a, vwr.b\n").unwrap_err();
+        assert!(e.message.contains("unknown VWR"));
+        assert!(assemble_column("").is_err());
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let e = assemble_column("  lcu jump nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn shuffle_and_srf_addressing_parse() {
+        let src = "
+            lsu load.vwr a, srf3
+        ---
+            lsu shuffle interleave.lower
+        ---
+            lsu addsrf srf3, 1
+        ---
+            lcu exit
+        ";
+        let p = assemble_column(src).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion bench behind the ablation experiments (E7 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vwr2a_core::Vwr2a;
+use vwr2a_dsp::fixed::Q15;
+use vwr2a_kernels::fir::FirKernel;
+
+fn bench_ablation(c: &mut Criterion) {
+    let taps: Vec<i32> = vwr2a_dsp::fir::design_lowpass(11, 0.1)
+        .unwrap()
+        .iter()
+        .map(|&t| Q15::from_f64(t).0 as i32)
+        .collect();
+    let input: Vec<i32> = (0..512).map(|i| ((i * 97) % 16384) as i32 - 8192).collect();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("fir_512_on_vwr2a", |b| {
+        b.iter(|| {
+            let kernel = FirKernel::new(&taps, 512).unwrap();
+            let mut accel = Vwr2a::new();
+            std::hint::black_box(kernel.run(&mut accel, &input).unwrap().cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench behind Table 5: the MBioTracker pipeline in its three
+//! platform configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vwr2a_bioapp::pipeline::{run_cpu_only, run_cpu_with_fft_accel, run_cpu_with_vwr2a, WINDOW};
+use vwr2a_bioapp::signal::RespirationGenerator;
+
+fn bench_bioapp(c: &mut Criterion) {
+    let window = RespirationGenerator::new(7).window(WINDOW);
+    let mut group = c.benchmark_group("table5_bioapp");
+    group.sample_size(10);
+    group.bench_function("cpu_only", |b| {
+        b.iter(|| std::hint::black_box(run_cpu_only(&window).unwrap()))
+    });
+    group.bench_function("cpu_fft_accel", |b| {
+        b.iter(|| std::hint::black_box(run_cpu_with_fft_accel(&window).unwrap()))
+    });
+    group.bench_function("cpu_vwr2a", |b| {
+        b.iter(|| std::hint::black_box(run_cpu_with_vwr2a(&window).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bioapp);
+criterion_main!(benches);

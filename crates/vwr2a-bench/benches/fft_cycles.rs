@@ -1,0 +1,20 @@
+//! Criterion bench behind Table 2: simulator throughput of the FFT
+//! comparison (CPU ISS vs fixed-function engine vs VWR2A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vwr2a_bench::run_fft_comparison;
+
+fn bench_fft_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_fft_cycles");
+    group.sample_size(10);
+    group.bench_function("real_512_all_platforms", |b| {
+        b.iter(|| std::hint::black_box(run_fft_comparison(512, true)))
+    });
+    group.bench_function("complex_512_all_platforms", |b| {
+        b.iter(|| std::hint::black_box(run_fft_comparison(512, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_cycles);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench behind Fig. 2: energy evaluation of the FFT sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vwr2a_bench::run_fft_comparison;
+
+fn bench_fft_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fft_energy");
+    group.sample_size(10);
+    group.bench_function("real_1024_energy", |b| {
+        b.iter(|| {
+            let row = run_fft_comparison(1024, true);
+            let v = row.vwr2a.expect("supported");
+            std::hint::black_box(v.energy.total_uj() / row.accel.energy.total_uj())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_energy);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench behind Table 4: the FIR kernel comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vwr2a_bench::run_fir_comparison;
+
+fn bench_fir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_fir");
+    group.sample_size(10);
+    for n in [256usize, 512, 1024] {
+        group.bench_function(format!("fir_{n}_points"), |b| {
+            b.iter(|| std::hint::black_box(run_fir_comparison(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fir);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation experiments for the design choices discussed in Sec. 3.2 and
+//! DESIGN.md (E7): the cost of the kernel-launch configuration reload that
+//! the shared per-stage FFT program avoids, and the sensitivity of the
+//! energy results to the wide-memory coefficients.
+
+use vwr2a_bench::run_fft_comparison;
+use vwr2a_core::Vwr2a;
+use vwr2a_dsp::fixed::to_q16;
+use vwr2a_energy::coefficients::Vwr2aCoefficients;
+use vwr2a_energy::vwr2a_energy_with;
+use vwr2a_kernels::fir::FirKernel;
+
+fn main() {
+    println!("Ablation 1: VWR/SPM access energy sensitivity (512-point real FFT)");
+    println!();
+    let row = run_fft_comparison(512, true);
+    let v = row.vwr2a.expect("supported size");
+    println!(
+        "  calibrated wide-memory coefficients : {:>7.3} µJ",
+        v.energy.total_uj()
+    );
+    // Re-evaluate the same activity with narrower-memory-style coefficients:
+    // the VWR word access priced like a narrow SPM word access (what a
+    // register-file/cache organisation would pay).
+    let taps: Vec<i32> = vwr2a_dsp::fir::design_lowpass(11, 0.1)
+        .unwrap()
+        .iter()
+        .map(|&t| (t * 32768.0) as i32)
+        .collect();
+    let kernel = FirKernel::new(&taps, 512).expect("valid kernel");
+    let input: Vec<i32> = (0..512).map(|i| to_q16(((i % 64) as f64 - 32.0) / 64.0) >> 16).collect();
+    let mut accel = Vwr2a::new();
+    let run = kernel.run(&mut accel, &input).expect("kernel runs");
+    let calibrated = Vwr2aCoefficients::calibrated();
+    let mut narrow = calibrated;
+    narrow.vwr_word_pj = calibrated.spm_word_pj;
+    let base = vwr2a_energy_with(&run.counters, &calibrated).total_uj();
+    let worse = vwr2a_energy_with(&run.counters, &narrow).total_uj();
+    println!();
+    println!("Ablation 2: replacing the VWR word-access energy by a narrow SPM access");
+    println!("            (what a conventional register-file path would cost), FIR 512:");
+    println!("  very-wide registers : {base:>7.3} µJ");
+    println!("  narrow accesses     : {worse:>7.3} µJ  ({:+.0} %)", (worse / base - 1.0) * 100.0);
+    println!();
+    println!("Ablation 3: per-stage configuration reload vs resident program (FFT stage program)");
+    println!("  The FFT kernel keeps its stage program resident and relaunches it warm;");
+    println!("  reloading the {}-row two-column program every stage would add", 53);
+    println!("  {} configuration words per stage (one cycle each).", 53 * 7 * 2);
+}

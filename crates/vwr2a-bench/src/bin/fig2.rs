@@ -1,0 +1,48 @@
+//! Regenerates Fig. 2: FFT kernel energy comparison for various sizes.
+
+use vwr2a_bench::run_fft_comparison;
+
+fn main() {
+    println!("Fig. 2: FFT kernel energy comparison (accelerator-only energy, µJ)");
+    println!();
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>16}",
+        "", "CPU (µJ)", "FFT ACCEL", "VWR2A", "VWR2A/ACCEL"
+    );
+    for (label, real) in [("Complex-valued", false), ("Real-valued", true)] {
+        println!("{label}");
+        for n in [512usize, 1024, 2048] {
+            let row = run_fft_comparison(n, real);
+            match row.vwr2a {
+                Some(v) => println!(
+                    "{:<18} {:>12.3} {:>12.3} {:>12.3} {:>15.1}x",
+                    n,
+                    row.cpu.energy.total_uj(),
+                    row.accel.energy.total_uj(),
+                    v.energy.total_uj(),
+                    v.energy.total_uj() / row.accel.energy.total_uj()
+                ),
+                None => println!(
+                    "{:<18} {:>12.3} {:>12.3} {:>12} {:>16}",
+                    n,
+                    row.cpu.energy.total_uj(),
+                    row.accel.energy.total_uj(),
+                    "n/a",
+                    ""
+                ),
+            }
+        }
+    }
+    println!();
+    let row = run_fft_comparison(512, true);
+    if let Some(v) = row.vwr2a {
+        let accel_saving = 1.0 - row.accel.energy.total_uj() / row.cpu.energy.total_uj();
+        let vwr2a_saving = 1.0 - v.energy.total_uj() / row.cpu.energy.total_uj();
+        println!(
+            "Savings vs the CMSIS CPU FFT (512-point real): FFT ACCEL {:.1} %, VWR2A {:.1} %",
+            accel_saving * 100.0,
+            vwr2a_saving * 100.0
+        );
+        println!("(paper: 86.0 % and 40.8 %)");
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table 2: FFT kernel performance comparison for various sizes.
+
+use vwr2a_bench::run_fft_comparison;
+
+fn main() {
+    println!("Table 2: FFT kernel performance comparison for various sizes");
+    println!("(cycles; speed-ups relative to the CPU)");
+    println!();
+    println!(
+        "{:<18} {:>12} {:>12} {:>9} {:>12} {:>9}",
+        "", "CPU", "FFT ACCEL", "speed-up", "VWR2A", "speed-up"
+    );
+    for (label, real) in [("Complex-valued", false), ("Real-valued", true)] {
+        println!("{label}");
+        for n in [512usize, 1024, 2048] {
+            let row = run_fft_comparison(n, real);
+            let accel_speedup = row.cpu.cycles as f64 / row.accel.cycles as f64;
+            match row.vwr2a {
+                Some(v) => println!(
+                    "{:<18} {:>12} {:>12} {:>8.1}x {:>12} {:>8.1}x",
+                    n,
+                    row.cpu.cycles,
+                    row.accel.cycles,
+                    accel_speedup,
+                    v.cycles,
+                    row.cpu.cycles as f64 / v.cycles as f64
+                ),
+                None => println!(
+                    "{:<18} {:>12} {:>12} {:>8.1}x {:>12} {:>9}",
+                    n, row.cpu.cycles, row.accel.cycles, accel_speedup, "n/a*", ""
+                ),
+            }
+        }
+    }
+    println!();
+    println!(
+        "* the 2048-point complex working set (data + ping-pong buffer) exceeds the 32 KiB SPM;"
+    );
+    println!("  see EXPERIMENTS.md for the discussion of this mapping limit.");
+}

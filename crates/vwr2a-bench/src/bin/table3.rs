@@ -1,0 +1,50 @@
+//! Regenerates Table 3: power breakdown while executing a 512-point
+//! real-valued FFT.
+
+use vwr2a_bench::{run_fft_comparison, FREQUENCY_HZ};
+use vwr2a_energy::EnergyBreakdown;
+
+fn print_column(name: &str, energy: &EnergyBreakdown, cycles: u64) {
+    let shares = energy.shares();
+    let total_mw = energy.power_mw(cycles, FREQUENCY_HZ);
+    println!("{name}");
+    println!(
+        "  {:<10} {:>10.4} mW {:>5.0} %",
+        "DMA",
+        total_mw * shares.dma,
+        shares.dma * 100.0
+    );
+    println!(
+        "  {:<10} {:>10.4} mW {:>5.0} %",
+        "Memories",
+        total_mw * shares.memories,
+        shares.memories * 100.0
+    );
+    println!(
+        "  {:<10} {:>10.4} mW {:>5.0} %",
+        "Control",
+        total_mw * shares.control,
+        shares.control * 100.0
+    );
+    println!(
+        "  {:<10} {:>10.4} mW {:>5.0} %",
+        "Datapath",
+        total_mw * shares.datapath,
+        shares.datapath * 100.0
+    );
+    println!("  {:<10} {:>10.4} mW   100 %", "Total", total_mw);
+}
+
+fn main() {
+    println!("Table 3: FFT accelerator and VWR2A power breakdown (512-point real-valued FFT)");
+    println!();
+    let row = run_fft_comparison(512, true);
+    print_column("FFT ACCEL", &row.accel.energy, row.accel.cycles);
+    println!();
+    let v = row.vwr2a.expect("real 512-point FFT is supported on VWR2A");
+    print_column("VWR2A", &v.energy, v.cycles);
+    println!();
+    let ratio = v.energy.power_mw(v.cycles, FREQUENCY_HZ)
+        / row.accel.energy.power_mw(row.accel.cycles, FREQUENCY_HZ);
+    println!("Total power ratio VWR2A / FFT ACCEL: {ratio:.1} (paper: 5.5)");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 4: FIR filter kernel performance and energy comparison.
+
+use vwr2a_bench::run_fir_comparison;
+
+fn main() {
+    println!("Table 4: FIR filter (11 taps) performance and energy comparison");
+    println!();
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "", "CPU cyc", "CPU µJ", "VWR2A cyc", "VWR2A µJ", "speed-up", "savings"
+    );
+    for n in [256usize, 512, 1024] {
+        let row = run_fir_comparison(n);
+        let speedup = row.cpu.cycles as f64 / row.vwr2a.cycles as f64;
+        let savings = (1.0 - row.vwr2a.energy.total_uj() / row.cpu.energy.total_uj()) * 100.0;
+        println!(
+            "{:<10} {:>12} {:>10.2} {:>12} {:>10.2} {:>9.1}x {:>9.1}%",
+            format!("{n} pts"),
+            row.cpu.cycles,
+            row.cpu.energy.total_uj(),
+            row.vwr2a.cycles,
+            row.vwr2a.energy.total_uj(),
+            speedup,
+            savings
+        );
+    }
+    println!();
+    println!("(paper: 13.4–16.1x speed-up, 69.9–72.4 % energy savings)");
+}

@@ -1,0 +1,80 @@
+//! Regenerates Table 5: biosignal application performance and energy
+//! comparison (MBioTracker).
+
+use vwr2a_bioapp::pipeline::{run_cpu_only, run_cpu_with_fft_accel, run_cpu_with_vwr2a, WINDOW};
+use vwr2a_bioapp::signal::RespirationGenerator;
+
+fn main() {
+    let window = RespirationGenerator::new(2024).window(WINDOW);
+    let cpu = run_cpu_only(&window).expect("CPU pipeline");
+    let accel = run_cpu_with_fft_accel(&window).expect("CPU+FFT pipeline");
+    let vwr2a = run_cpu_with_vwr2a(&window).expect("CPU+VWR2A pipeline");
+
+    println!("Table 5: biosignal application performance and energy comparison");
+    println!();
+    println!(
+        "{:<22} {:>12} {:>14} {:>9} {:>14} {:>9}",
+        "Cycles", "CPU", "CPU+FFT", "savings", "CPU+VWR2A", "savings"
+    );
+    for step in ["preprocessing", "delineation", "feature extraction"] {
+        let c = cpu.step_cycles(step);
+        let a = accel.step_cycles(step);
+        let v = vwr2a.step_cycles(step);
+        println!(
+            "{:<22} {:>12} {:>14} {:>8.1}% {:>14} {:>8.1}%",
+            step,
+            c,
+            a,
+            (1.0 - a as f64 / c as f64) * 100.0,
+            v,
+            (1.0 - v as f64 / c as f64) * 100.0
+        );
+    }
+    println!(
+        "{:<22} {:>12} {:>14} {:>8.1}% {:>14} {:>8.1}%",
+        "Total",
+        cpu.total_cycles(),
+        accel.total_cycles(),
+        (1.0 - accel.total_cycles() as f64 / cpu.total_cycles() as f64) * 100.0,
+        vwr2a.total_cycles(),
+        (1.0 - vwr2a.total_cycles() as f64 / cpu.total_cycles() as f64) * 100.0
+    );
+    println!();
+    println!(
+        "{:<22} {:>12} {:>14} {:>9} {:>14} {:>9}",
+        "Energy (µJ)", "CPU", "CPU+FFT", "savings", "CPU+VWR2A", "savings"
+    );
+    for (i, step) in ["preprocessing", "delineation", "feature extraction"]
+        .iter()
+        .enumerate()
+    {
+        let c = cpu.steps[i].energy.total_uj();
+        let a = accel.steps[i].energy.total_uj();
+        let v = vwr2a.steps[i].energy.total_uj();
+        println!(
+            "{:<22} {:>12.2} {:>14.2} {:>8.1}% {:>14.2} {:>8.1}%",
+            step,
+            c,
+            a,
+            (1.0 - a / c) * 100.0,
+            v,
+            (1.0 - v / c) * 100.0
+        );
+    }
+    println!(
+        "{:<22} {:>12.2} {:>14.2} {:>8.1}% {:>14.2} {:>8.1}%",
+        "Total",
+        cpu.total_energy_uj(),
+        accel.total_energy_uj(),
+        (1.0 - accel.total_energy_uj() / cpu.total_energy_uj()) * 100.0,
+        vwr2a.total_energy_uj(),
+        (1.0 - vwr2a.total_energy_uj() / cpu.total_energy_uj()) * 100.0
+    );
+    println!();
+    println!("Note: delineation runs on the CPU in every configuration of this reproduction");
+    println!("(the paper also maps it onto VWR2A; see EXPERIMENTS.md).");
+    println!(
+        "Predictions: CPU {}, CPU+FFT {}, CPU+VWR2A {}",
+        cpu.prediction, accel.prediction, vwr2a.prediction
+    );
+}

@@ -1,0 +1,225 @@
+//! Experiment harness regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artefact (see DESIGN.md §5):
+//! `table2`, `fig2`, `table3`, `table4`, `table5`, `ulpsrp` and `ablation`.
+//! The shared measurement functions live here so that the Criterion benches
+//! exercise exactly the same code paths as the binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vwr2a_core::Vwr2a;
+use vwr2a_dsp::complex::Complex;
+use vwr2a_dsp::fixed::{to_q16, Q15};
+use vwr2a_energy::{cpu_energy, fft_accel_energy, vwr2a_energy, EnergyBreakdown};
+use vwr2a_fftaccel::FftAccelerator;
+use vwr2a_kernels::fft::FftKernel;
+use vwr2a_kernels::fir::FirKernel;
+use vwr2a_soc::cpu::kernels as cpu_kernels;
+use vwr2a_soc::soc::BiosignalSoc;
+
+/// The platform clock frequency (80 MHz).
+pub const FREQUENCY_HZ: f64 = 80.0e6;
+
+/// Result of one FFT measurement on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FftMeasurement {
+    /// Cycles for the transform.
+    pub cycles: u64,
+    /// Energy of the transform.
+    pub energy: EnergyBreakdown,
+}
+
+/// One row of Table 2 / Fig. 2: an FFT size measured on the three platforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftComparison {
+    /// Transform length in points.
+    pub n: usize,
+    /// `true` for the real-valued flow.
+    pub real: bool,
+    /// The CPU (CMSIS-like q15) measurement.
+    pub cpu: FftMeasurement,
+    /// The fixed-function accelerator measurement.
+    pub accel: FftMeasurement,
+    /// The VWR2A measurement, absent when the mapping does not support the
+    /// size (complex 2048 points exceed the 32 KiB SPM without streaming).
+    pub vwr2a: Option<FftMeasurement>,
+}
+
+fn test_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            0.35 * (std::f64::consts::TAU * 13.0 * i as f64 / n as f64).sin()
+                + 0.2 * (std::f64::consts::TAU * 3.0 * i as f64 / n as f64).cos()
+        })
+        .collect()
+}
+
+/// Measures an FFT of `n` points (complex or real-valued) on the CPU, the
+/// fixed-function accelerator and VWR2A.
+///
+/// # Panics
+///
+/// Panics if a simulator reports an error for a supported size — that would
+/// be a bug in the harness, not an expected runtime condition.
+pub fn run_fft_comparison(n: usize, real: bool) -> FftComparison {
+    let signal = test_signal(n);
+
+    // --- CPU baseline ---------------------------------------------------
+    let mut soc = BiosignalSoc::new();
+    let cpu_stats = if real {
+        let data: Vec<i32> = signal.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+        let tw = cpu_kernels::fft::cfft_twiddles_q15(n / 2);
+        let split = cpu_kernels::fft::rfft_split_twiddles_q15(n);
+        let data_addr = 0;
+        let tw_addr = n;
+        let split_addr = tw_addr + n / 2;
+        let out_addr = split_addr + n + 2;
+        soc.sram_mut().load(data_addr, &data).unwrap();
+        soc.sram_mut().load(tw_addr, &tw).unwrap();
+        soc.sram_mut().load(split_addr, &split).unwrap();
+        let program =
+            cpu_kernels::rfft_q15_program(n, data_addr, tw_addr, split_addr, out_addr).unwrap();
+        soc.run_cpu_program(&program).unwrap()
+    } else {
+        let data: Vec<i32> = signal
+            .iter()
+            .flat_map(|&v| [Q15::from_f64(v).0 as i32, 0])
+            .collect();
+        let tw = cpu_kernels::fft::cfft_twiddles_q15(n);
+        soc.sram_mut().load(0, &data).unwrap();
+        soc.sram_mut().load(2 * n, &tw).unwrap();
+        let program = cpu_kernels::cfft_q15_program(n, 0, 2 * n).unwrap();
+        soc.run_cpu_program(&program).unwrap()
+    };
+    let cpu = FftMeasurement {
+        cycles: cpu_stats.cycles,
+        energy: cpu_energy(&cpu_stats),
+    };
+
+    // --- Fixed-function accelerator --------------------------------------
+    let engine = FftAccelerator::new();
+    let accel_stats = if real {
+        engine.run_real(&signal).unwrap().1
+    } else {
+        let input: Vec<Complex> = signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        engine.run_complex(&input).unwrap().1
+    };
+    let accel = FftMeasurement {
+        cycles: accel_stats.cycles,
+        energy: fft_accel_energy(&accel_stats),
+    };
+
+    // --- VWR2A ------------------------------------------------------------
+    let vwr2a = if real {
+        let kernel = FftKernel::new(n / 2).ok();
+        kernel.map(|k| {
+            let mut accel = Vwr2a::new();
+            let data: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
+            let run = k.run_real(&mut accel, &data).unwrap();
+            FftMeasurement {
+                cycles: run.cycles,
+                energy: vwr2a_energy(&run.counters),
+            }
+        })
+    } else {
+        FftKernel::new(n).ok().map(|k| {
+            let mut accel = Vwr2a::new();
+            let re: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
+            let im = vec![0i32; n];
+            let run = k.run_complex(&mut accel, &re, &im).unwrap();
+            FftMeasurement {
+                cycles: run.cycles,
+                energy: vwr2a_energy(&run.counters),
+            }
+        })
+    };
+
+    FftComparison {
+        n,
+        real,
+        cpu,
+        accel,
+        vwr2a,
+    }
+}
+
+/// One row of Table 4: the FIR kernel on the CPU and on VWR2A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirComparison {
+    /// Input length in samples.
+    pub n: usize,
+    /// The CPU measurement.
+    pub cpu: FftMeasurement,
+    /// The VWR2A measurement.
+    pub vwr2a: FftMeasurement,
+}
+
+/// Measures the 11-tap FIR filter over `n` points on the CPU and on VWR2A.
+///
+/// # Panics
+///
+/// Panics on simulator errors (harness bug).
+pub fn run_fir_comparison(n: usize) -> FirComparison {
+    let taps_f = vwr2a_dsp::fir::design_lowpass(11, 0.1).unwrap();
+    let taps: Vec<i32> = taps_f.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+    let input: Vec<i32> = test_signal(n)
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+
+    let mut soc = BiosignalSoc::new();
+    soc.sram_mut().load(0, &input).unwrap();
+    soc.sram_mut().load(n, &taps).unwrap();
+    let program = cpu_kernels::fir_q15_program(n, taps.len(), 0, n, n + 16).unwrap();
+    let stats = soc.run_cpu_program(&program).unwrap();
+    let cpu = FftMeasurement {
+        cycles: stats.cycles,
+        energy: cpu_energy(&stats),
+    };
+
+    let kernel = FirKernel::new(&taps, n).unwrap();
+    let mut accel = Vwr2a::new();
+    let run = kernel.run(&mut accel, &input).unwrap();
+    let vwr2a = FftMeasurement {
+        cycles: run.cycles,
+        energy: vwr2a_energy(&run.counters),
+    };
+    FirComparison { n, cpu, vwr2a }
+}
+
+/// Converts cycles to microseconds at the platform frequency.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 / FREQUENCY_HZ * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_comparison_produces_consistent_ordering() {
+        let row = run_fft_comparison(512, true);
+        assert!(row.cpu.cycles > row.accel.cycles, "the accelerator must beat the CPU");
+        let v = row.vwr2a.expect("real 512 is supported");
+        assert!(v.cycles < row.cpu.cycles, "VWR2A must beat the CPU");
+        assert!(v.energy.total_uj() < row.cpu.energy.total_uj());
+        assert!(v.energy.total_uj() > row.accel.energy.total_uj());
+    }
+
+    #[test]
+    fn fir_comparison_matches_table4_shape() {
+        let row = run_fir_comparison(256);
+        let speedup = row.cpu.cycles as f64 / row.vwr2a.cycles as f64;
+        assert!(speedup > 5.0, "speed-up {speedup}");
+        let savings = 1.0 - row.vwr2a.energy.total_uj() / row.cpu.energy.total_uj();
+        assert!(savings > 0.3, "savings {savings}");
+    }
+
+    #[test]
+    fn unsupported_complex_2048_is_reported_as_none() {
+        let row = run_fft_comparison(2048, false);
+        assert!(row.vwr2a.is_none());
+        assert!(row.cpu.cycles > 100_000);
+    }
+}

@@ -1,0 +1,101 @@
+//! The 32-bit RC ALU.
+//!
+//! Implements the operation set of Sec. 3.1: signed addition, subtraction
+//! and multiplication, logical bitwise operations and logical/arithmetic
+//! shifts, all single-cycle.  The multiplier has the two working modes
+//! described in the paper: a standard mode keeping the lowest 32 bits and a
+//! fixed-point mode discarding the lower 16 bits of the 64-bit product.
+
+use crate::isa::rc::RcOpcode;
+
+/// Executes one ALU operation on two signed 32-bit operands.
+///
+/// Addition, subtraction and the standard multiply wrap on overflow, like
+/// the hardware datapath.  Shift amounts use the low five bits of operand
+/// `b`.  The comparison opcodes (`Sgt`, `Slt`, `Seq`) produce `1` or `0`,
+/// which kernels combine with `And`/`Or` masks for branch-free predication.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::alu::execute;
+/// use vwr2a_core::isa::rc::RcOpcode;
+///
+/// assert_eq!(execute(RcOpcode::Add, 3, 4), 7);
+/// assert_eq!(execute(RcOpcode::MulFxp, 3 << 16, 1 << 15), 3 << 15);
+/// assert_eq!(execute(RcOpcode::Sgt, 5, -5), 1);
+/// ```
+pub fn execute(op: RcOpcode, a: i32, b: i32) -> i32 {
+    match op {
+        RcOpcode::Nop => 0,
+        RcOpcode::Mov => a,
+        RcOpcode::Add => a.wrapping_add(b),
+        RcOpcode::Sub => a.wrapping_sub(b),
+        RcOpcode::Mul => a.wrapping_mul(b),
+        RcOpcode::MulFxp => (((a as i64) * (b as i64)) >> 16) as i32,
+        RcOpcode::And => a & b,
+        RcOpcode::Or => a | b,
+        RcOpcode::Xor => a ^ b,
+        RcOpcode::Sll => ((a as u32) << (b as u32 & 31)) as i32,
+        RcOpcode::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+        RcOpcode::Sra => a >> (b as u32 & 31),
+        RcOpcode::Min => a.min(b),
+        RcOpcode::Max => a.max(b),
+        RcOpcode::Abs => a.wrapping_abs(),
+        RcOpcode::Sgt => i32::from(a > b),
+        RcOpcode::Slt => i32::from(a < b),
+        RcOpcode::Seq => i32::from(a == b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(execute(RcOpcode::Add, i32::MAX, 1), i32::MIN);
+        assert_eq!(execute(RcOpcode::Sub, i32::MIN, 1), i32::MAX);
+        assert_eq!(execute(RcOpcode::Mul, i32::MAX, 2), -2);
+        assert_eq!(execute(RcOpcode::Abs, i32::MIN, 0), i32::MIN);
+    }
+
+    #[test]
+    fn fixed_point_multiply_matches_paper_semantics() {
+        // Q15.16 one times Q15.16 one is Q15.16 one.
+        assert_eq!(execute(RcOpcode::MulFxp, 1 << 16, 1 << 16), 1 << 16);
+        // Sign is preserved through the 64-bit product.
+        assert_eq!(execute(RcOpcode::MulFxp, -(1 << 16), 1 << 16), -(1 << 16));
+        assert_eq!(execute(RcOpcode::MulFxp, -(1 << 16), -(1 << 16)), 1 << 16);
+        // 0.5 * 0.5 = 0.25.
+        assert_eq!(execute(RcOpcode::MulFxp, 1 << 15, 1 << 15), 1 << 14);
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        assert_eq!(execute(RcOpcode::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(execute(RcOpcode::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(execute(RcOpcode::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(execute(RcOpcode::Sll, 1, 31), i32::MIN);
+        assert_eq!(execute(RcOpcode::Srl, -1, 28), 0xF);
+        assert_eq!(execute(RcOpcode::Sra, -16, 2), -4);
+        // Shift amounts are taken modulo 32.
+        assert_eq!(execute(RcOpcode::Sll, 1, 32), 1);
+    }
+
+    #[test]
+    fn comparisons_and_minmax() {
+        assert_eq!(execute(RcOpcode::Min, -3, 7), -3);
+        assert_eq!(execute(RcOpcode::Max, -3, 7), 7);
+        assert_eq!(execute(RcOpcode::Sgt, 1, 1), 0);
+        assert_eq!(execute(RcOpcode::Slt, -2, -1), 1);
+        assert_eq!(execute(RcOpcode::Seq, 9, 9), 1);
+        assert_eq!(execute(RcOpcode::Seq, 9, 8), 0);
+    }
+
+    #[test]
+    fn mov_and_nop() {
+        assert_eq!(execute(RcOpcode::Mov, 42, 99), 42);
+        assert_eq!(execute(RcOpcode::Nop, 42, 99), 0);
+    }
+}

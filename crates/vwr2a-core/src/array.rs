@@ -1,0 +1,494 @@
+//! The top-level VWR2A accelerator.
+//!
+//! [`Vwr2a`] ties together the shared SPM, the two columns, the
+//! configuration memory, the DMA and the synchronizer (Fig. 1 of the
+//! paper).  The host interacts with it the way the Cortex-M4 interacts with
+//! the real block over the AMBA-AHB slave port: seed the SPM through the
+//! DMA, write kernel parameters into the SRFs, launch a kernel, and read
+//! results back through the DMA when the completion interrupt fires (here:
+//! when [`Vwr2a::run_kernel`] returns).
+
+use crate::column::Column;
+use crate::config_mem::{ConfigMemory, KernelId};
+use crate::dma::{Dma, DmaConfig};
+use crate::error::{CoreError, Result};
+use crate::geometry::Geometry;
+use crate::program::KernelProgram;
+use crate::spm::Spm;
+use crate::stats::RunStats;
+use crate::trace::ActivityCounters;
+
+/// Default cycle budget per kernel launch before the simulator declares the
+/// kernel hung.
+pub const DEFAULT_CYCLE_LIMIT: u64 = 50_000_000;
+
+/// The VWR2A accelerator instance.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::Vwr2a;
+/// use vwr2a_core::program::{KernelProgram, ColumnProgram, Row};
+/// use vwr2a_core::isa::LcuInstr;
+///
+/// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
+/// let mut accel = Vwr2a::new();
+/// // Move data in over the DMA, run a (trivial) kernel, read data back.
+/// accel.dma_to_spm(&[1, 2, 3, 4], 0)?;
+/// let kernel = KernelProgram::new(
+///     "noop",
+///     vec![ColumnProgram::new(vec![Row::new(4).lcu(LcuInstr::Exit)])?],
+/// )?;
+/// let stats = accel.run_program(&kernel)?;
+/// assert!(stats.cycles > 0);
+/// let (data, _cycles) = accel.dma_from_spm(0, 4)?;
+/// assert_eq!(data, vec![1, 2, 3, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vwr2a {
+    geometry: Geometry,
+    spm: Spm,
+    columns: Vec<Column>,
+    config_mem: ConfigMemory,
+    dma: Dma,
+    counters: ActivityCounters,
+    cycle_limit: u64,
+}
+
+impl Vwr2a {
+    /// Creates an accelerator with the paper's geometry and default DMA
+    /// timing.
+    pub fn new() -> Self {
+        Self::with_geometry(Geometry::paper()).expect("paper geometry is valid")
+    }
+
+    /// Creates an accelerator with a custom geometry (used by the ablation
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidGeometry`] if the geometry is
+    /// inconsistent.
+    pub fn with_geometry(geometry: Geometry) -> Result<Self> {
+        Self::with_geometry_and_dma(geometry, DmaConfig::default())
+    }
+
+    /// Creates an accelerator with custom geometry and DMA timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidGeometry`] if the geometry is
+    /// inconsistent.
+    pub fn with_geometry_and_dma(geometry: Geometry, dma: DmaConfig) -> Result<Self> {
+        geometry.validate()?;
+        Ok(Self {
+            geometry,
+            spm: Spm::new(geometry.spm_words(), geometry.vwr_words),
+            columns: (0..geometry.columns).map(|_| Column::new(geometry)).collect(),
+            config_mem: ConfigMemory::new(geometry.config_words),
+            dma: Dma::new(dma),
+            counters: ActivityCounters::new(),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+        })
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The shared scratchpad memory.
+    pub fn spm(&self) -> &Spm {
+        &self.spm
+    }
+
+    /// Mutable access to the SPM (host/test convenience; real transfers go
+    /// through [`Vwr2a::dma_to_spm`]).
+    pub fn spm_mut(&mut self) -> &mut Spm {
+        &mut self.spm
+    }
+
+    /// A column of the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidColumn`] if `index` is out of range.
+    pub fn column(&self, index: usize) -> Result<&Column> {
+        self.columns.get(index).ok_or(CoreError::InvalidColumn {
+            column: index,
+            count: self.columns.len(),
+        })
+    }
+
+    /// Mutable access to a column (seeding VWR/SRF state in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidColumn`] if `index` is out of range.
+    pub fn column_mut(&mut self, index: usize) -> Result<&mut Column> {
+        let count = self.columns.len();
+        self.columns
+            .get_mut(index)
+            .ok_or(CoreError::InvalidColumn {
+                column: index,
+                count,
+            })
+    }
+
+    /// Accumulated activity since construction or the last
+    /// [`Vwr2a::reset_counters`].
+    pub fn counters(&self) -> ActivityCounters {
+        self.counters
+    }
+
+    /// Resets the accumulated activity counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = ActivityCounters::new();
+    }
+
+    /// Sets the per-launch cycle budget after which
+    /// [`CoreError::CycleLimitExceeded`] is reported.
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// Writes one kernel parameter into a column's SRF, as the host CPU does
+    /// over the slave port before launching a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidColumn`] or
+    /// [`CoreError::SrfIndexOutOfRange`].
+    pub fn write_srf(&mut self, column: usize, index: usize, value: i32) -> Result<()> {
+        self.counters.srf_writes += 1;
+        self.column_mut(column)?.srf_mut().write(index, value)
+    }
+
+    /// Reads back one SRF entry (e.g. a scalar result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidColumn`] or
+    /// [`CoreError::SrfIndexOutOfRange`].
+    pub fn read_srf(&self, column: usize, index: usize) -> Result<i32> {
+        self.column(column)?.srf().read(index)
+    }
+
+    /// Transfers data from system memory into the SPM through the DMA,
+    /// returning the cycles the transfer took.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDmaTransfer`] or
+    /// [`CoreError::SpmOutOfRange`].
+    pub fn dma_to_spm(&mut self, data: &[i32], spm_word_addr: usize) -> Result<u64> {
+        self.dma
+            .copy_to_spm(data, &mut self.spm, spm_word_addr, &mut self.counters)
+    }
+
+    /// Transfers data from the SPM back to system memory through the DMA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDmaTransfer`] or
+    /// [`CoreError::SpmOutOfRange`].
+    pub fn dma_from_spm(&mut self, spm_word_addr: usize, len: usize) -> Result<(Vec<i32>, u64)> {
+        self.dma
+            .copy_from_spm(&self.spm, spm_word_addr, len, &mut self.counters)
+    }
+
+    /// Validates and stores a kernel in the configuration memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors or [`CoreError::ConfigMemoryFull`].
+    pub fn load_kernel(&mut self, kernel: &KernelProgram) -> Result<KernelId> {
+        kernel.validate(&self.geometry)?;
+        self.config_mem.store(kernel)
+    }
+
+    /// Runs a kernel previously stored with [`Vwr2a::load_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`], structural-hazard errors from
+    /// the columns, or [`CoreError::CycleLimitExceeded`].
+    pub fn run_kernel(&mut self, id: KernelId) -> Result<RunStats> {
+        let kernel = self.config_mem.fetch(id)?;
+        let config_words = self.config_mem.kernel_words(id)?;
+        self.execute(&kernel, config_words)
+    }
+
+    /// Re-runs a kernel whose configuration is already resident in the
+    /// per-slot program memories (a *warm* launch): only the execution
+    /// cycles are charged, not the configuration-word streaming.
+    ///
+    /// Kernels that run the same program repeatedly with different SRF
+    /// parameters — e.g. the per-stage FFT program — use this to avoid
+    /// paying the configuration load on every launch, exactly as the real
+    /// hardware would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`], structural-hazard errors from
+    /// the columns, or [`CoreError::CycleLimitExceeded`].
+    pub fn run_kernel_warm(&mut self, id: KernelId) -> Result<RunStats> {
+        let kernel = self.config_mem.fetch(id)?;
+        self.execute(&kernel, 0)
+    }
+
+    /// Validates and runs a kernel directly, without persisting it in the
+    /// configuration memory (convenience for one-shot programs).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors, structural-hazard errors, or
+    /// [`CoreError::CycleLimitExceeded`].
+    pub fn run_program(&mut self, kernel: &KernelProgram) -> Result<RunStats> {
+        kernel.validate(&self.geometry)?;
+        self.execute(kernel, kernel.config_words())
+    }
+
+    fn execute(&mut self, kernel: &KernelProgram, config_words: usize) -> Result<RunStats> {
+        let before = self.counters;
+        let columns_used = kernel.columns.len();
+
+        // Kernel launch: the configuration words stream from the
+        // configuration memory into the per-slot program memories, one word
+        // per cycle.
+        self.counters.config_words_loaded += config_words as u64;
+        let mut cycles = config_words as u64;
+
+        for column in self.columns.iter_mut().take(columns_used) {
+            column.reset_execution();
+        }
+
+        let mut running: Vec<bool> = vec![true; columns_used];
+        while running.iter().any(|&r| r) {
+            cycles += 1;
+            if cycles > self.cycle_limit {
+                return Err(CoreError::CycleLimitExceeded {
+                    limit: self.cycle_limit,
+                });
+            }
+            for (idx, program) in kernel.columns.iter().enumerate() {
+                if running[idx] {
+                    running[idx] = self.columns[idx].step(
+                        program,
+                        &mut self.spm,
+                        &mut self.counters,
+                        cycles,
+                    )?;
+                }
+            }
+        }
+        self.counters.cycles += cycles;
+
+        let mut delta = self.counters;
+        // Compute the per-run delta field by field via subtraction on the
+        // aggregate type would require a Sub impl; recompute from the
+        // snapshot instead.
+        delta = subtract(delta, before);
+        Ok(RunStats {
+            kernel_name: kernel.name.clone(),
+            cycles,
+            columns_used,
+            counters: delta,
+        })
+    }
+}
+
+impl Default for Vwr2a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn subtract(a: ActivityCounters, b: ActivityCounters) -> ActivityCounters {
+    ActivityCounters {
+        cycles: a.cycles - b.cycles,
+        rc_alu_ops: a.rc_alu_ops - b.rc_alu_ops,
+        rc_multiplies: a.rc_multiplies - b.rc_multiplies,
+        rc_reg_reads: a.rc_reg_reads - b.rc_reg_reads,
+        rc_reg_writes: a.rc_reg_writes - b.rc_reg_writes,
+        vwr_word_reads: a.vwr_word_reads - b.vwr_word_reads,
+        vwr_word_writes: a.vwr_word_writes - b.vwr_word_writes,
+        vwr_line_transfers: a.vwr_line_transfers - b.vwr_line_transfers,
+        spm_line_reads: a.spm_line_reads - b.spm_line_reads,
+        spm_line_writes: a.spm_line_writes - b.spm_line_writes,
+        spm_word_reads: a.spm_word_reads - b.spm_word_reads,
+        spm_word_writes: a.spm_word_writes - b.spm_word_writes,
+        srf_reads: a.srf_reads - b.srf_reads,
+        srf_writes: a.srf_writes - b.srf_writes,
+        shuffle_ops: a.shuffle_ops - b.shuffle_ops,
+        instr_issues: a.instr_issues - b.instr_issues,
+        nop_issues: a.nop_issues - b.nop_issues,
+        lcu_branches: a.lcu_branches - b.lcu_branches,
+        dma_words: a.dma_words - b.dma_words,
+        dma_transfers: a.dma_transfers - b.dma_transfers,
+        config_words_loaded: a.config_words_loaded - b.config_words_loaded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ColumnProgramBuilder;
+    use crate::geometry::VwrId;
+    use crate::isa::lcu::{LcuCond, LcuInstr, LcuSrc};
+    use crate::isa::lsu::{LsuAddr, LsuInstr};
+    use crate::isa::mxcu::MxcuInstr;
+    use crate::isa::rc::{RcDst, RcInstr, RcOpcode, RcSrc};
+    use crate::program::{ColumnProgram, Row};
+
+    fn vector_scale_kernel(scale_srf: u8) -> KernelProgram {
+        // Multiply every word of SPM line 0 by SRF[scale_srf] (fixed-point)
+        // and store the result to line 1.
+        let g = Geometry::paper();
+        let mut b = ColumnProgramBuilder::new(g.rcs_per_column);
+        b.push(b.row().lsu(LsuInstr::LoadVwr {
+            vwr: VwrId::A,
+            line: LsuAddr::Imm(0),
+        }));
+        b.push(
+            b.row()
+                .lcu(LcuInstr::Li { r: 0, value: 0 })
+                .mxcu(MxcuInstr::SetIdx(0)),
+        );
+        // Read the scalar once into every RC's local register to avoid SRF
+        // port conflicts inside the loop (one RC at a time).
+        for rc in 0..4u8 {
+            b.push(b.row().rc(
+                rc as usize,
+                RcInstr::mov(RcDst::Reg(0), RcSrc::Srf(scale_srf)),
+            ));
+        }
+        let top = b.new_label();
+        b.bind_label(top);
+        b.push(
+            b.row()
+                .lcu(LcuInstr::Add {
+                    r: 0,
+                    src: LcuSrc::Imm(1),
+                })
+                .mxcu(MxcuInstr::AddIdx(1))
+                .rc_all(RcInstr::new(
+                    RcOpcode::MulFxp,
+                    RcDst::Vwr(VwrId::C),
+                    RcSrc::Vwr(VwrId::A),
+                    RcSrc::Reg(0),
+                )),
+        );
+        b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(32), top);
+        b.push(b.row().lsu(LsuInstr::StoreVwr {
+            vwr: VwrId::C,
+            line: LsuAddr::Imm(1),
+        }));
+        b.push_exit();
+        KernelProgram::new("vector-scale", vec![b.build().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn full_flow_dma_kernel_dma() {
+        let mut accel = Vwr2a::new();
+        let input: Vec<i32> = (0..128).map(|i| i << 16).collect(); // Q15.16 integers
+        accel.dma_to_spm(&input, 0).unwrap();
+        accel.write_srf(0, 0, 1 << 15).unwrap(); // scale by 0.5
+        let kernel = vector_scale_kernel(0);
+        let id = accel.load_kernel(&kernel).unwrap();
+        let stats = accel.run_kernel(id).unwrap();
+        assert!(stats.cycles > kernel.config_words() as u64);
+        assert_eq!(stats.columns_used, 1);
+        let (out, _) = accel.dma_from_spm(128, 128).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as i32) << 15, "word {i}");
+        }
+    }
+
+    #[test]
+    fn run_program_without_storing() {
+        let mut accel = Vwr2a::new();
+        let input: Vec<i32> = (0..128).map(|i| (i as i32 - 64) << 16).collect();
+        accel.dma_to_spm(&input, 0).unwrap();
+        accel.write_srf(0, 0, 2 << 16).unwrap(); // scale by 2.0
+        let stats = accel.run_program(&vector_scale_kernel(0)).unwrap();
+        assert_eq!(stats.kernel_name, "vector-scale");
+        let (out, _) = accel.dma_from_spm(128, 128).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as i32 - 64) << 17);
+        }
+    }
+
+    #[test]
+    fn two_column_kernel_runs_both_columns() {
+        // Column 0 writes 1 to SRF 7, column 1 writes 2; both exit.
+        let col0 = ColumnProgram::new(vec![
+            Row::new(4).rc(0, RcInstr::mov(RcDst::Srf(7), RcSrc::Imm(1))),
+            Row::new(4).lcu(LcuInstr::Exit),
+        ])
+        .unwrap();
+        let col1 = ColumnProgram::new(vec![
+            Row::new(4).rc(0, RcInstr::mov(RcDst::Srf(7), RcSrc::Imm(2))),
+            Row::new(4).rc(0, RcInstr::NOP),
+            Row::new(4).lcu(LcuInstr::Exit),
+        ])
+        .unwrap();
+        let kernel = KernelProgram::new("two-col", vec![col0, col1]).unwrap();
+        let mut accel = Vwr2a::new();
+        let stats = accel.run_program(&kernel).unwrap();
+        assert_eq!(stats.columns_used, 2);
+        assert_eq!(accel.read_srf(0, 7).unwrap(), 1);
+        assert_eq!(accel.read_srf(1, 7).unwrap(), 2);
+        // The longer column determines the execution portion of the cycle count.
+        assert_eq!(
+            stats.cycles,
+            kernel.config_words() as u64 + 3,
+            "config load + 3 execution cycles"
+        );
+    }
+
+    #[test]
+    fn cycle_limit_detects_runaway_kernels() {
+        let mut accel = Vwr2a::new();
+        accel.set_cycle_limit(100);
+        let mut b = ColumnProgramBuilder::new(4);
+        let top = b.new_label();
+        b.bind_label(top);
+        b.push(b.row());
+        b.push_jump(b.row(), top);
+        b.push_exit();
+        let kernel = KernelProgram::new("forever", vec![b.build().unwrap()]).unwrap();
+        assert!(matches!(
+            accel.run_program(&kernel),
+            Err(CoreError::CycleLimitExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn invalid_kernels_are_rejected_before_running() {
+        let mut accel = Vwr2a::new();
+        // Three columns on a two-column array.
+        let col = ColumnProgram::new(vec![Row::new(4).lcu(LcuInstr::Exit)]).unwrap();
+        let kernel = KernelProgram::new("too-wide", vec![col.clone(), col.clone(), col]).unwrap();
+        assert!(accel.load_kernel(&kernel).is_err());
+        assert!(accel.run_program(&kernel).is_err());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut accel = Vwr2a::new();
+        accel.dma_to_spm(&[0; 64], 0).unwrap();
+        assert_eq!(accel.counters().dma_words, 64);
+        accel.reset_counters();
+        assert_eq!(accel.counters().dma_words, 0);
+    }
+
+    #[test]
+    fn invalid_column_access_rejected() {
+        let accel = Vwr2a::new();
+        assert!(accel.column(2).is_err());
+        assert!(accel.read_srf(5, 0).is_err());
+    }
+}

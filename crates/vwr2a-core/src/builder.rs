@@ -1,0 +1,225 @@
+//! Label-aware builder for column programs.
+//!
+//! Kernel generators (the `vwr2a-kernels` crate) construct programs row by
+//! row.  Loops need backward branch targets, which are awkward to compute by
+//! hand while rows are still being emitted, so the builder provides
+//! [`Label`]s: create one with [`ColumnProgramBuilder::new_label`], bind it
+//! to "the next row" with [`ColumnProgramBuilder::bind_label`], and emit
+//! branches through [`ColumnProgramBuilder::push_branch`] /
+//! [`ColumnProgramBuilder::push_jump`]; targets are resolved at
+//! [`ColumnProgramBuilder::build`] time.
+
+use crate::error::{CoreError, Result};
+use crate::isa::lcu::{LcuCond, LcuInstr, LcuSrc};
+use crate::program::{ColumnProgram, Row};
+
+/// A forward- or backward-referencable position in a column program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builder of a [`ColumnProgram`] with label resolution.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::builder::ColumnProgramBuilder;
+/// use vwr2a_core::program::Row;
+/// use vwr2a_core::isa::{LcuInstr, LcuCond, LcuSrc, RcInstr, RcOpcode, RcSrc, RcDst};
+///
+/// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
+/// let mut b = ColumnProgramBuilder::new(4);
+/// // i = 0
+/// b.push(Row::new(4).lcu(LcuInstr::Li { r: 0, value: 0 }));
+/// let top = b.new_label();
+/// b.bind_label(top);
+/// // body: i += 1
+/// b.push(Row::new(4).lcu(LcuInstr::Add { r: 0, src: LcuSrc::Imm(1) }));
+/// // if i < 8 goto top
+/// b.push_branch(Row::new(4), LcuCond::Lt, 0, LcuSrc::Imm(8), top);
+/// b.push(Row::new(4).lcu(LcuInstr::Exit));
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColumnProgramBuilder {
+    rcs_per_column: usize,
+    rows: Vec<Row>,
+    labels: Vec<Option<usize>>,
+    branch_fixups: Vec<(usize, Label)>,
+}
+
+impl ColumnProgramBuilder {
+    /// Creates a builder for a column with `rcs_per_column` RCs.
+    pub fn new(rcs_per_column: usize) -> Self {
+        Self {
+            rcs_per_column,
+            rows: Vec::new(),
+            labels: Vec::new(),
+            branch_fixups: Vec::new(),
+        }
+    }
+
+    /// Creates a new, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next row that will be pushed.
+    pub fn bind_label(&mut self, label: Label) {
+        self.labels[label.0] = Some(self.rows.len());
+    }
+
+    /// Appends a row, returning its index.
+    pub fn push(&mut self, row: Row) -> usize {
+        debug_assert_eq!(row.rcs.len(), self.rcs_per_column);
+        self.rows.push(row);
+        self.rows.len() - 1
+    }
+
+    /// Appends `row` with its LCU slot replaced by a conditional branch to
+    /// `label` (resolved at build time).
+    pub fn push_branch(
+        &mut self,
+        row: Row,
+        cond: LcuCond,
+        a: u8,
+        b: LcuSrc,
+        label: Label,
+    ) -> usize {
+        let idx = self.push(row.lcu(LcuInstr::Branch {
+            cond,
+            a,
+            b,
+            target: 0,
+        }));
+        self.branch_fixups.push((idx, label));
+        idx
+    }
+
+    /// Appends `row` with its LCU slot replaced by an unconditional jump to
+    /// `label` (resolved at build time).
+    pub fn push_jump(&mut self, row: Row, label: Label) -> usize {
+        let idx = self.push(row.lcu(LcuInstr::Jump(0)));
+        self.branch_fixups.push((idx, label));
+        idx
+    }
+
+    /// Convenience: appends an all-NOP row whose LCU exits the kernel.
+    pub fn push_exit(&mut self) -> usize {
+        self.push(Row::new(self.rcs_per_column).lcu(LcuInstr::Exit))
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A fresh all-NOP row sized for this column (convenience mirror of
+    /// [`Row::new`]).
+    pub fn row(&self) -> Row {
+        Row::new(self.rcs_per_column)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UndefinedLabel`] if a referenced label was never
+    /// bound, [`CoreError::BranchTargetOutOfRange`] if a label was bound past
+    /// the last row, or the [`ColumnProgram::new`] errors for an empty
+    /// program.
+    pub fn build(mut self) -> Result<ColumnProgram> {
+        for (row_idx, label) in &self.branch_fixups {
+            let target = self.labels[label.0].ok_or(CoreError::UndefinedLabel { label: label.0 })?;
+            if target >= self.rows.len() {
+                return Err(CoreError::BranchTargetOutOfRange {
+                    target,
+                    len: self.rows.len(),
+                });
+            }
+            match &mut self.rows[*row_idx].lcu {
+                LcuInstr::Branch { target: t, .. } => *t = target as u16,
+                LcuInstr::Jump(t) => *t = target as u16,
+                other => unreachable!("fixup points at non-branch instruction {other:?}"),
+            }
+        }
+        ColumnProgram::new(self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::lcu::LcuCond;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut b = ColumnProgramBuilder::new(4);
+        let top = b.new_label();
+        b.bind_label(top);
+        b.push(b.row());
+        b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(4), top);
+        b.push_exit();
+        let p = b.build().unwrap();
+        match p.rows()[1].lcu {
+            LcuInstr::Branch { target, .. } => assert_eq!(target, 0),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_jump_resolves() {
+        let mut b = ColumnProgramBuilder::new(4);
+        let end = b.new_label();
+        b.push_jump(b.row(), end);
+        b.push(b.row());
+        b.bind_label(end);
+        b.push_exit();
+        let p = b.build().unwrap();
+        match p.rows()[0].lcu {
+            LcuInstr::Jump(target) => assert_eq!(target, 2),
+            ref other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ColumnProgramBuilder::new(4);
+        let dangling = b.new_label();
+        b.push_jump(b.row(), dangling);
+        b.push_exit();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn label_bound_past_end_is_an_error() {
+        let mut b = ColumnProgramBuilder::new(4);
+        let end = b.new_label();
+        b.push_jump(b.row(), end);
+        b.bind_label(end); // bound to rows.len() == 1, but nothing pushed after
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::BranchTargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut b = ColumnProgramBuilder::new(4);
+        assert!(b.is_empty());
+        b.push_exit();
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

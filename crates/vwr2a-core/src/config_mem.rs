@@ -1,0 +1,241 @@
+//! Configuration memory.
+//!
+//! Kernels are stored as encoded configuration words in the configuration
+//! memory and copied into the per-slot program memories when a kernel
+//! execution starts (Sec. 3.1).  Keeping the encoded form here (rather than
+//! the decoded instruction enums) keeps the model faithful: the same words
+//! that the encoder produces are what the loader hands back to the columns,
+//! and the activity counters charge one configuration-word transfer per word
+//! at kernel launch.
+
+use crate::error::{CoreError, Result};
+use crate::isa::encode::{
+    decode_lcu, decode_lsu, decode_mxcu, decode_rc, encode_lcu, encode_lsu, encode_mxcu, encode_rc,
+    ConfigWord,
+};
+use crate::program::{ColumnProgram, KernelProgram, Row};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a kernel stored in the configuration memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelId(pub usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredKernel {
+    name: String,
+    /// Encoded words per column, stored row-major: for each row, the LCU,
+    /// LSU and MXCU words followed by one word per RC.
+    columns: Vec<Vec<ConfigWord>>,
+    rcs_per_column: usize,
+}
+
+/// The configuration memory holding encoded kernels.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::config_mem::ConfigMemory;
+/// use vwr2a_core::program::{ColumnProgram, KernelProgram, Row};
+/// use vwr2a_core::isa::LcuInstr;
+///
+/// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
+/// let mut cm = ConfigMemory::new(1024);
+/// let col = ColumnProgram::new(vec![Row::new(4).lcu(LcuInstr::Exit)])?;
+/// let kernel = KernelProgram::new("noop", vec![col])?;
+/// let id = cm.store(&kernel)?;
+/// let loaded = cm.fetch(id)?;
+/// assert_eq!(loaded.name, "noop");
+/// assert_eq!(loaded.columns.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    capacity_words: usize,
+    used_words: usize,
+    kernels: Vec<StoredKernel>,
+}
+
+impl ConfigMemory {
+    /// Creates a configuration memory with the given capacity in words.
+    pub fn new(capacity_words: usize) -> Self {
+        Self {
+            capacity_words,
+            used_words: 0,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Capacity in configuration words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Words currently occupied.
+    pub fn used_words(&self) -> usize {
+        self.used_words
+    }
+
+    /// Number of kernels stored.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Encodes and stores a kernel, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ConfigMemoryFull`] if the kernel does not fit, or
+    /// an encoding error if an instruction field overflows its encoding.
+    pub fn store(&mut self, kernel: &KernelProgram) -> Result<KernelId> {
+        let needed = kernel.config_words();
+        if self.used_words + needed > self.capacity_words {
+            return Err(CoreError::ConfigMemoryFull {
+                capacity_words: self.capacity_words,
+                requested_words: needed,
+            });
+        }
+        let mut columns = Vec::with_capacity(kernel.columns.len());
+        let mut rcs_per_column = 0;
+        for col in &kernel.columns {
+            rcs_per_column = col.rcs_per_column();
+            let mut words = Vec::with_capacity(col.config_words());
+            for row in col.rows() {
+                words.push(encode_lcu(&row.lcu)?);
+                words.push(encode_lsu(&row.lsu)?);
+                words.push(encode_mxcu(&row.mxcu)?);
+                for rc in &row.rcs {
+                    words.push(encode_rc(rc)?);
+                }
+            }
+            columns.push(words);
+        }
+        self.used_words += needed;
+        self.kernels.push(StoredKernel {
+            name: kernel.name.clone(),
+            columns,
+            rcs_per_column,
+        });
+        Ok(KernelId(self.kernels.len() - 1))
+    }
+
+    /// Decodes a stored kernel back into a [`KernelProgram`] (what the
+    /// kernel loader streams into the per-slot program memories).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`] for an invalid id or a decoding
+    /// error if the stored words are corrupt.
+    pub fn fetch(&self, id: KernelId) -> Result<KernelProgram> {
+        let stored = self
+            .kernels
+            .get(id.0)
+            .ok_or(CoreError::UnknownKernel { id: id.0 })?;
+        let words_per_row = 3 + stored.rcs_per_column;
+        let mut columns = Vec::with_capacity(stored.columns.len());
+        for words in &stored.columns {
+            let mut rows = Vec::with_capacity(words.len() / words_per_row);
+            for chunk in words.chunks(words_per_row) {
+                let mut row = Row::new(stored.rcs_per_column);
+                row.lcu = decode_lcu(chunk[0])?;
+                row.lsu = decode_lsu(chunk[1])?;
+                row.mxcu = decode_mxcu(chunk[2])?;
+                for (i, &w) in chunk[3..].iter().enumerate() {
+                    row.rcs[i] = decode_rc(w)?;
+                }
+                rows.push(row);
+            }
+            columns.push(ColumnProgram::new(rows)?);
+        }
+        KernelProgram::new(stored.name.clone(), columns)
+    }
+
+    /// Number of configuration words a stored kernel occupies (the kernel
+    /// loader streams this many words at launch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`] for an invalid id.
+    pub fn kernel_words(&self, id: KernelId) -> Result<usize> {
+        let stored = self
+            .kernels
+            .get(id.0)
+            .ok_or(CoreError::UnknownKernel { id: id.0 })?;
+        Ok(stored.columns.iter().map(Vec::len).sum())
+    }
+
+    /// Removes every stored kernel.
+    pub fn clear(&mut self) {
+        self.kernels.clear();
+        self.used_words = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::VwrId;
+    use crate::isa::lcu::LcuInstr;
+    use crate::isa::lsu::{LsuAddr, LsuInstr};
+    use crate::isa::rc::{RcDst, RcInstr, RcOpcode, RcSrc};
+
+    fn sample_kernel() -> KernelProgram {
+        let rows = vec![
+            Row::new(4)
+                .lsu(LsuInstr::LoadVwr {
+                    vwr: VwrId::A,
+                    line: LsuAddr::Imm(3),
+                })
+                .rc_all(RcInstr::new(
+                    RcOpcode::MulFxp,
+                    RcDst::Vwr(VwrId::C),
+                    RcSrc::Vwr(VwrId::A),
+                    RcSrc::Srf(2),
+                )),
+            Row::new(4).lcu(LcuInstr::Exit),
+        ];
+        let col = ColumnProgram::new(rows).unwrap();
+        KernelProgram::new("sample", vec![col.clone(), col]).unwrap()
+    }
+
+    #[test]
+    fn store_fetch_round_trip() {
+        let mut cm = ConfigMemory::new(4096);
+        let kernel = sample_kernel();
+        let id = cm.store(&kernel).unwrap();
+        let loaded = cm.fetch(id).unwrap();
+        assert_eq!(loaded, kernel);
+        assert_eq!(cm.kernel_words(id).unwrap(), kernel.config_words());
+        assert_eq!(cm.kernel_count(), 1);
+        assert_eq!(cm.used_words(), kernel.config_words());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut cm = ConfigMemory::new(10);
+        assert!(matches!(
+            cm.store(&sample_kernel()),
+            Err(CoreError::ConfigMemoryFull { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let cm = ConfigMemory::new(100);
+        assert!(matches!(
+            cm.fetch(KernelId(0)),
+            Err(CoreError::UnknownKernel { id: 0 })
+        ));
+        assert!(cm.kernel_words(KernelId(3)).is_err());
+    }
+
+    #[test]
+    fn clear_releases_space() {
+        let mut cm = ConfigMemory::new(100);
+        let _ = cm.store(&sample_kernel()).unwrap();
+        cm.clear();
+        assert_eq!(cm.used_words(), 0);
+        assert_eq!(cm.kernel_count(), 0);
+        assert_eq!(cm.capacity_words(), 100);
+    }
+}

@@ -1,0 +1,232 @@
+//! Error type of the VWR2A simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building programs for, or simulating, the VWR2A array.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::error::CoreError;
+///
+/// let err = CoreError::ProgramTooLong { slot: "RC0".into(), len: 90, max: 64 };
+/// assert!(err.to_string().contains("RC0"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A slot program exceeds the per-slot program memory (64 words).
+    ProgramTooLong {
+        /// Which slot (LCU, LSU, MXCU, RC0..RC3).
+        slot: String,
+        /// Actual instruction count.
+        len: usize,
+        /// Program memory capacity.
+        max: usize,
+    },
+    /// Slot programs of one column have inconsistent lengths (they share a PC).
+    InconsistentProgramLength {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An SPM access is out of range.
+    SpmOutOfRange {
+        /// The requested word or line address.
+        addr: usize,
+        /// The SPM capacity in the same unit.
+        capacity: usize,
+        /// Whether the address is a line ("line") or word ("word") address.
+        unit: &'static str,
+    },
+    /// A VWR word index is out of range.
+    VwrIndexOutOfRange {
+        /// The requested word index.
+        index: usize,
+        /// Number of words per VWR.
+        capacity: usize,
+    },
+    /// An SRF register index is out of range.
+    SrfIndexOutOfRange {
+        /// The requested register.
+        index: usize,
+        /// Number of SRF entries.
+        capacity: usize,
+    },
+    /// More than one unit accessed the single-ported SRF in the same cycle.
+    SrfPortConflict {
+        /// Cycle at which the conflict occurred.
+        cycle: u64,
+        /// Number of simultaneous accesses.
+        accesses: usize,
+    },
+    /// Two units wrote the same resource in the same cycle.
+    WriteConflict {
+        /// Cycle at which the conflict occurred.
+        cycle: u64,
+        /// Description of the contended resource.
+        resource: String,
+    },
+    /// A branch target is outside the program.
+    BranchTargetOutOfRange {
+        /// The requested target row.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// An undefined label was referenced by the program builder.
+    UndefinedLabel {
+        /// The label id.
+        label: usize,
+    },
+    /// The kernel did not reach an `EXIT` within the cycle budget.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A column index outside the array was requested.
+    InvalidColumn {
+        /// The requested column.
+        column: usize,
+        /// Number of columns in the array.
+        count: usize,
+    },
+    /// A kernel id not present in the configuration memory was requested.
+    UnknownKernel {
+        /// The requested kernel id.
+        id: usize,
+    },
+    /// The configuration memory is full.
+    ConfigMemoryFull {
+        /// Capacity in configuration words.
+        capacity_words: usize,
+        /// Words needed by the rejected kernel.
+        requested_words: usize,
+    },
+    /// A DMA transfer is malformed (zero length or out of range).
+    InvalidDmaTransfer {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A geometry parameter is unsupported.
+    InvalidGeometry {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An instruction field cannot be encoded in the configuration word.
+    EncodingOverflow {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A configuration word does not decode to a valid instruction.
+    DecodingError {
+        /// The offending configuration word.
+        word: u64,
+        /// Which slot kind was being decoded.
+        slot: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ProgramTooLong { slot, len, max } => {
+                write!(f, "program for slot {slot} has {len} words, exceeding the {max}-word program memory")
+            }
+            CoreError::InconsistentProgramLength { detail } => {
+                write!(f, "slot programs have inconsistent lengths: {detail}")
+            }
+            CoreError::SpmOutOfRange { addr, capacity, unit } => {
+                write!(f, "spm {unit} address {addr} out of range (capacity {capacity})")
+            }
+            CoreError::VwrIndexOutOfRange { index, capacity } => {
+                write!(f, "vwr word index {index} out of range (capacity {capacity})")
+            }
+            CoreError::SrfIndexOutOfRange { index, capacity } => {
+                write!(f, "srf register {index} out of range (capacity {capacity})")
+            }
+            CoreError::SrfPortConflict { cycle, accesses } => {
+                write!(f, "srf port conflict at cycle {cycle}: {accesses} simultaneous accesses to a single-ported register file")
+            }
+            CoreError::WriteConflict { cycle, resource } => {
+                write!(f, "write conflict at cycle {cycle} on {resource}")
+            }
+            CoreError::BranchTargetOutOfRange { target, len } => {
+                write!(f, "branch target {target} outside program of length {len}")
+            }
+            CoreError::UndefinedLabel { label } => write!(f, "undefined label {label}"),
+            CoreError::CycleLimitExceeded { limit } => {
+                write!(f, "kernel did not exit within {limit} cycles")
+            }
+            CoreError::InvalidColumn { column, count } => {
+                write!(f, "column {column} does not exist (array has {count} columns)")
+            }
+            CoreError::UnknownKernel { id } => write!(f, "unknown kernel id {id}"),
+            CoreError::ConfigMemoryFull {
+                capacity_words,
+                requested_words,
+            } => write!(
+                f,
+                "configuration memory full: {requested_words} words requested, capacity {capacity_words}"
+            ),
+            CoreError::InvalidDmaTransfer { detail } => write!(f, "invalid dma transfer: {detail}"),
+            CoreError::InvalidGeometry { detail } => write!(f, "invalid geometry: {detail}"),
+            CoreError::EncodingOverflow { field, value } => {
+                write!(f, "field {field} value {value} does not fit its encoding")
+            }
+            CoreError::DecodingError { word, slot } => {
+                write!(f, "configuration word {word:#x} does not decode to a valid {slot} instruction")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_fields() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (
+                CoreError::SpmOutOfRange {
+                    addr: 99,
+                    capacity: 64,
+                    unit: "line",
+                },
+                "99",
+            ),
+            (
+                CoreError::SrfPortConflict {
+                    cycle: 7,
+                    accesses: 3,
+                },
+                "cycle 7",
+            ),
+            (CoreError::UnknownKernel { id: 5 }, "5"),
+            (
+                CoreError::CycleLimitExceeded { limit: 1000 },
+                "1000",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should contain {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,509 @@
+//! Encoding of slot instructions into raw configuration words.
+//!
+//! The paper stresses that a CGRA reaches high computation density because
+//! "the bits of the configuration words (i.e., instructions) correspond
+//! directly to the control signals in the cell datapaths, without an actual
+//! decoding process" (Sec. 3.1).  This module defines that bit-level
+//! representation: each slot instruction packs into one 64-bit configuration
+//! word, and the configuration memory stores kernels as sequences of such
+//! words.  Encoding and decoding round-trip exactly, which the property
+//! tests in this module and in the crate's proptest suite verify.
+
+use crate::error::{CoreError, Result};
+use crate::geometry::VwrId;
+use crate::isa::lcu::{LcuCond, LcuInstr, LcuSrc};
+use crate::isa::lsu::{LsuAddr, LsuInstr, ShuffleOp};
+use crate::isa::mxcu::MxcuInstr;
+use crate::isa::rc::{RcDst, RcInstr, RcOpcode, RcSrc};
+
+/// A raw configuration word (one encoded slot instruction).
+pub type ConfigWord = u64;
+
+fn field(word: u64, lsb: u32, width: u32) -> u64 {
+    (word >> lsb) & ((1u64 << width) - 1)
+}
+
+fn put(value: u64, lsb: u32, width: u32) -> Result<u64> {
+    if value >= (1u64 << width) {
+        return Err(CoreError::EncodingOverflow {
+            field: "generic",
+            value: value as i64,
+        });
+    }
+    Ok(value << lsb)
+}
+
+// ---------------------------------------------------------------------------
+// RC instructions
+// ---------------------------------------------------------------------------
+
+fn rc_opcode_code(op: RcOpcode) -> u64 {
+    match op {
+        RcOpcode::Nop => 0,
+        RcOpcode::Mov => 1,
+        RcOpcode::Add => 2,
+        RcOpcode::Sub => 3,
+        RcOpcode::Mul => 4,
+        RcOpcode::MulFxp => 5,
+        RcOpcode::And => 6,
+        RcOpcode::Or => 7,
+        RcOpcode::Xor => 8,
+        RcOpcode::Sll => 9,
+        RcOpcode::Srl => 10,
+        RcOpcode::Sra => 11,
+        RcOpcode::Min => 12,
+        RcOpcode::Max => 13,
+        RcOpcode::Abs => 14,
+        RcOpcode::Sgt => 15,
+        RcOpcode::Slt => 16,
+        RcOpcode::Seq => 17,
+    }
+}
+
+fn rc_opcode_from(code: u64) -> Option<RcOpcode> {
+    Some(match code {
+        0 => RcOpcode::Nop,
+        1 => RcOpcode::Mov,
+        2 => RcOpcode::Add,
+        3 => RcOpcode::Sub,
+        4 => RcOpcode::Mul,
+        5 => RcOpcode::MulFxp,
+        6 => RcOpcode::And,
+        7 => RcOpcode::Or,
+        8 => RcOpcode::Xor,
+        9 => RcOpcode::Sll,
+        10 => RcOpcode::Srl,
+        11 => RcOpcode::Sra,
+        12 => RcOpcode::Min,
+        13 => RcOpcode::Max,
+        14 => RcOpcode::Abs,
+        15 => RcOpcode::Sgt,
+        16 => RcOpcode::Slt,
+        17 => RcOpcode::Seq,
+        _ => return None,
+    })
+}
+
+fn rc_src_fields(src: RcSrc) -> (u64, u64) {
+    match src {
+        RcSrc::Zero => (0, 0),
+        RcSrc::Imm(v) => (1, v as u16 as u64),
+        RcSrc::Reg(r) => (2, r as u64),
+        RcSrc::Vwr(v) => (3, v.index() as u64),
+        RcSrc::Srf(s) => (4, s as u64),
+        RcSrc::RcAbove => (5, 0),
+        RcSrc::RcBelow => (6, 0),
+        RcSrc::SelfPrev => (7, 0),
+    }
+}
+
+fn rc_src_from(kind: u64, payload: u64) -> Option<RcSrc> {
+    Some(match kind {
+        0 => RcSrc::Zero,
+        1 => RcSrc::Imm(payload as u16 as i16),
+        2 => RcSrc::Reg(payload as u8),
+        3 => RcSrc::Vwr(VwrId::from_index((payload & 3) as usize)),
+        4 => RcSrc::Srf(payload as u8),
+        5 => RcSrc::RcAbove,
+        6 => RcSrc::RcBelow,
+        7 => RcSrc::SelfPrev,
+        _ => return None,
+    })
+}
+
+fn rc_dst_fields(dst: RcDst) -> (u64, u64) {
+    match dst {
+        RcDst::None => (0, 0),
+        RcDst::Reg(r) => (1, r as u64),
+        RcDst::Vwr(v) => (2, v.index() as u64),
+        RcDst::Srf(s) => (3, s as u64),
+    }
+}
+
+fn rc_dst_from(kind: u64, payload: u64) -> Option<RcDst> {
+    Some(match kind {
+        0 => RcDst::None,
+        1 => RcDst::Reg(payload as u8),
+        2 => RcDst::Vwr(VwrId::from_index((payload & 3) as usize)),
+        3 => RcDst::Srf(payload as u8),
+        _ => return None,
+    })
+}
+
+/// Encodes an RC instruction into a configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EncodingOverflow`] if a field does not fit (register
+/// or SRF indices above 255).
+pub fn encode_rc(instr: &RcInstr) -> Result<ConfigWord> {
+    let (dk, dp) = rc_dst_fields(instr.dst);
+    let (ak, ap) = rc_src_fields(instr.src_a);
+    let (bk, bp) = rc_src_fields(instr.src_b);
+    Ok(put(rc_opcode_code(instr.op), 0, 5)?
+        | put(dk, 5, 2)?
+        | put(dp, 7, 8)?
+        | put(ak, 15, 3)?
+        | put(ap, 18, 16)?
+        | put(bk, 34, 3)?
+        | put(bp, 37, 16)?)
+}
+
+/// Decodes an RC configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DecodingError`] if the opcode or an operand kind is
+/// invalid.
+pub fn decode_rc(word: ConfigWord) -> Result<RcInstr> {
+    let err = || CoreError::DecodingError { word, slot: "RC" };
+    let op = rc_opcode_from(field(word, 0, 5)).ok_or_else(err)?;
+    let dst = rc_dst_from(field(word, 5, 2), field(word, 7, 8)).ok_or_else(err)?;
+    let src_a = rc_src_from(field(word, 15, 3), field(word, 18, 16)).ok_or_else(err)?;
+    let src_b = rc_src_from(field(word, 34, 3), field(word, 37, 16)).ok_or_else(err)?;
+    Ok(RcInstr::new(op, dst, src_a, src_b))
+}
+
+// ---------------------------------------------------------------------------
+// LSU instructions
+// ---------------------------------------------------------------------------
+
+fn shuffle_code(op: ShuffleOp) -> u64 {
+    ShuffleOp::ALL.iter().position(|&o| o == op).expect("listed") as u64
+}
+
+fn shuffle_from(code: u64) -> Option<ShuffleOp> {
+    ShuffleOp::ALL.get(code as usize).copied()
+}
+
+fn lsu_addr_fields(addr: LsuAddr) -> (u64, u64) {
+    match addr {
+        LsuAddr::Imm(v) => (0, v as u64),
+        LsuAddr::Srf(s) => (1, s as u64),
+    }
+}
+
+fn lsu_addr_from(kind: u64, payload: u64) -> LsuAddr {
+    if kind == 0 {
+        LsuAddr::Imm(payload as u16)
+    } else {
+        LsuAddr::Srf(payload as u8)
+    }
+}
+
+/// Encodes an LSU instruction into a configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EncodingOverflow`] if a field does not fit.
+pub fn encode_lsu(instr: &LsuInstr) -> Result<ConfigWord> {
+    Ok(match *instr {
+        LsuInstr::Nop => 0,
+        LsuInstr::LoadVwr { vwr, line } => {
+            let (k, p) = lsu_addr_fields(line);
+            put(1, 0, 4)? | put(vwr.index() as u64, 4, 2)? | put(k, 6, 1)? | put(p, 7, 16)?
+        }
+        LsuInstr::StoreVwr { vwr, line } => {
+            let (k, p) = lsu_addr_fields(line);
+            put(2, 0, 4)? | put(vwr.index() as u64, 4, 2)? | put(k, 6, 1)? | put(p, 7, 16)?
+        }
+        LsuInstr::LoadSrf { srf, word } => {
+            let (k, p) = lsu_addr_fields(word);
+            put(3, 0, 4)? | put(srf as u64, 4, 4)? | put(k, 8, 1)? | put(p, 9, 16)?
+        }
+        LsuInstr::StoreSrf { srf, word } => {
+            let (k, p) = lsu_addr_fields(word);
+            put(4, 0, 4)? | put(srf as u64, 4, 4)? | put(k, 8, 1)? | put(p, 9, 16)?
+        }
+        LsuInstr::AddSrf { srf, imm } => {
+            put(5, 0, 4)? | put(srf as u64, 4, 4)? | put(imm as u16 as u64, 8, 16)?
+        }
+        LsuInstr::Shuffle(op) => put(6, 0, 4)? | put(shuffle_code(op), 4, 3)?,
+    })
+}
+
+/// Decodes an LSU configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DecodingError`] for an invalid opcode or shuffle code.
+pub fn decode_lsu(word: ConfigWord) -> Result<LsuInstr> {
+    let err = || CoreError::DecodingError { word, slot: "LSU" };
+    Ok(match field(word, 0, 4) {
+        0 => LsuInstr::Nop,
+        1 => LsuInstr::LoadVwr {
+            vwr: VwrId::from_index(field(word, 4, 2) as usize & 3),
+            line: lsu_addr_from(field(word, 6, 1), field(word, 7, 16)),
+        },
+        2 => LsuInstr::StoreVwr {
+            vwr: VwrId::from_index(field(word, 4, 2) as usize & 3),
+            line: lsu_addr_from(field(word, 6, 1), field(word, 7, 16)),
+        },
+        3 => LsuInstr::LoadSrf {
+            srf: field(word, 4, 4) as u8,
+            word: lsu_addr_from(field(word, 8, 1), field(word, 9, 16)),
+        },
+        4 => LsuInstr::StoreSrf {
+            srf: field(word, 4, 4) as u8,
+            word: lsu_addr_from(field(word, 8, 1), field(word, 9, 16)),
+        },
+        5 => LsuInstr::AddSrf {
+            srf: field(word, 4, 4) as u8,
+            imm: field(word, 8, 16) as u16 as i16,
+        },
+        6 => LsuInstr::Shuffle(shuffle_from(field(word, 4, 3)).ok_or_else(err)?),
+        _ => return Err(err()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// MXCU instructions
+// ---------------------------------------------------------------------------
+
+/// Encodes an MXCU instruction into a configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EncodingOverflow`] if a field does not fit.
+pub fn encode_mxcu(instr: &MxcuInstr) -> Result<ConfigWord> {
+    Ok(match *instr {
+        MxcuInstr::Nop => 0,
+        MxcuInstr::SetIdx(v) => put(1, 0, 4)? | put(v as u64, 4, 16)?,
+        MxcuInstr::AddIdx(v) => put(2, 0, 4)? | put(v as u16 as u64, 4, 16)?,
+        MxcuInstr::LoadIdxSrf(s) => put(3, 0, 4)? | put(s as u64, 4, 4)?,
+        MxcuInstr::AndIdxSrf(s) => put(4, 0, 4)? | put(s as u64, 4, 4)?,
+        MxcuInstr::StoreIdxSrf(s) => put(5, 0, 4)? | put(s as u64, 4, 4)?,
+    })
+}
+
+/// Decodes an MXCU configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DecodingError`] for an invalid opcode.
+pub fn decode_mxcu(word: ConfigWord) -> Result<MxcuInstr> {
+    Ok(match field(word, 0, 4) {
+        0 => MxcuInstr::Nop,
+        1 => MxcuInstr::SetIdx(field(word, 4, 16) as u16),
+        2 => MxcuInstr::AddIdx(field(word, 4, 16) as u16 as i16),
+        3 => MxcuInstr::LoadIdxSrf(field(word, 4, 4) as u8),
+        4 => MxcuInstr::AndIdxSrf(field(word, 4, 4) as u8),
+        5 => MxcuInstr::StoreIdxSrf(field(word, 4, 4) as u8),
+        _ => return Err(CoreError::DecodingError { word, slot: "MXCU" }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// LCU instructions
+// ---------------------------------------------------------------------------
+
+fn lcu_cond_code(c: LcuCond) -> u64 {
+    match c {
+        LcuCond::Eq => 0,
+        LcuCond::Ne => 1,
+        LcuCond::Lt => 2,
+        LcuCond::Ge => 3,
+    }
+}
+
+fn lcu_cond_from(code: u64) -> LcuCond {
+    match code & 3 {
+        0 => LcuCond::Eq,
+        1 => LcuCond::Ne,
+        2 => LcuCond::Lt,
+        _ => LcuCond::Ge,
+    }
+}
+
+fn lcu_src_fields(src: LcuSrc) -> (u64, u64) {
+    match src {
+        LcuSrc::Imm(v) => (0, v as u32 as u64),
+        LcuSrc::Reg(r) => (1, r as u64),
+        LcuSrc::Srf(s) => (2, s as u64),
+    }
+}
+
+fn lcu_src_from(kind: u64, payload: u64) -> Option<LcuSrc> {
+    Some(match kind {
+        0 => LcuSrc::Imm(payload as u32 as i32),
+        1 => LcuSrc::Reg(payload as u8),
+        2 => LcuSrc::Srf(payload as u8),
+        _ => return None,
+    })
+}
+
+/// Encodes an LCU instruction into a configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EncodingOverflow`] if a field does not fit.
+pub fn encode_lcu(instr: &LcuInstr) -> Result<ConfigWord> {
+    Ok(match *instr {
+        LcuInstr::Nop => 0,
+        LcuInstr::Li { r, value } => {
+            put(1, 0, 4)? | put(r as u64, 4, 2)? | put(value as u32 as u64, 6, 32)?
+        }
+        LcuInstr::Add { r, src } => {
+            let (k, p) = lcu_src_fields(src);
+            put(2, 0, 4)? | put(r as u64, 4, 2)? | put(k, 6, 2)? | put(p, 8, 32)?
+        }
+        LcuInstr::LoadSrf { r, srf } => {
+            put(3, 0, 4)? | put(r as u64, 4, 2)? | put(srf as u64, 6, 4)?
+        }
+        LcuInstr::Branch { cond, a, b, target } => {
+            let (k, p) = lcu_src_fields(b);
+            put(4, 0, 4)?
+                | put(a as u64, 4, 2)?
+                | put(lcu_cond_code(cond), 6, 2)?
+                | put(k, 8, 2)?
+                | put(p, 10, 32)?
+                | put(target as u64, 42, 10)?
+        }
+        LcuInstr::Jump(target) => put(5, 0, 4)? | put(target as u64, 4, 10)?,
+        LcuInstr::Exit => put(6, 0, 4)?,
+    })
+}
+
+/// Decodes an LCU configuration word.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DecodingError`] for an invalid opcode or operand kind.
+pub fn decode_lcu(word: ConfigWord) -> Result<LcuInstr> {
+    let err = || CoreError::DecodingError { word, slot: "LCU" };
+    Ok(match field(word, 0, 4) {
+        0 => LcuInstr::Nop,
+        1 => LcuInstr::Li {
+            r: field(word, 4, 2) as u8,
+            value: field(word, 6, 32) as u32 as i32,
+        },
+        2 => LcuInstr::Add {
+            r: field(word, 4, 2) as u8,
+            src: lcu_src_from(field(word, 6, 2), field(word, 8, 32)).ok_or_else(err)?,
+        },
+        3 => LcuInstr::LoadSrf {
+            r: field(word, 4, 2) as u8,
+            srf: field(word, 6, 4) as u8,
+        },
+        4 => LcuInstr::Branch {
+            cond: lcu_cond_from(field(word, 6, 2)),
+            a: field(word, 4, 2) as u8,
+            b: lcu_src_from(field(word, 8, 2), field(word, 10, 32)).ok_or_else(err)?,
+            target: field(word, 42, 10) as u16,
+        },
+        5 => LcuInstr::Jump(field(word, 4, 10) as u16),
+        6 => LcuInstr::Exit,
+        _ => return Err(err()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_round_trip_examples() {
+        let cases = [
+            RcInstr::NOP,
+            RcInstr::new(
+                RcOpcode::Add,
+                RcDst::Vwr(VwrId::C),
+                RcSrc::Vwr(VwrId::A),
+                RcSrc::Vwr(VwrId::B),
+            ),
+            RcInstr::new(RcOpcode::MulFxp, RcDst::Reg(1), RcSrc::Srf(7), RcSrc::Imm(-42)),
+            RcInstr::new(RcOpcode::Sgt, RcDst::Srf(3), RcSrc::RcAbove, RcSrc::SelfPrev),
+            RcInstr::new(RcOpcode::Sra, RcDst::Reg(0), RcSrc::RcBelow, RcSrc::Imm(15)),
+        ];
+        for instr in cases {
+            let word = encode_rc(&instr).unwrap();
+            assert_eq!(decode_rc(word).unwrap(), instr, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn lsu_round_trip_examples() {
+        let cases = [
+            LsuInstr::Nop,
+            LsuInstr::LoadVwr {
+                vwr: VwrId::A,
+                line: LsuAddr::Imm(63),
+            },
+            LsuInstr::StoreVwr {
+                vwr: VwrId::C,
+                line: LsuAddr::Srf(5),
+            },
+            LsuInstr::LoadSrf {
+                srf: 7,
+                word: LsuAddr::Imm(8191),
+            },
+            LsuInstr::StoreSrf {
+                srf: 0,
+                word: LsuAddr::Srf(1),
+            },
+            LsuInstr::AddSrf { srf: 3, imm: -128 },
+            LsuInstr::Shuffle(ShuffleOp::BitRevUpper),
+        ];
+        for instr in cases {
+            let word = encode_lsu(&instr).unwrap();
+            assert_eq!(decode_lsu(word).unwrap(), instr, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn mxcu_round_trip_examples() {
+        let cases = [
+            MxcuInstr::Nop,
+            MxcuInstr::SetIdx(31),
+            MxcuInstr::AddIdx(-1),
+            MxcuInstr::LoadIdxSrf(6),
+            MxcuInstr::AndIdxSrf(2),
+            MxcuInstr::StoreIdxSrf(4),
+        ];
+        for instr in cases {
+            let word = encode_mxcu(&instr).unwrap();
+            assert_eq!(decode_mxcu(word).unwrap(), instr, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn lcu_round_trip_examples() {
+        let cases = [
+            LcuInstr::Nop,
+            LcuInstr::Li { r: 2, value: -100_000 },
+            LcuInstr::Add {
+                r: 1,
+                src: LcuSrc::Srf(3),
+            },
+            LcuInstr::LoadSrf { r: 3, srf: 7 },
+            LcuInstr::Branch {
+                cond: LcuCond::Lt,
+                a: 0,
+                b: LcuSrc::Imm(512),
+                target: 37,
+            },
+            LcuInstr::Jump(63),
+            LcuInstr::Exit,
+        ];
+        for instr in cases {
+            let word = encode_lcu(&instr).unwrap();
+            assert_eq!(decode_lcu(word).unwrap(), instr, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        assert!(decode_rc(31).is_err()); // opcode 31 does not exist
+        assert!(decode_lsu(15).is_err());
+        assert!(decode_mxcu(15).is_err());
+        assert!(decode_lcu(15).is_err());
+    }
+
+    #[test]
+    fn nop_encodes_to_zero_everywhere() {
+        assert_eq!(encode_rc(&RcInstr::NOP).unwrap(), 0);
+        assert_eq!(encode_lsu(&LsuInstr::Nop).unwrap(), 0);
+        assert_eq!(encode_mxcu(&MxcuInstr::Nop).unwrap(), 0);
+        assert_eq!(encode_lcu(&LcuInstr::Nop).unwrap(), 0);
+    }
+}

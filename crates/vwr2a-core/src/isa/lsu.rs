@@ -1,0 +1,195 @@
+//! Load-store-unit (LSU) instructions and shuffle operations.
+//!
+//! The LSU moves data between the SPM and the VWRs or the SRF, and controls
+//! the shuffle unit (Sec. 3.3.1).  A VWR-wide transfer moves an entire
+//! 4096-bit line in a single cycle; scalar transfers move one 32-bit word.
+
+use crate::geometry::VwrId;
+use serde::{Deserialize, Serialize};
+
+/// Where the LSU gets an SPM address from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LsuAddr {
+    /// Immediate line/word address.
+    Imm(u16),
+    /// Address taken from a scalar-register-file entry (counts as an SRF
+    /// access for port-conflict purposes).
+    Srf(u8),
+}
+
+/// Hard-wired data-reordering operations of the shuffle unit (Sec. 3.3.1).
+///
+/// Every operation reads the concatenation of VWR A and VWR B (2·W words,
+/// where W is the VWR word count) and writes W words into VWR C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShuffleOp {
+    /// Interleave A and B words; keep the lower half of the 2·W-word result.
+    InterleaveLower,
+    /// Interleave A and B words; keep the upper half.
+    InterleaveUpper,
+    /// Keep the even-indexed elements of A then the even-indexed elements of B.
+    EvenPrune,
+    /// Keep the odd-indexed elements of A then the odd-indexed elements of B.
+    OddPrune,
+    /// Bit-reversal permutation of concat(A, B); keep the lower half.
+    BitRevLower,
+    /// Bit-reversal permutation of concat(A, B); keep the upper half.
+    BitRevUpper,
+    /// Circular up-shift of concat(A, B) by one RC slice (32 words in the
+    /// paper's geometry); keep the lower half.
+    CircShiftLower,
+    /// Circular up-shift of concat(A, B) by one RC slice; keep the upper half.
+    CircShiftUpper,
+}
+
+impl ShuffleOp {
+    /// All shuffle operations (useful for exhaustive property tests).
+    pub const ALL: [ShuffleOp; 8] = [
+        ShuffleOp::InterleaveLower,
+        ShuffleOp::InterleaveUpper,
+        ShuffleOp::EvenPrune,
+        ShuffleOp::OddPrune,
+        ShuffleOp::BitRevLower,
+        ShuffleOp::BitRevUpper,
+        ShuffleOp::CircShiftLower,
+        ShuffleOp::CircShiftUpper,
+    ];
+}
+
+/// One LSU instruction.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::isa::lsu::{LsuInstr, LsuAddr, ShuffleOp};
+/// use vwr2a_core::geometry::VwrId;
+///
+/// // "LOAD A" from Table 1: fill VWR A from SPM line 0.
+/// let load = LsuInstr::LoadVwr { vwr: VwrId::A, line: LsuAddr::Imm(0) };
+/// assert!(!load.is_nop());
+/// assert_eq!(load.srf_accesses(), 0);
+///
+/// // Interleave A and B into C between FFT stages.
+/// let shuf = LsuInstr::Shuffle(ShuffleOp::InterleaveLower);
+/// assert!(!shuf.is_nop());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LsuInstr {
+    /// No operation.
+    Nop,
+    /// Fill an entire VWR from an SPM line (single cycle, 4096 bits).
+    LoadVwr {
+        /// Destination VWR.
+        vwr: VwrId,
+        /// Source SPM line address.
+        line: LsuAddr,
+    },
+    /// Write an entire VWR back to an SPM line.
+    StoreVwr {
+        /// Source VWR.
+        vwr: VwrId,
+        /// Destination SPM line address.
+        line: LsuAddr,
+    },
+    /// Load one 32-bit word from the SPM into the SRF.
+    LoadSrf {
+        /// Destination SRF entry.
+        srf: u8,
+        /// Source SPM word address.
+        word: LsuAddr,
+    },
+    /// Store one SRF entry to a 32-bit SPM word.
+    StoreSrf {
+        /// Source SRF entry.
+        srf: u8,
+        /// Destination SPM word address.
+        word: LsuAddr,
+    },
+    /// Add an immediate to an SRF entry (pointer/loop-bound bookkeeping).
+    AddSrf {
+        /// SRF entry to update.
+        srf: u8,
+        /// Signed immediate added to it.
+        imm: i16,
+    },
+    /// Trigger one shuffle-unit operation (VWR A, B → VWR C).
+    Shuffle(ShuffleOp),
+}
+
+impl LsuInstr {
+    /// `true` if this is a no-operation.
+    pub fn is_nop(&self) -> bool {
+        matches!(self, LsuInstr::Nop)
+    }
+
+    /// Number of SRF accesses this instruction performs (for single-port
+    /// conflict checking).
+    pub fn srf_accesses(&self) -> usize {
+        match self {
+            LsuInstr::Nop | LsuInstr::Shuffle(_) => 0,
+            LsuInstr::LoadVwr { line, .. } | LsuInstr::StoreVwr { line, .. } => {
+                usize::from(matches!(line, LsuAddr::Srf(_)))
+            }
+            LsuInstr::LoadSrf { word, .. } | LsuInstr::StoreSrf { word, .. } => {
+                1 + usize::from(matches!(word, LsuAddr::Srf(_)))
+            }
+            LsuInstr::AddSrf { .. } => 1,
+        }
+    }
+}
+
+impl Default for LsuInstr {
+    fn default() -> Self {
+        LsuInstr::Nop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_default() {
+        assert!(LsuInstr::default().is_nop());
+        assert_eq!(LsuInstr::Nop.srf_accesses(), 0);
+    }
+
+    #[test]
+    fn srf_access_counting() {
+        assert_eq!(
+            LsuInstr::LoadVwr {
+                vwr: VwrId::A,
+                line: LsuAddr::Srf(3)
+            }
+            .srf_accesses(),
+            1
+        );
+        assert_eq!(
+            LsuInstr::LoadSrf {
+                srf: 0,
+                word: LsuAddr::Srf(1)
+            }
+            .srf_accesses(),
+            2
+        );
+        assert_eq!(
+            LsuInstr::StoreSrf {
+                srf: 0,
+                word: LsuAddr::Imm(5)
+            }
+            .srf_accesses(),
+            1
+        );
+        assert_eq!(LsuInstr::AddSrf { srf: 2, imm: -1 }.srf_accesses(), 1);
+        assert_eq!(LsuInstr::Shuffle(ShuffleOp::EvenPrune).srf_accesses(), 0);
+    }
+
+    #[test]
+    fn all_shuffle_ops_distinct() {
+        for (i, a) in ShuffleOp::ALL.iter().enumerate() {
+            for b in &ShuffleOp::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Instruction-set definitions for the VWR2A slots.
+//!
+//! A VWR2A column executes one instruction per slot per cycle under a shared
+//! program counter (Sec. 3.1 / 3.3 of the paper): the four reconfigurable
+//! cells ([`rc::RcInstr`]), the load-store unit ([`lsu::LsuInstr`]), the
+//! loop-control unit ([`lcu::LcuInstr`]) and the multiplexer-control unit
+//! ([`mxcu::MxcuInstr`]).  Together one "row" of instructions forms a wide
+//! predecoded instruction word, just like a VLIW bundle.
+//!
+//! [`encode`] packs instructions into raw configuration words (the bits of
+//! which "correspond directly to the control signals in the cell datapaths")
+//! and back; the configuration memory stores kernels in that form.
+
+pub mod encode;
+pub mod lcu;
+pub mod lsu;
+pub mod mxcu;
+pub mod rc;
+
+pub use lcu::{LcuCond, LcuInstr, LcuSrc};
+pub use lsu::{LsuAddr, LsuInstr, ShuffleOp};
+pub use mxcu::MxcuInstr;
+pub use rc::{RcDst, RcInstr, RcOpcode, RcSrc};
+
+/// Identifies one of the instruction slots of a column.
+///
+/// Used in diagnostics (e.g. program-length validation) and by the activity
+/// counters to attribute instruction issues per slot type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Loop-control unit.
+    Lcu,
+    /// Load-store unit.
+    Lsu,
+    /// Multiplexer-control unit.
+    Mxcu,
+    /// Reconfigurable cell `n` (0-based).
+    Rc(usize),
+}
+
+impl std::fmt::Display for SlotKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotKind::Lcu => write!(f, "LCU"),
+            SlotKind::Lsu => write!(f, "LSU"),
+            SlotKind::Mxcu => write!(f, "MXCU"),
+            SlotKind::Rc(i) => write!(f, "RC{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_kind_display() {
+        assert_eq!(SlotKind::Lcu.to_string(), "LCU");
+        assert_eq!(SlotKind::Rc(3).to_string(), "RC3");
+        assert_eq!(SlotKind::Mxcu.to_string(), "MXCU");
+        assert_eq!(SlotKind::Lsu.to_string(), "LSU");
+    }
+}

@@ -1,0 +1,82 @@
+//! Multiplexer-control-unit (MXCU) instructions.
+//!
+//! The MXCU drives the multiplexer network between the VWRs and the RCs
+//! (Sec. 3.3.2): it maintains the word index `k` that every RC uses to
+//! address its quarter-slice of the VWRs, both for reads and for write-back.
+//! Masking values for index computation can come from the SRF.
+
+use serde::{Deserialize, Serialize};
+
+/// One MXCU instruction.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::isa::mxcu::MxcuInstr;
+///
+/// // The "k=0 … k++" sequence of Table 1.
+/// let reset = MxcuInstr::SetIdx(0);
+/// let step = MxcuInstr::AddIdx(1);
+/// assert!(!reset.is_nop());
+/// assert_eq!(step.srf_accesses(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MxcuInstr {
+    /// No operation (the index keeps its value).
+    Nop,
+    /// Set the VWR word index to an immediate.
+    SetIdx(u16),
+    /// Add a signed immediate to the VWR word index (wrapping within the
+    /// RC slice).
+    AddIdx(i16),
+    /// Load the VWR word index from an SRF entry (masked to the slice).
+    LoadIdxSrf(u8),
+    /// Bitwise-AND the VWR word index with an SRF entry (the "masking
+    /// values for the VWRs index computation" of Sec. 3.2).
+    AndIdxSrf(u8),
+    /// Store the current index to an SRF entry (e.g. to communicate a
+    /// data-dependent position to the LSU).
+    StoreIdxSrf(u8),
+}
+
+impl MxcuInstr {
+    /// `true` if this is a no-operation.
+    pub fn is_nop(&self) -> bool {
+        matches!(self, MxcuInstr::Nop)
+    }
+
+    /// Number of SRF accesses this instruction performs.
+    pub fn srf_accesses(&self) -> usize {
+        match self {
+            MxcuInstr::LoadIdxSrf(_) | MxcuInstr::AndIdxSrf(_) | MxcuInstr::StoreIdxSrf(_) => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl Default for MxcuInstr {
+    fn default() -> Self {
+        MxcuInstr::Nop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_default() {
+        assert!(MxcuInstr::default().is_nop());
+        assert!(!MxcuInstr::SetIdx(3).is_nop());
+    }
+
+    #[test]
+    fn srf_access_counting() {
+        assert_eq!(MxcuInstr::Nop.srf_accesses(), 0);
+        assert_eq!(MxcuInstr::SetIdx(0).srf_accesses(), 0);
+        assert_eq!(MxcuInstr::AddIdx(-1).srf_accesses(), 0);
+        assert_eq!(MxcuInstr::LoadIdxSrf(0).srf_accesses(), 1);
+        assert_eq!(MxcuInstr::AndIdxSrf(7).srf_accesses(), 1);
+        assert_eq!(MxcuInstr::StoreIdxSrf(2).srf_accesses(), 1);
+    }
+}

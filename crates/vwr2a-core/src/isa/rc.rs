@@ -1,0 +1,226 @@
+//! Reconfigurable-cell (RC) instructions.
+//!
+//! Each RC contains a two-entry register file and a 32-bit ALU supporting
+//! signed addition, subtraction and multiplication (standard and fixed-point
+//! modes), bitwise logic and shifts (Sec. 3.1).  Operands can come from the
+//! VWRs, the SRF, the local register file, the previous-cycle results of
+//! neighbouring RCs, or a small immediate.
+
+use crate::geometry::VwrId;
+use serde::{Deserialize, Serialize};
+
+/// ALU operation of an RC instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RcOpcode {
+    /// No operation (operand isolation keeps the ALU inputs stable).
+    Nop,
+    /// Pass operand A through unchanged.
+    Mov,
+    /// Signed 32-bit addition (wrapping).
+    Add,
+    /// Signed 32-bit subtraction (wrapping).
+    Sub,
+    /// Standard multiply: low 32 bits of the product.
+    Mul,
+    /// Fixed-point multiply: 64-bit product, lower 16 bits discarded
+    /// (Sec. 3.1), keeping a `Q15.16` result for `Q15.16` inputs.
+    MulFxp,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `B & 31`.
+    Sll,
+    /// Logical shift right by `B & 31`.
+    Srl,
+    /// Arithmetic shift right by `B & 31`.
+    Sra,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Absolute value of operand A (operand B ignored).
+    Abs,
+    /// Set to 1 if `A > B` (signed), else 0.
+    Sgt,
+    /// Set to 1 if `A < B` (signed), else 0.
+    Slt,
+    /// Set to 1 if `A == B`, else 0.
+    Seq,
+}
+
+impl RcOpcode {
+    /// `true` for the multiply opcodes (used by the energy model, which
+    /// charges multiplications separately from simple ALU operations).
+    pub fn is_multiply(self) -> bool {
+        matches!(self, RcOpcode::Mul | RcOpcode::MulFxp)
+    }
+}
+
+/// Operand source of an RC instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RcSrc {
+    /// Constant zero.
+    Zero,
+    /// Sign-extended 16-bit immediate.
+    Imm(i16),
+    /// Local register (0 or 1 in the paper's geometry).
+    Reg(u8),
+    /// The word of the given VWR at this RC's slice offset plus the MXCU
+    /// index.
+    Vwr(VwrId),
+    /// Scalar-register-file entry (single-ported: at most one SRF access per
+    /// column per cycle).
+    Srf(u8),
+    /// Previous-cycle result of the RC above (wrapping within the column).
+    RcAbove,
+    /// Previous-cycle result of the RC below (wrapping within the column).
+    RcBelow,
+    /// This RC's own previous-cycle result.
+    SelfPrev,
+}
+
+/// Destination of an RC instruction result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RcDst {
+    /// Discard the result (it is still latched as the previous-cycle output).
+    None,
+    /// Local register (0 or 1).
+    Reg(u8),
+    /// The word of the given VWR at this RC's slice offset plus the MXCU
+    /// index.
+    Vwr(VwrId),
+    /// Scalar-register-file entry.
+    Srf(u8),
+}
+
+/// One RC instruction: `dst = op(src_a, src_b)`.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::isa::rc::{RcInstr, RcOpcode, RcSrc, RcDst};
+/// use vwr2a_core::geometry::VwrId;
+///
+/// // VWR C word = VWR A word + VWR B word, as in Table 1 of the paper.
+/// let add = RcInstr::new(
+///     RcOpcode::Add,
+///     RcDst::Vwr(VwrId::C),
+///     RcSrc::Vwr(VwrId::A),
+///     RcSrc::Vwr(VwrId::B),
+/// );
+/// assert!(!add.is_nop());
+/// assert_eq!(RcInstr::NOP.op, RcOpcode::Nop);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RcInstr {
+    /// ALU operation.
+    pub op: RcOpcode,
+    /// Where the result goes.
+    pub dst: RcDst,
+    /// First operand.
+    pub src_a: RcSrc,
+    /// Second operand.
+    pub src_b: RcSrc,
+}
+
+impl RcInstr {
+    /// The canonical no-operation instruction.
+    pub const NOP: RcInstr = RcInstr {
+        op: RcOpcode::Nop,
+        dst: RcDst::None,
+        src_a: RcSrc::Zero,
+        src_b: RcSrc::Zero,
+    };
+
+    /// Creates an instruction from its fields.
+    pub fn new(op: RcOpcode, dst: RcDst, src_a: RcSrc, src_b: RcSrc) -> Self {
+        Self {
+            op,
+            dst,
+            src_a,
+            src_b,
+        }
+    }
+
+    /// Unary convenience constructor (operand B is zero).
+    pub fn unary(op: RcOpcode, dst: RcDst, src: RcSrc) -> Self {
+        Self::new(op, dst, src, RcSrc::Zero)
+    }
+
+    /// Copies `src` to `dst` unchanged.
+    pub fn mov(dst: RcDst, src: RcSrc) -> Self {
+        Self::unary(RcOpcode::Mov, dst, src)
+    }
+
+    /// `true` if this is a no-operation.
+    pub fn is_nop(&self) -> bool {
+        self.op == RcOpcode::Nop
+    }
+
+    /// Returns the SRF registers this instruction accesses (reads and
+    /// writes), used for single-port conflict checking.
+    pub fn srf_accesses(&self) -> usize {
+        let mut n = 0;
+        if matches!(self.src_a, RcSrc::Srf(_)) {
+            n += 1;
+        }
+        if matches!(self.src_b, RcSrc::Srf(_)) {
+            n += 1;
+        }
+        if matches!(self.dst, RcDst::Srf(_)) {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl Default for RcInstr {
+    fn default() -> Self {
+        Self::NOP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_properties() {
+        assert!(RcInstr::NOP.is_nop());
+        assert_eq!(RcInstr::default(), RcInstr::NOP);
+        assert_eq!(RcInstr::NOP.srf_accesses(), 0);
+    }
+
+    #[test]
+    fn srf_access_counting() {
+        let i = RcInstr::new(
+            RcOpcode::Add,
+            RcDst::Srf(0),
+            RcSrc::Srf(1),
+            RcSrc::Srf(2),
+        );
+        assert_eq!(i.srf_accesses(), 3);
+        let j = RcInstr::new(RcOpcode::Add, RcDst::Reg(0), RcSrc::Vwr(VwrId::A), RcSrc::Imm(4));
+        assert_eq!(j.srf_accesses(), 0);
+    }
+
+    #[test]
+    fn multiply_classification() {
+        assert!(RcOpcode::Mul.is_multiply());
+        assert!(RcOpcode::MulFxp.is_multiply());
+        assert!(!RcOpcode::Add.is_multiply());
+        assert!(!RcOpcode::Nop.is_multiply());
+    }
+
+    #[test]
+    fn constructors() {
+        let m = RcInstr::mov(RcDst::Reg(1), RcSrc::Imm(7));
+        assert_eq!(m.op, RcOpcode::Mov);
+        assert_eq!(m.src_b, RcSrc::Zero);
+        let u = RcInstr::unary(RcOpcode::Abs, RcDst::Reg(0), RcSrc::Reg(1));
+        assert_eq!(u.op, RcOpcode::Abs);
+    }
+}

@@ -1,0 +1,526 @@
+//! Kernel programs: rows of per-slot instructions under a shared PC.
+//!
+//! A column executes one [`Row`] per cycle: the LCU, LSU and MXCU
+//! instructions plus one instruction per RC.  Because all slots of a column
+//! share the program counter (Sec. 3.1), the per-slot instruction streams
+//! always have the same length — a [`ColumnProgram`] stores them row-wise to
+//! make that invariant structural.  A [`KernelProgram`] carries the programs
+//! of the one or two columns a kernel uses.
+
+use crate::error::{CoreError, Result};
+use crate::geometry::Geometry;
+use crate::isa::lcu::{LcuInstr, LCU_REGISTERS};
+use crate::isa::lsu::LsuInstr;
+use crate::isa::mxcu::MxcuInstr;
+use crate::isa::rc::RcInstr;
+use crate::isa::SlotKind;
+use serde::{Deserialize, Serialize};
+
+/// One wide instruction word: what every slot of a column does in one cycle.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::program::Row;
+/// use vwr2a_core::isa::{LsuInstr, LsuAddr, RcInstr, RcOpcode, RcSrc, RcDst};
+/// use vwr2a_core::geometry::VwrId;
+///
+/// // "LOAD A" for the LSU while every RC adds its VWR A and B words into C.
+/// let row = Row::new(4)
+///     .lsu(LsuInstr::LoadVwr { vwr: VwrId::A, line: LsuAddr::Imm(0) })
+///     .rc_all(RcInstr::new(
+///         RcOpcode::Add,
+///         RcDst::Vwr(VwrId::C),
+///         RcSrc::Vwr(VwrId::A),
+///         RcSrc::Vwr(VwrId::B),
+///     ));
+/// assert_eq!(row.rcs.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    /// Loop-control-unit instruction.
+    pub lcu: LcuInstr,
+    /// Load-store-unit instruction.
+    pub lsu: LsuInstr,
+    /// Multiplexer-control-unit instruction.
+    pub mxcu: MxcuInstr,
+    /// One instruction per reconfigurable cell.
+    pub rcs: Vec<RcInstr>,
+}
+
+impl Row {
+    /// Creates an all-NOP row for a column with `rcs` reconfigurable cells.
+    pub fn new(rcs: usize) -> Self {
+        Self {
+            lcu: LcuInstr::Nop,
+            lsu: LsuInstr::Nop,
+            mxcu: MxcuInstr::Nop,
+            rcs: vec![RcInstr::NOP; rcs],
+        }
+    }
+
+    /// Sets the LCU instruction.
+    pub fn lcu(mut self, instr: LcuInstr) -> Self {
+        self.lcu = instr;
+        self
+    }
+
+    /// Sets the LSU instruction.
+    pub fn lsu(mut self, instr: LsuInstr) -> Self {
+        self.lsu = instr;
+        self
+    }
+
+    /// Sets the MXCU instruction.
+    pub fn mxcu(mut self, instr: MxcuInstr) -> Self {
+        self.mxcu = instr;
+        self
+    }
+
+    /// Sets the instruction of RC `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a valid RC position for this row.
+    pub fn rc(mut self, index: usize, instr: RcInstr) -> Self {
+        self.rcs[index] = instr;
+        self
+    }
+
+    /// Sets the same instruction on every RC (the common SIMD-like case of
+    /// Table 1, where "RC0-3" execute the same operation).
+    pub fn rc_all(mut self, instr: RcInstr) -> Self {
+        for rc in &mut self.rcs {
+            *rc = instr;
+        }
+        self
+    }
+
+    /// Number of SRF accesses across all slots of this row.
+    pub fn srf_accesses(&self) -> usize {
+        self.lcu.srf_accesses()
+            + self.lsu.srf_accesses()
+            + self.mxcu.srf_accesses()
+            + self.rcs.iter().map(RcInstr::srf_accesses).sum::<usize>()
+    }
+
+    /// Number of non-NOP instructions in this row.
+    pub fn active_slots(&self) -> usize {
+        usize::from(!self.lcu.is_nop())
+            + usize::from(!self.lsu.is_nop())
+            + usize::from(!self.mxcu.is_nop())
+            + self.rcs.iter().filter(|r| !r.is_nop()).count()
+    }
+}
+
+/// The program of one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnProgram {
+    rows: Vec<Row>,
+    rcs_per_column: usize,
+}
+
+impl ColumnProgram {
+    /// Creates a program from rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InconsistentProgramLength`] if any row has a
+    /// different RC count than the first, or [`CoreError::ProgramTooLong`]
+    /// for an empty program (a kernel must at least `EXIT`).
+    pub fn new(rows: Vec<Row>) -> Result<Self> {
+        let first = rows.first().ok_or(CoreError::ProgramTooLong {
+            slot: SlotKind::Lcu.to_string(),
+            len: 0,
+            max: 0,
+        })?;
+        let rcs_per_column = first.rcs.len();
+        if let Some(bad) = rows.iter().position(|r| r.rcs.len() != rcs_per_column) {
+            return Err(CoreError::InconsistentProgramLength {
+                detail: format!(
+                    "row {bad} has {} RC slots, expected {rcs_per_column}",
+                    rows[bad].rcs.len()
+                ),
+            });
+        }
+        Ok(Self {
+            rows,
+            rcs_per_column,
+        })
+    }
+
+    /// The rows of the program.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows (instructions per slot).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the program has no rows (never constructible through
+    /// [`ColumnProgram::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// RC slots per row.
+    pub fn rcs_per_column(&self) -> usize {
+        self.rcs_per_column
+    }
+
+    /// Number of configuration words needed to store this program
+    /// (one word per slot per row).
+    pub fn config_words(&self) -> usize {
+        self.rows.len() * (3 + self.rcs_per_column)
+    }
+
+    /// Validates the program against a geometry: program-memory capacity,
+    /// RC count, register/SRF/VWR indices and branch targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`CoreError`] describing the first violation.
+    pub fn validate(&self, geometry: &Geometry) -> Result<()> {
+        if self.rows.len() > geometry.program_words {
+            return Err(CoreError::ProgramTooLong {
+                slot: "column".into(),
+                len: self.rows.len(),
+                max: geometry.program_words,
+            });
+        }
+        if self.rcs_per_column != geometry.rcs_per_column {
+            return Err(CoreError::InconsistentProgramLength {
+                detail: format!(
+                    "program has {} RC slots per row, geometry has {}",
+                    self.rcs_per_column, geometry.rcs_per_column
+                ),
+            });
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            self.validate_row(i, row, geometry)?;
+        }
+        Ok(())
+    }
+
+    fn validate_row(&self, index: usize, row: &Row, geometry: &Geometry) -> Result<()> {
+        use crate::isa::lcu::LcuSrc;
+        use crate::isa::lsu::LsuAddr;
+        use crate::isa::rc::{RcDst, RcSrc};
+
+        let check_srf = |srf: u8| -> Result<()> {
+            if (srf as usize) < geometry.srf_entries {
+                Ok(())
+            } else {
+                Err(CoreError::SrfIndexOutOfRange {
+                    index: srf as usize,
+                    capacity: geometry.srf_entries,
+                })
+            }
+        };
+        let check_vwr = |v: crate::geometry::VwrId| -> Result<()> {
+            if v.index() < geometry.num_vwrs {
+                Ok(())
+            } else {
+                Err(CoreError::InvalidGeometry {
+                    detail: format!("row {index} uses VWR {v:?} but only {} VWRs exist", geometry.num_vwrs),
+                })
+            }
+        };
+        let check_target = |t: u16| -> Result<()> {
+            if (t as usize) < self.rows.len() {
+                Ok(())
+            } else {
+                Err(CoreError::BranchTargetOutOfRange {
+                    target: t as usize,
+                    len: self.rows.len(),
+                })
+            }
+        };
+
+        // LCU fields.
+        match row.lcu {
+            LcuInstr::Li { r, .. } | LcuInstr::LoadSrf { r, .. } | LcuInstr::Add { r, .. }
+                if r as usize >= LCU_REGISTERS =>
+            {
+                return Err(CoreError::InvalidGeometry {
+                    detail: format!("row {index}: LCU register {r} out of range"),
+                })
+            }
+            LcuInstr::LoadSrf { srf, .. } => check_srf(srf)?,
+            LcuInstr::Branch { b: LcuSrc::Srf(s), target, .. } => {
+                check_srf(s)?;
+                check_target(target)?;
+            }
+            LcuInstr::Branch { target, .. } => check_target(target)?,
+            LcuInstr::Jump(target) => check_target(target)?,
+            LcuInstr::Add { src: LcuSrc::Srf(s), .. } => check_srf(s)?,
+            _ => {}
+        }
+        // LSU fields.
+        match row.lsu {
+            LsuInstr::LoadVwr { vwr, line } | LsuInstr::StoreVwr { vwr, line } => {
+                check_vwr(vwr)?;
+                if let LsuAddr::Srf(s) = line {
+                    check_srf(s)?;
+                }
+                if let LsuAddr::Imm(a) = line {
+                    if a as usize >= geometry.spm_lines() {
+                        return Err(CoreError::SpmOutOfRange {
+                            addr: a as usize,
+                            capacity: geometry.spm_lines(),
+                            unit: "line",
+                        });
+                    }
+                }
+            }
+            LsuInstr::LoadSrf { srf, word } | LsuInstr::StoreSrf { srf, word } => {
+                check_srf(srf)?;
+                if let LsuAddr::Srf(s) = word {
+                    check_srf(s)?;
+                }
+                if let LsuAddr::Imm(a) = word {
+                    if a as usize >= geometry.spm_words() {
+                        return Err(CoreError::SpmOutOfRange {
+                            addr: a as usize,
+                            capacity: geometry.spm_words(),
+                            unit: "word",
+                        });
+                    }
+                }
+            }
+            LsuInstr::AddSrf { srf, .. } => check_srf(srf)?,
+            _ => {}
+        }
+        // MXCU fields.
+        match row.mxcu {
+            MxcuInstr::LoadIdxSrf(s) | MxcuInstr::AndIdxSrf(s) | MxcuInstr::StoreIdxSrf(s) => {
+                check_srf(s)?
+            }
+            _ => {}
+        }
+        // RC fields.
+        for rc in &row.rcs {
+            for src in [rc.src_a, rc.src_b] {
+                match src {
+                    RcSrc::Srf(s) => check_srf(s)?,
+                    RcSrc::Vwr(v) => check_vwr(v)?,
+                    RcSrc::Reg(r) if r as usize >= geometry.rc_registers => {
+                        return Err(CoreError::InvalidGeometry {
+                            detail: format!("row {index}: RC register {r} out of range"),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            match rc.dst {
+                RcDst::Srf(s) => check_srf(s)?,
+                RcDst::Vwr(v) => check_vwr(v)?,
+                RcDst::Reg(r) if r as usize >= geometry.rc_registers => {
+                    return Err(CoreError::InvalidGeometry {
+                        detail: format!("row {index}: RC register {r} out of range"),
+                    })
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A kernel: one program per column it uses, plus a name used in
+/// diagnostics and experiment reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelProgram {
+    /// Kernel name (e.g. `"fft-radix2-512"`).
+    pub name: String,
+    /// Per-column programs; index 0 runs on column 0, index 1 on column 1.
+    pub columns: Vec<ColumnProgram>,
+}
+
+impl KernelProgram {
+    /// Creates a kernel from per-column programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidColumn`] if `columns` is empty.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnProgram>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(CoreError::InvalidColumn {
+                column: 0,
+                count: 0,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            columns,
+        })
+    }
+
+    /// Total configuration words across all columns.
+    pub fn config_words(&self) -> usize {
+        self.columns.iter().map(ColumnProgram::config_words).sum()
+    }
+
+    /// Validates every column program against the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidColumn`] if the kernel uses more columns
+    /// than the geometry has, or the first per-column validation error.
+    pub fn validate(&self, geometry: &Geometry) -> Result<()> {
+        if self.columns.len() > geometry.columns {
+            return Err(CoreError::InvalidColumn {
+                column: self.columns.len(),
+                count: geometry.columns,
+            });
+        }
+        for col in &self.columns {
+            col.validate(geometry)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::VwrId;
+    use crate::isa::lcu::LcuCond;
+    use crate::isa::lsu::LsuAddr;
+    use crate::isa::rc::{RcDst, RcOpcode, RcSrc};
+
+    fn exit_row() -> Row {
+        Row::new(4).lcu(LcuInstr::Exit)
+    }
+
+    #[test]
+    fn row_builders_set_slots() {
+        let row = Row::new(4)
+            .lcu(LcuInstr::Li { r: 0, value: 3 })
+            .lsu(LsuInstr::Shuffle(crate::isa::lsu::ShuffleOp::EvenPrune))
+            .mxcu(MxcuInstr::SetIdx(1))
+            .rc(2, RcInstr::mov(RcDst::Reg(0), RcSrc::Imm(5)));
+        assert_eq!(row.active_slots(), 4);
+        assert_eq!(row.srf_accesses(), 0);
+        let all = Row::new(4).rc_all(RcInstr::mov(RcDst::Reg(0), RcSrc::Srf(1)));
+        assert_eq!(all.active_slots(), 4);
+        assert_eq!(all.srf_accesses(), 4);
+    }
+
+    #[test]
+    fn program_rejects_empty_and_mismatched_rows() {
+        assert!(ColumnProgram::new(vec![]).is_err());
+        let rows = vec![Row::new(4), Row::new(3)];
+        assert!(ColumnProgram::new(rows).is_err());
+    }
+
+    #[test]
+    fn config_word_count() {
+        let prog = ColumnProgram::new(vec![Row::new(4), exit_row()]).unwrap();
+        assert_eq!(prog.config_words(), 2 * 7);
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+        assert_eq!(prog.rcs_per_column(), 4);
+    }
+
+    #[test]
+    fn validation_catches_capacity_and_index_errors() {
+        let g = Geometry::paper();
+
+        // Too many rows.
+        let rows = vec![Row::new(4); 65];
+        let prog = ColumnProgram::new(rows).unwrap();
+        assert!(matches!(
+            prog.validate(&g),
+            Err(CoreError::ProgramTooLong { .. })
+        ));
+
+        // Branch out of range.
+        let prog = ColumnProgram::new(vec![
+            Row::new(4).lcu(LcuInstr::Branch {
+                cond: LcuCond::Lt,
+                a: 0,
+                b: crate::isa::lcu::LcuSrc::Imm(1),
+                target: 10,
+            }),
+            exit_row(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            prog.validate(&g),
+            Err(CoreError::BranchTargetOutOfRange { .. })
+        ));
+
+        // SRF index out of range.
+        let prog = ColumnProgram::new(vec![
+            Row::new(4).rc(0, RcInstr::mov(RcDst::Srf(9), RcSrc::Zero)),
+            exit_row(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            prog.validate(&g),
+            Err(CoreError::SrfIndexOutOfRange { .. })
+        ));
+
+        // VWR D does not exist with 3 VWRs.
+        let prog = ColumnProgram::new(vec![
+            Row::new(4).lsu(LsuInstr::LoadVwr {
+                vwr: VwrId::D,
+                line: LsuAddr::Imm(0),
+            }),
+            exit_row(),
+        ])
+        .unwrap();
+        assert!(prog.validate(&g).is_err());
+
+        // SPM line immediate out of range.
+        let prog = ColumnProgram::new(vec![
+            Row::new(4).lsu(LsuInstr::LoadVwr {
+                vwr: VwrId::A,
+                line: LsuAddr::Imm(64),
+            }),
+            exit_row(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            prog.validate(&g),
+            Err(CoreError::SpmOutOfRange { .. })
+        ));
+
+        // A correct small program passes.
+        let prog = ColumnProgram::new(vec![
+            Row::new(4)
+                .lsu(LsuInstr::LoadVwr {
+                    vwr: VwrId::A,
+                    line: LsuAddr::Imm(0),
+                })
+                .rc_all(RcInstr::new(
+                    RcOpcode::Add,
+                    RcDst::Vwr(VwrId::C),
+                    RcSrc::Vwr(VwrId::A),
+                    RcSrc::Vwr(VwrId::B),
+                )),
+            exit_row(),
+        ])
+        .unwrap();
+        prog.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn kernel_program_validation() {
+        let g = Geometry::paper();
+        let col = ColumnProgram::new(vec![exit_row()]).unwrap();
+        let k = KernelProgram::new("k", vec![col.clone(), col.clone()]).unwrap();
+        k.validate(&g).unwrap();
+        assert_eq!(k.config_words(), 2 * 7);
+
+        let too_many = KernelProgram::new("k", vec![col.clone(), col.clone(), col]).unwrap();
+        assert!(matches!(
+            too_many.validate(&g),
+            Err(CoreError::InvalidColumn { .. })
+        ));
+        assert!(KernelProgram::new("k", vec![]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! The shuffle unit.
+//!
+//! Because each RC only sees a quarter of a VWR, data reordering across the
+//! full register would otherwise have to go through the RC connection
+//! matrix, which is slow and energy-hungry.  The shuffle unit (Sec. 3.3.1)
+//! instead applies one of a small set of hard-wired permutations to the
+//! concatenation of VWR A and VWR B and writes the selected half of the
+//! result to VWR C in a single cycle.
+
+use crate::isa::lsu::ShuffleOp;
+
+/// Applies `op` to the concatenation of `a` and `b`, returning the VWR-C
+/// contents (same width as `a`).
+///
+/// `slice_words` is the per-RC slice width (32 in the paper's geometry); it
+/// parameterises the circular-shift distance, which the paper specifies as
+/// "32 words".
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths or `a` is empty — both are
+/// structural impossibilities for VWRs created from a validated
+/// [`crate::geometry::Geometry`].
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::shuffle::apply;
+/// use vwr2a_core::isa::lsu::ShuffleOp;
+///
+/// let a: Vec<i32> = (0..8).collect();        // 0 1 2 3 4 5 6 7
+/// let b: Vec<i32> = (8..16).collect();       // 8 9 10 11 12 13 14 15
+/// // Interleaving takes words alternately from A and B.
+/// let lower = apply(ShuffleOp::InterleaveLower, &a, &b, 2);
+/// assert_eq!(lower, vec![0, 8, 1, 9, 2, 10, 3, 11]);
+/// ```
+pub fn apply(op: ShuffleOp, a: &[i32], b: &[i32], slice_words: usize) -> Vec<i32> {
+    assert_eq!(a.len(), b.len(), "shuffle inputs must have equal width");
+    assert!(!a.is_empty(), "shuffle inputs must be non-empty");
+    let w = a.len();
+    let concat = |i: usize| -> i32 {
+        if i < w {
+            a[i]
+        } else {
+            b[i - w]
+        }
+    };
+    let full: Vec<i32> = match op {
+        ShuffleOp::InterleaveLower | ShuffleOp::InterleaveUpper => (0..2 * w)
+            .map(|i| if i % 2 == 0 { a[i / 2] } else { b[i / 2] })
+            .collect(),
+        ShuffleOp::EvenPrune => {
+            let mut out: Vec<i32> = a.iter().step_by(2).copied().collect();
+            out.extend(b.iter().step_by(2).copied());
+            return out;
+        }
+        ShuffleOp::OddPrune => {
+            let mut out: Vec<i32> = a.iter().skip(1).step_by(2).copied().collect();
+            out.extend(b.iter().skip(1).step_by(2).copied());
+            return out;
+        }
+        ShuffleOp::BitRevLower | ShuffleOp::BitRevUpper => {
+            let bits = (2 * w).trailing_zeros();
+            (0..2 * w)
+                .map(|i| {
+                    let mut r = 0usize;
+                    for bit in 0..bits {
+                        if i & (1 << bit) != 0 {
+                            r |= 1 << (bits - 1 - bit);
+                        }
+                    }
+                    concat(r)
+                })
+                .collect()
+        }
+        ShuffleOp::CircShiftLower | ShuffleOp::CircShiftUpper => {
+            // The upper `slice_words` words move to the lowest positions and
+            // everything else shifts up.
+            (0..2 * w)
+                .map(|i| concat((i + 2 * w - slice_words) % (2 * w)))
+                .collect()
+        }
+    };
+    match op {
+        ShuffleOp::InterleaveLower | ShuffleOp::BitRevLower | ShuffleOp::CircShiftLower => {
+            full[..w].to_vec()
+        }
+        ShuffleOp::InterleaveUpper | ShuffleOp::BitRevUpper | ShuffleOp::CircShiftUpper => {
+            full[w..].to_vec()
+        }
+        ShuffleOp::EvenPrune | ShuffleOp::OddPrune => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a8() -> Vec<i32> {
+        (0..8).collect()
+    }
+    fn b8() -> Vec<i32> {
+        (8..16).collect()
+    }
+
+    #[test]
+    fn interleave_upper_and_lower_partition_the_result() {
+        let lower = apply(ShuffleOp::InterleaveLower, &a8(), &b8(), 2);
+        let upper = apply(ShuffleOp::InterleaveUpper, &a8(), &b8(), 2);
+        assert_eq!(lower, vec![0, 8, 1, 9, 2, 10, 3, 11]);
+        assert_eq!(upper, vec![4, 12, 5, 13, 6, 14, 7, 15]);
+    }
+
+    #[test]
+    fn prune_keeps_even_or_odd_indices() {
+        assert_eq!(
+            apply(ShuffleOp::EvenPrune, &a8(), &b8(), 2),
+            vec![0, 2, 4, 6, 8, 10, 12, 14]
+        );
+        assert_eq!(
+            apply(ShuffleOp::OddPrune, &a8(), &b8(), 2),
+            vec![1, 3, 5, 7, 9, 11, 13, 15]
+        );
+    }
+
+    #[test]
+    fn interleave_then_prune_is_identity() {
+        // Pruning the even indices of an interleaved pair recovers A.
+        let lower = apply(ShuffleOp::InterleaveLower, &a8(), &b8(), 2);
+        let upper = apply(ShuffleOp::InterleaveUpper, &a8(), &b8(), 2);
+        let evens = apply(ShuffleOp::EvenPrune, &lower, &upper, 2);
+        let odds = apply(ShuffleOp::OddPrune, &lower, &upper, 2);
+        assert_eq!(evens, a8());
+        assert_eq!(odds, b8());
+    }
+
+    #[test]
+    fn bit_reversal_is_self_inverse() {
+        let lower = apply(ShuffleOp::BitRevLower, &a8(), &b8(), 2);
+        let upper = apply(ShuffleOp::BitRevUpper, &a8(), &b8(), 2);
+        let again_lower = apply(ShuffleOp::BitRevLower, &lower, &upper, 2);
+        let again_upper = apply(ShuffleOp::BitRevUpper, &lower, &upper, 2);
+        assert_eq!(again_lower, a8());
+        assert_eq!(again_upper, b8());
+    }
+
+    #[test]
+    fn circular_shift_moves_upper_slice_to_front() {
+        // slice_words = 2: the last 2 words of B become the first 2 outputs.
+        let lower = apply(ShuffleOp::CircShiftLower, &a8(), &b8(), 2);
+        assert_eq!(lower, vec![14, 15, 0, 1, 2, 3, 4, 5]);
+        let upper = apply(ShuffleOp::CircShiftUpper, &a8(), &b8(), 2);
+        assert_eq!(upper, vec![6, 7, 8, 9, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn paper_width_interleave_matches_fft_stage_reordering() {
+        // With 128-word VWRs, interleaving A and B produces the data layout
+        // for the next radix-2 stage (Sec. 3.4).
+        let a: Vec<i32> = (0..128).collect();
+        let b: Vec<i32> = (128..256).collect();
+        let lower = apply(ShuffleOp::InterleaveLower, &a, &b, 32);
+        assert_eq!(lower[0], 0);
+        assert_eq!(lower[1], 128);
+        assert_eq!(lower[2], 1);
+        assert_eq!(lower[127], 128 + 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_inputs_panic() {
+        let _ = apply(ShuffleOp::EvenPrune, &[1, 2], &[1, 2, 3], 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared scratchpad memory (SPM).
+//!
+//! VWR2A contains a 32 KiB SPM shared by both columns (Sec. 3.2).  It has a
+//! double interface: on the system side it is accessed through the DMA with
+//! the system-bus width (32-bit words); on the accelerator side it matches
+//! the VWR width, so an entire 4096-bit line moves between the SPM and a VWR
+//! in a single cycle.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The shared scratchpad memory.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::spm::Spm;
+///
+/// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
+/// // Paper geometry: 8192 words organised as 64 lines of 128 words.
+/// let mut spm = Spm::new(8192, 128);
+/// spm.write_word(130, 7)?;
+/// // Word 130 lives in line 1, offset 2.
+/// assert_eq!(spm.read_line(1)?[2], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Spm {
+    words: Vec<i32>,
+    line_words: usize,
+}
+
+impl Spm {
+    /// Creates an SPM of `total_words` 32-bit words with `line_words` words
+    /// per accelerator-side line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` is zero or does not divide `total_words`; the
+    /// geometry validation in [`crate::geometry::Geometry::validate`]
+    /// guarantees this for simulator-constructed instances.
+    pub fn new(total_words: usize, line_words: usize) -> Self {
+        assert!(line_words > 0, "line width must be non-zero");
+        assert!(
+            total_words % line_words == 0,
+            "spm size must be a whole number of lines"
+        );
+        Self {
+            words: vec![0; total_words],
+            line_words,
+        }
+    }
+
+    /// Capacity in 32-bit words.
+    pub fn words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words per accelerator-side line.
+    pub fn line_words(&self) -> usize {
+        self.line_words
+    }
+
+    /// Number of accelerator-side lines.
+    pub fn lines(&self) -> usize {
+        self.words.len() / self.line_words
+    }
+
+    /// Reads one word (system-side / scalar access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SpmOutOfRange`] if `word_addr` is out of range.
+    pub fn read_word(&self, word_addr: usize) -> Result<i32> {
+        self.words
+            .get(word_addr)
+            .copied()
+            .ok_or(CoreError::SpmOutOfRange {
+                addr: word_addr,
+                capacity: self.words.len(),
+                unit: "word",
+            })
+    }
+
+    /// Writes one word (system-side / scalar access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SpmOutOfRange`] if `word_addr` is out of range.
+    pub fn write_word(&mut self, word_addr: usize, value: i32) -> Result<()> {
+        let capacity = self.words.len();
+        match self.words.get_mut(word_addr) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(CoreError::SpmOutOfRange {
+                addr: word_addr,
+                capacity,
+                unit: "word",
+            }),
+        }
+    }
+
+    /// Reads a full accelerator-side line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SpmOutOfRange`] if `line_addr` is out of range.
+    pub fn read_line(&self, line_addr: usize) -> Result<&[i32]> {
+        if line_addr >= self.lines() {
+            return Err(CoreError::SpmOutOfRange {
+                addr: line_addr,
+                capacity: self.lines(),
+                unit: "line",
+            });
+        }
+        let start = line_addr * self.line_words;
+        Ok(&self.words[start..start + self.line_words])
+    }
+
+    /// Writes a full accelerator-side line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SpmOutOfRange`] if `line_addr` is out of range or
+    /// `line` is not exactly one line wide.
+    pub fn write_line(&mut self, line_addr: usize, line: &[i32]) -> Result<()> {
+        if line_addr >= self.lines() {
+            return Err(CoreError::SpmOutOfRange {
+                addr: line_addr,
+                capacity: self.lines(),
+                unit: "line",
+            });
+        }
+        if line.len() != self.line_words {
+            return Err(CoreError::SpmOutOfRange {
+                addr: line.len(),
+                capacity: self.line_words,
+                unit: "word",
+            });
+        }
+        let start = line_addr * self.line_words;
+        self.words[start..start + self.line_words].copy_from_slice(line);
+        Ok(())
+    }
+
+    /// Copies a word slice into the SPM starting at `word_addr`
+    /// (host-convenience used to seed kernels and by the DMA model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SpmOutOfRange`] if the transfer would run past
+    /// the end of the memory.
+    pub fn write_words(&mut self, word_addr: usize, data: &[i32]) -> Result<()> {
+        let end = word_addr
+            .checked_add(data.len())
+            .filter(|&e| e <= self.words.len())
+            .ok_or(CoreError::SpmOutOfRange {
+                addr: word_addr + data.len(),
+                capacity: self.words.len(),
+                unit: "word",
+            })?;
+        self.words[word_addr..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` words starting at `word_addr` into a new vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SpmOutOfRange`] if the range is out of bounds.
+    pub fn read_words(&self, word_addr: usize, len: usize) -> Result<Vec<i32>> {
+        let end = word_addr
+            .checked_add(len)
+            .filter(|&e| e <= self.words.len())
+            .ok_or(CoreError::SpmOutOfRange {
+                addr: word_addr + len,
+                capacity: self.words.len(),
+                unit: "word",
+            })?;
+        Ok(self.words[word_addr..end].to_vec())
+    }
+
+    /// Clears the whole memory to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_and_line_views_are_consistent() {
+        let mut spm = Spm::new(256, 64);
+        assert_eq!(spm.lines(), 4);
+        for i in 0..256 {
+            spm.write_word(i, i as i32).unwrap();
+        }
+        let line2 = spm.read_line(2).unwrap();
+        assert_eq!(line2[0], 128);
+        assert_eq!(line2[63], 191);
+    }
+
+    #[test]
+    fn line_write_round_trip() {
+        let mut spm = Spm::new(256, 64);
+        let line: Vec<i32> = (0..64).map(|i| -i).collect();
+        spm.write_line(3, &line).unwrap();
+        assert_eq!(spm.read_line(3).unwrap(), line.as_slice());
+        assert_eq!(spm.read_word(3 * 64 + 5).unwrap(), -5);
+    }
+
+    #[test]
+    fn out_of_range_accesses_rejected() {
+        let mut spm = Spm::new(128, 64);
+        assert!(spm.read_word(128).is_err());
+        assert!(spm.write_word(usize::MAX, 0).is_err());
+        assert!(spm.read_line(2).is_err());
+        assert!(spm.write_line(0, &[0; 32]).is_err());
+        assert!(spm.write_words(100, &[0; 64]).is_err());
+        assert!(spm.read_words(64, 65).is_err());
+    }
+
+    #[test]
+    fn bulk_word_copy() {
+        let mut spm = Spm::new(128, 64);
+        let data: Vec<i32> = (0..50).collect();
+        spm.write_words(10, &data).unwrap();
+        assert_eq!(spm.read_words(10, 50).unwrap(), data);
+        spm.clear();
+        assert_eq!(spm.read_word(10).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of lines")]
+    fn construction_validates_line_divisibility() {
+        let _ = Spm::new(100, 64);
+    }
+}

@@ -1,0 +1,126 @@
+//! Scalar register file (SRF).
+//!
+//! The SRF holds 8 × 32-bit kernel-dependent scalars — SPM addresses,
+//! masking values for VWR index computation, loop parameters (Sec. 3.2).
+//! It is single-ported: only one of the RCs, LSU, MXCU and LCU may access it
+//! in a given cycle; the execution engine enforces this and reports a
+//! structural hazard otherwise.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The per-column scalar register file.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::srf::Srf;
+///
+/// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
+/// let mut srf = Srf::new(8);
+/// srf.write(3, 1024)?;
+/// assert_eq!(srf.read(3)?, 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Srf {
+    regs: Vec<i32>,
+}
+
+impl Srf {
+    /// Creates an SRF with `entries` registers, initialised to zero.
+    pub fn new(entries: usize) -> Self {
+        Self {
+            regs: vec![0; entries],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// `true` if the register file has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Reads a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SrfIndexOutOfRange`] if `index` is out of range.
+    pub fn read(&self, index: usize) -> Result<i32> {
+        self.regs
+            .get(index)
+            .copied()
+            .ok_or(CoreError::SrfIndexOutOfRange {
+                index,
+                capacity: self.regs.len(),
+            })
+    }
+
+    /// Writes a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SrfIndexOutOfRange`] if `index` is out of range.
+    pub fn write(&mut self, index: usize, value: i32) -> Result<()> {
+        let capacity = self.regs.len();
+        match self.regs.get_mut(index) {
+            Some(r) => {
+                *r = value;
+                Ok(())
+            }
+            None => Err(CoreError::SrfIndexOutOfRange { index, capacity }),
+        }
+    }
+
+    /// All register values.
+    pub fn regs(&self) -> &[i32] {
+        &self.regs
+    }
+
+    /// Clears every register to zero.
+    pub fn clear(&mut self) {
+        self.regs.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut srf = Srf::new(8);
+        srf.write(0, -5).unwrap();
+        srf.write(7, 99).unwrap();
+        assert_eq!(srf.read(0).unwrap(), -5);
+        assert_eq!(srf.read(7).unwrap(), 99);
+        assert_eq!(srf.read(3).unwrap(), 0);
+        assert_eq!(srf.len(), 8);
+        assert!(!srf.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut srf = Srf::new(8);
+        assert!(matches!(
+            srf.read(8),
+            Err(CoreError::SrfIndexOutOfRange { index: 8, capacity: 8 })
+        ));
+        assert!(srf.write(100, 0).is_err());
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut srf = Srf::new(4);
+        for i in 0..4 {
+            srf.write(i, i as i32 + 1).unwrap();
+        }
+        srf.clear();
+        assert_eq!(srf.regs(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Run statistics returned by kernel executions.
+
+use crate::trace::ActivityCounters;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one kernel run on the array.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::stats::RunStats;
+/// use vwr2a_core::trace::ActivityCounters;
+///
+/// let stats = RunStats {
+///     kernel_name: "fir-11tap".into(),
+///     cycles: 1849,
+///     columns_used: 2,
+///     counters: ActivityCounters::default(),
+/// };
+/// assert!(stats.to_string().contains("fir-11tap"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Name of the kernel that ran.
+    pub kernel_name: String,
+    /// Total cycles from kernel launch (including configuration loading) to
+    /// the last column's `EXIT`.
+    pub cycles: u64,
+    /// Number of columns the kernel used.
+    pub columns_used: usize,
+    /// Activity accumulated during this run only.
+    pub counters: ActivityCounters,
+}
+
+impl RunStats {
+    /// Execution time in microseconds at a given clock frequency.
+    ///
+    /// The paper's SoC runs at 80 MHz; `stats.time_us(80.0e6)` converts a
+    /// cycle count to the same units used in Sec. 5.1.1.
+    pub fn time_us(&self, frequency_hz: f64) -> f64 {
+        self.cycles as f64 / frequency_hz * 1e6
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles on {} column(s), {} RC ops, {} SPM line accesses",
+            self.kernel_name,
+            self.cycles,
+            self.columns_used,
+            self.counters.rc_alu_ops,
+            self.counters.spm_line_reads + self.counters.spm_line_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversion_at_80mhz() {
+        let stats = RunStats {
+            kernel_name: "k".into(),
+            cycles: 8_000,
+            columns_used: 1,
+            counters: ActivityCounters::default(),
+        };
+        assert!((stats.time_us(80.0e6) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_cycles() {
+        let stats = RunStats {
+            kernel_name: "fft".into(),
+            cycles: 7125,
+            columns_used: 2,
+            counters: ActivityCounters::default(),
+        };
+        let s = stats.to_string();
+        assert!(s.contains("7125"));
+        assert!(s.contains("fft"));
+    }
+}

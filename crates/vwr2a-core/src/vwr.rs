@@ -1,0 +1,150 @@
+//! Very-wide registers (VWRs).
+//!
+//! A VWR is a single-ported 4096-bit register (128 × 32-bit words in the
+//! paper's geometry) acting as a buffer between the SPM and the RCs
+//! (Sec. 3.2).  On the SPM side it is filled or drained a whole line at a
+//! time; on the datapath side each RC reads or writes one word of its
+//! quarter-slice per cycle through the multiplexer network.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One very-wide register.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::vwr::Vwr;
+///
+/// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
+/// let mut vwr = Vwr::new(128);
+/// vwr.write_word(5, 42)?;
+/// assert_eq!(vwr.read_word(5)?, 42);
+/// assert_eq!(vwr.words().len(), 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vwr {
+    words: Vec<i32>,
+}
+
+impl Vwr {
+    /// Creates a VWR of `words` 32-bit words, initialised to zero.
+    pub fn new(words: usize) -> Self {
+        Self {
+            words: vec![0; words],
+        }
+    }
+
+    /// Number of 32-bit words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the register has zero words (never the case for a real
+    /// geometry, but required for a well-behaved collection-like API).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VwrIndexOutOfRange`] if `index` is out of range.
+    pub fn read_word(&self, index: usize) -> Result<i32> {
+        self.words
+            .get(index)
+            .copied()
+            .ok_or(CoreError::VwrIndexOutOfRange {
+                index,
+                capacity: self.words.len(),
+            })
+    }
+
+    /// Writes one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VwrIndexOutOfRange`] if `index` is out of range.
+    pub fn write_word(&mut self, index: usize, value: i32) -> Result<()> {
+        let capacity = self.words.len();
+        match self.words.get_mut(index) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(CoreError::VwrIndexOutOfRange { index, capacity }),
+        }
+    }
+
+    /// The full contents (one SPM line's worth of words).
+    pub fn words(&self) -> &[i32] {
+        &self.words
+    }
+
+    /// Overwrites the whole register from a line buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VwrIndexOutOfRange`] if `line.len()` does not
+    /// match the register width.
+    pub fn load_line(&mut self, line: &[i32]) -> Result<()> {
+        if line.len() != self.words.len() {
+            return Err(CoreError::VwrIndexOutOfRange {
+                index: line.len(),
+                capacity: self.words.len(),
+            });
+        }
+        self.words.copy_from_slice(line);
+        Ok(())
+    }
+
+    /// Clears the register to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut v = Vwr::new(8);
+        for i in 0..8 {
+            v.write_word(i, i as i32 * 10).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(v.read_word(i).unwrap(), i as i32 * 10);
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut v = Vwr::new(4);
+        assert!(matches!(
+            v.read_word(4),
+            Err(CoreError::VwrIndexOutOfRange { index: 4, capacity: 4 })
+        ));
+        assert!(v.write_word(100, 1).is_err());
+    }
+
+    #[test]
+    fn load_line_requires_exact_width() {
+        let mut v = Vwr::new(4);
+        assert!(v.load_line(&[1, 2, 3]).is_err());
+        v.load_line(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(v.words(), &[1, 2, 3, 4]);
+        v.clear();
+        assert_eq!(v.words(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn is_empty_only_for_zero_width() {
+        assert!(Vwr::new(0).is_empty());
+        assert!(!Vwr::new(1).is_empty());
+    }
+}

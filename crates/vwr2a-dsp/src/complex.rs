@@ -1,0 +1,217 @@
+//! Minimal complex-number types used by the reference FFTs.
+//!
+//! Two flavours are provided: [`Complex`] (double precision, the golden
+//! model) and [`ComplexI32`] (a pair of 32-bit integers interpreted in a
+//! caller-chosen Q format, used when checking the fixed-point kernels).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A double-precision complex number.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_dsp::complex::Complex;
+///
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// let p = a * b;
+/// assert_eq!(p, Complex::new(5.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex conjugate.
+    ///
+    /// ```
+    /// use vwr2a_dsp::complex::Complex;
+    /// assert_eq!(Complex::new(1.0, 2.0).conj(), Complex::new(1.0, -2.0));
+    /// ```
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// The squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `sqrt(re² + im²)`.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// `e^{iθ}` — a unit complex number at angle `theta` radians.
+    ///
+    /// ```
+    /// use vwr2a_dsp::complex::Complex;
+    /// let w = Complex::from_angle(std::f64::consts::PI);
+    /// assert!((w.re + 1.0).abs() < 1e-12);
+    /// assert!(w.im.abs() < 1e-12);
+    /// ```
+    pub fn from_angle(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// A complex number whose parts are 32-bit integers in a caller-chosen
+/// fixed-point format.
+///
+/// The VWR2A FFT kernels keep real and imaginary parts in separate VWR
+/// words; this type is the host-side mirror used to seed scratchpad memory
+/// and to check results.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_dsp::complex::ComplexI32;
+///
+/// let x = ComplexI32::new(100, -5);
+/// assert_eq!(x.re, 100);
+/// assert_eq!(x.im, -5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ComplexI32 {
+    /// Real part (raw fixed-point bits).
+    pub re: i32,
+    /// Imaginary part (raw fixed-point bits).
+    pub im: i32,
+}
+
+impl ComplexI32 {
+    /// Creates a fixed-point complex number from raw parts.
+    pub fn new(re: i32, im: i32) -> Self {
+        Self { re, im }
+    }
+
+    /// Converts to a floating-point [`Complex`] given the number of
+    /// fractional bits.
+    ///
+    /// ```
+    /// use vwr2a_dsp::complex::ComplexI32;
+    /// let x = ComplexI32::new(1 << 16, -(1 << 15));
+    /// let f = x.to_f64(16);
+    /// assert_eq!(f.re, 1.0);
+    /// assert_eq!(f.im, -0.5);
+    /// ```
+    pub fn to_f64(self, frac_bits: u32) -> Complex {
+        let k = (1u64 << frac_bits) as f64;
+        Complex::new(self.re as f64 / k, self.im as f64 / k)
+    }
+
+    /// Builds from a floating-point complex by rounding to `frac_bits`
+    /// fractional bits (saturating at the i32 range).
+    pub fn from_f64(c: Complex, frac_bits: u32) -> Self {
+        let k = (1u64 << frac_bits) as f64;
+        let clamp = |v: f64| -> i32 {
+            let v = (v * k).round();
+            if v > i32::MAX as f64 {
+                i32::MAX
+            } else if v < i32::MIN as f64 {
+                i32::MIN
+            } else {
+                v as i32
+            }
+        };
+        Self::new(clamp(c.re), clamp(c.im))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(2.0, -3.0);
+        let zero = Complex::default();
+        let one = Complex::new(1.0, 0.0);
+        assert_eq!(a + zero, a);
+        assert_eq!(a * one, a);
+        assert_eq!(a - a, zero);
+        assert_eq!(-a + a, zero);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let a = Complex::new(3.0, 4.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+        assert!((a.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angle_is_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::TAU / 16.0;
+            let w = Complex::from_angle(theta);
+            assert!((w.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_round_trip() {
+        let c = Complex::new(0.125, -0.75);
+        let fx = ComplexI32::from_f64(c, 16);
+        let back = fx.to_f64(16);
+        assert!((back.re - c.re).abs() < 1e-4);
+        assert!((back.im - c.im).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fixed_saturates_out_of_range() {
+        let c = Complex::new(1e9, -1e9);
+        let fx = ComplexI32::from_f64(c, 16);
+        assert_eq!(fx.re, i32::MAX);
+        assert_eq!(fx.im, i32::MIN);
+    }
+}

@@ -1,0 +1,238 @@
+//! `q15` fixed-point radix-2 FFT modelling the CMSIS-DSP CPU baseline.
+//!
+//! The paper's CPU numbers use the CMSIS-DSP library with 16-bit data in
+//! `q15` format (Sec. 5.1.1).  CMSIS avoids overflow by scaling each
+//! butterfly stage by 1/2, so an `N`-point transform is scaled by `1/N`
+//! overall.  This module reproduces that behaviour bit-approximately: it is
+//! used both to validate the CPU-ISS kernel programs and to provide operation
+//! counts for the analytical checks in the experiment harness.
+
+use crate::error::DspError;
+use crate::fft::{bit_reverse_permute, is_power_of_two};
+use crate::fixed::Q15;
+
+/// A complex `q15` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComplexQ15 {
+    /// Real part.
+    pub re: Q15,
+    /// Imaginary part.
+    pub im: Q15,
+}
+
+impl ComplexQ15 {
+    /// Creates a complex `q15` value.
+    pub fn new(re: Q15, im: Q15) -> Self {
+        Self { re, im }
+    }
+
+    /// Builds from floats, saturating each part.
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Self::new(Q15::from_f64(re), Q15::from_f64(im))
+    }
+
+    /// Converts to a float pair.
+    pub fn to_f64(self) -> (f64, f64) {
+        (self.re.to_f64(), self.im.to_f64())
+    }
+}
+
+/// Generates the `q15` twiddle table for an `N`-point forward FFT
+/// (`e^{-2πik/N}` for `k` in `0..N/2`).
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthNotPowerOfTwo`] if `n` is not a power of two.
+pub fn twiddle_table(n: usize) -> Result<Vec<ComplexQ15>, DspError> {
+    if !is_power_of_two(n) {
+        return Err(DspError::LengthNotPowerOfTwo { len: n });
+    }
+    Ok((0..n / 2)
+        .map(|k| {
+            let theta = -std::f64::consts::TAU * k as f64 / n as f64;
+            ComplexQ15::from_f64(theta.cos(), theta.sin())
+        })
+        .collect())
+}
+
+/// In-place forward `q15` FFT with per-stage 1/2 scaling (CMSIS-style).
+///
+/// After the transform the data is scaled by `1/N` relative to the
+/// mathematical DFT, exactly like `arm_cfft_q15`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] or [`DspError::LengthNotPowerOfTwo`].
+pub fn cfft_q15(data: &mut [ComplexQ15]) -> Result<(), DspError> {
+    let n = data.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    if !is_power_of_two(n) {
+        return Err(DspError::LengthNotPowerOfTwo { len: n });
+    }
+    let tw = twiddle_table(n)?;
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let step = n / len;
+        let mut i = 0;
+        while i < n {
+            for j in 0..len / 2 {
+                let w = tw[j * step];
+                let u = data[i + j];
+                let v = data[i + j + len / 2];
+                // v * w in q15 with 1/2 scaling of both halves of the butterfly.
+                let vr = ((v.re.0 as i32 * w.re.0 as i32 - v.im.0 as i32 * w.im.0 as i32) >> 15)
+                    .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                let vi = ((v.re.0 as i32 * w.im.0 as i32 + v.im.0 as i32 * w.re.0 as i32) >> 15)
+                    .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                let sum_re = ((u.re.0 as i32 + vr as i32) >> 1) as i16;
+                let sum_im = ((u.im.0 as i32 + vi as i32) >> 1) as i16;
+                let diff_re = ((u.re.0 as i32 - vr as i32) >> 1) as i16;
+                let diff_im = ((u.im.0 as i32 - vi as i32) >> 1) as i16;
+                data[i + j] = ComplexQ15::new(Q15(sum_re), Q15(sum_im));
+                data[i + j + len / 2] = ComplexQ15::new(Q15(diff_re), Q15(diff_im));
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward `q15` FFT of a real signal using the packing trick, mirroring the
+/// optimised real-valued flow of Sec. 3.4.
+///
+/// Returns `N/2 + 1` spectrum bins scaled by `1/N`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`], [`DspError::LengthNotPowerOfTwo`] or
+/// [`DspError::InvalidParameter`] for lengths below 4.
+pub fn rfft_q15(input: &[Q15]) -> Result<Vec<ComplexQ15>, DspError> {
+    let n = input.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    if !is_power_of_two(n) {
+        return Err(DspError::LengthNotPowerOfTwo { len: n });
+    }
+    if n < 4 {
+        return Err(DspError::InvalidParameter {
+            what: "real q15 FFT length must be at least 4".into(),
+        });
+    }
+    let half = n / 2;
+    let mut packed: Vec<ComplexQ15> = (0..half)
+        .map(|i| ComplexQ15::new(input[2 * i], input[2 * i + 1]))
+        .collect();
+    cfft_q15(&mut packed)?;
+    // Split even/odd spectra and recombine.  Done in f64 for clarity: the
+    // split step contributes a negligible share of the arithmetic and the
+    // CPU cycle model accounts for it separately.
+    let mut out = Vec::with_capacity(half + 1);
+    for k in 0..=half {
+        let zk = if k == half { packed[0] } else { packed[k] };
+        let znk = packed[(half - k) % half];
+        let (zkr, zki) = zk.to_f64();
+        let (znkr, znki) = znk.to_f64();
+        let er = (zkr + znkr) * 0.5;
+        let ei = (zki - znki) * 0.5;
+        let or_ = (zki + znki) * 0.5;
+        let oi = (znkr - zkr) * 0.5;
+        let theta = -std::f64::consts::TAU * k as f64 / n as f64;
+        let (c, s) = (theta.cos(), theta.sin());
+        let re = er + c * or_ - s * oi;
+        let im = ei + c * oi + s * or_;
+        // The packed FFT already scaled by 1/(N/2); one more halving makes
+        // the overall scale 1/N like the complex path.
+        out.push(ComplexQ15::from_f64(re * 0.5, im * 0.5));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::fft::fft;
+
+    #[test]
+    fn impulse_is_flat() {
+        let n = 64;
+        let mut x = vec![ComplexQ15::default(); n];
+        x[0] = ComplexQ15::from_f64(0.5, 0.0);
+        cfft_q15(&mut x).unwrap();
+        // Expected value in every bin: 0.5 / 64.
+        for bin in &x {
+            assert!((bin.re.to_f64() - 0.5 / n as f64).abs() < 2e-3);
+            assert!(bin.im.to_f64().abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn matches_float_reference_within_quantisation() {
+        let n = 256;
+        let xs: Vec<f64> = (0..n).map(|i| 0.4 * (i as f64 * 0.17).sin()).collect();
+        let mut q: Vec<ComplexQ15> = xs.iter().map(|&v| ComplexQ15::from_f64(v, 0.0)).collect();
+        cfft_q15(&mut q).unwrap();
+        let reference = fft(&xs.iter().map(|&v| Complex::new(v, 0.0)).collect::<Vec<_>>()).unwrap();
+        for (qq, rr) in q.iter().zip(reference.iter()) {
+            let (qr, qi) = qq.to_f64();
+            // CMSIS scaling: reference / N.
+            assert!((qr - rr.re / n as f64).abs() < 5e-3);
+            assert!((qi - rr.im / n as f64).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn rfft_matches_float_reference() {
+        let n = 512;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| 0.3 * (std::f64::consts::TAU * 5.0 * i as f64 / n as f64).cos())
+            .collect();
+        let q: Vec<Q15> = xs.iter().map(|&v| Q15::from_f64(v)).collect();
+        let spec = rfft_q15(&q).unwrap();
+        let reference = crate::fft::rfft(&xs).unwrap();
+        assert_eq!(spec.len(), reference.len());
+        for (s, r) in spec.iter().zip(reference.iter()) {
+            let (sr, si) = s.to_f64();
+            assert!((sr - r.re / n as f64).abs() < 5e-3);
+            assert!((si - r.im / n as f64).abs() < 5e-3);
+        }
+        // The 5-cycles-per-frame cosine should dominate bin 5.
+        let mags: Vec<f64> = spec
+            .iter()
+            .map(|c| {
+                let (re, im) = c.to_f64();
+                (re * re + im * im).sqrt()
+            })
+            .collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(peak, 5);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(cfft_q15(&mut []).is_err());
+        assert!(cfft_q15(&mut vec![ComplexQ15::default(); 12]).is_err());
+        assert!(rfft_q15(&[Q15::ZERO; 2]).is_err());
+    }
+
+    #[test]
+    fn twiddle_table_has_unit_magnitude_entries() {
+        let tw = twiddle_table(64).unwrap();
+        assert_eq!(tw.len(), 32);
+        for w in tw {
+            let (re, im) = w.to_f64();
+            let mag = (re * re + im * im).sqrt();
+            assert!((mag - 1.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Linear support-vector-machine inference for the MBioTracker prediction
+//! step.
+//!
+//! MBioTracker estimates cognitive workload with an SVM over the extracted
+//! features (Sec. 4.4.2).  The paper only runs *inference* on the embedded
+//! platform, so this module implements a linear (and optional RBF) decision
+//! function plus a tiny training-free constructor from precomputed weights —
+//! exactly what would be deployed after offline training.
+
+use crate::error::DspError;
+use serde::{Deserialize, Serialize};
+
+/// A binary linear SVM classifier `sign(w·x + b)`.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_dsp::svm::LinearSvm;
+///
+/// # fn main() -> Result<(), vwr2a_dsp::DspError> {
+/// // A classifier that fires when the first feature exceeds the second.
+/// let svm = LinearSvm::new(vec![1.0, -1.0], 0.0)?;
+/// assert_eq!(svm.predict(&[2.0, 1.0])?, 1);
+/// assert_eq!(svm.predict(&[0.5, 1.0])?, -1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Creates a classifier from trained weights and bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `weights` is empty.
+    pub fn new(weights: Vec<f64>, bias: f64) -> Result<Self, DspError> {
+        if weights.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Number of features the classifier expects.
+    pub fn dimension(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The raw decision value `w·x + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `features.len()` differs from
+    /// [`Self::dimension`].
+    pub fn decision(&self, features: &[f64]) -> Result<f64, DspError> {
+        if features.len() != self.weights.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.weights.len(),
+                actual: features.len(),
+            });
+        }
+        Ok(self
+            .weights
+            .iter()
+            .zip(features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.bias)
+    }
+
+    /// Predicts the class label: `+1` if the decision value is non-negative,
+    /// `-1` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decision`].
+    pub fn predict(&self, features: &[f64]) -> Result<i32, DspError> {
+        Ok(if self.decision(features)? >= 0.0 { 1 } else { -1 })
+    }
+}
+
+/// A support-vector machine with a radial-basis-function kernel, kept as the
+/// "future work" variant of the prediction step.
+///
+/// Decision function: `Σ_i α_i·y_i·exp(-γ‖x - sv_i‖²) + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RbfSvm {
+    support_vectors: Vec<Vec<f64>>,
+    coefficients: Vec<f64>,
+    gamma: f64,
+    bias: f64,
+}
+
+impl RbfSvm {
+    /// Creates an RBF SVM from its support vectors, dual coefficients
+    /// (`α_i·y_i`), kernel width `gamma` and bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if there are no support vectors,
+    /// [`DspError::LengthMismatch`] if `coefficients` does not match the
+    /// support-vector count, or [`DspError::InvalidParameter`] if `gamma` is
+    /// not positive or the support vectors have inconsistent dimensions.
+    pub fn new(
+        support_vectors: Vec<Vec<f64>>,
+        coefficients: Vec<f64>,
+        gamma: f64,
+        bias: f64,
+    ) -> Result<Self, DspError> {
+        if support_vectors.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if support_vectors.len() != coefficients.len() {
+            return Err(DspError::LengthMismatch {
+                expected: support_vectors.len(),
+                actual: coefficients.len(),
+            });
+        }
+        if gamma <= 0.0 {
+            return Err(DspError::InvalidParameter {
+                what: format!("gamma must be positive, got {gamma}"),
+            });
+        }
+        let dim = support_vectors[0].len();
+        if support_vectors.iter().any(|sv| sv.len() != dim) {
+            return Err(DspError::InvalidParameter {
+                what: "support vectors must all have the same dimension".into(),
+            });
+        }
+        Ok(Self {
+            support_vectors,
+            coefficients,
+            gamma,
+            bias,
+        })
+    }
+
+    /// Number of features the classifier expects.
+    pub fn dimension(&self) -> usize {
+        self.support_vectors[0].len()
+    }
+
+    /// The raw decision value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] on a feature-dimension mismatch.
+    pub fn decision(&self, features: &[f64]) -> Result<f64, DspError> {
+        if features.len() != self.dimension() {
+            return Err(DspError::LengthMismatch {
+                expected: self.dimension(),
+                actual: features.len(),
+            });
+        }
+        let mut acc = self.bias;
+        for (sv, &c) in self.support_vectors.iter().zip(&self.coefficients) {
+            let dist_sq: f64 = sv
+                .iter()
+                .zip(features)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            acc += c * (-self.gamma * dist_sq).exp();
+        }
+        Ok(acc)
+    }
+
+    /// Predicts the class label (`+1` / `-1`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decision`].
+    pub fn predict(&self, features: &[f64]) -> Result<i32, DspError> {
+        Ok(if self.decision(features)? >= 0.0 { 1 } else { -1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_svm_separates_halfplanes() {
+        let svm = LinearSvm::new(vec![2.0, -1.0], -0.5).unwrap();
+        assert_eq!(svm.predict(&[1.0, 0.0]).unwrap(), 1);
+        assert_eq!(svm.predict(&[0.0, 1.0]).unwrap(), -1);
+        assert_eq!(svm.dimension(), 2);
+        assert_eq!(svm.bias(), -0.5);
+        assert_eq!(svm.weights(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn linear_svm_rejects_dimension_mismatch() {
+        let svm = LinearSvm::new(vec![1.0, 2.0, 3.0], 0.0).unwrap();
+        assert!(matches!(
+            svm.predict(&[1.0]),
+            Err(DspError::LengthMismatch {
+                expected: 3,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn linear_svm_rejects_empty_weights() {
+        assert!(LinearSvm::new(vec![], 0.0).is_err());
+    }
+
+    #[test]
+    fn rbf_svm_classifies_clusters() {
+        // Two clusters around (0,0) [class -1] and (4,4) [class +1].
+        let svm = RbfSvm::new(
+            vec![vec![0.0, 0.0], vec![4.0, 4.0]],
+            vec![-1.0, 1.0],
+            0.5,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(svm.predict(&[0.2, -0.1]).unwrap(), -1);
+        assert_eq!(svm.predict(&[3.8, 4.2]).unwrap(), 1);
+    }
+
+    #[test]
+    fn rbf_svm_validates_construction() {
+        assert!(RbfSvm::new(vec![], vec![], 1.0, 0.0).is_err());
+        assert!(RbfSvm::new(vec![vec![1.0]], vec![1.0, 2.0], 1.0, 0.0).is_err());
+        assert!(RbfSvm::new(vec![vec![1.0]], vec![1.0], -1.0, 0.0).is_err());
+        assert!(RbfSvm::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 1.0], 1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-component energy breakdown (the categories of Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Energy split into the four component categories the paper reports:
+/// DMA, Memories, Control and Datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DMA / bus-interface energy in microjoules.
+    pub dma_uj: f64,
+    /// Memory energy (SPM, VWRs, data memories) in microjoules.
+    pub memories_uj: f64,
+    /// Control energy (instruction issue, sequencing, configuration) in
+    /// microjoules.
+    pub control_uj: f64,
+    /// Datapath energy (ALUs, multipliers, register files) in microjoules.
+    pub datapath_uj: f64,
+}
+
+/// Relative shares of each category (they sum to 1 for a non-zero total).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyShares {
+    /// DMA share.
+    pub dma: f64,
+    /// Memories share.
+    pub memories: f64,
+    /// Control share.
+    pub control: f64,
+    /// Datapath share.
+    pub datapath: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.dma_uj + self.memories_uj + self.control_uj + self.datapath_uj
+    }
+
+    /// Average power in milliwatts over `cycles` at `frequency_hz`.
+    ///
+    /// ```
+    /// use vwr2a_energy::EnergyBreakdown;
+    /// let b = EnergyBreakdown { dma_uj: 0.0, memories_uj: 0.5, control_uj: 0.0, datapath_uj: 0.5 };
+    /// // 1 µJ over 1 ms is 1 mW.
+    /// assert!((b.power_mw(80_000, 80.0e6) - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn power_mw(&self, cycles: u64, frequency_hz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let seconds = cycles as f64 / frequency_hz;
+        self.total_uj() * 1e-6 / seconds * 1e3
+    }
+
+    /// The relative share of each category.
+    pub fn shares(&self) -> EnergyShares {
+        let total = self.total_uj();
+        if total <= 0.0 {
+            return EnergyShares::default();
+        }
+        EnergyShares {
+            dma: self.dma_uj / total,
+            memories: self.memories_uj / total,
+            control: self.control_uj / total,
+            datapath: self.datapath_uj / total,
+        }
+    }
+
+    /// Component-wise sum of two breakdowns (e.g. accumulating application
+    /// steps for Table 5).
+    pub fn combined(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dma_uj: self.dma_uj + other.dma_uj,
+            memories_uj: self.memories_uj + other.memories_uj,
+            control_uj: self.control_uj + other.control_uj,
+            datapath_uj: self.datapath_uj + other.datapath_uj,
+        }
+    }
+}
+
+impl std::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} µJ (dma {:.3}, memories {:.3}, control {:.3}, datapath {:.3})",
+            self.total_uj(),
+            self.dma_uj,
+            self.memories_uj,
+            self.control_uj,
+            self.datapath_uj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_shares_and_combination() {
+        let b = EnergyBreakdown {
+            dma_uj: 1.0,
+            memories_uj: 2.0,
+            control_uj: 3.0,
+            datapath_uj: 4.0,
+        };
+        assert!((b.total_uj() - 10.0).abs() < 1e-12);
+        let s = b.shares();
+        assert!((s.dma - 0.1).abs() < 1e-12);
+        assert!((s.datapath - 0.4).abs() < 1e-12);
+        let c = b.combined(&b);
+        assert!((c.total_uj() - 20.0).abs() < 1e-12);
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn zero_energy_edge_cases() {
+        let z = EnergyBreakdown::default();
+        assert_eq!(z.total_uj(), 0.0);
+        assert_eq!(z.shares(), EnergyShares::default());
+        assert_eq!(z.power_mw(0, 80e6), 0.0);
+        assert_eq!(z.power_mw(100, 80e6), 0.0);
+    }
+}

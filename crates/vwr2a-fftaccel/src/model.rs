@@ -1,0 +1,341 @@
+//! The fixed-function FFT accelerator model.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use vwr2a_dsp::complex::Complex;
+use vwr2a_dsp::fixed::saturate;
+
+/// Errors produced by the accelerator model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FftAccelError {
+    /// The requested size is not supported by the engine.
+    UnsupportedSize {
+        /// The requested transform length.
+        n: usize,
+        /// The maximum supported length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FftAccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftAccelError::UnsupportedSize { n, max } => write!(
+                f,
+                "fft size {n} not supported (power of two of 8..={max} required)"
+            ),
+        }
+    }
+}
+
+impl Error for FftAccelError {}
+
+/// Timing and datapath parameters of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FftAccelConfig {
+    /// Internal datapath width in bits (the MUSEIC engine uses 18).
+    pub datapath_bits: u32,
+    /// Maximum supported transform size.
+    pub max_points: usize,
+    /// Cycles to program the engine and start it (register writes from the
+    /// CPU over the slave port).
+    pub setup_cycles: u64,
+    /// Butterflies processed per cycle (the engine datapath processes one
+    /// radix-4 butterfly, i.e. two radix-2 equivalents, per cycle).
+    pub radix2_butterflies_per_cycle: f64,
+    /// Cycles per input/output word moved through the dual-port memory.
+    pub io_cycles_per_word: f64,
+}
+
+impl Default for FftAccelConfig {
+    fn default() -> Self {
+        Self {
+            datapath_bits: 18,
+            max_points: 4096,
+            setup_cycles: 60,
+            radix2_butterflies_per_cycle: 0.55,
+            io_cycles_per_word: 1.0,
+        }
+    }
+}
+
+/// Activity statistics of one accelerator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FftAccelStats {
+    /// Total cycles from start command to completion interrupt.
+    pub cycles: u64,
+    /// Radix-2-equivalent butterflies executed.
+    pub butterflies: u64,
+    /// Data-memory word accesses (reads + writes).
+    pub memory_accesses: u64,
+    /// Twiddle-ROM reads.
+    pub twiddle_reads: u64,
+    /// Words transferred in and out over the system bus.
+    pub io_words: u64,
+    /// Dynamic-scaling events (stages whose block exponent was bumped).
+    pub scaling_events: u64,
+}
+
+/// The fixed-function FFT accelerator.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_fftaccel::FftAccelerator;
+///
+/// # fn main() -> Result<(), vwr2a_fftaccel::FftAccelError> {
+/// let accel = FftAccelerator::new();
+/// let signal: Vec<f64> = (0..512)
+///     .map(|i| (std::f64::consts::TAU * 10.0 * i as f64 / 512.0).cos())
+///     .collect();
+/// let (spectrum, stats) = accel.run_real(&signal)?;
+/// // The 10-cycles-per-frame cosine dominates bin 10.
+/// let peak = (1..spectrum.len()).max_by(|&a, &b| {
+///     spectrum[a].abs().total_cmp(&spectrum[b].abs())
+/// }).unwrap();
+/// assert_eq!(peak, 10);
+/// assert!(stats.cycles > 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FftAccelerator {
+    config: FftAccelConfig,
+}
+
+impl FftAccelerator {
+    /// Creates an accelerator with the default (paper-like) configuration.
+    pub fn new() -> Self {
+        Self::with_config(FftAccelConfig::default())
+    }
+
+    /// Creates an accelerator with a custom configuration.
+    pub fn with_config(config: FftAccelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> FftAccelConfig {
+        self.config
+    }
+
+    fn check_size(&self, n: usize) -> Result<(), FftAccelError> {
+        if n < 8 || !n.is_power_of_two() || n > self.config.max_points {
+            return Err(FftAccelError::UnsupportedSize {
+                n,
+                max: self.config.max_points,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs a complex FFT on interleaved floating-point data (the host view
+    /// of the q15 samples), returning the spectrum scaled by `1/N` (the
+    /// engine's block-scaled output renormalised) and the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftAccelError::UnsupportedSize`] for unsupported lengths.
+    pub fn run_complex(
+        &self,
+        input: &[Complex],
+    ) -> Result<(Vec<Complex>, FftAccelStats), FftAccelError> {
+        let n = input.len();
+        self.check_size(n)?;
+        let mut stats = FftAccelStats::default();
+
+        // Fixed-point mirror of the datapath: 18-bit samples with block
+        // dynamic scaling per stage.
+        let scale_in = (1 << (self.config.datapath_bits - 2)) as f64;
+        let mut re: Vec<i64> = input.iter().map(|c| (c.re * scale_in) as i64).collect();
+        let mut im: Vec<i64> = input.iter().map(|c| (c.im * scale_in) as i64).collect();
+        let mut block_exponent = 0i32;
+
+        let stages = n.trailing_zeros();
+        vwr2a_dsp::fft::bit_reverse_permute(&mut re);
+        vwr2a_dsp::fft::bit_reverse_permute(&mut im);
+        let mut len = 2usize;
+        while len <= n {
+            // Dynamic scaling: if any value risks overflowing the 18-bit
+            // range after a butterfly, scale the whole block down by 2.
+            let limit = 1i64 << (self.config.datapath_bits - 2);
+            let needs_scale = re.iter().chain(im.iter()).any(|&v| v.abs() >= limit);
+            if needs_scale {
+                for v in re.iter_mut().chain(im.iter_mut()) {
+                    *v >>= 1;
+                }
+                block_exponent += 1;
+                stats.scaling_events += 1;
+            }
+            let ang = -std::f64::consts::TAU / len as f64;
+            let mut i = 0;
+            while i < n {
+                for j in 0..len / 2 {
+                    let w = Complex::from_angle(ang * j as f64);
+                    let wr = (w.re * 32768.0) as i64;
+                    let wi = (w.im * 32768.0) as i64;
+                    let br = re[i + j + len / 2];
+                    let bi = im[i + j + len / 2];
+                    let vr = (br * wr - bi * wi) >> 15;
+                    let vi = (br * wi + bi * wr) >> 15;
+                    let ar = re[i + j];
+                    let ai = im[i + j];
+                    re[i + j] = saturate(ar + vr, self.config.datapath_bits) as i64;
+                    im[i + j] = saturate(ai + vi, self.config.datapath_bits) as i64;
+                    re[i + j + len / 2] = saturate(ar - vr, self.config.datapath_bits) as i64;
+                    im[i + j + len / 2] = saturate(ai - vi, self.config.datapath_bits) as i64;
+                    stats.butterflies += 1;
+                    stats.memory_accesses += 8;
+                    stats.twiddle_reads += 1;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+
+        // Renormalise to the mathematical DFT scaled by 1/N so callers can
+        // compare against the golden model directly.
+        let out_scale = (1 << block_exponent) as f64 / scale_in / n as f64;
+        let spectrum: Vec<Complex> = re
+            .iter()
+            .zip(&im)
+            .map(|(&r, &i)| Complex::new(r as f64 * out_scale, i as f64 * out_scale))
+            .collect();
+
+        // Cycle model: programming + IO + butterfly passes.  The mixed
+        // radix-2/4 engine retires roughly two radix-2-equivalent
+        // butterflies per cycle; odd log2 sizes need one extra radix-2 pass
+        // which is slightly less efficient (visible in Table 2 as the
+        // non-monotonic speed-up across sizes).
+        let butterflies = (n as u64 / 2) * u64::from(stages);
+        let radix2_pass_penalty = if stages % 2 == 1 { 1.15 } else { 1.0 };
+        let compute_cycles = (butterflies as f64 / self.config.radix2_butterflies_per_cycle
+            * radix2_pass_penalty) as u64;
+        let io_words = 4 * n as u64; // complex in + complex out
+        let io_cycles = (io_words as f64 * self.config.io_cycles_per_word) as u64;
+        stats.io_words = io_words;
+        stats.cycles = self.config.setup_cycles + compute_cycles + io_cycles;
+        Ok((spectrum, stats))
+    }
+
+    /// Runs the optimised real-valued flow: an `N/2`-point complex FFT plus
+    /// the recombination pass, roughly halving both time and energy
+    /// (Sec. 3.4 / 4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftAccelError::UnsupportedSize`] for unsupported lengths.
+    pub fn run_real(&self, input: &[f64]) -> Result<(Vec<Complex>, FftAccelStats), FftAccelError> {
+        let n = input.len();
+        self.check_size(n)?;
+        let packed: Vec<Complex> = (0..n / 2)
+            .map(|i| Complex::new(input[2 * i], input[2 * i + 1]))
+            .collect();
+        let (z, mut stats) = self.run_complex(&packed)?;
+        // Recombination (split) pass: done at one bin per cycle with two
+        // memory reads and one write per bin.
+        let half = n / 2;
+        let mut out = Vec::with_capacity(half + 1);
+        for k in 0..=half {
+            let zk = if k == half { z[0] } else { z[k] };
+            let znk = z[(half - k) % half].conj();
+            let e = (zk + znk).scale(0.5);
+            let o = (zk - znk).scale(0.5);
+            let odd = Complex::new(o.im, -o.re);
+            let w = Complex::from_angle(-std::f64::consts::TAU * k as f64 / n as f64);
+            out.push((e + w * odd).scale(0.5));
+        }
+        stats.cycles += (half + 1) as u64;
+        stats.memory_accesses += 3 * (half as u64 + 1);
+        stats.twiddle_reads += half as u64 + 1;
+        stats.io_words += half as u64 + 1;
+        Ok((out, stats))
+    }
+}
+
+impl Default for FftAccelerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vwr2a_dsp::fft::{fft, rfft};
+
+    #[test]
+    fn complex_output_matches_golden_model_within_quantisation() {
+        let n = 256;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(0.4 * (i as f64 * 0.21).sin(), 0.2 * (i as f64 * 0.13).cos()))
+            .collect();
+        let accel = FftAccelerator::new();
+        let (spectrum, stats) = accel.run_complex(&input).unwrap();
+        let reference = fft(&input).unwrap();
+        for (a, r) in spectrum.iter().zip(reference.iter()) {
+            assert!((a.re - r.re / n as f64).abs() < 5e-3, "{a:?} vs {r:?}");
+            assert!((a.im - r.im / n as f64).abs() < 5e-3);
+        }
+        assert_eq!(stats.butterflies, (n as u64 / 2) * 8);
+        assert!(stats.cycles > 1000);
+    }
+
+    #[test]
+    fn real_flow_matches_golden_model() {
+        let n = 512;
+        let input: Vec<f64> = (0..n)
+            .map(|i| 0.4 * (std::f64::consts::TAU * 7.0 * i as f64 / n as f64).sin())
+            .collect();
+        let accel = FftAccelerator::new();
+        let (spectrum, _) = accel.run_real(&input).unwrap();
+        let reference = rfft(&input).unwrap();
+        assert_eq!(spectrum.len(), reference.len());
+        for (a, r) in spectrum.iter().zip(reference.iter()) {
+            assert!((a.re - r.re / n as f64).abs() < 5e-3);
+            assert!((a.im - r.im / n as f64).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn real_flow_is_roughly_twice_as_fast_as_complex() {
+        let accel = FftAccelerator::new();
+        let sig_c: Vec<Complex> = (0..512).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let sig_r: Vec<f64> = (0..512).map(|i| (i as f64).sin()).collect();
+        let (_, c) = accel.run_complex(&sig_c).unwrap();
+        let (_, r) = accel.run_real(&sig_r).unwrap();
+        let ratio = c.cycles as f64 / r.cycles as f64;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cycle_counts_land_in_the_paper_range() {
+        // Table 2: 512-point complex ≈ 7099 cycles, 2048-point ≈ 31299;
+        // the model should land within ~25 % of those.
+        let accel = FftAccelerator::new();
+        for (n, paper) in [(512usize, 7099u64), (1024, 13629), (2048, 31299)] {
+            let sig: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos() * 0.3, 0.0)).collect();
+            let (_, stats) = accel.run_complex(&sig).unwrap();
+            let ratio = stats.cycles as f64 / paper as f64;
+            assert!(ratio > 0.7 && ratio < 1.35, "n={n}: {} vs paper {paper}", stats.cycles);
+        }
+    }
+
+    #[test]
+    fn unsupported_sizes_rejected() {
+        let accel = FftAccelerator::new();
+        assert!(accel.run_complex(&[Complex::default(); 7]).is_err());
+        assert!(accel.run_complex(&vec![Complex::default(); 8192]).is_err());
+        assert!(accel.run_real(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn dynamic_scaling_triggers_on_large_inputs() {
+        let accel = FftAccelerator::new();
+        let input: Vec<Complex> = (0..64).map(|_| Complex::new(0.99, -0.99)).collect();
+        let (_, stats) = accel.run_complex(&input).unwrap();
+        assert!(stats.scaling_events > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the kernel mappings.
+
+use std::error::Error;
+use std::fmt;
+use vwr2a_core::CoreError;
+use vwr2a_dsp::DspError;
+
+/// Errors raised while building or running VWR2A kernel mappings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The underlying array simulator reported an error.
+    Core(CoreError),
+    /// A reference-model error (invalid sizes, etc.).
+    Dsp(DspError),
+    /// The requested problem size is not supported by this mapping.
+    UnsupportedSize {
+        /// Human-readable description of the constraint.
+        what: String,
+    },
+    /// A parameter is outside the supported range.
+    InvalidParameter {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Core(e) => write!(f, "array error: {e}"),
+            KernelError::Dsp(e) => write!(f, "reference model error: {e}"),
+            KernelError::UnsupportedSize { what } => write!(f, "unsupported size: {what}"),
+            KernelError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Core(e) => Some(e),
+            KernelError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for KernelError {
+    fn from(e: CoreError) -> Self {
+        KernelError::Core(e)
+    }
+}
+
+impl From<DspError> for KernelError {
+    fn from(e: DspError) -> Self {
+        KernelError::Dsp(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, KernelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: KernelError = CoreError::UnknownKernel { id: 1 }.into();
+        assert!(e.to_string().contains("array error"));
+        let e: KernelError = DspError::EmptyInput.into();
+        assert!(e.to_string().contains("reference model"));
+        assert!(KernelError::UnsupportedSize { what: "n".into() }.source().is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! VWR2A mappings of the data-parallel feature-extraction pieces.
+//!
+//! MBioTracker's feature-extraction step reduces the filtered signal and its
+//! spectrum to a small feature vector (Sec. 4.4.2).  The reductions map onto
+//! the array as element-wise passes followed by the cross-RC reduction of
+//! [`crate::ops::emit_reduce_sum_pass`]:
+//!
+//! * [`band_energies`] — per-band spectral energy `Σ (re² + im²)` used for
+//!   the frequency features,
+//! * [`sum_and_sum_of_squares`] — the Σx and Σx² reductions behind the mean
+//!   and RMS time features,
+//! * [`dot_product`] — the linear-SVM decision value.
+
+use crate::error::{KernelError, Result};
+use crate::ops::{emit_ew_pass, emit_reduce_sum_pass, LineRef};
+use crate::{subtract_counters, KernelRun};
+use vwr2a_core::builder::ColumnProgramBuilder;
+use vwr2a_core::isa::RcOpcode;
+use vwr2a_core::program::KernelProgram;
+use vwr2a_core::Vwr2a;
+
+/// Words per SPM line.
+const LINE: usize = 128;
+
+fn pad_to_lines(data: &[i32]) -> Vec<i32> {
+    let mut v = data.to_vec();
+    let rem = v.len() % LINE;
+    if rem != 0 {
+        v.resize(v.len() + (LINE - rem), 0);
+    }
+    v
+}
+
+/// Runs a "map one line with `op` against a second line, then reduce to a
+/// scalar" program over `a` and `b`, returning the per-line partial sums.
+fn map_reduce(
+    accel: &mut Vwr2a,
+    op: RcOpcode,
+    a: &[i32],
+    b: &[i32],
+    cycles: &mut u64,
+) -> Result<Vec<i64>> {
+    if a.len() != b.len() {
+        return Err(KernelError::InvalidParameter {
+            what: format!("operand lengths differ: {} vs {}", a.len(), b.len()),
+        });
+    }
+    if a.is_empty() {
+        return Err(KernelError::InvalidParameter {
+            what: "operands must be non-empty".into(),
+        });
+    }
+    let a = pad_to_lines(a);
+    let b = pad_to_lines(b);
+    let lines = a.len() / LINE;
+    *cycles += accel.dma_to_spm(&a, 0)?;
+    *cycles += accel.dma_to_spm(&b, lines * LINE)?;
+    let mut partials = Vec::with_capacity(lines);
+    for blk in 0..lines {
+        let mut bld = ColumnProgramBuilder::new(4);
+        emit_ew_pass(
+            &mut bld,
+            op,
+            LineRef::Imm(blk as u16),
+            LineRef::Imm((lines + blk) as u16),
+            LineRef::Imm((2 * lines) as u16),
+        );
+        emit_reduce_sum_pass(&mut bld, LineRef::Imm((2 * lines) as u16), 7, None);
+        bld.push_exit();
+        let program = KernelProgram::new("map-reduce", vec![bld.build()?])?;
+        let stats = accel.run_program(&program)?;
+        *cycles += stats.cycles;
+        partials.push(accel.read_srf(0, 7)? as i64);
+    }
+    Ok(partials)
+}
+
+/// Per-band spectral energies of an interleaved-free spectrum (separate
+/// `re` / `im` arrays, `Q15.16` or `q15` — the scale only affects the units
+/// of the result).
+///
+/// Returns one energy per band, computed as `Σ mul_fxp(re,re) +
+/// mul_fxp(im,im)` over equal-width bands.
+///
+/// # Errors
+///
+/// Returns [`KernelError::InvalidParameter`] for empty inputs, mismatched
+/// lengths or zero bands.
+pub fn band_energies(
+    accel: &mut Vwr2a,
+    re: &[i32],
+    im: &[i32],
+    bands: usize,
+) -> Result<KernelRun> {
+    if bands == 0 {
+        return Err(KernelError::InvalidParameter {
+            what: "band count must be non-zero".into(),
+        });
+    }
+    let before = accel.counters();
+    let mut cycles = 0;
+    let re_sq = map_reduce(accel, RcOpcode::MulFxp, re, re, &mut cycles)?;
+    let im_sq = map_reduce(accel, RcOpcode::MulFxp, im, im, &mut cycles)?;
+    // Combine per-line partial energies into bands on the host (a handful of
+    // scalar additions, part of the high-level control the CPU keeps).
+    let lines = re_sq.len();
+    let per_band = lines.div_ceil(bands);
+    let mut out = vec![0i64; bands];
+    for (line, (r, i)) in re_sq.iter().zip(im_sq.iter()).enumerate() {
+        out[(line / per_band).min(bands - 1)] += r + i;
+    }
+    let after = accel.counters();
+    Ok(KernelRun {
+        output: out.iter().map(|&v| v.clamp(i32::MIN as i64, i32::MAX as i64) as i32).collect(),
+        cycles,
+        counters: subtract_counters(after, before),
+    })
+}
+
+/// Σx and Σx² of an integer array (the inputs to the mean and RMS time
+/// features).  The output vector is `[sum, sum_of_squares]`, both saturated
+/// to `i32`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::InvalidParameter`] for an empty input.
+pub fn sum_and_sum_of_squares(accel: &mut Vwr2a, data: &[i32]) -> Result<KernelRun> {
+    let before = accel.counters();
+    let mut cycles = 0;
+    let zeros = vec![0i32; data.len()];
+    let sums = map_reduce(accel, RcOpcode::Add, data, &zeros, &mut cycles)?;
+    let squares = map_reduce(accel, RcOpcode::Mul, data, data, &mut cycles)?;
+    let after = accel.counters();
+    let total: i64 = sums.iter().sum();
+    let total_sq: i64 = squares.iter().sum();
+    Ok(KernelRun {
+        output: vec![
+            total.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+            total_sq.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+        ],
+        cycles,
+        counters: subtract_counters(after, before),
+    })
+}
+
+/// Dot product `Σ aᵢ·bᵢ` (standard 32-bit multiply), the linear-SVM decision
+/// kernel.  The output vector is `[dot]`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::InvalidParameter`] for empty or mismatched inputs.
+pub fn dot_product(accel: &mut Vwr2a, a: &[i32], b: &[i32]) -> Result<KernelRun> {
+    let before = accel.counters();
+    let mut cycles = 0;
+    let partials = map_reduce(accel, RcOpcode::Mul, a, b, &mut cycles)?;
+    let after = accel.counters();
+    let total: i64 = partials.iter().sum();
+    Ok(KernelRun {
+        output: vec![total.clamp(i32::MIN as i64, i32::MAX as i64) as i32],
+        cycles,
+        counters: subtract_counters(after, before),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_squares_match_host_arithmetic() {
+        let data: Vec<i32> = (0..300).map(|i| (i % 50) - 25).collect();
+        let mut accel = Vwr2a::new();
+        let run = sum_and_sum_of_squares(&mut accel, &data).unwrap();
+        let sum: i64 = data.iter().map(|&v| v as i64).sum();
+        let sumsq: i64 = data.iter().map(|&v| (v as i64) * (v as i64)).sum();
+        assert_eq!(run.output[0] as i64, sum);
+        assert_eq!(run.output[1] as i64, sumsq);
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn dot_product_matches_host_arithmetic() {
+        let a: Vec<i32> = (0..200).map(|i| i - 100).collect();
+        let b: Vec<i32> = (0..200).map(|i| 3 * i % 17 - 8).collect();
+        let mut accel = Vwr2a::new();
+        let run = dot_product(&mut accel, &a, &b).unwrap();
+        let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+        assert_eq!(run.output[0] as i64, expected);
+    }
+
+    #[test]
+    fn band_energies_split_the_spectrum() {
+        // Energy only in the first quarter of the bins.
+        let n = 256;
+        let re: Vec<i32> = (0..n).map(|i| if i < 64 { 1 << 16 } else { 0 }).collect();
+        let im = vec![0i32; n];
+        let mut accel = Vwr2a::new();
+        let run = band_energies(&mut accel, &re, &im, 2).unwrap();
+        assert_eq!(run.output.len(), 2);
+        assert!(run.output[0] > 0);
+        assert_eq!(run.output[1], 0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut accel = Vwr2a::new();
+        assert!(dot_product(&mut accel, &[1, 2], &[1]).is_err());
+        assert!(dot_product(&mut accel, &[], &[]).is_err());
+        assert!(band_energies(&mut accel, &[1], &[1], 0).is_err());
+    }
+}

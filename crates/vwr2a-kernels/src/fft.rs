@@ -1,0 +1,614 @@
+//! VWR2A mapping of the radix-2 FFT (complex and real-valued).
+//!
+//! The mapping follows Sec. 3.4 of the paper.  The complex transform uses
+//! the **constant-geometry** (Pease) formulation of the radix-2 DIF FFT: at
+//! every stage, butterfly `i` combines elements `i` and `i + N/2`, producing
+//! a sum and a twiddled difference that are written to positions `2i` and
+//! `2i + 1` of the next stage's array — exactly the "words interleaving"
+//! operation of the shuffle unit.  All stages therefore run the *same*
+//! column program; only the SRF-held SPM line pointers change between
+//! launches, so after the first (cold) launch every stage is a warm
+//! relaunch.  The kernel output appears in bit-reversed order and is
+//! reordered during the DMA read-back.
+//!
+//! Data layout: separate real and imaginary arrays of `Q15.16` words,
+//! double-buffered in the SPM (ping/pong), with six scratch lines per
+//! column and a per-stage twiddle region that the host DMAs in before each
+//! stage (the 32 KiB SPM cannot hold the data, the ping-pong buffer and all
+//! stage tables at once; EXPERIMENTS.md discusses the cycle cost of this
+//! choice).
+//!
+//! The real-valued transform packs even samples into the real array and odd
+//! samples into the imaginary array, runs the `N/2`-point complex kernel,
+//! and finishes with an element-wise recombination (split) executed with the
+//! same pass machinery.
+
+use crate::error::{KernelError, Result};
+use crate::ops::{
+    emit_butterfly_pass, emit_ew_pass, emit_ew_pass_reuse_a, emit_interleave_pass, LineRef,
+};
+use crate::subtract_counters;
+use vwr2a_core::builder::ColumnProgramBuilder;
+use vwr2a_core::config_mem::KernelId;
+use vwr2a_core::isa::RcOpcode;
+use vwr2a_core::program::{ColumnProgram, KernelProgram};
+use vwr2a_core::Vwr2a;
+use vwr2a_dsp::fft::bit_reverse;
+use vwr2a_dsp::fixed::{mul_fxp, to_q16};
+
+/// Words per SPM line / VWR.
+const LINE: usize = 128;
+/// Estimated cycles for one host SRF write over the slave port.
+const SRF_WRITE_CYCLES: u64 = 2;
+
+/// Result of an FFT kernel run: real and imaginary spectra in `Q15.16`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FftRun {
+    /// Real parts of the spectrum (natural bin order).
+    pub re: Vec<i32>,
+    /// Imaginary parts of the spectrum (natural bin order).
+    pub im: Vec<i32>,
+    /// Total cycles including DMA, SRF writes, configuration and execution.
+    pub cycles: u64,
+    /// Array activity during the run.
+    pub counters: vwr2a_core::ActivityCounters,
+}
+
+impl FftRun {
+    /// Execution time in microseconds at the given clock frequency.
+    pub fn time_us(&self, frequency_hz: f64) -> f64 {
+        self.cycles as f64 / frequency_hz * 1e6
+    }
+}
+
+/// Per-stage twiddle factors of the constant-geometry radix-2 DIF FFT in
+/// `Q15.16`: butterfly `i` of stage `s` uses `W_N^{(i >> s) << s}`.
+pub fn stage_twiddles_q16(n: usize, stage: u32) -> (Vec<i32>, Vec<i32>) {
+    let mut re = Vec::with_capacity(n / 2);
+    let mut im = Vec::with_capacity(n / 2);
+    for i in 0..n / 2 {
+        let k = (i >> stage) << stage;
+        let theta = -std::f64::consts::TAU * k as f64 / n as f64;
+        re.push(to_q16(theta.cos()));
+        im.push(to_q16(theta.sin()));
+    }
+    (re, im)
+}
+
+/// Host-side mirror of the kernel's arithmetic: the constant-geometry FFT on
+/// `Q15.16` words with the exact operation ordering of the column program.
+///
+/// Returns the spectrum in **natural** bin order.  Used to validate the
+/// simulated kernel bit-exactly and as the reference in the property tests.
+pub fn constant_geometry_reference(re: &[i32], im: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let n = re.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+    assert_eq!(re.len(), im.len());
+    let mut xr = re.to_vec();
+    let mut xi = im.to_vec();
+    let stages = n.trailing_zeros();
+    for s in 0..stages {
+        let (twr, twi) = stage_twiddles_q16(n, s);
+        let mut yr = vec![0i32; n];
+        let mut yi = vec![0i32; n];
+        for i in 0..n / 2 {
+            let (ar, ai) = (xr[i], xi[i]);
+            let (br, bi) = (xr[i + n / 2], xi[i + n / 2]);
+            let sum_r = ar.wrapping_add(br);
+            let sum_i = ai.wrapping_add(bi);
+            let diff_r = ar.wrapping_sub(br);
+            let diff_i = ai.wrapping_sub(bi);
+            let t1_r = mul_fxp(diff_r, twr[i]).wrapping_sub(mul_fxp(diff_i, twi[i]));
+            let t1_i = mul_fxp(diff_r, twi[i]).wrapping_add(mul_fxp(diff_i, twr[i]));
+            yr[2 * i] = sum_r;
+            yi[2 * i] = sum_i;
+            yr[2 * i + 1] = t1_r;
+            yi[2 * i + 1] = t1_i;
+        }
+        xr = yr;
+        xi = yi;
+    }
+    // The constant-geometry flow leaves the spectrum in bit-reversed order.
+    let bits = stages;
+    let mut out_r = vec![0i32; n];
+    let mut out_i = vec![0i32; n];
+    for (m, (&r, &i)) in xr.iter().zip(xi.iter()).enumerate() {
+        let k = bit_reverse(m, bits);
+        out_r[k] = r;
+        out_i[k] = i;
+    }
+    (out_r, out_i)
+}
+
+/// SPM line layout of the complex FFT kernel.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    lh: usize,
+    ping_re: usize,
+    ping_im: usize,
+    pong_re: usize,
+    pong_im: usize,
+    scratch: [usize; 2],
+    tw_re: usize,
+    tw_im: usize,
+}
+
+impl Layout {
+    fn new(n: usize, spm_lines: usize) -> Result<Self> {
+        let l = n / LINE;
+        let lh = (n / 2) / LINE;
+        let layout = Self {
+            lh,
+            ping_re: 0,
+            ping_im: l,
+            pong_re: 2 * l,
+            pong_im: 3 * l,
+            scratch: [4 * l, 4 * l + 6],
+            tw_re: 4 * l + 12,
+            tw_im: 4 * l + 12 + lh,
+        };
+        if layout.tw_im + lh > spm_lines {
+            return Err(KernelError::UnsupportedSize {
+                what: format!(
+                    "a {n}-point complex FFT needs {} SPM lines, only {spm_lines} available \
+                     (the paper's 32 KiB SPM); use the real-valued flow or stream the data",
+                    layout.tw_im + lh
+                ),
+            });
+        }
+        Ok(layout)
+    }
+}
+
+/// The FFT kernel mapping.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::Vwr2a;
+/// use vwr2a_kernels::fft::FftKernel;
+/// use vwr2a_dsp::fixed::to_q16;
+///
+/// # fn main() -> Result<(), vwr2a_kernels::KernelError> {
+/// let n = 256;
+/// let kernel = FftKernel::new(n)?;
+/// let re: Vec<i32> = (0..n).map(|i| to_q16((std::f64::consts::TAU * 8.0 * i as f64 / n as f64).cos() * 0.5)).collect();
+/// let im = vec![0i32; n];
+/// let mut accel = Vwr2a::new();
+/// let run = kernel.run_complex(&mut accel, &re, &im)?;
+/// // Bin 8 dominates the magnitude spectrum.
+/// let peak = (1..n / 2).max_by_key(|&k| {
+///     (run.re[k] as i64).pow(2) + (run.im[k] as i64).pow(2)
+/// }).unwrap();
+/// assert_eq!(peak, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftKernel {
+    n: usize,
+}
+
+impl FftKernel {
+    /// Creates a complex FFT kernel for `n` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnsupportedSize`] if `n` is not a power of two
+    /// in `256..=1024` (the sizes whose working set fits the 32 KiB SPM with
+    /// this mapping).
+    pub fn new(n: usize) -> Result<Self> {
+        if !n.is_power_of_two() || n < 256 || n > 1024 {
+            return Err(KernelError::UnsupportedSize {
+                what: format!("complex FFT size must be a power of two in 256..=1024, got {n}"),
+            });
+        }
+        Ok(Self { n })
+    }
+
+    /// The transform length in complex points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the transform length is zero (never the case).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn stage_column_program(scratch_base: usize) -> Result<ColumnProgram> {
+        let sb = scratch_base as u16;
+        let sum_re = LineRef::Imm(sb);
+        let sum_im = LineRef::Imm(sb + 1);
+        let ta = LineRef::Imm(sb + 2);
+        let tb = LineRef::Imm(sb + 3);
+        let tc = LineRef::Imm(sb + 4);
+        let td = LineRef::Imm(sb + 5);
+        let mut b = ColumnProgramBuilder::new(4);
+        // Real butterfly: sum -> scratch, diff stays in VWR A.
+        emit_butterfly_pass(&mut b, LineRef::Srf(0), LineRef::Srf(1), sum_re);
+        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(4), ta); // diff_re * w_re
+        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(5), tb); // diff_re * w_im
+        // Imaginary butterfly.
+        emit_butterfly_pass(&mut b, LineRef::Srf(2), LineRef::Srf(3), sum_im);
+        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(5), tc); // diff_im * w_im
+        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(4), td); // diff_im * w_re
+        // t1 = diff * w (complex).
+        emit_ew_pass(&mut b, RcOpcode::Sub, ta, tc, ta); // t1_re
+        emit_ew_pass(&mut b, RcOpcode::Add, tb, td, tb); // t1_im
+        // Interleave sum/t1 into the next stage's layout.
+        emit_interleave_pass(&mut b, sum_re, ta, LineRef::Srf(6), None);
+        emit_interleave_pass(&mut b, sum_im, tb, LineRef::Srf(7), None);
+        b.push_exit();
+        Ok(b.build()?)
+    }
+
+    fn stage_kernel(layout: &Layout, columns: usize) -> Result<KernelProgram> {
+        let mut cols = Vec::with_capacity(columns);
+        for c in 0..columns {
+            cols.push(Self::stage_column_program(layout.scratch[c])?);
+        }
+        Ok(KernelProgram::new("fft-stage", cols)?)
+    }
+
+    /// Runs the forward complex FFT on `Q15.16` inputs, returning the
+    /// spectrum in natural bin order (unnormalised, like the mathematical
+    /// DFT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidParameter`] if the input lengths do not
+    /// match the configured size, or any simulator error.
+    pub fn run_complex(&self, accel: &mut Vwr2a, re: &[i32], im: &[i32]) -> Result<FftRun> {
+        let n = self.n;
+        if re.len() != n || im.len() != n {
+            return Err(KernelError::InvalidParameter {
+                what: format!("expected {n} samples, got {}/{}", re.len(), im.len()),
+            });
+        }
+        let layout = Layout::new(n, accel.geometry().spm_lines())?;
+        let before = accel.counters();
+        let mut cycles = 0u64;
+
+        cycles += accel.dma_to_spm(re, layout.ping_re * LINE)?;
+        cycles += accel.dma_to_spm(im, layout.ping_im * LINE)?;
+
+        let blocks = (n / 2) / LINE;
+        let columns = blocks.min(2);
+        let kernel = Self::stage_kernel(&layout, columns)?;
+        let id: KernelId = accel.load_kernel(&kernel)?;
+        let mut cold = true;
+
+        let stages = n.trailing_zeros();
+        let (mut in_re, mut in_im) = (layout.ping_re, layout.ping_im);
+        let (mut out_re, mut out_im) = (layout.pong_re, layout.pong_im);
+        for s in 0..stages {
+            let (twr, twi) = stage_twiddles_q16(n, s);
+            cycles += accel.dma_to_spm(&twr, layout.tw_re * LINE)?;
+            cycles += accel.dma_to_spm(&twi, layout.tw_im * LINE)?;
+            let mut blk = 0usize;
+            while blk < blocks {
+                let active = columns.min(blocks - blk);
+                for c in 0..active {
+                    let bb = blk + c;
+                    let params = [
+                        (in_re + bb) as i32,
+                        (in_re + bb + layout.lh) as i32,
+                        (in_im + bb) as i32,
+                        (in_im + bb + layout.lh) as i32,
+                        (layout.tw_re + bb) as i32,
+                        (layout.tw_im + bb) as i32,
+                        (out_re + 2 * bb) as i32,
+                        (out_im + 2 * bb) as i32,
+                    ];
+                    for (idx, value) in params.iter().enumerate() {
+                        accel.write_srf(c, idx, *value)?;
+                        cycles += SRF_WRITE_CYCLES;
+                    }
+                }
+                let stats = if cold {
+                    cold = false;
+                    accel.run_kernel(id)?
+                } else {
+                    accel.run_kernel_warm(id)?
+                };
+                cycles += stats.cycles;
+                blk += active;
+            }
+            std::mem::swap(&mut in_re, &mut out_re);
+            std::mem::swap(&mut in_im, &mut out_im);
+        }
+
+        // Read back (the result now lives in the "in" buffers) and undo the
+        // bit-reversed ordering during the copy out.
+        let (raw_re, c1) = accel.dma_from_spm(in_re * LINE, n)?;
+        let (raw_im, c2) = accel.dma_from_spm(in_im * LINE, n)?;
+        cycles += c1 + c2;
+        let bits = stages;
+        let mut nat_re = vec![0i32; n];
+        let mut nat_im = vec![0i32; n];
+        for m in 0..n {
+            let k = bit_reverse(m, bits);
+            nat_re[k] = raw_re[m];
+            nat_im[k] = raw_im[m];
+        }
+        let after = accel.counters();
+        Ok(FftRun {
+            re: nat_re,
+            im: nat_im,
+            cycles,
+            counters: subtract_counters(after, before),
+        })
+    }
+
+    /// Runs the optimised real-valued flow of Sec. 3.4 on `n_real = 2·n`
+    /// `Q15.16` samples: even/odd packing, an `n`-point complex FFT and an
+    /// element-wise recombination executed with the same pass machinery.
+    ///
+    /// Returns `n + 1` spectrum bins (DC through Nyquist) in natural order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidParameter`] if `input.len() != 2 * n`,
+    /// or any simulator error.
+    pub fn run_real(&self, accel: &mut Vwr2a, input: &[i32]) -> Result<FftRun> {
+        let n = self.n; // complex length of the packed transform
+        let n_real = 2 * n;
+        if input.len() != n_real {
+            return Err(KernelError::InvalidParameter {
+                what: format!("expected {n_real} real samples, got {}", input.len()),
+            });
+        }
+        // Pack: even samples -> real array, odd samples -> imaginary array.
+        let even: Vec<i32> = input.iter().step_by(2).copied().collect();
+        let odd: Vec<i32> = input.iter().skip(1).step_by(2).copied().collect();
+        let z = self.run_complex(accel, &even, &odd)?;
+        let mut cycles = z.cycles;
+        let before = accel.counters();
+
+        // Stage the forward and index-reversed spectra plus the split
+        // twiddles, then recombine element-wise on the array.
+        let zr_re: Vec<i32> = (0..n).map(|k| z.re[(n - k) % n]).collect();
+        let zr_im: Vec<i32> = (0..n).map(|k| z.im[(n - k) % n]).collect();
+        let mut cos_t = Vec::with_capacity(n);
+        let mut sin_t = Vec::with_capacity(n);
+        for k in 0..n {
+            let theta = -std::f64::consts::TAU * k as f64 / n_real as f64;
+            cos_t.push(to_q16(theta.cos()));
+            sin_t.push(to_q16(theta.sin()));
+        }
+        let lh = n / LINE;
+        // The split works one 128-bin block at a time through a fixed
+        // 14-line SPM window (six staged operand lines, two output lines and
+        // six scratch lines), so any size that survived the complex kernel
+        // also fits here.
+        let zf_re_l = 0usize;
+        let zf_im_l = 1usize;
+        let zr_re_l = 2usize;
+        let zr_im_l = 3usize;
+        let cos_l = 4usize;
+        let sin_l = 5usize;
+        let out_re_l = 6usize;
+        let out_im_l = 7usize;
+        let scratch = 8usize;
+        let mut out_re: Vec<i32> = Vec::with_capacity(n + 1);
+        let mut out_im: Vec<i32> = Vec::with_capacity(n + 1);
+
+        for blk in 0..lh {
+            let slice = blk * LINE..(blk + 1) * LINE;
+            cycles += accel.dma_to_spm(&z.re[slice.clone()], zf_re_l * LINE)?;
+            cycles += accel.dma_to_spm(&z.im[slice.clone()], zf_im_l * LINE)?;
+            cycles += accel.dma_to_spm(&zr_re[slice.clone()], zr_re_l * LINE)?;
+            cycles += accel.dma_to_spm(&zr_im[slice.clone()], zr_im_l * LINE)?;
+            cycles += accel.dma_to_spm(&cos_t[slice.clone()], cos_l * LINE)?;
+            cycles += accel.dma_to_spm(&sin_t[slice], sin_l * LINE)?;
+            let li = |base: usize| LineRef::Imm(base as u16);
+            let s0 = LineRef::Imm(scratch as u16);
+            let s1 = LineRef::Imm(scratch as u16 + 1);
+            let s2 = LineRef::Imm(scratch as u16 + 2);
+            let s3 = LineRef::Imm(scratch as u16 + 3);
+            let t0 = LineRef::Imm(scratch as u16 + 4);
+            let t1 = LineRef::Imm(scratch as u16 + 5);
+            let mut b = ColumnProgramBuilder::new(4);
+            // 2·er, 2·ei, 2·or, 2·oi
+            emit_ew_pass(&mut b, RcOpcode::Add, li(zf_re_l), li(zr_re_l), s0);
+            emit_ew_pass(&mut b, RcOpcode::Sub, li(zf_im_l), li(zr_im_l), s1);
+            emit_ew_pass(&mut b, RcOpcode::Add, li(zf_im_l), li(zr_im_l), s2);
+            emit_ew_pass(&mut b, RcOpcode::Sub, li(zr_re_l), li(zf_re_l), s3);
+            // 2·(c·or − s·oi) and out_re = (2·er + that) >> 1
+            emit_ew_pass(&mut b, RcOpcode::MulFxp, s2, li(cos_l), t0);
+            emit_ew_pass(&mut b, RcOpcode::MulFxp, s3, li(sin_l), t1);
+            emit_ew_pass(&mut b, RcOpcode::Sub, t0, t1, t0);
+            emit_ew_pass(&mut b, RcOpcode::Add, s0, t0, t0);
+            b.push_exit();
+            let p1 = KernelProgram::new("rfft-split-re", vec![b.build()?])?;
+            cycles += accel.run_program(&p1)?.cycles;
+
+            let mut b = ColumnProgramBuilder::new(4);
+            // out_im = (2·ei + 2·(c·oi + s·or)) >> 1 — first the products.
+            emit_ew_pass(&mut b, RcOpcode::MulFxp, s3, li(cos_l), t1);
+            emit_ew_pass(&mut b, RcOpcode::MulFxp, s2, li(sin_l), s2);
+            emit_ew_pass(&mut b, RcOpcode::Add, t1, s2, t1);
+            emit_ew_pass(&mut b, RcOpcode::Add, s1, t1, t1);
+            // Halve both results and store them to the output regions.
+            emit_ew_imm_shift(&mut b, t0, li(out_re_l));
+            emit_ew_imm_shift(&mut b, t1, li(out_im_l));
+            b.push_exit();
+            let p2 = KernelProgram::new("rfft-split-im", vec![b.build()?])?;
+            cycles += accel.run_program(&p2)?.cycles;
+
+            let (block_re, c1) = accel.dma_from_spm(out_re_l * LINE, LINE)?;
+            let (block_im, c2) = accel.dma_from_spm(out_im_l * LINE, LINE)?;
+            cycles += c1 + c2;
+            out_re.extend(block_re);
+            out_im.extend(block_im);
+        }
+        // Nyquist bin: X[n] = Re(Z[0]) − Im(Z[0]).
+        out_re.push(z.re[0].wrapping_sub(z.im[0]));
+        out_im.push(0);
+        let after = accel.counters();
+        let mut counters = subtract_counters(after, before);
+        counters += z.counters;
+        Ok(FftRun {
+            re: out_re,
+            im: out_im,
+            cycles,
+            counters,
+        })
+    }
+}
+
+/// Emits a pass that arithmetic-shifts a line right by one and stores it to
+/// `out` (the final ÷2 of the real-FFT recombination).
+fn emit_ew_imm_shift(b: &mut ColumnProgramBuilder, a_line: LineRef, out_line: LineRef) {
+    use vwr2a_core::geometry::VwrId;
+    use vwr2a_core::isa::{LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcSrc};
+    let addr = |l: LineRef| match l {
+        LineRef::Imm(v) => LsuAddr::Imm(v),
+        LineRef::Srf(s) => LsuAddr::Srf(s),
+    };
+    b.push(b.row().lsu(LsuInstr::LoadVwr {
+        vwr: VwrId::A,
+        line: addr(a_line),
+    }));
+    b.push(
+        b.row()
+            .mxcu(MxcuInstr::SetIdx(0))
+            .lcu(LcuInstr::Li { r: 0, value: 0 }),
+    );
+    let top = b.new_label();
+    b.bind_label(top);
+    b.push(
+        b.row()
+            .rc_all(RcInstr::new(
+                RcOpcode::Sra,
+                RcDst::Vwr(VwrId::C),
+                RcSrc::Vwr(VwrId::A),
+                RcSrc::Imm(1),
+            ))
+            .mxcu(MxcuInstr::AddIdx(1))
+            .lcu(LcuInstr::Add {
+                r: 0,
+                src: LcuSrc::Imm(1),
+            }),
+    );
+    b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(32), top);
+    b.push(b.row().lsu(LsuInstr::StoreVwr {
+        vwr: VwrId::C,
+        line: addr(out_line),
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vwr2a_dsp::complex::Complex;
+    use vwr2a_dsp::fft::{fft, rfft};
+    use vwr2a_dsp::fixed::from_q16;
+
+    fn q16_signal(n: usize, freq: f64) -> (Vec<i32>, Vec<i32>, Vec<Complex>) {
+        let float: Vec<Complex> = (0..n)
+            .map(|i| {
+                Complex::new(
+                    0.45 * (std::f64::consts::TAU * freq * i as f64 / n as f64).cos(),
+                    0.30 * (std::f64::consts::TAU * freq * i as f64 / n as f64).sin(),
+                )
+            })
+            .collect();
+        let re = float.iter().map(|c| to_q16(c.re)).collect();
+        let im = float.iter().map(|c| to_q16(c.im)).collect();
+        (re, im, float)
+    }
+
+    #[test]
+    fn constant_geometry_reference_matches_float_fft() {
+        let n = 256;
+        let (re, im, float) = q16_signal(n, 9.0);
+        let (out_re, out_im) = constant_geometry_reference(&re, &im);
+        let reference = fft(&float).unwrap();
+        for k in 0..n {
+            let got_re = from_q16(out_re[k]);
+            let got_im = from_q16(out_im[k]);
+            assert!(
+                (got_re - reference[k].re).abs() < 0.08 && (got_im - reference[k].im).abs() < 0.08,
+                "bin {k}: ({got_re}, {got_im}) vs ({}, {})",
+                reference[k].re,
+                reference[k].im
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_host_reference_bit_exactly() {
+        let n = 256;
+        let (re, im, _) = q16_signal(n, 5.0);
+        let (ref_re, ref_im) = constant_geometry_reference(&re, &im);
+        let kernel = FftKernel::new(n).unwrap();
+        let mut accel = Vwr2a::new();
+        let run = kernel.run_complex(&mut accel, &re, &im).unwrap();
+        assert_eq!(run.re, ref_re);
+        assert_eq!(run.im, ref_im);
+        assert!(run.cycles > 1000);
+        assert!(run.counters.shuffle_ops > 0, "the shuffle unit must be used");
+    }
+
+    #[test]
+    fn five_hundred_twelve_point_complex_fft_runs_and_is_correct() {
+        let n = 512;
+        let (re, im, float) = q16_signal(n, 20.0);
+        let kernel = FftKernel::new(n).unwrap();
+        let mut accel = Vwr2a::new();
+        let run = kernel.run_complex(&mut accel, &re, &im).unwrap();
+        let reference = fft(&float).unwrap();
+        for k in 0..n {
+            assert!(
+                (from_q16(run.re[k]) - reference[k].re).abs() < 0.2,
+                "bin {k}"
+            );
+        }
+        // Table 2 reports 7125 cycles; the mapping should be within ~2x.
+        assert!(
+            run.cycles > 4_000 && run.cycles < 16_000,
+            "cycles {}",
+            run.cycles
+        );
+    }
+
+    #[test]
+    fn real_fft_matches_float_reference() {
+        let n_real = 512;
+        let signal_f: Vec<f64> = (0..n_real)
+            .map(|i| 0.4 * (std::f64::consts::TAU * 12.0 * i as f64 / n_real as f64).sin())
+            .collect();
+        let signal_q: Vec<i32> = signal_f.iter().map(|&v| to_q16(v)).collect();
+        let kernel = FftKernel::new(n_real / 2).unwrap();
+        let mut accel = Vwr2a::new();
+        let run = kernel.run_real(&mut accel, &signal_q).unwrap();
+        let reference = rfft(&signal_f).unwrap();
+        assert_eq!(run.re.len(), n_real / 2 + 1);
+        for k in 0..n_real / 2 {
+            assert!(
+                (from_q16(run.re[k]) - reference[k].re).abs() < 0.3
+                    && (from_q16(run.im[k]) - reference[k].im).abs() < 0.3,
+                "bin {k}: ({}, {}) vs ({}, {})",
+                from_q16(run.re[k]),
+                from_q16(run.im[k]),
+                reference[k].re,
+                reference[k].im
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_sizes_are_rejected() {
+        assert!(FftKernel::new(100).is_err());
+        assert!(FftKernel::new(128).is_err());
+        assert!(FftKernel::new(2048).is_err());
+        let k = FftKernel::new(256).unwrap();
+        assert_eq!(k.len(), 256);
+        assert!(!k.is_empty());
+        let mut accel = Vwr2a::new();
+        assert!(k.run_complex(&mut accel, &[0; 16], &[0; 16]).is_err());
+        assert!(k.run_real(&mut accel, &[0; 100]).is_err());
+    }
+}

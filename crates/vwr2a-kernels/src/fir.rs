@@ -1,0 +1,361 @@
+//! VWR2A mapping of the 11-tap FIR filter (Table 4, and the preprocessing
+//! step of MBioTracker).
+//!
+//! Mapping summary (Sec. 4.4.1 of the paper: "our mapping uses two columns
+//! of the reconfigurable array that work on different slices of the input
+//! array"):
+//!
+//! * The host stages the input with a **10-sample overlap per RC slice**:
+//!   each 32-word slice of a VWR line holds 10 halo samples followed by 22
+//!   payload samples, so every RC computes 22 outputs without ever needing
+//!   data from a neighbouring slice ("careful data placement", Sec. 3.3.2).
+//! * The filter taps are baked into the program as immediates (they are
+//!   kernel constants, exactly like the paper's manually mapped kernels).
+//! * Each output sample is an 11-step multiply-accumulate in the RC local
+//!   registers (standard multiply mode, 32-bit accumulator, final `>> 15`
+//!   like `arm_fir_q15`); the MXCU index walks down the taps and back.
+//! * Both columns run the same program on different input blocks; the block
+//!   loop is driven by the host, which rewrites the two SRF line pointers
+//!   and relaunches the (already loaded) kernel warm.
+
+use crate::error::{KernelError, Result};
+use crate::KernelRun;
+use vwr2a_core::builder::ColumnProgramBuilder;
+use vwr2a_core::geometry::VwrId;
+use vwr2a_core::isa::{
+    LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
+};
+use vwr2a_core::program::KernelProgram;
+use vwr2a_core::Vwr2a;
+
+/// Payload samples produced per RC slice and per block pass.
+const PAYLOAD_PER_SLICE: usize = 32 - 10;
+/// Input line used by column `c` (SRF-addressed, but these are the SPM
+/// locations the host stages into).
+const IN_LINE: [u16; 2] = [0, 1];
+/// Output line used by column `c`.
+const OUT_LINE: [u16; 2] = [2, 3];
+/// Estimated cycles for one host SRF write over the slave port.
+const SRF_WRITE_CYCLES: u64 = 2;
+
+/// The 11-tap FIR kernel mapping.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_core::Vwr2a;
+/// use vwr2a_kernels::fir::FirKernel;
+///
+/// # fn main() -> Result<(), vwr2a_kernels::KernelError> {
+/// let taps = [1024i32; 11]; // a crude averaging filter in q15
+/// let kernel = FirKernel::new(&taps, 256)?;
+/// let input: Vec<i32> = (0..256).map(|i| ((i % 64) as i32 - 32) * 256).collect();
+/// let mut accel = Vwr2a::new();
+/// let run = kernel.run(&mut accel, &input)?;
+/// assert_eq!(run.output.len(), 256);
+/// assert!(run.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirKernel {
+    taps: Vec<i32>,
+    n: usize,
+    program: KernelProgram,
+}
+
+impl FirKernel {
+    /// Builds the kernel for the given `q15` taps and input length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidParameter`] if there are no taps, more
+    /// than 11 taps (the slice overlap is sized for the paper's filter), a
+    /// tap that does not fit the 16-bit immediate field, or a zero-length
+    /// input.
+    pub fn new(taps: &[i32], n: usize) -> Result<Self> {
+        if taps.is_empty() || taps.len() > 11 {
+            return Err(KernelError::InvalidParameter {
+                what: format!("tap count must be 1..=11, got {}", taps.len()),
+            });
+        }
+        if n == 0 {
+            return Err(KernelError::InvalidParameter {
+                what: "input length must be non-zero".into(),
+            });
+        }
+        if let Some(bad) = taps.iter().find(|t| **t > i16::MAX as i32 || **t < i16::MIN as i32) {
+            return Err(KernelError::InvalidParameter {
+                what: format!("tap {bad} does not fit the q15 immediate field"),
+            });
+        }
+        let program = Self::build_program(taps)?;
+        Ok(Self {
+            taps: taps.to_vec(),
+            n,
+            program,
+        })
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[i32] {
+        &self.taps
+    }
+
+    /// The configured input length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the configured input length is zero (never true for a
+    /// constructed kernel).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Outputs produced by one block launch (both columns).
+    fn outputs_per_block() -> usize {
+        2 * 4 * PAYLOAD_PER_SLICE
+    }
+
+    fn build_column_program(taps: &[i32]) -> Result<vwr2a_core::ColumnProgram> {
+        let mut b = ColumnProgramBuilder::new(4);
+        // Load the overlapped input line; line address in SRF[0].
+        b.push(b.row().lsu(LsuInstr::LoadVwr {
+            vwr: VwrId::A,
+            line: LsuAddr::Srf(0),
+        }));
+        // w = 10 (first payload word of every slice).
+        b.push(
+            b.row()
+                .mxcu(MxcuInstr::SetIdx(10))
+                .lcu(LcuInstr::Li { r: 0, value: 10 }),
+        );
+        let outer = b.new_label();
+        b.bind_label(outer);
+        // Tap 0: start the accumulator, then walk the index down the taps.
+        b.push(
+            b.row()
+                .rc_all(RcInstr::new(
+                    RcOpcode::Mul,
+                    RcDst::Reg(0),
+                    RcSrc::Vwr(VwrId::A),
+                    RcSrc::Imm(taps[0] as i16),
+                ))
+                .mxcu(MxcuInstr::AddIdx(-1)),
+        );
+        for (k, &tap) in taps.iter().enumerate().skip(1) {
+            let last = k == taps.len() - 1;
+            // Multiply at index w - k, stepping the index except on the last
+            // tap, where it jumps back up to w.
+            let step = if last {
+                MxcuInstr::AddIdx((k) as i16)
+            } else {
+                MxcuInstr::AddIdx(-1)
+            };
+            b.push(
+                b.row()
+                    .rc_all(RcInstr::new(
+                        RcOpcode::Mul,
+                        RcDst::Reg(1),
+                        RcSrc::Vwr(VwrId::A),
+                        RcSrc::Imm(tap as i16),
+                    ))
+                    .mxcu(step),
+            );
+            b.push(b.row().rc_all(RcInstr::new(
+                RcOpcode::Add,
+                RcDst::Reg(0),
+                RcSrc::Reg(0),
+                RcSrc::Reg(1),
+            )));
+        }
+        // y[w] = acc >> 15 (back to q15 scale, matching arm_fir_q15), then
+        // advance w.
+        b.push(
+            b.row()
+                .rc_all(RcInstr::new(
+                    RcOpcode::Sra,
+                    RcDst::Vwr(VwrId::C),
+                    RcSrc::Reg(0),
+                    RcSrc::Imm(15),
+                ))
+                .mxcu(MxcuInstr::AddIdx(1))
+                .lcu(LcuInstr::Add {
+                    r: 0,
+                    src: LcuSrc::Imm(1),
+                }),
+        );
+        b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(32), outer);
+        // Store the output line; line address in SRF[1].
+        b.push(b.row().lsu(LsuInstr::StoreVwr {
+            vwr: VwrId::C,
+            line: LsuAddr::Srf(1),
+        }));
+        b.push_exit();
+        Ok(b.build()?)
+    }
+
+    fn build_program(taps: &[i32]) -> Result<KernelProgram> {
+        let col = Self::build_column_program(taps)?;
+        Ok(KernelProgram::new("fir-11tap", vec![col.clone(), col])?)
+    }
+
+    /// Builds the overlapped input line for one column of one block.
+    ///
+    /// `base` is the index of the first payload sample of the column's first
+    /// slice.
+    fn stage_line(input: &[i32], base: i64) -> Vec<i32> {
+        let mut line = vec![0i32; 128];
+        for slice in 0..4usize {
+            let payload_start = base + (slice * PAYLOAD_PER_SLICE) as i64;
+            for w in 0..32usize {
+                // Word w of the slice corresponds to sample payload_start + (w - 10).
+                let idx = payload_start + w as i64 - 10;
+                if idx >= 0 && (idx as usize) < input.len() {
+                    line[slice * 32 + w] = input[idx as usize];
+                }
+            }
+        }
+        line
+    }
+
+    /// Runs the filter over `input` (`q15` samples in `i32` words) on the
+    /// given accelerator, returning the filtered output and the cycle /
+    /// activity accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidParameter`] if `input.len()` differs
+    /// from the configured length, or any simulator error.
+    pub fn run(&self, accel: &mut Vwr2a, input: &[i32]) -> Result<KernelRun> {
+        if input.len() != self.n {
+            return Err(KernelError::InvalidParameter {
+                what: format!("expected {} samples, got {}", self.n, input.len()),
+            });
+        }
+        let before = accel.counters();
+        let mut cycles = 0u64;
+        let mut output = vec![0i32; self.n];
+        let id = accel.load_kernel(&self.program)?;
+        let per_block = Self::outputs_per_block();
+        let blocks = self.n.div_ceil(per_block);
+        let mut first_launch = true;
+        for blk in 0..blocks {
+            let block_base = (blk * per_block) as i64;
+            for col in 0..2usize {
+                let base = block_base + (col * 4 * PAYLOAD_PER_SLICE) as i64;
+                let line = Self::stage_line(input, base);
+                cycles += accel.dma_to_spm(&line, IN_LINE[col] as usize * 128)?;
+                accel.write_srf(col, 0, IN_LINE[col] as i32)?;
+                accel.write_srf(col, 1, OUT_LINE[col] as i32)?;
+                cycles += 2 * SRF_WRITE_CYCLES;
+            }
+            let stats = if first_launch {
+                first_launch = false;
+                accel.run_kernel(id)?
+            } else {
+                accel.run_kernel_warm(id)?
+            };
+            cycles += stats.cycles;
+            for col in 0..2usize {
+                let (line, dma_cycles) = accel.dma_from_spm(OUT_LINE[col] as usize * 128, 128)?;
+                cycles += dma_cycles;
+                let base = block_base + (col * 4 * PAYLOAD_PER_SLICE) as i64;
+                for slice in 0..4usize {
+                    for p in 0..PAYLOAD_PER_SLICE {
+                        let out_idx = base + (slice * PAYLOAD_PER_SLICE + p) as i64;
+                        if out_idx >= 0 && (out_idx as usize) < self.n {
+                            output[out_idx as usize] = line[slice * 32 + 10 + p];
+                        }
+                    }
+                }
+            }
+        }
+        let after = accel.counters();
+        Ok(KernelRun {
+            output,
+            cycles,
+            counters: crate::subtract_counters(after, before),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vwr2a_dsp::fir::{design_lowpass, fir_q15, PAPER_FIR_TAPS};
+    use vwr2a_dsp::fixed::Q15;
+
+    fn paper_taps() -> Vec<i32> {
+        design_lowpass(PAPER_FIR_TAPS, 0.12)
+            .unwrap()
+            .iter()
+            .map(|&v| Q15::from_f64(v).0 as i32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_q15_reference_within_rounding() {
+        let taps = paper_taps();
+        let n = 256;
+        let input_f: Vec<f64> = (0..n).map(|i| 0.6 * (i as f64 * 0.09).sin()).collect();
+        let input: Vec<i32> = input_f.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+        let kernel = FirKernel::new(&taps, n).unwrap();
+        let mut accel = Vwr2a::new();
+        let run = kernel.run(&mut accel, &input).unwrap();
+
+        let taps_q: Vec<Q15> = taps.iter().map(|&t| Q15(t as i16)).collect();
+        let input_q: Vec<Q15> = input.iter().map(|&v| Q15(v as i16)).collect();
+        let reference = fir_q15(&taps_q, &input_q).unwrap();
+        for (i, (o, r)) in run.output.iter().zip(reference.iter()).enumerate() {
+            assert!(
+                (o - r.0 as i32).abs() <= 4,
+                "sample {i}: vwr2a {o} vs reference {}",
+                r.0
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_in_the_papers_range_for_256_points() {
+        // Table 4 reports 1849 cycles for 256 points; the mapping should be
+        // within a factor ~1.6 of that.
+        let kernel = FirKernel::new(&paper_taps(), 256).unwrap();
+        let input: Vec<i32> = (0..256).map(|i| ((i * 37) % 8192) as i32 - 4096).collect();
+        let mut accel = Vwr2a::new();
+        let run = kernel.run(&mut accel, &input).unwrap();
+        assert!(
+            run.cycles > 1000 && run.cycles < 3200,
+            "cycles {}",
+            run.cycles
+        );
+    }
+
+    #[test]
+    fn cycles_scale_roughly_linearly_with_input_size() {
+        let taps = paper_taps();
+        let cycles = |n: usize| {
+            let kernel = FirKernel::new(&taps, n).unwrap();
+            let input: Vec<i32> = (0..n).map(|i| (i as i32 % 100) - 50).collect();
+            let mut accel = Vwr2a::new();
+            kernel.run(&mut accel, &input).unwrap().cycles as f64
+        };
+        let r = cycles(1024) / cycles(512);
+        assert!(r > 1.7 && r < 2.3, "scaling ratio {r}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(FirKernel::new(&[], 128).is_err());
+        assert!(FirKernel::new(&[1; 12], 128).is_err());
+        assert!(FirKernel::new(&[40_000], 128).is_err());
+        assert!(FirKernel::new(&[1], 0).is_err());
+        let k = FirKernel::new(&[1, 2, 3], 64).unwrap();
+        let mut accel = Vwr2a::new();
+        assert!(k.run(&mut accel, &[0; 32]).is_err());
+        assert_eq!(k.taps(), &[1, 2, 3]);
+        assert_eq!(k.len(), 64);
+        assert!(!k.is_empty());
+    }
+}

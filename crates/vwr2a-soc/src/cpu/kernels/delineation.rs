@@ -1,0 +1,196 @@
+//! CPU baseline: delineation of a filtered respiration signal.
+//!
+//! The delineation step of MBioTracker detects the maximums and minimums of
+//! the filtered signal to extract inspiration and expiration times
+//! (Sec. 4.4.2).  It is the paper's example of control-intensive code
+//! (Sec. 5.2.2): a linear scan full of data-dependent branches, which is
+//! exactly how this program is written.
+//!
+//! The detection policy matches `vwr2a_dsp::stats::delineate_alternating`:
+//! extrema strictly alternate max/min and a new extremum is accepted only
+//! when it differs from the previous one by at least the prominence
+//! threshold.
+
+use crate::cpu::asm::{BranchCond, CpuAsm};
+use crate::cpu::CpuInstr;
+use crate::error::Result;
+
+/// Builds the delineation program.
+///
+/// Memory layout (word addresses):
+/// * `signal_addr..signal_addr+n` — filtered samples (any integer scale),
+/// * `out_addr..` — detected extrema as `(index, value, is_max)` triplets,
+/// * `count_addr` — number of extrema found (one word, written at the end).
+///
+/// # Errors
+///
+/// Returns an assembler error only on an internal generator bug.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_soc::cpu::kernels::delineation_program;
+/// let program = delineation_program(512, 1000, 0, 600, 599).unwrap();
+/// assert!(program.len() > 30);
+/// ```
+pub fn delineation_program(
+    n: usize,
+    min_prominence: i32,
+    signal_addr: usize,
+    out_addr: usize,
+    count_addr: usize,
+) -> Result<Vec<CpuInstr>> {
+    const ZERO: u8 = 0;
+    const SIG: u8 = 1;
+    const OUT: u8 = 2;
+    const N1: u8 = 3; // n - 1
+    const I: u8 = 4;
+    const COUNT: u8 = 5;
+    const PROM: u8 = 6;
+    const PREV: u8 = 7;
+    const CUR: u8 = 8;
+    const NEXT: u8 = 9;
+    const ISMAX: u8 = 10;
+    const ISMIN: u8 = 11;
+    const LASTV: u8 = 12;
+    const LASTK: u8 = 13;
+    const T0: u8 = 14;
+    const T1: u8 = 15;
+    const PTR: u8 = 16;
+
+    let mut a = CpuAsm::new();
+    a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
+    a.push(CpuInstr::Li { rd: SIG, imm: signal_addr as i32 });
+    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
+    a.push(CpuInstr::Li { rd: N1, imm: n as i32 - 1 });
+    a.push(CpuInstr::Li { rd: I, imm: 1 });
+    a.push(CpuInstr::Li { rd: COUNT, imm: 0 });
+    a.push(CpuInstr::Li { rd: PROM, imm: min_prominence });
+    a.push(CpuInstr::Li { rd: LASTV, imm: 0 });
+    a.push(CpuInstr::Li { rd: LASTK, imm: -1 });
+
+    let loop_top = a.new_label();
+    let continue_label = a.new_label();
+    let store = a.new_label();
+    let first_check = a.new_label();
+
+    a.bind(loop_top);
+    // Load the prev/cur/next window.
+    a.push(CpuInstr::Add { rd: PTR, rs1: SIG, rs2: I });
+    a.push(CpuInstr::Lw { rd: PREV, rs1: PTR, offset: -1 });
+    a.push(CpuInstr::Lw { rd: CUR, rs1: PTR, offset: 0 });
+    a.push(CpuInstr::Lw { rd: NEXT, rs1: PTR, offset: 1 });
+    // is_max = (cur >= prev) && (cur > next): with t0 = cur<prev and
+    // t1 = next<cur, that is exactly t0 < t1.
+    a.push(CpuInstr::Slt { rd: T0, rs1: CUR, rs2: PREV });
+    a.push(CpuInstr::Slt { rd: T1, rs1: NEXT, rs2: CUR });
+    a.push(CpuInstr::Slt { rd: ISMAX, rs1: T0, rs2: T1 });
+    // is_min = (cur <= prev) && (cur < next).
+    a.push(CpuInstr::Slt { rd: T0, rs1: PREV, rs2: CUR });
+    a.push(CpuInstr::Slt { rd: T1, rs1: CUR, rs2: NEXT });
+    a.push(CpuInstr::Slt { rd: ISMIN, rs1: T0, rs2: T1 });
+    // Not an extremum: next sample.
+    a.push(CpuInstr::Or { rd: T0, rs1: ISMAX, rs2: ISMIN });
+    a.branch(BranchCond::Eq, T0, ZERO, continue_label);
+    // First extremum has its own acceptance rule.
+    a.branch(BranchCond::Eq, COUNT, ZERO, first_check);
+    // Alternation: skip a candidate of the same kind as the last one.
+    a.branch(BranchCond::Eq, LASTK, ISMAX, continue_label);
+    // Prominence: |cur - last| >= prom.
+    a.push(CpuInstr::Sub { rd: T0, rs1: CUR, rs2: LASTV });
+    a.push(CpuInstr::Sub { rd: T1, rs1: LASTV, rs2: CUR });
+    let absd_done = a.new_label();
+    a.branch(BranchCond::Ge, T0, T1, absd_done);
+    a.push(CpuInstr::Mv { rd: T0, rs: T1 });
+    a.bind(absd_done);
+    a.branch(BranchCond::Ge, T0, PROM, store);
+    a.jump(continue_label);
+    // First extremum: |cur| >= prom.
+    a.bind(first_check);
+    a.push(CpuInstr::Mv { rd: T0, rs: CUR });
+    a.push(CpuInstr::Sub { rd: T1, rs1: ZERO, rs2: CUR });
+    let abs_done = a.new_label();
+    a.branch(BranchCond::Ge, T0, T1, abs_done);
+    a.push(CpuInstr::Mv { rd: T0, rs: T1 });
+    a.bind(abs_done);
+    a.branch(BranchCond::Ge, T0, PROM, store);
+    a.jump(continue_label);
+    // Store the (index, value, is_max) triplet.
+    a.bind(store);
+    a.push(CpuInstr::Sll { rd: T1, rs1: COUNT, shamt: 1 });
+    a.push(CpuInstr::Add { rd: T1, rs1: T1, rs2: COUNT });
+    a.push(CpuInstr::Add { rd: T1, rs1: T1, rs2: OUT });
+    a.push(CpuInstr::Sw { rs2: I, rs1: T1, offset: 0 });
+    a.push(CpuInstr::Sw { rs2: CUR, rs1: T1, offset: 1 });
+    a.push(CpuInstr::Sw { rs2: ISMAX, rs1: T1, offset: 2 });
+    a.push(CpuInstr::Addi { rd: COUNT, rs1: COUNT, imm: 1 });
+    a.push(CpuInstr::Mv { rd: LASTV, rs: CUR });
+    a.push(CpuInstr::Mv { rd: LASTK, rs: ISMAX });
+    // Loop bookkeeping.
+    a.bind(continue_label);
+    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.branch(BranchCond::Lt, I, N1, loop_top);
+    a.push(CpuInstr::Li { rd: T0, imm: count_addr as i32 });
+    a.push(CpuInstr::Sw { rs2: COUNT, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Halt);
+    a.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::sram::Sram;
+    use vwr2a_dsp::stats::delineate_alternating;
+
+    #[test]
+    fn matches_reference_on_a_respiration_like_signal() {
+        let n = 600;
+        // Respiration-like signal: slow sine with a small ripple, scaled to
+        // integers as the fixed-point pipeline would produce.
+        let signal_f: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (std::f64::consts::TAU * t / 150.0).sin()
+                    + 0.05 * (std::f64::consts::TAU * t / 13.0).sin()
+            })
+            .collect();
+        let signal_i: Vec<i32> = signal_f.iter().map(|&v| (v * 32768.0) as i32).collect();
+        let prominence = 16_384; // 0.5 in the same scale
+
+        let reference = delineate_alternating(&signal_i, prominence);
+
+        let signal_addr = 0usize;
+        let out_addr = n;
+        let count_addr = n + 3 * 64;
+        let program =
+            delineation_program(n, prominence, signal_addr, out_addr, count_addr).unwrap();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        sram.load(signal_addr, &signal_i).unwrap();
+        let stats = cpu.run(&program, &mut sram).unwrap();
+
+        let count = sram.dump(count_addr, 1).unwrap()[0] as usize;
+        assert_eq!(count, reference.len(), "extrema count");
+        assert!(count >= 6, "a 4-period signal should have several extrema");
+        let triplets = sram.dump(out_addr, 3 * count).unwrap();
+        for (e, r) in triplets.chunks(3).zip(reference.iter()) {
+            assert_eq!(e[0] as usize, r.index);
+            assert_eq!(e[1], r.value);
+            assert_eq!(e[2] != 0, r.is_max);
+        }
+        // Control-intensive: far more branches than multiplies.
+        assert!(stats.branches > stats.mul_ops * 10);
+    }
+
+    #[test]
+    fn flat_signal_has_no_extrema() {
+        let n = 100;
+        let program = delineation_program(n, 10, 0, 200, 400).unwrap();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        sram.load(0, &vec![5i32; n]).unwrap();
+        cpu.run(&program, &mut sram).unwrap();
+        assert_eq!(sram.dump(400, 1).unwrap()[0], 0);
+    }
+}

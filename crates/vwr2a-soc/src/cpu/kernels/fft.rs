@@ -1,0 +1,444 @@
+//! CPU baseline: in-place radix-2 `q15` FFT (complex and real-valued).
+//!
+//! Matches `vwr2a_dsp::fft_q15`: per-stage 1/2 scaling (so an `N`-point
+//! transform is scaled by `1/N`), 16-bit saturation of the twiddle products,
+//! and the pack/split trick for real-valued inputs (Sec. 3.4 of the paper).
+//! Data is stored interleaved — `data[2k]` is the real part and `data[2k+1]`
+//! the imaginary part of sample `k` — with one `q15` value per 32-bit word.
+//!
+//! The twiddle tables play the role of the CMSIS constant tables; the
+//! [`cfft_twiddles_q15`] / [`rfft_split_twiddles_q15`] helpers generate the
+//! words the host loads into SRAM before starting the kernel.
+
+use crate::cpu::asm::{BranchCond, CpuAsm};
+use crate::cpu::CpuInstr;
+use crate::error::{Result, SocError};
+
+// Register allocation shared by the generators in this module.
+const ZERO: u8 = 0;
+const DATA: u8 = 1;
+const TW: u8 = 2;
+const N: u8 = 3;
+const I: u8 = 4;
+const J: u8 = 5;
+const BIT: u8 = 6;
+const HALF: u8 = 7;
+const STEP: u8 = 8;
+const LEN: u8 = 9;
+const BI: u8 = 10;
+const BJ: u8 = 11;
+const TWI: u8 = 12;
+const P1: u8 = 13;
+const P2: u8 = 14;
+const PW: u8 = 15;
+const ARE: u8 = 16;
+const AIM: u8 = 17;
+const BRE: u8 = 18;
+const BIM: u8 = 19;
+const WRE: u8 = 20;
+const WIM: u8 = 21;
+const VR: u8 = 22;
+const VI: u8 = 23;
+const T0: u8 = 24;
+const T1: u8 = 25;
+const T2: u8 = 26;
+const T3: u8 = 27;
+
+fn check_power_of_two(n: usize) -> Result<()> {
+    if n < 4 || !n.is_power_of_two() {
+        return Err(SocError::InvalidParameter {
+            what: format!("fft length must be a power of two of at least 4, got {n}"),
+        });
+    }
+    Ok(())
+}
+
+/// `q15` twiddle table for an `n`-point forward complex FFT, interleaved
+/// (`[re0, im0, re1, im1, …]`, `n` words total).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (host-side table generation).
+pub fn cfft_twiddles_q15(n: usize) -> Vec<i32> {
+    assert!(n.is_power_of_two(), "twiddle table length must be a power of two");
+    let tw = vwr2a_dsp::fft_q15::twiddle_table(n).expect("validated power of two");
+    tw.iter()
+        .flat_map(|c| [c.re.0 as i32, c.im.0 as i32])
+        .collect()
+}
+
+/// `q15` split twiddles `e^{-2πik/n}` for `k = 0..=n/2`, interleaved
+/// (`n + 2` words), used by the real-FFT recombination step.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn rfft_split_twiddles_q15(n: usize) -> Vec<i32> {
+    assert!(n.is_power_of_two(), "twiddle table length must be a power of two");
+    (0..=n / 2)
+        .flat_map(|k| {
+            let theta = -std::f64::consts::TAU * k as f64 / n as f64;
+            [
+                vwr2a_dsp::fixed::Q15::from_f64(theta.cos()).0 as i32,
+                vwr2a_dsp::fixed::Q15::from_f64(theta.sin()).0 as i32,
+            ]
+        })
+        .collect()
+}
+
+/// Emits the bit-reversal permutation of `n` interleaved complex samples at
+/// the address held in `DATA`.
+fn emit_bit_reversal(a: &mut CpuAsm, n: usize) {
+    a.push(CpuInstr::Li { rd: J, imm: 0 });
+    a.push(CpuInstr::Li { rd: I, imm: 1 });
+    let i_loop = a.new_label();
+    a.bind(i_loop);
+    a.push(CpuInstr::Li { rd: BIT, imm: (n >> 1) as i32 });
+    let while_top = a.new_label();
+    let while_end = a.new_label();
+    a.bind(while_top);
+    a.push(CpuInstr::And { rd: T0, rs1: J, rs2: BIT });
+    a.branch(BranchCond::Eq, T0, ZERO, while_end);
+    a.push(CpuInstr::Xor { rd: J, rs1: J, rs2: BIT });
+    a.push(CpuInstr::Srl { rd: BIT, rs1: BIT, shamt: 1 });
+    a.jump(while_top);
+    a.bind(while_end);
+    a.push(CpuInstr::Xor { rd: J, rs1: J, rs2: BIT });
+    // Swap complex elements i and j when i < j.
+    let no_swap = a.new_label();
+    a.branch(BranchCond::Ge, I, J, no_swap);
+    a.push(CpuInstr::Sll { rd: T0, rs1: I, shamt: 1 });
+    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: DATA });
+    a.push(CpuInstr::Sll { rd: T1, rs1: J, shamt: 1 });
+    a.push(CpuInstr::Add { rd: T1, rs1: T1, rs2: DATA });
+    a.push(CpuInstr::Lw { rd: T2, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Lw { rd: T3, rs1: T1, offset: 0 });
+    a.push(CpuInstr::Sw { rs2: T2, rs1: T1, offset: 0 });
+    a.push(CpuInstr::Sw { rs2: T3, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Lw { rd: T2, rs1: T0, offset: 1 });
+    a.push(CpuInstr::Lw { rd: T3, rs1: T1, offset: 1 });
+    a.push(CpuInstr::Sw { rs2: T2, rs1: T1, offset: 1 });
+    a.push(CpuInstr::Sw { rs2: T3, rs1: T0, offset: 1 });
+    a.bind(no_swap);
+    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.branch(BranchCond::Lt, I, N, i_loop);
+}
+
+/// Emits the radix-2 stage loops (assumes `DATA`, `TW` and `N` are loaded).
+fn emit_stages(a: &mut CpuAsm, n: usize) {
+    a.push(CpuInstr::Li { rd: HALF, imm: 1 });
+    a.push(CpuInstr::Li { rd: STEP, imm: (n >> 1) as i32 });
+    let stage_loop = a.new_label();
+    a.bind(stage_loop);
+    a.push(CpuInstr::Sll { rd: LEN, rs1: HALF, shamt: 1 });
+    a.push(CpuInstr::Li { rd: BI, imm: 0 });
+    let outer_loop = a.new_label();
+    a.bind(outer_loop);
+    a.push(CpuInstr::Li { rd: BJ, imm: 0 });
+    a.push(CpuInstr::Li { rd: TWI, imm: 0 });
+    let inner_loop = a.new_label();
+    a.bind(inner_loop);
+    // Addresses of the two butterfly operands and the twiddle.
+    a.push(CpuInstr::Add { rd: T0, rs1: BI, rs2: BJ });
+    a.push(CpuInstr::Sll { rd: P1, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Add { rd: P1, rs1: P1, rs2: DATA });
+    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: HALF });
+    a.push(CpuInstr::Sll { rd: P2, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Add { rd: P2, rs1: P2, rs2: DATA });
+    a.push(CpuInstr::Sll { rd: PW, rs1: TWI, shamt: 1 });
+    a.push(CpuInstr::Add { rd: PW, rs1: PW, rs2: TW });
+    // Load operands.
+    a.push(CpuInstr::Lw { rd: ARE, rs1: P1, offset: 0 });
+    a.push(CpuInstr::Lw { rd: AIM, rs1: P1, offset: 1 });
+    a.push(CpuInstr::Lw { rd: BRE, rs1: P2, offset: 0 });
+    a.push(CpuInstr::Lw { rd: BIM, rs1: P2, offset: 1 });
+    a.push(CpuInstr::Lw { rd: WRE, rs1: PW, offset: 0 });
+    a.push(CpuInstr::Lw { rd: WIM, rs1: PW, offset: 1 });
+    // vr = ssat((b_re*w_re - b_im*w_im) >> 15, 16)
+    a.push(CpuInstr::Mul { rd: VR, rs1: BRE, rs2: WRE });
+    a.push(CpuInstr::Mul { rd: T0, rs1: BIM, rs2: WIM });
+    a.push(CpuInstr::Sub { rd: VR, rs1: VR, rs2: T0 });
+    a.push(CpuInstr::Sra { rd: VR, rs1: VR, shamt: 15 });
+    a.push(CpuInstr::Ssat { rd: VR, rs: VR, bits: 16 });
+    // vi = ssat((b_re*w_im + b_im*w_re) >> 15, 16)
+    a.push(CpuInstr::Mul { rd: VI, rs1: BRE, rs2: WIM });
+    a.push(CpuInstr::Mla { rd: VI, rs1: BIM, rs2: WRE });
+    a.push(CpuInstr::Sra { rd: VI, rs1: VI, shamt: 15 });
+    a.push(CpuInstr::Ssat { rd: VI, rs: VI, bits: 16 });
+    // Butterflies with 1/2 scaling.
+    a.push(CpuInstr::Add { rd: T0, rs1: ARE, rs2: VR });
+    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Sw { rs2: T0, rs1: P1, offset: 0 });
+    a.push(CpuInstr::Add { rd: T0, rs1: AIM, rs2: VI });
+    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Sw { rs2: T0, rs1: P1, offset: 1 });
+    a.push(CpuInstr::Sub { rd: T0, rs1: ARE, rs2: VR });
+    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Sw { rs2: T0, rs1: P2, offset: 0 });
+    a.push(CpuInstr::Sub { rd: T0, rs1: AIM, rs2: VI });
+    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Sw { rs2: T0, rs1: P2, offset: 1 });
+    // Loop bookkeeping.
+    a.push(CpuInstr::Add { rd: TWI, rs1: TWI, rs2: STEP });
+    a.push(CpuInstr::Addi { rd: BJ, rs1: BJ, imm: 1 });
+    a.branch(BranchCond::Lt, BJ, HALF, inner_loop);
+    a.push(CpuInstr::Add { rd: BI, rs1: BI, rs2: LEN });
+    a.branch(BranchCond::Lt, BI, N, outer_loop);
+    a.push(CpuInstr::Sll { rd: HALF, rs1: HALF, shamt: 1 });
+    a.push(CpuInstr::Srl { rd: STEP, rs1: STEP, shamt: 1 });
+    a.branch(BranchCond::Lt, HALF, N, stage_loop);
+}
+
+/// Builds the in-place `n`-point complex `q15` FFT program.
+///
+/// Memory layout (word addresses):
+/// * `data_addr..data_addr+2n` — interleaved complex samples (in/out),
+/// * `tw_addr..tw_addr+n` — twiddles from [`cfft_twiddles_q15`].
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] if `n` is not a power of two of at
+/// least 4.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_soc::cpu::kernels::cfft_q15_program;
+/// let program = cfft_q15_program(64, 0, 128).unwrap();
+/// assert!(program.len() > 50);
+/// ```
+pub fn cfft_q15_program(n: usize, data_addr: usize, tw_addr: usize) -> Result<Vec<CpuInstr>> {
+    check_power_of_two(n)?;
+    let mut a = CpuAsm::new();
+    a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
+    a.push(CpuInstr::Li { rd: DATA, imm: data_addr as i32 });
+    a.push(CpuInstr::Li { rd: TW, imm: tw_addr as i32 });
+    a.push(CpuInstr::Li { rd: N, imm: n as i32 });
+    emit_bit_reversal(&mut a, n);
+    emit_stages(&mut a, n);
+    a.push(CpuInstr::Halt);
+    a.build()
+}
+
+/// Builds the `n`-point real-valued `q15` FFT program (pack, `n/2`-point
+/// complex FFT, split), producing `n/2 + 1` interleaved output bins.
+///
+/// Memory layout (word addresses):
+/// * `data_addr..data_addr+n` — real input samples, reinterpreted in place
+///   as `n/2` interleaved complex values (the packing step is free),
+/// * `tw_addr..tw_addr+n/2` — twiddles from `cfft_twiddles_q15(n/2)`,
+/// * `split_tw_addr..split_tw_addr+n+2` — twiddles from
+///   [`rfft_split_twiddles_q15`]`(n)`,
+/// * `out_addr..out_addr+n+2` — interleaved output spectrum (written).
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] if `n` is not a power of two of at
+/// least 8.
+pub fn rfft_q15_program(
+    n: usize,
+    data_addr: usize,
+    tw_addr: usize,
+    split_tw_addr: usize,
+    out_addr: usize,
+) -> Result<Vec<CpuInstr>> {
+    check_power_of_two(n)?;
+    if n < 8 {
+        return Err(SocError::InvalidParameter {
+            what: format!("real fft length must be at least 8, got {n}"),
+        });
+    }
+    let half = n / 2;
+    let mut a = CpuAsm::new();
+    a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
+    a.push(CpuInstr::Li { rd: DATA, imm: data_addr as i32 });
+    a.push(CpuInstr::Li { rd: TW, imm: tw_addr as i32 });
+    a.push(CpuInstr::Li { rd: N, imm: half as i32 });
+    emit_bit_reversal(&mut a, half);
+    emit_stages(&mut a, half);
+
+    // Split step: reuse the register file for new roles.
+    // r1 = DATA (packed spectrum), r2 = split twiddles, r3 = half, r26 = out.
+    const OUT: u8 = T2;
+    const K: u8 = I;
+    const ZK: u8 = BI;
+    const ZNK: u8 = BJ;
+    a.push(CpuInstr::Li { rd: TW, imm: split_tw_addr as i32 });
+    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
+    a.push(CpuInstr::Li { rd: K, imm: 0 });
+    let k_loop = a.new_label();
+    a.bind(k_loop);
+    // zk index: k, or 0 when k == half.
+    a.push(CpuInstr::Mv { rd: ZK, rs: K });
+    let zk_ok = a.new_label();
+    a.branch(BranchCond::Lt, K, N, zk_ok);
+    a.push(CpuInstr::Li { rd: ZK, imm: 0 });
+    a.bind(zk_ok);
+    // znk index: half - k, or 0 when k == 0.
+    a.push(CpuInstr::Sub { rd: ZNK, rs1: N, rs2: K });
+    let znk_ok = a.new_label();
+    a.branch(BranchCond::Ne, K, ZERO, znk_ok);
+    a.push(CpuInstr::Li { rd: ZNK, imm: 0 });
+    a.bind(znk_ok);
+    // Load z[k] and z[half-k].
+    a.push(CpuInstr::Sll { rd: P1, rs1: ZK, shamt: 1 });
+    a.push(CpuInstr::Add { rd: P1, rs1: P1, rs2: DATA });
+    a.push(CpuInstr::Sll { rd: P2, rs1: ZNK, shamt: 1 });
+    a.push(CpuInstr::Add { rd: P2, rs1: P2, rs2: DATA });
+    a.push(CpuInstr::Lw { rd: ARE, rs1: P1, offset: 0 }); // zkr
+    a.push(CpuInstr::Lw { rd: AIM, rs1: P1, offset: 1 }); // zki
+    a.push(CpuInstr::Lw { rd: BRE, rs1: P2, offset: 0 }); // znkr
+    a.push(CpuInstr::Lw { rd: BIM, rs1: P2, offset: 1 }); // znki
+    // er = (zkr + znkr) >> 1 ; ei = (zki - znki) >> 1
+    // or = (zki + znki) >> 1 ; oi = (znkr - zkr) >> 1
+    a.push(CpuInstr::Add { rd: VR, rs1: ARE, rs2: BRE });
+    a.push(CpuInstr::Sra { rd: VR, rs1: VR, shamt: 1 }); // er
+    a.push(CpuInstr::Sub { rd: VI, rs1: AIM, rs2: BIM });
+    a.push(CpuInstr::Sra { rd: VI, rs1: VI, shamt: 1 }); // ei
+    a.push(CpuInstr::Add { rd: T0, rs1: AIM, rs2: BIM });
+    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 }); // or
+    a.push(CpuInstr::Sub { rd: T1, rs1: BRE, rs2: ARE });
+    a.push(CpuInstr::Sra { rd: T1, rs1: T1, shamt: 1 }); // oi
+    // Twiddle c, s.
+    a.push(CpuInstr::Sll { rd: PW, rs1: K, shamt: 1 });
+    a.push(CpuInstr::Add { rd: PW, rs1: PW, rs2: TW });
+    a.push(CpuInstr::Lw { rd: WRE, rs1: PW, offset: 0 });
+    a.push(CpuInstr::Lw { rd: WIM, rs1: PW, offset: 1 });
+    // re = (er + (c*or - s*oi) >> 15) >> 1
+    a.push(CpuInstr::Mul { rd: T3, rs1: WRE, rs2: T0 });
+    a.push(CpuInstr::Mul { rd: LEN, rs1: WIM, rs2: T1 });
+    a.push(CpuInstr::Sub { rd: T3, rs1: T3, rs2: LEN });
+    a.push(CpuInstr::Sra { rd: T3, rs1: T3, shamt: 15 });
+    a.push(CpuInstr::Add { rd: T3, rs1: VR, rs2: T3 });
+    a.push(CpuInstr::Sra { rd: T3, rs1: T3, shamt: 1 });
+    a.push(CpuInstr::Ssat { rd: T3, rs: T3, bits: 16 });
+    // im = (ei + (c*oi + s*or) >> 15) >> 1
+    a.push(CpuInstr::Mul { rd: HALF, rs1: WRE, rs2: T1 });
+    a.push(CpuInstr::Mla { rd: HALF, rs1: WIM, rs2: T0 });
+    a.push(CpuInstr::Sra { rd: HALF, rs1: HALF, shamt: 15 });
+    a.push(CpuInstr::Add { rd: HALF, rs1: VI, rs2: HALF });
+    a.push(CpuInstr::Sra { rd: HALF, rs1: HALF, shamt: 1 });
+    a.push(CpuInstr::Ssat { rd: HALF, rs: HALF, bits: 16 });
+    // Store out[2k], out[2k+1].
+    a.push(CpuInstr::Sll { rd: STEP, rs1: K, shamt: 1 });
+    a.push(CpuInstr::Add { rd: STEP, rs1: STEP, rs2: OUT });
+    a.push(CpuInstr::Sw { rs2: T3, rs1: STEP, offset: 0 });
+    a.push(CpuInstr::Sw { rs2: HALF, rs1: STEP, offset: 1 });
+    // k += 1; loop while k <= half.
+    a.push(CpuInstr::Addi { rd: K, rs1: K, imm: 1 });
+    a.push(CpuInstr::Addi { rd: T0, rs1: N, imm: 1 });
+    a.branch(BranchCond::Lt, K, T0, k_loop);
+    a.push(CpuInstr::Halt);
+    a.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::sram::Sram;
+    use vwr2a_dsp::fft_q15::{cfft_q15, rfft_q15, ComplexQ15};
+    use vwr2a_dsp::fixed::Q15;
+
+    fn run_cfft(n: usize, signal: &[f64]) -> (Vec<i32>, Vec<ComplexQ15>, u64) {
+        let mut reference: Vec<ComplexQ15> = signal
+            .iter()
+            .map(|&v| ComplexQ15::from_f64(v, 0.0))
+            .collect();
+        let data: Vec<i32> = reference
+            .iter()
+            .flat_map(|c| [c.re.0 as i32, c.im.0 as i32])
+            .collect();
+        cfft_q15(&mut reference).unwrap();
+
+        let data_addr = 0usize;
+        let tw_addr = 2 * n;
+        let program = cfft_q15_program(n, data_addr, tw_addr).unwrap();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        sram.load(data_addr, &data).unwrap();
+        sram.load(tw_addr, &cfft_twiddles_q15(n)).unwrap();
+        let stats = cpu.run(&program, &mut sram).unwrap();
+        (sram.dump(data_addr, 2 * n).unwrap(), reference, stats.cycles)
+    }
+
+    #[test]
+    fn cfft_matches_reference_model() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| 0.4 * (i as f64 * 0.3).sin()).collect();
+        let (out, reference, _) = run_cfft(n, &signal);
+        for (k, r) in reference.iter().enumerate() {
+            let re = out[2 * k];
+            let im = out[2 * k + 1];
+            assert!(
+                (re - r.re.0 as i32).abs() <= 1 && (im - r.im.0 as i32).abs() <= 1,
+                "bin {k}: cpu ({re},{im}) vs reference ({},{})",
+                r.re.0,
+                r.im.0
+            );
+        }
+    }
+
+    #[test]
+    fn cfft_cycles_scale_as_n_log_n() {
+        let signal: Vec<f64> = (0..256).map(|i| 0.3 * (i as f64 * 0.11).cos()).collect();
+        let (_, _, c256) = run_cfft(256, &signal);
+        let signal: Vec<f64> = (0..512).map(|i| 0.3 * (i as f64 * 0.11).cos()).collect();
+        let (_, _, c512) = run_cfft(512, &signal);
+        // N log N: doubling N slightly more than doubles the work.
+        let ratio = c512 as f64 / c256 as f64;
+        assert!(ratio > 2.0 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rfft_matches_reference_model() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| 0.35 * (std::f64::consts::TAU * 6.0 * i as f64 / n as f64).cos())
+            .collect();
+        let input_q: Vec<Q15> = signal.iter().map(|&v| Q15::from_f64(v)).collect();
+        let reference = rfft_q15(&input_q).unwrap();
+
+        let data_addr = 0usize;
+        let tw_addr = n;
+        let split_addr = tw_addr + n / 2;
+        let out_addr = split_addr + n + 2;
+        let program = rfft_q15_program(n, data_addr, tw_addr, split_addr, out_addr).unwrap();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        sram.load(data_addr, &input_q.iter().map(|q| q.0 as i32).collect::<Vec<_>>())
+            .unwrap();
+        sram.load(tw_addr, &cfft_twiddles_q15(n / 2)).unwrap();
+        sram.load(split_addr, &rfft_split_twiddles_q15(n)).unwrap();
+        cpu.run(&program, &mut sram).unwrap();
+        let out = sram.dump(out_addr, n + 2).unwrap();
+
+        // The reference does its split step in floating point, so allow a
+        // few LSB of difference; the dominant bin must match exactly.
+        for (k, r) in reference.iter().enumerate() {
+            let re = out[2 * k];
+            let im = out[2 * k + 1];
+            assert!(
+                (re - r.re.0 as i32).abs() <= 3 && (im - r.im.0 as i32).abs() <= 3,
+                "bin {k}: cpu ({re},{im}) vs reference ({},{})",
+                r.re.0,
+                r.im.0
+            );
+        }
+        let peak = (0..=n / 2)
+            .max_by_key(|&k| {
+                let re = out[2 * k] as i64;
+                let im = out[2 * k + 1] as i64;
+                re * re + im * im
+            })
+            .unwrap();
+        assert_eq!(peak, 6);
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert!(cfft_q15_program(3, 0, 0).is_err());
+        assert!(cfft_q15_program(48, 0, 0).is_err());
+        assert!(rfft_q15_program(4, 0, 0, 0, 0).is_err());
+    }
+}

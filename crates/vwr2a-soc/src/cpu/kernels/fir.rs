@@ -1,0 +1,166 @@
+//! CPU baseline: direct-form FIR filter on `q15` samples.
+//!
+//! Matches `vwr2a_dsp::fir::fir_q15`: a 32-bit accumulator over the taps,
+//! shifted right by 15 and saturated to 16 bits per output sample, with zero
+//! initial state.
+
+use crate::cpu::asm::{BranchCond, CpuAsm};
+use crate::cpu::CpuInstr;
+use crate::error::Result;
+
+/// Builds the FIR program.
+///
+/// Memory layout (all word addresses, one `q15` value per word):
+/// * `input_addr..input_addr+n` — input samples,
+/// * `taps_addr..taps_addr+taps` — filter coefficients,
+/// * `output_addr..output_addr+n` — output samples (written).
+///
+/// # Errors
+///
+/// Returns an assembler error only if the generated program is internally
+/// inconsistent, which would be a bug in this generator.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_soc::cpu::kernels::fir_q15_program;
+/// let program = fir_q15_program(256, 11, 0, 256, 512).unwrap();
+/// assert!(!program.is_empty());
+/// ```
+pub fn fir_q15_program(
+    n: usize,
+    taps: usize,
+    input_addr: usize,
+    taps_addr: usize,
+    output_addr: usize,
+) -> Result<Vec<CpuInstr>> {
+    // Register allocation.
+    const ZERO: u8 = 0;
+    const IN: u8 = 1;
+    const OUT: u8 = 2;
+    const TAPS: u8 = 3;
+    const N: u8 = 4;
+    const NTAPS: u8 = 5;
+    const I: u8 = 6;
+    const ACC: u8 = 7;
+    const K: u8 = 8;
+    const KMAX: u8 = 9;
+    const T0: u8 = 10;
+    const T1: u8 = 11;
+    const T2: u8 = 12;
+    const T3: u8 = 13;
+
+    let mut a = CpuAsm::new();
+    a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
+    a.push(CpuInstr::Li { rd: IN, imm: input_addr as i32 });
+    a.push(CpuInstr::Li { rd: OUT, imm: output_addr as i32 });
+    a.push(CpuInstr::Li { rd: TAPS, imm: taps_addr as i32 });
+    a.push(CpuInstr::Li { rd: N, imm: n as i32 });
+    a.push(CpuInstr::Li { rd: NTAPS, imm: taps as i32 });
+    a.push(CpuInstr::Li { rd: I, imm: 0 });
+
+    let outer = a.new_label();
+    a.bind(outer);
+    // acc = 0; kmax = min(taps, i + 1)
+    a.push(CpuInstr::Li { rd: ACC, imm: 0 });
+    a.push(CpuInstr::Addi { rd: KMAX, rs1: I, imm: 1 });
+    let kmax_ok = a.new_label();
+    a.branch(BranchCond::Lt, KMAX, NTAPS, kmax_ok);
+    a.push(CpuInstr::Mv { rd: KMAX, rs: NTAPS });
+    a.bind(kmax_ok);
+    a.push(CpuInstr::Li { rd: K, imm: 0 });
+
+    let inner = a.new_label();
+    a.bind(inner);
+    // x[i - k]
+    a.push(CpuInstr::Sub { rd: T0, rs1: I, rs2: K });
+    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: IN });
+    a.push(CpuInstr::Lw { rd: T1, rs1: T0, offset: 0 });
+    // h[k]
+    a.push(CpuInstr::Add { rd: T2, rs1: TAPS, rs2: K });
+    a.push(CpuInstr::Lw { rd: T3, rs1: T2, offset: 0 });
+    // acc += h[k] * x[i-k]
+    a.push(CpuInstr::Mla { rd: ACC, rs1: T1, rs2: T3 });
+    a.push(CpuInstr::Addi { rd: K, rs1: K, imm: 1 });
+    a.branch(BranchCond::Lt, K, KMAX, inner);
+
+    // y[i] = ssat(acc >> 15, 16)
+    a.push(CpuInstr::Sra { rd: T0, rs1: ACC, shamt: 15 });
+    a.push(CpuInstr::Ssat { rd: T0, rs: T0, bits: 16 });
+    a.push(CpuInstr::Add { rd: T1, rs1: OUT, rs2: I });
+    a.push(CpuInstr::Sw { rs2: T0, rs1: T1, offset: 0 });
+    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.branch(BranchCond::Lt, I, N, outer);
+    a.push(CpuInstr::Halt);
+    a.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::sram::Sram;
+    use vwr2a_dsp::fir::{design_lowpass, fir_q15, PAPER_FIR_TAPS};
+    use vwr2a_dsp::fixed::Q15;
+
+    fn run_fir(n: usize) -> (Vec<i32>, Vec<Q15>) {
+        let taps_f = design_lowpass(PAPER_FIR_TAPS, 0.1).unwrap();
+        let taps_q: Vec<Q15> = taps_f.iter().map(|&v| Q15::from_f64(v)).collect();
+        let input_f: Vec<f64> = (0..n).map(|i| 0.5 * (i as f64 * 0.07).sin()).collect();
+        let input_q: Vec<Q15> = input_f.iter().map(|&v| Q15::from_f64(v)).collect();
+
+        let input_addr = 0usize;
+        let taps_addr = n;
+        let output_addr = n + PAPER_FIR_TAPS;
+        let program =
+            fir_q15_program(n, PAPER_FIR_TAPS, input_addr, taps_addr, output_addr).unwrap();
+
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        sram.load(
+            input_addr,
+            &input_q.iter().map(|q| q.0 as i32).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        sram.load(
+            taps_addr,
+            &taps_q.iter().map(|q| q.0 as i32).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        cpu.run(&program, &mut sram).unwrap();
+        let out = sram.dump(output_addr, n).unwrap();
+        let expected = fir_q15(&taps_q, &input_q).unwrap();
+        (out, expected)
+    }
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let (out, expected) = run_fir(128);
+        for (o, e) in out.iter().zip(expected.iter()) {
+            assert_eq!(*o, e.0 as i32);
+        }
+    }
+
+    #[test]
+    fn cycle_count_scales_linearly_with_input_size() {
+        let cycles = |n: usize| {
+            let taps_q = vec![Q15::from_f64(0.05); PAPER_FIR_TAPS];
+            let program = fir_q15_program(n, PAPER_FIR_TAPS, 0, n, n + 16).unwrap();
+            let mut cpu = Cpu::new();
+            let mut sram = Sram::paper();
+            sram.load(n, &taps_q.iter().map(|q| q.0 as i32).collect::<Vec<_>>())
+                .unwrap();
+            cpu.run(&program, &mut sram).unwrap().cycles
+        };
+        let c256 = cycles(256);
+        let c512 = cycles(512);
+        let c1024 = cycles(1024);
+        let r1 = c512 as f64 / c256 as f64;
+        let r2 = c1024 as f64 / c512 as f64;
+        assert!((r1 - 2.0).abs() < 0.1, "512/256 ratio {r1}");
+        assert!((r2 - 2.0).abs() < 0.1, "1024/512 ratio {r2}");
+        // Roughly the paper's order of magnitude (Table 4 reports ~24.7k
+        // cycles for 256 points with 11 taps).
+        assert!(c256 > 10_000 && c256 < 80_000, "c256 = {c256}");
+    }
+}

@@ -1,0 +1,117 @@
+//! CPU baseline: linear SVM inference.
+//!
+//! The final step of MBioTracker estimates the cognitive workload with an
+//! SVM over the extracted features (Sec. 4.4.2).  On the embedded platform
+//! only inference runs: a dot product of the feature vector with the trained
+//! weights, a bias and a sign.
+
+use crate::cpu::asm::{BranchCond, CpuAsm};
+use crate::cpu::CpuInstr;
+use crate::error::Result;
+
+/// Builds the linear-SVM inference program.
+///
+/// Memory layout (word addresses):
+/// * `features_addr..features_addr+n` — feature vector,
+/// * `weights_addr..weights_addr+n` — weights (same fixed-point scale as the
+///   features; the decision only depends on the sign so the scale cancels),
+/// * `out_addr` — decision value (`Σ wᵢ·xᵢ + bias`),
+/// * `out_addr + 1` — class label (`1` or `-1`).
+///
+/// # Errors
+///
+/// Returns an assembler error only on an internal generator bug.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_soc::cpu::kernels::svm_program;
+/// assert!(!svm_program(10, 0, 0, 16, 32).unwrap().is_empty());
+/// ```
+pub fn svm_program(
+    n: usize,
+    bias: i32,
+    features_addr: usize,
+    weights_addr: usize,
+    out_addr: usize,
+) -> Result<Vec<CpuInstr>> {
+    const ZERO: u8 = 0;
+    const FEAT: u8 = 1;
+    const W: u8 = 2;
+    const N: u8 = 3;
+    const I: u8 = 4;
+    const ACC: u8 = 5;
+    const T0: u8 = 6;
+    const T1: u8 = 7;
+    const T2: u8 = 8;
+    const OUT: u8 = 9;
+    const LABEL: u8 = 10;
+
+    let mut a = CpuAsm::new();
+    a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
+    a.push(CpuInstr::Li { rd: FEAT, imm: features_addr as i32 });
+    a.push(CpuInstr::Li { rd: W, imm: weights_addr as i32 });
+    a.push(CpuInstr::Li { rd: N, imm: n as i32 });
+    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
+    a.push(CpuInstr::Li { rd: I, imm: 0 });
+    a.push(CpuInstr::Li { rd: ACC, imm: bias });
+    let loop_top = a.new_label();
+    a.bind(loop_top);
+    a.push(CpuInstr::Add { rd: T0, rs1: FEAT, rs2: I });
+    a.push(CpuInstr::Lw { rd: T1, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Add { rd: T0, rs1: W, rs2: I });
+    a.push(CpuInstr::Lw { rd: T2, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Mla { rd: ACC, rs1: T1, rs2: T2 });
+    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.branch(BranchCond::Lt, I, N, loop_top);
+    // label = acc >= 0 ? 1 : -1
+    a.push(CpuInstr::Li { rd: LABEL, imm: 1 });
+    let positive = a.new_label();
+    a.branch(BranchCond::Ge, ACC, ZERO, positive);
+    a.push(CpuInstr::Li { rd: LABEL, imm: -1 });
+    a.bind(positive);
+    a.push(CpuInstr::Sw { rs2: ACC, rs1: OUT, offset: 0 });
+    a.push(CpuInstr::Sw { rs2: LABEL, rs1: OUT, offset: 1 });
+    a.push(CpuInstr::Halt);
+    a.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::sram::Sram;
+
+    fn classify(features: &[i32], weights: &[i32], bias: i32) -> (i32, i32) {
+        let n = features.len();
+        let program = svm_program(n, bias, 0, 64, 128).unwrap();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        sram.load(0, features).unwrap();
+        sram.load(64, weights).unwrap();
+        cpu.run(&program, &mut sram).unwrap();
+        let out = sram.dump(128, 2).unwrap();
+        (out[0], out[1])
+    }
+
+    #[test]
+    fn decision_and_label_match_dot_product() {
+        let features = vec![10, -20, 30];
+        let weights = vec![3, 2, 1];
+        let bias = -5;
+        let (decision, label) = classify(&features, &weights, bias);
+        assert_eq!(decision, 10 * 3 - 20 * 2 + 30 - 5);
+        assert_eq!(label, 1);
+
+        let (decision, label) = classify(&[1, 1, 1], &[-10, 0, 0], 2);
+        assert_eq!(decision, -8);
+        assert_eq!(label, -1);
+    }
+
+    #[test]
+    fn zero_decision_is_positive_class() {
+        let (decision, label) = classify(&[5], &[0], 0);
+        assert_eq!(decision, 0);
+        assert_eq!(label, 1);
+    }
+}

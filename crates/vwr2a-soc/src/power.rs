@@ -1,0 +1,205 @@
+//! Power domains.
+//!
+//! The SoC has multiple power domains that can be turned on and off during
+//! execution (Sec. 4.1); the accelerators — including VWR2A — share one
+//! domain and are power gated whenever they are idle, which is why the FFT
+//! accelerator contributes no energy to application steps it cannot
+//! accelerate (Sec. 5.2.1).  The model tracks, per domain, how many cycles
+//! were spent powered on versus gated; the energy model charges leakage only
+//! for powered-on cycles.
+
+use crate::error::{Result, SocError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// State of one power domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DomainState {
+    /// Whether the domain is currently powered.
+    pub powered: bool,
+    /// Cycles accumulated while powered.
+    pub on_cycles: u64,
+    /// Cycles accumulated while gated.
+    pub off_cycles: u64,
+}
+
+/// A set of named power domains.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_soc::power::PowerDomains;
+///
+/// # fn main() -> Result<(), vwr2a_soc::error::SocError> {
+/// let mut domains = PowerDomains::paper();
+/// domains.set_powered("accelerators", true)?;
+/// domains.advance(100);
+/// assert_eq!(domains.state("accelerators")?.on_cycles, 100);
+/// assert_eq!(domains.state("cpu")?.on_cycles, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerDomains {
+    domains: BTreeMap<String, DomainState>,
+}
+
+impl PowerDomains {
+    /// Creates an empty set of domains.
+    pub fn new() -> Self {
+        Self {
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's platform: an always-on CPU/memory domain, one domain for
+    /// the fixed-function accelerators plus VWR2A, and the analog front-end.
+    pub fn paper() -> Self {
+        let mut p = Self::new();
+        p.add_domain("cpu", true);
+        p.add_domain("sram", true);
+        p.add_domain("accelerators", false);
+        p.add_domain("afe", false);
+        p
+    }
+
+    /// Adds (or resets) a domain with an initial power state.
+    pub fn add_domain(&mut self, name: &str, powered: bool) {
+        self.domains.insert(
+            name.to_string(),
+            DomainState {
+                powered,
+                on_cycles: 0,
+                off_cycles: 0,
+            },
+        );
+    }
+
+    /// Names of all domains.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.domains.keys().map(String::as_str)
+    }
+
+    /// The state of a domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::UnknownPowerDomain`] for an unknown name.
+    pub fn state(&self, name: &str) -> Result<DomainState> {
+        self.domains
+            .get(name)
+            .copied()
+            .ok_or_else(|| SocError::UnknownPowerDomain {
+                name: name.to_string(),
+            })
+    }
+
+    /// Powers a domain on or off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::UnknownPowerDomain`] for an unknown name.
+    pub fn set_powered(&mut self, name: &str, powered: bool) -> Result<()> {
+        let d = self
+            .domains
+            .get_mut(name)
+            .ok_or_else(|| SocError::UnknownPowerDomain {
+                name: name.to_string(),
+            })?;
+        d.powered = powered;
+        Ok(())
+    }
+
+    /// Advances time by `cycles`, crediting each domain's on/off counter
+    /// according to its current state.
+    pub fn advance(&mut self, cycles: u64) {
+        for d in self.domains.values_mut() {
+            if d.powered {
+                d.on_cycles += cycles;
+            } else {
+                d.off_cycles += cycles;
+            }
+        }
+    }
+
+    /// Runs `cycles` with a domain temporarily powered on, restoring its
+    /// previous state afterwards (the "wake the accelerator domain, run a
+    /// kernel, gate it again" pattern of the platform firmware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::UnknownPowerDomain`] for an unknown name.
+    pub fn advance_with(&mut self, name: &str, cycles: u64) -> Result<()> {
+        let was = self.state(name)?.powered;
+        self.set_powered(name, true)?;
+        self.advance(cycles);
+        self.set_powered(name, was)
+    }
+
+    /// Resets all counters (keeps power states).
+    pub fn reset_counters(&mut self) {
+        for d in self.domains.values_mut() {
+            d.on_cycles = 0;
+            d.off_cycles = 0;
+        }
+    }
+}
+
+impl Default for PowerDomains {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_domains_exist() {
+        let p = PowerDomains::paper();
+        for name in ["cpu", "sram", "accelerators", "afe"] {
+            assert!(p.state(name).is_ok(), "{name} missing");
+        }
+        assert!(p.state("cpu").unwrap().powered);
+        assert!(!p.state("accelerators").unwrap().powered);
+        assert_eq!(p.names().count(), 4);
+    }
+
+    #[test]
+    fn advance_credits_the_right_counter() {
+        let mut p = PowerDomains::paper();
+        p.advance(50);
+        assert_eq!(p.state("cpu").unwrap().on_cycles, 50);
+        assert_eq!(p.state("accelerators").unwrap().off_cycles, 50);
+        p.set_powered("accelerators", true).unwrap();
+        p.advance(10);
+        assert_eq!(p.state("accelerators").unwrap().on_cycles, 10);
+    }
+
+    #[test]
+    fn advance_with_restores_previous_state() {
+        let mut p = PowerDomains::paper();
+        p.advance_with("accelerators", 200).unwrap();
+        let s = p.state("accelerators").unwrap();
+        assert_eq!(s.on_cycles, 200);
+        assert!(!s.powered, "domain is gated again after the kernel");
+    }
+
+    #[test]
+    fn unknown_domain_is_an_error() {
+        let mut p = PowerDomains::paper();
+        assert!(p.state("gpu").is_err());
+        assert!(p.set_powered("gpu", true).is_err());
+        assert!(p.advance_with("npu", 1).is_err());
+    }
+
+    #[test]
+    fn reset_counters_keeps_states() {
+        let mut p = PowerDomains::paper();
+        p.advance(100);
+        p.reset_counters();
+        assert_eq!(p.state("cpu").unwrap().on_cycles, 0);
+        assert!(p.state("cpu").unwrap().powered);
+    }
+}

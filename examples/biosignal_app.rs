@@ -1,0 +1,42 @@
+//! Run the MBioTracker application end-to-end in the paper's three platform
+//! configurations and print a Table 5-style summary.
+//!
+//! Run with `cargo run --example biosignal_app`.
+
+use vwr2a::bioapp::pipeline::{run_cpu_only, run_cpu_with_fft_accel, run_cpu_with_vwr2a, WINDOW};
+use vwr2a::bioapp::signal::RespirationGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window = RespirationGenerator::new(99).with_rate(7.0).window(WINDOW);
+    let cpu = run_cpu_only(&window)?;
+    let fft = run_cpu_with_fft_accel(&window)?;
+    let vwr2a = run_cpu_with_vwr2a(&window)?;
+
+    println!("MBioTracker cognitive-workload pipeline ({WINDOW}-sample window)");
+    for report in [&cpu, &fft, &vwr2a] {
+        println!();
+        println!("{}:", report.platform);
+        for step in &report.steps {
+            println!(
+                "  {:<20} {:>9} cycles  {:>8.2} µJ",
+                step.name,
+                step.cycles,
+                step.energy.total_uj()
+            );
+        }
+        println!(
+            "  {:<20} {:>9} cycles  {:>8.2} µJ  (prediction {})",
+            "total",
+            report.total_cycles(),
+            report.total_energy_uj(),
+            report.prediction
+        );
+    }
+    println!();
+    println!(
+        "Application-level savings with VWR2A: {:.1} % of cycles, {:.1} % of energy",
+        (1.0 - vwr2a.total_cycles() as f64 / cpu.total_cycles() as f64) * 100.0,
+        (1.0 - vwr2a.total_energy_uj() / cpu.total_energy_uj()) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Compare the 11-tap FIR filter on the Cortex-M4-like CPU baseline and on
+//! VWR2A (the Table 4 experiment for one input size), checking both against
+//! the golden `vwr2a-dsp` model.
+//!
+//! Run with `cargo run --example fir_filter`.
+
+use vwr2a::core::Vwr2a;
+use vwr2a::dsp::fir::{design_lowpass, fir_q15};
+use vwr2a::dsp::fixed::Q15;
+use vwr2a::energy::{cpu_energy, vwr2a_energy};
+use vwr2a::kernels::fir::FirKernel;
+use vwr2a::soc::cpu::kernels::fir_q15_program;
+use vwr2a::soc::BiosignalSoc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let taps_f = design_lowpass(11, 0.1)?;
+    let taps: Vec<i32> = taps_f.iter().map(|&t| Q15::from_f64(t).0 as i32).collect();
+    let input: Vec<i32> = (0..n)
+        .map(|i| (10_000.0 * (std::f64::consts::TAU * i as f64 / 80.0).sin()) as i32)
+        .collect();
+
+    // Golden model.
+    let taps_q: Vec<Q15> = taps.iter().map(|&t| Q15(t as i16)).collect();
+    let input_q: Vec<Q15> = input.iter().map(|&v| Q15(v as i16)).collect();
+    let golden = fir_q15(&taps_q, &input_q)?;
+
+    // CPU baseline.
+    let mut soc = BiosignalSoc::new();
+    soc.sram_mut().load(0, &input)?;
+    soc.sram_mut().load(n, &taps)?;
+    let program = fir_q15_program(n, taps.len(), 0, n, n + 16)?;
+    let cpu_stats = soc.run_cpu_program(&program)?;
+    let cpu_out = soc.sram().dump(n + 16, n)?;
+    assert_eq!(cpu_out[100], golden[100].0 as i32, "CPU output must match the golden model");
+
+    // VWR2A.
+    let kernel = FirKernel::new(&taps, n)?;
+    let mut accel = Vwr2a::new();
+    let run = kernel.run(&mut accel, &input)?;
+    let max_err = run
+        .output
+        .iter()
+        .zip(golden.iter())
+        .map(|(o, g)| (o - g.0 as i32).abs())
+        .max()
+        .unwrap_or(0);
+
+    println!("11-tap FIR over {n} samples");
+    println!(
+        "  CPU   : {:>8} cycles, {:.3} µJ",
+        cpu_stats.cycles,
+        cpu_energy(&cpu_stats).total_uj()
+    );
+    println!(
+        "  VWR2A : {:>8} cycles, {:.3} µJ  (speed-up {:.1}x, max |error| vs golden = {max_err} LSB)",
+        run.cycles,
+        vwr2a_energy(&run.counters).total_uj(),
+        cpu_stats.cycles as f64 / run.cycles as f64
+    );
+    Ok(())
+}

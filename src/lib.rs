@@ -1,0 +1,54 @@
+//! # VWR2A — a very-wide-register reconfigurable-array architecture
+//!
+//! This crate is the facade of a full reproduction of the DAC 2022 paper
+//! *“VWR2A: A Very-Wide-Register Reconfigurable-Array Architecture for
+//! Low-Power Embedded Devices”* (Denkinger et al.).  It re-exports the
+//! individual workspace crates under stable module names:
+//!
+//! * [`core`] — the cycle-accurate VWR2A accelerator simulator (the paper's
+//!   contribution): reconfigurable cells, very-wide registers, scratchpad
+//!   memory, shuffle unit, specialised slots and the execution engine.
+//! * [`asm`] — a textual assembler for the per-slot instruction streams.
+//! * [`dsp`] — golden reference DSP kernels (FFT, FIR, statistics, SVM) and
+//!   fixed-point arithmetic helpers.
+//! * [`soc`] — the biosignal SoC substrate: Cortex-M4-like CPU ISS, AHB-like
+//!   bus, SRAM banks, DMA, interrupts and power domains.
+//! * [`fftaccel`] — the fixed-function FFT accelerator used as the paper's
+//!   comparator.
+//! * [`energy`] — the activity-based energy model and component breakdowns.
+//! * [`kernels`] — VWR2A kernel mappings (FFT, FIR, delineation, feature
+//!   extraction, SVM) as program generators.
+//! * [`bioapp`] — the MBioTracker biosignal application pipeline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vwr2a::core::Vwr2a;
+//! use vwr2a::kernels::fir::FirKernel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the accelerator with the paper's default geometry.
+//! let mut accel = Vwr2a::new();
+//!
+//! // Map an 11-tap FIR over 256 samples onto one column.
+//! let taps = [2048i32; 11];
+//! let input: Vec<i32> = (0..256).map(|i| (i % 32) - 16).collect();
+//! let kernel = FirKernel::new(&taps, input.len())?;
+//! let run = kernel.run(&mut accel, &input)?;
+//! assert_eq!(run.output.len(), input.len());
+//! println!("FIR on VWR2A took {} cycles", run.cycles);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/vwr2a-bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use vwr2a_asm as asm;
+pub use vwr2a_bioapp as bioapp;
+pub use vwr2a_core as core;
+pub use vwr2a_dsp as dsp;
+pub use vwr2a_energy as energy;
+pub use vwr2a_fftaccel as fftaccel;
+pub use vwr2a_kernels as kernels;
+pub use vwr2a_soc as soc;

@@ -1,0 +1,118 @@
+//! Workspace integration tests: full kernels executed on the simulated
+//! array and platform, checked against the golden DSP models across crate
+//! boundaries.
+
+use vwr2a::core::Vwr2a;
+use vwr2a::dsp::complex::Complex;
+use vwr2a::dsp::fft::fft;
+use vwr2a::dsp::fir::{design_lowpass, fir_q15};
+use vwr2a::dsp::fixed::{from_q16, to_q16, Q15};
+use vwr2a::energy::{fft_accel_energy, vwr2a_energy};
+use vwr2a::fftaccel::FftAccelerator;
+use vwr2a::kernels::fft::FftKernel;
+use vwr2a::kernels::fir::FirKernel;
+
+#[test]
+fn vwr2a_fft_matches_the_golden_model_end_to_end() {
+    let n = 512;
+    let signal: Vec<Complex> = (0..n)
+        .map(|i| Complex::new(0.3 * (i as f64 * 0.11).sin(), 0.2 * (i as f64 * 0.07).cos()))
+        .collect();
+    let re: Vec<i32> = signal.iter().map(|c| to_q16(c.re)).collect();
+    let im: Vec<i32> = signal.iter().map(|c| to_q16(c.im)).collect();
+
+    let kernel = FftKernel::new(n).expect("512-point complex FFT supported");
+    let mut accel = Vwr2a::new();
+    let run = kernel.run_complex(&mut accel, &re, &im).expect("kernel runs");
+    let reference = fft(&signal).expect("reference FFT");
+    for k in 0..n {
+        assert!(
+            (from_q16(run.re[k]) - reference[k].re).abs() < 0.25,
+            "bin {k} real part"
+        );
+        assert!(
+            (from_q16(run.im[k]) - reference[k].im).abs() < 0.25,
+            "bin {k} imaginary part"
+        );
+    }
+}
+
+#[test]
+fn vwr2a_and_fft_accelerator_have_comparable_cycles_but_different_energy() {
+    // The central comparison of the paper for isolated kernels (Table 2,
+    // Fig. 2): similar performance, several-times-higher energy for the
+    // programmable core.
+    let n = 512;
+    let signal: Vec<f64> = (0..n)
+        .map(|i| 0.4 * (std::f64::consts::TAU * 9.0 * i as f64 / n as f64).sin())
+        .collect();
+
+    let engine = FftAccelerator::new();
+    let (_, accel_stats) = engine.run_real(&signal).expect("accelerator runs");
+
+    let kernel = FftKernel::new(n / 2).expect("supported");
+    let mut accel = Vwr2a::new();
+    let q16: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
+    let run = kernel.run_real(&mut accel, &q16).expect("kernel runs");
+
+    let cycle_ratio = run.cycles as f64 / accel_stats.cycles as f64;
+    assert!(
+        cycle_ratio > 0.5 && cycle_ratio < 6.0,
+        "cycle ratio {cycle_ratio} out of the expected band"
+    );
+    let energy_ratio =
+        vwr2a_energy(&run.counters).total_uj() / fft_accel_energy(&accel_stats).total_uj();
+    assert!(
+        energy_ratio > 2.0 && energy_ratio < 20.0,
+        "energy ratio {energy_ratio} out of the expected band"
+    );
+}
+
+#[test]
+fn fir_kernel_output_is_bit_close_to_the_cmsis_style_reference() {
+    let n = 300; // deliberately not a multiple of the block size
+    let taps_f = design_lowpass(11, 0.15).unwrap();
+    let taps: Vec<i32> = taps_f.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+    let input: Vec<i32> = (0..n)
+        .map(|i| (6000.0 * (i as f64 * 0.21).sin() + 2000.0 * (i as f64 * 0.017).cos()) as i32)
+        .collect();
+
+    let kernel = FirKernel::new(&taps, n).unwrap();
+    let mut accel = Vwr2a::new();
+    let run = kernel.run(&mut accel, &input).unwrap();
+
+    let taps_q: Vec<Q15> = taps.iter().map(|&t| Q15(t as i16)).collect();
+    let input_q: Vec<Q15> = input.iter().map(|&v| Q15(v as i16)).collect();
+    let reference = fir_q15(&taps_q, &input_q).unwrap();
+    for (i, (o, r)) in run.output.iter().zip(reference.iter()).enumerate() {
+        assert!((o - r.0 as i32).abs() <= 4, "sample {i}: {o} vs {}", r.0);
+    }
+}
+
+#[test]
+fn assembled_programs_run_on_the_simulator() {
+    // Cross-crate check: text assembly -> column program -> execution.
+    let program = vwr2a::asm::assemble_column(
+        "
+            lsu load.vwr a, 0
+        ---
+            mxcu setidx 3
+        ---
+            rc0 mov vwr.b, vwr.a
+        ---
+            lsu store.vwr b, 1
+        ---
+            lcu exit
+        ",
+    )
+    .expect("assembles");
+    let kernel = vwr2a::core::program::KernelProgram::new("copy-word", vec![program]).unwrap();
+    let mut accel = Vwr2a::new();
+    accel
+        .spm_mut()
+        .write_line(0, &(100..228).collect::<Vec<i32>>())
+        .unwrap();
+    accel.run_program(&kernel).unwrap();
+    // RC0's slice starts at word 0; index 3 selects word 3.
+    assert_eq!(accel.spm().read_line(1).unwrap()[3], 103);
+}

@@ -1,0 +1,141 @@
+//! Workspace-level property-based tests on the core invariants.
+
+use proptest::prelude::*;
+use vwr2a::core::isa::encode::{decode_lcu, decode_lsu, decode_mxcu, decode_rc, encode_lcu, encode_lsu, encode_mxcu, encode_rc};
+use vwr2a::core::isa::{LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc, ShuffleOp};
+use vwr2a::core::geometry::VwrId;
+use vwr2a::core::shuffle::apply;
+use vwr2a::dsp::complex::Complex;
+use vwr2a::dsp::fft::{fft, ifft};
+use vwr2a::dsp::fir::fir_f64;
+use vwr2a::dsp::fixed::{from_q16, mul_fxp, to_q16};
+
+fn arb_rc_src() -> impl Strategy<Value = RcSrc> {
+    prop_oneof![
+        Just(RcSrc::Zero),
+        any::<i16>().prop_map(RcSrc::Imm),
+        (0u8..2).prop_map(RcSrc::Reg),
+        (0usize..3).prop_map(|i| RcSrc::Vwr(VwrId::from_index(i))),
+        (0u8..8).prop_map(RcSrc::Srf),
+        Just(RcSrc::RcAbove),
+        Just(RcSrc::RcBelow),
+        Just(RcSrc::SelfPrev),
+    ]
+}
+
+fn arb_rc_instr() -> impl Strategy<Value = RcInstr> {
+    let op = prop_oneof![
+        Just(RcOpcode::Nop),
+        Just(RcOpcode::Mov),
+        Just(RcOpcode::Add),
+        Just(RcOpcode::Sub),
+        Just(RcOpcode::Mul),
+        Just(RcOpcode::MulFxp),
+        Just(RcOpcode::And),
+        Just(RcOpcode::Or),
+        Just(RcOpcode::Xor),
+        Just(RcOpcode::Sll),
+        Just(RcOpcode::Sra),
+        Just(RcOpcode::Min),
+        Just(RcOpcode::Max),
+        Just(RcOpcode::Sgt),
+    ];
+    let dst = prop_oneof![
+        Just(RcDst::None),
+        (0u8..2).prop_map(RcDst::Reg),
+        (0usize..3).prop_map(|i| RcDst::Vwr(VwrId::from_index(i))),
+        (0u8..8).prop_map(RcDst::Srf),
+    ];
+    (op, dst, arb_rc_src(), arb_rc_src())
+        .prop_map(|(op, dst, a, b)| RcInstr::new(op, dst, a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rc_instruction_encoding_round_trips(instr in arb_rc_instr()) {
+        let word = encode_rc(&instr).unwrap();
+        prop_assert_eq!(decode_rc(word).unwrap(), instr);
+    }
+
+    #[test]
+    fn lsu_lcu_mxcu_encoding_round_trips(
+        vwr in 0usize..3,
+        line in 0u16..64,
+        srf in 0u8..8,
+        imm in any::<i16>(),
+        target in 0u16..64,
+        value in any::<i32>(),
+        shuffle in 0usize..8,
+    ) {
+        let lsu = [
+            LsuInstr::LoadVwr { vwr: VwrId::from_index(vwr), line: LsuAddr::Imm(line) },
+            LsuInstr::StoreVwr { vwr: VwrId::from_index(vwr), line: LsuAddr::Srf(srf) },
+            LsuInstr::AddSrf { srf, imm },
+            LsuInstr::Shuffle(ShuffleOp::ALL[shuffle]),
+        ];
+        for instr in lsu {
+            prop_assert_eq!(decode_lsu(encode_lsu(&instr).unwrap()).unwrap(), instr);
+        }
+        let lcu = [
+            LcuInstr::Li { r: srf % 4, value },
+            LcuInstr::Branch { cond: LcuCond::Lt, a: srf % 4, b: LcuSrc::Imm(value), target },
+            LcuInstr::Jump(target),
+        ];
+        for instr in lcu {
+            prop_assert_eq!(decode_lcu(encode_lcu(&instr).unwrap()).unwrap(), instr);
+        }
+        let mxcu = [MxcuInstr::SetIdx(line), MxcuInstr::AddIdx(imm), MxcuInstr::LoadIdxSrf(srf)];
+        for instr in mxcu {
+            prop_assert_eq!(decode_mxcu(encode_mxcu(&instr).unwrap()).unwrap(), instr);
+        }
+    }
+
+    #[test]
+    fn shuffle_interleave_and_prune_are_inverses(
+        a in prop::collection::vec(any::<i32>(), 128),
+        b in prop::collection::vec(any::<i32>(), 128),
+    ) {
+        let lower = apply(ShuffleOp::InterleaveLower, &a, &b, 32);
+        let upper = apply(ShuffleOp::InterleaveUpper, &a, &b, 32);
+        prop_assert_eq!(apply(ShuffleOp::EvenPrune, &lower, &upper, 32), a);
+        prop_assert_eq!(apply(ShuffleOp::OddPrune, &lower, &upper, 32), b);
+    }
+
+    #[test]
+    fn fft_round_trip_preserves_the_signal(
+        values in prop::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let signal: Vec<Complex> = values.iter().map(|&v| Complex::new(v, -v * 0.5)).collect();
+        let back = ifft(&fft(&signal).unwrap()).unwrap();
+        for (a, b) in signal.iter().zip(back.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fir_is_linear(
+        x in prop::collection::vec(-0.5f64..0.5, 64),
+        y in prop::collection::vec(-0.5f64..0.5, 64),
+    ) {
+        let taps = [0.2, 0.3, 0.2, 0.1];
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let fx = fir_f64(&taps, &x).unwrap();
+        let fy = fir_f64(&taps, &y).unwrap();
+        let fsum = fir_f64(&taps, &sum).unwrap();
+        for i in 0..x.len() {
+            prop_assert!((fsum[i] - (fx[i] + fy[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixed_point_multiply_is_bounded_and_sign_correct(
+        a in -1000.0f64..1000.0,
+        b in -1.0f64..1.0,
+    ) {
+        let product = from_q16(mul_fxp(to_q16(a), to_q16(b)));
+        prop_assert!((product - a * b).abs() < 0.05 + (a * b).abs() * 1e-3);
+    }
+}
