@@ -197,13 +197,18 @@ pub fn assemble_column(source: &str) -> Result<ColumnProgram, AsmError> {
     let mut current_pending: Vec<(usize, PendingLcu)> = Vec::new();
     let mut row_open = false;
 
-    let finish_row =
-        |rows: &mut Vec<(Row, Vec<(usize, PendingLcu)>)>, current: &mut Row, pending: &mut Vec<(usize, PendingLcu)>, open: &mut bool| {
-            if *open {
-                rows.push((std::mem::replace(current, Row::new(4)), std::mem::take(pending)));
-                *open = false;
-            }
-        };
+    let finish_row = |rows: &mut Vec<(Row, Vec<(usize, PendingLcu)>)>,
+                      current: &mut Row,
+                      pending: &mut Vec<(usize, PendingLcu)>,
+                      open: &mut bool| {
+        if *open {
+            rows.push((
+                std::mem::replace(current, Row::new(4)),
+                std::mem::take(pending),
+            ));
+            *open = false;
+        }
+    };
 
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
@@ -228,19 +233,35 @@ pub fn assemble_column(source: &str) -> Result<ColumnProgram, AsmError> {
                     "nop" => PendingLcu::Ready(LcuInstr::Nop),
                     "exit" => PendingLcu::Ready(LcuInstr::Exit),
                     "li" => {
-                        let r = parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches('r'), line_no)? as u8;
-                        let v = parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32;
+                        let r = parse_int(
+                            rest.get(1)
+                                .copied()
+                                .unwrap_or_default()
+                                .trim_start_matches('r'),
+                            line_no,
+                        )? as u8;
+                        let v =
+                            parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32;
                         PendingLcu::Ready(LcuInstr::Li { r, value: v })
                     }
                     "add" => {
-                        let r = parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches('r'), line_no)? as u8;
-                        let v = parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32;
+                        let r = parse_int(
+                            rest.get(1)
+                                .copied()
+                                .unwrap_or_default()
+                                .trim_start_matches('r'),
+                            line_no,
+                        )? as u8;
+                        let v =
+                            parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32;
                         PendingLcu::Ready(LcuInstr::Add {
                             r,
                             src: LcuSrc::Imm(v),
                         })
                     }
-                    "jump" => PendingLcu::Jump(rest.get(1).copied().unwrap_or_default().to_string()),
+                    "jump" => {
+                        PendingLcu::Jump(rest.get(1).copied().unwrap_or_default().to_string())
+                    }
                     "blt" | "bge" | "beq" | "bne" => {
                         let cond = match op {
                             "blt" => LcuCond::Lt,
@@ -248,12 +269,23 @@ pub fn assemble_column(source: &str) -> Result<ColumnProgram, AsmError> {
                             "beq" => LcuCond::Eq,
                             _ => LcuCond::Ne,
                         };
-                        let a = parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches('r'), line_no)? as u8;
-                        let b = LcuSrc::Imm(parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i32);
+                        let a = parse_int(
+                            rest.get(1)
+                                .copied()
+                                .unwrap_or_default()
+                                .trim_start_matches('r'),
+                            line_no,
+                        )? as u8;
+                        let b = LcuSrc::Imm(parse_int(
+                            rest.get(2).copied().unwrap_or_default(),
+                            line_no,
+                        )? as i32);
                         let label = rest.get(3).copied().unwrap_or_default().to_string();
                         PendingLcu::Branch { cond, a, b, label }
                     }
-                    other => return Err(err(line_no, format!("unknown LCU instruction `{other}`"))),
+                    other => {
+                        return Err(err(line_no, format!("unknown LCU instruction `{other}`")))
+                    }
                 };
                 current_pending.push((line_no, pending));
             }
@@ -274,23 +306,35 @@ pub fn assemble_column(source: &str) -> Result<ColumnProgram, AsmError> {
                         line_no,
                     )?),
                     "addsrf" => LsuInstr::AddSrf {
-                        srf: parse_int(rest.get(1).copied().unwrap_or_default().trim_start_matches("srf"), line_no)? as u8,
+                        srf: parse_int(
+                            rest.get(1)
+                                .copied()
+                                .unwrap_or_default()
+                                .trim_start_matches("srf"),
+                            line_no,
+                        )? as u8,
                         imm: parse_int(rest.get(2).copied().unwrap_or_default(), line_no)? as i16,
                     },
-                    other => return Err(err(line_no, format!("unknown LSU instruction `{other}`"))),
+                    other => {
+                        return Err(err(line_no, format!("unknown LSU instruction `{other}`")))
+                    }
                 };
             }
             "mxcu" => {
                 let op = rest.first().copied().unwrap_or_default();
                 current.mxcu = match op {
                     "nop" => MxcuInstr::Nop,
-                    "setidx" => MxcuInstr::SetIdx(
-                        parse_int(rest.get(1).copied().unwrap_or_default(), line_no)? as u16,
-                    ),
-                    "addidx" => MxcuInstr::AddIdx(
-                        parse_int(rest.get(1).copied().unwrap_or_default(), line_no)? as i16,
-                    ),
-                    other => return Err(err(line_no, format!("unknown MXCU instruction `{other}`"))),
+                    "setidx" => MxcuInstr::SetIdx(parse_int(
+                        rest.get(1).copied().unwrap_or_default(),
+                        line_no,
+                    )? as u16),
+                    "addidx" => MxcuInstr::AddIdx(parse_int(
+                        rest.get(1).copied().unwrap_or_default(),
+                        line_no,
+                    )? as i16),
+                    other => {
+                        return Err(err(line_no, format!("unknown MXCU instruction `{other}`")))
+                    }
                 };
             }
             s if s.starts_with("rc") => {
@@ -394,10 +438,7 @@ mod tests {
             .spm_mut()
             .write_line(0, &(0..128).collect::<Vec<i32>>())
             .unwrap();
-        accel
-            .spm_mut()
-            .write_line(1, &vec![100; 128])
-            .unwrap();
+        accel.spm_mut().write_line(1, &vec![100; 128]).unwrap();
         accel.run_program(&kernel).unwrap();
         let out = accel.spm().read_line(2).unwrap();
         assert_eq!(out[5], 105);

@@ -1,9 +1,11 @@
-//! Criterion bench behind the ablation experiments (E7 in DESIGN.md).
+//! Criterion bench behind the ablation experiments (E7 in DESIGN.md):
+//! isolated cold runs vs a warm window stream through one `Session`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vwr2a_core::Vwr2a;
+use vwr2a_bench::run_fir_stream;
 use vwr2a_dsp::fixed::Q15;
 use vwr2a_kernels::fir::FirKernel;
+use vwr2a_runtime::Session;
 
 fn bench_ablation(c: &mut Criterion) {
     let taps: Vec<i32> = vwr2a_dsp::fir::design_lowpass(11, 0.1)
@@ -11,15 +13,19 @@ fn bench_ablation(c: &mut Criterion) {
         .iter()
         .map(|&t| Q15::from_f64(t).0 as i32)
         .collect();
-    let input: Vec<i32> = (0..512).map(|i| ((i * 97) % 16384) as i32 - 8192).collect();
+    let input: Vec<i32> = (0..512).map(|i| ((i * 97) % 16384) - 8192).collect();
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("fir_512_on_vwr2a", |b| {
+    group.bench_function("fir_512_cold_session", |b| {
         b.iter(|| {
             let kernel = FirKernel::new(&taps, 512).unwrap();
-            let mut accel = Vwr2a::new();
-            std::hint::black_box(kernel.run(&mut accel, &input).unwrap().cycles)
+            let mut session = Session::new();
+            let (_, report) = session.run(&kernel, input.as_slice()).unwrap();
+            std::hint::black_box(report.cycles)
         })
+    });
+    group.bench_function("fir_256_warm_stream_8_windows", |b| {
+        b.iter(|| std::hint::black_box(run_fir_stream(256, 8).cycles))
     });
     group.finish();
 }

@@ -1,8 +1,10 @@
 //! Criterion bench behind Table 5: the MBioTracker pipeline in its three
-//! platform configurations.
+//! platform configurations, plus the warm multi-window stream.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vwr2a_bioapp::pipeline::{run_cpu_only, run_cpu_with_fft_accel, run_cpu_with_vwr2a, WINDOW};
+use vwr2a_bioapp::pipeline::{
+    run_cpu_only, run_cpu_with_fft_accel, run_cpu_with_vwr2a, run_cpu_with_vwr2a_stream, WINDOW,
+};
 use vwr2a_bioapp::signal::RespirationGenerator;
 
 fn bench_bioapp(c: &mut Criterion) {
@@ -17,6 +19,15 @@ fn bench_bioapp(c: &mut Criterion) {
     });
     group.bench_function("cpu_vwr2a", |b| {
         b.iter(|| std::hint::black_box(run_cpu_with_vwr2a(&window).unwrap()))
+    });
+    let mut generator = RespirationGenerator::new(13);
+    let windows: Vec<Vec<i32>> = (0..4).map(|_| generator.window(WINDOW)).collect();
+    group.bench_function("cpu_vwr2a_stream_4_windows", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_cpu_with_vwr2a_stream(windows.iter().map(Vec::as_slice)).unwrap(),
+            )
+        })
     });
     group.finish();
 }

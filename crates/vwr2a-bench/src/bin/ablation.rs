@@ -1,14 +1,14 @@
 //! Ablation experiments for the design choices discussed in Sec. 3.2 and
 //! DESIGN.md (E7): the cost of the kernel-launch configuration reload that
-//! the shared per-stage FFT program avoids, and the sensitivity of the
-//! energy results to the wide-memory coefficients.
+//! session-resident programs avoid, and the sensitivity of the energy
+//! results to the wide-memory coefficients.
 
-use vwr2a_bench::run_fft_comparison;
-use vwr2a_core::Vwr2a;
+use vwr2a_bench::{run_fft_comparison, run_fir_stream};
 use vwr2a_dsp::fixed::to_q16;
 use vwr2a_energy::coefficients::Vwr2aCoefficients;
 use vwr2a_energy::vwr2a_energy_with;
 use vwr2a_kernels::fir::FirKernel;
+use vwr2a_runtime::Session;
 
 fn main() {
     println!("Ablation 1: VWR/SPM access energy sensitivity (512-point real FFT)");
@@ -28,22 +28,37 @@ fn main() {
         .map(|&t| (t * 32768.0) as i32)
         .collect();
     let kernel = FirKernel::new(&taps, 512).expect("valid kernel");
-    let input: Vec<i32> = (0..512).map(|i| to_q16(((i % 64) as f64 - 32.0) / 64.0) >> 16).collect();
-    let mut accel = Vwr2a::new();
-    let run = kernel.run(&mut accel, &input).expect("kernel runs");
+    let input: Vec<i32> = (0..512)
+        .map(|i| to_q16(((i % 64) as f64 - 32.0) / 64.0) >> 16)
+        .collect();
+    let mut session = Session::new();
+    let (_, report) = session.run(&kernel, input.as_slice()).expect("kernel runs");
     let calibrated = Vwr2aCoefficients::calibrated();
     let mut narrow = calibrated;
     narrow.vwr_word_pj = calibrated.spm_word_pj;
-    let base = vwr2a_energy_with(&run.counters, &calibrated).total_uj();
-    let worse = vwr2a_energy_with(&run.counters, &narrow).total_uj();
+    let base = vwr2a_energy_with(&report.counters, &calibrated).total_uj();
+    let worse = vwr2a_energy_with(&report.counters, &narrow).total_uj();
     println!();
     println!("Ablation 2: replacing the VWR word-access energy by a narrow SPM access");
     println!("            (what a conventional register-file path would cost), FIR 512:");
     println!("  very-wide registers : {base:>7.3} µJ");
-    println!("  narrow accesses     : {worse:>7.3} µJ  ({:+.0} %)", (worse / base - 1.0) * 100.0);
+    println!(
+        "  narrow accesses     : {worse:>7.3} µJ  ({:+.0} %)",
+        (worse / base - 1.0) * 100.0
+    );
     println!();
-    println!("Ablation 3: per-stage configuration reload vs resident program (FFT stage program)");
-    println!("  The FFT kernel keeps its stage program resident and relaunches it warm;");
-    println!("  reloading the {}-row two-column program every stage would add", 53);
-    println!("  {} configuration words per stage (one cycle each).", 53 * 7 * 2);
+    println!("Ablation 3: per-launch configuration reload vs session-resident program");
+    println!("            (8 x 256-point FIR windows through one Session):");
+    let stream = run_fir_stream(256, 8);
+    let per_window_warm = stream.cycles / stream.invocations;
+    println!(
+        "  {} windows, {} cold / {} warm launches, {} cycles total",
+        stream.invocations, stream.cold_launches, stream.warm_launches, stream.cycles
+    );
+    println!(
+        "  configuration words streamed once: {} (would be {} if reloaded per window)",
+        stream.counters.config_words_loaded,
+        stream.counters.config_words_loaded * stream.invocations
+    );
+    println!("  ≈{per_window_warm} cycles per warm window");
 }

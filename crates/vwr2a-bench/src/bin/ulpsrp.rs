@@ -2,10 +2,10 @@
 //! instantiation in the same 40 nm technology): a 256-point complex FFT.
 
 use vwr2a_bench::{cycles_to_us, FREQUENCY_HZ};
-use vwr2a_core::Vwr2a;
 use vwr2a_dsp::fixed::to_q16;
-use vwr2a_energy::vwr2a_energy;
 use vwr2a_kernels::fft::FftKernel;
+use vwr2a_kernels::Spectrum;
+use vwr2a_runtime::Session;
 
 /// Execution time reported for ULP-SRP in the paper (µs).
 const ULP_SRP_TIME_US: f64 = 839.1;
@@ -15,21 +15,26 @@ const ULP_SRP_ENERGY_UJ: f64 = 19.9;
 fn main() {
     let n = 256;
     let kernel = FftKernel::new(n).expect("256-point complex FFT is supported");
-    let re: Vec<i32> = (0..n)
-        .map(|i| to_q16(0.4 * (std::f64::consts::TAU * 9.0 * i as f64 / n as f64).cos()))
-        .collect();
-    let im = vec![0i32; n];
-    let mut accel = Vwr2a::new();
-    let run = kernel
-        .run_complex(&mut accel, &re, &im)
-        .expect("kernel runs");
-    let time_us = cycles_to_us(run.cycles);
-    let energy_uj = vwr2a_energy(&run.counters).total_uj();
+    let signal = Spectrum::new(
+        (0..n)
+            .map(|i| to_q16(0.4 * (std::f64::consts::TAU * 9.0 * i as f64 / n as f64).cos()))
+            .collect(),
+        vec![0i32; n],
+    );
+    let mut session = Session::new();
+    let (_, report) = session.run(&kernel, &signal).expect("kernel runs");
+    let time_us = cycles_to_us(report.cycles);
+    let energy_uj = report.energy().total_uj();
 
     println!("256-point complex FFT: VWR2A vs ULP-SRP (published numbers)");
     println!();
-    println!("  VWR2A   : {:>8.1} µs, {:>6.2} µJ ({} cycles at {:.0} MHz)",
-             time_us, energy_uj, run.cycles, FREQUENCY_HZ / 1e6);
+    println!(
+        "  VWR2A   : {:>8.1} µs, {:>6.2} µJ ({} cycles at {:.0} MHz)",
+        time_us,
+        energy_uj,
+        report.cycles,
+        FREQUENCY_HZ / 1e6
+    );
     println!("  ULP-SRP : {ULP_SRP_TIME_US:>8.1} µs, {ULP_SRP_ENERGY_UJ:>6.2} µJ (as reported by its authors)");
     println!();
     println!(

@@ -3,18 +3,22 @@
 //! Each binary in `src/bin/` reproduces one artefact (see DESIGN.md §5):
 //! `table2`, `fig2`, `table3`, `table4`, `table5`, `ulpsrp` and `ablation`.
 //! The shared measurement functions live here so that the Criterion benches
-//! exercise exactly the same code paths as the binaries.
+//! exercise exactly the same code paths as the binaries.  Every VWR2A
+//! measurement goes through a fresh [`Session`], matching the paper's
+//! isolated-kernel methodology (the configuration load is part of the
+//! measured cost exactly once).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vwr2a_core::Vwr2a;
 use vwr2a_dsp::complex::Complex;
 use vwr2a_dsp::fixed::{to_q16, Q15};
-use vwr2a_energy::{cpu_energy, fft_accel_energy, vwr2a_energy, EnergyBreakdown};
+use vwr2a_energy::{cpu_energy, fft_accel_energy, EnergyBreakdown};
 use vwr2a_fftaccel::FftAccelerator;
-use vwr2a_kernels::fft::FftKernel;
+use vwr2a_kernels::fft::{FftKernel, RealFftKernel};
 use vwr2a_kernels::fir::FirKernel;
+use vwr2a_kernels::Spectrum;
+use vwr2a_runtime::{RunReport, Session};
 use vwr2a_soc::cpu::kernels as cpu_kernels;
 use vwr2a_soc::soc::BiosignalSoc;
 
@@ -28,6 +32,15 @@ pub struct FftMeasurement {
     pub cycles: u64,
     /// Energy of the transform.
     pub energy: EnergyBreakdown,
+}
+
+impl FftMeasurement {
+    fn from_report(report: &RunReport) -> Self {
+        Self {
+            cycles: report.cycles,
+            energy: report.energy(),
+        }
+    }
 }
 
 /// One row of Table 2 / Fig. 2: an FFT size measured on the three platforms.
@@ -112,26 +125,19 @@ pub fn run_fft_comparison(n: usize, real: bool) -> FftComparison {
 
     // --- VWR2A ------------------------------------------------------------
     let vwr2a = if real {
-        let kernel = FftKernel::new(n / 2).ok();
-        kernel.map(|k| {
-            let mut accel = Vwr2a::new();
+        RealFftKernel::new(n).ok().map(|kernel| {
+            let mut session = Session::new();
             let data: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
-            let run = k.run_real(&mut accel, &data).unwrap();
-            FftMeasurement {
-                cycles: run.cycles,
-                energy: vwr2a_energy(&run.counters),
-            }
+            let (_, report) = session.run(&kernel, data.as_slice()).unwrap();
+            FftMeasurement::from_report(&report)
         })
     } else {
-        FftKernel::new(n).ok().map(|k| {
-            let mut accel = Vwr2a::new();
+        FftKernel::new(n).ok().map(|kernel| {
+            let mut session = Session::new();
             let re: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
             let im = vec![0i32; n];
-            let run = k.run_complex(&mut accel, &re, &im).unwrap();
-            FftMeasurement {
-                cycles: run.cycles,
-                energy: vwr2a_energy(&run.counters),
-            }
+            let (_, report) = session.run(&kernel, &Spectrum::new(re, im)).unwrap();
+            FftMeasurement::from_report(&report)
         })
     };
 
@@ -179,18 +185,42 @@ pub fn run_fir_comparison(n: usize) -> FirComparison {
     };
 
     let kernel = FirKernel::new(&taps, n).unwrap();
-    let mut accel = Vwr2a::new();
-    let run = kernel.run(&mut accel, &input).unwrap();
-    let vwr2a = FftMeasurement {
-        cycles: run.cycles,
-        energy: vwr2a_energy(&run.counters),
-    };
+    let mut session = Session::new();
+    let (_, report) = session.run(&kernel, input.as_slice()).unwrap();
+    let vwr2a = FftMeasurement::from_report(&report);
     FirComparison { n, cpu, vwr2a }
+}
+
+/// Measures the 11-tap FIR filter over a stream of `windows` windows of `n`
+/// points each through one [`Session`] (warm steady state), returning the
+/// aggregated report.  This is the config-memory-reuse experiment behind
+/// the ablation binary.
+///
+/// # Panics
+///
+/// Panics on simulator errors (harness bug).
+pub fn run_fir_stream(n: usize, windows: usize) -> RunReport {
+    let taps_f = vwr2a_dsp::fir::design_lowpass(11, 0.1).unwrap();
+    let taps: Vec<i32> = taps_f.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+    let kernel = FirKernel::new(&taps, n).unwrap();
+    let inputs: Vec<Vec<i32>> = (0..windows)
+        .map(|w| {
+            test_signal(n)
+                .iter()
+                .map(|&v| Q15::from_f64(v * (1.0 - 0.1 * (w % 3) as f64)).0 as i32)
+                .collect()
+        })
+        .collect();
+    let mut session = Session::new();
+    let (_, report) = session
+        .run_batch(&kernel, inputs.iter().map(Vec::as_slice))
+        .unwrap();
+    report
 }
 
 /// Converts cycles to microseconds at the platform frequency.
 pub fn cycles_to_us(cycles: u64) -> f64 {
-    cycles as f64 / FREQUENCY_HZ * 1e6
+    vwr2a_core::stats::time_us(cycles, FREQUENCY_HZ)
 }
 
 #[cfg(test)]
@@ -200,7 +230,10 @@ mod tests {
     #[test]
     fn fft_comparison_produces_consistent_ordering() {
         let row = run_fft_comparison(512, true);
-        assert!(row.cpu.cycles > row.accel.cycles, "the accelerator must beat the CPU");
+        assert!(
+            row.cpu.cycles > row.accel.cycles,
+            "the accelerator must beat the CPU"
+        );
         let v = row.vwr2a.expect("real 512 is supported");
         assert!(v.cycles < row.cpu.cycles, "VWR2A must beat the CPU");
         assert!(v.energy.total_uj() < row.cpu.energy.total_uj());
@@ -221,5 +254,20 @@ mod tests {
         let row = run_fft_comparison(2048, false);
         assert!(row.vwr2a.is_none());
         assert!(row.cpu.cycles > 100_000);
+    }
+
+    #[test]
+    fn fir_stream_amortises_the_configuration_load() {
+        let stream = run_fir_stream(256, 8);
+        assert_eq!(stream.invocations, 8);
+        assert_eq!(stream.cold_launches, 1);
+        let single = run_fir_comparison(256).vwr2a;
+        // Eight warm windows must cost less than eight isolated cold runs.
+        assert!(
+            stream.cycles < 8 * single.cycles,
+            "stream {} vs 8x cold {}",
+            stream.cycles,
+            8 * single.cycles
+        );
     }
 }

@@ -86,7 +86,9 @@ impl Vwr2a {
         Ok(Self {
             geometry,
             spm: Spm::new(geometry.spm_words(), geometry.vwr_words),
-            columns: (0..geometry.columns).map(|_| Column::new(geometry)).collect(),
+            columns: (0..geometry.columns)
+                .map(|_| Column::new(geometry))
+                .collect(),
             config_mem: ConfigMemory::new(geometry.config_words),
             dma: Dma::new(dma),
             counters: ActivityCounters::new(),
@@ -129,12 +131,10 @@ impl Vwr2a {
     /// Returns [`CoreError::InvalidColumn`] if `index` is out of range.
     pub fn column_mut(&mut self, index: usize) -> Result<&mut Column> {
         let count = self.columns.len();
-        self.columns
-            .get_mut(index)
-            .ok_or(CoreError::InvalidColumn {
-                column: index,
-                count,
-            })
+        self.columns.get_mut(index).ok_or(CoreError::InvalidColumn {
+            column: index,
+            count,
+        })
     }
 
     /// Accumulated activity since construction or the last
@@ -197,6 +197,12 @@ impl Vwr2a {
     pub fn dma_from_spm(&mut self, spm_word_addr: usize, len: usize) -> Result<(Vec<i32>, u64)> {
         self.dma
             .copy_from_spm(&self.spm, spm_word_addr, len, &mut self.counters)
+    }
+
+    /// The configuration memory (read-only view, e.g. for a runtime that
+    /// wants to report how many kernels are resident and how full it is).
+    pub fn config_mem(&self) -> &ConfigMemory {
+        &self.config_mem
     }
 
     /// Validates and stores a kernel in the configuration memory.
@@ -286,16 +292,11 @@ impl Vwr2a {
         }
         self.counters.cycles += cycles;
 
-        let mut delta = self.counters;
-        // Compute the per-run delta field by field via subtraction on the
-        // aggregate type would require a Sub impl; recompute from the
-        // snapshot instead.
-        delta = subtract(delta, before);
         Ok(RunStats {
             kernel_name: kernel.name.clone(),
             cycles,
             columns_used,
-            counters: delta,
+            counters: self.counters - before,
         })
     }
 }
@@ -303,32 +304,6 @@ impl Vwr2a {
 impl Default for Vwr2a {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-fn subtract(a: ActivityCounters, b: ActivityCounters) -> ActivityCounters {
-    ActivityCounters {
-        cycles: a.cycles - b.cycles,
-        rc_alu_ops: a.rc_alu_ops - b.rc_alu_ops,
-        rc_multiplies: a.rc_multiplies - b.rc_multiplies,
-        rc_reg_reads: a.rc_reg_reads - b.rc_reg_reads,
-        rc_reg_writes: a.rc_reg_writes - b.rc_reg_writes,
-        vwr_word_reads: a.vwr_word_reads - b.vwr_word_reads,
-        vwr_word_writes: a.vwr_word_writes - b.vwr_word_writes,
-        vwr_line_transfers: a.vwr_line_transfers - b.vwr_line_transfers,
-        spm_line_reads: a.spm_line_reads - b.spm_line_reads,
-        spm_line_writes: a.spm_line_writes - b.spm_line_writes,
-        spm_word_reads: a.spm_word_reads - b.spm_word_reads,
-        spm_word_writes: a.spm_word_writes - b.spm_word_writes,
-        srf_reads: a.srf_reads - b.srf_reads,
-        srf_writes: a.srf_writes - b.srf_writes,
-        shuffle_ops: a.shuffle_ops - b.shuffle_ops,
-        instr_issues: a.instr_issues - b.instr_issues,
-        nop_issues: a.nop_issues - b.nop_issues,
-        lcu_branches: a.lcu_branches - b.lcu_branches,
-        dma_words: a.dma_words - b.dma_words,
-        dma_transfers: a.dma_transfers - b.dma_transfers,
-        config_words_loaded: a.config_words_loaded - b.config_words_loaded,
     }
 }
 
@@ -410,7 +385,7 @@ mod tests {
     #[test]
     fn run_program_without_storing() {
         let mut accel = Vwr2a::new();
-        let input: Vec<i32> = (0..128).map(|i| (i as i32 - 64) << 16).collect();
+        let input: Vec<i32> = (0..128).map(|i| (i - 64) << 16).collect();
         accel.dma_to_spm(&input, 0).unwrap();
         accel.write_srf(0, 0, 2 << 16).unwrap(); // scale by 2.0
         let stats = accel.run_program(&vector_scale_kernel(0)).unwrap();

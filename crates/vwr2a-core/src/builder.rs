@@ -138,7 +138,8 @@ impl ColumnProgramBuilder {
     /// program.
     pub fn build(mut self) -> Result<ColumnProgram> {
         for (row_idx, label) in &self.branch_fixups {
-            let target = self.labels[label.0].ok_or(CoreError::UndefinedLabel { label: label.0 })?;
+            let target =
+                self.labels[label.0].ok_or(CoreError::UndefinedLabel { label: label.0 })?;
             if target >= self.rows.len() {
                 return Err(CoreError::BranchTargetOutOfRange {
                     target,
@@ -196,10 +197,7 @@ mod tests {
         let dangling = b.new_label();
         b.push_jump(b.row(), dangling);
         b.push_exit();
-        assert!(matches!(
-            b.build(),
-            Err(CoreError::UndefinedLabel { .. })
-        ));
+        assert!(matches!(b.build(), Err(CoreError::UndefinedLabel { .. })));
     }
 
     #[test]

@@ -146,11 +146,7 @@ impl Column {
         }
     }
 
-    fn resolve_lsu_addr(
-        &self,
-        addr: LsuAddr,
-        counters: &mut ActivityCounters,
-    ) -> Result<usize> {
+    fn resolve_lsu_addr(&self, addr: LsuAddr, counters: &mut ActivityCounters) -> Result<usize> {
         match addr {
             LsuAddr::Imm(v) => Ok(v as usize),
             LsuAddr::Srf(s) => {
@@ -237,19 +233,18 @@ impl Column {
             if instr.is_nop() {
                 continue;
             }
-            let read_src = |src: RcSrc,
-                                counters: &mut ActivityCounters|
-             -> Result<i32> {
+            let read_src = |src: RcSrc, counters: &mut ActivityCounters| -> Result<i32> {
                 Ok(match src {
                     RcSrc::Zero => 0,
                     RcSrc::Imm(v) => v as i32,
                     RcSrc::Reg(r) => {
                         counters.rc_reg_reads += 1;
-                        *self.rcs[i].regs.get(r as usize).ok_or(
-                            CoreError::InvalidGeometry {
+                        *self.rcs[i]
+                            .regs
+                            .get(r as usize)
+                            .ok_or(CoreError::InvalidGeometry {
                                 detail: format!("RC register {r} out of range"),
-                            },
-                        )?
+                            })?
                     }
                     RcSrc::Vwr(v) => {
                         counters.vwr_word_reads += 1;
@@ -488,11 +483,7 @@ mod tests {
         (Column::new(g), Spm::new(g.spm_words(), g.vwr_words))
     }
 
-    fn run(
-        column: &mut Column,
-        program: &ColumnProgram,
-        spm: &mut Spm,
-    ) -> (u64, ActivityCounters) {
+    fn run(column: &mut Column, program: &ColumnProgram, spm: &mut Spm) -> (u64, ActivityCounters) {
         let mut counters = ActivityCounters::new();
         let mut cycles = 0u64;
         column.reset_execution();
@@ -586,12 +577,23 @@ mod tests {
                 .rc(0, RcInstr::mov(RcDst::Reg(0), RcSrc::Vwr(VwrId::A))),
         );
         // Cycle 2: read A (k=1) into R1.
-        bld.push(bld.row().rc(0, RcInstr::mov(RcDst::Reg(1), RcSrc::Vwr(VwrId::A))));
+        bld.push(
+            bld.row()
+                .rc(0, RcInstr::mov(RcDst::Reg(1), RcSrc::Vwr(VwrId::A))),
+        );
         bld.push_exit();
         let program = bld.build().unwrap();
         let _ = run(&mut col, &program, &mut spm);
-        assert_eq!(col.rc(0).regs[0], 7, "first read uses the pre-increment index");
-        assert_eq!(col.rc(0).regs[1], 9, "second read sees the incremented index");
+        assert_eq!(
+            col.rc(0).regs[0],
+            7,
+            "first read uses the pre-increment index"
+        );
+        assert_eq!(
+            col.rc(0).regs[1],
+            9,
+            "second read sees the incremented index"
+        );
     }
 
     #[test]
@@ -606,10 +608,15 @@ mod tests {
                 .rc(1, RcInstr::mov(RcDst::None, RcSrc::Imm(10))),
         );
         // Cycle 2: RC1 adds the previous result of the RC above it (RC0).
-        bld.push(
-            bld.row()
-                .rc(1, RcInstr::new(RcOpcode::Add, RcDst::Reg(0), RcSrc::RcAbove, RcSrc::SelfPrev)),
-        );
+        bld.push(bld.row().rc(
+            1,
+            RcInstr::new(
+                RcOpcode::Add,
+                RcDst::Reg(0),
+                RcSrc::RcAbove,
+                RcSrc::SelfPrev,
+            ),
+        ));
         bld.push_exit();
         let program = bld.build().unwrap();
         let _ = run(&mut col, &program, &mut spm);
@@ -618,7 +625,6 @@ mod tests {
 
     #[test]
     fn srf_port_conflict_is_detected() {
-        
         let (mut col, mut spm) = paper_column();
         let rows = vec![
             Row::new(4)
@@ -630,7 +636,10 @@ mod tests {
         let mut counters = ActivityCounters::new();
         col.reset_execution();
         let err = col.step(&program, &mut spm, &mut counters, 1).unwrap_err();
-        assert!(matches!(err, CoreError::SrfPortConflict { accesses: 2, .. }));
+        assert!(matches!(
+            err,
+            CoreError::SrfPortConflict { accesses: 2, .. }
+        ));
     }
 
     #[test]
@@ -678,7 +687,10 @@ mod tests {
                 .rc(0, RcInstr::mov(RcDst::Reg(0), RcSrc::Vwr(VwrId::A))),
         );
         // Next cycle the new value is visible.
-        bld.push(bld.row().rc(0, RcInstr::mov(RcDst::Reg(1), RcSrc::Vwr(VwrId::A))));
+        bld.push(
+            bld.row()
+                .rc(0, RcInstr::mov(RcDst::Reg(1), RcSrc::Vwr(VwrId::A))),
+        );
         bld.push_exit();
         let program = bld.build().unwrap();
         let _ = run(&mut col, &program, &mut spm);

@@ -164,6 +164,11 @@ impl ConfigMemory {
         Ok(stored.columns.iter().map(Vec::len).sum())
     }
 
+    /// `true` if `id` refers to a stored kernel.
+    pub fn contains(&self, id: KernelId) -> bool {
+        id.0 < self.kernels.len()
+    }
+
     /// Removes every stored kernel.
     pub fn clear(&mut self) {
         self.kernels.clear();

@@ -142,7 +142,9 @@ mod tests {
         let mut spm = Spm::new(1024, 128);
         let mut counters = ActivityCounters::new();
         let data: Vec<i32> = (0..128).map(|i| i * 3 - 64).collect();
-        let c1 = dma.copy_to_spm(&data, &mut spm, 128, &mut counters).unwrap();
+        let c1 = dma
+            .copy_to_spm(&data, &mut spm, 128, &mut counters)
+            .unwrap();
         let (back, c2) = dma.copy_from_spm(&spm, 128, 128, &mut counters).unwrap();
         assert_eq!(back, data);
         assert_eq!(c1, c2);

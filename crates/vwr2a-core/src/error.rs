@@ -211,10 +211,7 @@ mod tests {
                 "cycle 7",
             ),
             (CoreError::UnknownKernel { id: 5 }, "5"),
-            (
-                CoreError::CycleLimitExceeded { limit: 1000 },
-                "1000",
-            ),
+            (CoreError::CycleLimitExceeded { limit: 1000 }, "1000"),
         ];
         for (err, needle) in cases {
             assert!(

@@ -139,13 +139,13 @@ impl Geometry {
                 self.num_vwrs
             ));
         }
-        if self.vwr_words % self.rcs_per_column != 0 {
+        if !self.vwr_words.is_multiple_of(self.rcs_per_column) {
             return fail(format!(
                 "vwr_words ({}) must be divisible by rcs_per_column ({})",
                 self.vwr_words, self.rcs_per_column
             ));
         }
-        if self.spm_bytes % (self.vwr_words * 4) != 0 {
+        if !self.spm_bytes.is_multiple_of(self.vwr_words * 4) {
             return fail(format!(
                 "spm_bytes ({}) must be a whole number of {}-byte lines",
                 self.spm_bytes,

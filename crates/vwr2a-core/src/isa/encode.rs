@@ -169,7 +169,10 @@ pub fn decode_rc(word: ConfigWord) -> Result<RcInstr> {
 // ---------------------------------------------------------------------------
 
 fn shuffle_code(op: ShuffleOp) -> u64 {
-    ShuffleOp::ALL.iter().position(|&o| o == op).expect("listed") as u64
+    ShuffleOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("listed") as u64
 }
 
 fn shuffle_from(code: u64) -> Option<ShuffleOp> {
@@ -411,8 +414,18 @@ mod tests {
                 RcSrc::Vwr(VwrId::A),
                 RcSrc::Vwr(VwrId::B),
             ),
-            RcInstr::new(RcOpcode::MulFxp, RcDst::Reg(1), RcSrc::Srf(7), RcSrc::Imm(-42)),
-            RcInstr::new(RcOpcode::Sgt, RcDst::Srf(3), RcSrc::RcAbove, RcSrc::SelfPrev),
+            RcInstr::new(
+                RcOpcode::MulFxp,
+                RcDst::Reg(1),
+                RcSrc::Srf(7),
+                RcSrc::Imm(-42),
+            ),
+            RcInstr::new(
+                RcOpcode::Sgt,
+                RcDst::Srf(3),
+                RcSrc::RcAbove,
+                RcSrc::SelfPrev,
+            ),
             RcInstr::new(RcOpcode::Sra, RcDst::Reg(0), RcSrc::RcBelow, RcSrc::Imm(15)),
         ];
         for instr in cases {
@@ -470,7 +483,10 @@ mod tests {
     fn lcu_round_trip_examples() {
         let cases = [
             LcuInstr::Nop,
-            LcuInstr::Li { r: 2, value: -100_000 },
+            LcuInstr::Li {
+                r: 2,
+                value: -100_000,
+            },
             LcuInstr::Add {
                 r: 1,
                 src: LcuSrc::Srf(3),

@@ -62,9 +62,10 @@ pub enum LcuSrc {
 /// assert_eq!(back.srf_accesses(), 0);
 /// assert!(incr.srf_accesses() == 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LcuInstr {
     /// No operation (PC advances to the next row).
+    #[default]
     Nop,
     /// Load an immediate into a private register.
     Li {
@@ -128,12 +129,6 @@ impl LcuInstr {
             self,
             LcuInstr::Branch { .. } | LcuInstr::Jump(_) | LcuInstr::Exit
         )
-    }
-}
-
-impl Default for LcuInstr {
-    fn default() -> Self {
-        LcuInstr::Nop
     }
 }
 

@@ -73,9 +73,10 @@ impl ShuffleOp {
 /// let shuf = LsuInstr::Shuffle(ShuffleOp::InterleaveLower);
 /// assert!(!shuf.is_nop());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LsuInstr {
     /// No operation.
+    #[default]
     Nop,
     /// Fill an entire VWR from an SPM line (single cycle, 4096 bits).
     LoadVwr {
@@ -135,12 +136,6 @@ impl LsuInstr {
             }
             LsuInstr::AddSrf { .. } => 1,
         }
-    }
-}
-
-impl Default for LsuInstr {
-    fn default() -> Self {
-        LsuInstr::Nop
     }
 }
 

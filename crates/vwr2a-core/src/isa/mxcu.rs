@@ -20,9 +20,10 @@ use serde::{Deserialize, Serialize};
 /// assert!(!reset.is_nop());
 /// assert_eq!(step.srf_accesses(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MxcuInstr {
     /// No operation (the index keeps its value).
+    #[default]
     Nop,
     /// Set the VWR word index to an immediate.
     SetIdx(u16),
@@ -51,12 +52,6 @@ impl MxcuInstr {
             MxcuInstr::LoadIdxSrf(_) | MxcuInstr::AndIdxSrf(_) | MxcuInstr::StoreIdxSrf(_) => 1,
             _ => 0,
         }
-    }
-}
-
-impl Default for MxcuInstr {
-    fn default() -> Self {
-        MxcuInstr::Nop
     }
 }
 

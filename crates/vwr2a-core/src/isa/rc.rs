@@ -196,14 +196,14 @@ mod tests {
 
     #[test]
     fn srf_access_counting() {
-        let i = RcInstr::new(
-            RcOpcode::Add,
-            RcDst::Srf(0),
-            RcSrc::Srf(1),
-            RcSrc::Srf(2),
-        );
+        let i = RcInstr::new(RcOpcode::Add, RcDst::Srf(0), RcSrc::Srf(1), RcSrc::Srf(2));
         assert_eq!(i.srf_accesses(), 3);
-        let j = RcInstr::new(RcOpcode::Add, RcDst::Reg(0), RcSrc::Vwr(VwrId::A), RcSrc::Imm(4));
+        let j = RcInstr::new(
+            RcOpcode::Add,
+            RcDst::Reg(0),
+            RcSrc::Vwr(VwrId::A),
+            RcSrc::Imm(4),
+        );
         assert_eq!(j.srf_accesses(), 0);
     }
 

@@ -224,7 +224,10 @@ impl ColumnProgram {
                 Ok(())
             } else {
                 Err(CoreError::InvalidGeometry {
-                    detail: format!("row {index} uses VWR {v:?} but only {} VWRs exist", geometry.num_vwrs),
+                    detail: format!(
+                        "row {index} uses VWR {v:?} but only {} VWRs exist",
+                        geometry.num_vwrs
+                    ),
                 })
             }
         };
@@ -249,13 +252,20 @@ impl ColumnProgram {
                 })
             }
             LcuInstr::LoadSrf { srf, .. } => check_srf(srf)?,
-            LcuInstr::Branch { b: LcuSrc::Srf(s), target, .. } => {
+            LcuInstr::Branch {
+                b: LcuSrc::Srf(s),
+                target,
+                ..
+            } => {
                 check_srf(s)?;
                 check_target(target)?;
             }
             LcuInstr::Branch { target, .. } => check_target(target)?,
             LcuInstr::Jump(target) => check_target(target)?,
-            LcuInstr::Add { src: LcuSrc::Srf(s), .. } => check_srf(s)?,
+            LcuInstr::Add {
+                src: LcuSrc::Srf(s),
+                ..
+            } => check_srf(s)?,
             _ => {}
         }
         // LSU fields.

@@ -43,7 +43,7 @@ impl Spm {
     pub fn new(total_words: usize, line_words: usize) -> Self {
         assert!(line_words > 0, "line width must be non-zero");
         assert!(
-            total_words % line_words == 0,
+            total_words.is_multiple_of(line_words),
             "spm size must be a whole number of lines"
         );
         Self {

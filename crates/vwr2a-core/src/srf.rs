@@ -109,7 +109,10 @@ mod tests {
         let mut srf = Srf::new(8);
         assert!(matches!(
             srf.read(8),
-            Err(CoreError::SrfIndexOutOfRange { index: 8, capacity: 8 })
+            Err(CoreError::SrfIndexOutOfRange {
+                index: 8,
+                capacity: 8
+            })
         ));
         assert!(srf.write(100, 0).is_err());
     }

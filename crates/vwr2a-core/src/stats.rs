@@ -3,6 +3,21 @@
 use crate::trace::ActivityCounters;
 use serde::{Deserialize, Serialize};
 
+/// Converts a cycle count to microseconds at the given clock frequency.
+///
+/// The single definition behind every `time_us` helper in the workspace
+/// ([`RunStats::time_us`], the runtime's `RunReport::time_us`, the bench
+/// harness).  The paper's SoC runs at 80 MHz.
+///
+/// # Example
+///
+/// ```
+/// assert!((vwr2a_core::stats::time_us(8_000, 80.0e6) - 100.0).abs() < 1e-9);
+/// ```
+pub fn time_us(cycles: u64, frequency_hz: f64) -> f64 {
+    cycles as f64 / frequency_hz * 1e6
+}
+
 /// Statistics of one kernel run on the array.
 ///
 /// # Example
@@ -38,7 +53,7 @@ impl RunStats {
     /// The paper's SoC runs at 80 MHz; `stats.time_us(80.0e6)` converts a
     /// cycle count to the same units used in Sec. 5.1.1.
     pub fn time_us(&self, frequency_hz: f64) -> f64 {
-        self.cycles as f64 / frequency_hz * 1e6
+        time_us(self.cycles, frequency_hz)
     }
 }
 

@@ -8,7 +8,7 @@
 //! (DMA / Memories / Control / Datapath).
 
 use serde::{Deserialize, Serialize};
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// Per-component activity counters accumulated over a kernel run.
 ///
@@ -123,6 +123,40 @@ impl AddAssign for ActivityCounters {
     }
 }
 
+impl Sub for ActivityCounters {
+    type Output = ActivityCounters;
+    fn sub(mut self, rhs: ActivityCounters) -> ActivityCounters {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for ActivityCounters {
+    fn sub_assign(&mut self, rhs: ActivityCounters) {
+        self.cycles -= rhs.cycles;
+        self.rc_alu_ops -= rhs.rc_alu_ops;
+        self.rc_multiplies -= rhs.rc_multiplies;
+        self.rc_reg_reads -= rhs.rc_reg_reads;
+        self.rc_reg_writes -= rhs.rc_reg_writes;
+        self.vwr_word_reads -= rhs.vwr_word_reads;
+        self.vwr_word_writes -= rhs.vwr_word_writes;
+        self.vwr_line_transfers -= rhs.vwr_line_transfers;
+        self.spm_line_reads -= rhs.spm_line_reads;
+        self.spm_line_writes -= rhs.spm_line_writes;
+        self.spm_word_reads -= rhs.spm_word_reads;
+        self.spm_word_writes -= rhs.spm_word_writes;
+        self.srf_reads -= rhs.srf_reads;
+        self.srf_writes -= rhs.srf_writes;
+        self.shuffle_ops -= rhs.shuffle_ops;
+        self.instr_issues -= rhs.instr_issues;
+        self.nop_issues -= rhs.nop_issues;
+        self.lcu_branches -= rhs.lcu_branches;
+        self.dma_words -= rhs.dma_words;
+        self.dma_transfers -= rhs.dma_transfers;
+        self.config_words_loaded -= rhs.config_words_loaded;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +182,26 @@ mod tests {
         assert_eq!(sum.srf_reads, 12);
         assert_eq!(sum.dma_words, 14);
         assert_eq!(sum.config_words_loaded, 16);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition() {
+        let mut a = ActivityCounters::new();
+        a.cycles = 10;
+        a.rc_alu_ops = 20;
+        a.dma_words = 30;
+        a.config_words_loaded = 40;
+        let mut b = ActivityCounters::new();
+        b.cycles = 3;
+        b.rc_alu_ops = 4;
+        b.dma_words = 5;
+        b.config_words_loaded = 6;
+        assert_eq!((a + b) - b, a);
+        let d = a - b;
+        assert_eq!(d.cycles, 7);
+        assert_eq!(d.rc_alu_ops, 16);
+        assert_eq!(d.dma_words, 25);
+        assert_eq!(d.config_words_loaded, 34);
     }
 
     #[test]

@@ -127,7 +127,10 @@ mod tests {
         let mut v = Vwr::new(4);
         assert!(matches!(
             v.read_word(4),
-            Err(CoreError::VwrIndexOutOfRange { index: 4, capacity: 4 })
+            Err(CoreError::VwrIndexOutOfRange {
+                index: 4,
+                capacity: 4
+            })
         ));
         assert!(v.write_word(100, 1).is_err());
     }

@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn rejects_bad_lengths() {
         assert!(cfft_q15(&mut []).is_err());
-        assert!(cfft_q15(&mut vec![ComplexQ15::default(); 12]).is_err());
+        assert!(cfft_q15(&mut [ComplexQ15::default(); 12]).is_err());
         assert!(rfft_q15(&[Q15::ZERO; 2]).is_err());
     }
 

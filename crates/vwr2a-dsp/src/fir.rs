@@ -133,7 +133,7 @@ pub fn fir_q16(taps: &[i32], input: &[i32]) -> Result<Vec<i32>, DspError> {
 /// # }
 /// ```
 pub fn design_lowpass(taps: usize, cutoff: f64) -> Result<Vec<f64>, DspError> {
-    if taps == 0 || taps % 2 == 0 {
+    if taps == 0 || taps.is_multiple_of(2) {
         return Err(DspError::InvalidParameter {
             what: format!("tap count must be odd and non-zero, got {taps}"),
         });

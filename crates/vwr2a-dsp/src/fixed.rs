@@ -35,7 +35,9 @@ pub const FFT_ACCEL_WIDTH: u32 = 18;
 /// let quarter = half.saturating_mul(half);
 /// assert!((quarter.to_f64() - 0.25).abs() < 1e-4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Q15(pub i16);
 
 impl Q15 {
@@ -155,7 +157,7 @@ pub fn mul_low(a: i32, b: i32) -> i32 {
 ///
 /// Panics if `bits` is zero or greater than 32.
 pub fn saturate(v: i64, bits: u32) -> i32 {
-    assert!(bits >= 1 && bits <= 32, "bit width must be in 1..=32");
+    assert!((1..=32).contains(&bits), "bit width must be in 1..=32");
     let max = (1i64 << (bits - 1)) - 1;
     let min = -(1i64 << (bits - 1));
     v.clamp(min, max) as i32

@@ -294,7 +294,11 @@ mod tests {
             .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
             .collect();
         let ext = delineate(&signal, 0.5).unwrap();
-        assert!(ext.len() >= 9, "expected ~5 maxima + 5 minima, got {}", ext.len());
+        assert!(
+            ext.len() >= 9,
+            "expected ~5 maxima + 5 minima, got {}",
+            ext.len()
+        );
         for pair in ext.windows(2) {
             assert_ne!(pair[0].is_max, pair[1].is_max, "extrema must alternate");
         }
@@ -307,7 +311,8 @@ mod tests {
         let signal: Vec<f64> = (0..400)
             .map(|i| {
                 let t = i as f64;
-                (std::f64::consts::TAU * t / 200.0).sin() + 0.01 * (std::f64::consts::TAU * t / 7.0).sin()
+                (std::f64::consts::TAU * t / 200.0).sin()
+                    + 0.01 * (std::f64::consts::TAU * t / 7.0).sin()
             })
             .collect();
         let ext = delineate(&signal, 0.3).unwrap();

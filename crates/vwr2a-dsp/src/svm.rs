@@ -88,7 +88,11 @@ impl LinearSvm {
     ///
     /// Same as [`Self::decision`].
     pub fn predict(&self, features: &[f64]) -> Result<i32, DspError> {
-        Ok(if self.decision(features)? >= 0.0 { 1 } else { -1 })
+        Ok(if self.decision(features)? >= 0.0 {
+            1
+        } else {
+            -1
+        })
     }
 }
 
@@ -183,7 +187,11 @@ impl RbfSvm {
     ///
     /// Same as [`Self::decision`].
     pub fn predict(&self, features: &[f64]) -> Result<i32, DspError> {
-        Ok(if self.decision(features)? >= 0.0 { 1 } else { -1 })
+        Ok(if self.decision(features)? >= 0.0 {
+            1
+        } else {
+            -1
+        })
     }
 }
 

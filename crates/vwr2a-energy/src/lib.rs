@@ -54,10 +54,7 @@ pub fn vwr2a_energy(counters: &ActivityCounters) -> EnergyBreakdown {
 
 /// Energy breakdown of a VWR2A run with explicit coefficients (used by the
 /// ablation experiments).
-pub fn vwr2a_energy_with(
-    counters: &ActivityCounters,
-    c: &Vwr2aCoefficients,
-) -> EnergyBreakdown {
+pub fn vwr2a_energy_with(counters: &ActivityCounters, c: &Vwr2aCoefficients) -> EnergyBreakdown {
     let pj_to_uj = 1e-6;
     let memories = (counters.vwr_word_reads + counters.vwr_word_writes) as f64 * c.vwr_word_pj
         + counters.vwr_line_transfers as f64 * c.vwr_line_pj
@@ -115,8 +112,8 @@ pub fn cpu_energy(stats: &CpuRunStats) -> EnergyBreakdown {
     let datapath = stats.alu_ops as f64 * c.alu_pj
         + stats.mul_ops as f64 * c.mul_pj
         + stats.cycles as f64 * c.core_leakage_pj;
-    let control = stats.instructions as f64 * c.fetch_decode_pj
-        + stats.taken_branches as f64 * c.branch_pj;
+    let control =
+        stats.instructions as f64 * c.fetch_decode_pj + stats.taken_branches as f64 * c.branch_pj;
     EnergyBreakdown {
         dma_uj: 0.0,
         memories_uj: memories * pj_to_uj,
@@ -133,20 +130,21 @@ mod tests {
         // Roughly the per-cycle activity mix of the VWR2A FFT kernel:
         // four RCs busy, two VWR reads and one write each, an SPM line
         // access every ~35 cycles, modest control.
-        let mut c = ActivityCounters::default();
-        c.cycles = cycles;
-        c.rc_alu_ops = 4 * cycles;
-        c.rc_multiplies = cycles;
-        c.vwr_word_reads = 8 * cycles;
-        c.vwr_word_writes = 4 * cycles;
-        c.spm_line_reads = cycles / 40;
-        c.spm_line_writes = cycles / 60;
-        c.vwr_line_transfers = cycles / 20;
-        c.instr_issues = 6 * cycles;
-        c.nop_issues = cycles;
-        c.dma_words = cycles / 8;
-        c.dma_transfers = 2;
-        c
+        ActivityCounters {
+            cycles,
+            rc_alu_ops: 4 * cycles,
+            rc_multiplies: cycles,
+            vwr_word_reads: 8 * cycles,
+            vwr_word_writes: 4 * cycles,
+            spm_line_reads: cycles / 40,
+            spm_line_writes: cycles / 60,
+            vwr_line_transfers: cycles / 20,
+            instr_issues: 6 * cycles,
+            nop_issues: cycles,
+            dma_words: cycles / 8,
+            dma_transfers: 2,
+            ..ActivityCounters::default()
+        }
     }
 
     #[test]

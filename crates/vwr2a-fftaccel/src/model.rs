@@ -302,7 +302,9 @@ mod tests {
     #[test]
     fn real_flow_is_roughly_twice_as_fast_as_complex() {
         let accel = FftAccelerator::new();
-        let sig_c: Vec<Complex> = (0..512).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let sig_c: Vec<Complex> = (0..512)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         let sig_r: Vec<f64> = (0..512).map(|i| (i as f64).sin()).collect();
         let (_, c) = accel.run_complex(&sig_c).unwrap();
         let (_, r) = accel.run_real(&sig_r).unwrap();
@@ -316,10 +318,16 @@ mod tests {
         // the model should land within ~25 % of those.
         let accel = FftAccelerator::new();
         for (n, paper) in [(512usize, 7099u64), (1024, 13629), (2048, 31299)] {
-            let sig: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos() * 0.3, 0.0)).collect();
+            let sig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).cos() * 0.3, 0.0))
+                .collect();
             let (_, stats) = accel.run_complex(&sig).unwrap();
             let ratio = stats.cycles as f64 / paper as f64;
-            assert!(ratio > 0.7 && ratio < 1.35, "n={n}: {} vs paper {paper}", stats.cycles);
+            assert!(
+                ratio > 0.7 && ratio < 1.35,
+                "n={n}: {} vs paper {paper}",
+                stats.cycles
+            );
         }
     }
 

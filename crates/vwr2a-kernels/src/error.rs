@@ -58,6 +58,17 @@ impl From<DspError> for KernelError {
     }
 }
 
+impl From<KernelError> for vwr2a_runtime::RuntimeError {
+    fn from(e: KernelError) -> Self {
+        match e {
+            KernelError::Core(c) => vwr2a_runtime::RuntimeError::Core(c),
+            other => vwr2a_runtime::RuntimeError::InvalidInput {
+                what: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, KernelError>;
 
@@ -71,6 +82,8 @@ mod tests {
         assert!(e.to_string().contains("array error"));
         let e: KernelError = DspError::EmptyInput.into();
         assert!(e.to_string().contains("reference model"));
-        assert!(KernelError::UnsupportedSize { what: "n".into() }.source().is_none());
+        assert!(KernelError::UnsupportedSize { what: "n".into() }
+            .source()
+            .is_none());
     }
 }

@@ -5,22 +5,40 @@
 //! the array as element-wise passes followed by the cross-RC reduction of
 //! [`crate::ops::emit_reduce_sum_pass`]:
 //!
-//! * [`band_energies`] — per-band spectral energy `Σ (re² + im²)` used for
+//! * [`BandEnergies`] — per-band spectral energy `Σ (re² + im²)` used for
 //!   the frequency features,
-//! * [`sum_and_sum_of_squares`] — the Σx and Σx² reductions behind the mean
-//!   and RMS time features,
-//! * [`dot_product`] — the linear-SVM decision value.
+//! * [`SumAndSquares`] — the Σx and Σx² reductions behind the mean and RMS
+//!   time features,
+//! * [`DotProduct`] — the linear-SVM decision value.
+//!
+//! All three share one *map-reduce* column program per ALU operation, with
+//! the operand and scratch SPM lines passed through the SRF.  Because the
+//! line addresses are launch parameters rather than immediates, one
+//! resident program serves every block of every input — so inside a
+//! [`vwr2a_runtime::Session`] only the first block of the first invocation
+//! is a cold launch, and kernels that share an operation (e.g.
+//! [`DotProduct`] and the Σx² half of [`SumAndSquares`], both standard
+//! multiplies) warm each other up.
 
-use crate::error::{KernelError, Result};
+use crate::error::KernelError;
 use crate::ops::{emit_ew_pass, emit_reduce_sum_pass, LineRef};
-use crate::{subtract_counters, KernelRun};
+use crate::Spectrum;
 use vwr2a_core::builder::ColumnProgramBuilder;
+use vwr2a_core::geometry::Geometry;
 use vwr2a_core::isa::RcOpcode;
 use vwr2a_core::program::KernelProgram;
-use vwr2a_core::Vwr2a;
+use vwr2a_runtime::{Kernel, LaunchCtx, Resources, Result, RuntimeError};
 
 /// Words per SPM line.
 const LINE: usize = 128;
+/// SRF entry holding the first-operand line address.
+const SRF_A: usize = 0;
+/// SRF entry holding the second-operand line address.
+const SRF_B: usize = 1;
+/// SRF entry holding the scratch (map output) line address.
+const SRF_OUT: usize = 2;
+/// SRF entry the reduction writes the scalar result to.
+const SRF_RESULT: usize = 7;
 
 fn pad_to_lines(data: &[i32]) -> Vec<i32> {
     let mut v = data.to_vec();
@@ -31,181 +49,405 @@ fn pad_to_lines(data: &[i32]) -> Vec<i32> {
     v
 }
 
-/// Runs a "map one line with `op` against a second line, then reduce to a
-/// scalar" program over `a` and `b`, returning the per-line partial sums.
-fn map_reduce(
-    accel: &mut Vwr2a,
-    op: RcOpcode,
-    a: &[i32],
-    b: &[i32],
-    cycles: &mut u64,
-) -> Result<Vec<i64>> {
+fn map_reduce_key(op: RcOpcode) -> String {
+    format!("map-reduce:{op:?}")
+}
+
+/// Builds the shared single-column "map `op` over two SRF-addressed lines,
+/// then reduce to a scalar in `SRF[7]`" program.
+fn map_reduce_program(op: RcOpcode) -> Result<KernelProgram> {
+    let mut bld = ColumnProgramBuilder::new(4);
+    emit_ew_pass(
+        &mut bld,
+        op,
+        LineRef::Srf(SRF_A as u8),
+        LineRef::Srf(SRF_B as u8),
+        LineRef::Srf(SRF_OUT as u8),
+    );
+    emit_reduce_sum_pass(
+        &mut bld,
+        LineRef::Srf(SRF_OUT as u8),
+        SRF_RESULT as u8,
+        None,
+    );
+    bld.push_exit();
+    let col = bld.build().map_err(KernelError::from)?;
+    Ok(KernelProgram::new("map-reduce", vec![col]).map_err(KernelError::from)?)
+}
+
+/// The resource envelope of the map-reduce kernels: one column, at least
+/// three SPM lines (one block of each operand plus scratch) and the four
+/// SRF entries above.  The real footprint scales with the input length, so
+/// [`map_reduce`] re-validates it per invocation before any staging.
+fn map_reduce_resources() -> Resources {
+    Resources {
+        columns: 1,
+        spm_lines: 3,
+        srf_slots: 8,
+    }
+}
+
+/// Runs the map-reduce program over `a` and `b`, one 128-word block at a
+/// time, returning the per-block partial sums.  The program for `op` is
+/// loaded at most once per session and relaunched warm.
+fn map_reduce(ctx: &mut LaunchCtx<'_>, op: RcOpcode, a: &[i32], b: &[i32]) -> Result<Vec<i64>> {
     if a.len() != b.len() {
-        return Err(KernelError::InvalidParameter {
-            what: format!("operand lengths differ: {} vs {}", a.len(), b.len()),
-        });
+        return Err(RuntimeError::invalid_input(format!(
+            "operand lengths differ: {} vs {}",
+            a.len(),
+            b.len()
+        )));
     }
     if a.is_empty() {
-        return Err(KernelError::InvalidParameter {
-            what: "operands must be non-empty".into(),
-        });
+        return Err(RuntimeError::invalid_input("operands must be non-empty"));
     }
     let a = pad_to_lines(a);
     let b = pad_to_lines(b);
     let lines = a.len() / LINE;
-    *cycles += accel.dma_to_spm(&a, 0)?;
-    *cycles += accel.dma_to_spm(&b, lines * LINE)?;
+    // The staging footprint scales with the input (both operands plus one
+    // scratch line); check it against the geometry *before* any DMA so an
+    // oversized input fails cleanly instead of mid-stage.
+    let lines_needed = 2 * lines + 1;
+    let spm_lines = ctx.geometry().spm_lines();
+    if lines_needed > spm_lines {
+        return Err(RuntimeError::invalid_input(format!(
+            "map-reduce over {} words needs {lines_needed} SPM lines, array has {spm_lines}",
+            a.len()
+        )));
+    }
+    ctx.dma_in(&a, 0)?;
+    ctx.dma_in(&b, lines * LINE)?;
+    let key = map_reduce_key(op);
     let mut partials = Vec::with_capacity(lines);
     for blk in 0..lines {
-        let mut bld = ColumnProgramBuilder::new(4);
-        emit_ew_pass(
-            &mut bld,
-            op,
-            LineRef::Imm(blk as u16),
-            LineRef::Imm((lines + blk) as u16),
-            LineRef::Imm((2 * lines) as u16),
-        );
-        emit_reduce_sum_pass(&mut bld, LineRef::Imm((2 * lines) as u16), 7, None);
-        bld.push_exit();
-        let program = KernelProgram::new("map-reduce", vec![bld.build()?])?;
-        let stats = accel.run_program(&program)?;
-        *cycles += stats.cycles;
-        partials.push(accel.read_srf(0, 7)? as i64);
+        ctx.write_param(0, SRF_A, blk as i32)?;
+        ctx.write_param(0, SRF_B, (lines + blk) as i32)?;
+        ctx.write_param(0, SRF_OUT, (2 * lines) as i32)?;
+        ctx.launch_aux(&key, || map_reduce_program(op))?;
+        partials.push(ctx.read_param(0, SRF_RESULT)? as i64);
     }
     Ok(partials)
 }
 
-/// Per-band spectral energies of an interleaved-free spectrum (separate
-/// `re` / `im` arrays, `Q15.16` or `q15` — the scale only affects the units
-/// of the result).
+fn saturate(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Per-band spectral energies of a spectrum held as separate `re`/`im`
+/// arrays (`Q15.16` or `q15` — the scale only affects the units of the
+/// result), computed as `Σ mul_fxp(re,re) + mul_fxp(im,im)` over
+/// equal-width bands.
 ///
-/// Returns one energy per band, computed as `Σ mul_fxp(re,re) +
-/// mul_fxp(im,im)` over equal-width bands.
+/// # Example
 ///
-/// # Errors
+/// ```
+/// use vwr2a_kernels::features::BandEnergies;
+/// use vwr2a_kernels::Spectrum;
+/// use vwr2a_runtime::Session;
 ///
-/// Returns [`KernelError::InvalidParameter`] for empty inputs, mismatched
-/// lengths or zero bands.
-pub fn band_energies(
-    accel: &mut Vwr2a,
-    re: &[i32],
-    im: &[i32],
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Energy only in the first half of the bins.
+/// let spectrum = Spectrum::new(
+///     (0..256).map(|i| if i < 128 { 1 << 16 } else { 0 }).collect(),
+///     vec![0i32; 256],
+/// );
+/// let kernel = BandEnergies::new(2)?;
+/// let (bands, _report) = Session::new().run(&kernel, &spectrum)?;
+/// assert!(bands[0] > 0 && bands[1] == 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandEnergies {
     bands: usize,
-) -> Result<KernelRun> {
-    if bands == 0 {
-        return Err(KernelError::InvalidParameter {
-            what: "band count must be non-zero".into(),
-        });
-    }
-    let before = accel.counters();
-    let mut cycles = 0;
-    let re_sq = map_reduce(accel, RcOpcode::MulFxp, re, re, &mut cycles)?;
-    let im_sq = map_reduce(accel, RcOpcode::MulFxp, im, im, &mut cycles)?;
-    // Combine per-line partial energies into bands on the host (a handful of
-    // scalar additions, part of the high-level control the CPU keeps).
-    let lines = re_sq.len();
-    let per_band = lines.div_ceil(bands);
-    let mut out = vec![0i64; bands];
-    for (line, (r, i)) in re_sq.iter().zip(im_sq.iter()).enumerate() {
-        out[(line / per_band).min(bands - 1)] += r + i;
-    }
-    let after = accel.counters();
-    Ok(KernelRun {
-        output: out.iter().map(|&v| v.clamp(i32::MIN as i64, i32::MAX as i64) as i32).collect(),
-        cycles,
-        counters: subtract_counters(after, before),
-    })
 }
 
-/// Σx and Σx² of an integer array (the inputs to the mean and RMS time
-/// features).  The output vector is `[sum, sum_of_squares]`, both saturated
-/// to `i32`.
-///
-/// # Errors
-///
-/// Returns [`KernelError::InvalidParameter`] for an empty input.
-pub fn sum_and_sum_of_squares(accel: &mut Vwr2a, data: &[i32]) -> Result<KernelRun> {
-    let before = accel.counters();
-    let mut cycles = 0;
-    let zeros = vec![0i32; data.len()];
-    let sums = map_reduce(accel, RcOpcode::Add, data, &zeros, &mut cycles)?;
-    let squares = map_reduce(accel, RcOpcode::Mul, data, data, &mut cycles)?;
-    let after = accel.counters();
-    let total: i64 = sums.iter().sum();
-    let total_sq: i64 = squares.iter().sum();
-    Ok(KernelRun {
-        output: vec![
-            total.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
-            total_sq.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
-        ],
-        cycles,
-        counters: subtract_counters(after, before),
-    })
+impl BandEnergies {
+    /// Creates the kernel for `bands` equal-width bands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidParameter`] for zero bands.
+    pub fn new(bands: usize) -> crate::Result<Self> {
+        if bands == 0 {
+            return Err(KernelError::InvalidParameter {
+                what: "band count must be non-zero".into(),
+            });
+        }
+        Ok(Self { bands })
+    }
+
+    /// The configured number of bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
 }
 
-/// Dot product `Σ aᵢ·bᵢ` (standard 32-bit multiply), the linear-SVM decision
-/// kernel.  The output vector is `[dot]`.
-///
-/// # Errors
-///
-/// Returns [`KernelError::InvalidParameter`] for empty or mismatched inputs.
-pub fn dot_product(accel: &mut Vwr2a, a: &[i32], b: &[i32]) -> Result<KernelRun> {
-    let before = accel.counters();
-    let mut cycles = 0;
-    let partials = map_reduce(accel, RcOpcode::Mul, a, b, &mut cycles)?;
-    let after = accel.counters();
-    let total: i64 = partials.iter().sum();
-    Ok(KernelRun {
-        output: vec![total.clamp(i32::MIN as i64, i32::MAX as i64) as i32],
-        cycles,
-        counters: subtract_counters(after, before),
-    })
+impl Kernel for BandEnergies {
+    type Input = Spectrum;
+    type Output = Vec<i32>;
+
+    fn name(&self) -> &str {
+        "band-energies"
+    }
+
+    fn cache_key(&self) -> String {
+        map_reduce_key(RcOpcode::MulFxp)
+    }
+
+    fn resources(&self) -> Resources {
+        map_reduce_resources()
+    }
+
+    fn program(&self, _geometry: &Geometry) -> Result<KernelProgram> {
+        map_reduce_program(RcOpcode::MulFxp)
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &Spectrum) -> Result<Vec<i32>> {
+        if input.re.len() != input.im.len() {
+            return Err(RuntimeError::invalid_input(format!(
+                "spectrum re/im lengths differ: {} vs {}",
+                input.re.len(),
+                input.im.len()
+            )));
+        }
+        let re_sq = map_reduce(ctx, RcOpcode::MulFxp, &input.re, &input.re)?;
+        let im_sq = map_reduce(ctx, RcOpcode::MulFxp, &input.im, &input.im)?;
+        // Combine per-line partial energies into bands on the host (a
+        // handful of scalar additions, part of the high-level control the
+        // CPU keeps).
+        let lines = re_sq.len();
+        let per_band = lines.div_ceil(self.bands);
+        let mut out = vec![0i64; self.bands];
+        for (line, (r, i)) in re_sq.iter().zip(im_sq.iter()).enumerate() {
+            out[(line / per_band).min(self.bands - 1)] += r + i;
+        }
+        Ok(out.into_iter().map(saturate).collect())
+    }
+}
+
+/// The Σx and Σx² pair produced by [`SumAndSquares`], both saturated to
+/// `i32` — the inputs to the mean and RMS time features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SumStats {
+    /// Σx.
+    pub sum: i32,
+    /// Σx².
+    pub sum_of_squares: i32,
+}
+
+/// Σx and Σx² of an integer array in one kernel invocation.
+#[derive(Debug, Clone, Default)]
+pub struct SumAndSquares;
+
+impl SumAndSquares {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Kernel for SumAndSquares {
+    type Input = [i32];
+    type Output = SumStats;
+
+    fn name(&self) -> &str {
+        "sum-and-squares"
+    }
+
+    fn cache_key(&self) -> String {
+        map_reduce_key(RcOpcode::Add)
+    }
+
+    fn resources(&self) -> Resources {
+        map_reduce_resources()
+    }
+
+    fn program(&self, _geometry: &Geometry) -> Result<KernelProgram> {
+        map_reduce_program(RcOpcode::Add)
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> Result<SumStats> {
+        let zeros = vec![0i32; input.len()];
+        let sums = map_reduce(ctx, RcOpcode::Add, input, &zeros)?;
+        let squares = map_reduce(ctx, RcOpcode::Mul, input, input)?;
+        Ok(SumStats {
+            sum: saturate(sums.iter().sum()),
+            sum_of_squares: saturate(squares.iter().sum()),
+        })
+    }
+}
+
+/// Dot product `Σ aᵢ·wᵢ` against a fixed weight vector (standard 32-bit
+/// multiply) — the linear-SVM decision kernel.  The weights are staged per
+/// invocation; the program is weight-independent, so every [`DotProduct`]
+/// (and the Σx² pass of [`SumAndSquares`]) shares one resident program.
+#[derive(Debug, Clone)]
+pub struct DotProduct {
+    weights: Vec<i32>,
+}
+
+impl DotProduct {
+    /// Creates the kernel for the given weight vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidParameter`] for an empty weight vector.
+    pub fn new(weights: Vec<i32>) -> crate::Result<Self> {
+        if weights.is_empty() {
+            return Err(KernelError::InvalidParameter {
+                what: "weight vector must be non-empty".into(),
+            });
+        }
+        Ok(Self { weights })
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[i32] {
+        &self.weights
+    }
+}
+
+impl Kernel for DotProduct {
+    type Input = [i32];
+    type Output = i32;
+
+    fn name(&self) -> &str {
+        "dot-product"
+    }
+
+    fn cache_key(&self) -> String {
+        map_reduce_key(RcOpcode::Mul)
+    }
+
+    fn resources(&self) -> Resources {
+        map_reduce_resources()
+    }
+
+    fn program(&self, _geometry: &Geometry) -> Result<KernelProgram> {
+        map_reduce_program(RcOpcode::Mul)
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> Result<i32> {
+        if input.len() != self.weights.len() {
+            return Err(RuntimeError::invalid_input(format!(
+                "feature vector has {} entries, weights {}",
+                input.len(),
+                self.weights.len()
+            )));
+        }
+        let partials = map_reduce(ctx, RcOpcode::Mul, input, &self.weights)?;
+        Ok(saturate(partials.iter().sum()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vwr2a_runtime::Session;
 
     #[test]
     fn sum_and_squares_match_host_arithmetic() {
         let data: Vec<i32> = (0..300).map(|i| (i % 50) - 25).collect();
-        let mut accel = Vwr2a::new();
-        let run = sum_and_sum_of_squares(&mut accel, &data).unwrap();
+        let mut session = Session::new();
+        let (stats, report) = session.run(&SumAndSquares::new(), &data).unwrap();
         let sum: i64 = data.iter().map(|&v| v as i64).sum();
         let sumsq: i64 = data.iter().map(|&v| (v as i64) * (v as i64)).sum();
-        assert_eq!(run.output[0] as i64, sum);
-        assert_eq!(run.output[1] as i64, sumsq);
-        assert!(run.cycles > 0);
+        assert_eq!(stats.sum as i64, sum);
+        assert_eq!(stats.sum_of_squares as i64, sumsq);
+        assert!(report.cycles > 0);
     }
 
     #[test]
     fn dot_product_matches_host_arithmetic() {
         let a: Vec<i32> = (0..200).map(|i| i - 100).collect();
         let b: Vec<i32> = (0..200).map(|i| 3 * i % 17 - 8).collect();
-        let mut accel = Vwr2a::new();
-        let run = dot_product(&mut accel, &a, &b).unwrap();
+        let kernel = DotProduct::new(b.clone()).unwrap();
+        let mut session = Session::new();
+        let (dot, _) = session.run(&kernel, &a).unwrap();
         let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
-        assert_eq!(run.output[0] as i64, expected);
+        assert_eq!(dot as i64, expected);
     }
 
     #[test]
     fn band_energies_split_the_spectrum() {
         // Energy only in the first quarter of the bins.
         let n = 256;
-        let re: Vec<i32> = (0..n).map(|i| if i < 64 { 1 << 16 } else { 0 }).collect();
-        let im = vec![0i32; n];
-        let mut accel = Vwr2a::new();
-        let run = band_energies(&mut accel, &re, &im, 2).unwrap();
-        assert_eq!(run.output.len(), 2);
-        assert!(run.output[0] > 0);
-        assert_eq!(run.output[1], 0);
+        let spectrum = Spectrum::new(
+            (0..n).map(|i| if i < 64 { 1 << 16 } else { 0 }).collect(),
+            vec![0i32; n],
+        );
+        let kernel = BandEnergies::new(2).unwrap();
+        let mut session = Session::new();
+        let (bands, _) = session.run(&kernel, &spectrum).unwrap();
+        assert_eq!(bands.len(), 2);
+        assert!(bands[0] > 0);
+        assert_eq!(bands[1], 0);
+        assert_eq!(kernel.bands(), 2);
+    }
+
+    #[test]
+    fn one_resident_program_per_operation() {
+        // 256 q15 values -> 2 lines per operand -> 2 blocks per pass, all
+        // through one resident program per ALU op.
+        let data: Vec<i32> = (0..256).map(|i| (i % 40) - 20).collect();
+        let mut session = Session::new();
+        let (_, first) = session.run(&SumAndSquares::new(), &data).unwrap();
+        // Two ops (Add, Mul), each loaded once then warm across blocks.
+        assert_eq!(first.cold_launches, 2);
+        assert!(first.warm_launches >= 2);
+
+        // The dot product reuses the already-resident Mul program.
+        let weights = vec![1i32; 256];
+        let (_, second) = session
+            .run(&DotProduct::new(weights).unwrap(), &data)
+            .unwrap();
+        assert_eq!(second.cold_launches, 0);
+        assert!(second.warm_launches >= 1);
     }
 
     #[test]
     fn invalid_inputs_rejected() {
-        let mut accel = Vwr2a::new();
-        assert!(dot_product(&mut accel, &[1, 2], &[1]).is_err());
-        assert!(dot_product(&mut accel, &[], &[]).is_err());
-        assert!(band_energies(&mut accel, &[1], &[1], 0).is_err());
+        let mut session = Session::new();
+        let dot = DotProduct::new(vec![1, 2]).unwrap();
+        assert!(session.run(&dot, &[1i32][..]).is_err());
+        assert!(DotProduct::new(vec![]).is_err());
+        assert!(BandEnergies::new(0).is_err());
+        assert_eq!(dot.weights(), &[1, 2]);
+        let empty = Spectrum::default();
+        let bands = BandEnergies::new(2).unwrap();
+        assert!(session.run(&bands, &empty).is_err());
+        // Public fields allow bypassing Spectrum::new's length assert; the
+        // kernel must still reject the mismatch instead of truncating.
+        let lopsided = Spectrum {
+            re: vec![1; 256],
+            im: vec![1; 128],
+        };
+        assert!(session.run(&bands, &lopsided).is_err());
+    }
+
+    #[test]
+    fn oversized_inputs_fail_before_staging_on_small_geometries() {
+        use vwr2a_core::geometry::Geometry;
+        use vwr2a_core::Vwr2a;
+
+        // Four SPM lines: registration passes (the declared one-block
+        // minimum fits), but a two-block input needs five lines and must be
+        // rejected per-invocation, before any DMA happens.
+        let mut geometry = Geometry::paper();
+        geometry.spm_bytes = 4 * 512;
+        let accel = Vwr2a::with_geometry(geometry).unwrap();
+        let mut session = vwr2a_runtime::Session::with_accelerator(accel);
+        let data = vec![1i32; 256];
+        let err = session.run(&SumAndSquares::new(), &data).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidInput { .. }),
+            "expected a clean input rejection, got {err:?}"
+        );
+        assert_eq!(
+            session.accelerator().counters().dma_words,
+            0,
+            "nothing may be staged before the footprint check"
+        );
     }
 }

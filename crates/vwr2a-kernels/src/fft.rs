@@ -7,8 +7,9 @@
 //! `2i + 1` of the next stage's array — exactly the "words interleaving"
 //! operation of the shuffle unit.  All stages therefore run the *same*
 //! column program; only the SRF-held SPM line pointers change between
-//! launches, so after the first (cold) launch every stage is a warm
-//! relaunch.  The kernel output appears in bit-reversed order and is
+//! launches, so within a [`vwr2a_runtime::Session`] every launch after the
+//! session's first is warm — across stages, blocks *and* repeated
+//! transforms.  The kernel output appears in bit-reversed order and is
 //! reordered during the DMA read-back.
 //!
 //! Data layout: separate real and imaginary arrays of `Q15.16` words,
@@ -18,48 +19,27 @@
 //! stage tables at once; EXPERIMENTS.md discusses the cycle cost of this
 //! choice).
 //!
-//! The real-valued transform packs even samples into the real array and odd
-//! samples into the imaginary array, runs the `N/2`-point complex kernel,
-//! and finishes with an element-wise recombination (split) executed with the
-//! same pass machinery.
+//! The real-valued transform ([`RealFftKernel`]) packs even samples into
+//! the real array and odd samples into the imaginary array, runs the
+//! `N/2`-point complex flow, and finishes with an element-wise
+//! recombination (split) whose two pass programs are cached session-wide
+//! like any other kernel program.
 
 use crate::error::{KernelError, Result};
 use crate::ops::{
     emit_butterfly_pass, emit_ew_pass, emit_ew_pass_reuse_a, emit_interleave_pass, LineRef,
 };
-use crate::subtract_counters;
+use crate::Spectrum;
 use vwr2a_core::builder::ColumnProgramBuilder;
-use vwr2a_core::config_mem::KernelId;
+use vwr2a_core::geometry::Geometry;
 use vwr2a_core::isa::RcOpcode;
 use vwr2a_core::program::{ColumnProgram, KernelProgram};
-use vwr2a_core::Vwr2a;
 use vwr2a_dsp::fft::bit_reverse;
 use vwr2a_dsp::fixed::{mul_fxp, to_q16};
+use vwr2a_runtime::{Kernel, LaunchCtx, Resources};
 
 /// Words per SPM line / VWR.
 const LINE: usize = 128;
-/// Estimated cycles for one host SRF write over the slave port.
-const SRF_WRITE_CYCLES: u64 = 2;
-
-/// Result of an FFT kernel run: real and imaginary spectra in `Q15.16`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FftRun {
-    /// Real parts of the spectrum (natural bin order).
-    pub re: Vec<i32>,
-    /// Imaginary parts of the spectrum (natural bin order).
-    pub im: Vec<i32>,
-    /// Total cycles including DMA, SRF writes, configuration and execution.
-    pub cycles: u64,
-    /// Array activity during the run.
-    pub counters: vwr2a_core::ActivityCounters,
-}
-
-impl FftRun {
-    /// Execution time in microseconds at the given clock frequency.
-    pub fn time_us(&self, frequency_hz: f64) -> f64 {
-        self.cycles as f64 / frequency_hz * 1e6
-    }
-}
 
 /// Per-stage twiddle factors of the constant-geometry radix-2 DIF FFT in
 /// `Q15.16`: butterfly `i` of stage `s` uses `W_N^{(i >> s) << s}`.
@@ -82,7 +62,10 @@ pub fn stage_twiddles_q16(n: usize, stage: u32) -> (Vec<i32>, Vec<i32>) {
 /// simulated kernel bit-exactly and as the reference in the property tests.
 pub fn constant_geometry_reference(re: &[i32], im: &[i32]) -> (Vec<i32>, Vec<i32>) {
     let n = re.len();
-    assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "length must be a power of two"
+    );
     assert_eq!(re.len(), im.len());
     let mut xr = re.to_vec();
     let mut xi = im.to_vec();
@@ -134,6 +117,12 @@ struct Layout {
 }
 
 impl Layout {
+    fn lines_needed(n: usize) -> usize {
+        let l = n / LINE;
+        let lh = (n / 2) / LINE;
+        4 * l + 12 + 2 * lh
+    }
+
     fn new(n: usize, spm_lines: usize) -> Result<Self> {
         let l = n / LINE;
         let lh = (n / 2) / LINE;
@@ -160,25 +149,166 @@ impl Layout {
     }
 }
 
-/// The FFT kernel mapping.
+fn validate_complex_size(n: usize) -> Result<()> {
+    if !n.is_power_of_two() || !(256..=1024).contains(&n) {
+        return Err(KernelError::UnsupportedSize {
+            what: format!("complex FFT size must be a power of two in 256..=1024, got {n}"),
+        });
+    }
+    Ok(())
+}
+
+fn stage_column_program(scratch_base: usize) -> Result<ColumnProgram> {
+    let sb = scratch_base as u16;
+    let sum_re = LineRef::Imm(sb);
+    let sum_im = LineRef::Imm(sb + 1);
+    let ta = LineRef::Imm(sb + 2);
+    let tb = LineRef::Imm(sb + 3);
+    let tc = LineRef::Imm(sb + 4);
+    let td = LineRef::Imm(sb + 5);
+    let mut b = ColumnProgramBuilder::new(4);
+    // Real butterfly: sum -> scratch, diff stays in VWR A.
+    emit_butterfly_pass(&mut b, LineRef::Srf(0), LineRef::Srf(1), sum_re);
+    emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(4), ta); // diff_re * w_re
+    emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(5), tb); // diff_re * w_im
+                                                                         // Imaginary butterfly.
+    emit_butterfly_pass(&mut b, LineRef::Srf(2), LineRef::Srf(3), sum_im);
+    emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(5), tc); // diff_im * w_im
+    emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(4), td); // diff_im * w_re
+                                                                         // t1 = diff * w (complex).
+    emit_ew_pass(&mut b, RcOpcode::Sub, ta, tc, ta); // t1_re
+    emit_ew_pass(&mut b, RcOpcode::Add, tb, td, tb); // t1_im
+                                                     // Interleave sum/t1 into the next stage's layout.
+    emit_interleave_pass(&mut b, sum_re, ta, LineRef::Srf(6), None);
+    emit_interleave_pass(&mut b, sum_im, tb, LineRef::Srf(7), None);
+    b.push_exit();
+    Ok(b.build()?)
+}
+
+fn stage_kernel(layout: &Layout, columns: usize) -> Result<KernelProgram> {
+    let mut cols = Vec::with_capacity(columns);
+    for c in 0..columns {
+        cols.push(stage_column_program(layout.scratch[c])?);
+    }
+    Ok(KernelProgram::new("fft-stage", cols)?)
+}
+
+/// Builds the shared stage program for an `n`-point transform under the
+/// given geometry (used by both FFT kernels' [`Kernel::program`]).
+fn stage_program_for(n: usize, geometry: &Geometry) -> vwr2a_runtime::Result<KernelProgram> {
+    let layout = Layout::new(n, geometry.spm_lines())?;
+    let blocks = (n / 2) / LINE;
+    let columns = blocks.min(geometry.columns).max(1);
+    Ok(stage_kernel(&layout, columns)?)
+}
+
+fn stage_resources(n: usize) -> Resources {
+    Resources {
+        // The flow adapts to however many columns the geometry offers
+        // (`stage_program_for`), so one column is the true minimum.
+        columns: 1,
+        spm_lines: Layout::lines_needed(n),
+        srf_slots: 8,
+    }
+}
+
+/// All per-stage twiddle tables of an `n`-point transform, precomputed once
+/// per kernel instance (the tables depend only on `n`, so warm streaming
+/// workloads must not pay the host trig per window).
+fn all_stage_twiddles(n: usize) -> Vec<(Vec<i32>, Vec<i32>)> {
+    (0..n.trailing_zeros())
+        .map(|s| stage_twiddles_q16(n, s))
+        .collect()
+}
+
+/// Runs the forward complex constant-geometry flow on staged `Q15.16`
+/// arrays, returning the spectrum in natural bin order.  Shared by
+/// [`FftKernel`] and [`RealFftKernel`]; every stage launch goes through the
+/// context's primary program.
+fn complex_flow(
+    n: usize,
+    twiddles: &[(Vec<i32>, Vec<i32>)],
+    ctx: &mut LaunchCtx<'_>,
+    re: &[i32],
+    im: &[i32],
+) -> vwr2a_runtime::Result<(Vec<i32>, Vec<i32>)> {
+    let layout = Layout::new(n, ctx.geometry().spm_lines())?;
+    ctx.dma_in(re, layout.ping_re * LINE)?;
+    ctx.dma_in(im, layout.ping_im * LINE)?;
+
+    let blocks = (n / 2) / LINE;
+    let columns = blocks.min(ctx.geometry().columns).max(1);
+
+    let stages = n.trailing_zeros();
+    let (mut in_re, mut in_im) = (layout.ping_re, layout.ping_im);
+    let (mut out_re, mut out_im) = (layout.pong_re, layout.pong_im);
+    for s in 0..stages {
+        let (twr, twi) = &twiddles[s as usize];
+        ctx.dma_in(twr, layout.tw_re * LINE)?;
+        ctx.dma_in(twi, layout.tw_im * LINE)?;
+        let mut blk = 0usize;
+        while blk < blocks {
+            let active = columns.min(blocks - blk);
+            for c in 0..active {
+                let bb = blk + c;
+                let params = [
+                    (in_re + bb) as i32,
+                    (in_re + bb + layout.lh) as i32,
+                    (in_im + bb) as i32,
+                    (in_im + bb + layout.lh) as i32,
+                    (layout.tw_re + bb) as i32,
+                    (layout.tw_im + bb) as i32,
+                    (out_re + 2 * bb) as i32,
+                    (out_im + 2 * bb) as i32,
+                ];
+                for (idx, value) in params.iter().enumerate() {
+                    ctx.write_param(c, idx, *value)?;
+                }
+            }
+            ctx.launch()?;
+            blk += active;
+        }
+        std::mem::swap(&mut in_re, &mut out_re);
+        std::mem::swap(&mut in_im, &mut out_im);
+    }
+
+    // Read back (the result now lives in the "in" buffers) and undo the
+    // bit-reversed ordering during the copy out.
+    let raw_re = ctx.dma_out(in_re * LINE, n)?;
+    let raw_im = ctx.dma_out(in_im * LINE, n)?;
+    let bits = stages;
+    let mut nat_re = vec![0i32; n];
+    let mut nat_im = vec![0i32; n];
+    for m in 0..n {
+        let k = bit_reverse(m, bits);
+        nat_re[k] = raw_re[m];
+        nat_im[k] = raw_im[m];
+    }
+    Ok((nat_re, nat_im))
+}
+
+/// The complex FFT kernel mapping.
 ///
 /// # Example
 ///
 /// ```
-/// use vwr2a_core::Vwr2a;
 /// use vwr2a_kernels::fft::FftKernel;
+/// use vwr2a_kernels::Spectrum;
+/// use vwr2a_runtime::Session;
 /// use vwr2a_dsp::fixed::to_q16;
 ///
-/// # fn main() -> Result<(), vwr2a_kernels::KernelError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let n = 256;
 /// let kernel = FftKernel::new(n)?;
-/// let re: Vec<i32> = (0..n).map(|i| to_q16((std::f64::consts::TAU * 8.0 * i as f64 / n as f64).cos() * 0.5)).collect();
-/// let im = vec![0i32; n];
-/// let mut accel = Vwr2a::new();
-/// let run = kernel.run_complex(&mut accel, &re, &im)?;
+/// let signal = Spectrum::new(
+///     (0..n).map(|i| to_q16((std::f64::consts::TAU * 8.0 * i as f64 / n as f64).cos() * 0.5)).collect(),
+///     vec![0i32; n],
+/// );
+/// let mut session = Session::new();
+/// let (spectrum, _report) = session.run(&kernel, &signal)?;
 /// // Bin 8 dominates the magnitude spectrum.
 /// let peak = (1..n / 2).max_by_key(|&k| {
-///     (run.re[k] as i64).pow(2) + (run.im[k] as i64).pow(2)
+///     (spectrum.re[k] as i64).pow(2) + (spectrum.im[k] as i64).pow(2)
 /// }).unwrap();
 /// assert_eq!(peak, 8);
 /// # Ok(())
@@ -187,10 +317,12 @@ impl Layout {
 #[derive(Debug, Clone)]
 pub struct FftKernel {
     n: usize,
+    twiddles: Vec<(Vec<i32>, Vec<i32>)>,
 }
 
 impl FftKernel {
-    /// Creates a complex FFT kernel for `n` points.
+    /// Creates a complex FFT kernel for `n` points, precomputing its
+    /// per-stage twiddle tables.
     ///
     /// # Errors
     ///
@@ -198,12 +330,11 @@ impl FftKernel {
     /// in `256..=1024` (the sizes whose working set fits the 32 KiB SPM with
     /// this mapping).
     pub fn new(n: usize) -> Result<Self> {
-        if !n.is_power_of_two() || n < 256 || n > 1024 {
-            return Err(KernelError::UnsupportedSize {
-                what: format!("complex FFT size must be a power of two in 256..=1024, got {n}"),
-            });
-        }
-        Ok(Self { n })
+        validate_complex_size(n)?;
+        Ok(Self {
+            n,
+            twiddles: all_stage_twiddles(n),
+        })
     }
 
     /// The transform length in complex points.
@@ -215,246 +346,246 @@ impl FftKernel {
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
+}
 
-    fn stage_column_program(scratch_base: usize) -> Result<ColumnProgram> {
-        let sb = scratch_base as u16;
-        let sum_re = LineRef::Imm(sb);
-        let sum_im = LineRef::Imm(sb + 1);
-        let ta = LineRef::Imm(sb + 2);
-        let tb = LineRef::Imm(sb + 3);
-        let tc = LineRef::Imm(sb + 4);
-        let td = LineRef::Imm(sb + 5);
-        let mut b = ColumnProgramBuilder::new(4);
-        // Real butterfly: sum -> scratch, diff stays in VWR A.
-        emit_butterfly_pass(&mut b, LineRef::Srf(0), LineRef::Srf(1), sum_re);
-        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(4), ta); // diff_re * w_re
-        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(5), tb); // diff_re * w_im
-        // Imaginary butterfly.
-        emit_butterfly_pass(&mut b, LineRef::Srf(2), LineRef::Srf(3), sum_im);
-        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(5), tc); // diff_im * w_im
-        emit_ew_pass_reuse_a(&mut b, RcOpcode::MulFxp, LineRef::Srf(4), td); // diff_im * w_re
-        // t1 = diff * w (complex).
-        emit_ew_pass(&mut b, RcOpcode::Sub, ta, tc, ta); // t1_re
-        emit_ew_pass(&mut b, RcOpcode::Add, tb, td, tb); // t1_im
-        // Interleave sum/t1 into the next stage's layout.
-        emit_interleave_pass(&mut b, sum_re, ta, LineRef::Srf(6), None);
-        emit_interleave_pass(&mut b, sum_im, tb, LineRef::Srf(7), None);
-        b.push_exit();
-        Ok(b.build()?)
+impl Kernel for FftKernel {
+    type Input = Spectrum;
+    type Output = Spectrum;
+
+    fn name(&self) -> &str {
+        "fft-complex"
     }
 
-    fn stage_kernel(layout: &Layout, columns: usize) -> Result<KernelProgram> {
-        let mut cols = Vec::with_capacity(columns);
-        for c in 0..columns {
-            cols.push(Self::stage_column_program(layout.scratch[c])?);
+    fn cache_key(&self) -> String {
+        // The stage program depends only on the transform length (via the
+        // SPM layout), so complex and real kernels of matching length share
+        // one resident program.
+        format!("fft-stage:{}", self.n)
+    }
+
+    fn resources(&self) -> Resources {
+        stage_resources(self.n)
+    }
+
+    fn program(&self, geometry: &Geometry) -> vwr2a_runtime::Result<KernelProgram> {
+        stage_program_for(self.n, geometry)
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut LaunchCtx<'_>,
+        input: &Spectrum,
+    ) -> vwr2a_runtime::Result<Spectrum> {
+        let n = self.n;
+        if input.re.len() != n || input.im.len() != n {
+            return Err(KernelError::InvalidParameter {
+                what: format!(
+                    "expected {n} samples, got {}/{}",
+                    input.re.len(),
+                    input.im.len()
+                ),
+            }
+            .into());
         }
-        Ok(KernelProgram::new("fft-stage", cols)?)
+        let (re, im) = complex_flow(n, &self.twiddles, ctx, &input.re, &input.im)?;
+        Ok(Spectrum::new(re, im))
     }
+}
 
-    /// Runs the forward complex FFT on `Q15.16` inputs, returning the
-    /// spectrum in natural bin order (unnormalised, like the mathematical
-    /// DFT).
+/// The real-valued FFT kernel of Sec. 3.4: even/odd packing, an `n/2`-point
+/// complex transform and an element-wise recombination executed with the
+/// same pass machinery.
+///
+/// The output has `n/2 + 1` spectrum bins (DC through Nyquist) in natural
+/// order.
+#[derive(Debug, Clone)]
+pub struct RealFftKernel {
+    /// Complex length of the packed transform (`n_real / 2`).
+    half: usize,
+    twiddles: Vec<(Vec<i32>, Vec<i32>)>,
+    split_cos: Vec<i32>,
+    split_sin: Vec<i32>,
+}
+
+impl RealFftKernel {
+    /// Creates a real-valued FFT kernel for `n_real` samples, precomputing
+    /// its stage and recombination twiddle tables.
     ///
     /// # Errors
     ///
-    /// Returns [`KernelError::InvalidParameter`] if the input lengths do not
-    /// match the configured size, or any simulator error.
-    pub fn run_complex(&self, accel: &mut Vwr2a, re: &[i32], im: &[i32]) -> Result<FftRun> {
-        let n = self.n;
-        if re.len() != n || im.len() != n {
-            return Err(KernelError::InvalidParameter {
-                what: format!("expected {n} samples, got {}/{}", re.len(), im.len()),
+    /// Returns [`KernelError::UnsupportedSize`] if `n_real / 2` is not a
+    /// power of two in `256..=1024` (i.e. `n_real` outside `512..=2048`).
+    pub fn new(n_real: usize) -> Result<Self> {
+        if !n_real.is_multiple_of(2) {
+            return Err(KernelError::UnsupportedSize {
+                what: format!("real FFT length must be even, got {n_real}"),
             });
         }
-        let layout = Layout::new(n, accel.geometry().spm_lines())?;
-        let before = accel.counters();
-        let mut cycles = 0u64;
-
-        cycles += accel.dma_to_spm(re, layout.ping_re * LINE)?;
-        cycles += accel.dma_to_spm(im, layout.ping_im * LINE)?;
-
-        let blocks = (n / 2) / LINE;
-        let columns = blocks.min(2);
-        let kernel = Self::stage_kernel(&layout, columns)?;
-        let id: KernelId = accel.load_kernel(&kernel)?;
-        let mut cold = true;
-
-        let stages = n.trailing_zeros();
-        let (mut in_re, mut in_im) = (layout.ping_re, layout.ping_im);
-        let (mut out_re, mut out_im) = (layout.pong_re, layout.pong_im);
-        for s in 0..stages {
-            let (twr, twi) = stage_twiddles_q16(n, s);
-            cycles += accel.dma_to_spm(&twr, layout.tw_re * LINE)?;
-            cycles += accel.dma_to_spm(&twi, layout.tw_im * LINE)?;
-            let mut blk = 0usize;
-            while blk < blocks {
-                let active = columns.min(blocks - blk);
-                for c in 0..active {
-                    let bb = blk + c;
-                    let params = [
-                        (in_re + bb) as i32,
-                        (in_re + bb + layout.lh) as i32,
-                        (in_im + bb) as i32,
-                        (in_im + bb + layout.lh) as i32,
-                        (layout.tw_re + bb) as i32,
-                        (layout.tw_im + bb) as i32,
-                        (out_re + 2 * bb) as i32,
-                        (out_im + 2 * bb) as i32,
-                    ];
-                    for (idx, value) in params.iter().enumerate() {
-                        accel.write_srf(c, idx, *value)?;
-                        cycles += SRF_WRITE_CYCLES;
-                    }
-                }
-                let stats = if cold {
-                    cold = false;
-                    accel.run_kernel(id)?
-                } else {
-                    accel.run_kernel_warm(id)?
-                };
-                cycles += stats.cycles;
-                blk += active;
-            }
-            std::mem::swap(&mut in_re, &mut out_re);
-            std::mem::swap(&mut in_im, &mut out_im);
+        validate_complex_size(n_real / 2)?;
+        let half = n_real / 2;
+        let mut split_cos = Vec::with_capacity(half);
+        let mut split_sin = Vec::with_capacity(half);
+        for k in 0..half {
+            let theta = -std::f64::consts::TAU * k as f64 / n_real as f64;
+            split_cos.push(to_q16(theta.cos()));
+            split_sin.push(to_q16(theta.sin()));
         }
-
-        // Read back (the result now lives in the "in" buffers) and undo the
-        // bit-reversed ordering during the copy out.
-        let (raw_re, c1) = accel.dma_from_spm(in_re * LINE, n)?;
-        let (raw_im, c2) = accel.dma_from_spm(in_im * LINE, n)?;
-        cycles += c1 + c2;
-        let bits = stages;
-        let mut nat_re = vec![0i32; n];
-        let mut nat_im = vec![0i32; n];
-        for m in 0..n {
-            let k = bit_reverse(m, bits);
-            nat_re[k] = raw_re[m];
-            nat_im[k] = raw_im[m];
-        }
-        let after = accel.counters();
-        Ok(FftRun {
-            re: nat_re,
-            im: nat_im,
-            cycles,
-            counters: subtract_counters(after, before),
+        Ok(Self {
+            half,
+            twiddles: all_stage_twiddles(half),
+            split_cos,
+            split_sin,
         })
     }
 
-    /// Runs the optimised real-valued flow of Sec. 3.4 on `n_real = 2·n`
-    /// `Q15.16` samples: even/odd packing, an `n`-point complex FFT and an
-    /// element-wise recombination executed with the same pass machinery.
-    ///
-    /// Returns `n + 1` spectrum bins (DC through Nyquist) in natural order.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`KernelError::InvalidParameter`] if `input.len() != 2 * n`,
-    /// or any simulator error.
-    pub fn run_real(&self, accel: &mut Vwr2a, input: &[i32]) -> Result<FftRun> {
-        let n = self.n; // complex length of the packed transform
+    /// The transform length in real samples.
+    pub fn len(&self) -> usize {
+        2 * self.half
+    }
+
+    /// `true` if the transform length is zero (never the case).
+    pub fn is_empty(&self) -> bool {
+        self.half == 0
+    }
+
+    /// Number of output bins (DC through Nyquist).
+    pub fn output_bins(&self) -> usize {
+        self.half + 1
+    }
+}
+
+/// SPM layout of the recombination (split) step: it works one 128-bin block
+/// at a time through a fixed 14-line window (six staged operand lines, two
+/// output lines and six scratch lines), so any size that survived the
+/// complex flow also fits here.
+mod split_layout {
+    pub const ZF_RE: usize = 0;
+    pub const ZF_IM: usize = 1;
+    pub const ZR_RE: usize = 2;
+    pub const ZR_IM: usize = 3;
+    pub const COS: usize = 4;
+    pub const SIN: usize = 5;
+    pub const OUT_RE: usize = 6;
+    pub const OUT_IM: usize = 7;
+    pub const SCRATCH: usize = 8;
+}
+
+fn split_re_program() -> vwr2a_runtime::Result<KernelProgram> {
+    use split_layout::*;
+    let li = |base: usize| LineRef::Imm(base as u16);
+    let s0 = li(SCRATCH);
+    let s1 = li(SCRATCH + 1);
+    let s2 = li(SCRATCH + 2);
+    let s3 = li(SCRATCH + 3);
+    let t0 = li(SCRATCH + 4);
+    let t1 = li(SCRATCH + 5);
+    let mut b = ColumnProgramBuilder::new(4);
+    // 2·er, 2·ei, 2·or, 2·oi
+    emit_ew_pass(&mut b, RcOpcode::Add, li(ZF_RE), li(ZR_RE), s0);
+    emit_ew_pass(&mut b, RcOpcode::Sub, li(ZF_IM), li(ZR_IM), s1);
+    emit_ew_pass(&mut b, RcOpcode::Add, li(ZF_IM), li(ZR_IM), s2);
+    emit_ew_pass(&mut b, RcOpcode::Sub, li(ZR_RE), li(ZF_RE), s3);
+    // 2·(c·or − s·oi) and out_re = (2·er + that) >> 1
+    emit_ew_pass(&mut b, RcOpcode::MulFxp, s2, li(COS), t0);
+    emit_ew_pass(&mut b, RcOpcode::MulFxp, s3, li(SIN), t1);
+    emit_ew_pass(&mut b, RcOpcode::Sub, t0, t1, t0);
+    emit_ew_pass(&mut b, RcOpcode::Add, s0, t0, t0);
+    b.push_exit();
+    Ok(KernelProgram::new(
+        "rfft-split-re",
+        vec![b.build().map_err(KernelError::from)?],
+    )?)
+}
+
+fn split_im_program() -> vwr2a_runtime::Result<KernelProgram> {
+    use split_layout::*;
+    let li = |base: usize| LineRef::Imm(base as u16);
+    let s1 = li(SCRATCH + 1);
+    let s2 = li(SCRATCH + 2);
+    let s3 = li(SCRATCH + 3);
+    let t0 = li(SCRATCH + 4);
+    let t1 = li(SCRATCH + 5);
+    let mut b = ColumnProgramBuilder::new(4);
+    // out_im = (2·ei + 2·(c·oi + s·or)) >> 1 — first the products.
+    emit_ew_pass(&mut b, RcOpcode::MulFxp, s3, li(COS), t1);
+    emit_ew_pass(&mut b, RcOpcode::MulFxp, s2, li(SIN), s2);
+    emit_ew_pass(&mut b, RcOpcode::Add, t1, s2, t1);
+    emit_ew_pass(&mut b, RcOpcode::Add, s1, t1, t1);
+    // Halve both results and store them to the output regions.
+    emit_ew_imm_shift(&mut b, t0, li(OUT_RE));
+    emit_ew_imm_shift(&mut b, t1, li(OUT_IM));
+    b.push_exit();
+    Ok(KernelProgram::new(
+        "rfft-split-im",
+        vec![b.build().map_err(KernelError::from)?],
+    )?)
+}
+
+impl Kernel for RealFftKernel {
+    type Input = [i32];
+    type Output = Spectrum;
+
+    fn name(&self) -> &str {
+        "fft-real"
+    }
+
+    fn cache_key(&self) -> String {
+        // Same primary program as the complex kernel of the packed length.
+        format!("fft-stage:{}", self.half)
+    }
+
+    fn resources(&self) -> Resources {
+        stage_resources(self.half)
+    }
+
+    fn program(&self, geometry: &Geometry) -> vwr2a_runtime::Result<KernelProgram> {
+        stage_program_for(self.half, geometry)
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> vwr2a_runtime::Result<Spectrum> {
+        let n = self.half; // complex length of the packed transform
         let n_real = 2 * n;
         if input.len() != n_real {
             return Err(KernelError::InvalidParameter {
                 what: format!("expected {n_real} real samples, got {}", input.len()),
-            });
+            }
+            .into());
         }
         // Pack: even samples -> real array, odd samples -> imaginary array.
         let even: Vec<i32> = input.iter().step_by(2).copied().collect();
         let odd: Vec<i32> = input.iter().skip(1).step_by(2).copied().collect();
-        let z = self.run_complex(accel, &even, &odd)?;
-        let mut cycles = z.cycles;
-        let before = accel.counters();
+        let (z_re, z_im) = complex_flow(n, &self.twiddles, ctx, &even, &odd)?;
 
-        // Stage the forward and index-reversed spectra plus the split
-        // twiddles, then recombine element-wise on the array.
-        let zr_re: Vec<i32> = (0..n).map(|k| z.re[(n - k) % n]).collect();
-        let zr_im: Vec<i32> = (0..n).map(|k| z.im[(n - k) % n]).collect();
-        let mut cos_t = Vec::with_capacity(n);
-        let mut sin_t = Vec::with_capacity(n);
-        for k in 0..n {
-            let theta = -std::f64::consts::TAU * k as f64 / n_real as f64;
-            cos_t.push(to_q16(theta.cos()));
-            sin_t.push(to_q16(theta.sin()));
-        }
+        // Stage the forward and index-reversed spectra plus the
+        // precomputed split twiddles, then recombine element-wise on the
+        // array.
+        let zr_re: Vec<i32> = (0..n).map(|k| z_re[(n - k) % n]).collect();
+        let zr_im: Vec<i32> = (0..n).map(|k| z_im[(n - k) % n]).collect();
+        let (cos_t, sin_t) = (&self.split_cos, &self.split_sin);
         let lh = n / LINE;
-        // The split works one 128-bin block at a time through a fixed
-        // 14-line SPM window (six staged operand lines, two output lines and
-        // six scratch lines), so any size that survived the complex kernel
-        // also fits here.
-        let zf_re_l = 0usize;
-        let zf_im_l = 1usize;
-        let zr_re_l = 2usize;
-        let zr_im_l = 3usize;
-        let cos_l = 4usize;
-        let sin_l = 5usize;
-        let out_re_l = 6usize;
-        let out_im_l = 7usize;
-        let scratch = 8usize;
         let mut out_re: Vec<i32> = Vec::with_capacity(n + 1);
         let mut out_im: Vec<i32> = Vec::with_capacity(n + 1);
 
+        use split_layout::{COS, OUT_IM, OUT_RE, SIN, ZF_IM, ZF_RE, ZR_IM, ZR_RE};
         for blk in 0..lh {
             let slice = blk * LINE..(blk + 1) * LINE;
-            cycles += accel.dma_to_spm(&z.re[slice.clone()], zf_re_l * LINE)?;
-            cycles += accel.dma_to_spm(&z.im[slice.clone()], zf_im_l * LINE)?;
-            cycles += accel.dma_to_spm(&zr_re[slice.clone()], zr_re_l * LINE)?;
-            cycles += accel.dma_to_spm(&zr_im[slice.clone()], zr_im_l * LINE)?;
-            cycles += accel.dma_to_spm(&cos_t[slice.clone()], cos_l * LINE)?;
-            cycles += accel.dma_to_spm(&sin_t[slice], sin_l * LINE)?;
-            let li = |base: usize| LineRef::Imm(base as u16);
-            let s0 = LineRef::Imm(scratch as u16);
-            let s1 = LineRef::Imm(scratch as u16 + 1);
-            let s2 = LineRef::Imm(scratch as u16 + 2);
-            let s3 = LineRef::Imm(scratch as u16 + 3);
-            let t0 = LineRef::Imm(scratch as u16 + 4);
-            let t1 = LineRef::Imm(scratch as u16 + 5);
-            let mut b = ColumnProgramBuilder::new(4);
-            // 2·er, 2·ei, 2·or, 2·oi
-            emit_ew_pass(&mut b, RcOpcode::Add, li(zf_re_l), li(zr_re_l), s0);
-            emit_ew_pass(&mut b, RcOpcode::Sub, li(zf_im_l), li(zr_im_l), s1);
-            emit_ew_pass(&mut b, RcOpcode::Add, li(zf_im_l), li(zr_im_l), s2);
-            emit_ew_pass(&mut b, RcOpcode::Sub, li(zr_re_l), li(zf_re_l), s3);
-            // 2·(c·or − s·oi) and out_re = (2·er + that) >> 1
-            emit_ew_pass(&mut b, RcOpcode::MulFxp, s2, li(cos_l), t0);
-            emit_ew_pass(&mut b, RcOpcode::MulFxp, s3, li(sin_l), t1);
-            emit_ew_pass(&mut b, RcOpcode::Sub, t0, t1, t0);
-            emit_ew_pass(&mut b, RcOpcode::Add, s0, t0, t0);
-            b.push_exit();
-            let p1 = KernelProgram::new("rfft-split-re", vec![b.build()?])?;
-            cycles += accel.run_program(&p1)?.cycles;
-
-            let mut b = ColumnProgramBuilder::new(4);
-            // out_im = (2·ei + 2·(c·oi + s·or)) >> 1 — first the products.
-            emit_ew_pass(&mut b, RcOpcode::MulFxp, s3, li(cos_l), t1);
-            emit_ew_pass(&mut b, RcOpcode::MulFxp, s2, li(sin_l), s2);
-            emit_ew_pass(&mut b, RcOpcode::Add, t1, s2, t1);
-            emit_ew_pass(&mut b, RcOpcode::Add, s1, t1, t1);
-            // Halve both results and store them to the output regions.
-            emit_ew_imm_shift(&mut b, t0, li(out_re_l));
-            emit_ew_imm_shift(&mut b, t1, li(out_im_l));
-            b.push_exit();
-            let p2 = KernelProgram::new("rfft-split-im", vec![b.build()?])?;
-            cycles += accel.run_program(&p2)?.cycles;
-
-            let (block_re, c1) = accel.dma_from_spm(out_re_l * LINE, LINE)?;
-            let (block_im, c2) = accel.dma_from_spm(out_im_l * LINE, LINE)?;
-            cycles += c1 + c2;
+            ctx.dma_in(&z_re[slice.clone()], ZF_RE * LINE)?;
+            ctx.dma_in(&z_im[slice.clone()], ZF_IM * LINE)?;
+            ctx.dma_in(&zr_re[slice.clone()], ZR_RE * LINE)?;
+            ctx.dma_in(&zr_im[slice.clone()], ZR_IM * LINE)?;
+            ctx.dma_in(&cos_t[slice.clone()], COS * LINE)?;
+            ctx.dma_in(&sin_t[slice], SIN * LINE)?;
+            ctx.launch_aux("rfft-split-re", split_re_program)?;
+            ctx.launch_aux("rfft-split-im", split_im_program)?;
+            let block_re = ctx.dma_out(OUT_RE * LINE, LINE)?;
+            let block_im = ctx.dma_out(OUT_IM * LINE, LINE)?;
             out_re.extend(block_re);
             out_im.extend(block_im);
         }
         // Nyquist bin: X[n] = Re(Z[0]) − Im(Z[0]).
-        out_re.push(z.re[0].wrapping_sub(z.im[0]));
+        out_re.push(z_re[0].wrapping_sub(z_im[0]));
         out_im.push(0);
-        let after = accel.counters();
-        let mut counters = subtract_counters(after, before);
-        counters += z.counters;
-        Ok(FftRun {
-            re: out_re,
-            im: out_im,
-            cycles,
-            counters,
-        })
+        Ok(Spectrum::new(out_re, out_im))
     }
 }
 
@@ -462,7 +593,9 @@ impl FftKernel {
 /// `out` (the final ÷2 of the real-FFT recombination).
 fn emit_ew_imm_shift(b: &mut ColumnProgramBuilder, a_line: LineRef, out_line: LineRef) {
     use vwr2a_core::geometry::VwrId;
-    use vwr2a_core::isa::{LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcSrc};
+    use vwr2a_core::isa::{
+        LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcSrc,
+    };
     let addr = |l: LineRef| match l {
         LineRef::Imm(v) => LsuAddr::Imm(v),
         LineRef::Srf(s) => LsuAddr::Srf(s),
@@ -505,6 +638,7 @@ mod tests {
     use vwr2a_dsp::complex::Complex;
     use vwr2a_dsp::fft::{fft, rfft};
     use vwr2a_dsp::fixed::from_q16;
+    use vwr2a_runtime::Session;
 
     fn q16_signal(n: usize, freq: f64) -> (Vec<i32>, Vec<i32>, Vec<Complex>) {
         let float: Vec<Complex> = (0..n)
@@ -544,12 +678,18 @@ mod tests {
         let (re, im, _) = q16_signal(n, 5.0);
         let (ref_re, ref_im) = constant_geometry_reference(&re, &im);
         let kernel = FftKernel::new(n).unwrap();
-        let mut accel = Vwr2a::new();
-        let run = kernel.run_complex(&mut accel, &re, &im).unwrap();
-        assert_eq!(run.re, ref_re);
-        assert_eq!(run.im, ref_im);
-        assert!(run.cycles > 1000);
-        assert!(run.counters.shuffle_ops > 0, "the shuffle unit must be used");
+        let mut session = Session::new();
+        let (spectrum, report) = session.run(&kernel, &Spectrum::new(re, im)).unwrap();
+        assert_eq!(spectrum.re, ref_re);
+        assert_eq!(spectrum.im, ref_im);
+        assert!(report.cycles > 1000);
+        assert!(
+            report.counters.shuffle_ops > 0,
+            "the shuffle unit must be used"
+        );
+        // All stages share one program: exactly one cold launch.
+        assert_eq!(report.cold_launches, 1);
+        assert!(report.warm_launches > 0, "stage relaunches must be warm");
     }
 
     #[test]
@@ -557,20 +697,17 @@ mod tests {
         let n = 512;
         let (re, im, float) = q16_signal(n, 20.0);
         let kernel = FftKernel::new(n).unwrap();
-        let mut accel = Vwr2a::new();
-        let run = kernel.run_complex(&mut accel, &re, &im).unwrap();
+        let mut session = Session::new();
+        let (spectrum, report) = session.run(&kernel, &Spectrum::new(re, im)).unwrap();
         let reference = fft(&float).unwrap();
-        for k in 0..n {
-            assert!(
-                (from_q16(run.re[k]) - reference[k].re).abs() < 0.2,
-                "bin {k}"
-            );
+        for (k, r) in reference.iter().enumerate() {
+            assert!((from_q16(spectrum.re[k]) - r.re).abs() < 0.2, "bin {k}");
         }
         // Table 2 reports 7125 cycles; the mapping should be within ~2x.
         assert!(
-            run.cycles > 4_000 && run.cycles < 16_000,
+            report.cycles > 4_000 && report.cycles < 16_000,
             "cycles {}",
-            run.cycles
+            report.cycles
         );
     }
 
@@ -581,22 +718,41 @@ mod tests {
             .map(|i| 0.4 * (std::f64::consts::TAU * 12.0 * i as f64 / n_real as f64).sin())
             .collect();
         let signal_q: Vec<i32> = signal_f.iter().map(|&v| to_q16(v)).collect();
-        let kernel = FftKernel::new(n_real / 2).unwrap();
-        let mut accel = Vwr2a::new();
-        let run = kernel.run_real(&mut accel, &signal_q).unwrap();
+        let kernel = RealFftKernel::new(n_real).unwrap();
+        let mut session = Session::new();
+        let (spectrum, _) = session.run(&kernel, &signal_q).unwrap();
         let reference = rfft(&signal_f).unwrap();
-        assert_eq!(run.re.len(), n_real / 2 + 1);
-        for k in 0..n_real / 2 {
+        assert_eq!(spectrum.len(), n_real / 2 + 1);
+        assert_eq!(spectrum.len(), kernel.output_bins());
+        for (k, r) in reference.iter().enumerate().take(n_real / 2) {
             assert!(
-                (from_q16(run.re[k]) - reference[k].re).abs() < 0.3
-                    && (from_q16(run.im[k]) - reference[k].im).abs() < 0.3,
+                (from_q16(spectrum.re[k]) - r.re).abs() < 0.3
+                    && (from_q16(spectrum.im[k]) - r.im).abs() < 0.3,
                 "bin {k}: ({}, {}) vs ({}, {})",
-                from_q16(run.re[k]),
-                from_q16(run.im[k]),
-                reference[k].re,
-                reference[k].im
+                from_q16(spectrum.re[k]),
+                from_q16(spectrum.im[k]),
+                r.re,
+                r.im
             );
         }
+    }
+
+    #[test]
+    fn real_and_complex_kernels_share_the_stage_program() {
+        let real = RealFftKernel::new(512).unwrap();
+        let complex = FftKernel::new(256).unwrap();
+        assert_eq!(real.cache_key(), complex.cache_key());
+
+        let mut session = Session::new();
+        let signal: Vec<i32> = (0..512)
+            .map(|i| to_q16(((i % 50) as f64 - 25.0) / 50.0))
+            .collect();
+        session.run(&real, &signal).unwrap();
+        // The complex kernel now finds its stage program warm.
+        assert!(session.is_warm(&complex));
+        let (re, im, _) = q16_signal(256, 5.0);
+        let (_, report) = session.run(&complex, &Spectrum::new(re, im)).unwrap();
+        assert_eq!(report.cold_launches, 0);
     }
 
     #[test]
@@ -604,11 +760,18 @@ mod tests {
         assert!(FftKernel::new(100).is_err());
         assert!(FftKernel::new(128).is_err());
         assert!(FftKernel::new(2048).is_err());
+        assert!(RealFftKernel::new(511).is_err());
+        assert!(RealFftKernel::new(256).is_err());
+        assert!(RealFftKernel::new(4096).is_err());
         let k = FftKernel::new(256).unwrap();
         assert_eq!(k.len(), 256);
         assert!(!k.is_empty());
-        let mut accel = Vwr2a::new();
-        assert!(k.run_complex(&mut accel, &[0; 16], &[0; 16]).is_err());
-        assert!(k.run_real(&mut accel, &[0; 100]).is_err());
+        let mut session = Session::new();
+        let too_short = Spectrum::new(vec![0; 16], vec![0; 16]);
+        assert!(session.run(&k, &too_short).is_err());
+        let r = RealFftKernel::new(512).unwrap();
+        assert_eq!(r.len(), 512);
+        assert!(!r.is_empty());
+        assert!(session.run(&r, &[0i32; 100][..]).is_err());
     }
 }

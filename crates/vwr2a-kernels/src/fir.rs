@@ -16,17 +16,18 @@
 //!   like `arm_fir_q15`); the MXCU index walks down the taps and back.
 //! * Both columns run the same program on different input blocks; the block
 //!   loop is driven by the host, which rewrites the two SRF line pointers
-//!   and relaunches the (already loaded) kernel warm.
+//!   and relaunches the kernel.  Under a [`Session`] only the very first
+//!   launch of the session is cold — every later block, and every later
+//!   window of a batch, reuses the resident configuration.
 
 use crate::error::{KernelError, Result};
-use crate::KernelRun;
 use vwr2a_core::builder::ColumnProgramBuilder;
-use vwr2a_core::geometry::VwrId;
+use vwr2a_core::geometry::{Geometry, VwrId};
 use vwr2a_core::isa::{
     LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
 };
 use vwr2a_core::program::KernelProgram;
-use vwr2a_core::Vwr2a;
+use vwr2a_runtime::{Kernel, LaunchCtx, Resources, Session};
 
 /// Payload samples produced per RC slice and per block pass.
 const PAYLOAD_PER_SLICE: usize = 32 - 10;
@@ -35,25 +36,26 @@ const PAYLOAD_PER_SLICE: usize = 32 - 10;
 const IN_LINE: [u16; 2] = [0, 1];
 /// Output line used by column `c`.
 const OUT_LINE: [u16; 2] = [2, 3];
-/// Estimated cycles for one host SRF write over the slave port.
-const SRF_WRITE_CYCLES: u64 = 2;
 
 /// The 11-tap FIR kernel mapping.
 ///
 /// # Example
 ///
 /// ```
-/// use vwr2a_core::Vwr2a;
 /// use vwr2a_kernels::fir::FirKernel;
+/// use vwr2a_runtime::Session;
 ///
-/// # fn main() -> Result<(), vwr2a_kernels::KernelError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let taps = [1024i32; 11]; // a crude averaging filter in q15
 /// let kernel = FirKernel::new(&taps, 256)?;
 /// let input: Vec<i32> = (0..256).map(|i| ((i % 64) as i32 - 32) * 256).collect();
-/// let mut accel = Vwr2a::new();
-/// let run = kernel.run(&mut accel, &input)?;
-/// assert_eq!(run.output.len(), 256);
-/// assert!(run.cycles > 0);
+/// let mut session = Session::new();
+/// let (output, report) = session.run(&kernel, &input)?;
+/// assert_eq!(output.len(), 256);
+/// assert!(report.cycles > 0);
+/// // Re-running the same kernel is warm: no configuration reload.
+/// let (_, warm) = session.run(&kernel, &input)?;
+/// assert!(warm.cycles < report.cycles);
 /// # Ok(())
 /// # }
 /// ```
@@ -84,7 +86,10 @@ impl FirKernel {
                 what: "input length must be non-zero".into(),
             });
         }
-        if let Some(bad) = taps.iter().find(|t| **t > i16::MAX as i32 || **t < i16::MIN as i32) {
+        if let Some(bad) = taps
+            .iter()
+            .find(|t| **t > i16::MAX as i32 || **t < i16::MIN as i32)
+        {
             return Err(KernelError::InvalidParameter {
                 what: format!("tap {bad} does not fit the q15 immediate field"),
             });
@@ -220,47 +225,69 @@ impl FirKernel {
         line
     }
 
-    /// Runs the filter over `input` (`q15` samples in `i32` words) on the
-    /// given accelerator, returning the filtered output and the cycle /
-    /// activity accounting.
+    /// Convenience wrapper: runs the filter in a throwaway [`Session`].
+    ///
+    /// Repeated-invocation workloads should hold their own session so the
+    /// configuration load is paid once; this exists for one-shot callers
+    /// and tests.
     ///
     /// # Errors
     ///
-    /// Returns [`KernelError::InvalidParameter`] if `input.len()` differs
-    /// from the configured length, or any simulator error.
-    pub fn run(&self, accel: &mut Vwr2a, input: &[i32]) -> Result<KernelRun> {
+    /// As [`Session::run`].
+    pub fn run_once(&self, input: &[i32]) -> vwr2a_runtime::Result<Vec<i32>> {
+        Session::new().run(self, input).map(|(out, _)| out)
+    }
+}
+
+impl Kernel for FirKernel {
+    type Input = [i32];
+    type Output = Vec<i32>;
+
+    fn name(&self) -> &str {
+        "fir-11tap"
+    }
+
+    fn cache_key(&self) -> String {
+        // The taps are baked into the program as immediates, so program
+        // identity is exactly tap identity (the input length only affects
+        // host-side staging).
+        format!("fir:{:?}", self.taps)
+    }
+
+    fn resources(&self) -> Resources {
+        Resources {
+            columns: 2,
+            spm_lines: 4,
+            srf_slots: 2,
+        }
+    }
+
+    fn program(&self, _geometry: &Geometry) -> vwr2a_runtime::Result<KernelProgram> {
+        Ok(self.program.clone())
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> vwr2a_runtime::Result<Vec<i32>> {
         if input.len() != self.n {
             return Err(KernelError::InvalidParameter {
                 what: format!("expected {} samples, got {}", self.n, input.len()),
-            });
+            }
+            .into());
         }
-        let before = accel.counters();
-        let mut cycles = 0u64;
         let mut output = vec![0i32; self.n];
-        let id = accel.load_kernel(&self.program)?;
         let per_block = Self::outputs_per_block();
         let blocks = self.n.div_ceil(per_block);
-        let mut first_launch = true;
         for blk in 0..blocks {
             let block_base = (blk * per_block) as i64;
-            for col in 0..2usize {
+            for (col, (&in_line, &out_line)) in IN_LINE.iter().zip(&OUT_LINE).enumerate() {
                 let base = block_base + (col * 4 * PAYLOAD_PER_SLICE) as i64;
                 let line = Self::stage_line(input, base);
-                cycles += accel.dma_to_spm(&line, IN_LINE[col] as usize * 128)?;
-                accel.write_srf(col, 0, IN_LINE[col] as i32)?;
-                accel.write_srf(col, 1, OUT_LINE[col] as i32)?;
-                cycles += 2 * SRF_WRITE_CYCLES;
+                ctx.dma_in(&line, in_line as usize * 128)?;
+                ctx.write_param(col, 0, in_line as i32)?;
+                ctx.write_param(col, 1, out_line as i32)?;
             }
-            let stats = if first_launch {
-                first_launch = false;
-                accel.run_kernel(id)?
-            } else {
-                accel.run_kernel_warm(id)?
-            };
-            cycles += stats.cycles;
-            for col in 0..2usize {
-                let (line, dma_cycles) = accel.dma_from_spm(OUT_LINE[col] as usize * 128, 128)?;
-                cycles += dma_cycles;
+            ctx.launch()?;
+            for (col, &out_line) in OUT_LINE.iter().enumerate() {
+                let line = ctx.dma_out(out_line as usize * 128, 128)?;
                 let base = block_base + (col * 4 * PAYLOAD_PER_SLICE) as i64;
                 for slice in 0..4usize {
                     for p in 0..PAYLOAD_PER_SLICE {
@@ -272,12 +299,7 @@ impl FirKernel {
                 }
             }
         }
-        let after = accel.counters();
-        Ok(KernelRun {
-            output,
-            cycles,
-            counters: crate::subtract_counters(after, before),
-        })
+        Ok(output)
     }
 }
 
@@ -302,13 +324,12 @@ mod tests {
         let input_f: Vec<f64> = (0..n).map(|i| 0.6 * (i as f64 * 0.09).sin()).collect();
         let input: Vec<i32> = input_f.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
         let kernel = FirKernel::new(&taps, n).unwrap();
-        let mut accel = Vwr2a::new();
-        let run = kernel.run(&mut accel, &input).unwrap();
+        let output = kernel.run_once(&input).unwrap();
 
         let taps_q: Vec<Q15> = taps.iter().map(|&t| Q15(t as i16)).collect();
         let input_q: Vec<Q15> = input.iter().map(|&v| Q15(v as i16)).collect();
         let reference = fir_q15(&taps_q, &input_q).unwrap();
-        for (i, (o, r)) in run.output.iter().zip(reference.iter()).enumerate() {
+        for (i, (o, r)) in output.iter().zip(reference.iter()).enumerate() {
             assert!(
                 (o - r.0 as i32).abs() <= 4,
                 "sample {i}: vwr2a {o} vs reference {}",
@@ -322,13 +343,13 @@ mod tests {
         // Table 4 reports 1849 cycles for 256 points; the mapping should be
         // within a factor ~1.6 of that.
         let kernel = FirKernel::new(&paper_taps(), 256).unwrap();
-        let input: Vec<i32> = (0..256).map(|i| ((i * 37) % 8192) as i32 - 4096).collect();
-        let mut accel = Vwr2a::new();
-        let run = kernel.run(&mut accel, &input).unwrap();
+        let input: Vec<i32> = (0..256).map(|i| ((i * 37) % 8192) - 4096).collect();
+        let mut session = Session::new();
+        let (_, report) = session.run(&kernel, &input).unwrap();
         assert!(
-            run.cycles > 1000 && run.cycles < 3200,
+            report.cycles > 1000 && report.cycles < 3200,
             "cycles {}",
-            run.cycles
+            report.cycles
         );
     }
 
@@ -338,11 +359,29 @@ mod tests {
         let cycles = |n: usize| {
             let kernel = FirKernel::new(&taps, n).unwrap();
             let input: Vec<i32> = (0..n).map(|i| (i as i32 % 100) - 50).collect();
-            let mut accel = Vwr2a::new();
-            kernel.run(&mut accel, &input).unwrap().cycles as f64
+            let mut session = Session::new();
+            session.run(&kernel, &input).unwrap().1.cycles as f64
         };
         let r = cycles(1024) / cycles(512);
         assert!(r > 1.7 && r < 2.3, "scaling ratio {r}");
+    }
+
+    #[test]
+    fn warm_window_skips_the_configuration_load() {
+        let kernel = FirKernel::new(&paper_taps(), 256).unwrap();
+        let input: Vec<i32> = (0..256).map(|i| (i % 64) * 100 - 3200).collect();
+        let mut session = Session::new();
+        let (out_cold, cold) = session.run(&kernel, &input).unwrap();
+        let (out_warm, warm) = session.run(&kernel, &input).unwrap();
+        assert_eq!(out_cold, out_warm, "warm rerun must be bit-identical");
+        assert_eq!(cold.cold_launches, 1);
+        assert_eq!(warm.cold_launches, 0);
+        assert!(warm.warm_launches >= 1);
+        assert_eq!(
+            cold.cycles - warm.cycles,
+            cold.counters.config_words_loaded,
+            "the warm saving is exactly the configuration streaming"
+        );
     }
 
     #[test]
@@ -352,8 +391,7 @@ mod tests {
         assert!(FirKernel::new(&[40_000], 128).is_err());
         assert!(FirKernel::new(&[1], 0).is_err());
         let k = FirKernel::new(&[1, 2, 3], 64).unwrap();
-        let mut accel = Vwr2a::new();
-        assert!(k.run(&mut accel, &[0; 32]).is_err());
+        assert!(k.run_once(&[0; 32]).is_err());
         assert_eq!(k.taps(), &[1, 2, 3]);
         assert_eq!(k.len(), 64);
         assert!(!k.is_empty());

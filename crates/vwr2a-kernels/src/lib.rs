@@ -2,24 +2,29 @@
 //!
 //! The paper maps its kernels onto VWR2A by hand (Sec. 2: "We have currently
 //! mapped the code manually on VWR2A").  This crate plays that role for the
-//! reproduction: it generates per-slot instruction streams for the simulated
-//! array and orchestrates the host-side staging (DMA transfers, SRF
-//! parameters, kernel launches) exactly the way the platform firmware would.
-//! All cycle counts reported by the kernels include that orchestration: DMA
-//! transfers, SRF writes, configuration loading on the first launch and the
-//! array execution itself.
+//! reproduction: every kernel implements [`vwr2a_runtime::Kernel`],
+//! generating per-slot instruction streams for the simulated array and
+//! driving the host-side staging (DMA transfers, SRF parameters, launches)
+//! through a [`vwr2a_runtime::Session`] — which keeps each program resident
+//! in the configuration memory, so only a kernel's first launch in a
+//! session pays the configuration load and every repeat runs warm.
 //!
 //! * [`ops`] — element-wise pass emitters, the building blocks of every
 //!   mapping (load two VWRs, sweep the MXCU index, apply one RC operation,
 //!   store the result; plus shuffle-unit and reduction passes).
 //! * [`fir`] — the 11-tap FIR filter of Table 4.
-//! * [`fft`] — radix-2 FFT (complex and real-valued) using the
-//!   constant-geometry formulation whose inter-stage reordering is exactly
-//!   the shuffle unit's word interleaving (Sec. 3.4).
+//! * [`fft`] — radix-2 FFT kernels ([`fft::FftKernel`] complex,
+//!   [`fft::RealFftKernel`] real-valued) using the constant-geometry
+//!   formulation whose inter-stage reordering is exactly the shuffle unit's
+//!   word interleaving (Sec. 3.4).
 //! * [`features`] — the data-parallel parts of MBioTracker's feature
-//!   extraction (band energies, sums and sums of squares) plus the linear
-//!   SVM decision.
+//!   extraction as kernels: [`features::BandEnergies`],
+//!   [`features::SumAndSquares`] and [`features::DotProduct`] (the linear
+//!   SVM decision).
 //!
+//! Cycle and activity accounting arrives uniformly as
+//! [`vwr2a_runtime::RunReport`] from the session; numerical outputs are the
+//! kernels' associated `Output` types (e.g. [`Spectrum`] for the FFTs).
 //! Every kernel is validated against the `vwr2a-dsp` golden models in its
 //! module tests and in the workspace integration tests.
 
@@ -33,51 +38,37 @@ pub mod fir;
 pub mod ops;
 
 pub use error::{KernelError, Result};
-use vwr2a_core::ActivityCounters;
 
-/// Result of one kernel invocation: its numerical output plus the cycle and
-/// activity accounting used by the energy model.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct KernelRun {
-    /// Kernel output words (interpretation is kernel-specific).
-    pub output: Vec<i32>,
-    /// Total cycles including DMA staging, SRF parameter writes,
-    /// configuration loading and array execution.
-    pub cycles: u64,
-    /// Activity accumulated on the array (and its DMA) during the run.
-    pub counters: ActivityCounters,
+/// A complex signal or spectrum as separate real/imaginary word arrays —
+/// the input and output type of the FFT kernels and the input of
+/// [`features::BandEnergies`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spectrum {
+    /// Real parts (natural bin order for spectra).
+    pub re: Vec<i32>,
+    /// Imaginary parts (natural bin order for spectra).
+    pub im: Vec<i32>,
 }
 
-impl KernelRun {
-    /// Execution time in microseconds at the given clock frequency.
-    pub fn time_us(&self, frequency_hz: f64) -> f64 {
-        self.cycles as f64 / frequency_hz * 1e6
+impl Spectrum {
+    /// Bundles separate real/imaginary arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays differ in length.
+    pub fn new(re: Vec<i32>, im: Vec<i32>) -> Self {
+        assert_eq!(re.len(), im.len(), "re/im lengths must match");
+        Self { re, im }
     }
-}
 
-pub(crate) fn subtract_counters(a: ActivityCounters, b: ActivityCounters) -> ActivityCounters {
-    ActivityCounters {
-        cycles: a.cycles - b.cycles,
-        rc_alu_ops: a.rc_alu_ops - b.rc_alu_ops,
-        rc_multiplies: a.rc_multiplies - b.rc_multiplies,
-        rc_reg_reads: a.rc_reg_reads - b.rc_reg_reads,
-        rc_reg_writes: a.rc_reg_writes - b.rc_reg_writes,
-        vwr_word_reads: a.vwr_word_reads - b.vwr_word_reads,
-        vwr_word_writes: a.vwr_word_writes - b.vwr_word_writes,
-        vwr_line_transfers: a.vwr_line_transfers - b.vwr_line_transfers,
-        spm_line_reads: a.spm_line_reads - b.spm_line_reads,
-        spm_line_writes: a.spm_line_writes - b.spm_line_writes,
-        spm_word_reads: a.spm_word_reads - b.spm_word_reads,
-        spm_word_writes: a.spm_word_writes - b.spm_word_writes,
-        srf_reads: a.srf_reads - b.srf_reads,
-        srf_writes: a.srf_writes - b.srf_writes,
-        shuffle_ops: a.shuffle_ops - b.shuffle_ops,
-        instr_issues: a.instr_issues - b.instr_issues,
-        nop_issues: a.nop_issues - b.nop_issues,
-        lcu_branches: a.lcu_branches - b.lcu_branches,
-        dma_words: a.dma_words - b.dma_words,
-        dma_transfers: a.dma_transfers - b.dma_transfers,
-        config_words_loaded: a.config_words_loaded - b.config_words_loaded,
+    /// Number of complex points.
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// `true` if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
     }
 }
 
@@ -86,25 +77,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn kernel_run_time_conversion() {
-        let run = KernelRun {
-            output: vec![],
-            cycles: 8000,
-            counters: ActivityCounters::default(),
-        };
-        assert!((run.time_us(80.0e6) - 100.0).abs() < 1e-9);
+    fn spectrum_bundles_matching_arrays() {
+        let s = Spectrum::new(vec![1, 2], vec![3, 4]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(Spectrum::default().is_empty());
     }
 
     #[test]
-    fn counter_subtraction_is_field_wise() {
-        let mut a = ActivityCounters::default();
-        a.cycles = 10;
-        a.rc_alu_ops = 7;
-        let mut b = ActivityCounters::default();
-        b.cycles = 4;
-        b.rc_alu_ops = 2;
-        let d = subtract_counters(a, b);
-        assert_eq!(d.cycles, 6);
-        assert_eq!(d.rc_alu_ops, 5);
+    #[should_panic(expected = "lengths must match")]
+    fn spectrum_rejects_mismatched_arrays() {
+        let _ = Spectrum::new(vec![1], vec![1, 2]);
     }
 }

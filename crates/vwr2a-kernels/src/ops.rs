@@ -64,23 +64,15 @@ fn emit_sweep(b: &mut ColumnProgramBuilder, body: &[vwr2a_core::Row]) {
     let last = body.len() - 1;
     for (i, row) in body.iter().cloned().enumerate() {
         if i == last {
-            b.push(
-                row.mxcu(MxcuInstr::AddIdx(1)).lcu(LcuInstr::Add {
-                    r: 0,
-                    src: LcuSrc::Imm(1),
-                }),
-            );
+            b.push(row.mxcu(MxcuInstr::AddIdx(1)).lcu(LcuInstr::Add {
+                r: 0,
+                src: LcuSrc::Imm(1),
+            }));
         } else {
             b.push(row);
         }
     }
-    b.push_branch(
-        b.row(),
-        LcuCond::Lt,
-        0,
-        LcuSrc::Imm(SLICE_WORDS),
-        top,
-    );
+    b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(SLICE_WORDS), top);
 }
 
 /// Loads VWR A and VWR B and applies `op` element-wise into VWR C, storing
@@ -232,13 +224,24 @@ pub fn emit_reduce_sum_pass(
     b.push(b.row().rc_all(RcInstr::mov(RcDst::None, RcSrc::Reg(0))));
     b.push(
         b.row()
-            .rc(0, RcInstr::new(RcOpcode::Add, RcDst::None, RcSrc::SelfPrev, RcSrc::RcBelow))
-            .rc(2, RcInstr::new(RcOpcode::Add, RcDst::None, RcSrc::SelfPrev, RcSrc::RcBelow)),
+            .rc(
+                0,
+                RcInstr::new(RcOpcode::Add, RcDst::None, RcSrc::SelfPrev, RcSrc::RcBelow),
+            )
+            .rc(
+                2,
+                RcInstr::new(RcOpcode::Add, RcDst::None, RcSrc::SelfPrev, RcSrc::RcBelow),
+            ),
     );
     b.push(b.row().rc(1, RcInstr::mov(RcDst::None, RcSrc::RcBelow)));
     b.push(b.row().rc(
         0,
-        RcInstr::new(RcOpcode::Add, RcDst::Srf(out_srf), RcSrc::SelfPrev, RcSrc::RcBelow),
+        RcInstr::new(
+            RcOpcode::Add,
+            RcDst::Srf(out_srf),
+            RcSrc::SelfPrev,
+            RcSrc::RcBelow,
+        ),
     ));
     if let Some(word) = out_word {
         b.push(b.row().lsu(LsuInstr::StoreSrf {
@@ -275,7 +278,15 @@ mod tests {
         let a: Vec<i32> = (0..128).collect();
         let b: Vec<i32> = (0..128).map(|i| 1000 * i).collect();
         let (accel, cycles) = run_single_column(
-            |bld| emit_ew_pass(bld, RcOpcode::Add, LineRef::Imm(0), LineRef::Imm(1), LineRef::Imm(2)),
+            |bld| {
+                emit_ew_pass(
+                    bld,
+                    RcOpcode::Add,
+                    LineRef::Imm(0),
+                    LineRef::Imm(1),
+                    LineRef::Imm(2),
+                )
+            },
             &[(0, a.clone()), (1, b.clone())],
         );
         let out = accel.spm().read_line(2).unwrap();

@@ -1,0 +1,85 @@
+//! Error type of the Session runtime.
+
+use std::error::Error;
+use std::fmt;
+use vwr2a_core::CoreError;
+
+/// Errors raised while registering or running kernels through a
+/// [`crate::Session`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The underlying array simulator reported an error.
+    Core(CoreError),
+    /// A kernel's declared resource needs exceed the session's geometry.
+    Resources {
+        /// Name of the offending kernel.
+        kernel: String,
+        /// Human-readable description of the violated limit.
+        what: String,
+    },
+    /// A kernel rejected its input (wrong length, unsupported size, …).
+    InvalidInput {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl RuntimeError {
+    /// Convenience constructor for input-validation failures inside
+    /// [`crate::Kernel::execute`] implementations.
+    pub fn invalid_input(what: impl Into<String>) -> Self {
+        RuntimeError::InvalidInput { what: what.into() }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Core(e) => write!(f, "array error: {e}"),
+            RuntimeError::Resources { kernel, what } => {
+                write!(f, "kernel `{kernel}` exceeds the array resources: {what}")
+            }
+            RuntimeError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+/// Convenience alias used across the runtime.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: RuntimeError = CoreError::UnknownKernel { id: 3 }.into();
+        assert!(e.to_string().contains("array error"));
+        assert!(e.source().is_some());
+        let e = RuntimeError::Resources {
+            kernel: "fft".into(),
+            what: "needs 3 columns".into(),
+        };
+        assert!(e.to_string().contains("fft"));
+        assert!(e.source().is_none());
+        assert!(RuntimeError::invalid_input("nope")
+            .to_string()
+            .contains("nope"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Unified kernel execution runtime for the VWR2A reproduction.
+//!
+//! VWR2A's defining host-side property (Denkinger et al., DAC 2022, Sec.
+//! 3.1) is that a kernel is loaded into the per-column configuration memory
+//! **once** and then re-invoked cheaply: only the first launch streams
+//! configuration words into the per-slot program memories.  This crate
+//! turns that property into the default programming model instead of an
+//! optimisation individual kernels may or may not implement:
+//!
+//! * [`Kernel`] — the one trait every VWR2A workload implements: associated
+//!   `Input`/`Output` types, a declared [`Resources`] budget, the
+//!   configuration-memory program, and an `execute` body that stages data
+//!   and launches through a [`LaunchCtx`].
+//! * [`Session`] — owns the [`vwr2a_core::Vwr2a`] and a registry of loaded
+//!   programs keyed by [`Kernel::cache_key`].  The first run of a kernel is
+//!   cold; every repeat — including every window of
+//!   [`Session::run_batch`] / [`Session::run_stream`] — launches warm.
+//! * [`RunReport`] — the single accounting type for all kernels: cycles,
+//!   cold/warm launch counts, [`vwr2a_core::ActivityCounters`] and derived
+//!   time/energy.
+//!
+//! See [`Session`] for a runnable example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod report;
+pub mod session;
+pub mod testing;
+
+pub use error::{Result, RuntimeError};
+pub use report::RunReport;
+pub use session::{Kernel, LaunchCtx, Resources, Session, SRF_WRITE_CYCLES};

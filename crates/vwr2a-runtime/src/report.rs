@@ -1,0 +1,120 @@
+//! The unified run report returned by every [`crate::Session`] execution.
+
+use vwr2a_core::stats::time_us;
+use vwr2a_core::ActivityCounters;
+use vwr2a_energy::{vwr2a_energy, EnergyBreakdown};
+
+/// Cycle, launch and activity accounting of one or more kernel invocations
+/// through a [`crate::Session`].
+///
+/// `RunReport` replaces the per-kernel result structs of earlier revisions
+/// (`KernelRun`, `FftRun`): numerical outputs travel separately as the
+/// kernel's associated `Output` type, and every kernel shares this one
+/// accounting type, so pipelines can sum reports across heterogeneous
+/// kernels without conversion.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Name of the kernel (for batches: the one kernel that ran repeatedly).
+    pub kernel: String,
+    /// Number of kernel invocations folded into this report (1 for
+    /// [`crate::Session::run`], N for a batch of N windows).
+    pub invocations: u64,
+    /// Array launches that streamed configuration words (paid the
+    /// configuration load).  At most 1 per program per session.
+    pub cold_launches: u64,
+    /// Array launches that found their program resident in the per-slot
+    /// program memories and paid execution cycles only.
+    pub warm_launches: u64,
+    /// Total cycles: DMA staging, SRF parameter writes, configuration
+    /// loading (cold launches only) and array execution.
+    pub cycles: u64,
+    /// Activity accumulated on the array (and its DMA) during the runs.
+    pub counters: ActivityCounters,
+}
+
+impl RunReport {
+    /// An empty report for the named kernel.
+    pub fn new(kernel: impl Into<String>) -> Self {
+        Self {
+            kernel: kernel.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Execution time in microseconds at the given clock frequency.
+    pub fn time_us(&self, frequency_hz: f64) -> f64 {
+        time_us(self.cycles, frequency_hz)
+    }
+
+    /// Energy of the accumulated activity under the calibrated VWR2A model.
+    pub fn energy(&self) -> EnergyBreakdown {
+        vwr2a_energy(&self.counters)
+    }
+
+    /// Total array launches, cold and warm.
+    pub fn launches(&self) -> u64 {
+        self.cold_launches + self.warm_launches
+    }
+
+    /// Folds another report into this one (used by batch accumulation and
+    /// by pipelines that want one aggregate report per stage).
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.invocations += other.invocations;
+        self.cold_launches += other.cold_launches;
+        self.warm_launches += other.warm_launches;
+        self.cycles += other.cycles;
+        self.counters += other.counters;
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} invocation(s), {} cycles ({} cold / {} warm launches)",
+            self.kernel, self.invocations, self.cycles, self.cold_launches, self.warm_launches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversion_matches_core_helper() {
+        let report = RunReport {
+            cycles: 8_000,
+            ..RunReport::new("k")
+        };
+        assert!((report.time_us(80.0e6) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_accumulates_everything() {
+        let mut a = RunReport::new("k");
+        a.invocations = 1;
+        a.cold_launches = 1;
+        a.cycles = 100;
+        a.counters.rc_alu_ops = 7;
+        let mut b = RunReport::new("k");
+        b.invocations = 2;
+        b.warm_launches = 5;
+        b.cycles = 50;
+        b.counters.rc_alu_ops = 3;
+        a.absorb(&b);
+        assert_eq!(a.invocations, 3);
+        assert_eq!(a.launches(), 6);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.counters.rc_alu_ops, 10);
+        assert!(a.to_string().contains("3 invocation(s)"));
+    }
+
+    #[test]
+    fn energy_is_positive_for_nonzero_activity() {
+        let mut report = RunReport::new("k");
+        report.counters.cycles = 10_000;
+        report.counters.rc_alu_ops = 5_000;
+        assert!(report.energy().total_uj() > 0.0);
+    }
+}

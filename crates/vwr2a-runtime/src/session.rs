@@ -1,0 +1,397 @@
+//! The [`Session`] runtime: load kernels once, relaunch them warm.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use vwr2a_core::config_mem::KernelId;
+use vwr2a_core::geometry::Geometry;
+use vwr2a_core::program::KernelProgram;
+use vwr2a_core::Vwr2a;
+
+use crate::error::{Result, RuntimeError};
+use crate::report::RunReport;
+
+/// Estimated cycles for one host SRF write over the slave port.
+pub const SRF_WRITE_CYCLES: u64 = 2;
+
+/// Static resource needs a kernel declares so a [`Session`] can reject it
+/// before any staging happens, instead of failing mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Minimum array columns the kernel needs (kernels that adapt to the
+    /// geometry declare their smallest workable configuration).
+    pub columns: usize,
+    /// SPM lines the kernel's data layout occupies.
+    pub spm_lines: usize,
+    /// SRF entries used for per-launch parameters (per column).
+    pub srf_slots: usize,
+}
+
+/// A workload that runs on VWR2A through a [`Session`].
+///
+/// Implementations declare their configuration-memory program once
+/// ([`Kernel::program`]) and drive staging, launches and read-back through
+/// the [`LaunchCtx`] handed to [`Kernel::execute`].  Because the session
+/// owns program residency, a kernel never decides cold-vs-warm itself:
+/// [`LaunchCtx::launch`] streams configuration words only the first time a
+/// program runs in the session, exactly like the real hardware keeps a
+/// loaded kernel resident in the per-slot program memories.
+pub trait Kernel {
+    /// Borrowed input type of one invocation (e.g. `[i32]` for a sample
+    /// window, a struct of arrays for complex data).
+    type Input: ?Sized;
+    /// Owned output type of one invocation.
+    type Output;
+
+    /// Kernel name used in reports and error messages.
+    fn name(&self) -> &str;
+
+    /// Key identifying the configuration-memory program this kernel needs.
+    ///
+    /// Two kernel instances with equal keys share one loaded program (and
+    /// therefore warm each other up).  Instances whose programs differ —
+    /// e.g. FIR kernels with different baked-in taps — must produce
+    /// different keys.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Declared resource needs, validated against the session's geometry at
+    /// registration.
+    fn resources(&self) -> Resources;
+
+    /// Builds the kernel's configuration-memory program for the given
+    /// geometry.  Called once per [`Kernel::cache_key`] per session.
+    fn program(&self, geometry: &Geometry) -> Result<KernelProgram>;
+
+    /// Runs one invocation: stage inputs, launch (possibly repeatedly, e.g.
+    /// once per FFT stage or per FIR block), collect outputs.
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &Self::Input) -> Result<Self::Output>;
+}
+
+#[derive(Debug)]
+struct Loaded {
+    id: KernelId,
+    launches: u64,
+}
+
+/// Execution context handed to [`Kernel::execute`]: a view of the session's
+/// accelerator that accounts every host-visible cost (DMA cycles, SRF
+/// writes, launches) and routes launches through the session's
+/// configuration-memory registry.
+#[derive(Debug)]
+pub struct LaunchCtx<'a> {
+    accel: &'a mut Vwr2a,
+    programs: &'a mut HashMap<String, Loaded>,
+    primary_key: String,
+    cycles: u64,
+    cold_launches: u64,
+    warm_launches: u64,
+}
+
+impl LaunchCtx<'_> {
+    /// The array geometry (for kernels whose layout depends on it).
+    pub fn geometry(&self) -> Geometry {
+        *self.accel.geometry()
+    }
+
+    /// Cycles accumulated so far in this invocation.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// DMAs `data` into the SPM at `spm_word_addr`, charging the transfer
+    /// cycles to the invocation.
+    pub fn dma_in(&mut self, data: &[i32], spm_word_addr: usize) -> Result<()> {
+        self.cycles += self.accel.dma_to_spm(data, spm_word_addr)?;
+        Ok(())
+    }
+
+    /// DMAs `len` words out of the SPM from `spm_word_addr`, charging the
+    /// transfer cycles to the invocation.
+    pub fn dma_out(&mut self, spm_word_addr: usize, len: usize) -> Result<Vec<i32>> {
+        let (data, cycles) = self.accel.dma_from_spm(spm_word_addr, len)?;
+        self.cycles += cycles;
+        Ok(data)
+    }
+
+    /// Writes one kernel parameter into a column's SRF over the slave port,
+    /// charging [`SRF_WRITE_CYCLES`].
+    pub fn write_param(&mut self, column: usize, index: usize, value: i32) -> Result<()> {
+        self.accel.write_srf(column, index, value)?;
+        self.cycles += SRF_WRITE_CYCLES;
+        Ok(())
+    }
+
+    /// Reads back one SRF entry (e.g. a scalar reduction result).
+    pub fn read_param(&mut self, column: usize, index: usize) -> Result<i32> {
+        Ok(self.accel.read_srf(column, index)?)
+    }
+
+    /// Launches the kernel's primary program.
+    ///
+    /// The first launch of the program in the session streams its
+    /// configuration words (a *cold* launch); every later launch — within
+    /// this invocation or any later one — is *warm* and pays execution
+    /// cycles only.  Returns the cycles of this launch.
+    pub fn launch(&mut self) -> Result<u64> {
+        let key = self.primary_key.clone();
+        self.launch_key(&key)
+    }
+
+    /// Launches an auxiliary program, loading it (and caching it under
+    /// `key`, session-wide) on first use.  Kernels with more than one
+    /// program phase — e.g. the real-FFT recombination passes — use this so
+    /// every phase gets the same load-once/warm-relaunch treatment as the
+    /// primary program.
+    ///
+    /// Unlike the primary program, auxiliary programs are validated against
+    /// the geometry when first built (inside `load_kernel`), not at
+    /// [`Session::register`] time — a kernel whose aux programs might not
+    /// fit a constrained geometry should cover them in its declared
+    /// [`Resources`] so registration still rejects it up front.
+    pub fn launch_aux(
+        &mut self,
+        key: &str,
+        build: impl FnOnce() -> Result<KernelProgram>,
+    ) -> Result<u64> {
+        if !self.programs.contains_key(key) {
+            let program = build()?;
+            let id = self.accel.load_kernel(&program)?;
+            self.programs
+                .insert(key.to_string(), Loaded { id, launches: 0 });
+        }
+        self.launch_key(key)
+    }
+
+    fn launch_key(&mut self, key: &str) -> Result<u64> {
+        let entry = self
+            .programs
+            .get_mut(key)
+            .expect("program registered before launch");
+        debug_assert!(
+            self.accel.config_mem().contains(entry.id),
+            "registry id must refer to a resident configuration-memory kernel"
+        );
+        let stats = if entry.launches == 0 {
+            self.cold_launches += 1;
+            self.accel.run_kernel(entry.id)?
+        } else {
+            self.warm_launches += 1;
+            self.accel.run_kernel_warm(entry.id)?
+        };
+        entry.launches += 1;
+        self.cycles += stats.cycles;
+        Ok(stats.cycles)
+    }
+}
+
+/// Owns a [`Vwr2a`] instance and a registry of loaded kernels, making
+/// configuration-memory reuse the default execution model.
+///
+/// The paper's headline host-side behaviour — "kernels are loaded once and
+/// then re-invoked cheaply" — becomes unavoidable here: the first
+/// [`Session::run`] of a kernel loads its program and launches cold; every
+/// later run of the same kernel (or another instance with the same
+/// [`Kernel::cache_key`]) launches warm, skipping the configuration-word
+/// streaming entirely.  [`Session::run_batch`] and [`Session::run_stream`]
+/// push whole input sequences through a loaded kernel and return one
+/// aggregated [`RunReport`].
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_runtime::Session;
+/// use vwr2a_runtime::testing::ScaleKernel;
+///
+/// # fn main() -> Result<(), vwr2a_runtime::RuntimeError> {
+/// let mut session = Session::new();
+/// let scale = ScaleKernel::new(2);
+/// let window: Vec<i32> = (0..128).collect();
+///
+/// let (cold_out, cold) = session.run(&scale, &window)?;
+/// let (warm_out, warm) = session.run(&scale, &window)?;
+/// assert_eq!(cold_out, warm_out);
+/// assert_eq!(cold.cold_launches, 1);
+/// assert_eq!(warm.warm_launches, 1);
+/// // The warm repeat skips the configuration-word streaming.
+/// assert!(warm.cycles < cold.cycles);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    accel: Vwr2a,
+    programs: HashMap<String, Loaded>,
+}
+
+impl Session {
+    /// Creates a session around an accelerator with the paper's geometry.
+    pub fn new() -> Self {
+        Self::with_accelerator(Vwr2a::new())
+    }
+
+    /// Creates a session around a custom accelerator (ablation geometries,
+    /// custom DMA timing).
+    pub fn with_accelerator(accel: Vwr2a) -> Self {
+        Self {
+            accel,
+            programs: HashMap::new(),
+        }
+    }
+
+    /// The underlying accelerator.
+    pub fn accelerator(&self) -> &Vwr2a {
+        &self.accel
+    }
+
+    /// Mutable access to the underlying accelerator (tests, manual staging).
+    pub fn accelerator_mut(&mut self) -> &mut Vwr2a {
+        &mut self.accel
+    }
+
+    /// Number of distinct programs resident in the configuration memory.
+    pub fn loaded_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// `true` if the kernel's program is already resident, i.e. its next
+    /// launch will be warm.
+    pub fn is_warm<K: Kernel>(&self, kernel: &K) -> bool {
+        self.programs
+            .get(&kernel.cache_key())
+            .is_some_and(|p| p.launches > 0)
+    }
+
+    /// Registers a kernel without running it: validates its resource needs
+    /// and loads its program into the configuration memory.  [`Session::run`]
+    /// does this implicitly; pre-registering is useful to front-load
+    /// validation errors.
+    pub fn register<K: Kernel>(&mut self, kernel: &K) -> Result<()> {
+        let key = kernel.cache_key();
+        if self.programs.contains_key(&key) {
+            return Ok(());
+        }
+        let geometry = *self.accel.geometry();
+        let needs = kernel.resources();
+        let check = |what: String| RuntimeError::Resources {
+            kernel: kernel.name().to_string(),
+            what,
+        };
+        if needs.columns > geometry.columns {
+            return Err(check(format!(
+                "needs {} columns, array has {}",
+                needs.columns, geometry.columns
+            )));
+        }
+        if needs.spm_lines > geometry.spm_lines() {
+            return Err(check(format!(
+                "needs {} SPM lines, array has {}",
+                needs.spm_lines,
+                geometry.spm_lines()
+            )));
+        }
+        if needs.srf_slots > geometry.srf_entries {
+            return Err(check(format!(
+                "needs {} SRF slots, array has {}",
+                needs.srf_slots, geometry.srf_entries
+            )));
+        }
+        let program = kernel.program(&geometry)?;
+        let id = self.accel.load_kernel(&program)?;
+        self.programs.insert(key, Loaded { id, launches: 0 });
+        Ok(())
+    }
+
+    /// Runs one invocation of `kernel` over `input`.
+    ///
+    /// The first run of a kernel in the session launches cold (its program
+    /// is loaded and its configuration words streamed); repeats launch
+    /// warm.  Returns the kernel's output and the invocation's report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Resources`] if the kernel does not fit the
+    /// array, [`RuntimeError::InvalidInput`] if the kernel rejects the
+    /// input, or any simulator error.
+    pub fn run<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        input: &K::Input,
+    ) -> Result<(K::Output, RunReport)> {
+        let mut report = RunReport::new(kernel.name());
+        let output = self.run_into(kernel, input, &mut report)?;
+        Ok((output, report))
+    }
+
+    /// Runs `kernel` over every input of a batch without re-staging its
+    /// program: the first window may launch cold, all later windows launch
+    /// warm.  Outputs are returned in input order together with one
+    /// aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`]; the first error aborts the batch.
+    pub fn run_batch<K, I>(&mut self, kernel: &K, inputs: I) -> Result<(Vec<K::Output>, RunReport)>
+    where
+        K: Kernel,
+        I: IntoIterator,
+        I::Item: Borrow<K::Input>,
+    {
+        let mut outputs = Vec::new();
+        let report = self.run_stream(kernel, inputs, |out| outputs.push(out))?;
+        Ok((outputs, report))
+    }
+
+    /// Streams inputs through `kernel`, handing each output to `sink` as
+    /// soon as it is ready (constant memory in the number of windows).
+    /// Returns the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`]; the first error aborts the stream.
+    pub fn run_stream<K, I, F>(&mut self, kernel: &K, inputs: I, mut sink: F) -> Result<RunReport>
+    where
+        K: Kernel,
+        I: IntoIterator,
+        I::Item: Borrow<K::Input>,
+        F: FnMut(K::Output),
+    {
+        let mut report = RunReport::new(kernel.name());
+        for input in inputs {
+            let output = self.run_into(kernel, input.borrow(), &mut report)?;
+            sink(output);
+        }
+        Ok(report)
+    }
+
+    fn run_into<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        input: &K::Input,
+        report: &mut RunReport,
+    ) -> Result<K::Output> {
+        self.register(kernel)?;
+        let before = self.accel.counters();
+        let mut ctx = LaunchCtx {
+            accel: &mut self.accel,
+            programs: &mut self.programs,
+            primary_key: kernel.cache_key(),
+            cycles: 0,
+            cold_launches: 0,
+            warm_launches: 0,
+        };
+        let output = kernel.execute(&mut ctx, input)?;
+        report.invocations += 1;
+        report.cold_launches += ctx.cold_launches;
+        report.warm_launches += ctx.warm_launches;
+        report.cycles += ctx.cycles;
+        report.counters += self.accel.counters() - before;
+        Ok(output)
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,244 @@
+//! A minimal example kernel used by the runtime's own tests and doc
+//! examples.
+//!
+//! Real kernel mappings live in `vwr2a-kernels`; [`ScaleKernel`] exists so
+//! the runtime crate can demonstrate and test the [`crate::Session`]
+//! machinery (cold/warm launches, batching, reports) without depending on
+//! them.
+
+use vwr2a_core::builder::ColumnProgramBuilder;
+use vwr2a_core::geometry::{Geometry, VwrId};
+use vwr2a_core::isa::{
+    LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
+};
+use vwr2a_core::program::KernelProgram;
+
+use crate::error::{Result, RuntimeError};
+use crate::session::{Kernel, LaunchCtx, Resources};
+
+/// Words per SPM line / VWR of the paper geometry.
+const LINE: usize = 128;
+/// SPM line holding the staged input.
+const IN_LINE: usize = 0;
+/// SPM line receiving the result.
+const OUT_LINE: usize = 1;
+
+/// Multiplies up to one VWR line of words by an integer factor read from
+/// `SRF[0]`.
+#[derive(Debug, Clone)]
+pub struct ScaleKernel {
+    factor: i32,
+}
+
+impl ScaleKernel {
+    /// Creates a kernel scaling by `factor`.
+    pub fn new(factor: i32) -> Self {
+        Self { factor }
+    }
+}
+
+impl Kernel for ScaleKernel {
+    type Input = [i32];
+    type Output = Vec<i32>;
+
+    fn name(&self) -> &str {
+        "scale"
+    }
+
+    fn resources(&self) -> Resources {
+        Resources {
+            columns: 1,
+            spm_lines: 2,
+            srf_slots: 1,
+        }
+    }
+
+    fn program(&self, geometry: &Geometry) -> Result<KernelProgram> {
+        let mut b = ColumnProgramBuilder::new(geometry.rcs_per_column);
+        b.push(b.row().lsu(LsuInstr::LoadVwr {
+            vwr: VwrId::A,
+            line: LsuAddr::Imm(IN_LINE as u16),
+        }));
+        b.push(
+            b.row()
+                .lcu(LcuInstr::Li { r: 0, value: 0 })
+                .mxcu(MxcuInstr::SetIdx(0)),
+        );
+        // Fetch the factor once per RC (one at a time: single SRF port).
+        for rc in 0..geometry.rcs_per_column {
+            b.push(b.row().rc(rc, RcInstr::mov(RcDst::Reg(0), RcSrc::Srf(0))));
+        }
+        let top = b.new_label();
+        b.bind_label(top);
+        b.push(
+            b.row()
+                .lcu(LcuInstr::Add {
+                    r: 0,
+                    src: LcuSrc::Imm(1),
+                })
+                .mxcu(MxcuInstr::AddIdx(1))
+                .rc_all(RcInstr::new(
+                    RcOpcode::Mul,
+                    RcDst::Vwr(VwrId::C),
+                    RcSrc::Vwr(VwrId::A),
+                    RcSrc::Reg(0),
+                )),
+        );
+        b.push_branch(
+            b.row(),
+            LcuCond::Lt,
+            0,
+            LcuSrc::Imm(geometry.slice_words() as i32),
+            top,
+        );
+        b.push(b.row().lsu(LsuInstr::StoreVwr {
+            vwr: VwrId::C,
+            line: LsuAddr::Imm(OUT_LINE as u16),
+        }));
+        b.push_exit();
+        Ok(KernelProgram::new("scale", vec![b.build()?])?)
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> Result<Vec<i32>> {
+        if input.is_empty() || input.len() > LINE {
+            return Err(RuntimeError::invalid_input(format!(
+                "scale kernel takes 1..={LINE} words, got {}",
+                input.len()
+            )));
+        }
+        let mut line = input.to_vec();
+        line.resize(LINE, 0);
+        ctx.dma_in(&line, IN_LINE * LINE)?;
+        ctx.write_param(0, 0, self.factor)?;
+        ctx.launch()?;
+        let mut out = ctx.dma_out(OUT_LINE * LINE, LINE)?;
+        out.truncate(input.len());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+
+    #[test]
+    fn scales_and_reports_cold_then_warm() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(3);
+        let input: Vec<i32> = (0..100).collect();
+
+        let (out, cold) = session.run(&kernel, &input).unwrap();
+        assert_eq!(out, (0..100).map(|v| v * 3).collect::<Vec<_>>());
+        assert_eq!(cold.invocations, 1);
+        assert_eq!(cold.cold_launches, 1);
+        assert_eq!(cold.warm_launches, 0);
+        assert!(cold.counters.config_words_loaded > 0);
+
+        let (out2, warm) = session.run(&kernel, &input).unwrap();
+        assert_eq!(out, out2);
+        assert_eq!(warm.cold_launches, 0);
+        assert_eq!(warm.warm_launches, 1);
+        assert_eq!(warm.counters.config_words_loaded, 0);
+        assert!(
+            warm.cycles < cold.cycles,
+            "warm {} vs cold {}",
+            warm.cycles,
+            cold.cycles
+        );
+        // The saving is exactly the configuration-word streaming.
+        assert_eq!(cold.cycles - warm.cycles, cold.counters.config_words_loaded);
+    }
+
+    #[test]
+    fn equal_cache_keys_share_residency() {
+        let mut session = Session::new();
+        let a = ScaleKernel::new(2);
+        let b = ScaleKernel::new(2);
+        let input = [1i32, 2, 3];
+        session.run(&a, &input[..]).unwrap();
+        assert!(session.is_warm(&b));
+        assert_eq!(session.loaded_programs(), 1);
+        let (_, report) = session.run(&b, &input[..]).unwrap();
+        assert_eq!(report.warm_launches, 1);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_independent_cold_runs() {
+        let kernel = ScaleKernel::new(-7);
+        let windows: Vec<Vec<i32>> = (0..5)
+            .map(|w| (0..64).map(|i| i * (w + 1)).collect())
+            .collect();
+
+        let mut session = Session::new();
+        let (batch_out, report) = session
+            .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+            .unwrap();
+        assert_eq!(report.invocations, 5);
+        assert_eq!(report.cold_launches, 1);
+        assert_eq!(report.warm_launches, 4);
+
+        for (window, batched) in windows.iter().zip(&batch_out) {
+            let mut fresh = Session::new();
+            let (cold_out, _) = fresh.run(&kernel, window).unwrap();
+            assert_eq!(&cold_out, batched);
+        }
+    }
+
+    #[test]
+    fn stream_delivers_outputs_in_order() {
+        let kernel = ScaleKernel::new(10);
+        let windows: Vec<Vec<i32>> = (1..=4).map(|w| vec![w; 8]).collect();
+        let mut session = Session::new();
+        let mut firsts = Vec::new();
+        let report = session
+            .run_stream(&kernel, windows.iter().map(Vec::as_slice), |out| {
+                firsts.push(out[0])
+            })
+            .unwrap();
+        assert_eq!(firsts, vec![10, 20, 30, 40]);
+        assert_eq!(report.launches(), 4);
+    }
+
+    #[test]
+    fn invalid_input_is_rejected() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(1);
+        let too_long = vec![0i32; 129];
+        assert!(matches!(
+            session.run(&kernel, &too_long[..]),
+            Err(RuntimeError::InvalidInput { .. })
+        ));
+        assert!(session.run(&kernel, &[][..]).is_err());
+    }
+
+    #[test]
+    fn oversized_resource_needs_are_rejected_up_front() {
+        struct Greedy;
+        impl Kernel for Greedy {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "greedy"
+            }
+            fn resources(&self) -> Resources {
+                Resources {
+                    columns: 99,
+                    spm_lines: 1,
+                    srf_slots: 1,
+                }
+            }
+            fn program(&self, _g: &Geometry) -> Result<KernelProgram> {
+                unreachable!("rejected before program construction")
+            }
+            fn execute(&self, _ctx: &mut LaunchCtx<'_>, _input: &()) -> Result<()> {
+                unreachable!()
+            }
+        }
+        let mut session = Session::new();
+        assert!(matches!(
+            session.register(&Greedy),
+            Err(RuntimeError::Resources { .. })
+        ));
+    }
+}

@@ -118,8 +118,7 @@ impl Bus {
         t.beats += words as u64;
         let bursts = words.div_ceil(self.config.max_burst);
         t.transactions += bursts as u64;
-        bursts as u64 * self.config.setup_cycles
-            + words as u64 * self.config.cycles_per_beat
+        bursts as u64 * self.config.setup_cycles + words as u64 * self.config.cycles_per_beat
     }
 
     /// Traffic generated so far by one master.

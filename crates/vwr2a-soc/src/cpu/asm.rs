@@ -97,10 +97,26 @@ impl CpuAsm {
     /// Appends a conditional branch to `label`.
     pub fn branch(&mut self, cond: BranchCond, rs1: u8, rs2: u8, label: CpuLabel) -> usize {
         let instr = match cond {
-            BranchCond::Eq => CpuInstr::Beq { rs1, rs2, target: 0 },
-            BranchCond::Ne => CpuInstr::Bne { rs1, rs2, target: 0 },
-            BranchCond::Lt => CpuInstr::Blt { rs1, rs2, target: 0 },
-            BranchCond::Ge => CpuInstr::Bge { rs1, rs2, target: 0 },
+            BranchCond::Eq => CpuInstr::Beq {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            BranchCond::Ne => CpuInstr::Bne {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            BranchCond::Lt => CpuInstr::Blt {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            BranchCond::Ge => CpuInstr::Bge {
+                rs1,
+                rs2,
+                target: 0,
+            },
         };
         let idx = self.push(instr);
         self.fixups.push((idx, label));

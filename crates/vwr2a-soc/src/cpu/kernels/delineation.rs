@@ -60,12 +60,24 @@ pub fn delineation_program(
 
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: SIG, imm: signal_addr as i32 });
-    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
-    a.push(CpuInstr::Li { rd: N1, imm: n as i32 - 1 });
+    a.push(CpuInstr::Li {
+        rd: SIG,
+        imm: signal_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: OUT,
+        imm: out_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: N1,
+        imm: n as i32 - 1,
+    });
     a.push(CpuInstr::Li { rd: I, imm: 1 });
     a.push(CpuInstr::Li { rd: COUNT, imm: 0 });
-    a.push(CpuInstr::Li { rd: PROM, imm: min_prominence });
+    a.push(CpuInstr::Li {
+        rd: PROM,
+        imm: min_prominence,
+    });
     a.push(CpuInstr::Li { rd: LASTV, imm: 0 });
     a.push(CpuInstr::Li { rd: LASTK, imm: -1 });
 
@@ -76,29 +88,81 @@ pub fn delineation_program(
 
     a.bind(loop_top);
     // Load the prev/cur/next window.
-    a.push(CpuInstr::Add { rd: PTR, rs1: SIG, rs2: I });
-    a.push(CpuInstr::Lw { rd: PREV, rs1: PTR, offset: -1 });
-    a.push(CpuInstr::Lw { rd: CUR, rs1: PTR, offset: 0 });
-    a.push(CpuInstr::Lw { rd: NEXT, rs1: PTR, offset: 1 });
+    a.push(CpuInstr::Add {
+        rd: PTR,
+        rs1: SIG,
+        rs2: I,
+    });
+    a.push(CpuInstr::Lw {
+        rd: PREV,
+        rs1: PTR,
+        offset: -1,
+    });
+    a.push(CpuInstr::Lw {
+        rd: CUR,
+        rs1: PTR,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: NEXT,
+        rs1: PTR,
+        offset: 1,
+    });
     // is_max = (cur >= prev) && (cur > next): with t0 = cur<prev and
     // t1 = next<cur, that is exactly t0 < t1.
-    a.push(CpuInstr::Slt { rd: T0, rs1: CUR, rs2: PREV });
-    a.push(CpuInstr::Slt { rd: T1, rs1: NEXT, rs2: CUR });
-    a.push(CpuInstr::Slt { rd: ISMAX, rs1: T0, rs2: T1 });
+    a.push(CpuInstr::Slt {
+        rd: T0,
+        rs1: CUR,
+        rs2: PREV,
+    });
+    a.push(CpuInstr::Slt {
+        rd: T1,
+        rs1: NEXT,
+        rs2: CUR,
+    });
+    a.push(CpuInstr::Slt {
+        rd: ISMAX,
+        rs1: T0,
+        rs2: T1,
+    });
     // is_min = (cur <= prev) && (cur < next).
-    a.push(CpuInstr::Slt { rd: T0, rs1: PREV, rs2: CUR });
-    a.push(CpuInstr::Slt { rd: T1, rs1: CUR, rs2: NEXT });
-    a.push(CpuInstr::Slt { rd: ISMIN, rs1: T0, rs2: T1 });
+    a.push(CpuInstr::Slt {
+        rd: T0,
+        rs1: PREV,
+        rs2: CUR,
+    });
+    a.push(CpuInstr::Slt {
+        rd: T1,
+        rs1: CUR,
+        rs2: NEXT,
+    });
+    a.push(CpuInstr::Slt {
+        rd: ISMIN,
+        rs1: T0,
+        rs2: T1,
+    });
     // Not an extremum: next sample.
-    a.push(CpuInstr::Or { rd: T0, rs1: ISMAX, rs2: ISMIN });
+    a.push(CpuInstr::Or {
+        rd: T0,
+        rs1: ISMAX,
+        rs2: ISMIN,
+    });
     a.branch(BranchCond::Eq, T0, ZERO, continue_label);
     // First extremum has its own acceptance rule.
     a.branch(BranchCond::Eq, COUNT, ZERO, first_check);
     // Alternation: skip a candidate of the same kind as the last one.
     a.branch(BranchCond::Eq, LASTK, ISMAX, continue_label);
     // Prominence: |cur - last| >= prom.
-    a.push(CpuInstr::Sub { rd: T0, rs1: CUR, rs2: LASTV });
-    a.push(CpuInstr::Sub { rd: T1, rs1: LASTV, rs2: CUR });
+    a.push(CpuInstr::Sub {
+        rd: T0,
+        rs1: CUR,
+        rs2: LASTV,
+    });
+    a.push(CpuInstr::Sub {
+        rd: T1,
+        rs1: LASTV,
+        rs2: CUR,
+    });
     let absd_done = a.new_label();
     a.branch(BranchCond::Ge, T0, T1, absd_done);
     a.push(CpuInstr::Mv { rd: T0, rs: T1 });
@@ -108,7 +172,11 @@ pub fn delineation_program(
     // First extremum: |cur| >= prom.
     a.bind(first_check);
     a.push(CpuInstr::Mv { rd: T0, rs: CUR });
-    a.push(CpuInstr::Sub { rd: T1, rs1: ZERO, rs2: CUR });
+    a.push(CpuInstr::Sub {
+        rd: T1,
+        rs1: ZERO,
+        rs2: CUR,
+    });
     let abs_done = a.new_label();
     a.branch(BranchCond::Ge, T0, T1, abs_done);
     a.push(CpuInstr::Mv { rd: T0, rs: T1 });
@@ -117,21 +185,63 @@ pub fn delineation_program(
     a.jump(continue_label);
     // Store the (index, value, is_max) triplet.
     a.bind(store);
-    a.push(CpuInstr::Sll { rd: T1, rs1: COUNT, shamt: 1 });
-    a.push(CpuInstr::Add { rd: T1, rs1: T1, rs2: COUNT });
-    a.push(CpuInstr::Add { rd: T1, rs1: T1, rs2: OUT });
-    a.push(CpuInstr::Sw { rs2: I, rs1: T1, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: CUR, rs1: T1, offset: 1 });
-    a.push(CpuInstr::Sw { rs2: ISMAX, rs1: T1, offset: 2 });
-    a.push(CpuInstr::Addi { rd: COUNT, rs1: COUNT, imm: 1 });
+    a.push(CpuInstr::Sll {
+        rd: T1,
+        rs1: COUNT,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: T1,
+        rs1: T1,
+        rs2: COUNT,
+    });
+    a.push(CpuInstr::Add {
+        rd: T1,
+        rs1: T1,
+        rs2: OUT,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: I,
+        rs1: T1,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: CUR,
+        rs1: T1,
+        offset: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: ISMAX,
+        rs1: T1,
+        offset: 2,
+    });
+    a.push(CpuInstr::Addi {
+        rd: COUNT,
+        rs1: COUNT,
+        imm: 1,
+    });
     a.push(CpuInstr::Mv { rd: LASTV, rs: CUR });
-    a.push(CpuInstr::Mv { rd: LASTK, rs: ISMAX });
+    a.push(CpuInstr::Mv {
+        rd: LASTK,
+        rs: ISMAX,
+    });
     // Loop bookkeeping.
     a.bind(continue_label);
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, N1, loop_top);
-    a.push(CpuInstr::Li { rd: T0, imm: count_addr as i32 });
-    a.push(CpuInstr::Sw { rs2: COUNT, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Li {
+        rd: T0,
+        imm: count_addr as i32,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: COUNT,
+        rs1: T0,
+        offset: 0,
+    });
     a.push(CpuInstr::Halt);
     a.build()
 }

@@ -19,14 +19,24 @@ const ZERO: u8 = 0;
 /// `result_reg` (clobbers `t0..t2`).
 fn emit_isqrt(a: &mut CpuAsm, value_reg: u8, result_reg: u8, t0: u8, t1: u8) {
     // res = 0; bit = 1 << 30;
-    a.push(CpuInstr::Li { rd: result_reg, imm: 0 });
-    a.push(CpuInstr::Li { rd: t0, imm: 1 << 30 });
+    a.push(CpuInstr::Li {
+        rd: result_reg,
+        imm: 0,
+    });
+    a.push(CpuInstr::Li {
+        rd: t0,
+        imm: 1 << 30,
+    });
     // while bit > value: bit >>= 2
     let shrink = a.new_label();
     let shrink_done = a.new_label();
     a.bind(shrink);
     a.branch(BranchCond::Ge, value_reg, t0, shrink_done);
-    a.push(CpuInstr::Srl { rd: t0, rs1: t0, shamt: 2 });
+    a.push(CpuInstr::Srl {
+        rd: t0,
+        rs1: t0,
+        shamt: 2,
+    });
     a.branch(BranchCond::Ne, t0, ZERO, shrink);
     a.bind(shrink_done);
     // while bit != 0
@@ -37,16 +47,40 @@ fn emit_isqrt(a: &mut CpuAsm, value_reg: u8, result_reg: u8, t0: u8, t1: u8) {
     a.bind(loop_top);
     a.branch(BranchCond::Eq, t0, ZERO, loop_end);
     // if value >= res + bit { value -= res + bit; res = (res >> 1) + bit }
-    a.push(CpuInstr::Add { rd: t1, rs1: result_reg, rs2: t0 });
+    a.push(CpuInstr::Add {
+        rd: t1,
+        rs1: result_reg,
+        rs2: t0,
+    });
     a.branch(BranchCond::Lt, value_reg, t1, else_branch);
-    a.push(CpuInstr::Sub { rd: value_reg, rs1: value_reg, rs2: t1 });
-    a.push(CpuInstr::Srl { rd: result_reg, rs1: result_reg, shamt: 1 });
-    a.push(CpuInstr::Add { rd: result_reg, rs1: result_reg, rs2: t0 });
+    a.push(CpuInstr::Sub {
+        rd: value_reg,
+        rs1: value_reg,
+        rs2: t1,
+    });
+    a.push(CpuInstr::Srl {
+        rd: result_reg,
+        rs1: result_reg,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: result_reg,
+        rs1: result_reg,
+        rs2: t0,
+    });
     a.jump(after);
     a.bind(else_branch);
-    a.push(CpuInstr::Srl { rd: result_reg, rs1: result_reg, shamt: 1 });
+    a.push(CpuInstr::Srl {
+        rd: result_reg,
+        rs1: result_reg,
+        shamt: 1,
+    });
     a.bind(after);
-    a.push(CpuInstr::Srl { rd: t0, rs1: t0, shamt: 2 });
+    a.push(CpuInstr::Srl {
+        rd: t0,
+        rs1: t0,
+        shamt: 2,
+    });
     a.jump(loop_top);
     a.bind(loop_end);
 }
@@ -67,11 +101,25 @@ fn emit_isqrt(a: &mut CpuAsm, value_reg: u8, result_reg: u8, t0: u8, t1: u8) {
 pub fn isqrt_program(value_addr: usize, out_addr: usize) -> Result<Vec<CpuInstr>> {
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: 1, imm: value_addr as i32 });
-    a.push(CpuInstr::Lw { rd: 2, rs1: 1, offset: 0 });
+    a.push(CpuInstr::Li {
+        rd: 1,
+        imm: value_addr as i32,
+    });
+    a.push(CpuInstr::Lw {
+        rd: 2,
+        rs1: 1,
+        offset: 0,
+    });
     emit_isqrt(&mut a, 2, 3, 4, 5);
-    a.push(CpuInstr::Li { rd: 1, imm: out_addr as i32 });
-    a.push(CpuInstr::Sw { rs2: 3, rs1: 1, offset: 0 });
+    a.push(CpuInstr::Li {
+        rd: 1,
+        imm: out_addr as i32,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: 3,
+        rs1: 1,
+        offset: 0,
+    });
     a.push(CpuInstr::Halt);
     a.build()
 }
@@ -113,18 +161,46 @@ pub fn stats_program(
 
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: DATA, imm: data_addr as i32 });
-    a.push(CpuInstr::Li { rd: SCRATCH, imm: scratch_addr as i32 });
-    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
-    a.push(CpuInstr::Li { rd: T0, imm: count_addr as i32 });
-    a.push(CpuInstr::Lw { rd: COUNT, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Li {
+        rd: DATA,
+        imm: data_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: SCRATCH,
+        imm: scratch_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: OUT,
+        imm: out_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: T0,
+        imm: count_addr as i32,
+    });
+    a.push(CpuInstr::Lw {
+        rd: COUNT,
+        rs1: T0,
+        offset: 0,
+    });
 
     // Zero-length input: write three zeros and halt.
     let non_empty = a.new_label();
     a.branch(BranchCond::Ne, COUNT, ZERO, non_empty);
-    a.push(CpuInstr::Sw { rs2: ZERO, rs1: OUT, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: ZERO, rs1: OUT, offset: 1 });
-    a.push(CpuInstr::Sw { rs2: ZERO, rs1: OUT, offset: 2 });
+    a.push(CpuInstr::Sw {
+        rs2: ZERO,
+        rs1: OUT,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: ZERO,
+        rs1: OUT,
+        offset: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: ZERO,
+        rs1: OUT,
+        offset: 2,
+    });
     a.push(CpuInstr::Halt);
     a.bind(non_empty);
 
@@ -134,18 +210,54 @@ pub fn stats_program(
     a.push(CpuInstr::Li { rd: I, imm: 0 });
     let pass1 = a.new_label();
     a.bind(pass1);
-    a.push(CpuInstr::Add { rd: T0, rs1: DATA, rs2: I });
-    a.push(CpuInstr::Lw { rd: V, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Add { rd: SUM, rs1: SUM, rs2: V });
-    a.push(CpuInstr::Mla { rd: SUMSQ, rs1: V, rs2: V });
-    a.push(CpuInstr::Add { rd: T0, rs1: SCRATCH, rs2: I });
-    a.push(CpuInstr::Sw { rs2: V, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: DATA,
+        rs2: I,
+    });
+    a.push(CpuInstr::Lw {
+        rd: V,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Add {
+        rd: SUM,
+        rs1: SUM,
+        rs2: V,
+    });
+    a.push(CpuInstr::Mla {
+        rd: SUMSQ,
+        rs1: V,
+        rs2: V,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: SCRATCH,
+        rs2: I,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: V,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, COUNT, pass1);
 
     // mean = sum / count ; mean-square = sumsq / count ; rms = isqrt(...)
-    a.push(CpuInstr::Div { rd: MEAN, rs1: SUM, rs2: COUNT });
-    a.push(CpuInstr::Div { rd: T2, rs1: SUMSQ, rs2: COUNT });
+    a.push(CpuInstr::Div {
+        rd: MEAN,
+        rs1: SUM,
+        rs2: COUNT,
+    });
+    a.push(CpuInstr::Div {
+        rd: T2,
+        rs1: SUMSQ,
+        rs2: COUNT,
+    });
     emit_isqrt(&mut a, T2, RMS, T0, T1);
 
     // Insertion sort of the scratch copy.
@@ -154,43 +266,119 @@ pub fn stats_program(
     let sort_done = a.new_label();
     a.branch(BranchCond::Ge, I, COUNT, sort_done);
     a.bind(sort_outer);
-    a.push(CpuInstr::Add { rd: T0, rs1: SCRATCH, rs2: I });
-    a.push(CpuInstr::Lw { rd: V, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: SCRATCH,
+        rs2: I,
+    });
+    a.push(CpuInstr::Lw {
+        rd: V,
+        rs1: T0,
+        offset: 0,
+    });
     a.push(CpuInstr::Mv { rd: J, rs: I });
     let shift_loop = a.new_label();
     let shift_done = a.new_label();
     a.bind(shift_loop);
     a.branch(BranchCond::Eq, J, ZERO, shift_done);
-    a.push(CpuInstr::Add { rd: T0, rs1: SCRATCH, rs2: J });
-    a.push(CpuInstr::Lw { rd: T1, rs1: T0, offset: -1 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: SCRATCH,
+        rs2: J,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T1,
+        rs1: T0,
+        offset: -1,
+    });
     a.branch(BranchCond::Ge, V, T1, shift_done);
-    a.push(CpuInstr::Sw { rs2: T1, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Addi { rd: J, rs1: J, imm: -1 });
+    a.push(CpuInstr::Sw {
+        rs2: T1,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Addi {
+        rd: J,
+        rs1: J,
+        imm: -1,
+    });
     a.jump(shift_loop);
     a.bind(shift_done);
-    a.push(CpuInstr::Add { rd: T0, rs1: SCRATCH, rs2: J });
-    a.push(CpuInstr::Sw { rs2: V, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: SCRATCH,
+        rs2: J,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: V,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, COUNT, sort_outer);
     a.bind(sort_done);
 
     // median = sorted[count/2] for odd counts, average of the two middle
     // elements for even counts.
-    a.push(CpuInstr::Srl { rd: T0, rs1: COUNT, shamt: 1 });
-    a.push(CpuInstr::Add { rd: T1, rs1: SCRATCH, rs2: T0 });
-    a.push(CpuInstr::Lw { rd: MEDIAN, rs1: T1, offset: 0 });
+    a.push(CpuInstr::Srl {
+        rd: T0,
+        rs1: COUNT,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: T1,
+        rs1: SCRATCH,
+        rs2: T0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: MEDIAN,
+        rs1: T1,
+        offset: 0,
+    });
     // Even count: median = (sorted[mid-1] + sorted[mid]) / 2.
-    a.push(CpuInstr::Sll { rd: T2, rs1: T0, shamt: 1 });
+    a.push(CpuInstr::Sll {
+        rd: T2,
+        rs1: T0,
+        shamt: 1,
+    });
     let odd = a.new_label();
     a.branch(BranchCond::Ne, T2, COUNT, odd);
-    a.push(CpuInstr::Lw { rd: T2, rs1: T1, offset: -1 });
-    a.push(CpuInstr::Add { rd: MEDIAN, rs1: MEDIAN, rs2: T2 });
-    a.push(CpuInstr::Sra { rd: MEDIAN, rs1: MEDIAN, shamt: 1 });
+    a.push(CpuInstr::Lw {
+        rd: T2,
+        rs1: T1,
+        offset: -1,
+    });
+    a.push(CpuInstr::Add {
+        rd: MEDIAN,
+        rs1: MEDIAN,
+        rs2: T2,
+    });
+    a.push(CpuInstr::Sra {
+        rd: MEDIAN,
+        rs1: MEDIAN,
+        shamt: 1,
+    });
     a.bind(odd);
 
-    a.push(CpuInstr::Sw { rs2: MEAN, rs1: OUT, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: MEDIAN, rs1: OUT, offset: 1 });
-    a.push(CpuInstr::Sw { rs2: RMS, rs1: OUT, offset: 2 });
+    a.push(CpuInstr::Sw {
+        rs2: MEAN,
+        rs1: OUT,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: MEDIAN,
+        rs1: OUT,
+        offset: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: RMS,
+        rs1: OUT,
+        offset: 2,
+    });
     a.push(CpuInstr::Halt);
     a.build()
 }
@@ -227,31 +415,95 @@ pub fn band_energy_program(
     let per_band = (bins / bands).max(1);
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: SPEC, imm: spec_addr as i32 });
-    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
-    a.push(CpuInstr::Li { rd: NBANDS, imm: bands as i32 });
-    a.push(CpuInstr::Li { rd: PERBAND, imm: per_band as i32 });
+    a.push(CpuInstr::Li {
+        rd: SPEC,
+        imm: spec_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: OUT,
+        imm: out_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: NBANDS,
+        imm: bands as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: PERBAND,
+        imm: per_band as i32,
+    });
     a.push(CpuInstr::Li { rd: BAND, imm: 0 });
     a.push(CpuInstr::Li { rd: I, imm: 0 });
     let band_loop = a.new_label();
     a.bind(band_loop);
     a.push(CpuInstr::Li { rd: ACC, imm: 0 });
-    a.push(CpuInstr::Add { rd: END, rs1: I, rs2: PERBAND });
+    a.push(CpuInstr::Add {
+        rd: END,
+        rs1: I,
+        rs2: PERBAND,
+    });
     let bin_loop = a.new_label();
     a.bind(bin_loop);
-    a.push(CpuInstr::Sll { rd: T0, rs1: I, shamt: 1 });
-    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: SPEC });
-    a.push(CpuInstr::Lw { rd: RE, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Lw { rd: IM, rs1: T0, offset: 1 });
-    a.push(CpuInstr::Mul { rd: T1, rs1: RE, rs2: RE });
-    a.push(CpuInstr::Mla { rd: T1, rs1: IM, rs2: IM });
-    a.push(CpuInstr::Sra { rd: T1, rs1: T1, shamt: 15 });
-    a.push(CpuInstr::Add { rd: ACC, rs1: ACC, rs2: T1 });
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Sll {
+        rd: T0,
+        rs1: I,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: SPEC,
+    });
+    a.push(CpuInstr::Lw {
+        rd: RE,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: IM,
+        rs1: T0,
+        offset: 1,
+    });
+    a.push(CpuInstr::Mul {
+        rd: T1,
+        rs1: RE,
+        rs2: RE,
+    });
+    a.push(CpuInstr::Mla {
+        rd: T1,
+        rs1: IM,
+        rs2: IM,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T1,
+        rs1: T1,
+        shamt: 15,
+    });
+    a.push(CpuInstr::Add {
+        rd: ACC,
+        rs1: ACC,
+        rs2: T1,
+    });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, END, bin_loop);
-    a.push(CpuInstr::Add { rd: T0, rs1: OUT, rs2: BAND });
-    a.push(CpuInstr::Sw { rs2: ACC, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Addi { rd: BAND, rs1: BAND, imm: 1 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: OUT,
+        rs2: BAND,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: ACC,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Addi {
+        rd: BAND,
+        rs1: BAND,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, BAND, NBANDS, band_loop);
     a.push(CpuInstr::Halt);
     a.build()
@@ -275,7 +527,20 @@ mod tests {
 
     #[test]
     fn isqrt_is_exact_floor() {
-        for v in [0i32, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1_000_000, 2_000_000_000] {
+        for v in [
+            0i32,
+            1,
+            2,
+            3,
+            4,
+            15,
+            16,
+            17,
+            99,
+            100,
+            1_000_000,
+            2_000_000_000,
+        ] {
             let program = isqrt_program(0, 1).unwrap();
             let sram = run(&program, &[(0, vec![v])]);
             let expected = (v as f64).sqrt().floor() as i32;

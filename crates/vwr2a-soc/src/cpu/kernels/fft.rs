@@ -60,7 +60,10 @@ fn check_power_of_two(n: usize) -> Result<()> {
 ///
 /// Panics if `n` is not a power of two (host-side table generation).
 pub fn cfft_twiddles_q15(n: usize) -> Vec<i32> {
-    assert!(n.is_power_of_two(), "twiddle table length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "twiddle table length must be a power of two"
+    );
     let tw = vwr2a_dsp::fft_q15::twiddle_table(n).expect("validated power of two");
     tw.iter()
         .flat_map(|c| [c.re.0 as i32, c.im.0 as i32])
@@ -74,7 +77,10 @@ pub fn cfft_twiddles_q15(n: usize) -> Vec<i32> {
 ///
 /// Panics if `n` is not a power of two.
 pub fn rfft_split_twiddles_q15(n: usize) -> Vec<i32> {
-    assert!(n.is_power_of_two(), "twiddle table length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "twiddle table length must be a power of two"
+    );
     (0..=n / 2)
         .flat_map(|k| {
             let theta = -std::f64::consts::TAU * k as f64 / n as f64;
@@ -93,44 +99,122 @@ fn emit_bit_reversal(a: &mut CpuAsm, n: usize) {
     a.push(CpuInstr::Li { rd: I, imm: 1 });
     let i_loop = a.new_label();
     a.bind(i_loop);
-    a.push(CpuInstr::Li { rd: BIT, imm: (n >> 1) as i32 });
+    a.push(CpuInstr::Li {
+        rd: BIT,
+        imm: (n >> 1) as i32,
+    });
     let while_top = a.new_label();
     let while_end = a.new_label();
     a.bind(while_top);
-    a.push(CpuInstr::And { rd: T0, rs1: J, rs2: BIT });
+    a.push(CpuInstr::And {
+        rd: T0,
+        rs1: J,
+        rs2: BIT,
+    });
     a.branch(BranchCond::Eq, T0, ZERO, while_end);
-    a.push(CpuInstr::Xor { rd: J, rs1: J, rs2: BIT });
-    a.push(CpuInstr::Srl { rd: BIT, rs1: BIT, shamt: 1 });
+    a.push(CpuInstr::Xor {
+        rd: J,
+        rs1: J,
+        rs2: BIT,
+    });
+    a.push(CpuInstr::Srl {
+        rd: BIT,
+        rs1: BIT,
+        shamt: 1,
+    });
     a.jump(while_top);
     a.bind(while_end);
-    a.push(CpuInstr::Xor { rd: J, rs1: J, rs2: BIT });
+    a.push(CpuInstr::Xor {
+        rd: J,
+        rs1: J,
+        rs2: BIT,
+    });
     // Swap complex elements i and j when i < j.
     let no_swap = a.new_label();
     a.branch(BranchCond::Ge, I, J, no_swap);
-    a.push(CpuInstr::Sll { rd: T0, rs1: I, shamt: 1 });
-    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: DATA });
-    a.push(CpuInstr::Sll { rd: T1, rs1: J, shamt: 1 });
-    a.push(CpuInstr::Add { rd: T1, rs1: T1, rs2: DATA });
-    a.push(CpuInstr::Lw { rd: T2, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Lw { rd: T3, rs1: T1, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: T2, rs1: T1, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: T3, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Lw { rd: T2, rs1: T0, offset: 1 });
-    a.push(CpuInstr::Lw { rd: T3, rs1: T1, offset: 1 });
-    a.push(CpuInstr::Sw { rs2: T2, rs1: T1, offset: 1 });
-    a.push(CpuInstr::Sw { rs2: T3, rs1: T0, offset: 1 });
+    a.push(CpuInstr::Sll {
+        rd: T0,
+        rs1: I,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: DATA,
+    });
+    a.push(CpuInstr::Sll {
+        rd: T1,
+        rs1: J,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: T1,
+        rs1: T1,
+        rs2: DATA,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T2,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T3,
+        rs1: T1,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T2,
+        rs1: T1,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T3,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T2,
+        rs1: T0,
+        offset: 1,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T3,
+        rs1: T1,
+        offset: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T2,
+        rs1: T1,
+        offset: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T3,
+        rs1: T0,
+        offset: 1,
+    });
     a.bind(no_swap);
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, N, i_loop);
 }
 
 /// Emits the radix-2 stage loops (assumes `DATA`, `TW` and `N` are loaded).
 fn emit_stages(a: &mut CpuAsm, n: usize) {
     a.push(CpuInstr::Li { rd: HALF, imm: 1 });
-    a.push(CpuInstr::Li { rd: STEP, imm: (n >> 1) as i32 });
+    a.push(CpuInstr::Li {
+        rd: STEP,
+        imm: (n >> 1) as i32,
+    });
     let stage_loop = a.new_label();
     a.bind(stage_loop);
-    a.push(CpuInstr::Sll { rd: LEN, rs1: HALF, shamt: 1 });
+    a.push(CpuInstr::Sll {
+        rd: LEN,
+        rs1: HALF,
+        shamt: 1,
+    });
     a.push(CpuInstr::Li { rd: BI, imm: 0 });
     let outer_loop = a.new_label();
     a.bind(outer_loop);
@@ -139,53 +223,213 @@ fn emit_stages(a: &mut CpuAsm, n: usize) {
     let inner_loop = a.new_label();
     a.bind(inner_loop);
     // Addresses of the two butterfly operands and the twiddle.
-    a.push(CpuInstr::Add { rd: T0, rs1: BI, rs2: BJ });
-    a.push(CpuInstr::Sll { rd: P1, rs1: T0, shamt: 1 });
-    a.push(CpuInstr::Add { rd: P1, rs1: P1, rs2: DATA });
-    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: HALF });
-    a.push(CpuInstr::Sll { rd: P2, rs1: T0, shamt: 1 });
-    a.push(CpuInstr::Add { rd: P2, rs1: P2, rs2: DATA });
-    a.push(CpuInstr::Sll { rd: PW, rs1: TWI, shamt: 1 });
-    a.push(CpuInstr::Add { rd: PW, rs1: PW, rs2: TW });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: BI,
+        rs2: BJ,
+    });
+    a.push(CpuInstr::Sll {
+        rd: P1,
+        rs1: T0,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: P1,
+        rs1: P1,
+        rs2: DATA,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: HALF,
+    });
+    a.push(CpuInstr::Sll {
+        rd: P2,
+        rs1: T0,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: P2,
+        rs1: P2,
+        rs2: DATA,
+    });
+    a.push(CpuInstr::Sll {
+        rd: PW,
+        rs1: TWI,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: PW,
+        rs1: PW,
+        rs2: TW,
+    });
     // Load operands.
-    a.push(CpuInstr::Lw { rd: ARE, rs1: P1, offset: 0 });
-    a.push(CpuInstr::Lw { rd: AIM, rs1: P1, offset: 1 });
-    a.push(CpuInstr::Lw { rd: BRE, rs1: P2, offset: 0 });
-    a.push(CpuInstr::Lw { rd: BIM, rs1: P2, offset: 1 });
-    a.push(CpuInstr::Lw { rd: WRE, rs1: PW, offset: 0 });
-    a.push(CpuInstr::Lw { rd: WIM, rs1: PW, offset: 1 });
+    a.push(CpuInstr::Lw {
+        rd: ARE,
+        rs1: P1,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: AIM,
+        rs1: P1,
+        offset: 1,
+    });
+    a.push(CpuInstr::Lw {
+        rd: BRE,
+        rs1: P2,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: BIM,
+        rs1: P2,
+        offset: 1,
+    });
+    a.push(CpuInstr::Lw {
+        rd: WRE,
+        rs1: PW,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: WIM,
+        rs1: PW,
+        offset: 1,
+    });
     // vr = ssat((b_re*w_re - b_im*w_im) >> 15, 16)
-    a.push(CpuInstr::Mul { rd: VR, rs1: BRE, rs2: WRE });
-    a.push(CpuInstr::Mul { rd: T0, rs1: BIM, rs2: WIM });
-    a.push(CpuInstr::Sub { rd: VR, rs1: VR, rs2: T0 });
-    a.push(CpuInstr::Sra { rd: VR, rs1: VR, shamt: 15 });
-    a.push(CpuInstr::Ssat { rd: VR, rs: VR, bits: 16 });
+    a.push(CpuInstr::Mul {
+        rd: VR,
+        rs1: BRE,
+        rs2: WRE,
+    });
+    a.push(CpuInstr::Mul {
+        rd: T0,
+        rs1: BIM,
+        rs2: WIM,
+    });
+    a.push(CpuInstr::Sub {
+        rd: VR,
+        rs1: VR,
+        rs2: T0,
+    });
+    a.push(CpuInstr::Sra {
+        rd: VR,
+        rs1: VR,
+        shamt: 15,
+    });
+    a.push(CpuInstr::Ssat {
+        rd: VR,
+        rs: VR,
+        bits: 16,
+    });
     // vi = ssat((b_re*w_im + b_im*w_re) >> 15, 16)
-    a.push(CpuInstr::Mul { rd: VI, rs1: BRE, rs2: WIM });
-    a.push(CpuInstr::Mla { rd: VI, rs1: BIM, rs2: WRE });
-    a.push(CpuInstr::Sra { rd: VI, rs1: VI, shamt: 15 });
-    a.push(CpuInstr::Ssat { rd: VI, rs: VI, bits: 16 });
+    a.push(CpuInstr::Mul {
+        rd: VI,
+        rs1: BRE,
+        rs2: WIM,
+    });
+    a.push(CpuInstr::Mla {
+        rd: VI,
+        rs1: BIM,
+        rs2: WRE,
+    });
+    a.push(CpuInstr::Sra {
+        rd: VI,
+        rs1: VI,
+        shamt: 15,
+    });
+    a.push(CpuInstr::Ssat {
+        rd: VI,
+        rs: VI,
+        bits: 16,
+    });
     // Butterflies with 1/2 scaling.
-    a.push(CpuInstr::Add { rd: T0, rs1: ARE, rs2: VR });
-    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
-    a.push(CpuInstr::Sw { rs2: T0, rs1: P1, offset: 0 });
-    a.push(CpuInstr::Add { rd: T0, rs1: AIM, rs2: VI });
-    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
-    a.push(CpuInstr::Sw { rs2: T0, rs1: P1, offset: 1 });
-    a.push(CpuInstr::Sub { rd: T0, rs1: ARE, rs2: VR });
-    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
-    a.push(CpuInstr::Sw { rs2: T0, rs1: P2, offset: 0 });
-    a.push(CpuInstr::Sub { rd: T0, rs1: AIM, rs2: VI });
-    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 });
-    a.push(CpuInstr::Sw { rs2: T0, rs1: P2, offset: 1 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: ARE,
+        rs2: VR,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T0,
+        rs1: T0,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T0,
+        rs1: P1,
+        offset: 0,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: AIM,
+        rs2: VI,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T0,
+        rs1: T0,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T0,
+        rs1: P1,
+        offset: 1,
+    });
+    a.push(CpuInstr::Sub {
+        rd: T0,
+        rs1: ARE,
+        rs2: VR,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T0,
+        rs1: T0,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T0,
+        rs1: P2,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sub {
+        rd: T0,
+        rs1: AIM,
+        rs2: VI,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T0,
+        rs1: T0,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T0,
+        rs1: P2,
+        offset: 1,
+    });
     // Loop bookkeeping.
-    a.push(CpuInstr::Add { rd: TWI, rs1: TWI, rs2: STEP });
-    a.push(CpuInstr::Addi { rd: BJ, rs1: BJ, imm: 1 });
+    a.push(CpuInstr::Add {
+        rd: TWI,
+        rs1: TWI,
+        rs2: STEP,
+    });
+    a.push(CpuInstr::Addi {
+        rd: BJ,
+        rs1: BJ,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, BJ, HALF, inner_loop);
-    a.push(CpuInstr::Add { rd: BI, rs1: BI, rs2: LEN });
+    a.push(CpuInstr::Add {
+        rd: BI,
+        rs1: BI,
+        rs2: LEN,
+    });
     a.branch(BranchCond::Lt, BI, N, outer_loop);
-    a.push(CpuInstr::Sll { rd: HALF, rs1: HALF, shamt: 1 });
-    a.push(CpuInstr::Srl { rd: STEP, rs1: STEP, shamt: 1 });
+    a.push(CpuInstr::Sll {
+        rd: HALF,
+        rs1: HALF,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Srl {
+        rd: STEP,
+        rs1: STEP,
+        shamt: 1,
+    });
     a.branch(BranchCond::Lt, HALF, N, stage_loop);
 }
 
@@ -211,9 +455,18 @@ pub fn cfft_q15_program(n: usize, data_addr: usize, tw_addr: usize) -> Result<Ve
     check_power_of_two(n)?;
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: DATA, imm: data_addr as i32 });
-    a.push(CpuInstr::Li { rd: TW, imm: tw_addr as i32 });
-    a.push(CpuInstr::Li { rd: N, imm: n as i32 });
+    a.push(CpuInstr::Li {
+        rd: DATA,
+        imm: data_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: TW,
+        imm: tw_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: N,
+        imm: n as i32,
+    });
     emit_bit_reversal(&mut a, n);
     emit_stages(&mut a, n);
     a.push(CpuInstr::Halt);
@@ -251,9 +504,18 @@ pub fn rfft_q15_program(
     let half = n / 2;
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: DATA, imm: data_addr as i32 });
-    a.push(CpuInstr::Li { rd: TW, imm: tw_addr as i32 });
-    a.push(CpuInstr::Li { rd: N, imm: half as i32 });
+    a.push(CpuInstr::Li {
+        rd: DATA,
+        imm: data_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: TW,
+        imm: tw_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: N,
+        imm: half as i32,
+    });
     emit_bit_reversal(&mut a, half);
     emit_stages(&mut a, half);
 
@@ -263,8 +525,14 @@ pub fn rfft_q15_program(
     const K: u8 = I;
     const ZK: u8 = BI;
     const ZNK: u8 = BJ;
-    a.push(CpuInstr::Li { rd: TW, imm: split_tw_addr as i32 });
-    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
+    a.push(CpuInstr::Li {
+        rd: TW,
+        imm: split_tw_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: OUT,
+        imm: out_addr as i32,
+    });
     a.push(CpuInstr::Li { rd: K, imm: 0 });
     let k_loop = a.new_label();
     a.bind(k_loop);
@@ -275,58 +543,218 @@ pub fn rfft_q15_program(
     a.push(CpuInstr::Li { rd: ZK, imm: 0 });
     a.bind(zk_ok);
     // znk index: half - k, or 0 when k == 0.
-    a.push(CpuInstr::Sub { rd: ZNK, rs1: N, rs2: K });
+    a.push(CpuInstr::Sub {
+        rd: ZNK,
+        rs1: N,
+        rs2: K,
+    });
     let znk_ok = a.new_label();
     a.branch(BranchCond::Ne, K, ZERO, znk_ok);
     a.push(CpuInstr::Li { rd: ZNK, imm: 0 });
     a.bind(znk_ok);
     // Load z[k] and z[half-k].
-    a.push(CpuInstr::Sll { rd: P1, rs1: ZK, shamt: 1 });
-    a.push(CpuInstr::Add { rd: P1, rs1: P1, rs2: DATA });
-    a.push(CpuInstr::Sll { rd: P2, rs1: ZNK, shamt: 1 });
-    a.push(CpuInstr::Add { rd: P2, rs1: P2, rs2: DATA });
-    a.push(CpuInstr::Lw { rd: ARE, rs1: P1, offset: 0 }); // zkr
-    a.push(CpuInstr::Lw { rd: AIM, rs1: P1, offset: 1 }); // zki
-    a.push(CpuInstr::Lw { rd: BRE, rs1: P2, offset: 0 }); // znkr
-    a.push(CpuInstr::Lw { rd: BIM, rs1: P2, offset: 1 }); // znki
-    // er = (zkr + znkr) >> 1 ; ei = (zki - znki) >> 1
-    // or = (zki + znki) >> 1 ; oi = (znkr - zkr) >> 1
-    a.push(CpuInstr::Add { rd: VR, rs1: ARE, rs2: BRE });
-    a.push(CpuInstr::Sra { rd: VR, rs1: VR, shamt: 1 }); // er
-    a.push(CpuInstr::Sub { rd: VI, rs1: AIM, rs2: BIM });
-    a.push(CpuInstr::Sra { rd: VI, rs1: VI, shamt: 1 }); // ei
-    a.push(CpuInstr::Add { rd: T0, rs1: AIM, rs2: BIM });
-    a.push(CpuInstr::Sra { rd: T0, rs1: T0, shamt: 1 }); // or
-    a.push(CpuInstr::Sub { rd: T1, rs1: BRE, rs2: ARE });
-    a.push(CpuInstr::Sra { rd: T1, rs1: T1, shamt: 1 }); // oi
-    // Twiddle c, s.
-    a.push(CpuInstr::Sll { rd: PW, rs1: K, shamt: 1 });
-    a.push(CpuInstr::Add { rd: PW, rs1: PW, rs2: TW });
-    a.push(CpuInstr::Lw { rd: WRE, rs1: PW, offset: 0 });
-    a.push(CpuInstr::Lw { rd: WIM, rs1: PW, offset: 1 });
+    a.push(CpuInstr::Sll {
+        rd: P1,
+        rs1: ZK,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: P1,
+        rs1: P1,
+        rs2: DATA,
+    });
+    a.push(CpuInstr::Sll {
+        rd: P2,
+        rs1: ZNK,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: P2,
+        rs1: P2,
+        rs2: DATA,
+    });
+    a.push(CpuInstr::Lw {
+        rd: ARE,
+        rs1: P1,
+        offset: 0,
+    }); // zkr
+    a.push(CpuInstr::Lw {
+        rd: AIM,
+        rs1: P1,
+        offset: 1,
+    }); // zki
+    a.push(CpuInstr::Lw {
+        rd: BRE,
+        rs1: P2,
+        offset: 0,
+    }); // znkr
+    a.push(CpuInstr::Lw {
+        rd: BIM,
+        rs1: P2,
+        offset: 1,
+    }); // znki
+        // er = (zkr + znkr) >> 1 ; ei = (zki - znki) >> 1
+        // or = (zki + znki) >> 1 ; oi = (znkr - zkr) >> 1
+    a.push(CpuInstr::Add {
+        rd: VR,
+        rs1: ARE,
+        rs2: BRE,
+    });
+    a.push(CpuInstr::Sra {
+        rd: VR,
+        rs1: VR,
+        shamt: 1,
+    }); // er
+    a.push(CpuInstr::Sub {
+        rd: VI,
+        rs1: AIM,
+        rs2: BIM,
+    });
+    a.push(CpuInstr::Sra {
+        rd: VI,
+        rs1: VI,
+        shamt: 1,
+    }); // ei
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: AIM,
+        rs2: BIM,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T0,
+        rs1: T0,
+        shamt: 1,
+    }); // or
+    a.push(CpuInstr::Sub {
+        rd: T1,
+        rs1: BRE,
+        rs2: ARE,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T1,
+        rs1: T1,
+        shamt: 1,
+    }); // oi
+        // Twiddle c, s.
+    a.push(CpuInstr::Sll {
+        rd: PW,
+        rs1: K,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: PW,
+        rs1: PW,
+        rs2: TW,
+    });
+    a.push(CpuInstr::Lw {
+        rd: WRE,
+        rs1: PW,
+        offset: 0,
+    });
+    a.push(CpuInstr::Lw {
+        rd: WIM,
+        rs1: PW,
+        offset: 1,
+    });
     // re = (er + (c*or - s*oi) >> 15) >> 1
-    a.push(CpuInstr::Mul { rd: T3, rs1: WRE, rs2: T0 });
-    a.push(CpuInstr::Mul { rd: LEN, rs1: WIM, rs2: T1 });
-    a.push(CpuInstr::Sub { rd: T3, rs1: T3, rs2: LEN });
-    a.push(CpuInstr::Sra { rd: T3, rs1: T3, shamt: 15 });
-    a.push(CpuInstr::Add { rd: T3, rs1: VR, rs2: T3 });
-    a.push(CpuInstr::Sra { rd: T3, rs1: T3, shamt: 1 });
-    a.push(CpuInstr::Ssat { rd: T3, rs: T3, bits: 16 });
+    a.push(CpuInstr::Mul {
+        rd: T3,
+        rs1: WRE,
+        rs2: T0,
+    });
+    a.push(CpuInstr::Mul {
+        rd: LEN,
+        rs1: WIM,
+        rs2: T1,
+    });
+    a.push(CpuInstr::Sub {
+        rd: T3,
+        rs1: T3,
+        rs2: LEN,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T3,
+        rs1: T3,
+        shamt: 15,
+    });
+    a.push(CpuInstr::Add {
+        rd: T3,
+        rs1: VR,
+        rs2: T3,
+    });
+    a.push(CpuInstr::Sra {
+        rd: T3,
+        rs1: T3,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Ssat {
+        rd: T3,
+        rs: T3,
+        bits: 16,
+    });
     // im = (ei + (c*oi + s*or) >> 15) >> 1
-    a.push(CpuInstr::Mul { rd: HALF, rs1: WRE, rs2: T1 });
-    a.push(CpuInstr::Mla { rd: HALF, rs1: WIM, rs2: T0 });
-    a.push(CpuInstr::Sra { rd: HALF, rs1: HALF, shamt: 15 });
-    a.push(CpuInstr::Add { rd: HALF, rs1: VI, rs2: HALF });
-    a.push(CpuInstr::Sra { rd: HALF, rs1: HALF, shamt: 1 });
-    a.push(CpuInstr::Ssat { rd: HALF, rs: HALF, bits: 16 });
+    a.push(CpuInstr::Mul {
+        rd: HALF,
+        rs1: WRE,
+        rs2: T1,
+    });
+    a.push(CpuInstr::Mla {
+        rd: HALF,
+        rs1: WIM,
+        rs2: T0,
+    });
+    a.push(CpuInstr::Sra {
+        rd: HALF,
+        rs1: HALF,
+        shamt: 15,
+    });
+    a.push(CpuInstr::Add {
+        rd: HALF,
+        rs1: VI,
+        rs2: HALF,
+    });
+    a.push(CpuInstr::Sra {
+        rd: HALF,
+        rs1: HALF,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Ssat {
+        rd: HALF,
+        rs: HALF,
+        bits: 16,
+    });
     // Store out[2k], out[2k+1].
-    a.push(CpuInstr::Sll { rd: STEP, rs1: K, shamt: 1 });
-    a.push(CpuInstr::Add { rd: STEP, rs1: STEP, rs2: OUT });
-    a.push(CpuInstr::Sw { rs2: T3, rs1: STEP, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: HALF, rs1: STEP, offset: 1 });
+    a.push(CpuInstr::Sll {
+        rd: STEP,
+        rs1: K,
+        shamt: 1,
+    });
+    a.push(CpuInstr::Add {
+        rd: STEP,
+        rs1: STEP,
+        rs2: OUT,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T3,
+        rs1: STEP,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: HALF,
+        rs1: STEP,
+        offset: 1,
+    });
     // k += 1; loop while k <= half.
-    a.push(CpuInstr::Addi { rd: K, rs1: K, imm: 1 });
-    a.push(CpuInstr::Addi { rd: T0, rs1: N, imm: 1 });
+    a.push(CpuInstr::Addi {
+        rd: K,
+        rs1: K,
+        imm: 1,
+    });
+    a.push(CpuInstr::Addi {
+        rd: T0,
+        rs1: N,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, K, T0, k_loop);
     a.push(CpuInstr::Halt);
     a.build()
@@ -359,7 +787,11 @@ mod tests {
         sram.load(data_addr, &data).unwrap();
         sram.load(tw_addr, &cfft_twiddles_q15(n)).unwrap();
         let stats = cpu.run(&program, &mut sram).unwrap();
-        (sram.dump(data_addr, 2 * n).unwrap(), reference, stats.cycles)
+        (
+            sram.dump(data_addr, 2 * n).unwrap(),
+            reference,
+            stats.cycles,
+        )
     }
 
     #[test]
@@ -406,8 +838,11 @@ mod tests {
         let program = rfft_q15_program(n, data_addr, tw_addr, split_addr, out_addr).unwrap();
         let mut cpu = Cpu::new();
         let mut sram = Sram::paper();
-        sram.load(data_addr, &input_q.iter().map(|q| q.0 as i32).collect::<Vec<_>>())
-            .unwrap();
+        sram.load(
+            data_addr,
+            &input_q.iter().map(|q| q.0 as i32).collect::<Vec<_>>(),
+        )
+        .unwrap();
         sram.load(tw_addr, &cfft_twiddles_q15(n / 2)).unwrap();
         sram.load(split_addr, &rfft_split_twiddles_q15(n)).unwrap();
         cpu.run(&program, &mut sram).unwrap();

@@ -52,44 +52,114 @@ pub fn fir_q15_program(
 
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: IN, imm: input_addr as i32 });
-    a.push(CpuInstr::Li { rd: OUT, imm: output_addr as i32 });
-    a.push(CpuInstr::Li { rd: TAPS, imm: taps_addr as i32 });
-    a.push(CpuInstr::Li { rd: N, imm: n as i32 });
-    a.push(CpuInstr::Li { rd: NTAPS, imm: taps as i32 });
+    a.push(CpuInstr::Li {
+        rd: IN,
+        imm: input_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: OUT,
+        imm: output_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: TAPS,
+        imm: taps_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: N,
+        imm: n as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: NTAPS,
+        imm: taps as i32,
+    });
     a.push(CpuInstr::Li { rd: I, imm: 0 });
 
     let outer = a.new_label();
     a.bind(outer);
     // acc = 0; kmax = min(taps, i + 1)
     a.push(CpuInstr::Li { rd: ACC, imm: 0 });
-    a.push(CpuInstr::Addi { rd: KMAX, rs1: I, imm: 1 });
+    a.push(CpuInstr::Addi {
+        rd: KMAX,
+        rs1: I,
+        imm: 1,
+    });
     let kmax_ok = a.new_label();
     a.branch(BranchCond::Lt, KMAX, NTAPS, kmax_ok);
-    a.push(CpuInstr::Mv { rd: KMAX, rs: NTAPS });
+    a.push(CpuInstr::Mv {
+        rd: KMAX,
+        rs: NTAPS,
+    });
     a.bind(kmax_ok);
     a.push(CpuInstr::Li { rd: K, imm: 0 });
 
     let inner = a.new_label();
     a.bind(inner);
     // x[i - k]
-    a.push(CpuInstr::Sub { rd: T0, rs1: I, rs2: K });
-    a.push(CpuInstr::Add { rd: T0, rs1: T0, rs2: IN });
-    a.push(CpuInstr::Lw { rd: T1, rs1: T0, offset: 0 });
+    a.push(CpuInstr::Sub {
+        rd: T0,
+        rs1: I,
+        rs2: K,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: IN,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T1,
+        rs1: T0,
+        offset: 0,
+    });
     // h[k]
-    a.push(CpuInstr::Add { rd: T2, rs1: TAPS, rs2: K });
-    a.push(CpuInstr::Lw { rd: T3, rs1: T2, offset: 0 });
+    a.push(CpuInstr::Add {
+        rd: T2,
+        rs1: TAPS,
+        rs2: K,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T3,
+        rs1: T2,
+        offset: 0,
+    });
     // acc += h[k] * x[i-k]
-    a.push(CpuInstr::Mla { rd: ACC, rs1: T1, rs2: T3 });
-    a.push(CpuInstr::Addi { rd: K, rs1: K, imm: 1 });
+    a.push(CpuInstr::Mla {
+        rd: ACC,
+        rs1: T1,
+        rs2: T3,
+    });
+    a.push(CpuInstr::Addi {
+        rd: K,
+        rs1: K,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, K, KMAX, inner);
 
     // y[i] = ssat(acc >> 15, 16)
-    a.push(CpuInstr::Sra { rd: T0, rs1: ACC, shamt: 15 });
-    a.push(CpuInstr::Ssat { rd: T0, rs: T0, bits: 16 });
-    a.push(CpuInstr::Add { rd: T1, rs1: OUT, rs2: I });
-    a.push(CpuInstr::Sw { rs2: T0, rs1: T1, offset: 0 });
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Sra {
+        rd: T0,
+        rs1: ACC,
+        shamt: 15,
+    });
+    a.push(CpuInstr::Ssat {
+        rd: T0,
+        rs: T0,
+        bits: 16,
+    });
+    a.push(CpuInstr::Add {
+        rd: T1,
+        rs1: OUT,
+        rs2: I,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: T0,
+        rs1: T1,
+        offset: 0,
+    });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, N, outer);
     a.push(CpuInstr::Halt);
     a.build()
@@ -144,7 +214,7 @@ mod tests {
     #[test]
     fn cycle_count_scales_linearly_with_input_size() {
         let cycles = |n: usize| {
-            let taps_q = vec![Q15::from_f64(0.05); PAPER_FIR_TAPS];
+            let taps_q = [Q15::from_f64(0.05); PAPER_FIR_TAPS];
             let program = fir_q15_program(n, PAPER_FIR_TAPS, 0, n, n + 16).unwrap();
             let mut cpu = Cpu::new();
             let mut sram = Sram::paper();

@@ -49,20 +49,56 @@ pub fn svm_program(
 
     let mut a = CpuAsm::new();
     a.push(CpuInstr::Li { rd: ZERO, imm: 0 });
-    a.push(CpuInstr::Li { rd: FEAT, imm: features_addr as i32 });
-    a.push(CpuInstr::Li { rd: W, imm: weights_addr as i32 });
-    a.push(CpuInstr::Li { rd: N, imm: n as i32 });
-    a.push(CpuInstr::Li { rd: OUT, imm: out_addr as i32 });
+    a.push(CpuInstr::Li {
+        rd: FEAT,
+        imm: features_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: W,
+        imm: weights_addr as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: N,
+        imm: n as i32,
+    });
+    a.push(CpuInstr::Li {
+        rd: OUT,
+        imm: out_addr as i32,
+    });
     a.push(CpuInstr::Li { rd: I, imm: 0 });
     a.push(CpuInstr::Li { rd: ACC, imm: bias });
     let loop_top = a.new_label();
     a.bind(loop_top);
-    a.push(CpuInstr::Add { rd: T0, rs1: FEAT, rs2: I });
-    a.push(CpuInstr::Lw { rd: T1, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Add { rd: T0, rs1: W, rs2: I });
-    a.push(CpuInstr::Lw { rd: T2, rs1: T0, offset: 0 });
-    a.push(CpuInstr::Mla { rd: ACC, rs1: T1, rs2: T2 });
-    a.push(CpuInstr::Addi { rd: I, rs1: I, imm: 1 });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: FEAT,
+        rs2: I,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T1,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Add {
+        rd: T0,
+        rs1: W,
+        rs2: I,
+    });
+    a.push(CpuInstr::Lw {
+        rd: T2,
+        rs1: T0,
+        offset: 0,
+    });
+    a.push(CpuInstr::Mla {
+        rd: ACC,
+        rs1: T1,
+        rs2: T2,
+    });
+    a.push(CpuInstr::Addi {
+        rd: I,
+        rs1: I,
+        imm: 1,
+    });
     a.branch(BranchCond::Lt, I, N, loop_top);
     // label = acc >= 0 ? 1 : -1
     a.push(CpuInstr::Li { rd: LABEL, imm: 1 });
@@ -70,8 +106,16 @@ pub fn svm_program(
     a.branch(BranchCond::Ge, ACC, ZERO, positive);
     a.push(CpuInstr::Li { rd: LABEL, imm: -1 });
     a.bind(positive);
-    a.push(CpuInstr::Sw { rs2: ACC, rs1: OUT, offset: 0 });
-    a.push(CpuInstr::Sw { rs2: LABEL, rs1: OUT, offset: 1 });
+    a.push(CpuInstr::Sw {
+        rs2: ACC,
+        rs1: OUT,
+        offset: 0,
+    });
+    a.push(CpuInstr::Sw {
+        rs2: LABEL,
+        rs1: OUT,
+        offset: 1,
+    });
     a.push(CpuInstr::Halt);
     a.build()
 }

@@ -613,16 +613,56 @@ mod tests {
         let program = vec![
             CpuInstr::Li { rd: 1, imm: 6 },
             CpuInstr::Li { rd: 2, imm: 7 },
-            CpuInstr::Mul { rd: 3, rs1: 1, rs2: 2 },
-            CpuInstr::Mla { rd: 3, rs1: 1, rs2: 2 },
-            CpuInstr::Sub { rd: 4, rs1: 3, rs2: 1 },
-            CpuInstr::And { rd: 5, rs1: 3, rs2: 2 },
-            CpuInstr::Or { rd: 6, rs1: 5, rs2: 1 },
-            CpuInstr::Xor { rd: 7, rs1: 6, rs2: 6 },
-            CpuInstr::Sll { rd: 8, rs1: 2, shamt: 4 },
-            CpuInstr::Sra { rd: 9, rs1: 8, shamt: 2 },
-            CpuInstr::Slt { rd: 10, rs1: 1, rs2: 2 },
-            CpuInstr::Ssat { rd: 11, rs: 8, bits: 6 },
+            CpuInstr::Mul {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            CpuInstr::Mla {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            CpuInstr::Sub {
+                rd: 4,
+                rs1: 3,
+                rs2: 1,
+            },
+            CpuInstr::And {
+                rd: 5,
+                rs1: 3,
+                rs2: 2,
+            },
+            CpuInstr::Or {
+                rd: 6,
+                rs1: 5,
+                rs2: 1,
+            },
+            CpuInstr::Xor {
+                rd: 7,
+                rs1: 6,
+                rs2: 6,
+            },
+            CpuInstr::Sll {
+                rd: 8,
+                rs1: 2,
+                shamt: 4,
+            },
+            CpuInstr::Sra {
+                rd: 9,
+                rs1: 8,
+                shamt: 2,
+            },
+            CpuInstr::Slt {
+                rd: 10,
+                rs1: 1,
+                rs2: 2,
+            },
+            CpuInstr::Ssat {
+                rd: 11,
+                rs: 8,
+                bits: 6,
+            },
             CpuInstr::Halt,
         ];
         let (cpu, _, stats) = run_program(&program);
@@ -646,10 +686,26 @@ mod tests {
             CpuInstr::Li { rd: 2, imm: 10 }, // n
             CpuInstr::Li { rd: 3, imm: 0 },  // acc
             // loop:
-            CpuInstr::Lw { rd: 4, rs1: 1, offset: 0 },
-            CpuInstr::Add { rd: 3, rs1: 3, rs2: 4 },
-            CpuInstr::Addi { rd: 1, rs1: 1, imm: 1 },
-            CpuInstr::Blt { rs1: 1, rs2: 2, target: 3 },
+            CpuInstr::Lw {
+                rd: 4,
+                rs1: 1,
+                offset: 0,
+            },
+            CpuInstr::Add {
+                rd: 3,
+                rs1: 3,
+                rs2: 4,
+            },
+            CpuInstr::Addi {
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            },
+            CpuInstr::Blt {
+                rs1: 1,
+                rs2: 2,
+                target: 3,
+            },
             CpuInstr::Halt,
         ];
         let mut cpu = Cpu::new();
@@ -667,8 +723,16 @@ mod tests {
         let cfg = CpuConfig::default();
         let program = vec![
             CpuInstr::Li { rd: 1, imm: 5 },
-            CpuInstr::Sw { rs2: 1, rs1: 0, offset: 0 },
-            CpuInstr::Lw { rd: 2, rs1: 0, offset: 0 },
+            CpuInstr::Sw {
+                rs2: 1,
+                rs1: 0,
+                offset: 0,
+            },
+            CpuInstr::Lw {
+                rd: 2,
+                rs1: 0,
+                offset: 0,
+            },
             CpuInstr::Jump { target: 4 },
             CpuInstr::Halt,
         ];
@@ -716,7 +780,14 @@ mod tests {
     fn negative_address_rejected() {
         let mut cpu = Cpu::new();
         let mut sram = Sram::new(1, 1024);
-        let program = vec![CpuInstr::Lw { rd: 1, rs1: 0, offset: -5 }, CpuInstr::Halt];
+        let program = vec![
+            CpuInstr::Lw {
+                rd: 1,
+                rs1: 0,
+                offset: -5,
+            },
+            CpuInstr::Halt,
+        ];
         assert!(cpu.run(&program, &mut sram).is_err());
     }
 }

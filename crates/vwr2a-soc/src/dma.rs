@@ -96,7 +96,9 @@ mod tests {
         let mut sram = Sram::paper();
         let mut bus = Bus::default();
         sram.load(10, &(0..32).collect::<Vec<i32>>()).unwrap();
-        let cycles = dma.copy_within_sram(&mut sram, &mut bus, 10, 500, 32).unwrap();
+        let cycles = dma
+            .copy_within_sram(&mut sram, &mut bus, 10, 500, 32)
+            .unwrap();
         assert_eq!(sram.dump(500, 32).unwrap(), (0..32).collect::<Vec<i32>>());
         assert!(cycles >= 5 + 64);
         assert_eq!(bus.traffic(BusMaster::SystemDma).beats, 64);

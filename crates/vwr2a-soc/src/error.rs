@@ -111,8 +111,13 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(SocError::BankPowerGated { bank: 3 }.to_string().contains('3'));
-        assert!(SocError::MissingHalt.to_string().contains("halt") || SocError::MissingHalt.to_string().contains("ran past"));
+        assert!(SocError::BankPowerGated { bank: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(
+            SocError::MissingHalt.to_string().contains("halt")
+                || SocError::MissingHalt.to_string().contains("ran past")
+        );
         assert!(SocError::InvalidIrqLine { line: 9, lines: 8 }
             .to_string()
             .contains('9'));

@@ -142,9 +142,9 @@ impl BiosignalSoc {
     ///
     /// Propagates DMA and SRAM errors.
     pub fn dma_copy(&mut self, src_addr: usize, dst_addr: usize, len: usize) -> Result<u64> {
-        let cycles = self
-            .dma
-            .copy_within_sram(&mut self.sram, &mut self.bus, src_addr, dst_addr, len)?;
+        let cycles =
+            self.dma
+                .copy_within_sram(&mut self.sram, &mut self.bus, src_addr, dst_addr, len)?;
         self.power.advance(cycles);
         Ok(cycles)
     }
@@ -173,8 +173,16 @@ mod tests {
         let mut soc = BiosignalSoc::new();
         let program = vec![
             CpuInstr::Li { rd: 1, imm: 3 },
-            CpuInstr::Sw { rs2: 1, rs1: 0, offset: 5 },
-            CpuInstr::Lw { rd: 2, rs1: 0, offset: 5 },
+            CpuInstr::Sw {
+                rs2: 1,
+                rs1: 0,
+                offset: 5,
+            },
+            CpuInstr::Lw {
+                rd: 2,
+                rs1: 0,
+                offset: 5,
+            },
             CpuInstr::Halt,
         ];
         let stats = soc.run_cpu_program(&program).unwrap();

@@ -41,7 +41,10 @@ impl Sram {
     /// Panics if `banks` is zero or `bank_bytes` is not a multiple of 4.
     pub fn new(banks: usize, bank_bytes: usize) -> Self {
         assert!(banks > 0, "sram needs at least one bank");
-        assert!(bank_bytes % 4 == 0, "bank size must be whole words");
+        assert!(
+            bank_bytes.is_multiple_of(4),
+            "bank size must be whole words"
+        );
         let bank_words = bank_bytes / 4;
         Self {
             words: vec![0; banks * bank_words],

@@ -4,11 +4,10 @@
 //!
 //! Run with `cargo run --example fft_kernel`.
 
-use vwr2a::core::Vwr2a;
 use vwr2a::dsp::fixed::{from_q16, to_q16};
-use vwr2a::energy::vwr2a_energy;
 use vwr2a::fftaccel::FftAccelerator;
-use vwr2a::kernels::fft::FftKernel;
+use vwr2a::kernels::fft::RealFftKernel;
+use vwr2a::runtime::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 512;
@@ -20,31 +19,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = FftAccelerator::new();
     let (spectrum_accel, accel_stats) = engine.run_real(&signal)?;
 
-    // VWR2A.
-    let kernel = FftKernel::new(n / 2)?;
-    let mut accel = Vwr2a::new();
+    // VWR2A through a Session.
+    let kernel = RealFftKernel::new(n)?;
+    let mut session = Session::new();
     let q16: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
-    let run = kernel.run_real(&mut accel, &q16)?;
-    let energy = vwr2a_energy(&run.counters);
+    let (spectrum, report) = session.run(&kernel, q16.as_slice())?;
 
     // Both must find the 12-cycles-per-window tone in bin 12.
     let peak_accel = (1..n / 2)
         .max_by(|&a, &b| spectrum_accel[a].abs().total_cmp(&spectrum_accel[b].abs()))
         .unwrap();
     let peak_vwr2a = (1..n / 2)
-        .max_by_key(|&k| (run.re[k] as i64).pow(2) + (run.im[k] as i64).pow(2))
+        .max_by_key(|&k| (spectrum.re[k] as i64).pow(2) + (spectrum.im[k] as i64).pow(2))
         .unwrap();
     println!("512-point real-valued FFT of a 12-cycle tone");
-    println!("  FFT accelerator : peak bin {peak_accel}, {} cycles", accel_stats.cycles);
     println!(
-        "  VWR2A           : peak bin {peak_vwr2a}, {} cycles, {:.3} µJ",
-        run.cycles,
-        energy.total_uj()
+        "  FFT accelerator : peak bin {peak_accel}, {} cycles",
+        accel_stats.cycles
+    );
+    println!(
+        "  VWR2A           : peak bin {peak_vwr2a}, {} cycles, {:.3} µJ ({} cold / {} warm launches)",
+        report.cycles,
+        report.energy().total_uj(),
+        report.cold_launches,
+        report.warm_launches
     );
     println!(
         "  VWR2A bin {} value = {:.2} (unnormalised DFT)",
         peak_vwr2a,
-        from_q16(run.re[peak_vwr2a])
+        from_q16(spectrum.re[peak_vwr2a])
     );
     Ok(())
 }

@@ -4,11 +4,11 @@
 //!
 //! Run with `cargo run --example fir_filter`.
 
-use vwr2a::core::Vwr2a;
 use vwr2a::dsp::fir::{design_lowpass, fir_q15};
 use vwr2a::dsp::fixed::Q15;
-use vwr2a::energy::{cpu_energy, vwr2a_energy};
+use vwr2a::energy::cpu_energy;
 use vwr2a::kernels::fir::FirKernel;
+use vwr2a::runtime::Session;
 use vwr2a::soc::cpu::kernels::fir_q15_program;
 use vwr2a::soc::BiosignalSoc;
 
@@ -32,14 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = fir_q15_program(n, taps.len(), 0, n, n + 16)?;
     let cpu_stats = soc.run_cpu_program(&program)?;
     let cpu_out = soc.sram().dump(n + 16, n)?;
-    assert_eq!(cpu_out[100], golden[100].0 as i32, "CPU output must match the golden model");
+    assert_eq!(
+        cpu_out[100], golden[100].0 as i32,
+        "CPU output must match the golden model"
+    );
 
-    // VWR2A.
+    // VWR2A through a Session.
     let kernel = FirKernel::new(&taps, n)?;
-    let mut accel = Vwr2a::new();
-    let run = kernel.run(&mut accel, &input)?;
-    let max_err = run
-        .output
+    let mut session = Session::new();
+    let (output, report) = session.run(&kernel, input.as_slice())?;
+    let max_err = output
         .iter()
         .zip(golden.iter())
         .map(|(o, g)| (o - g.0 as i32).abs())
@@ -54,9 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  VWR2A : {:>8} cycles, {:.3} µJ  (speed-up {:.1}x, max |error| vs golden = {max_err} LSB)",
-        run.cycles,
-        vwr2a_energy(&run.counters).total_uj(),
-        cpu_stats.cycles as f64 / run.cycles as f64
+        report.cycles,
+        report.energy().total_uj(),
+        cpu_stats.cycles as f64 / report.cycles as f64
     );
     Ok(())
 }

@@ -1,47 +1,23 @@
-//! Quick start: build the accelerator, run a tiny hand-written kernel and a
-//! full FIR mapping, and print the cycle/energy accounting.
+//! Quick start: build a `Session`, run a full FIR kernel mapping cold and
+//! warm, batch a window stream through it, and drop down to a hand-written
+//! kernel program on the raw accelerator.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use vwr2a::core::builder::ColumnProgramBuilder;
 use vwr2a::core::geometry::VwrId;
-use vwr2a::core::isa::{LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc};
+use vwr2a::core::isa::{
+    LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
+};
 use vwr2a::core::program::KernelProgram;
-use vwr2a::core::Vwr2a;
-use vwr2a::energy::vwr2a_energy;
 use vwr2a::kernels::fir::FirKernel;
+use vwr2a::runtime::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A hand-written kernel: element-wise add of two SPM lines.
-    let mut b = ColumnProgramBuilder::new(4);
-    b.push(b.row().lsu(LsuInstr::LoadVwr { vwr: VwrId::A, line: LsuAddr::Imm(0) }));
-    b.push(
-        b.row()
-            .lsu(LsuInstr::LoadVwr { vwr: VwrId::B, line: LsuAddr::Imm(1) })
-            .mxcu(MxcuInstr::SetIdx(0))
-            .lcu(LcuInstr::Li { r: 0, value: 0 }),
-    );
-    let top = b.new_label();
-    b.bind_label(top);
-    b.push(
-        b.row()
-            .rc_all(RcInstr::new(RcOpcode::Add, RcDst::Vwr(VwrId::C), RcSrc::Vwr(VwrId::A), RcSrc::Vwr(VwrId::B)))
-            .mxcu(MxcuInstr::AddIdx(1))
-            .lcu(LcuInstr::Add { r: 0, src: LcuSrc::Imm(1) }),
-    );
-    b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(32), top);
-    b.push(b.row().lsu(LsuInstr::StoreVwr { vwr: VwrId::C, line: LsuAddr::Imm(2) }));
-    b.push_exit();
-    let vadd = KernelProgram::new("vadd", vec![b.build()?])?;
+    // 1. The high-level flow: a Session owns the accelerator and keeps
+    //    every kernel program resident in the configuration memory.
+    let mut session = Session::new();
 
-    let mut accel = Vwr2a::new();
-    accel.dma_to_spm(&(0..128).collect::<Vec<i32>>(), 0)?;
-    accel.dma_to_spm(&vec![1000; 128], 128)?;
-    let stats = accel.run_program(&vadd)?;
-    let (sum, _) = accel.dma_from_spm(256, 128)?;
-    println!("vadd: {} cycles, word 42 = {}", stats.cycles, sum[42]);
-
-    // 2. A full kernel mapping: the paper's 11-tap FIR over 256 samples.
     let taps: Vec<i32> = vwr2a::dsp::fir::design_lowpass(11, 0.1)?
         .iter()
         .map(|&t| vwr2a::dsp::fixed::Q15::from_f64(t).0 as i32)
@@ -50,14 +26,89 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| (8000.0 * (std::f64::consts::TAU * i as f64 / 64.0).sin()) as i32)
         .collect();
     let fir = FirKernel::new(&taps, input.len())?;
-    let mut accel = Vwr2a::new();
-    let run = fir.run(&mut accel, &input)?;
-    let energy = vwr2a_energy(&run.counters);
+
+    // First run: cold — the configuration words stream into the array.
+    let (output, cold) = session.run(&fir, input.as_slice())?;
     println!(
-        "fir-11tap over 256 samples: {} cycles ({:.1} µs at 80 MHz), {:.3} µJ",
-        run.cycles,
-        run.time_us(80.0e6),
-        energy.total_uj()
+        "fir-11tap cold : {} cycles ({:.1} µs at 80 MHz), {:.3} µJ, output[100] = {}",
+        cold.cycles,
+        cold.time_us(80.0e6),
+        cold.energy().total_uj(),
+        output[100]
     );
+
+    // Second run: warm — the program is resident, only execution is paid.
+    let (_, warm) = session.run(&fir, input.as_slice())?;
+    println!(
+        "fir-11tap warm : {} cycles (saved {} configuration cycles)",
+        warm.cycles,
+        cold.cycles - warm.cycles
+    );
+
+    // A whole stream of windows through the loaded kernel: one cold launch
+    // total, everything else warm.
+    let windows: Vec<Vec<i32>> = (0..8)
+        .map(|w| {
+            (0..256)
+                .map(|i| (6000.0 * ((i + 13 * w) as f64 * 0.11).sin()) as i32)
+                .collect()
+        })
+        .collect();
+    let (outputs, stream) = session.run_batch(&fir, windows.iter().map(Vec::as_slice))?;
+    println!(
+        "fir-11tap x{}  : {} cycles total, {} cold / {} warm launches, {} outputs",
+        stream.invocations,
+        stream.cycles,
+        stream.cold_launches,
+        stream.warm_launches,
+        outputs.len()
+    );
+
+    // 2. Dropping below the runtime: hand-written kernels still run on the
+    //    raw accelerator (element-wise add of two SPM lines).
+    let mut b = ColumnProgramBuilder::new(4);
+    b.push(b.row().lsu(LsuInstr::LoadVwr {
+        vwr: VwrId::A,
+        line: LsuAddr::Imm(0),
+    }));
+    b.push(
+        b.row()
+            .lsu(LsuInstr::LoadVwr {
+                vwr: VwrId::B,
+                line: LsuAddr::Imm(1),
+            })
+            .mxcu(MxcuInstr::SetIdx(0))
+            .lcu(LcuInstr::Li { r: 0, value: 0 }),
+    );
+    let top = b.new_label();
+    b.bind_label(top);
+    b.push(
+        b.row()
+            .rc_all(RcInstr::new(
+                RcOpcode::Add,
+                RcDst::Vwr(VwrId::C),
+                RcSrc::Vwr(VwrId::A),
+                RcSrc::Vwr(VwrId::B),
+            ))
+            .mxcu(MxcuInstr::AddIdx(1))
+            .lcu(LcuInstr::Add {
+                r: 0,
+                src: LcuSrc::Imm(1),
+            }),
+    );
+    b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(32), top);
+    b.push(b.row().lsu(LsuInstr::StoreVwr {
+        vwr: VwrId::C,
+        line: LsuAddr::Imm(2),
+    }));
+    b.push_exit();
+    let vadd = KernelProgram::new("vadd", vec![b.build()?])?;
+
+    let accel = session.accelerator_mut();
+    accel.dma_to_spm(&(0..128).collect::<Vec<i32>>(), 0)?;
+    accel.dma_to_spm(&vec![1000; 128], 128)?;
+    let stats = accel.run_program(&vadd)?;
+    let (sum, _) = accel.dma_from_spm(256, 128)?;
+    println!("vadd: {} cycles, word 42 = {}", stats.cycles, sum[42]);
     Ok(())
 }

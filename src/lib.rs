@@ -8,6 +8,11 @@
 //! * [`core`] — the cycle-accurate VWR2A accelerator simulator (the paper's
 //!   contribution): reconfigurable cells, very-wide registers, scratchpad
 //!   memory, shuffle unit, specialised slots and the execution engine.
+//! * [`runtime`] — the execution runtime: the [`runtime::Kernel`] trait and
+//!   the [`runtime::Session`] that owns the accelerator, keeps kernel
+//!   programs resident in the configuration memory, and makes warm
+//!   relaunches (the paper's load-once/run-many model) the default — with
+//!   batched and streamed execution and a unified [`runtime::RunReport`].
 //! * [`asm`] — a textual assembler for the per-slot instruction streams.
 //! * [`dsp`] — golden reference DSP kernels (FFT, FIR, statistics, SVM) and
 //!   fixed-point arithmetic helpers.
@@ -16,27 +21,45 @@
 //! * [`fftaccel`] — the fixed-function FFT accelerator used as the paper's
 //!   comparator.
 //! * [`energy`] — the activity-based energy model and component breakdowns.
-//! * [`kernels`] — VWR2A kernel mappings (FFT, FIR, delineation, feature
-//!   extraction, SVM) as program generators.
+//! * [`kernels`] — VWR2A kernel mappings (FFT, FIR, feature extraction,
+//!   SVM decision) implementing [`runtime::Kernel`].
 //! * [`bioapp`] — the MBioTracker biosignal application pipeline.
 //!
 //! ## Quick start
 //!
+//! Kernels run through a [`runtime::Session`]: the first invocation loads
+//! the kernel's program into the per-column configuration memory (a *cold*
+//! launch), every repeat relaunches it *warm* — only execution cycles, no
+//! configuration streaming — exactly like the real hardware re-invokes a
+//! resident kernel.
+//!
 //! ```
-//! use vwr2a::core::Vwr2a;
 //! use vwr2a::kernels::fir::FirKernel;
+//! use vwr2a::runtime::Session;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Build the accelerator with the paper's default geometry.
-//! let mut accel = Vwr2a::new();
+//! // One session owns the accelerator and the loaded-kernel registry.
+//! let mut session = Session::new();
 //!
-//! // Map an 11-tap FIR over 256 samples onto one column.
+//! // Map an 11-tap FIR over 256 samples onto the array's two columns.
 //! let taps = [2048i32; 11];
 //! let input: Vec<i32> = (0..256).map(|i| (i % 32) - 16).collect();
 //! let kernel = FirKernel::new(&taps, input.len())?;
-//! let run = kernel.run(&mut accel, &input)?;
-//! assert_eq!(run.output.len(), input.len());
-//! println!("FIR on VWR2A took {} cycles", run.cycles);
+//!
+//! // Cold first run: configuration load + execution.
+//! let (output, cold) = session.run(&kernel, input.as_slice())?;
+//! assert_eq!(output.len(), input.len());
+//!
+//! // Warm repeat: the resident program skips the configuration load.
+//! let (_, warm) = session.run(&kernel, input.as_slice())?;
+//! assert!(warm.cycles < cold.cycles);
+//!
+//! // Whole window streams amortise the load across N invocations.
+//! let windows = vec![input.clone(), input.clone(), input.clone()];
+//! let (outputs, report) = session.run_batch(&kernel, windows.iter().map(Vec::as_slice))?;
+//! assert_eq!(outputs.len(), 3);
+//! assert_eq!(report.cold_launches, 0); // already resident
+//! println!("3 windows in {} cycles ({} warm launches)", report.cycles, report.warm_launches);
 //! # Ok(())
 //! # }
 //! ```
@@ -51,4 +74,5 @@ pub use vwr2a_dsp as dsp;
 pub use vwr2a_energy as energy;
 pub use vwr2a_fftaccel as fftaccel;
 pub use vwr2a_kernels as kernels;
+pub use vwr2a_runtime as runtime;
 pub use vwr2a_soc as soc;

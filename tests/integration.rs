@@ -1,16 +1,18 @@
 //! Workspace integration tests: full kernels executed on the simulated
-//! array and platform, checked against the golden DSP models across crate
-//! boundaries.
+//! array and platform through the `Session` runtime, checked against the
+//! golden DSP models across crate boundaries.
 
 use vwr2a::core::Vwr2a;
 use vwr2a::dsp::complex::Complex;
 use vwr2a::dsp::fft::fft;
 use vwr2a::dsp::fir::{design_lowpass, fir_q15};
 use vwr2a::dsp::fixed::{from_q16, to_q16, Q15};
-use vwr2a::energy::{fft_accel_energy, vwr2a_energy};
+use vwr2a::energy::fft_accel_energy;
 use vwr2a::fftaccel::FftAccelerator;
-use vwr2a::kernels::fft::FftKernel;
+use vwr2a::kernels::fft::{FftKernel, RealFftKernel};
 use vwr2a::kernels::fir::FirKernel;
+use vwr2a::kernels::Spectrum;
+use vwr2a::runtime::Session;
 
 #[test]
 fn vwr2a_fft_matches_the_golden_model_end_to_end() {
@@ -18,20 +20,22 @@ fn vwr2a_fft_matches_the_golden_model_end_to_end() {
     let signal: Vec<Complex> = (0..n)
         .map(|i| Complex::new(0.3 * (i as f64 * 0.11).sin(), 0.2 * (i as f64 * 0.07).cos()))
         .collect();
-    let re: Vec<i32> = signal.iter().map(|c| to_q16(c.re)).collect();
-    let im: Vec<i32> = signal.iter().map(|c| to_q16(c.im)).collect();
+    let input = Spectrum::new(
+        signal.iter().map(|c| to_q16(c.re)).collect(),
+        signal.iter().map(|c| to_q16(c.im)).collect(),
+    );
 
     let kernel = FftKernel::new(n).expect("512-point complex FFT supported");
-    let mut accel = Vwr2a::new();
-    let run = kernel.run_complex(&mut accel, &re, &im).expect("kernel runs");
+    let mut session = Session::new();
+    let (spectrum, _) = session.run(&kernel, &input).expect("kernel runs");
     let reference = fft(&signal).expect("reference FFT");
-    for k in 0..n {
+    for (k, r) in reference.iter().enumerate() {
         assert!(
-            (from_q16(run.re[k]) - reference[k].re).abs() < 0.25,
+            (from_q16(spectrum.re[k]) - r.re).abs() < 0.25,
             "bin {k} real part"
         );
         assert!(
-            (from_q16(run.im[k]) - reference[k].im).abs() < 0.25,
+            (from_q16(spectrum.im[k]) - r.im).abs() < 0.25,
             "bin {k} imaginary part"
         );
     }
@@ -50,18 +54,17 @@ fn vwr2a_and_fft_accelerator_have_comparable_cycles_but_different_energy() {
     let engine = FftAccelerator::new();
     let (_, accel_stats) = engine.run_real(&signal).expect("accelerator runs");
 
-    let kernel = FftKernel::new(n / 2).expect("supported");
-    let mut accel = Vwr2a::new();
+    let kernel = RealFftKernel::new(n).expect("supported");
+    let mut session = Session::new();
     let q16: Vec<i32> = signal.iter().map(|&v| to_q16(v)).collect();
-    let run = kernel.run_real(&mut accel, &q16).expect("kernel runs");
+    let (_, report) = session.run(&kernel, q16.as_slice()).expect("kernel runs");
 
-    let cycle_ratio = run.cycles as f64 / accel_stats.cycles as f64;
+    let cycle_ratio = report.cycles as f64 / accel_stats.cycles as f64;
     assert!(
         cycle_ratio > 0.5 && cycle_ratio < 6.0,
         "cycle ratio {cycle_ratio} out of the expected band"
     );
-    let energy_ratio =
-        vwr2a_energy(&run.counters).total_uj() / fft_accel_energy(&accel_stats).total_uj();
+    let energy_ratio = report.energy().total_uj() / fft_accel_energy(&accel_stats).total_uj();
     assert!(
         energy_ratio > 2.0 && energy_ratio < 20.0,
         "energy ratio {energy_ratio} out of the expected band"
@@ -78,20 +81,136 @@ fn fir_kernel_output_is_bit_close_to_the_cmsis_style_reference() {
         .collect();
 
     let kernel = FirKernel::new(&taps, n).unwrap();
-    let mut accel = Vwr2a::new();
-    let run = kernel.run(&mut accel, &input).unwrap();
+    let mut session = Session::new();
+    let (output, _) = session.run(&kernel, input.as_slice()).unwrap();
 
     let taps_q: Vec<Q15> = taps.iter().map(|&t| Q15(t as i16)).collect();
     let input_q: Vec<Q15> = input.iter().map(|&v| Q15(v as i16)).collect();
     let reference = fir_q15(&taps_q, &input_q).unwrap();
-    for (i, (o, r)) in run.output.iter().zip(reference.iter()).enumerate() {
+    for (i, (o, r)) in output.iter().zip(reference.iter()).enumerate() {
         assert!((o - r.0 as i32).abs() <= 4, "sample {i}: {o} vs {}", r.0);
     }
 }
 
 #[test]
+fn warm_reruns_cost_fewer_cycles_than_cold_firsts_across_kernels() {
+    // The acceptance property of the Session runtime, demonstrated on two
+    // very different kernels sharing one session.
+    let mut session = Session::new();
+
+    let taps: Vec<i32> = design_lowpass(11, 0.1)
+        .unwrap()
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    let fir = FirKernel::new(&taps, 256).unwrap();
+    let input: Vec<i32> = (0..256).map(|i| (i % 90) * 11 - 500).collect();
+    let (out_cold, fir_cold) = session.run(&fir, input.as_slice()).unwrap();
+    let (out_warm, fir_warm) = session.run(&fir, input.as_slice()).unwrap();
+    assert_eq!(out_cold, out_warm);
+    assert!(
+        fir_warm.cycles < fir_cold.cycles,
+        "FIR warm {} must beat cold {}",
+        fir_warm.cycles,
+        fir_cold.cycles
+    );
+    assert_eq!(fir_cold.cold_launches, 1);
+    assert_eq!(fir_warm.cold_launches, 0);
+
+    let fft = FftKernel::new(256).unwrap();
+    let signal = Spectrum::new(
+        (0..256)
+            .map(|i| to_q16(((i % 32) as f64 - 16.0) / 20.0))
+            .collect(),
+        vec![0i32; 256],
+    );
+    let (_, fft_cold) = session.run(&fft, &signal).unwrap();
+    let (_, fft_warm) = session.run(&fft, &signal).unwrap();
+    assert!(
+        fft_warm.cycles < fft_cold.cycles,
+        "FFT warm {} must beat cold {}",
+        fft_warm.cycles,
+        fft_cold.cycles
+    );
+    assert_eq!(fft_warm.counters.config_words_loaded, 0);
+}
+
+#[test]
+fn batched_windows_are_bit_identical_to_independent_cold_runs() {
+    let taps: Vec<i32> = design_lowpass(11, 0.12)
+        .unwrap()
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    let kernel = FirKernel::new(&taps, 256).unwrap();
+    let windows: Vec<Vec<i32>> = (0..6)
+        .map(|w| {
+            (0..256)
+                .map(|i| (5000.0 * ((i + 31 * w) as f64 * 0.13).sin()) as i32)
+                .collect()
+        })
+        .collect();
+
+    let mut session = Session::new();
+    let (batched, report) = session
+        .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+        .unwrap();
+    assert_eq!(report.invocations, 6);
+    assert_eq!(report.cold_launches, 1, "only the first window loads");
+
+    for (window, batch_out) in windows.iter().zip(&batched) {
+        let (cold_out, _) = Session::new().run(&kernel, window.as_slice()).unwrap();
+        assert_eq!(&cold_out, batch_out, "batch output must match a cold run");
+    }
+}
+
+#[test]
+fn fft_adapts_to_a_one_column_geometry() {
+    // The stage flow declares a one-column minimum and adapts to whatever
+    // the geometry offers; a 512-point transform (two blocks per stage)
+    // must still be bit-exact when the blocks run sequentially on one
+    // column.
+    let mut geometry = vwr2a::core::geometry::Geometry::paper();
+    geometry.columns = 1;
+    let accel = Vwr2a::with_geometry(geometry).unwrap();
+    let mut session = Session::with_accelerator(accel);
+
+    let n = 512;
+    let input = Spectrum::new(
+        (0..n)
+            .map(|i| to_q16(((i % 40) as f64 - 20.0) / 25.0))
+            .collect(),
+        vec![0i32; n],
+    );
+    let kernel = FftKernel::new(n).unwrap();
+    let (narrow, _) = session.run(&kernel, &input).unwrap();
+
+    let (wide, _) = Session::new().run(&kernel, &input).unwrap();
+    assert_eq!(narrow, wide, "one-column result must match two-column");
+}
+
+#[test]
+fn sessions_accept_custom_accelerators() {
+    // The ablation path: a session around a custom-geometry accelerator.
+    let accel = Vwr2a::new();
+    let mut session = Session::with_accelerator(accel);
+    let taps: Vec<i32> = design_lowpass(5, 0.2)
+        .unwrap()
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    let kernel = FirKernel::new(&taps, 128).unwrap();
+    let input = vec![1000i32; 128];
+    let (output, report) = session.run(&kernel, input.as_slice()).unwrap();
+    assert_eq!(output.len(), 128);
+    assert!(report.cycles > 0);
+    assert_eq!(session.loaded_programs(), 1);
+}
+
+#[test]
 fn assembled_programs_run_on_the_simulator() {
-    // Cross-crate check: text assembly -> column program -> execution.
+    // Cross-crate check: text assembly -> column program -> execution on a
+    // session's accelerator.
     let program = vwr2a::asm::assemble_column(
         "
             lsu load.vwr a, 0
@@ -107,7 +226,8 @@ fn assembled_programs_run_on_the_simulator() {
     )
     .expect("assembles");
     let kernel = vwr2a::core::program::KernelProgram::new("copy-word", vec![program]).unwrap();
-    let mut accel = Vwr2a::new();
+    let mut session = Session::new();
+    let accel = session.accelerator_mut();
     accel
         .spm_mut()
         .write_line(0, &(100..228).collect::<Vec<i32>>())

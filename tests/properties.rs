@@ -1,9 +1,14 @@
 //! Workspace-level property-based tests on the core invariants.
 
 use proptest::prelude::*;
-use vwr2a::core::isa::encode::{decode_lcu, decode_lsu, decode_mxcu, decode_rc, encode_lcu, encode_lsu, encode_mxcu, encode_rc};
-use vwr2a::core::isa::{LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc, ShuffleOp};
 use vwr2a::core::geometry::VwrId;
+use vwr2a::core::isa::encode::{
+    decode_lcu, decode_lsu, decode_mxcu, decode_rc, encode_lcu, encode_lsu, encode_mxcu, encode_rc,
+};
+use vwr2a::core::isa::{
+    LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
+    ShuffleOp,
+};
 use vwr2a::core::shuffle::apply;
 use vwr2a::dsp::complex::Complex;
 use vwr2a::dsp::fft::{fft, ifft};
@@ -46,8 +51,7 @@ fn arb_rc_instr() -> impl Strategy<Value = RcInstr> {
         (0usize..3).prop_map(|i| RcDst::Vwr(VwrId::from_index(i))),
         (0u8..8).prop_map(RcDst::Srf),
     ];
-    (op, dst, arb_rc_src(), arb_rc_src())
-        .prop_map(|(op, dst, a, b)| RcInstr::new(op, dst, a, b))
+    (op, dst, arb_rc_src(), arb_rc_src()).prop_map(|(op, dst, a, b)| RcInstr::new(op, dst, a, b))
 }
 
 proptest! {

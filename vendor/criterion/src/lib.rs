@@ -1,0 +1,148 @@
+//! Offline stand-in for `criterion`, covering the API surface this
+//! workspace uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Each benchmark runs its closure `sample_size` times and reports the mean
+//! and minimum wall-clock time.  There is no statistical analysis, warm-up
+//! phase or HTML report — just enough to keep `cargo bench` meaningful
+//! without registry access.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup {
+            _criterion: self,
+            samples: 10,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), 10, f);
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        total_ns: 0,
+        min_ns: u128::MAX,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {id}: no iterations recorded");
+        return;
+    }
+    let mean_ns = bencher.total_ns / bencher.iters as u128;
+    println!(
+        "  {id}: mean {:.3} ms, min {:.3} ms over {} iterations",
+        mean_ns as f64 / 1e6,
+        bencher.min_ns as f64 / 1e6,
+        bencher.iters
+    );
+}
+
+/// Per-benchmark timing handle (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    min_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed().as_nanos();
+            drop(out);
+            self.total_ns += elapsed;
+            self.min_ns = self.min_ns.min(elapsed);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Re-export point kept so `use criterion::black_box` works if needed.
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait and derive-macro
+//! namespaces) so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile without the real crate.  The
+//! derives expand to nothing — see `vendor/serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name; never implemented or
+/// required by this workspace.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name; never implemented or
+/// required by this workspace.
+pub trait Deserialize<'de> {}

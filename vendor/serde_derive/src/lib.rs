@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so this proc-macro crate
+//! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` that expand to
+//! nothing.  Nothing in the workspace actually serialises data (there is no
+//! `serde_json`/`bincode` consumer); the derives only document intent, so
+//! empty expansions keep every type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and generates no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and generates no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
