@@ -215,6 +215,22 @@ impl Vwr2a {
         self.config_mem.store(kernel)
     }
 
+    /// Removes a kernel previously stored with [`Vwr2a::load_kernel`],
+    /// reclaiming its configuration words.  Returns the words freed.
+    ///
+    /// The id (and any copy of it) is permanently invalidated: even if the
+    /// slot is later reused by another kernel, the stale handle fails with
+    /// [`CoreError::UnknownKernel`].  Runtimes use this to evict cold
+    /// kernels under configuration-memory pressure; the evicted kernel's
+    /// next launch pays the configuration-word streaming again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`] for a stale or invalid id.
+    pub fn unload_kernel(&mut self, id: KernelId) -> Result<usize> {
+        self.config_mem.remove(id)
+    }
+
     /// Runs a kernel previously stored with [`Vwr2a::load_kernel`].
     ///
     /// # Errors
@@ -449,6 +465,31 @@ mod tests {
         let kernel = KernelProgram::new("too-wide", vec![col.clone(), col.clone(), col]).unwrap();
         assert!(accel.load_kernel(&kernel).is_err());
         assert!(accel.run_program(&kernel).is_err());
+    }
+
+    #[test]
+    fn unloaded_kernels_cannot_be_run_even_after_slot_reuse() {
+        let mut accel = Vwr2a::new();
+        let kernel = vector_scale_kernel(0);
+        let id = accel.load_kernel(&kernel).unwrap();
+        let freed = accel.unload_kernel(id).unwrap();
+        assert_eq!(freed, kernel.config_words());
+        assert_eq!(accel.config_mem().used_words(), 0);
+        // The slot is reused by a different kernel; the stale id must fail
+        // instead of silently launching the wrong program.
+        let other = vector_scale_kernel(1);
+        let fresh = accel.load_kernel(&other).unwrap();
+        assert_eq!(fresh.slot(), id.slot());
+        assert!(matches!(
+            accel.run_kernel(id),
+            Err(CoreError::UnknownKernel { .. })
+        ));
+        assert!(matches!(
+            accel.run_kernel_warm(id),
+            Err(CoreError::UnknownKernel { .. })
+        ));
+        assert!(accel.unload_kernel(id).is_err());
+        accel.run_kernel(fresh).unwrap();
     }
 
     #[test]

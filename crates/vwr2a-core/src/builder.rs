@@ -134,8 +134,9 @@ impl ColumnProgramBuilder {
     ///
     /// Returns [`CoreError::UndefinedLabel`] if a referenced label was never
     /// bound, [`CoreError::BranchTargetOutOfRange`] if a label was bound past
-    /// the last row, or the [`ColumnProgram::new`] errors for an empty
-    /// program.
+    /// the last row, [`CoreError::MalformedProgram`] if a branch fixup no
+    /// longer points at a branch or jump instruction, or the
+    /// [`ColumnProgram::new`] errors for an empty program.
     pub fn build(mut self) -> Result<ColumnProgram> {
         for (row_idx, label) in &self.branch_fixups {
             let target =
@@ -149,7 +150,13 @@ impl ColumnProgramBuilder {
             match &mut self.rows[*row_idx].lcu {
                 LcuInstr::Branch { target: t, .. } => *t = target as u16,
                 LcuInstr::Jump(t) => *t = target as u16,
-                other => unreachable!("fixup points at non-branch instruction {other:?}"),
+                other => {
+                    return Err(CoreError::MalformedProgram {
+                        detail: format!(
+                        "branch fixup for row {row_idx} points at non-branch instruction {other:?}"
+                    ),
+                    })
+                }
             }
         }
         ColumnProgram::new(self.rows)

@@ -91,10 +91,20 @@ pub enum CoreError {
         /// Number of columns in the array.
         count: usize,
     },
-    /// A kernel id not present in the configuration memory was requested.
+    /// A kernel id not resident in the configuration memory was requested —
+    /// either never stored, or stale (its kernel was removed or evicted,
+    /// possibly with the slot since reused by a newer kernel).
     UnknownKernel {
-        /// The requested kernel id.
-        id: usize,
+        /// The requested slot index.
+        slot: usize,
+        /// The generation the stale handle was issued for.
+        generation: u32,
+    },
+    /// A program's internal structure is inconsistent (e.g. a builder
+    /// branch fixup pointing at a non-branch instruction).
+    MalformedProgram {
+        /// Human-readable description.
+        detail: String,
     },
     /// The configuration memory is full.
     ConfigMemoryFull {
@@ -163,7 +173,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidColumn { column, count } => {
                 write!(f, "column {column} does not exist (array has {count} columns)")
             }
-            CoreError::UnknownKernel { id } => write!(f, "unknown kernel id {id}"),
+            CoreError::UnknownKernel { slot, generation } => {
+                write!(f, "unknown kernel id {slot}v{generation} (stale or never stored)")
+            }
+            CoreError::MalformedProgram { detail } => {
+                write!(f, "malformed program: {detail}")
+            }
             CoreError::ConfigMemoryFull {
                 capacity_words,
                 requested_words,
@@ -210,7 +225,19 @@ mod tests {
                 },
                 "cycle 7",
             ),
-            (CoreError::UnknownKernel { id: 5 }, "5"),
+            (
+                CoreError::UnknownKernel {
+                    slot: 5,
+                    generation: 2,
+                },
+                "5v2",
+            ),
+            (
+                CoreError::MalformedProgram {
+                    detail: "fixup points at a NOP".into(),
+                },
+                "fixup",
+            ),
             (CoreError::CycleLimitExceeded { limit: 1000 }, "1000"),
         ];
         for (err, needle) in cases {

@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: KernelError = CoreError::UnknownKernel { id: 1 }.into();
+        let e: KernelError = CoreError::UnknownKernel {
+            slot: 1,
+            generation: 0,
+        }
+        .into();
         assert!(e.to_string().contains("array error"));
         let e: KernelError = DspError::EmptyInput.into();
         assert!(e.to_string().contains("reference model"));

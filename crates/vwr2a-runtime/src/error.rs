@@ -69,7 +69,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e: RuntimeError = CoreError::UnknownKernel { id: 3 }.into();
+        let e: RuntimeError = CoreError::UnknownKernel {
+            slot: 3,
+            generation: 0,
+        }
+        .into();
         assert!(e.to_string().contains("array error"));
         assert!(e.source().is_some());
         let e = RuntimeError::Resources {

@@ -15,9 +15,15 @@
 //!   programs keyed by [`Kernel::cache_key`].  The first run of a kernel is
 //!   cold; every repeat — including every window of
 //!   [`Session::run_batch`] / [`Session::run_stream`] — launches warm.
+//! * **Residency management** — the configuration memory is finite, so a
+//!   session serving unbounded kernel diversity evicts cold programs (via a
+//!   pluggable [`EvictionPolicy`], default [`LruPolicy`]) instead of
+//!   failing with `ConfigMemoryFull`.  Programs the active invocation
+//!   depends on are pinned; an evicted program is rebuilt on next use and
+//!   launches cold again.
 //! * [`RunReport`] — the single accounting type for all kernels: cycles,
-//!   cold/warm launch counts, [`vwr2a_core::ActivityCounters`] and derived
-//!   time/energy.
+//!   cold/warm launch counts, evictions, [`vwr2a_core::ActivityCounters`]
+//!   and derived time/energy.
 //!
 //! See [`Session`] for a runnable example.
 
@@ -31,4 +37,7 @@ pub mod testing;
 
 pub use error::{Result, RuntimeError};
 pub use report::RunReport;
-pub use session::{Kernel, LaunchCtx, Resources, Session, SRF_WRITE_CYCLES};
+pub use session::{
+    EvictionPolicy, Kernel, LaunchCtx, LruPolicy, NeverEvict, ResidentProgram, Resources, Session,
+    SRF_READ_CYCLES, SRF_WRITE_CYCLES,
+};

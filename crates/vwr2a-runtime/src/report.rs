@@ -25,6 +25,11 @@ pub struct RunReport {
     /// Array launches that found their program resident in the per-slot
     /// program memories and paid execution cycles only.
     pub warm_launches: u64,
+    /// Programs evicted from the configuration memory during these
+    /// invocations to make room for new loads (see
+    /// [`crate::session::EvictionPolicy`]).  Every eviction turns the
+    /// victim's next launch cold again.
+    pub evictions: u64,
     /// Total cycles: DMA staging, SRF parameter writes, configuration
     /// loading (cold launches only) and array execution.
     pub cycles: u64,
@@ -62,6 +67,7 @@ impl RunReport {
         self.invocations += other.invocations;
         self.cold_launches += other.cold_launches;
         self.warm_launches += other.warm_launches;
+        self.evictions += other.evictions;
         self.cycles += other.cycles;
         self.counters += other.counters;
     }
@@ -71,8 +77,13 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} invocation(s), {} cycles ({} cold / {} warm launches)",
-            self.kernel, self.invocations, self.cycles, self.cold_launches, self.warm_launches
+            "{}: {} invocation(s), {} cycles ({} cold / {} warm launches, {} evictions)",
+            self.kernel,
+            self.invocations,
+            self.cycles,
+            self.cold_launches,
+            self.warm_launches,
+            self.evictions
         )
     }
 }
@@ -100,11 +111,13 @@ mod tests {
         let mut b = RunReport::new("k");
         b.invocations = 2;
         b.warm_launches = 5;
+        b.evictions = 2;
         b.cycles = 50;
         b.counters.rc_alu_ops = 3;
         a.absorb(&b);
         assert_eq!(a.invocations, 3);
         assert_eq!(a.launches(), 6);
+        assert_eq!(a.evictions, 2);
         assert_eq!(a.cycles, 150);
         assert_eq!(a.counters.rc_alu_ops, 10);
         assert!(a.to_string().contains("3 invocation(s)"));

@@ -1,7 +1,23 @@
-//! The [`Session`] runtime: load kernels once, relaunch them warm.
+//! The [`Session`] runtime: load kernels once, relaunch them warm, evict
+//! cold programs under configuration-memory pressure.
+//!
+//! # Residency and eviction
+//!
+//! The configuration memory is finite.  A long-lived session serving many
+//! distinct programs (e.g. FIR instances with different baked-in taps)
+//! would eventually fill it; instead of failing with `ConfigMemoryFull`,
+//! the session consults its [`EvictionPolicy`] (default: [`LruPolicy`]) and
+//! unloads cold programs until the new one fits.  Programs the active
+//! invocation depends on — the primary program and any auxiliary program
+//! already touched through [`LaunchCtx::launch_aux`] — are *pinned* and
+//! never evicted.  An evicted program is transparently rebuilt and reloaded
+//! on its next use, and that launch is cold again (it pays the
+//! configuration-word streaming); [`RunReport::evictions`] counts how often
+//! the session had to make room.
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::fmt;
 use vwr2a_core::config_mem::KernelId;
 use vwr2a_core::geometry::Geometry;
 use vwr2a_core::program::KernelProgram;
@@ -12,6 +28,11 @@ use crate::report::RunReport;
 
 /// Estimated cycles for one host SRF write over the slave port.
 pub const SRF_WRITE_CYCLES: u64 = 2;
+
+/// Estimated cycles for one host SRF read over the slave port.  Reads
+/// traverse the same AMBA-AHB slave interface as writes, so they cost the
+/// same — reduction kernels that collect a scalar result pay for it.
+pub const SRF_READ_CYCLES: u64 = 2;
 
 /// Static resource needs a kernel declares so a [`Session`] can reject it
 /// before any staging happens, instead of failing mid-run.
@@ -32,9 +53,11 @@ pub struct Resources {
 /// ([`Kernel::program`]) and drive staging, launches and read-back through
 /// the [`LaunchCtx`] handed to [`Kernel::execute`].  Because the session
 /// owns program residency, a kernel never decides cold-vs-warm itself:
-/// [`LaunchCtx::launch`] streams configuration words only the first time a
-/// program runs in the session, exactly like the real hardware keeps a
-/// loaded kernel resident in the per-slot program memories.
+/// [`LaunchCtx::launch`] streams configuration words only when the program
+/// is not resident — its first use in the session, or its first use after
+/// the session evicted it under capacity pressure — exactly like the real
+/// hardware keeps a loaded kernel resident in the per-slot program
+/// memories.
 pub trait Kernel {
     /// Borrowed input type of one invocation (e.g. `[i32]` for a sample
     /// window, a struct of arrays for complex data).
@@ -60,7 +83,8 @@ pub trait Kernel {
     fn resources(&self) -> Resources;
 
     /// Builds the kernel's configuration-memory program for the given
-    /// geometry.  Called once per [`Kernel::cache_key`] per session.
+    /// geometry.  Called once per [`Kernel::cache_key`] per residency: a
+    /// program evicted under capacity pressure is rebuilt on its next use.
     fn program(&self, geometry: &Geometry) -> Result<KernelProgram>;
 
     /// Runs one invocation: stage inputs, launch (possibly repeatedly, e.g.
@@ -68,24 +92,183 @@ pub trait Kernel {
     fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &Self::Input) -> Result<Self::Output>;
 }
 
+/// Snapshot of one resident program handed to an [`EvictionPolicy`] when
+/// the session must free configuration-memory words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentProgram<'a> {
+    /// The program's [`Kernel::cache_key`].
+    pub key: &'a str,
+    /// Configuration words the program occupies.
+    pub words: usize,
+    /// Launches since the program was (last) loaded.
+    pub launches: u64,
+    /// Session-wide logical time of the program's last load or launch
+    /// (higher = more recent; values are unique within a session).
+    pub last_use: u64,
+}
+
+/// Chooses which resident program to evict when a new program does not fit
+/// the configuration memory.
+///
+/// The session calls [`EvictionPolicy::select_victim`] only with programs
+/// that are *evictable* — programs pinned by the active [`LaunchCtx`] (the
+/// invocation's primary program and every auxiliary program it already
+/// touched) are never offered.  Returning `None` makes the load fail with
+/// [`vwr2a_core::CoreError::ConfigMemoryFull`]; see [`NeverEvict`].
+pub trait EvictionPolicy: fmt::Debug + Send {
+    /// Returns the cache key of the program to evict, or `None` to refuse.
+    ///
+    /// Called repeatedly until the pending program fits, so a policy only
+    /// ever picks one victim at a time.
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str>;
+}
+
+/// The default policy: evict the program least recently loaded or
+/// launched.  Deterministic, because the session's logical clock gives
+/// every resident program a unique `last_use`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruPolicy;
+
+impl EvictionPolicy for LruPolicy {
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        candidates.iter().min_by_key(|c| c.last_use).map(|c| c.key)
+    }
+}
+
+/// A policy that never evicts: a full configuration memory fails with
+/// [`vwr2a_core::CoreError::ConfigMemoryFull`], matching the pre-residency
+/// behaviour.  Useful for experiments that want capacity misses to be loud.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeverEvict;
+
+impl EvictionPolicy for NeverEvict {
+    fn select_victim<'a>(&self, _candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        None
+    }
+}
+
 #[derive(Debug)]
 struct Loaded {
     id: KernelId,
     launches: u64,
+    last_use: u64,
+    words: usize,
+}
+
+/// Validates a built program's footprint (column count, program length,
+/// SPM lines and SRF indices) against the geometry, reporting misfits as
+/// [`RuntimeError::Resources`] instead of a mid-run simulator error.
+fn validate_fit(geometry: &Geometry, program: &KernelProgram) -> Result<()> {
+    program
+        .validate(geometry)
+        .map_err(|e| RuntimeError::Resources {
+            kernel: program.name.clone(),
+            what: e.to_string(),
+        })
+}
+
+/// Split-borrow view of the session state the residency manager mutates
+/// (constructible from both [`Session`] and [`LaunchCtx`], whose fields
+/// are disjoint borrows of the same session).
+struct Residency<'a> {
+    accel: &'a mut Vwr2a,
+    programs: &'a mut HashMap<String, Loaded>,
+    policy: &'a dyn EvictionPolicy,
+    clock: &'a mut u64,
+}
+
+impl Residency<'_> {
+    /// Loads `program` under `key`, evicting policy-chosen unpinned
+    /// residents until it fits; each eviction is recorded in `evicted` as
+    /// it happens, so the count survives even an error return.  Fails with
+    /// `ConfigMemoryFull` — *before* unloading anything — when the
+    /// evictable residents cannot free enough words (everything else is
+    /// pinned, or the program exceeds the total capacity), so an
+    /// impossible load never flushes the warm working set.  A policy that
+    /// refuses or returns a key outside the candidate set (pinned or not
+    /// resident) also fails the load instead of breaking the pin
+    /// guarantee.
+    fn load(
+        &mut self,
+        key: &str,
+        program: &KernelProgram,
+        pinned: &[String],
+        evicted: &mut u64,
+    ) -> Result<()> {
+        let needed = program.config_words();
+        let full = |accel: &Vwr2a| vwr2a_core::CoreError::ConfigMemoryFull {
+            capacity_words: accel.config_mem().capacity_words(),
+            requested_words: needed,
+        };
+        let evictable: usize = self
+            .programs
+            .iter()
+            .filter(|(key, _)| !pinned.iter().any(|p| p == *key))
+            .map(|(_, loaded)| loaded.words)
+            .sum();
+        if needed > self.accel.config_mem().free_words() + evictable {
+            return Err(full(self.accel).into());
+        }
+        while needed > self.accel.config_mem().free_words() {
+            let candidates: Vec<ResidentProgram<'_>> = self
+                .programs
+                .iter()
+                .filter(|(key, _)| !pinned.iter().any(|p| p == *key))
+                .map(|(key, loaded)| ResidentProgram {
+                    key,
+                    words: loaded.words,
+                    launches: loaded.launches,
+                    last_use: loaded.last_use,
+                })
+                .collect();
+            let victim = match self.policy.select_victim(&candidates) {
+                Some(victim) if candidates.iter().any(|c| c.key == victim) => victim.to_string(),
+                // Refusal — or a rogue policy naming a pinned or
+                // non-resident program, which must not break the pin
+                // guarantee.
+                _ => return Err(full(self.accel).into()),
+            };
+            let entry = self
+                .programs
+                .remove(&victim)
+                .expect("victim validated against the candidate set");
+            self.accel.unload_kernel(entry.id)?;
+            *evicted += 1;
+        }
+        let id = self.accel.load_kernel(program)?;
+        *self.clock += 1;
+        self.programs.insert(
+            key.to_string(),
+            Loaded {
+                id,
+                launches: 0,
+                last_use: *self.clock,
+                words: needed,
+            },
+        );
+        Ok(())
+    }
 }
 
 /// Execution context handed to [`Kernel::execute`]: a view of the session's
 /// accelerator that accounts every host-visible cost (DMA cycles, SRF
-/// writes, launches) and routes launches through the session's
-/// configuration-memory registry.
+/// reads and writes, launches) and routes launches through the session's
+/// configuration-memory registry — evicting cold programs when an
+/// auxiliary load needs room.
 #[derive(Debug)]
 pub struct LaunchCtx<'a> {
     accel: &'a mut Vwr2a,
     programs: &'a mut HashMap<String, Loaded>,
+    policy: &'a dyn EvictionPolicy,
+    clock: &'a mut u64,
+    /// The invocation's primary program (the kernel's own cache key).
     primary_key: String,
+    /// Programs this invocation depends on; never offered for eviction.
+    pinned: Vec<String>,
     cycles: u64,
     cold_launches: u64,
     warm_launches: u64,
+    evictions: u64,
 }
 
 impl LaunchCtx<'_> {
@@ -122,17 +305,20 @@ impl LaunchCtx<'_> {
         Ok(())
     }
 
-    /// Reads back one SRF entry (e.g. a scalar reduction result).
+    /// Reads back one SRF entry (e.g. a scalar reduction result) over the
+    /// slave port, charging [`SRF_READ_CYCLES`].
     pub fn read_param(&mut self, column: usize, index: usize) -> Result<i32> {
-        Ok(self.accel.read_srf(column, index)?)
+        let value = self.accel.read_srf(column, index)?;
+        self.cycles += SRF_READ_CYCLES;
+        Ok(value)
     }
 
     /// Launches the kernel's primary program.
     ///
-    /// The first launch of the program in the session streams its
-    /// configuration words (a *cold* launch); every later launch — within
-    /// this invocation or any later one — is *warm* and pays execution
-    /// cycles only.  Returns the cycles of this launch.
+    /// A launch of a program that is resident in the configuration memory
+    /// is *warm* and pays execution cycles only; a launch right after the
+    /// session (re)loaded the program is *cold* and streams its
+    /// configuration words first.  Returns the cycles of this launch.
     pub fn launch(&mut self) -> Result<u64> {
         let key = self.primary_key.clone();
         self.launch_key(&key)
@@ -144,11 +330,12 @@ impl LaunchCtx<'_> {
     /// every phase gets the same load-once/warm-relaunch treatment as the
     /// primary program.
     ///
-    /// Unlike the primary program, auxiliary programs are validated against
-    /// the geometry when first built (inside `load_kernel`), not at
-    /// [`Session::register`] time — a kernel whose aux programs might not
-    /// fit a constrained geometry should cover them in its declared
-    /// [`Resources`] so registration still rejects it up front.
+    /// The built program's footprint is validated against the geometry
+    /// before it is loaded, so a misfit auxiliary program fails with
+    /// [`RuntimeError::Resources`] instead of a mid-run simulator error.
+    /// If the configuration memory is full, unpinned cold programs are
+    /// evicted to make room; the auxiliary program itself is pinned for the
+    /// rest of the invocation once touched.
     pub fn launch_aux(
         &mut self,
         key: &str,
@@ -156,14 +343,24 @@ impl LaunchCtx<'_> {
     ) -> Result<u64> {
         if !self.programs.contains_key(key) {
             let program = build()?;
-            let id = self.accel.load_kernel(&program)?;
-            self.programs
-                .insert(key.to_string(), Loaded { id, launches: 0 });
+            validate_fit(self.accel.geometry(), &program)?;
+            Residency {
+                accel: &mut *self.accel,
+                programs: &mut *self.programs,
+                policy: self.policy,
+                clock: &mut *self.clock,
+            }
+            .load(key, &program, &self.pinned, &mut self.evictions)?;
+        }
+        if !self.pinned.iter().any(|p| p == key) {
+            self.pinned.push(key.to_string());
         }
         self.launch_key(key)
     }
 
     fn launch_key(&mut self, key: &str) -> Result<u64> {
+        *self.clock += 1;
+        let now = *self.clock;
         let entry = self
             .programs
             .get_mut(key)
@@ -180,6 +377,7 @@ impl LaunchCtx<'_> {
             self.accel.run_kernel_warm(entry.id)?
         };
         entry.launches += 1;
+        entry.last_use = now;
         self.cycles += stats.cycles;
         Ok(stats.cycles)
     }
@@ -196,6 +394,13 @@ impl LaunchCtx<'_> {
 /// streaming entirely.  [`Session::run_batch`] and [`Session::run_stream`]
 /// push whole input sequences through a loaded kernel and return one
 /// aggregated [`RunReport`].
+///
+/// When the configuration memory cannot hold every distinct program the
+/// session serves, cold programs are transparently evicted (see
+/// [`EvictionPolicy`]; default [`LruPolicy`]) instead of failing — the
+/// evicted program's next use is cold again, and
+/// [`RunReport::evictions`] / [`Session::evictions`] make the capacity
+/// pressure observable.
 ///
 /// # Example
 ///
@@ -222,21 +427,38 @@ impl LaunchCtx<'_> {
 pub struct Session {
     accel: Vwr2a,
     programs: HashMap<String, Loaded>,
+    policy: Box<dyn EvictionPolicy>,
+    clock: u64,
+    evictions: u64,
 }
 
 impl Session {
-    /// Creates a session around an accelerator with the paper's geometry.
+    /// Creates a session around an accelerator with the paper's geometry
+    /// and the default [`LruPolicy`].
     pub fn new() -> Self {
         Self::with_accelerator(Vwr2a::new())
     }
 
     /// Creates a session around a custom accelerator (ablation geometries,
-    /// custom DMA timing).
+    /// custom DMA timing) with the default [`LruPolicy`].
     pub fn with_accelerator(accel: Vwr2a) -> Self {
+        Self::with_policy(accel, LruPolicy)
+    }
+
+    /// Creates a session with an explicit eviction policy.
+    pub fn with_policy(accel: Vwr2a, policy: impl EvictionPolicy + 'static) -> Self {
         Self {
             accel,
             programs: HashMap::new(),
+            policy: Box::new(policy),
+            clock: 0,
+            evictions: 0,
         }
+    }
+
+    /// Replaces the eviction policy (resident programs are unaffected).
+    pub fn set_eviction_policy(&mut self, policy: impl EvictionPolicy + 'static) {
+        self.policy = Box::new(policy);
     }
 
     /// The underlying accelerator.
@@ -254,8 +476,16 @@ impl Session {
         self.programs.len()
     }
 
-    /// `true` if the kernel's program is already resident, i.e. its next
-    /// launch will be warm.
+    /// Total programs evicted from the configuration memory over the
+    /// session's lifetime to make room for new loads.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `true` if the kernel's program is currently resident and has
+    /// launched before, i.e. its next launch will be warm.  A kernel that
+    /// was evicted under capacity pressure reports `false` until it is
+    /// reloaded and launched again.
     pub fn is_warm<K: Kernel>(&self, kernel: &K) -> bool {
         self.programs
             .get(&kernel.cache_key())
@@ -263,13 +493,34 @@ impl Session {
     }
 
     /// Registers a kernel without running it: validates its resource needs
-    /// and loads its program into the configuration memory.  [`Session::run`]
-    /// does this implicitly; pre-registering is useful to front-load
-    /// validation errors.
+    /// and loads its program into the configuration memory, evicting cold
+    /// programs if it does not fit.  [`Session::run`] does this implicitly;
+    /// pre-registering is useful to front-load validation errors.
     pub fn register<K: Kernel>(&mut self, kernel: &K) -> Result<()> {
+        self.register_internal(kernel).map(|_| ())
+    }
+
+    /// Explicitly unloads a kernel's program from the configuration memory,
+    /// reclaiming its words.  Returns `true` if the program was resident.
+    /// Its next use is rebuilt, reloaded and launched cold — exactly like a
+    /// policy eviction, but not counted in [`Session::evictions`].
+    pub fn unload<K: Kernel>(&mut self, kernel: &K) -> Result<bool> {
+        match self.programs.remove(&kernel.cache_key()) {
+            Some(entry) => {
+                self.accel.unload_kernel(entry.id)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Loads the kernel's program if absent, returning how many residents
+    /// were evicted to make room.  Evictions are added to
+    /// [`Session::evictions`] as they happen, even if the load then fails.
+    fn register_internal<K: Kernel>(&mut self, kernel: &K) -> Result<u64> {
         let key = kernel.cache_key();
         if self.programs.contains_key(&key) {
-            return Ok(());
+            return Ok(0);
         }
         let geometry = *self.accel.geometry();
         let needs = kernel.resources();
@@ -297,16 +548,26 @@ impl Session {
             )));
         }
         let program = kernel.program(&geometry)?;
-        let id = self.accel.load_kernel(&program)?;
-        self.programs.insert(key, Loaded { id, launches: 0 });
-        Ok(())
+        validate_fit(&geometry, &program)?;
+        let mut evicted = 0;
+        let result = Residency {
+            accel: &mut self.accel,
+            programs: &mut self.programs,
+            policy: &*self.policy,
+            clock: &mut self.clock,
+        }
+        .load(&key, &program, &[], &mut evicted);
+        self.evictions += evicted;
+        result.map(|()| evicted)
     }
 
     /// Runs one invocation of `kernel` over `input`.
     ///
     /// The first run of a kernel in the session launches cold (its program
     /// is loaded and its configuration words streamed); repeats launch
-    /// warm.  Returns the kernel's output and the invocation's report.
+    /// warm, unless the program was evicted in between — then the next run
+    /// is cold again.  Returns the kernel's output and the invocation's
+    /// report.
     ///
     /// # Errors
     ///
@@ -370,21 +631,30 @@ impl Session {
         input: &K::Input,
         report: &mut RunReport,
     ) -> Result<K::Output> {
-        self.register(kernel)?;
+        let register_evictions = self.register_internal(kernel)?;
         let before = self.accel.counters();
         let mut ctx = LaunchCtx {
             accel: &mut self.accel,
             programs: &mut self.programs,
+            policy: &*self.policy,
+            clock: &mut self.clock,
             primary_key: kernel.cache_key(),
+            pinned: vec![kernel.cache_key()],
             cycles: 0,
             cold_launches: 0,
             warm_launches: 0,
+            evictions: 0,
         };
-        let output = kernel.execute(&mut ctx, input)?;
+        let result = kernel.execute(&mut ctx, input);
+        let ctx_evictions = ctx.evictions;
+        let (cold, warm, cycles) = (ctx.cold_launches, ctx.warm_launches, ctx.cycles);
+        self.evictions += ctx_evictions;
+        let output = result?;
         report.invocations += 1;
-        report.cold_launches += ctx.cold_launches;
-        report.warm_launches += ctx.warm_launches;
-        report.cycles += ctx.cycles;
+        report.cold_launches += cold;
+        report.warm_launches += warm;
+        report.cycles += cycles;
+        report.evictions += register_evictions + ctx_evictions;
         report.counters += self.accel.counters() - before;
         Ok(output)
     }
@@ -393,5 +663,363 @@ impl Session {
 impl Default for Session {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{BakedScaleKernel, ScaleKernel};
+    use vwr2a_core::program::{ColumnProgram, Row};
+    use vwr2a_core::CoreError;
+
+    /// A session whose configuration memory holds `config_words` words.
+    fn constrained_session(config_words: usize) -> Session {
+        let mut geometry = Geometry::paper();
+        geometry.config_words = config_words;
+        Session::with_accelerator(Vwr2a::with_geometry(geometry).unwrap())
+    }
+
+    /// Configuration words of one BakedScaleKernel program on the paper
+    /// geometry.
+    fn baked_words() -> usize {
+        BakedScaleKernel::new(1)
+            .program(&Geometry::paper())
+            .unwrap()
+            .config_words()
+    }
+
+    #[test]
+    fn full_config_memory_evicts_lru_instead_of_failing() {
+        // Room for exactly two baked programs.
+        let mut session = constrained_session(2 * baked_words());
+        let k2 = BakedScaleKernel::new(2);
+        let k3 = BakedScaleKernel::new(3);
+        let k5 = BakedScaleKernel::new(5);
+        let input: Vec<i32> = (0..100).collect();
+
+        let (out2, r2) = session.run(&k2, &input).unwrap();
+        let (out3, r3) = session.run(&k3, &input).unwrap();
+        assert_eq!(r2.evictions + r3.evictions, 0);
+        assert_eq!(session.loaded_programs(), 2);
+
+        // The third distinct program evicts the least recently used (k2).
+        let (out5, r5) = session.run(&k5, &input).unwrap();
+        assert_eq!(r5.evictions, 1);
+        assert_eq!(r5.cold_launches, 1);
+        assert_eq!(session.loaded_programs(), 2);
+        assert_eq!(session.evictions(), 1);
+        assert!(!session.is_warm(&k2), "k2 must have been evicted");
+        assert!(session.is_warm(&k3));
+
+        // Outputs stay correct throughout — no stale program aliasing.
+        assert_eq!(out2, input.iter().map(|v| v * 2).collect::<Vec<_>>());
+        assert_eq!(out3, input.iter().map(|v| v * 3).collect::<Vec<_>>());
+        assert_eq!(out5, input.iter().map(|v| v * 5).collect::<Vec<_>>());
+
+        // Re-running the evicted kernel reloads it (cold again), evicting
+        // the new LRU (k3), and still multiplies by 2 — not by a stale
+        // program's factor.
+        let (out2b, r2b) = session.run(&k2, &input).unwrap();
+        assert_eq!(r2b.evictions, 1);
+        assert_eq!(r2b.cold_launches, 1);
+        assert_eq!(r2b.warm_launches, 0);
+        assert!(r2b.counters.config_words_loaded > 0, "reload streams words");
+        assert_eq!(out2b, out2);
+        assert!(!session.is_warm(&k3));
+        assert!(session.is_warm(&k5));
+    }
+
+    #[test]
+    fn never_evict_policy_keeps_the_hard_failure() {
+        let mut geometry = Geometry::paper();
+        geometry.config_words = 2 * baked_words();
+        let accel = Vwr2a::with_geometry(geometry).unwrap();
+        let mut session = Session::with_policy(accel, NeverEvict);
+        let input = [1i32, 2, 3];
+        session.run(&BakedScaleKernel::new(2), &input[..]).unwrap();
+        session.run(&BakedScaleKernel::new(3), &input[..]).unwrap();
+        let err = session
+            .run(&BakedScaleKernel::new(5), &input[..])
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
+            "expected ConfigMemoryFull, got {err:?}"
+        );
+        assert_eq!(session.evictions(), 0);
+    }
+
+    #[test]
+    fn oversized_program_fails_even_after_evicting_everything() {
+        // The program alone exceeds the whole capacity: eviction cannot
+        // help, and the session must say so instead of looping.
+        let mut session = constrained_session(baked_words() - 1);
+        let err = session
+            .run(&BakedScaleKernel::new(2), &[1i32, 2][..])
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
+            "expected ConfigMemoryFull, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_load_does_not_flush_the_warm_working_set() {
+        // Two warm residents, then a program that exceeds the whole
+        // capacity: the load must fail up front without evicting anything.
+        struct Giant;
+        impl Kernel for Giant {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "giant"
+            }
+            fn resources(&self) -> Resources {
+                Resources::default()
+            }
+            fn program(&self, g: &Geometry) -> Result<KernelProgram> {
+                let mut rows = vec![Row::new(g.rcs_per_column); 50];
+                rows.push(Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit));
+                let col = ColumnProgram::new(rows)?;
+                Ok(KernelProgram::new("giant", vec![col.clone(), col])?)
+            }
+            fn execute(&self, _ctx: &mut LaunchCtx<'_>, _input: &()) -> Result<()> {
+                unreachable!("never loads")
+            }
+        }
+        let mut session = constrained_session(2 * baked_words());
+        let k2 = BakedScaleKernel::new(2);
+        let k3 = BakedScaleKernel::new(3);
+        let input = [1i32, 2, 3];
+        session.run(&k2, &input[..]).unwrap();
+        session.run(&k3, &input[..]).unwrap();
+
+        let err = session.run(&Giant, &()).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
+            "expected ConfigMemoryFull, got {err:?}"
+        );
+        assert!(session.is_warm(&k2), "k2 must survive the impossible load");
+        assert!(session.is_warm(&k3), "k3 must survive the impossible load");
+        assert_eq!(session.evictions(), 0);
+    }
+
+    #[test]
+    fn rogue_policy_cannot_evict_outside_the_candidate_set() {
+        // A policy that names a program that is not an eviction candidate
+        // (here: not resident at all) must fail the load cleanly instead of
+        // panicking or breaking the pin guarantee.
+        #[derive(Debug)]
+        struct Rogue;
+        impl EvictionPolicy for Rogue {
+            fn select_victim<'a>(&self, _c: &[ResidentProgram<'a>]) -> Option<&'a str> {
+                Some("not-a-resident")
+            }
+        }
+        let mut geometry = Geometry::paper();
+        geometry.config_words = 2 * baked_words();
+        let accel = Vwr2a::with_geometry(geometry).unwrap();
+        let mut session = Session::with_policy(accel, Rogue);
+        let input = [1i32, 2];
+        let k2 = BakedScaleKernel::new(2);
+        let k3 = BakedScaleKernel::new(3);
+        session.run(&k2, &input[..]).unwrap();
+        session.run(&k3, &input[..]).unwrap();
+        let err = session
+            .run(&BakedScaleKernel::new(5), &input[..])
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
+            "expected ConfigMemoryFull, got {err:?}"
+        );
+        assert!(session.is_warm(&k2));
+        assert!(session.is_warm(&k3));
+        assert_eq!(session.evictions(), 0);
+    }
+
+    #[test]
+    fn mixed_workload_under_pressure_is_bit_identical_to_unconstrained() {
+        // The acceptance scenario: a config memory holding only 2 of 4
+        // distinct kernels serves a 100-invocation mixed workload with
+        // bit-identical outputs, evictions instead of errors, and cold
+        // launches only where an eviction preceded them.
+        let kernels: Vec<BakedScaleKernel> = [2i16, 3, 5, 7]
+            .iter()
+            .map(|&f| BakedScaleKernel::new(f))
+            .collect();
+        let mut constrained = constrained_session(2 * baked_words());
+        let mut unconstrained = Session::new();
+
+        let mut cold_total = 0u64;
+        let mut evictions_total = 0u64;
+        for i in 0..100 {
+            let kernel = &kernels[i % kernels.len()];
+            let input: Vec<i32> = (0..64).map(|v| v + i as i32).collect();
+            let (out_c, report) = constrained.run(kernel, &input).unwrap();
+            let (out_u, _) = unconstrained.run(kernel, &input).unwrap();
+            assert_eq!(out_c, out_u, "invocation {i} diverged under pressure");
+            if i >= kernels.len() {
+                // Not a first-ever load: a cold launch is only legitimate
+                // when evictions made room at its expense earlier.
+                assert!(
+                    report.cold_launches == 0 || evictions_total > 0,
+                    "invocation {i} went cold without any prior eviction"
+                );
+            }
+            cold_total += report.cold_launches;
+            evictions_total += report.evictions;
+        }
+        assert!(evictions_total > 0, "the workload must overflow the memory");
+        assert!(
+            cold_total > kernels.len() as u64,
+            "evictions must cause cold reloads"
+        );
+        // Every cold launch beyond the four initial loads is paid for by an
+        // eviction.
+        assert!(cold_total <= kernels.len() as u64 + evictions_total);
+        assert_eq!(constrained.evictions(), evictions_total);
+        assert_eq!(unconstrained.evictions(), 0);
+    }
+
+    #[test]
+    fn srf_reads_are_charged_like_writes() {
+        struct ParamEcho;
+        impl Kernel for ParamEcho {
+            type Input = ();
+            type Output = i32;
+            fn name(&self) -> &str {
+                "param-echo"
+            }
+            fn resources(&self) -> Resources {
+                Resources::default()
+            }
+            fn program(&self, g: &Geometry) -> Result<KernelProgram> {
+                let col = ColumnProgram::new(vec![
+                    Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit)
+                ])?;
+                Ok(KernelProgram::new("param-echo", vec![col])?)
+            }
+            fn execute(&self, ctx: &mut LaunchCtx<'_>, _input: &()) -> Result<i32> {
+                ctx.write_param(0, 0, 42)?;
+                let a = ctx.read_param(0, 0)?;
+                let b = ctx.read_param(0, 0)?;
+                let c = ctx.read_param(0, 0)?;
+                Ok(a + b + c)
+            }
+        }
+        let mut session = Session::new();
+        let (sum, report) = session.run(&ParamEcho, &()).unwrap();
+        assert_eq!(sum, 126);
+        // One write and three reads over the slave port — reads are no
+        // longer free.
+        assert_eq!(report.cycles, SRF_WRITE_CYCLES + 3 * SRF_READ_CYCLES);
+    }
+
+    #[test]
+    fn misfit_aux_program_fails_with_resources() {
+        struct WideAux;
+        impl Kernel for WideAux {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "wide-aux"
+            }
+            fn resources(&self) -> Resources {
+                Resources::default()
+            }
+            fn program(&self, g: &Geometry) -> Result<KernelProgram> {
+                let col = ColumnProgram::new(vec![
+                    Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit)
+                ])?;
+                Ok(KernelProgram::new("wide-aux", vec![col])?)
+            }
+            fn execute(&self, ctx: &mut LaunchCtx<'_>, _input: &()) -> Result<()> {
+                // Three columns on a two-column array: must fail before any
+                // load, as a Resources error.
+                ctx.launch_aux("wide-aux:3col", || {
+                    let col =
+                        ColumnProgram::new(vec![Row::new(4).lcu(vwr2a_core::isa::LcuInstr::Exit)])?;
+                    Ok(KernelProgram::new(
+                        "wide-aux:3col",
+                        vec![col.clone(), col.clone(), col],
+                    )?)
+                })?;
+                Ok(())
+            }
+        }
+        let mut session = Session::new();
+        let err = session.run(&WideAux, &()).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Resources { ref kernel, .. } if kernel == "wide-aux:3col"),
+            "expected Resources, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn active_invocation_programs_are_pinned_against_eviction() {
+        struct AuxUser;
+        impl Kernel for AuxUser {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "aux-user"
+            }
+            fn cache_key(&self) -> String {
+                "aux-user:primary".into()
+            }
+            fn resources(&self) -> Resources {
+                Resources {
+                    columns: 1,
+                    spm_lines: 2,
+                    srf_slots: 0,
+                }
+            }
+            fn program(&self, g: &Geometry) -> Result<KernelProgram> {
+                BakedScaleKernel::new(11).program(g)
+            }
+            fn execute(&self, ctx: &mut LaunchCtx<'_>, _input: &()) -> Result<()> {
+                ctx.dma_in(&[1; 128], 0)?;
+                ctx.launch()?;
+                // Loading the aux program overflows the two-slot memory.
+                // The primary is pinned, so the cold bystander is evicted.
+                ctx.launch_aux("aux-user:aux", || {
+                    BakedScaleKernel::new(13).program(&ctx_geometry())
+                })?;
+                // The primary must still be resident: warm relaunch.
+                ctx.launch()?;
+                Ok(())
+            }
+        }
+        fn ctx_geometry() -> Geometry {
+            Geometry::paper()
+        }
+
+        let mut session = constrained_session(2 * baked_words());
+        let bystander = BakedScaleKernel::new(99);
+        session.run(&bystander, &[1i32, 2][..]).unwrap();
+        assert!(session.is_warm(&bystander));
+
+        let (_, report) = session.run(&AuxUser, &()).unwrap();
+        assert_eq!(report.evictions, 1, "only the bystander may be evicted");
+        assert_eq!(report.cold_launches, 2, "primary and aux load cold");
+        assert_eq!(report.warm_launches, 1, "the pinned primary stays warm");
+        assert!(!session.is_warm(&bystander));
+        assert_eq!(session.loaded_programs(), 2);
+    }
+
+    #[test]
+    fn explicit_unload_forces_a_cold_relaunch() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(4);
+        let input = [5i32, 6, 7];
+        session.run(&kernel, &input[..]).unwrap();
+        assert!(session.is_warm(&kernel));
+        assert!(session.unload(&kernel).unwrap());
+        assert!(!session.is_warm(&kernel));
+        assert!(!session.unload(&kernel).unwrap(), "already gone");
+        let (out, report) = session.run(&kernel, &input[..]).unwrap();
+        assert_eq!(out, vec![20, 24, 28]);
+        assert_eq!(report.cold_launches, 1);
+        assert_eq!(session.evictions(), 0, "explicit unloads are not evictions");
     }
 }

@@ -1,10 +1,13 @@
-//! A minimal example kernel used by the runtime's own tests and doc
+//! Minimal example kernels used by the runtime's own tests and doc
 //! examples.
 //!
 //! Real kernel mappings live in `vwr2a-kernels`; [`ScaleKernel`] exists so
 //! the runtime crate can demonstrate and test the [`crate::Session`]
 //! machinery (cold/warm launches, batching, reports) without depending on
-//! them.
+//! them.  [`BakedScaleKernel`] bakes its factor into the program as an
+//! immediate — every factor is a distinct configuration-memory program, so
+//! it exercises capacity pressure, eviction and stale-handle safety: if a
+//! stale program were ever aliased, the output would be numerically wrong.
 
 use vwr2a_core::builder::ColumnProgramBuilder;
 use vwr2a_core::geometry::{Geometry, VwrId};
@@ -22,6 +25,81 @@ const LINE: usize = 128;
 const IN_LINE: usize = 0;
 /// SPM line receiving the result.
 const OUT_LINE: usize = 1;
+
+/// Builds the shared one-column scale program: load the input line into
+/// VWR A, multiply every word by `factor_src` into VWR C, store the result
+/// line.  When `prefetch_srf` is set, the factor is first copied from that
+/// SRF entry into every RC's `Reg(0)` (one RC at a time: single SRF port).
+fn scale_program(
+    geometry: &Geometry,
+    name: &str,
+    prefetch_srf: Option<u8>,
+    factor_src: RcSrc,
+) -> Result<KernelProgram> {
+    let mut b = ColumnProgramBuilder::new(geometry.rcs_per_column);
+    b.push(b.row().lsu(LsuInstr::LoadVwr {
+        vwr: VwrId::A,
+        line: LsuAddr::Imm(IN_LINE as u16),
+    }));
+    b.push(
+        b.row()
+            .lcu(LcuInstr::Li { r: 0, value: 0 })
+            .mxcu(MxcuInstr::SetIdx(0)),
+    );
+    if let Some(srf) = prefetch_srf {
+        for rc in 0..geometry.rcs_per_column {
+            b.push(b.row().rc(rc, RcInstr::mov(RcDst::Reg(0), RcSrc::Srf(srf))));
+        }
+    }
+    let top = b.new_label();
+    b.bind_label(top);
+    b.push(
+        b.row()
+            .lcu(LcuInstr::Add {
+                r: 0,
+                src: LcuSrc::Imm(1),
+            })
+            .mxcu(MxcuInstr::AddIdx(1))
+            .rc_all(RcInstr::new(
+                RcOpcode::Mul,
+                RcDst::Vwr(VwrId::C),
+                RcSrc::Vwr(VwrId::A),
+                factor_src,
+            )),
+    );
+    b.push_branch(
+        b.row(),
+        LcuCond::Lt,
+        0,
+        LcuSrc::Imm(geometry.slice_words() as i32),
+        top,
+    );
+    b.push(b.row().lsu(LsuInstr::StoreVwr {
+        vwr: VwrId::C,
+        line: LsuAddr::Imm(OUT_LINE as u16),
+    }));
+    b.push_exit();
+    Ok(KernelProgram::new(name, vec![b.build()?])?)
+}
+
+/// Stages one padded input line, launches, and reads the result line back,
+/// truncated to the input length — the staging shared by both scale
+/// kernels.
+fn scale_execute(ctx: &mut LaunchCtx<'_>, name: &str, input: &[i32]) -> Result<Vec<i32>> {
+    if input.is_empty() || input.len() > LINE {
+        return Err(RuntimeError::invalid_input(format!(
+            "{name} kernel takes 1..={LINE} words, got {}",
+            input.len()
+        )));
+    }
+    let mut line = input.to_vec();
+    line.resize(LINE, 0);
+    ctx.dma_in(&line, IN_LINE * LINE)?;
+    ctx.launch()?;
+    let mut out = ctx.dma_out(OUT_LINE * LINE, LINE)?;
+    out.truncate(input.len());
+    Ok(out)
+}
 
 /// Multiplies up to one VWR line of words by an integer factor read from
 /// `SRF[0]`.
@@ -54,66 +132,72 @@ impl Kernel for ScaleKernel {
     }
 
     fn program(&self, geometry: &Geometry) -> Result<KernelProgram> {
-        let mut b = ColumnProgramBuilder::new(geometry.rcs_per_column);
-        b.push(b.row().lsu(LsuInstr::LoadVwr {
-            vwr: VwrId::A,
-            line: LsuAddr::Imm(IN_LINE as u16),
-        }));
-        b.push(
-            b.row()
-                .lcu(LcuInstr::Li { r: 0, value: 0 })
-                .mxcu(MxcuInstr::SetIdx(0)),
-        );
-        // Fetch the factor once per RC (one at a time: single SRF port).
-        for rc in 0..geometry.rcs_per_column {
-            b.push(b.row().rc(rc, RcInstr::mov(RcDst::Reg(0), RcSrc::Srf(0))));
-        }
-        let top = b.new_label();
-        b.bind_label(top);
-        b.push(
-            b.row()
-                .lcu(LcuInstr::Add {
-                    r: 0,
-                    src: LcuSrc::Imm(1),
-                })
-                .mxcu(MxcuInstr::AddIdx(1))
-                .rc_all(RcInstr::new(
-                    RcOpcode::Mul,
-                    RcDst::Vwr(VwrId::C),
-                    RcSrc::Vwr(VwrId::A),
-                    RcSrc::Reg(0),
-                )),
-        );
-        b.push_branch(
-            b.row(),
-            LcuCond::Lt,
-            0,
-            LcuSrc::Imm(geometry.slice_words() as i32),
-            top,
-        );
-        b.push(b.row().lsu(LsuInstr::StoreVwr {
-            vwr: VwrId::C,
-            line: LsuAddr::Imm(OUT_LINE as u16),
-        }));
-        b.push_exit();
-        Ok(KernelProgram::new("scale", vec![b.build()?])?)
+        // Fetch the factor from SRF[0] once per RC, multiply by Reg(0).
+        scale_program(geometry, "scale", Some(0), RcSrc::Reg(0))
     }
 
     fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> Result<Vec<i32>> {
-        if input.is_empty() || input.len() > LINE {
-            return Err(RuntimeError::invalid_input(format!(
-                "scale kernel takes 1..={LINE} words, got {}",
-                input.len()
-            )));
-        }
-        let mut line = input.to_vec();
-        line.resize(LINE, 0);
-        ctx.dma_in(&line, IN_LINE * LINE)?;
         ctx.write_param(0, 0, self.factor)?;
-        ctx.launch()?;
-        let mut out = ctx.dma_out(OUT_LINE * LINE, LINE)?;
-        out.truncate(input.len());
-        Ok(out)
+        scale_execute(ctx, "scale", input)
+    }
+}
+
+/// Multiplies up to one VWR line of words by an integer factor baked into
+/// the program as an immediate.
+///
+/// Unlike [`ScaleKernel`] (one shared program, factor passed through the
+/// SRF), every factor here produces a *different* program with its own
+/// [`crate::Kernel::cache_key`] — the runtime analogue of FIR kernels with
+/// different baked-in taps.  A handful of these saturate a small
+/// configuration memory, which makes the kernel the workhorse of the
+/// capacity-pressure and eviction tests.
+#[derive(Debug, Clone)]
+pub struct BakedScaleKernel {
+    factor: i16,
+    key: String,
+}
+
+impl BakedScaleKernel {
+    /// Creates a kernel whose program multiplies by `factor`.
+    pub fn new(factor: i16) -> Self {
+        Self {
+            factor,
+            key: format!("baked-scale:{factor}"),
+        }
+    }
+
+    /// The baked-in factor.
+    pub fn factor(&self) -> i16 {
+        self.factor
+    }
+}
+
+impl Kernel for BakedScaleKernel {
+    type Input = [i32];
+    type Output = Vec<i32>;
+
+    fn name(&self) -> &str {
+        "baked-scale"
+    }
+
+    fn cache_key(&self) -> String {
+        self.key.clone()
+    }
+
+    fn resources(&self) -> Resources {
+        Resources {
+            columns: 1,
+            spm_lines: 2,
+            srf_slots: 0,
+        }
+    }
+
+    fn program(&self, geometry: &Geometry) -> Result<KernelProgram> {
+        scale_program(geometry, &self.key, None, RcSrc::Imm(self.factor))
+    }
+
+    fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> Result<Vec<i32>> {
+        scale_execute(ctx, "baked-scale", input)
     }
 }
 

@@ -12,7 +12,7 @@ use vwr2a::fftaccel::FftAccelerator;
 use vwr2a::kernels::fft::{FftKernel, RealFftKernel};
 use vwr2a::kernels::fir::FirKernel;
 use vwr2a::kernels::Spectrum;
-use vwr2a::runtime::Session;
+use vwr2a::runtime::{Kernel, Session};
 
 #[test]
 fn vwr2a_fft_matches_the_golden_model_end_to_end() {
@@ -162,6 +162,70 @@ fn batched_windows_are_bit_identical_to_independent_cold_runs() {
         let (cold_out, _) = Session::new().run(&kernel, window.as_slice()).unwrap();
         assert_eq!(&cold_out, batch_out, "batch output must match a cold run");
     }
+}
+
+#[test]
+fn constrained_config_memory_serves_a_mixed_workload_bit_identically() {
+    // Residency acceptance scenario: four FIR kernels with different
+    // baked-in taps (four distinct configuration-memory programs), but a
+    // configuration memory sized to hold only two of them.  A
+    // 100-invocation mixed workload must complete with outputs
+    // bit-identical to an unconstrained session — the session evicts cold
+    // programs (visible in `RunReport::evictions`) instead of ever failing
+    // with `ConfigMemoryFull`, and pays cold reloads only after evictions.
+    let n = 128;
+    let tap_sets: Vec<Vec<i32>> = [0.08, 0.12, 0.2, 0.3]
+        .iter()
+        .map(|&fc| {
+            design_lowpass(11, fc)
+                .unwrap()
+                .iter()
+                .map(|&v| Q15::from_f64(v).0 as i32)
+                .collect()
+        })
+        .collect();
+    let kernels: Vec<FirKernel> = tap_sets
+        .iter()
+        .map(|taps| FirKernel::new(taps, n).unwrap())
+        .collect();
+    let program_words = 2 * kernels[0]
+        .program(&vwr2a::core::Geometry::paper())
+        .unwrap()
+        .config_words();
+
+    let mut geometry = vwr2a::core::Geometry::paper();
+    geometry.config_words = program_words; // two of the four programs fit
+    let mut constrained = Session::with_accelerator(Vwr2a::with_geometry(geometry).unwrap());
+    let mut unconstrained = Session::new();
+
+    let mut cold_total = 0;
+    let mut evictions_total = 0;
+    for i in 0..100 {
+        let kernel = &kernels[i % kernels.len()];
+        let input: Vec<i32> = (0..n)
+            .map(|s| (4000.0 * ((s + 13 * i) as f64 * 0.17).sin()) as i32)
+            .collect();
+        let (out_c, report) = constrained
+            .run(kernel, input.as_slice())
+            .expect("capacity pressure must never fail the run");
+        let (out_u, _) = unconstrained.run(kernel, input.as_slice()).unwrap();
+        assert_eq!(out_c, out_u, "invocation {i} diverged under pressure");
+        if i >= kernels.len() {
+            assert!(
+                report.cold_launches == 0 || evictions_total > 0,
+                "invocation {i} went cold without a preceding eviction"
+            );
+        }
+        cold_total += report.cold_launches;
+        evictions_total += report.evictions;
+    }
+    assert!(evictions_total > 0, "4 programs in 2 slots must evict");
+    assert!(
+        cold_total <= kernels.len() as u64 + evictions_total,
+        "every extra cold launch must be paid for by an eviction"
+    );
+    assert_eq!(constrained.evictions(), evictions_total);
+    assert_eq!(unconstrained.evictions(), 0, "roomy memory never evicts");
 }
 
 #[test]
