@@ -1,36 +1,45 @@
 //! Configuration-memory residency sweep: how the cold-reload rate and the
 //! cycle overhead grow as the configuration memory shrinks below the
-//! working set of distinct kernel programs.
+//! working set of distinct kernel programs — and how the eviction policy
+//! changes the bill on a mixed-size working set.
 //!
-//! The workload interleaves four 11-tap FIR kernels with different baked-in
+//! Part 1 interleaves four 11-tap FIR kernels with different baked-in
 //! taps — four distinct configuration-memory programs of equal size — over
 //! a fixed window stream.  A `Session` with the default LRU policy evicts
 //! cold programs instead of failing, so every capacity completes the same
 //! workload with bit-identical outputs; what changes is how often a launch
 //! has to re-stream configuration words (`cold / launches`) and the cycles
 //! that costs.
+//!
+//! Part 2 compares `LruPolicy` against `SizeAwareLru` on a working set
+//! that mixes three small (3-tap) programs with one large (11-tap) one
+//! under pressure: the size-aware policy prefers evicting the one large
+//! coldish program over cascading through the small warm ones.
+//!
+//! Run with `--smoke` for the fast CI configuration.
 
 use vwr2a_core::geometry::Geometry;
 use vwr2a_core::Vwr2a;
 use vwr2a_dsp::fir::design_lowpass;
 use vwr2a_dsp::fixed::Q15;
 use vwr2a_kernels::fir::FirKernel;
-use vwr2a_runtime::{Kernel, RunReport, Session};
+use vwr2a_runtime::{EvictionPolicy, Kernel, LruPolicy, RunReport, Session, SizeAwareLru};
 
 const N: usize = 256;
-const INVOCATIONS: usize = 64;
+
+fn fir(taps: usize, fc: f64) -> FirKernel {
+    let taps: Vec<i32> = design_lowpass(taps, fc)
+        .expect("valid filter design")
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    FirKernel::new(&taps, N).expect("valid kernel")
+}
 
 fn kernels() -> Vec<FirKernel> {
     [0.08, 0.12, 0.2, 0.3]
         .iter()
-        .map(|&fc| {
-            let taps: Vec<i32> = design_lowpass(11, fc)
-                .expect("valid filter design")
-                .iter()
-                .map(|&v| Q15::from_f64(v).0 as i32)
-                .collect();
-            FirKernel::new(&taps, N).expect("valid kernel")
-        })
+        .map(|&fc| fir(11, fc))
         .collect()
 }
 
@@ -40,16 +49,30 @@ fn window(i: usize) -> Vec<i32> {
         .collect()
 }
 
-/// Runs the mixed workload on a session whose configuration memory holds
-/// `capacity_words` words, returning the aggregated report.
-fn run_workload(kernels: &[FirKernel], capacity_words: usize) -> RunReport {
+fn program_words(kernel: &FirKernel) -> usize {
+    kernel
+        .program(&Geometry::paper())
+        .expect("program builds")
+        .config_words()
+}
+
+/// Runs `invocations` windows over `pick`-selected kernels on a session
+/// whose configuration memory holds `capacity_words` words, returning the
+/// aggregated report.
+fn run_workload(
+    kernels: &[FirKernel],
+    capacity_words: usize,
+    policy: impl EvictionPolicy + 'static,
+    invocations: usize,
+    pick: impl Fn(usize) -> usize,
+) -> RunReport {
     let mut geometry = Geometry::paper();
     geometry.config_words = capacity_words;
     let accel = Vwr2a::with_geometry(geometry).expect("valid geometry");
-    let mut session = Session::with_accelerator(accel);
+    let mut session = Session::with_policy(accel, policy);
     let mut total = RunReport::new("fir-mixed");
-    for i in 0..INVOCATIONS {
-        let kernel = &kernels[i % kernels.len()];
+    for i in 0..invocations {
+        let kernel = &kernels[pick(i)];
         let (_, report) = session
             .run(kernel, window(i).as_slice())
             .expect("eviction must absorb capacity pressure");
@@ -58,16 +81,13 @@ fn run_workload(kernels: &[FirKernel], capacity_words: usize) -> RunReport {
     total
 }
 
-fn main() {
+fn capacity_sweep(invocations: usize) {
     let kernels = kernels();
-    let program_words = kernels[0]
-        .program(&Geometry::paper())
-        .expect("program builds")
-        .config_words();
+    let program_words = program_words(&kernels[0]);
     let working_set = kernels.len() * program_words;
 
     println!(
-        "Residency sweep: {INVOCATIONS} invocations over {} distinct FIR programs",
+        "Residency sweep: {invocations} invocations over {} distinct FIR programs",
         kernels.len()
     );
     println!("({program_words} configuration words per program, {working_set}-word working set)");
@@ -80,12 +100,13 @@ fn main() {
         .map(|k| k * program_words)
         .chain([roomy_capacity])
         .collect();
-    let roomy = run_workload(&kernels, roomy_capacity);
+    let pick = |i: usize| i % kernels.len();
+    let roomy = run_workload(&kernels, roomy_capacity, LruPolicy, invocations, pick);
     for &capacity in &capacities {
         let report = if capacity == roomy_capacity {
             roomy.clone()
         } else {
-            run_workload(&kernels, capacity)
+            run_workload(&kernels, capacity, LruPolicy, invocations, pick)
         };
         let cold_rate = report.cold_launches as f64 / report.launches() as f64;
         let overhead = report.cycles as f64 / roomy.cycles as f64 - 1.0;
@@ -104,4 +125,64 @@ fn main() {
     println!();
     println!("Every row computes bit-identical outputs; smaller configuration memories");
     println!("only pay more cold configuration-word streaming after LRU evictions.");
+}
+
+fn policy_comparison(invocations: usize) {
+    // Three small programs — one touched rarely, two hot — plus two large
+    // programs that alternate.  When a large program returns, the LRU
+    // victim is the rarely-used small program, which frees too few words:
+    // pure LRU flushes it *and* the old large program, while the
+    // size-aware policy spends its single eviction on the large one and
+    // keeps the small working set resident.
+    let mixed: Vec<FirKernel> = vec![
+        fir(3, 0.08),  // s0: touched once per cycle
+        fir(3, 0.15),  // s1: hot
+        fir(3, 0.25),  // s2: hot
+        fir(11, 0.1),  // L1
+        fir(11, 0.22), // L2
+    ];
+    let small = program_words(&mixed[0]);
+    let large = program_words(&mixed[3]);
+    // All three small programs plus one large program fit; the second
+    // large program forces evictions.
+    let capacity = 3 * small + large;
+    let pick = |i: usize| match i % 8 {
+        0 => 0,
+        3 => 3,
+        6 => 4,
+        2 | 5 => 2,
+        _ => 1,
+    };
+
+    println!();
+    println!(
+        "Eviction-policy comparison: 3 small ({small}-word) + 2 large ({large}-word) programs"
+    );
+    println!("in a {capacity}-word configuration memory, {invocations} invocations");
+    println!();
+    println!("  policy        evictions  cold  warm  cold-rate  cycles");
+    println!("  ------------  ---------  ----  ----  ---------  ---------");
+    let lru = run_workload(&mixed, capacity, LruPolicy, invocations, pick);
+    let size_aware = run_workload(&mixed, capacity, SizeAwareLru, invocations, pick);
+    for (name, report) in [("LruPolicy", &lru), ("SizeAwareLru", &size_aware)] {
+        println!(
+            "  {:<12}  {:>9}  {:>4}  {:>4}  {:>8.1}%  {:>9}",
+            name,
+            report.evictions,
+            report.cold_launches,
+            report.warm_launches,
+            100.0 * report.cold_launches as f64 / report.launches() as f64,
+            report.cycles,
+        );
+    }
+    println!();
+    println!("SizeAwareLru spends one eviction on the large coldish program instead of");
+    println!("cascading through the small warm working set.");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let invocations = if smoke { 16 } else { 64 };
+    capacity_sweep(invocations);
+    policy_comparison(invocations);
 }

@@ -1,7 +1,10 @@
 //! Experiment harness regenerating the paper's tables and figures.
 //!
 //! Each binary in `src/bin/` reproduces one artefact (see DESIGN.md §5):
-//! `table2`, `fig2`, `table3`, `table4`, `table5`, `ulpsrp` and `ablation`.
+//! `table2`, `fig2`, `table3`, `table4`, `table5`, `ulpsrp` and `ablation`;
+//! `residency` (configuration-memory pressure and eviction policies) and
+//! `streaming` (pipelined-overlap sweep) probe the runtime beyond the
+//! paper's tables and run in CI with `--smoke`.
 //! The shared measurement functions live here so that the Criterion benches
 //! exercise exactly the same code paths as the binaries.  Every VWR2A
 //! measurement goes through a fresh [`Session`], matching the paper's
@@ -254,6 +257,25 @@ mod tests {
         let row = run_fft_comparison(2048, false);
         assert!(row.vwr2a.is_none());
         assert!(row.cpu.cycles > 100_000);
+    }
+
+    #[test]
+    fn fir_stream_pipelines_staging_behind_compute() {
+        let stream = run_fir_stream(256, 8);
+        // The pipelined wall clock must beat both the serial phase sum
+        // with interrupts and the classic DMA+compute+DMA cycle total.
+        assert!(stream.wall_cycles < stream.serial_cycles());
+        assert!(stream.wall_cycles < stream.cycles);
+        assert!(
+            stream.overlap_ratio() > 0.1,
+            "overlap {}",
+            stream.overlap_ratio()
+        );
+        // The work itself is conserved across the overlapped schedule.
+        assert_eq!(
+            stream.busy.config_load + stream.busy.dma + stream.busy.compute,
+            stream.cycles
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::geometry::Geometry;
 use crate::program::KernelProgram;
 use crate::spm::Spm;
 use crate::stats::RunStats;
+use crate::timeline::{Engine, LaunchSpans, Span, Timeline};
 use crate::trace::ActivityCounters;
 
 /// Default cycle budget per kernel launch before the simulator declares the
@@ -179,24 +180,86 @@ impl Vwr2a {
     /// Transfers data from system memory into the SPM through the DMA,
     /// returning the cycles the transfer took.
     ///
+    /// Convenience wrapper over [`Vwr2a::dma_to_spm_at`] for callers that
+    /// execute strictly serially and only want the duration.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidDmaTransfer`] or
     /// [`CoreError::SpmOutOfRange`].
     pub fn dma_to_spm(&mut self, data: &[i32], spm_word_addr: usize) -> Result<u64> {
-        self.dma
-            .copy_to_spm(data, &mut self.spm, spm_word_addr, &mut self.counters)
+        let mut scratch = Timeline::new();
+        self.dma_to_spm_at(data, spm_word_addr, &mut scratch, 0)
+            .map(|span| span.duration())
+    }
+
+    /// Transfers data from system memory into the SPM through the DMA,
+    /// reporting the transfer's cost as a [`Span`] on `timeline`
+    /// ([`Engine::Dma`], no earlier than `not_before`).
+    ///
+    /// This is the staging half of a pipelined schedule: a runtime staging
+    /// window *i+1* passes the timeline on which window *i*'s compute span
+    /// is already scheduled, and the two overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDmaTransfer`] or
+    /// [`CoreError::SpmOutOfRange`].
+    pub fn dma_to_spm_at(
+        &mut self,
+        data: &[i32],
+        spm_word_addr: usize,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<Span> {
+        self.dma.copy_to_spm(
+            data,
+            &mut self.spm,
+            spm_word_addr,
+            &mut self.counters,
+            timeline,
+            not_before,
+        )
     }
 
     /// Transfers data from the SPM back to system memory through the DMA.
+    ///
+    /// Convenience wrapper over [`Vwr2a::dma_from_spm_at`] for callers that
+    /// execute strictly serially and only want the duration.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidDmaTransfer`] or
     /// [`CoreError::SpmOutOfRange`].
     pub fn dma_from_spm(&mut self, spm_word_addr: usize, len: usize) -> Result<(Vec<i32>, u64)> {
-        self.dma
-            .copy_from_spm(&self.spm, spm_word_addr, len, &mut self.counters)
+        let mut scratch = Timeline::new();
+        self.dma_from_spm_at(spm_word_addr, len, &mut scratch, 0)
+            .map(|(data, span)| (data, span.duration()))
+    }
+
+    /// Transfers data from the SPM back to system memory through the DMA,
+    /// reporting the transfer's cost as a [`Span`] on `timeline` (the drain
+    /// half of a pipelined schedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDmaTransfer`] or
+    /// [`CoreError::SpmOutOfRange`].
+    pub fn dma_from_spm_at(
+        &mut self,
+        spm_word_addr: usize,
+        len: usize,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(Vec<i32>, Span)> {
+        self.dma.copy_from_spm(
+            &self.spm,
+            spm_word_addr,
+            len,
+            &mut self.counters,
+            timeline,
+            not_before,
+        )
     }
 
     /// The configuration memory (read-only view, e.g. for a runtime that
@@ -238,9 +301,28 @@ impl Vwr2a {
     /// Returns [`CoreError::UnknownKernel`], structural-hazard errors from
     /// the columns, or [`CoreError::CycleLimitExceeded`].
     pub fn run_kernel(&mut self, id: KernelId) -> Result<RunStats> {
+        let mut scratch = Timeline::new();
+        self.run_kernel_at(id, &mut scratch, 0)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Runs a stored kernel, reporting the launch's cost as [`LaunchSpans`]
+    /// on `timeline`: the configuration-word streaming on
+    /// [`Engine::ConfigLoad`], the execution behind it on
+    /// [`Engine::Compute`], neither earlier than `not_before`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vwr2a::run_kernel`].
+    pub fn run_kernel_at(
+        &mut self,
+        id: KernelId,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(RunStats, LaunchSpans)> {
         let kernel = self.config_mem.fetch(id)?;
         let config_words = self.config_mem.kernel_words(id)?;
-        self.execute(&kernel, config_words)
+        self.execute_at(&kernel, config_words, timeline, not_before)
     }
 
     /// Re-runs a kernel whose configuration is already resident in the
@@ -257,8 +339,25 @@ impl Vwr2a {
     /// Returns [`CoreError::UnknownKernel`], structural-hazard errors from
     /// the columns, or [`CoreError::CycleLimitExceeded`].
     pub fn run_kernel_warm(&mut self, id: KernelId) -> Result<RunStats> {
+        let mut scratch = Timeline::new();
+        self.run_kernel_warm_at(id, &mut scratch, 0)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Warm-relaunches a stored kernel, reporting the execution's cost on
+    /// `timeline` (see [`Vwr2a::run_kernel_at`]; the config span is empty).
+    ///
+    /// # Errors
+    ///
+    /// As [`Vwr2a::run_kernel_warm`].
+    pub fn run_kernel_warm_at(
+        &mut self,
+        id: KernelId,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(RunStats, LaunchSpans)> {
         let kernel = self.config_mem.fetch(id)?;
-        self.execute(&kernel, 0)
+        self.execute_at(&kernel, 0, timeline, not_before)
     }
 
     /// Validates and runs a kernel directly, without persisting it in the
@@ -270,10 +369,25 @@ impl Vwr2a {
     /// [`CoreError::CycleLimitExceeded`].
     pub fn run_program(&mut self, kernel: &KernelProgram) -> Result<RunStats> {
         kernel.validate(&self.geometry)?;
-        self.execute(kernel, kernel.config_words())
+        let mut scratch = Timeline::new();
+        self.execute_at(kernel, kernel.config_words(), &mut scratch, 0)
+            .map(|(stats, _)| stats)
     }
 
-    fn execute(&mut self, kernel: &KernelProgram, config_words: usize) -> Result<RunStats> {
+    /// Executes `kernel`, reporting the launch through `timeline`: the
+    /// configuration-word streaming (one word per cycle) occupies
+    /// [`Engine::ConfigLoad`], the array execution [`Engine::Compute`]
+    /// starting no earlier than the configuration span's end.
+    /// `RunStats::cycles` remains the serial total of both spans, so
+    /// callers that do not overlap see the pre-timeline cycle counts
+    /// unchanged.
+    fn execute_at(
+        &mut self,
+        kernel: &KernelProgram,
+        config_words: usize,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(RunStats, LaunchSpans)> {
         let before = self.counters;
         let columns_used = kernel.columns.len();
 
@@ -308,12 +422,17 @@ impl Vwr2a {
         }
         self.counters.cycles += cycles;
 
-        Ok(RunStats {
-            kernel_name: kernel.name.clone(),
-            cycles,
-            columns_used,
-            counters: self.counters - before,
-        })
+        let config = timeline.schedule(Engine::ConfigLoad, not_before, config_words as u64);
+        let compute = timeline.schedule(Engine::Compute, config.end, cycles - config_words as u64);
+        Ok((
+            RunStats {
+                kernel_name: kernel.name.clone(),
+                cycles,
+                columns_used,
+                counters: self.counters - before,
+            },
+            LaunchSpans { config, compute },
+        ))
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::spm::Spm;
+use crate::timeline::{Engine, Span, Timeline};
 use crate::trace::ActivityCounters;
 use serde::{Deserialize, Serialize};
 
@@ -36,20 +37,28 @@ impl Default for DmaConfig {
 
 /// The DMA engine.
 ///
+/// Transfers report their cost as a [`Span`] scheduled on a caller-supplied
+/// [`Timeline`] (see [`crate::timeline`]): the transfer occupies
+/// [`Engine::Dma`] no earlier than the engine's previous work and the
+/// caller's `not_before` dependency.  Callers that only want the serial
+/// duration pass a scratch timeline and read [`Span::duration`].
+///
 /// # Example
 ///
 /// ```
 /// use vwr2a_core::dma::{Dma, DmaConfig};
 /// use vwr2a_core::spm::Spm;
+/// use vwr2a_core::timeline::Timeline;
 /// use vwr2a_core::trace::ActivityCounters;
 ///
 /// # fn main() -> Result<(), vwr2a_core::error::CoreError> {
 /// let dma = Dma::new(DmaConfig::default());
 /// let mut spm = Spm::new(8192, 128);
 /// let mut counters = ActivityCounters::new();
+/// let mut timeline = Timeline::new();
 /// let data: Vec<i32> = (0..256).collect();
-/// let cycles = dma.copy_to_spm(&data, &mut spm, 0, &mut counters)?;
-/// assert!(cycles > 256);
+/// let span = dma.copy_to_spm(&data, &mut spm, 0, &mut counters, &mut timeline, 0)?;
+/// assert!(span.duration() > 256);
 /// assert_eq!(spm.read_word(255)?, 255);
 /// # Ok(())
 /// # }
@@ -70,8 +79,16 @@ impl Dma {
         self.config
     }
 
+    /// Cycles a transfer of `words` words occupies the DMA engine
+    /// (descriptor programming plus per-word beats).
+    pub fn transfer_cycles(&self, words: usize) -> u64 {
+        self.config.setup_cycles + self.config.cycles_per_word * words as u64
+    }
+
     /// Copies `data` from system memory into the SPM starting at
-    /// `spm_word_addr`, returning the cycles consumed.
+    /// `spm_word_addr`.  The transfer's cost is scheduled on `timeline`
+    /// ([`Engine::Dma`], no earlier than `not_before`) and returned as a
+    /// [`Span`].
     ///
     /// # Errors
     ///
@@ -83,7 +100,9 @@ impl Dma {
         spm: &mut Spm,
         spm_word_addr: usize,
         counters: &mut ActivityCounters,
-    ) -> Result<u64> {
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<Span> {
         if data.is_empty() {
             return Err(CoreError::InvalidDmaTransfer {
                 detail: "transfer length is zero".into(),
@@ -93,11 +112,12 @@ impl Dma {
         counters.dma_transfers += 1;
         counters.dma_words += data.len() as u64;
         counters.spm_word_writes += data.len() as u64;
-        Ok(self.config.setup_cycles + self.config.cycles_per_word * data.len() as u64)
+        Ok(timeline.schedule(Engine::Dma, not_before, self.transfer_cycles(data.len())))
     }
 
     /// Copies `len` words from the SPM starting at `spm_word_addr` back to
-    /// system memory, returning the data and the cycles consumed.
+    /// system memory, returning the data and the transfer's [`Span`] as
+    /// scheduled on `timeline`.
     ///
     /// # Errors
     ///
@@ -109,7 +129,9 @@ impl Dma {
         spm_word_addr: usize,
         len: usize,
         counters: &mut ActivityCounters,
-    ) -> Result<(Vec<i32>, u64)> {
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(Vec<i32>, Span)> {
         if len == 0 {
             return Err(CoreError::InvalidDmaTransfer {
                 detail: "transfer length is zero".into(),
@@ -121,7 +143,7 @@ impl Dma {
         counters.spm_word_reads += len as u64;
         Ok((
             data,
-            self.config.setup_cycles + self.config.cycles_per_word * len as u64,
+            timeline.schedule(Engine::Dma, not_before, self.transfer_cycles(len)),
         ))
     }
 }
@@ -141,13 +163,19 @@ mod tests {
         let dma = Dma::default();
         let mut spm = Spm::new(1024, 128);
         let mut counters = ActivityCounters::new();
+        let mut timeline = Timeline::new();
         let data: Vec<i32> = (0..128).map(|i| i * 3 - 64).collect();
-        let c1 = dma
-            .copy_to_spm(&data, &mut spm, 128, &mut counters)
+        let s1 = dma
+            .copy_to_spm(&data, &mut spm, 128, &mut counters, &mut timeline, 0)
             .unwrap();
-        let (back, c2) = dma.copy_from_spm(&spm, 128, 128, &mut counters).unwrap();
+        let (back, s2) = dma
+            .copy_from_spm(&spm, 128, 128, &mut counters, &mut timeline, 0)
+            .unwrap();
         assert_eq!(back, data);
-        assert_eq!(c1, c2);
+        assert_eq!(s1.duration(), s2.duration());
+        // One shared engine: the transfers serialize on the timeline.
+        assert_eq!(s2.start, s1.end);
+        assert_eq!(timeline.busy_cycles(Engine::Dma), s1.duration() * 2);
         assert_eq!(counters.dma_transfers, 2);
         assert_eq!(counters.dma_words, 256);
         assert_eq!(counters.spm_word_writes, 128);
@@ -162,10 +190,27 @@ mod tests {
         });
         let mut spm = Spm::new(1024, 128);
         let mut counters = ActivityCounters::new();
-        let cycles = dma
-            .copy_to_spm(&[0; 100], &mut spm, 0, &mut counters)
+        let mut timeline = Timeline::new();
+        let span = dma
+            .copy_to_spm(&[0; 100], &mut spm, 0, &mut counters, &mut timeline, 0)
             .unwrap();
-        assert_eq!(cycles, 10 + 200);
+        assert_eq!(span.duration(), 10 + 200);
+        assert_eq!(dma.transfer_cycles(100), 210);
+    }
+
+    #[test]
+    fn transfers_respect_dependencies() {
+        let dma = Dma::default();
+        let mut spm = Spm::new(1024, 128);
+        let mut counters = ActivityCounters::new();
+        let mut timeline = Timeline::new();
+        // A transfer that may not start before cycle 1000 (e.g. waiting for
+        // the compute engine) leaves the DMA idle until then.
+        let span = dma
+            .copy_to_spm(&[1; 64], &mut spm, 0, &mut counters, &mut timeline, 1000)
+            .unwrap();
+        assert_eq!(span.start, 1000);
+        assert_eq!(timeline.free_at(Engine::Dma), span.end);
     }
 
     #[test]
@@ -173,11 +218,20 @@ mod tests {
         let dma = Dma::default();
         let mut spm = Spm::new(256, 128);
         let mut counters = ActivityCounters::new();
-        assert!(dma.copy_to_spm(&[], &mut spm, 0, &mut counters).is_err());
+        let mut t = Timeline::new();
         assert!(dma
-            .copy_to_spm(&[0; 300], &mut spm, 0, &mut counters)
+            .copy_to_spm(&[], &mut spm, 0, &mut counters, &mut t, 0)
             .is_err());
-        assert!(dma.copy_from_spm(&spm, 0, 0, &mut counters).is_err());
-        assert!(dma.copy_from_spm(&spm, 200, 100, &mut counters).is_err());
+        assert!(dma
+            .copy_to_spm(&[0; 300], &mut spm, 0, &mut counters, &mut t, 0)
+            .is_err());
+        assert!(dma
+            .copy_from_spm(&spm, 0, 0, &mut counters, &mut t, 0)
+            .is_err());
+        assert!(dma
+            .copy_from_spm(&spm, 200, 100, &mut counters, &mut t, 0)
+            .is_err());
+        // Failed transfers schedule nothing.
+        assert_eq!(t.serial_cycles(), 0);
     }
 }

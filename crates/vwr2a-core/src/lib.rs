@@ -17,6 +17,10 @@
 //! * A **DMA** ([`dma::Dma`]) between the SPM and system memory and a
 //!   **configuration memory** ([`config_mem::ConfigMemory`]) holding encoded
 //!   kernels.
+//! * An **event timeline** ([`timeline`]) on which the DMA, the
+//!   configuration streamer and the array report their costs as per-engine
+//!   busy spans, so runtimes can schedule overlapped (pipelined) execution
+//!   instead of adding bare cycle counts.
 //!
 //! The crate exposes a host-style API on [`Vwr2a`]: seed the SPM over the
 //! DMA, write kernel parameters into the SRF, run a [`program::KernelProgram`]
@@ -80,6 +84,7 @@ pub mod shuffle;
 pub mod spm;
 pub mod srf;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 pub mod vwr;
 
@@ -88,4 +93,5 @@ pub use error::CoreError;
 pub use geometry::{Geometry, VwrId};
 pub use program::{ColumnProgram, KernelProgram, Row};
 pub use stats::RunStats;
+pub use timeline::{Engine, LaunchSpans, Occupancy, Span, Timeline};
 pub use trace::ActivityCounters;

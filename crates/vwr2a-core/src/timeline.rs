@@ -1,0 +1,353 @@
+//! The event timeline behind pipelined execution.
+//!
+//! The paper's end-to-end efficiency relies on the platform's engines
+//! working *concurrently*: while the array executes window *i*, the DMA
+//! already streams window *i+1* into the SPM and drains window *i−1* back
+//! to system memory.  A purely additive cycle count ("DMA + compute +
+//! DMA") therefore overstates wall-clock latency for any streamed
+//! workload.
+//!
+//! This module models that concurrency explicitly.  Each [`Engine`] — the
+//! configuration-word streamer, the DMA, the array itself and the
+//! completion-interrupt path — advances its own *busy-until* cycle.  A
+//! [`Timeline`] merges them: [`Timeline::schedule`] places an operation on
+//! its engine no earlier than both the engine's previous work and an
+//! explicit dependency (`not_before`), returning the resulting [`Span`].
+//! The timeline's [`wall_cycles`](Timeline::wall_cycles) is the overlapped
+//! end-to-end latency, its [`Occupancy`] the per-engine busy totals whose
+//! sum is the cost of the same work executed strictly serially.
+//!
+//! [`crate::dma::Dma`] and the kernel-execution path of
+//! [`crate::array::Vwr2a`] report their costs *through* a timeline (as
+//! [`Span`]s) rather than as bare cycle counts, so any caller — the
+//! session runtime's pipelined stream executor in particular — can compose
+//! overlapped schedules without re-deriving engine timing.
+//!
+//! # Example
+//!
+//! ```
+//! use vwr2a_core::timeline::{Engine, Timeline};
+//!
+//! let mut t = Timeline::new();
+//! // Stage window 0, run it, and stage window 1 during the computation.
+//! let stage0 = t.schedule(Engine::Dma, 0, 100);
+//! let compute0 = t.schedule(Engine::Compute, stage0.end, 400);
+//! let stage1 = t.schedule(Engine::Dma, 0, 100);
+//! let compute1 = t.schedule(Engine::Compute, stage1.end, 400);
+//! assert_eq!(compute1.start, compute0.end, "the array never idles");
+//! assert_eq!(t.wall_cycles(), 900);
+//! assert_eq!(t.serial_cycles(), 1_000);
+//! assert!(t.overlap_ratio() > 0.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of a serial cost hidden by overlap: `(serial − wall) / serial`,
+/// or `0.0` when nothing ran.  The single definition behind
+/// [`Timeline::overlap_ratio`] and the runtime report's `overlap_ratio()`.
+pub fn overlap_ratio(serial_cycles: u64, wall_cycles: u64) -> f64 {
+    if serial_cycles == 0 {
+        return 0.0;
+    }
+    serial_cycles.saturating_sub(wall_cycles) as f64 / serial_cycles as f64
+}
+
+/// A platform engine that makes progress independently of the others.
+///
+/// The four engines correspond to the units that can genuinely work in the
+/// same cycle on the modelled SoC: the configuration-memory streamer
+/// filling the per-slot program memories, the DMA moving data between
+/// system memory and the SPM, the reconfigurable array executing a kernel,
+/// and the interrupt path informing the host of a completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// Configuration words streaming from the configuration memory into the
+    /// per-slot program memories (the cold part of a launch).
+    ConfigLoad,
+    /// The DMA engine between system memory and the SPM (staging inputs,
+    /// draining outputs).
+    Dma,
+    /// The array columns executing a kernel, including the host's SRF
+    /// slave-port accesses tied to a launch.
+    Compute,
+    /// Completion-interrupt delivery and the host's response to it.
+    Interrupt,
+}
+
+impl Engine {
+    /// All engines, in a fixed order.
+    pub const ALL: [Engine; 4] = [
+        Engine::ConfigLoad,
+        Engine::Dma,
+        Engine::Compute,
+        Engine::Interrupt,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Engine::ConfigLoad => 0,
+            Engine::Dma => 1,
+            Engine::Compute => 2,
+            Engine::Interrupt => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::ConfigLoad => "config-load",
+            Engine::Dma => "dma",
+            Engine::Compute => "compute",
+            Engine::Interrupt => "interrupt",
+        })
+    }
+}
+
+/// A half-open busy interval `[start, end)` of one [`Engine`], in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// The engine the work occupied.
+    pub engine: Engine,
+    /// First busy cycle.
+    pub start: u64,
+    /// First cycle after the work retires.
+    pub end: u64,
+}
+
+impl Span {
+    /// Cycles the work occupied its engine.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Per-engine busy-cycle totals of a [`Timeline`] (or of one invocation).
+///
+/// [`Occupancy::total`] is the cost of the same work executed strictly
+/// serially — comparing it against [`Timeline::wall_cycles`] quantifies how
+/// much latency the overlap hides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Busy cycles of [`Engine::ConfigLoad`].
+    pub config_load: u64,
+    /// Busy cycles of [`Engine::Dma`].
+    pub dma: u64,
+    /// Busy cycles of [`Engine::Compute`].
+    pub compute: u64,
+    /// Busy cycles of [`Engine::Interrupt`].
+    pub interrupt: u64,
+}
+
+impl Occupancy {
+    /// Sum of all engines' busy cycles: the serial (non-overlapped) cost.
+    pub fn total(&self) -> u64 {
+        self.config_load + self.dma + self.compute + self.interrupt
+    }
+
+    /// Busy cycles of one engine.
+    pub fn of(&self, engine: Engine) -> u64 {
+        match engine {
+            Engine::ConfigLoad => self.config_load,
+            Engine::Dma => self.dma,
+            Engine::Compute => self.compute,
+            Engine::Interrupt => self.interrupt,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Occupancy {
+    fn add_assign(&mut self, rhs: Self) {
+        self.config_load += rhs.config_load;
+        self.dma += rhs.dma;
+        self.compute += rhs.compute;
+        self.interrupt += rhs.interrupt;
+    }
+}
+
+impl std::ops::Add for Occupancy {
+    type Output = Occupancy;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+/// The two spans of one kernel launch: the configuration-word streaming
+/// (empty for a warm launch) and the array execution behind it.
+///
+/// Returned by the timeline-aware launch paths of [`crate::array::Vwr2a`]
+/// ([`run_kernel_at`](crate::array::Vwr2a::run_kernel_at) and friends):
+/// `compute` never starts before `config.end`, because a launch first
+/// fills the per-slot program memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchSpans {
+    /// [`Engine::ConfigLoad`] span of the launch (zero-length when warm).
+    pub config: Span,
+    /// [`Engine::Compute`] span of the launch.
+    pub compute: Span,
+}
+
+/// Merges the busy-until cycles of the platform engines into one overlapped
+/// schedule.
+///
+/// The timeline is append-only and monotonic per engine: every
+/// [`Timeline::schedule`] call places work at
+/// `max(engine busy-until, not_before)`.  Dependencies between operations
+/// on *different* engines are expressed by passing the upstream span's
+/// `end` as `not_before`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    busy_until: [u64; 4],
+    occupancy: Occupancy,
+}
+
+impl Timeline {
+    /// An empty timeline: every engine free at cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `duration` busy cycles on `engine`, starting no earlier
+    /// than the engine's previous work and `not_before`.  Returns the
+    /// placed [`Span`].  A zero-length duration yields an empty span at the
+    /// resolved start cycle and leaves the engine's occupancy unchanged.
+    pub fn schedule(&mut self, engine: Engine, not_before: u64, duration: u64) -> Span {
+        let idx = engine.index();
+        let start = self.busy_until[idx].max(not_before);
+        let end = start + duration;
+        self.busy_until[idx] = end;
+        match engine {
+            Engine::ConfigLoad => self.occupancy.config_load += duration,
+            Engine::Dma => self.occupancy.dma += duration,
+            Engine::Compute => self.occupancy.compute += duration,
+            Engine::Interrupt => self.occupancy.interrupt += duration,
+        }
+        Span { engine, start, end }
+    }
+
+    /// First cycle at which `engine` has no scheduled work left.
+    pub fn free_at(&self, engine: Engine) -> u64 {
+        self.busy_until[engine.index()]
+    }
+
+    /// Per-engine busy totals.
+    pub fn occupancy(&self) -> Occupancy {
+        self.occupancy
+    }
+
+    /// Busy cycles of one engine.
+    pub fn busy_cycles(&self, engine: Engine) -> u64 {
+        self.occupancy.of(engine)
+    }
+
+    /// End-to-end latency of the overlapped schedule: the last cycle any
+    /// engine is busy.
+    pub fn wall_cycles(&self) -> u64 {
+        self.busy_until.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Cost of the same work executed strictly serially (sum of all
+    /// engines' busy cycles).
+    pub fn serial_cycles(&self) -> u64 {
+        self.occupancy.total()
+    }
+
+    /// Fraction of the serial cost hidden by overlap:
+    /// `(serial − wall) / serial`, or `0.0` for an empty timeline.
+    ///
+    /// `0.0` means fully serial (a single window cannot overlap with
+    /// anything); an overlap ratio of `0.4` means the pipelined schedule
+    /// finishes in 60 % of the serial cycles.
+    pub fn overlap_ratio(&self) -> f64 {
+        overlap_ratio(self.serial_cycles(), self.wall_cycles())
+    }
+
+    /// Clears all scheduled work, returning every engine to free-at-0.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_has_zero_overlap() {
+        let mut t = Timeline::new();
+        let a = t.schedule(Engine::Dma, 0, 10);
+        let b = t.schedule(Engine::ConfigLoad, a.end, 20);
+        let c = t.schedule(Engine::Compute, b.end, 30);
+        let d = t.schedule(Engine::Interrupt, c.end, 5);
+        let e = t.schedule(Engine::Dma, d.end, 10);
+        assert_eq!(e.end, 75);
+        assert_eq!(t.wall_cycles(), 75);
+        assert_eq!(t.serial_cycles(), 75);
+        assert_eq!(t.overlap_ratio(), 0.0);
+        assert_eq!(t.busy_cycles(Engine::Dma), 20);
+        assert_eq!(t.occupancy().compute, 30);
+    }
+
+    #[test]
+    fn independent_engines_overlap() {
+        let mut t = Timeline::new();
+        t.schedule(Engine::Compute, 0, 100);
+        t.schedule(Engine::Dma, 0, 60);
+        assert_eq!(t.wall_cycles(), 100);
+        assert_eq!(t.serial_cycles(), 160);
+        assert!((t.overlap_ratio() - 60.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_order_is_monotonic() {
+        let mut t = Timeline::new();
+        let a = t.schedule(Engine::Dma, 50, 10);
+        // A later request with an earlier dependency still queues behind.
+        let b = t.schedule(Engine::Dma, 0, 10);
+        assert_eq!(a.start, 50);
+        assert_eq!(b.start, a.end);
+        assert_eq!(t.free_at(Engine::Dma), 70);
+    }
+
+    #[test]
+    fn zero_duration_spans_are_empty_and_free() {
+        let mut t = Timeline::new();
+        let s = t.schedule(Engine::ConfigLoad, 7, 0);
+        assert_eq!(s.duration(), 0);
+        assert_eq!((s.start, s.end), (7, 7));
+        assert_eq!(t.serial_cycles(), 0);
+        // An empty timeline's wall clock never ran.
+        assert_eq!(Timeline::new().wall_cycles(), 0);
+        assert_eq!(Timeline::new().overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_accumulates_across_timelines() {
+        let mut a = Timeline::new();
+        a.schedule(Engine::Dma, 0, 10);
+        let mut b = Timeline::new();
+        b.schedule(Engine::Compute, 0, 20);
+        let sum = a.occupancy() + b.occupancy();
+        assert_eq!(sum.total(), 30);
+        assert_eq!(sum.of(Engine::Dma), 10);
+        assert_eq!(sum.of(Engine::Compute), 20);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = Timeline::new();
+        t.schedule(Engine::Compute, 0, 99);
+        t.reset();
+        assert_eq!(t.wall_cycles(), 0);
+        assert_eq!(t.serial_cycles(), 0);
+        assert_eq!(t, Timeline::new());
+    }
+
+    #[test]
+    fn engine_display_and_all() {
+        assert_eq!(Engine::ALL.len(), 4);
+        let names: Vec<String> = Engine::ALL.iter().map(|e| e.to_string()).collect();
+        assert_eq!(names, ["config-load", "dma", "compute", "interrupt"]);
+    }
+}

@@ -23,6 +23,12 @@ pub enum RuntimeError {
         /// Human-readable description.
         what: String,
     },
+    /// The caller's output sink rejected a streamed result, aborting the
+    /// stream (the session itself stays valid and reusable).
+    Sink {
+        /// Human-readable description.
+        what: String,
+    },
 }
 
 impl RuntimeError {
@@ -30,6 +36,12 @@ impl RuntimeError {
     /// [`crate::Kernel::execute`] implementations.
     pub fn invalid_input(what: impl Into<String>) -> Self {
         RuntimeError::InvalidInput { what: what.into() }
+    }
+
+    /// Convenience constructor for sink failures inside
+    /// [`crate::Session::run_stream`] callbacks.
+    pub fn sink(what: impl Into<String>) -> Self {
+        RuntimeError::Sink { what: what.into() }
     }
 }
 
@@ -41,6 +53,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "kernel `{kernel}` exceeds the array resources: {what}")
             }
             RuntimeError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            RuntimeError::Sink { what } => write!(f, "output sink failed: {what}"),
         }
     }
 }
@@ -85,5 +98,8 @@ mod tests {
         assert!(RuntimeError::invalid_input("nope")
             .to_string()
             .contains("nope"));
+        assert!(RuntimeError::sink("disk full")
+            .to_string()
+            .contains("disk full"));
     }
 }

@@ -15,15 +15,28 @@
 //!   programs keyed by [`Kernel::cache_key`].  The first run of a kernel is
 //!   cold; every repeat — including every window of
 //!   [`Session::run_batch`] / [`Session::run_stream`] — launches warm.
+//! * **Pipelined streaming** — [`Session::run_stream`] models the
+//!   double-buffered SPM of the real platform: window *i+1*'s DMA staging
+//!   overlaps window *i*'s array execution, window *i−1* drains behind the
+//!   launch, and completions reach the host through the VWR2A completion
+//!   interrupt (see [`pipeline`]).  Outputs stay bit-identical to the
+//!   synchronous path; [`RunReport::wall_cycles`] reports the overlapped
+//!   latency next to the serial phase sum.
 //! * **Residency management** — the configuration memory is finite, so a
 //!   session serving unbounded kernel diversity evicts cold programs (via a
-//!   pluggable [`EvictionPolicy`], default [`LruPolicy`]) instead of
+//!   pluggable [`EvictionPolicy`]: default [`LruPolicy`], also
+//!   [`SizeAwareLru`] and [`NeverEvict`], see [`policy`]) instead of
 //!   failing with `ConfigMemoryFull`.  Programs the active invocation
 //!   depends on are pinned; an evicted program is rebuilt on next use and
 //!   launches cold again.
-//! * [`RunReport`] — the single accounting type for all kernels: cycles,
-//!   cold/warm launch counts, evictions, [`vwr2a_core::ActivityCounters`]
-//!   and derived time/energy.
+//! * [`RunReport`] — the single accounting type for all kernels: wall and
+//!   serial cycles, per-engine occupancy, cold/warm launch counts,
+//!   evictions, [`vwr2a_core::ActivityCounters`] and derived time/energy.
+//!
+//! For DMA-timing and schedule tuning the relevant core types are
+//! re-exported here ([`DmaConfig`], [`Engine`], [`Occupancy`], [`Span`],
+//! [`Timeline`]), so runtime users do not need a direct `vwr2a-core`
+//! dependency.
 //!
 //! See [`Session`] for a runnable example.
 
@@ -31,13 +44,16 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod pipeline;
+pub mod policy;
 pub mod report;
 pub mod session;
 pub mod testing;
 
 pub use error::{Result, RuntimeError};
+pub use pipeline::{StreamSchedule, WindowPhases};
+pub use policy::{EvictionPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
 pub use report::RunReport;
-pub use session::{
-    EvictionPolicy, Kernel, LaunchCtx, LruPolicy, NeverEvict, ResidentProgram, Resources, Session,
-    SRF_READ_CYCLES, SRF_WRITE_CYCLES,
-};
+pub use session::{Kernel, LaunchCtx, Resources, Session, SRF_READ_CYCLES, SRF_WRITE_CYCLES};
+pub use vwr2a_core::dma::DmaConfig;
+pub use vwr2a_core::timeline::{Engine, LaunchSpans, Occupancy, Span, Timeline};

@@ -1,0 +1,327 @@
+//! The pipelined stream schedule behind [`crate::Session::run_stream`].
+//!
+//! # The execution model
+//!
+//! A streamed workload runs the same kernel over a sequence of windows.
+//! Executed naively, every window serialises its three phases — DMA the
+//! window into the SPM, run the array, DMA the result out — and the array
+//! idles during every transfer.  The hardware does better: the SPM is
+//! double-buffered, so while the array computes window *i* the DMA already
+//! **stages** window *i+1* into the other half-buffer and **drains**
+//! window *i−1* behind the launch, and the host learns of each completion
+//! through an interrupt rather than by busy-waiting.
+//!
+//! [`StreamSchedule`] reproduces that overlap on the core's
+//! [`Timeline`].  For window *w* with per-phase durations
+//! ([`WindowPhases`]) it schedules:
+//!
+//! 1. **stage(w)** on [`Engine::Dma`] — not before window *w−2*'s compute
+//!    finished (that is when the input half-buffer frees);
+//! 2. **drain(w−1)** on [`Engine::Dma`] behind the stage — not before
+//!    window *w−1*'s completion interrupt was serviced;
+//! 3. **config(w)** on [`Engine::ConfigLoad`] after the stage (zero-length
+//!    for warm launches);
+//! 4. **compute(w)** on [`Engine::Compute`] — after the configuration is
+//!    in place and not before window *w−2*'s drain freed the output
+//!    half-buffer;
+//! 5. the **kernel-done interrupt** on [`Engine::Interrupt`] after the
+//!    compute ([`COMPLETION_IRQ_CYCLES`](latency::COMPLETION_IRQ_CYCLES)
+//!    from the SoC model — the host reacts to the completion interrupt,
+//!    it is not notified synchronously).
+//!
+//! [`StreamSchedule::finish`] drains the last window and services the
+//! final DMA-done interrupt.  The resulting timeline yields the
+//! overlapped [`Timeline::wall_cycles`], the per-engine
+//! [`Timeline::occupancy`] and the
+//! [`Timeline::overlap_ratio`] reported through
+//! [`crate::RunReport`].
+//!
+//! Functional execution stays strictly sequential (outputs are
+//! bit-identical to the synchronous path); the schedule models *when* the
+//! already-verified work would retire on pipelined hardware.
+
+use vwr2a_core::timeline::{Engine, Span, Timeline};
+use vwr2a_soc::irq::latency;
+
+/// Per-engine durations of one kernel invocation (one window), collected
+/// by the session's [`crate::LaunchCtx`] while the invocation executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowPhases {
+    /// DMA-in cycles: staging the window's inputs into the SPM.
+    pub stage: u64,
+    /// Configuration-word streaming cycles (non-zero only for cold
+    /// launches).
+    pub config: u64,
+    /// Array execution cycles plus the host's SRF slave-port accesses tied
+    /// to the launches.
+    pub compute: u64,
+    /// DMA-out cycles: draining the window's outputs back to system
+    /// memory.
+    pub drain: u64,
+}
+
+impl WindowPhases {
+    /// Serial cost of the window without any overlap or interrupt
+    /// modelling (the classic "DMA-in + compute + DMA-out" sum).
+    pub fn total(&self) -> u64 {
+        self.stage + self.config + self.compute + self.drain
+    }
+}
+
+/// The spans one [`StreamSchedule::push`] placed for its window.  The
+/// window's drain is scheduled later — behind the *next* window's stage —
+/// and therefore not part of this snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpans {
+    /// The staging DMA transfer.
+    pub stage: Span,
+    /// The configuration-word streaming (zero-length when warm).
+    pub config: Span,
+    /// The array execution.
+    pub compute: Span,
+    /// The completion-interrupt service.
+    pub irq: Span,
+}
+
+/// Builds the overlapped timeline of a double-buffered window stream.
+///
+/// # Example
+///
+/// ```
+/// use vwr2a_runtime::pipeline::{StreamSchedule, WindowPhases};
+///
+/// let phases = WindowPhases { stage: 150, config: 0, compute: 700, drain: 150 };
+/// let mut schedule = StreamSchedule::new();
+/// for _ in 0..8 {
+///     schedule.push(phases);
+/// }
+/// let timeline = schedule.finish();
+/// // Staging and draining hide behind the array's compute time.
+/// assert!(timeline.wall_cycles() < timeline.serial_cycles());
+/// assert!(timeline.overlap_ratio() > 0.2);
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamSchedule {
+    timeline: Timeline,
+    windows: usize,
+    /// Compute-end cycle of the window last run in each SPM half-buffer.
+    compute_end: [u64; 2],
+    /// Drain-end cycle of the window last run in each SPM half-buffer.
+    drain_end: [u64; 2],
+    /// The previous window's drain: (earliest start, duration).  Scheduled
+    /// behind the next window's stage, or by [`StreamSchedule::finish`].
+    pending_drain: Option<(u64, u64)>,
+}
+
+impl StreamSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Windows pushed so far.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Services one completion interrupt on the interrupt engine: the
+    /// peripheral raises its line (`vwr2a_soc::irq::lines`) at
+    /// `not_before`, and the host pays the Cortex-M4 entry/exit latency
+    /// before it can react.
+    fn service_irq(&mut self, not_before: u64) -> Span {
+        self.timeline.schedule(
+            Engine::Interrupt,
+            not_before,
+            latency::COMPLETION_IRQ_CYCLES,
+        )
+    }
+
+    /// Schedules the previous window's drain behind the stage that was
+    /// just placed.
+    fn flush_pending_drain(&mut self) {
+        if let Some((ready, duration)) = self.pending_drain.take() {
+            let prev_slot = (self.windows - 1) % 2;
+            if duration > 0 {
+                let span = self.timeline.schedule(Engine::Dma, ready, duration);
+                self.drain_end[prev_slot] = span.end;
+            } else {
+                // Nothing to drain (e.g. a reduction read back over the
+                // SRF): the output buffer is free as soon as the host
+                // serviced the completion interrupt.
+                self.drain_end[prev_slot] = ready;
+            }
+        }
+    }
+
+    /// Appends one window with the given phase durations, returning the
+    /// spans placed for it (its drain is scheduled behind the *next*
+    /// window's stage).
+    pub fn push(&mut self, phases: WindowPhases) -> WindowSpans {
+        let slot = self.windows % 2;
+        // Stage into the half-buffer whose previous occupant (window w-2)
+        // must have been consumed by its compute.
+        let input_free = self.compute_end[slot];
+        let stage = self
+            .timeline
+            .schedule(Engine::Dma, input_free, phases.stage);
+        // Drain window w-1 behind the launch.
+        self.flush_pending_drain();
+        // Cold launches stream configuration words once staging is done.
+        let config = self
+            .timeline
+            .schedule(Engine::ConfigLoad, stage.end, phases.config);
+        // The array needs its inputs and configuration in place, and the
+        // output half-buffer must have been drained (window w-2).
+        let output_free = self.drain_end[slot];
+        let compute =
+            self.timeline
+                .schedule(Engine::Compute, config.end.max(output_free), phases.compute);
+        self.compute_end[slot] = compute.end;
+        // The host learns of the completion through the kernel-done
+        // interrupt and only then programs the drain.
+        let irq = self.service_irq(compute.end);
+        self.pending_drain = Some((irq.end, phases.drain));
+        self.windows += 1;
+        WindowSpans {
+            stage,
+            config,
+            compute,
+            irq,
+        }
+    }
+
+    /// Drains the final window, services its DMA-done interrupt, and
+    /// returns the completed timeline.
+    pub fn finish(mut self) -> Timeline {
+        if let Some((ready, duration)) = self.pending_drain.take() {
+            if duration > 0 {
+                let span = self.timeline.schedule(Engine::Dma, ready, duration);
+                // The stream is over when the host has serviced the final
+                // drain's DMA-done interrupt.
+                self.service_irq(span.end);
+            }
+        }
+        self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IRQ: u64 = latency::COMPLETION_IRQ_CYCLES;
+
+    fn phases(stage: u64, config: u64, compute: u64, drain: u64) -> WindowPhases {
+        WindowPhases {
+            stage,
+            config,
+            compute,
+            drain,
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let t = StreamSchedule::new().finish();
+        assert_eq!(t.wall_cycles(), 0);
+        assert_eq!(t.serial_cycles(), 0);
+        assert_eq!(t.overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn single_window_is_fully_serial() {
+        let mut s = StreamSchedule::new();
+        let p = phases(100, 50, 400, 120);
+        s.push(p);
+        let t = s.finish();
+        // stage → config → compute → kernel-done IRQ → drain → DMA-done
+        // IRQ, nothing overlapping anything.
+        assert_eq!(t.wall_cycles(), p.total() + 2 * IRQ);
+        assert_eq!(t.serial_cycles(), t.wall_cycles());
+        assert_eq!(t.overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn single_window_without_drain_gets_one_interrupt() {
+        let mut s = StreamSchedule::new();
+        s.push(phases(100, 0, 400, 0));
+        let t = s.finish();
+        assert_eq!(t.wall_cycles(), 500 + IRQ);
+        assert_eq!(t.busy_cycles(Engine::Interrupt), IRQ);
+    }
+
+    #[test]
+    fn staging_overlaps_compute_of_the_previous_window() {
+        let mut s = StreamSchedule::new();
+        let p = phases(100, 0, 1_000, 100);
+        let w0 = s.push(p);
+        let w1 = s.push(p);
+        // Window 1 stages while window 0 computes...
+        assert!(w1.stage.start < w0.compute.end);
+        // ...and the array relaunches as soon as the completion interrupt
+        // and (already-finished) staging allow.
+        assert_eq!(w1.compute.start, w0.compute.end);
+        let t = s.finish();
+        assert!(t.wall_cycles() < t.serial_cycles());
+    }
+
+    #[test]
+    fn four_window_wall_clock_beats_the_serial_sum() {
+        let mut s = StreamSchedule::new();
+        let p = phases(150, 0, 700, 150);
+        for _ in 0..4 {
+            s.push(p);
+        }
+        let t = s.finish();
+        // The acceptance bound: strictly less than the per-window
+        // DMA-in + compute + DMA-out sum, even before interrupt costs.
+        assert!(t.wall_cycles() < 4 * p.total());
+        assert!(t.overlap_ratio() > 0.0);
+    }
+
+    #[test]
+    fn double_buffering_limits_lookahead_to_two_windows() {
+        let mut s = StreamSchedule::new();
+        // DMA-bound stream: staging takes far longer than compute, so
+        // without a buffer limit stage(2) would start immediately after
+        // stage(1).
+        let p = phases(1_000, 0, 10, 5);
+        let w0 = s.push(p);
+        let _w1 = s.push(p);
+        let w2 = s.push(p);
+        assert!(
+            w2.stage.start >= w0.compute.end,
+            "window 2 must wait for window 0's half-buffer"
+        );
+        s.finish();
+    }
+
+    #[test]
+    fn compute_bound_streams_keep_the_array_saturated() {
+        let mut s = StreamSchedule::new();
+        let p = phases(50, 0, 900, 50);
+        let mut prev_end = None;
+        for _ in 0..6 {
+            let w = s.push(p);
+            if let Some(end) = prev_end {
+                assert_eq!(w.compute.start, end, "the array must never idle");
+            }
+            prev_end = Some(w.compute.end);
+        }
+        let t = s.finish();
+        // Wall clock ≈ first stage + N computes + final IRQ/drain tail.
+        assert!(t.wall_cycles() < 6 * p.total());
+        assert_eq!(t.busy_cycles(Engine::Compute), 6 * 900);
+    }
+
+    #[test]
+    fn cold_config_load_only_delays_the_first_window() {
+        let mut s = StreamSchedule::new();
+        let w0 = s.push(phases(100, 300, 500, 100));
+        let w1 = s.push(phases(100, 0, 500, 100));
+        assert_eq!(w0.config.duration(), 300);
+        assert_eq!(w1.config.duration(), 0);
+        assert_eq!(w1.compute.start, w0.compute.end);
+        s.finish();
+    }
+}

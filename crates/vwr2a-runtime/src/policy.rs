@@ -1,0 +1,178 @@
+//! Eviction policies for the configuration-memory residency manager.
+//!
+//! When a [`crate::Session`] must load a program that does not fit the
+//! remaining configuration memory, it consults its [`EvictionPolicy`] to
+//! pick resident *victims* to unload, one at a time, until the new program
+//! fits.  The policy only ever sees evictable candidates — programs pinned
+//! by the active invocation are withheld by the session — and must be
+//! deterministic so capacity experiments are reproducible.
+//!
+//! Three policies ship with the runtime:
+//!
+//! * [`LruPolicy`] (default) — evict the least recently loaded-or-launched
+//!   program, regardless of size.
+//! * [`SizeAwareLru`] — weigh a program's size against its recency, so one
+//!   large cold-ish program is evicted instead of several small warm-ish
+//!   ones.  A single eviction then frees enough room, and the small hot
+//!   programs keep their residency (fewer cold reloads downstream).
+//! * [`NeverEvict`] — refuse, restoring the hard
+//!   [`vwr2a_core::CoreError::ConfigMemoryFull`] failure.
+//!
+//! The `residency` bench binary compares the policies on a mixed-size
+//! working set.
+
+use std::fmt;
+
+/// Snapshot of one resident program handed to an [`EvictionPolicy`] when
+/// the session must free configuration-memory words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentProgram<'a> {
+    /// The program's [`crate::Kernel::cache_key`].
+    pub key: &'a str,
+    /// Configuration words the program occupies.
+    pub words: usize,
+    /// Launches since the program was (last) loaded.
+    pub launches: u64,
+    /// Session-wide logical time of the program's last load or launch
+    /// (higher = more recent; values are unique within a session).
+    pub last_use: u64,
+}
+
+/// Chooses which resident program to evict when a new program does not fit
+/// the configuration memory.
+///
+/// The session calls [`EvictionPolicy::select_victim`] only with programs
+/// that are *evictable* — programs pinned by the active
+/// [`crate::LaunchCtx`] (the invocation's primary program and every
+/// auxiliary program it already touched) are never offered.  Returning
+/// `None` makes the load fail with
+/// [`vwr2a_core::CoreError::ConfigMemoryFull`]; see [`NeverEvict`].
+pub trait EvictionPolicy: fmt::Debug + Send {
+    /// Returns the cache key of the program to evict, or `None` to refuse.
+    ///
+    /// Called repeatedly until the pending program fits, so a policy only
+    /// ever picks one victim at a time.
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str>;
+}
+
+/// The default policy: evict the program least recently loaded or
+/// launched.  Deterministic, because the session's logical clock gives
+/// every resident program a unique `last_use`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruPolicy;
+
+impl EvictionPolicy for LruPolicy {
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        candidates.iter().min_by_key(|c| c.last_use).map(|c| c.key)
+    }
+}
+
+/// A policy that never evicts: a full configuration memory fails with
+/// [`vwr2a_core::CoreError::ConfigMemoryFull`], matching the pre-residency
+/// behaviour.  Useful for experiments that want capacity misses to be loud.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeverEvict;
+
+impl EvictionPolicy for NeverEvict {
+    fn select_victim<'a>(&self, _candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        None
+    }
+}
+
+/// Size-aware LRU: evicts the program with the highest
+/// `words × age-rank` score, where the age rank counts up from the most
+/// recently used candidate (1) to the least recently used (N).
+///
+/// Pure LRU frees room strictly by age: when the incoming program is
+/// large, that can mean unloading *several* small programs that were about
+/// to be used again.  Weighing size against recency makes the session
+/// prefer evicting **one large, coldish program** over a run of small,
+/// warmer ones — a single eviction frees enough words and the small hot
+/// working set keeps its residency.  Among equally sized candidates the
+/// policy degrades to plain LRU (the older program wins on age rank), so
+/// uniform working sets behave exactly like [`LruPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeAwareLru;
+
+impl EvictionPolicy for SizeAwareLru {
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        // Age rank: most recent gets 1, oldest gets candidates.len().
+        let mut by_recency: Vec<&ResidentProgram<'a>> = candidates.iter().collect();
+        by_recency.sort_by_key(|c| std::cmp::Reverse(c.last_use));
+        by_recency
+            .iter()
+            .enumerate()
+            .max_by_key(|(rank, c)| {
+                (
+                    c.words as u64 * (*rank as u64 + 1),
+                    std::cmp::Reverse(c.last_use),
+                )
+            })
+            .map(|(_, c)| c.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resident(key: &str, words: usize, last_use: u64) -> ResidentProgram<'_> {
+        ResidentProgram {
+            key,
+            words,
+            launches: 1,
+            last_use,
+        }
+    }
+
+    #[test]
+    fn lru_picks_the_oldest() {
+        let c = [
+            resident("a", 10, 5),
+            resident("b", 99, 2),
+            resident("c", 1, 9),
+        ];
+        assert_eq!(LruPolicy.select_victim(&c), Some("b"));
+        assert_eq!(LruPolicy.select_victim(&[]), None);
+    }
+
+    #[test]
+    fn never_evict_always_refuses() {
+        let c = [resident("a", 10, 5)];
+        assert_eq!(NeverEvict.select_victim(&c), None);
+    }
+
+    #[test]
+    fn size_aware_prefers_one_large_coldish_over_small_older_ones() {
+        // The small program is the LRU victim, but the large program two
+        // ticks younger frees six times the words: one eviction instead of
+        // a cascade.
+        let c = [
+            resident("small-old", 10, 1),
+            resident("large-mid", 60, 2),
+            resident("small-hot", 10, 3),
+        ];
+        assert_eq!(LruPolicy.select_victim(&c), Some("small-old"));
+        assert_eq!(SizeAwareLru.select_victim(&c), Some("large-mid"));
+    }
+
+    #[test]
+    fn size_aware_degrades_to_lru_for_uniform_sizes() {
+        let c = [
+            resident("a", 20, 3),
+            resident("b", 20, 1),
+            resident("c", 20, 2),
+        ];
+        assert_eq!(SizeAwareLru.select_victim(&c), Some("b"));
+        assert_eq!(SizeAwareLru.select_victim(&[]), None);
+    }
+
+    #[test]
+    fn size_aware_keeps_a_genuinely_hot_large_program() {
+        // A large program used just now only loses to the small old one if
+        // the size advantage cannot offset the recency gap.
+        let c = [resident("small-old", 30, 1), resident("large-hot", 35, 9)];
+        // small-old: 30 * 2 = 60; large-hot: 35 * 1 = 35.
+        assert_eq!(SizeAwareLru.select_victim(&c), Some("small-old"));
+    }
+}

@@ -1,6 +1,7 @@
 //! The unified run report returned by every [`crate::Session`] execution.
 
 use vwr2a_core::stats::time_us;
+use vwr2a_core::timeline::Occupancy;
 use vwr2a_core::ActivityCounters;
 use vwr2a_energy::{vwr2a_energy, EnergyBreakdown};
 
@@ -31,8 +32,21 @@ pub struct RunReport {
     /// victim's next launch cold again.
     pub evictions: u64,
     /// Total cycles: DMA staging, SRF parameter writes, configuration
-    /// loading (cold launches only) and array execution.
+    /// loading (cold launches only) and array execution, summed as if the
+    /// phases ran strictly one after the other (the pre-pipelining cost
+    /// metric; completion-interrupt latency is not included).
     pub cycles: u64,
+    /// Overlapped end-to-end latency of the run on the pipelined execution
+    /// engine: staging of window *i+1* hides behind the compute of window
+    /// *i*, drains run behind launches, and every completion is delivered
+    /// through an interrupt.  For a single invocation (no overlap
+    /// possible) this equals [`RunReport::serial_cycles`]; for a
+    /// multi-window stream it is strictly smaller whenever any phase
+    /// overlapped.
+    pub wall_cycles: u64,
+    /// Per-engine busy cycles behind [`RunReport::wall_cycles`]
+    /// (configuration streaming, DMA, array compute, interrupt servicing).
+    pub busy: Occupancy,
     /// Activity accumulated on the array (and its DMA) during the runs.
     pub counters: ActivityCounters,
 }
@@ -61,14 +75,34 @@ impl RunReport {
         self.cold_launches + self.warm_launches
     }
 
+    /// Cost of the run with every phase serialised *including* the
+    /// completion-interrupt servicing: the sum of all engines' busy cycles
+    /// ([`RunReport::busy`]).  This is what the stream would cost without
+    /// the pipelined execution engine.
+    pub fn serial_cycles(&self) -> u64 {
+        self.busy.total()
+    }
+
+    /// Fraction of the serial cost hidden by pipelining:
+    /// `(serial − wall) / serial`.  `0.0` for empty and single-window
+    /// runs (no overlap possible), approaching the DMA share of the serial
+    /// cost for long compute-bound streams.
+    pub fn overlap_ratio(&self) -> f64 {
+        vwr2a_core::timeline::overlap_ratio(self.serial_cycles(), self.wall_cycles)
+    }
+
     /// Folds another report into this one (used by batch accumulation and
-    /// by pipelines that want one aggregate report per stage).
+    /// by pipelines that want one aggregate report per stage).  Wall
+    /// cycles add, i.e. the combined report describes the runs executed
+    /// one stream after the other.
     pub fn absorb(&mut self, other: &RunReport) {
         self.invocations += other.invocations;
         self.cold_launches += other.cold_launches;
         self.warm_launches += other.warm_launches;
         self.evictions += other.evictions;
         self.cycles += other.cycles;
+        self.wall_cycles += other.wall_cycles;
+        self.busy += other.busy;
         self.counters += other.counters;
     }
 }
@@ -77,10 +111,13 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} invocation(s), {} cycles ({} cold / {} warm launches, {} evictions)",
+            "{}: {} invocation(s), {} wall cycles ({} serial, {:.0} % overlapped; \
+             {} cold / {} warm launches, {} evictions)",
             self.kernel,
             self.invocations,
-            self.cycles,
+            self.wall_cycles,
+            self.serial_cycles(),
+            100.0 * self.overlap_ratio(),
             self.cold_launches,
             self.warm_launches,
             self.evictions
@@ -107,20 +144,40 @@ mod tests {
         a.invocations = 1;
         a.cold_launches = 1;
         a.cycles = 100;
+        a.wall_cycles = 90;
+        a.busy.compute = 60;
+        a.busy.dma = 40;
         a.counters.rc_alu_ops = 7;
         let mut b = RunReport::new("k");
         b.invocations = 2;
         b.warm_launches = 5;
         b.evictions = 2;
         b.cycles = 50;
+        b.wall_cycles = 40;
+        b.busy.compute = 30;
+        b.busy.interrupt = 20;
         b.counters.rc_alu_ops = 3;
         a.absorb(&b);
         assert_eq!(a.invocations, 3);
         assert_eq!(a.launches(), 6);
         assert_eq!(a.evictions, 2);
         assert_eq!(a.cycles, 150);
+        assert_eq!(a.wall_cycles, 130);
+        assert_eq!(a.serial_cycles(), 150);
+        assert!(a.overlap_ratio() > 0.0);
         assert_eq!(a.counters.rc_alu_ops, 10);
         assert!(a.to_string().contains("3 invocation(s)"));
+    }
+
+    #[test]
+    fn overlap_ratio_degenerates_to_zero() {
+        let report = RunReport::new("k");
+        assert_eq!(report.overlap_ratio(), 0.0);
+        let mut serial = RunReport::new("k");
+        serial.wall_cycles = 500;
+        serial.busy.compute = 400;
+        serial.busy.dma = 100;
+        assert_eq!(serial.overlap_ratio(), 0.0);
     }
 
     #[test]

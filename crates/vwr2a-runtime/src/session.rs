@@ -1,5 +1,18 @@
-//! The [`Session`] runtime: load kernels once, relaunch them warm, evict
-//! cold programs under configuration-memory pressure.
+//! The [`Session`] runtime: load kernels once, relaunch them warm, stream
+//! windows through the pipelined execution engine, evict cold programs
+//! under configuration-memory pressure.
+//!
+//! # Pipelined streaming
+//!
+//! [`Session::run_stream`] (and [`Session::run_batch`] on top of it) does
+//! not model windows as strictly sequential DMA-in → compute → DMA-out
+//! round trips.  Instead, every invocation's costs are collected per
+//! engine (see [`LaunchCtx`]) and replayed onto a double-buffered
+//! [`crate::pipeline::StreamSchedule`]: window *i+1* stages while window
+//! *i* computes, window *i−1* drains behind the launch, and the host
+//! observes completions through the platform's interrupt lines.  Outputs
+//! remain bit-identical to isolated runs; [`RunReport::wall_cycles`]
+//! carries the overlapped latency.
 //!
 //! # Residency and eviction
 //!
@@ -17,13 +30,15 @@
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
-use std::fmt;
 use vwr2a_core::config_mem::KernelId;
 use vwr2a_core::geometry::Geometry;
 use vwr2a_core::program::KernelProgram;
+use vwr2a_core::timeline::{Engine, Timeline};
 use vwr2a_core::Vwr2a;
 
 use crate::error::{Result, RuntimeError};
+use crate::pipeline::{StreamSchedule, WindowPhases};
+pub use crate::policy::{EvictionPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
 use crate::report::RunReport;
 
 /// Estimated cycles for one host SRF write over the slave port.
@@ -90,61 +105,6 @@ pub trait Kernel {
     /// Runs one invocation: stage inputs, launch (possibly repeatedly, e.g.
     /// once per FFT stage or per FIR block), collect outputs.
     fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &Self::Input) -> Result<Self::Output>;
-}
-
-/// Snapshot of one resident program handed to an [`EvictionPolicy`] when
-/// the session must free configuration-memory words.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ResidentProgram<'a> {
-    /// The program's [`Kernel::cache_key`].
-    pub key: &'a str,
-    /// Configuration words the program occupies.
-    pub words: usize,
-    /// Launches since the program was (last) loaded.
-    pub launches: u64,
-    /// Session-wide logical time of the program's last load or launch
-    /// (higher = more recent; values are unique within a session).
-    pub last_use: u64,
-}
-
-/// Chooses which resident program to evict when a new program does not fit
-/// the configuration memory.
-///
-/// The session calls [`EvictionPolicy::select_victim`] only with programs
-/// that are *evictable* — programs pinned by the active [`LaunchCtx`] (the
-/// invocation's primary program and every auxiliary program it already
-/// touched) are never offered.  Returning `None` makes the load fail with
-/// [`vwr2a_core::CoreError::ConfigMemoryFull`]; see [`NeverEvict`].
-pub trait EvictionPolicy: fmt::Debug + Send {
-    /// Returns the cache key of the program to evict, or `None` to refuse.
-    ///
-    /// Called repeatedly until the pending program fits, so a policy only
-    /// ever picks one victim at a time.
-    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str>;
-}
-
-/// The default policy: evict the program least recently loaded or
-/// launched.  Deterministic, because the session's logical clock gives
-/// every resident program a unique `last_use`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LruPolicy;
-
-impl EvictionPolicy for LruPolicy {
-    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
-        candidates.iter().min_by_key(|c| c.last_use).map(|c| c.key)
-    }
-}
-
-/// A policy that never evicts: a full configuration memory fails with
-/// [`vwr2a_core::CoreError::ConfigMemoryFull`], matching the pre-residency
-/// behaviour.  Useful for experiments that want capacity misses to be loud.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NeverEvict;
-
-impl EvictionPolicy for NeverEvict {
-    fn select_victim<'a>(&self, _candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
-        None
-    }
 }
 
 #[derive(Debug)]
@@ -255,6 +215,15 @@ impl Residency<'_> {
 /// reads and writes, launches) and routes launches through the session's
 /// configuration-memory registry — evicting cold programs when an
 /// auxiliary load needs room.
+///
+/// Costs are recorded on a per-invocation [`Timeline`]: DMA transfers and
+/// launches report their spans through the core's timeline-aware APIs, so
+/// the context knows not only the invocation's total cycles
+/// ([`LaunchCtx::cycles`]) but also how those cycles split across the
+/// platform engines (staging DMA, configuration streaming, array compute,
+/// draining DMA).  The session's pipelined stream executor uses that split
+/// to overlap consecutive windows.  Within one invocation everything is
+/// serialised — an invocation observes its own effects in program order.
 #[derive(Debug)]
 pub struct LaunchCtx<'a> {
     accel: &'a mut Vwr2a,
@@ -265,7 +234,10 @@ pub struct LaunchCtx<'a> {
     primary_key: String,
     /// Programs this invocation depends on; never offered for eviction.
     pinned: Vec<String>,
-    cycles: u64,
+    /// Serialised per-invocation timeline the core reports costs on.
+    timeline: Timeline,
+    /// Per-engine phase durations of the invocation.
+    phases: WindowPhases,
     cold_launches: u64,
     warm_launches: u64,
     evictions: u64,
@@ -277,31 +249,47 @@ impl LaunchCtx<'_> {
         *self.accel.geometry()
     }
 
-    /// Cycles accumulated so far in this invocation.
+    /// Cycles accumulated so far in this invocation (all phases
+    /// serialised).
     pub fn cycles(&self) -> u64 {
-        self.cycles
+        self.timeline.wall_cycles()
     }
 
     /// DMAs `data` into the SPM at `spm_word_addr`, charging the transfer
-    /// cycles to the invocation.
+    /// cycles to the invocation's staging phase.
     pub fn dma_in(&mut self, data: &[i32], spm_word_addr: usize) -> Result<()> {
-        self.cycles += self.accel.dma_to_spm(data, spm_word_addr)?;
+        let now = self.timeline.wall_cycles();
+        let span = self
+            .accel
+            .dma_to_spm_at(data, spm_word_addr, &mut self.timeline, now)?;
+        self.phases.stage += span.duration();
         Ok(())
     }
 
     /// DMAs `len` words out of the SPM from `spm_word_addr`, charging the
-    /// transfer cycles to the invocation.
+    /// transfer cycles to the invocation's drain phase.
     pub fn dma_out(&mut self, spm_word_addr: usize, len: usize) -> Result<Vec<i32>> {
-        let (data, cycles) = self.accel.dma_from_spm(spm_word_addr, len)?;
-        self.cycles += cycles;
+        let now = self.timeline.wall_cycles();
+        let (data, span) =
+            self.accel
+                .dma_from_spm_at(spm_word_addr, len, &mut self.timeline, now)?;
+        self.phases.drain += span.duration();
         Ok(data)
+    }
+
+    /// Charges `cycles` of host slave-port work to the compute phase (SRF
+    /// accesses serialise with the launches they parameterise).
+    fn charge_host(&mut self, cycles: u64) {
+        let now = self.timeline.wall_cycles();
+        self.timeline.schedule(Engine::Compute, now, cycles);
+        self.phases.compute += cycles;
     }
 
     /// Writes one kernel parameter into a column's SRF over the slave port,
     /// charging [`SRF_WRITE_CYCLES`].
     pub fn write_param(&mut self, column: usize, index: usize, value: i32) -> Result<()> {
         self.accel.write_srf(column, index, value)?;
-        self.cycles += SRF_WRITE_CYCLES;
+        self.charge_host(SRF_WRITE_CYCLES);
         Ok(())
     }
 
@@ -309,7 +297,7 @@ impl LaunchCtx<'_> {
     /// slave port, charging [`SRF_READ_CYCLES`].
     pub fn read_param(&mut self, column: usize, index: usize) -> Result<i32> {
         let value = self.accel.read_srf(column, index)?;
-        self.cycles += SRF_READ_CYCLES;
+        self.charge_host(SRF_READ_CYCLES);
         Ok(value)
     }
 
@@ -369,16 +357,20 @@ impl LaunchCtx<'_> {
             self.accel.config_mem().contains(entry.id),
             "registry id must refer to a resident configuration-memory kernel"
         );
-        let stats = if entry.launches == 0 {
+        let start = self.timeline.wall_cycles();
+        let (stats, spans) = if entry.launches == 0 {
             self.cold_launches += 1;
-            self.accel.run_kernel(entry.id)?
+            self.accel
+                .run_kernel_at(entry.id, &mut self.timeline, start)?
         } else {
             self.warm_launches += 1;
-            self.accel.run_kernel_warm(entry.id)?
+            self.accel
+                .run_kernel_warm_at(entry.id, &mut self.timeline, start)?
         };
         entry.launches += 1;
         entry.last_use = now;
-        self.cycles += stats.cycles;
+        self.phases.config += spans.config.duration();
+        self.phases.compute += spans.compute.duration();
         Ok(stats.cycles)
     }
 }
@@ -580,14 +572,21 @@ impl Session {
         input: &K::Input,
     ) -> Result<(K::Output, RunReport)> {
         let mut report = RunReport::new(kernel.name());
-        let output = self.run_into(kernel, input, &mut report)?;
+        let mut schedule = StreamSchedule::new();
+        let (output, phases) = self.run_into(kernel, input, &mut report)?;
+        schedule.push(phases);
+        let timeline = schedule.finish();
+        report.wall_cycles = timeline.wall_cycles();
+        report.busy = timeline.occupancy();
         Ok((output, report))
     }
 
     /// Runs `kernel` over every input of a batch without re-staging its
     /// program: the first window may launch cold, all later windows launch
     /// warm.  Outputs are returned in input order together with one
-    /// aggregated report.
+    /// aggregated report; like [`Session::run_stream`], the report's
+    /// [`RunReport::wall_cycles`] reflects the pipelined (overlapped)
+    /// schedule while outputs stay bit-identical to per-window runs.
     ///
     /// # Errors
     ///
@@ -598,39 +597,66 @@ impl Session {
         I: IntoIterator,
         I::Item: Borrow<K::Input>,
     {
-        let mut outputs = Vec::new();
-        let report = self.run_stream(kernel, inputs, |out| outputs.push(out))?;
+        let inputs = inputs.into_iter();
+        let mut outputs = Vec::with_capacity(inputs.size_hint().0);
+        let report = self.run_stream(kernel, inputs, |out| {
+            outputs.push(out);
+            Ok(())
+        })?;
         Ok((outputs, report))
     }
 
-    /// Streams inputs through `kernel`, handing each output to `sink` as
-    /// soon as it is ready (constant memory in the number of windows).
-    /// Returns the aggregated report.
+    /// Streams inputs through `kernel` on the pipelined execution engine,
+    /// handing each output to `sink` as soon as it is ready (constant
+    /// memory in the number of windows).
+    ///
+    /// Outputs are computed in input order and are bit-identical to
+    /// [`Session::run_batch`] and to isolated [`Session::run`] calls; what
+    /// pipelining changes is the *timing model*: the SPM is treated as
+    /// double-buffered, so window *i+1*'s DMA staging overlaps window
+    /// *i*'s array execution, window *i−1*'s results drain behind the
+    /// launch, and each completion reaches the host through the VWR2A
+    /// completion interrupt (see [`crate::pipeline`]).  The returned
+    /// report's [`RunReport::wall_cycles`] is the overlapped end-to-end
+    /// latency — strictly below [`RunReport::serial_cycles`] whenever more
+    /// than one window allowed any overlap — while [`RunReport::cycles`]
+    /// keeps the serial phase sum of the pre-pipelining model.
     ///
     /// # Errors
     ///
-    /// As [`Session::run`]; the first error aborts the stream.
+    /// As [`Session::run`]; the first error — including an error returned
+    /// by `sink` — aborts the stream.  The session itself remains valid
+    /// and reusable: programs loaded so far stay resident and later runs
+    /// launch warm.
     pub fn run_stream<K, I, F>(&mut self, kernel: &K, inputs: I, mut sink: F) -> Result<RunReport>
     where
         K: Kernel,
         I: IntoIterator,
         I::Item: Borrow<K::Input>,
-        F: FnMut(K::Output),
+        F: FnMut(K::Output) -> Result<()>,
     {
         let mut report = RunReport::new(kernel.name());
+        let mut schedule = StreamSchedule::new();
         for input in inputs {
-            let output = self.run_into(kernel, input.borrow(), &mut report)?;
-            sink(output);
+            let (output, phases) = self.run_into(kernel, input.borrow(), &mut report)?;
+            schedule.push(phases);
+            sink(output)?;
         }
+        let timeline = schedule.finish();
+        report.wall_cycles = timeline.wall_cycles();
+        report.busy = timeline.occupancy();
         Ok(report)
     }
 
+    /// Runs one invocation, folding its counts into `report` (except the
+    /// schedule-dependent `wall_cycles`/`busy`, which the caller derives
+    /// from the returned [`WindowPhases`]).
     fn run_into<K: Kernel>(
         &mut self,
         kernel: &K,
         input: &K::Input,
         report: &mut RunReport,
-    ) -> Result<K::Output> {
+    ) -> Result<(K::Output, WindowPhases)> {
         let register_evictions = self.register_internal(kernel)?;
         let before = self.accel.counters();
         let mut ctx = LaunchCtx {
@@ -640,14 +666,16 @@ impl Session {
             clock: &mut self.clock,
             primary_key: kernel.cache_key(),
             pinned: vec![kernel.cache_key()],
-            cycles: 0,
+            timeline: Timeline::new(),
+            phases: WindowPhases::default(),
             cold_launches: 0,
             warm_launches: 0,
             evictions: 0,
         };
         let result = kernel.execute(&mut ctx, input);
         let ctx_evictions = ctx.evictions;
-        let (cold, warm, cycles) = (ctx.cold_launches, ctx.warm_launches, ctx.cycles);
+        let (cold, warm, phases) = (ctx.cold_launches, ctx.warm_launches, ctx.phases);
+        let cycles = ctx.timeline.wall_cycles();
         self.evictions += ctx_evictions;
         let output = result?;
         report.invocations += 1;
@@ -656,7 +684,7 @@ impl Session {
         report.cycles += cycles;
         report.evictions += register_evictions + ctx_evictions;
         report.counters += self.accel.counters() - before;
-        Ok(output)
+        Ok((output, phases))
     }
 }
 
@@ -1005,6 +1033,221 @@ mod tests {
         assert_eq!(report.warm_launches, 1, "the pinned primary stays warm");
         assert!(!session.is_warm(&bystander));
         assert_eq!(session.loaded_programs(), 2);
+    }
+
+    /// A runnable kernel whose program is padded with NOP rows to a
+    /// controllable size (for mixed-size eviction scenarios).
+    struct PaddedKernel {
+        rows: usize,
+        key: String,
+    }
+
+    impl PaddedKernel {
+        fn new(rows: usize, key: &str) -> Self {
+            Self {
+                rows,
+                key: key.to_string(),
+            }
+        }
+
+        fn words(rows: usize) -> usize {
+            PaddedKernel::new(rows, "probe")
+                .program(&Geometry::paper())
+                .unwrap()
+                .config_words()
+        }
+    }
+
+    impl Kernel for PaddedKernel {
+        type Input = ();
+        type Output = ();
+        fn name(&self) -> &str {
+            "padded"
+        }
+        fn cache_key(&self) -> String {
+            self.key.clone()
+        }
+        fn resources(&self) -> Resources {
+            Resources::default()
+        }
+        fn program(&self, g: &Geometry) -> Result<KernelProgram> {
+            let mut rows = vec![Row::new(g.rcs_per_column); self.rows];
+            rows.push(Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit));
+            Ok(KernelProgram::new(
+                &self.key,
+                vec![ColumnProgram::new(rows)?],
+            )?)
+        }
+        fn execute(&self, ctx: &mut LaunchCtx<'_>, _input: &()) -> Result<()> {
+            ctx.launch()?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn size_aware_policy_frees_room_with_fewer_evictions() {
+        // Working set: a small program (oldest), a large one, another small
+        // (hottest).  Loading a second large program forces evictions.
+        const SMALL: usize = 1;
+        const LARGE: usize = 12;
+        let capacity = 2 * PaddedKernel::words(SMALL) + 2 * PaddedKernel::words(LARGE);
+        // Leave room for exactly one extra small program so the large load
+        // cannot fit without evictions.
+        let capacity = capacity - PaddedKernel::words(LARGE) + PaddedKernel::words(SMALL);
+
+        let run_scenario = |policy_is_size_aware: bool| {
+            let mut geometry = Geometry::paper();
+            geometry.config_words = capacity;
+            let accel = Vwr2a::with_geometry(geometry).unwrap();
+            let mut session = if policy_is_size_aware {
+                Session::with_policy(accel, SizeAwareLru)
+            } else {
+                Session::with_policy(accel, LruPolicy)
+            };
+            session
+                .run(&PaddedKernel::new(SMALL, "small-old"), &())
+                .unwrap();
+            session
+                .run(&PaddedKernel::new(LARGE, "large-mid"), &())
+                .unwrap();
+            session
+                .run(&PaddedKernel::new(SMALL, "small-hot"), &())
+                .unwrap();
+            let (_, report) = session
+                .run(&PaddedKernel::new(LARGE, "incoming"), &())
+                .unwrap();
+            (report.evictions, session)
+        };
+
+        let (lru_evictions, lru_session) = run_scenario(false);
+        let (sa_evictions, sa_session) = run_scenario(true);
+        // Pure LRU walks the age order: both small programs go before the
+        // large one frees enough words.  The size-aware policy spends one
+        // eviction on the large coldish program and keeps the small ones.
+        assert!(
+            sa_evictions < lru_evictions,
+            "size-aware {sa_evictions} must beat LRU {lru_evictions}"
+        );
+        assert_eq!(sa_evictions, 1);
+        assert!(sa_session.is_warm(&PaddedKernel::new(SMALL, "small-old")));
+        assert!(sa_session.is_warm(&PaddedKernel::new(SMALL, "small-hot")));
+        assert!(!lru_session.is_warm(&PaddedKernel::new(SMALL, "small-old")));
+    }
+
+    #[test]
+    fn empty_stream_yields_a_zero_window_report() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(2);
+        let report = session
+            .run_stream(&kernel, std::iter::empty::<&[i32]>(), |_| Ok(()))
+            .unwrap();
+        assert_eq!(report.invocations, 0);
+        assert_eq!(report.launches(), 0);
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.wall_cycles, 0);
+        assert_eq!(report.serial_cycles(), 0);
+        assert_eq!(report.overlap_ratio(), 0.0);
+        assert_eq!(session.loaded_programs(), 0, "no window, no registration");
+    }
+
+    #[test]
+    fn single_window_stream_degenerates_to_the_serial_schedule() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(3);
+        let window: Vec<i32> = (0..100).collect();
+        let mut outputs = Vec::new();
+        let report = session
+            .run_stream(&kernel, std::iter::once(window.as_slice()), |out| {
+                outputs.push(out);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.invocations, 1);
+        // No overlap is possible: the wall clock equals the sum of all
+        // phases (including the completion interrupts the serial model
+        // also pays).
+        assert_eq!(report.wall_cycles, report.serial_cycles());
+        assert_eq!(report.overlap_ratio(), 0.0);
+        // The phase sum without interrupt servicing is the classic cycle
+        // count.
+        assert!(report.wall_cycles > report.cycles);
+        assert_eq!(
+            report.busy.config_load + report.busy.dma + report.busy.compute,
+            report.cycles
+        );
+        assert_eq!(outputs[0], window.iter().map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_window_stream_overlaps_and_stays_bit_identical() {
+        let kernel = ScaleKernel::new(-3);
+        let windows: Vec<Vec<i32>> = (0..6)
+            .map(|w| (0..128).map(|i| i * (w + 1) - 64).collect())
+            .collect();
+
+        let mut stream_session = Session::new();
+        let mut streamed = Vec::new();
+        let report = stream_session
+            .run_stream(&kernel, windows.iter().map(Vec::as_slice), |out| {
+                streamed.push(out);
+                Ok(())
+            })
+            .unwrap();
+
+        // The acceptance bound: overlapped wall clock strictly below the
+        // per-window DMA-in + compute + DMA-out sum.
+        assert!(
+            report.wall_cycles < report.cycles,
+            "wall {} must beat the serial phase sum {}",
+            report.wall_cycles,
+            report.cycles
+        );
+        assert!(report.overlap_ratio() > 0.0);
+        // Engine occupancy is conserved: the overlapped schedule does the
+        // same work.
+        assert_eq!(
+            report.busy.config_load + report.busy.dma + report.busy.compute,
+            report.cycles
+        );
+
+        // Outputs bit-identical to the batch path and to isolated runs.
+        let (batched, _) = Session::new()
+            .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+            .unwrap();
+        assert_eq!(streamed, batched);
+        for (window, out) in windows.iter().zip(&streamed) {
+            let (isolated, _) = Session::new().run(&kernel, window.as_slice()).unwrap();
+            assert_eq!(&isolated, out);
+        }
+    }
+
+    #[test]
+    fn sink_error_aborts_the_stream_but_the_session_stays_usable() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(5);
+        let windows: Vec<Vec<i32>> = (1..=4).map(|w| vec![w; 16]).collect();
+        let mut delivered = 0;
+        let err = session
+            .run_stream(&kernel, windows.iter().map(Vec::as_slice), |out| {
+                if delivered == 1 {
+                    return Err(RuntimeError::sink("downstream is full"));
+                }
+                assert_eq!(out[0], 5 * (delivered + 1));
+                delivered += 1;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Sink { .. }));
+        assert_eq!(delivered, 1, "the stream must stop at the failing sink");
+
+        // The session survives: the program is still resident and a fresh
+        // stream runs warm and bit-identical.
+        assert!(session.is_warm(&kernel));
+        let (outputs, report) = session
+            .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+            .unwrap();
+        assert_eq!(report.cold_launches, 0, "still warm after the abort");
+        assert_eq!(outputs[3], vec![20; 16]);
     }
 
     #[test]

@@ -277,11 +277,16 @@ mod tests {
         let mut firsts = Vec::new();
         let report = session
             .run_stream(&kernel, windows.iter().map(Vec::as_slice), |out| {
-                firsts.push(out[0])
+                firsts.push(out[0]);
+                Ok(())
             })
             .unwrap();
         assert_eq!(firsts, vec![10, 20, 30, 40]);
         assert_eq!(report.launches(), 4);
+        // Four windows through the pipelined engine: staging overlaps
+        // compute, so the wall clock beats the serial phase sum.
+        assert!(report.wall_cycles < report.serial_cycles());
+        assert!(report.overlap_ratio() > 0.0);
     }
 
     #[test]

@@ -46,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A whole stream of windows through the loaded kernel: one cold launch
-    // total, everything else warm.
+    // total, everything else warm — and pipelined, so window i+1's DMA
+    // staging hides behind window i's array compute.
     let windows: Vec<Vec<i32>> = (0..8)
         .map(|w| {
             (0..256)
@@ -56,12 +57,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let (outputs, stream) = session.run_batch(&fir, windows.iter().map(Vec::as_slice))?;
     println!(
-        "fir-11tap x{}  : {} cycles total, {} cold / {} warm launches, {} outputs",
+        "fir-11tap x{}  : {} wall cycles ({} serialised, {:.0} % hidden by overlap), \
+         {} cold / {} warm launches, {} outputs",
         stream.invocations,
-        stream.cycles,
+        stream.wall_cycles,
+        stream.serial_cycles(),
+        100.0 * stream.overlap_ratio(),
         stream.cold_launches,
         stream.warm_launches,
         outputs.len()
+    );
+    println!(
+        "                 engine busy: dma {}, array {}, config {}, irq {}",
+        stream.busy.dma, stream.busy.compute, stream.busy.config_load, stream.busy.interrupt
     );
 
     // 2. Dropping below the runtime: hand-written kernels still run on the

@@ -229,6 +229,111 @@ fn constrained_config_memory_serves_a_mixed_workload_bit_identically() {
 }
 
 #[test]
+fn pipelined_stream_overlaps_phases_with_bit_identical_outputs() {
+    // The pipelined-execution acceptance scenario: for a ≥4-window
+    // `run_stream`, the overlapped wall clock is strictly below the sum of
+    // per-window DMA-in + compute + DMA-out cycles, while the outputs stay
+    // bit-identical to `run_batch` and to isolated synchronous runs.
+    let taps: Vec<i32> = design_lowpass(11, 0.1)
+        .unwrap()
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    let kernel = FirKernel::new(&taps, 256).unwrap();
+    let windows: Vec<Vec<i32>> = (0..5)
+        .map(|w| {
+            (0..256)
+                .map(|i| (7000.0 * ((i + 41 * w) as f64 * 0.093).sin()) as i32)
+                .collect()
+        })
+        .collect();
+
+    let mut session = Session::new();
+    let mut streamed: Vec<Vec<i32>> = Vec::new();
+    let report = session
+        .run_stream(&kernel, windows.iter().map(Vec::as_slice), |out| {
+            streamed.push(out);
+            Ok(())
+        })
+        .unwrap();
+
+    // `cycles` is exactly the pre-pipelining synchronous model: the sum of
+    // each window's staging, configuration, compute and drain cycles.
+    assert!(
+        report.wall_cycles < report.cycles,
+        "pipelined wall clock {} must beat the serial phase sum {}",
+        report.wall_cycles,
+        report.cycles
+    );
+    assert!(report.overlap_ratio() > 0.0);
+    // The completion interrupts are modelled on top of the serial sum.
+    assert!(report.serial_cycles() > report.cycles);
+    // No work disappears into the overlap: per-engine busy cycles add up
+    // to the serial model.
+    assert_eq!(
+        report.busy.dma + report.busy.compute + report.busy.config_load,
+        report.cycles
+    );
+
+    // Bit-identical to run_batch through a fresh session...
+    let (batched, batch_report) = Session::new()
+        .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+        .unwrap();
+    assert_eq!(streamed, batched);
+    // The batch path is the same pipelined engine: identical schedule.
+    assert_eq!(batch_report.wall_cycles, report.wall_cycles);
+    // ...and to isolated synchronous runs.
+    for (window, out) in windows.iter().zip(&streamed) {
+        let (isolated, single) = Session::new().run(&kernel, window.as_slice()).unwrap();
+        assert_eq!(&isolated, out);
+        // A single invocation cannot overlap: its wall clock equals its
+        // serial schedule.
+        assert_eq!(single.wall_cycles, single.serial_cycles());
+        assert_eq!(single.overlap_ratio(), 0.0);
+    }
+}
+
+#[test]
+fn runtime_reexports_cover_tuning_without_a_core_dependency() {
+    // DmaConfig and the timeline types are reachable through
+    // `vwr2a::runtime` alone, so session users can tune DMA timing and
+    // inspect schedules without depending on vwr2a-core directly.
+    use vwr2a::runtime::{DmaConfig, Engine, Occupancy, StreamSchedule, Timeline, WindowPhases};
+
+    let dma = DmaConfig {
+        setup_cycles: 8,
+        cycles_per_word: 2,
+    };
+    let accel =
+        vwr2a::core::Vwr2a::with_geometry_and_dma(vwr2a::core::Geometry::paper(), dma).unwrap();
+    let mut session = Session::with_accelerator(accel);
+    let taps: Vec<i32> = design_lowpass(5, 0.2)
+        .unwrap()
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    let kernel = FirKernel::new(&taps, 128).unwrap();
+    let input = vec![500i32; 128];
+    let (_, report) = session.run(&kernel, input.as_slice()).unwrap();
+    assert!(report.busy.dma > 0);
+
+    // The schedule machinery itself is usable stand-alone.
+    let mut schedule = StreamSchedule::new();
+    for _ in 0..4 {
+        schedule.push(WindowPhases {
+            stage: 100,
+            config: 0,
+            compute: 400,
+            drain: 100,
+        });
+    }
+    let timeline: Timeline = schedule.finish();
+    assert!(timeline.wall_cycles() < timeline.serial_cycles());
+    let occupancy: Occupancy = timeline.occupancy();
+    assert_eq!(occupancy.of(Engine::Compute), 1600);
+}
+
+#[test]
 fn fft_adapts_to_a_one_column_geometry() {
     // The stage flow declares a one-column minimum and adapts to whatever
     // the geometry offers; a 512-point transform (two blocks per stage)

@@ -142,4 +142,38 @@ proptest! {
         let product = from_q16(mul_fxp(to_q16(a), to_q16(b)));
         prop_assert!((product - a * b).abs() < 0.05 + (a * b).abs() * 1e-3);
     }
+
+    #[test]
+    fn pipelined_schedules_never_lose_or_invent_work(
+        phase_list in prop::collection::vec(
+            (0u64..2_000, 0u64..500, 1u64..5_000, 0u64..2_000),
+            8,
+        ),
+    ) {
+        use vwr2a::runtime::{StreamSchedule, WindowPhases};
+
+        let mut schedule = StreamSchedule::new();
+        let mut serial_phase_sum = 0u64;
+        for &(stage, config, compute, drain) in &phase_list {
+            let phases = WindowPhases { stage, config, compute, drain };
+            serial_phase_sum += phases.total();
+            schedule.push(phases);
+        }
+        let timeline = schedule.finish();
+        // Work is conserved: every scheduled phase cycle appears exactly
+        // once in the per-engine occupancy...
+        let occupancy = timeline.occupancy();
+        prop_assert_eq!(
+            occupancy.config_load + occupancy.dma + occupancy.compute,
+            serial_phase_sum
+        );
+        // ...the overlapped wall clock never beats the longest engine nor
+        // exceeds the fully serial schedule...
+        let busiest = [occupancy.config_load, occupancy.dma, occupancy.compute,
+                       occupancy.interrupt].into_iter().max().unwrap();
+        prop_assert!(timeline.wall_cycles() >= busiest);
+        prop_assert!(timeline.wall_cycles() <= timeline.serial_cycles());
+        // ...and the overlap ratio stays a valid fraction.
+        prop_assert!((0.0..=1.0).contains(&timeline.overlap_ratio()));
+    }
 }
