@@ -43,13 +43,45 @@
 use serde::{Deserialize, Serialize};
 
 /// Fraction of a serial cost hidden by overlap: `(serial − wall) / serial`,
-/// or `0.0` when nothing ran.  The single definition behind
-/// [`Timeline::overlap_ratio`] and the runtime report's `overlap_ratio()`.
+/// always in `[0.0, 1.0]`.  The single definition behind
+/// [`Timeline::overlap_ratio`] and the runtime report's `overlap_ratio()`,
+/// including every degenerate case: an empty stream (`serial == 0`) and a
+/// wall clock at or above the serial cost (a single window, or a report
+/// whose wall clock was folded from sequential waves) both yield `0.0` —
+/// the saturating subtraction pins the numerator to `[0, serial]`, so the
+/// ratio needs no further clamping — and a zero wall clock against
+/// non-zero serial work caps at `1.0`.
 pub fn overlap_ratio(serial_cycles: u64, wall_cycles: u64) -> f64 {
     if serial_cycles == 0 {
         return 0.0;
     }
     serial_cycles.saturating_sub(wall_cycles) as f64 / serial_cycles as f64
+}
+
+/// Fleet-level wall clock of independent per-array timelines: arrays run
+/// concurrently, so the fleet is done when the *slowest* array is done.
+/// `0` for an empty fleet.
+pub fn fleet_wall_cycles<'a, I>(timelines: I) -> u64
+where
+    I: IntoIterator<Item = &'a Timeline>,
+{
+    timelines
+        .into_iter()
+        .map(Timeline::wall_cycles)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Total per-engine busy cycles across independent per-array timelines:
+/// the fleet does the sum of its arrays' work, however it was placed.
+pub fn fleet_occupancy<'a, I>(timelines: I) -> Occupancy
+where
+    I: IntoIterator<Item = &'a Timeline>,
+{
+    timelines
+        .into_iter()
+        .map(Timeline::occupancy)
+        .fold(Occupancy::default(), |acc, o| acc + o)
 }
 
 /// A platform engine that makes progress independently of the others.
@@ -342,6 +374,44 @@ mod tests {
         assert_eq!(t.wall_cycles(), 0);
         assert_eq!(t.serial_cycles(), 0);
         assert_eq!(t, Timeline::new());
+    }
+
+    #[test]
+    fn overlap_ratio_degenerate_cases_are_defined_and_bounded() {
+        // Nothing ran: no overlap, not NaN.
+        assert_eq!(overlap_ratio(0, 0), 0.0);
+        assert_eq!(overlap_ratio(0, 50), 0.0);
+        // Fully serial (single window): exactly zero.
+        assert_eq!(overlap_ratio(100, 100), 0.0);
+        // A wall clock beyond the serial cost (sequential waves folded into
+        // one report) stays at zero: the saturating subtraction bounds the
+        // numerator.
+        assert_eq!(overlap_ratio(100, 250), 0.0);
+        // A zero wall clock against real work caps at 1.0.
+        assert_eq!(overlap_ratio(100, 0), 1.0);
+        // The interior is the plain fraction.
+        assert!((overlap_ratio(200, 150) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_helpers_merge_independent_timelines() {
+        let mut a = Timeline::new();
+        a.schedule(Engine::Compute, 0, 300);
+        a.schedule(Engine::Dma, 0, 100);
+        let mut b = Timeline::new();
+        b.schedule(Engine::Compute, 0, 500);
+        let fleet = [a, b];
+        // Concurrent arrays: the fleet finishes with the slowest one.
+        assert_eq!(fleet_wall_cycles(&fleet), 500);
+        assert_eq!(fleet_wall_cycles(std::iter::empty::<&Timeline>()), 0);
+        // Work is conserved across the merge.
+        let busy = fleet_occupancy(&fleet);
+        assert_eq!(busy.compute, 800);
+        assert_eq!(busy.dma, 100);
+        assert_eq!(
+            busy.total(),
+            fleet.iter().map(Timeline::serial_cycles).sum::<u64>()
+        );
     }
 
     #[test]

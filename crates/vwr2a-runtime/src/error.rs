@@ -29,6 +29,15 @@ pub enum RuntimeError {
         /// Human-readable description.
         what: String,
     },
+    /// A [`crate::pool::Placement`] strategy returned an array index
+    /// outside the pool, aborting the fan-out (the pool itself stays valid
+    /// and reusable).
+    Placement {
+        /// The offending array index the strategy returned.
+        index: usize,
+        /// Number of arrays in the pool.
+        arrays: usize,
+    },
 }
 
 impl RuntimeError {
@@ -54,6 +63,10 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidInput { what } => write!(f, "invalid input: {what}"),
             RuntimeError::Sink { what } => write!(f, "output sink failed: {what}"),
+            RuntimeError::Placement { index, arrays } => write!(
+                f,
+                "placement strategy chose array {index} of a {arrays}-array pool"
+            ),
         }
     }
 }
@@ -101,5 +114,11 @@ mod tests {
         assert!(RuntimeError::sink("disk full")
             .to_string()
             .contains("disk full"));
+        let e = RuntimeError::Placement {
+            index: 7,
+            arrays: 2,
+        };
+        assert!(e.to_string().contains("array 7"));
+        assert!(e.source().is_none());
     }
 }

@@ -29,16 +29,27 @@
 //!   failing with `ConfigMemoryFull`.  Programs the active invocation
 //!   depends on are pinned; an evicted program is rebuilt on next use and
 //!   launches cold again.
+//! * **Fleet scheduling** — a [`Pool`] owns N sessions (each its own
+//!   array) behind a pluggable [`Placement`] strategy: the default
+//!   [`ResidencyAware`] routes every `(kernel, windows)` job to an array
+//!   that already holds the program (tie-breaking on the earliest-free
+//!   compute engine), next to the [`RoundRobin`] and [`LeastLoaded`]
+//!   baselines.  [`Pool::run_batch`] / [`Pool::run_stream`] fan jobs
+//!   across the fleet bit-identically to serial execution and merge the
+//!   per-array schedules into one [`FleetReport`] (see [`pool`]).
 //! * [`RunReport`] — the single accounting type for all kernels: wall and
 //!   serial cycles, per-engine occupancy, cold/warm launch counts,
-//!   evictions, [`vwr2a_core::ActivityCounters`] and derived time/energy.
+//!   evictions, [`vwr2a_core::ActivityCounters`] and derived time/energy —
+//!   with [`ArrayReport`] / [`FleetReport`] layering the fleet view on
+//!   top.
 //!
 //! For DMA-timing and schedule tuning the relevant core types are
 //! re-exported here ([`DmaConfig`], [`Engine`], [`Occupancy`], [`Span`],
-//! [`Timeline`]), so runtime users do not need a direct `vwr2a-core`
-//! dependency.
+//! [`Timeline`], and the fleet merge helpers [`fleet_wall_cycles`] /
+//! [`fleet_occupancy`]), so runtime users do not need a direct
+//! `vwr2a-core` dependency.
 //!
-//! See [`Session`] for a runnable example.
+//! See [`Session`] for a runnable example, and [`pool`] for the fleet.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +57,7 @@
 pub mod error;
 pub mod pipeline;
 pub mod policy;
+pub mod pool;
 pub mod report;
 pub mod session;
 pub mod testing;
@@ -53,7 +65,10 @@ pub mod testing;
 pub use error::{Result, RuntimeError};
 pub use pipeline::{StreamSchedule, WindowPhases};
 pub use policy::{EvictionPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
-pub use report::RunReport;
+pub use pool::{ArrayView, JobView, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+pub use report::{ArrayReport, FleetReport, RunReport};
 pub use session::{Kernel, LaunchCtx, Resources, Session, SRF_READ_CYCLES, SRF_WRITE_CYCLES};
 pub use vwr2a_core::dma::DmaConfig;
-pub use vwr2a_core::timeline::{Engine, LaunchSpans, Occupancy, Span, Timeline};
+pub use vwr2a_core::timeline::{
+    fleet_occupancy, fleet_wall_cycles, Engine, LaunchSpans, Occupancy, Span, Timeline,
+};

@@ -124,6 +124,22 @@ impl StreamSchedule {
         self.windows
     }
 
+    /// First cycle at which `engine` has no work scheduled so far (the
+    /// final window's drain may still be pending — see
+    /// [`StreamSchedule::finish`]).  The pool's residency-aware placement
+    /// tie-breaks jobs on each array's [`Engine::Compute`] value.
+    pub fn free_at(&self, engine: Engine) -> u64 {
+        self.timeline.free_at(engine)
+    }
+
+    /// The schedule's timeline as built so far.  [`StreamSchedule::finish`]
+    /// returns the completed timeline (with the last drain flushed); this
+    /// view exists for mid-stream queries like
+    /// [`StreamSchedule::free_at`].
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
     /// Services one completion interrupt on the interrupt engine: the
     /// peripheral raises its line (`vwr2a_soc::irq::lines`) at
     /// `not_before`, and the host pays the Cortex-M4 entry/exit latency
@@ -312,6 +328,18 @@ mod tests {
         // Wall clock ≈ first stage + N computes + final IRQ/drain tail.
         assert!(t.wall_cycles() < 6 * p.total());
         assert_eq!(t.busy_cycles(Engine::Compute), 6 * 900);
+    }
+
+    #[test]
+    fn free_at_tracks_the_compute_engine_mid_stream() {
+        let mut s = StreamSchedule::new();
+        assert_eq!(s.free_at(Engine::Compute), 0);
+        let w0 = s.push(phases(100, 0, 400, 50));
+        assert_eq!(s.free_at(Engine::Compute), w0.compute.end);
+        assert_eq!(s.timeline().busy_cycles(Engine::Compute), 400);
+        let w1 = s.push(phases(100, 0, 400, 50));
+        assert_eq!(s.free_at(Engine::Compute), w1.compute.end);
+        s.finish();
     }
 
     #[test]

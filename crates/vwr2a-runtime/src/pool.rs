@@ -1,0 +1,829 @@
+//! Multi-accelerator pool: fan `(kernel, windows)` jobs across a fleet of
+//! [`Session`]s behind one residency-aware scheduler.
+//!
+//! # The scheduling model
+//!
+//! A [`Pool`] owns N independent arrays — each a full [`Session`] with its
+//! own `Vwr2a`, configuration memory and eviction policy.  A *job* is one
+//! `(kernel, windows)` workload: a kernel plus the window stream to run
+//! through it.  [`Pool::run_batch`] / [`Pool::run_stream`] place each job
+//! on one array via the pool's [`Placement`] strategy and execute its
+//! windows there on the array's own pipelined
+//! [`StreamSchedule`] (staging overlapped
+//! with compute, exactly like [`Session::run_stream`]).
+//!
+//! Placement is where the fleet either wins or loses: a kernel's program
+//! must be *resident* in an array's configuration memory to launch warm,
+//! so routing a job to an array that already holds its program skips the
+//! configuration-word streaming entirely, while a residency-blind router
+//! keeps paying cold reloads (and, under capacity pressure, keeps evicting
+//! other jobs' programs).  Three strategies ship with the pool:
+//!
+//! * [`ResidencyAware`] — prefer arrays with the job's program resident,
+//!   tie-breaking on the earliest-free compute engine of the per-array
+//!   timeline; fall back to the earliest-free array when no one holds the
+//!   program yet, and replicate a program onto a still-idle array rather
+//!   than queue behind busy resident copies.  This is the scheduler the
+//!   ROADMAP's fleet item asks for, and the pool's default.
+//! * [`RoundRobin`] — job *i* goes to array *i mod N*, residency-blind.
+//!   The baseline the `pool` bench bin compares against.
+//! * [`LeastLoaded`] — route to the array with the fewest cumulative
+//!   compute-busy cycles ([`Session::free_compute_at`]), balancing load
+//!   without looking at residency.
+//!
+//! Outputs are **bit-identical** to running every job serially on one
+//! session, for every strategy — placement only moves *where* (and
+//! overlap only *when*) the already-verified work executes.  The merged
+//! [`FleetReport`] exposes what placement changed: per-array busy and wall
+//! cycles, the fleet wall clock (max over arrays), compute occupancy and
+//! the cold-reload count.
+//!
+//! # Example
+//!
+//! ```
+//! use vwr2a_runtime::pool::Pool;
+//! use vwr2a_runtime::testing::BakedScaleKernel;
+//!
+//! # fn main() -> Result<(), vwr2a_runtime::RuntimeError> {
+//! let mut pool = Pool::new(2); // two arrays, residency-aware placement
+//! let double = BakedScaleKernel::new(2);
+//! let triple = BakedScaleKernel::new(3);
+//! let windows: Vec<Vec<i32>> = (0..4).map(|w| vec![w; 32]).collect();
+//!
+//! let jobs = [&double, &triple, &double, &triple]
+//!     .map(|kernel| (kernel, windows.iter().map(Vec::as_slice)));
+//! let (outputs, fleet) = pool.run_batch(jobs)?;
+//! assert_eq!(outputs.len(), 4);
+//! assert_eq!(outputs[0][0], vec![0; 32]);
+//! // Each program went cold once, on the one array it now lives on; the
+//! // repeat jobs found it resident and launched warm.
+//! assert_eq!(fleet.cold_reloads(), 2);
+//! assert_eq!(fleet.warm_launches(), 14);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::borrow::Borrow;
+use std::fmt;
+
+use vwr2a_core::timeline::Engine;
+
+use crate::error::{Result, RuntimeError};
+use crate::pipeline::StreamSchedule;
+use crate::report::{FleetReport, RunReport};
+use crate::session::{Kernel, Session};
+
+/// What a [`Placement`] strategy sees about the job being placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobView<'a> {
+    /// Submission index of the job (0-based, in fan-out order).
+    pub index: usize,
+    /// The job kernel's [`Kernel::cache_key`] — program identity, i.e.
+    /// what residency is tracked by.
+    pub cache_key: &'a str,
+    /// Lower-bound size hint of the job's window stream (exact for slices,
+    /// `Vec`s and other exact-size iterators; `0` for opaque streams).
+    /// The pool iterates windows lazily, so the true count is only known
+    /// once the job has run.
+    pub windows: usize,
+}
+
+/// What a [`Placement`] strategy sees about one array of the pool at the
+/// moment a job is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayView {
+    /// Index of the array in the pool.
+    pub index: usize,
+    /// `true` if the job's program is resident in this array's
+    /// configuration memory ([`Session::is_resident_key`]).
+    pub resident: bool,
+    /// `true` if the program is resident *and* has launched on this array
+    /// before (its next launch is warm).
+    pub warm: bool,
+    /// First cycle at which this array's compute engine is free on its
+    /// current wave schedule
+    /// ([`StreamSchedule::free_at`](crate::pipeline::StreamSchedule::free_at)
+    /// on [`Engine::Compute`]).
+    pub free_compute_at: u64,
+    /// The array's cumulative compute-busy cycles over the session's whole
+    /// lifetime ([`Session::free_compute_at`]) — the cross-wave load
+    /// metric.
+    pub busy_compute: u64,
+    /// Distinct programs resident in the array's configuration memory.
+    pub loaded_programs: usize,
+}
+
+/// Chooses which array of a [`Pool`] runs a job.
+///
+/// The strategy is consulted once per job, in submission order, with a
+/// fresh snapshot of every array — so residency and timeline effects of
+/// earlier placements are visible.  It must return an index into `arrays`;
+/// an out-of-range index aborts the fan-out with
+/// [`RuntimeError::Placement`] (the pool stays valid and reusable).
+/// Strategies must be deterministic so fleet experiments are reproducible.
+pub trait Placement: fmt::Debug + Send {
+    /// Short strategy name used in reports and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Returns the index of the array that should run `job`.
+    ///
+    /// `arrays` is never empty (a pool has at least one array).
+    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> usize;
+}
+
+/// Residency-aware placement: prefer arrays that already hold the job's
+/// program, tie-break on the earliest-free compute engine.
+///
+/// A job whose program is resident *somewhere* goes to the resident array
+/// whose compute engine frees earliest (warm launch, no configuration
+/// streaming).  A program nobody holds yet goes to the earliest-free array
+/// overall — which both balances load and spreads distinct programs across
+/// the fleet, so the steady state keeps every program resident on "its"
+/// array instead of thrashing one configuration memory.  One refinement
+/// keeps affinity from starving the fleet: when every resident array is
+/// busy but some array is still completely *idle* this wave, the job is
+/// placed there instead — the cold reload replicates the program onto the
+/// idle array, and from then on both copies serve warm launches (without
+/// this, a two-program workload would leave half of a four-array fleet
+/// permanently idle).  Ties resolve to the lowest array index, keeping
+/// placement deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyAware;
+
+impl Placement for ResidencyAware {
+    fn name(&self) -> &'static str {
+        "residency-aware"
+    }
+
+    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
+        // Ties on the wave-local free time (e.g. every array idle at the
+        // start of a wave) break on the lifetime compute load, so a
+        // sequence of single-job waves still spreads first-seen programs
+        // across the fleet instead of piling them onto array 0.
+        let earliest_free = |candidates: &mut dyn Iterator<Item = &ArrayView>| {
+            candidates
+                .min_by_key(|a| (a.free_compute_at, a.busy_compute, a.index))
+                .copied()
+        };
+        let best_any = earliest_free(&mut arrays.iter()).expect("a pool has at least one array");
+        match earliest_free(&mut arrays.iter().filter(|a| a.resident)) {
+            // Busy resident copies, but an idle array is available:
+            // replicate rather than queue.
+            Some(resident) if resident.free_compute_at > 0 && best_any.free_compute_at == 0 => {
+                best_any.index
+            }
+            Some(resident) => resident.index,
+            None => best_any.index,
+        }
+    }
+}
+
+/// Residency-blind baseline: job *i* runs on array *i mod N*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl Placement for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
+        job.index % arrays.len()
+    }
+}
+
+/// Load-balancing placement: route to the array with the fewest cumulative
+/// compute-busy cycles (ties to the lowest index).  Ignores residency —
+/// useful as the "balanced but residency-blind" comparison point between
+/// [`RoundRobin`] and [`ResidencyAware`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoaded;
+
+impl Placement for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
+        arrays
+            .iter()
+            .min_by_key(|a| (a.busy_compute, a.index))
+            .map(|a| a.index)
+            .expect("a pool has at least one array")
+    }
+}
+
+/// A fleet of [`Session`]s behind one [`Placement`] scheduler.
+///
+/// Every fan-out call ([`Pool::run_batch`] / [`Pool::run_stream`]) is one
+/// *wave*: each array starts the wave with an empty
+/// [`StreamSchedule`] (its engines free at
+/// cycle 0), jobs are placed and run in submission order, and the wave's
+/// merged [`FleetReport`] is returned.  *Residency persists across waves*:
+/// the sessions keep their loaded programs, so a later wave's jobs launch
+/// warm wherever earlier waves already placed their programs.
+/// [`Pool::stats`] accumulates the per-array accounting over all waves.
+///
+/// See the [module docs](crate::pool) for the scheduling model and a
+/// runnable example.
+#[derive(Debug)]
+pub struct Pool {
+    arrays: Vec<Session>,
+    placement: Box<dyn Placement>,
+    stats: FleetReport,
+}
+
+impl Pool {
+    /// Creates a pool of `arrays` default sessions (paper geometry, LRU
+    /// eviction) with the default [`ResidencyAware`] placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn new(arrays: usize) -> Self {
+        Self::with_sessions((0..arrays).map(|_| Session::new()).collect())
+    }
+
+    /// Creates a pool over custom sessions (constrained geometries, custom
+    /// eviction policies) with the default [`ResidencyAware`] placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty.
+    pub fn with_sessions(sessions: Vec<Session>) -> Self {
+        assert!(!sessions.is_empty(), "a pool needs at least one array");
+        let stats = FleetReport::new(sessions.len());
+        Self {
+            arrays: sessions,
+            placement: Box::new(ResidencyAware),
+            stats,
+        }
+    }
+
+    /// Replaces the placement strategy, builder-style.
+    #[must_use]
+    pub fn with_placement(mut self, placement: impl Placement + 'static) -> Self {
+        self.set_placement(placement);
+        self
+    }
+
+    /// Replaces the placement strategy (resident programs are unaffected).
+    pub fn set_placement(&mut self, placement: impl Placement + 'static) {
+        self.placement = Box::new(placement);
+    }
+
+    /// Name of the active placement strategy.
+    pub fn placement_name(&self) -> &'static str {
+        self.placement.name()
+    }
+
+    /// Number of arrays in the pool.
+    pub fn arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// The session behind one array (residency inspection, tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn array(&self, index: usize) -> &Session {
+        &self.arrays[index]
+    }
+
+    /// Accumulated fleet accounting over every wave run so far (per-array
+    /// wall clocks add across waves, as if the waves ran back to back).
+    pub fn stats(&self) -> &FleetReport {
+        &self.stats
+    }
+
+    /// Fans a batch of `(kernel, windows)` jobs across the fleet and
+    /// collects each job's outputs, in window order, grouped by job in
+    /// submission order.
+    ///
+    /// Outputs are bit-identical to running every job serially on one
+    /// [`Session`] — for any placement strategy.  The returned
+    /// [`FleetReport`] carries this wave's per-array and fleet-level
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`] on the chosen array, plus
+    /// [`RuntimeError::Placement`] if the strategy returns an out-of-range
+    /// array index.  The first error aborts the fan-out; the pool and its
+    /// sessions stay valid and reusable.
+    #[allow(clippy::type_complexity)]
+    pub fn run_batch<'k, K, J, W>(&mut self, jobs: J) -> Result<(Vec<Vec<K::Output>>, FleetReport)>
+    where
+        K: Kernel + 'k,
+        J: IntoIterator<Item = (&'k K, W)>,
+        W: IntoIterator,
+        W::Item: Borrow<K::Input>,
+    {
+        let jobs: Vec<(&K, W)> = jobs.into_iter().collect();
+        let mut outputs: Vec<Vec<K::Output>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+        let report = self.run_stream(jobs, |job, output| {
+            outputs[job].push(output);
+            Ok(())
+        })?;
+        Ok((outputs, report))
+    }
+
+    /// Streams a fan-out of `(kernel, windows)` jobs across the fleet,
+    /// handing each output to `sink` together with its job's submission
+    /// index, as soon as it is computed (jobs execute in submission order;
+    /// within a job, windows in window order).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pool::run_batch`]; an error returned by `sink` aborts the
+    /// fan-out as [`RuntimeError::Sink`] does for [`Session::run_stream`].
+    /// Work performed before the abort — cold reloads, invocations, busy
+    /// cycles — is still folded into [`Pool::stats`], matching the
+    /// sessions' own accounting of failed invocations.
+    pub fn run_stream<'k, K, J, W, F>(&mut self, jobs: J, sink: F) -> Result<FleetReport>
+    where
+        K: Kernel + 'k,
+        J: IntoIterator<Item = (&'k K, W)>,
+        W: IntoIterator,
+        W::Item: Borrow<K::Input>,
+        F: FnMut(usize, K::Output) -> Result<()>,
+    {
+        let arrays = self.arrays.len();
+        let mut schedules: Vec<StreamSchedule> =
+            (0..arrays).map(|_| StreamSchedule::new()).collect();
+        let mut wave = FleetReport::new(arrays);
+
+        let result = self.fan_out(jobs, sink, &mut wave, &mut schedules);
+        for (array, schedule) in wave.arrays.iter_mut().zip(schedules) {
+            let timeline = schedule.finish();
+            array.report.wall_cycles = timeline.wall_cycles();
+            array.report.busy = timeline.occupancy();
+        }
+        // The wave's accounting survives an abort: the sessions did the
+        // work, so the fleet statistics must show it.
+        self.stats.absorb(&wave);
+        result.map(|()| wave)
+    }
+
+    /// The job loop of [`Pool::run_stream`]: places and runs every job,
+    /// recording into `wave`/`schedules` as it goes so the caller can
+    /// salvage the accounting of an aborted fan-out.
+    fn fan_out<'k, K, J, W, F>(
+        &mut self,
+        jobs: J,
+        mut sink: F,
+        wave: &mut FleetReport,
+        schedules: &mut [StreamSchedule],
+    ) -> Result<()>
+    where
+        K: Kernel + 'k,
+        J: IntoIterator<Item = (&'k K, W)>,
+        W: IntoIterator,
+        W::Item: Borrow<K::Input>,
+        F: FnMut(usize, K::Output) -> Result<()>,
+    {
+        let arrays = self.arrays.len();
+        for (index, (kernel, windows)) in jobs.into_iter().enumerate() {
+            let key = kernel.cache_key();
+            // Windows are consumed lazily (constant memory in the window
+            // count, like `Session::run_stream`); placement sees the
+            // iterator's size hint.
+            let windows = windows.into_iter();
+            let windows_hint = windows.size_hint().0;
+            let views: Vec<ArrayView> = self
+                .arrays
+                .iter()
+                .enumerate()
+                .map(|(i, session)| ArrayView {
+                    index: i,
+                    resident: session.is_resident_key(&key),
+                    warm: session.is_warm(kernel),
+                    free_compute_at: schedules[i].free_at(Engine::Compute),
+                    busy_compute: session.free_compute_at(),
+                    loaded_programs: session.loaded_programs(),
+                })
+                .collect();
+            let job = JobView {
+                index,
+                cache_key: &key,
+                windows: windows_hint,
+            };
+            let chosen = self.placement.place(&job, &views);
+            if chosen >= arrays {
+                return Err(RuntimeError::Placement {
+                    index: chosen,
+                    arrays,
+                });
+            }
+            wave.jobs += 1;
+            wave.arrays[chosen].jobs += 1;
+            for window in windows {
+                let (output, phases) = self.arrays[chosen].run_into(
+                    kernel,
+                    window.borrow(),
+                    &mut wave.arrays[chosen].report,
+                )?;
+                schedules[chosen].push(phases);
+                sink(index, output)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs every job of the same shape on one fresh, unconstrained
+    /// [`Session`], serially — the reference the pool's equivalence tests
+    /// compare against.  Outputs are grouped by job in submission order;
+    /// the returned [`RunReport`] aggregates the whole serial run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`]; the first error aborts the run.
+    #[allow(clippy::type_complexity)]
+    pub fn run_serial_reference<'k, K, J, W>(jobs: J) -> Result<(Vec<Vec<K::Output>>, RunReport)>
+    where
+        K: Kernel + 'k,
+        J: IntoIterator<Item = (&'k K, W)>,
+        W: IntoIterator,
+        W::Item: Borrow<K::Input>,
+    {
+        let mut session = Session::new();
+        let mut outputs = Vec::new();
+        let mut total = RunReport::new("serial-reference");
+        for (kernel, windows) in jobs {
+            let mut job_outputs = Vec::new();
+            for window in windows {
+                let (output, report) = session.run(kernel, window.borrow())?;
+                total.absorb(&report);
+                job_outputs.push(output);
+            }
+            outputs.push(job_outputs);
+        }
+        Ok((outputs, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{constrained_sessions, BakedScaleKernel};
+    use vwr2a_core::geometry::Geometry;
+
+    fn baked_words() -> usize {
+        BakedScaleKernel::new(1)
+            .program(&Geometry::paper())
+            .unwrap()
+            .config_words()
+    }
+
+    fn windows(count: usize, seed: i32) -> Vec<Vec<i32>> {
+        (0..count)
+            .map(|w| (0..96).map(|i| i + seed + 7 * w as i32).collect())
+            .collect()
+    }
+
+    /// One job per pick, 2 windows each, kernels indexed by `picks`.
+    fn picked_jobs<'a>(
+        kernels: &'a [BakedScaleKernel],
+        picks: &[usize],
+    ) -> Vec<(&'a BakedScaleKernel, Vec<Vec<i32>>)> {
+        picks
+            .iter()
+            .enumerate()
+            .map(|(j, &pick)| (&kernels[pick], windows(2, j as i32)))
+            .collect()
+    }
+
+    /// Outputs of a fan-out, grouped by job, then window.
+    type JobOutputs = Vec<Vec<Vec<i32>>>;
+
+    /// Fans `picks`-selected kernels over a 2-array pool with 2-slot
+    /// configuration memories, returning (pool outputs, fleet report,
+    /// serial reference outputs).
+    fn run_mixed(
+        factors: &[i16],
+        picks: &[usize],
+        placement: impl Placement + 'static,
+    ) -> (JobOutputs, FleetReport, JobOutputs) {
+        let kernels: Vec<BakedScaleKernel> =
+            factors.iter().map(|&f| BakedScaleKernel::new(f)).collect();
+        let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * baked_words()))
+            .with_placement(placement);
+        let jobs = picked_jobs(&kernels, picks);
+        let (outputs, fleet) = pool
+            .run_batch(
+                jobs.iter()
+                    .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+            )
+            .unwrap();
+        let (serial, _) = Pool::run_serial_reference(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        (outputs, fleet, serial)
+    }
+
+    /// 12 jobs cycling over 3 distinct programs.
+    const THREE_KERNEL_PICKS: [usize; 12] = [0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+    /// 12 jobs over 4 distinct programs in an irregular order, so
+    /// round-robin cannot accidentally split the working set cleanly
+    /// across the two arrays.
+    const FOUR_KERNEL_PICKS: [usize; 12] = [0, 1, 2, 3, 2, 0, 1, 3, 0, 2, 3, 1];
+
+    #[test]
+    fn pool_outputs_match_serial_execution_for_every_strategy() {
+        let factors = [2i16, 3, 5];
+        let (ra, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, ResidencyAware);
+        assert_eq!(ra, serial);
+        let (rr, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, RoundRobin);
+        assert_eq!(rr, serial);
+        let (ll, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, LeastLoaded);
+        assert_eq!(ll, serial);
+    }
+
+    #[test]
+    fn residency_aware_beats_round_robin_on_cold_reloads() {
+        // The satellite scenario: 2 arrays, 3 distinct kernels, 2-slot
+        // configuration memories.  Residency-aware placement pins each
+        // program to "its" array and goes cold exactly once per program;
+        // round-robin alternates every program across both 2-slot
+        // memories — each array cycles through all 3 programs and keeps
+        // re-streaming configuration words.
+        let factors = [2i16, 3, 5];
+        let (_, residency_aware, _) = run_mixed(&factors, &THREE_KERNEL_PICKS, ResidencyAware);
+        let (_, round_robin, _) = run_mixed(&factors, &THREE_KERNEL_PICKS, RoundRobin);
+        assert_eq!(
+            residency_aware.cold_reloads(),
+            3,
+            "each of the 3 programs loads cold exactly once"
+        );
+        assert_eq!(residency_aware.evictions(), 0);
+        assert!(
+            residency_aware.cold_reloads() < round_robin.cold_reloads(),
+            "residency-aware {} cold reloads must beat round-robin {}",
+            residency_aware.cold_reloads(),
+            round_robin.cold_reloads()
+        );
+        assert!(round_robin.evictions() > 0, "3 programs thrash 2 slots");
+    }
+
+    /// A launch-only kernel with a NOP-padded program: a distinct program
+    /// per `key`, sized so cold configuration streaming is expensive
+    /// relative to the (DMA-free) execution — the shape on which placement
+    /// quality shows up in the fleet wall clock.
+    struct PaddedKernel {
+        key: String,
+    }
+
+    impl PaddedKernel {
+        const ROWS: usize = 24;
+
+        fn new(key: &str) -> Self {
+            Self {
+                key: key.to_string(),
+            }
+        }
+
+        fn words() -> usize {
+            PaddedKernel::new("probe")
+                .program(&Geometry::paper())
+                .unwrap()
+                .config_words()
+        }
+    }
+
+    impl Kernel for PaddedKernel {
+        type Input = ();
+        type Output = u64;
+        fn name(&self) -> &str {
+            "padded"
+        }
+        fn cache_key(&self) -> String {
+            self.key.clone()
+        }
+        fn resources(&self) -> crate::session::Resources {
+            crate::session::Resources::default()
+        }
+        fn program(&self, g: &Geometry) -> Result<vwr2a_core::program::KernelProgram> {
+            use vwr2a_core::program::{ColumnProgram, Row};
+            let mut rows = vec![Row::new(g.rcs_per_column); Self::ROWS];
+            rows.push(Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit));
+            Ok(vwr2a_core::program::KernelProgram::new(
+                &self.key,
+                vec![ColumnProgram::new(rows)?],
+            )?)
+        }
+        fn execute(&self, ctx: &mut crate::session::LaunchCtx<'_>, _input: &()) -> Result<u64> {
+            ctx.launch()
+        }
+    }
+
+    #[test]
+    fn residency_aware_beats_round_robin_on_fleet_occupancy() {
+        // The bench-bin acceptance claim: on a mixed-kernel sweep whose
+        // working set fills the fleet (4 programs over 2 × 2 slots),
+        // residency-aware placement spreads the programs across the
+        // arrays once and then runs warm and balanced, while round-robin
+        // keeps every array cycling through all 4 programs — the extra
+        // configuration streaming sits on each array's critical path, so
+        // a smaller fraction of the fleet's array-cycles goes to compute.
+        let kernels: Vec<PaddedKernel> = (0..4)
+            .map(|k| PaddedKernel::new(&format!("p{k}")))
+            .collect();
+        let run = |placement: Box<dyn Placement>| {
+            let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * PaddedKernel::words()));
+            pool.placement = placement;
+            let (_, fleet) = pool
+                .run_batch(
+                    FOUR_KERNEL_PICKS
+                        .iter()
+                        .map(|&pick| (&kernels[pick], vec![(); 2])),
+                )
+                .unwrap();
+            fleet
+        };
+        let residency_aware = run(Box::new(ResidencyAware));
+        let round_robin = run(Box::new(RoundRobin));
+        assert_eq!(residency_aware.cold_reloads(), 4);
+        assert_eq!(residency_aware.evictions(), 0);
+        assert!(round_robin.evictions() > 0);
+        assert!(
+            round_robin.cold_reloads() > residency_aware.cold_reloads(),
+            "round-robin must thrash the 2-slot memories"
+        );
+        assert!(
+            residency_aware.occupancy() > round_robin.occupancy(),
+            "occupancy {:.3} must beat {:.3}",
+            residency_aware.occupancy(),
+            round_robin.occupancy()
+        );
+        assert!(residency_aware.wall_cycles() < round_robin.wall_cycles());
+    }
+
+    #[test]
+    fn fleet_wall_clock_and_busy_conserve_the_per_array_schedules() {
+        let (_, fleet, _) = run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, ResidencyAware);
+        let max_wall = fleet
+            .arrays
+            .iter()
+            .map(|a| a.report.wall_cycles)
+            .max()
+            .unwrap();
+        assert_eq!(fleet.wall_cycles(), max_wall);
+        for array in &fleet.arrays {
+            assert!(fleet.wall_cycles() >= array.report.wall_cycles);
+            // Per-array work conservation, as in the schedule proptest:
+            // every phase cycle appears exactly once in the occupancy.
+            assert_eq!(
+                array.report.busy.config_load + array.report.busy.dma + array.report.busy.compute,
+                array.report.cycles
+            );
+        }
+        let busy_sum = fleet
+            .arrays
+            .iter()
+            .map(|a| a.report.busy.total())
+            .sum::<u64>();
+        assert_eq!(fleet.busy().total(), busy_sum);
+    }
+
+    #[test]
+    fn placement_sees_residency_and_balances_new_programs() {
+        let kernels: Vec<BakedScaleKernel> =
+            [2, 3].iter().map(|&f| BakedScaleKernel::new(f)).collect();
+        let mut pool = Pool::new(2);
+        let jobs: Vec<(&BakedScaleKernel, Vec<Vec<i32>>)> = (0..4)
+            .map(|j| (&kernels[j % 2], windows(1, j as i32)))
+            .collect();
+        pool.run_batch(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        // The two distinct programs must have been spread over the two
+        // arrays (the fallback path places the second program on the
+        // not-yet-busy array), and each repeat went back to its array.
+        assert!(pool.array(0).is_resident(&kernels[0]));
+        assert!(pool.array(1).is_resident(&kernels[1]));
+        assert!(!pool.array(0).is_resident(&kernels[1]));
+        assert!(!pool.array(1).is_resident(&kernels[0]));
+    }
+
+    #[test]
+    fn residency_persists_across_waves() {
+        let kernel = BakedScaleKernel::new(9);
+        let mut pool = Pool::new(2);
+        let ws = windows(2, 0);
+        let (_, first) = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        assert_eq!(first.cold_reloads(), 1);
+        let (_, second) = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        assert_eq!(second.cold_reloads(), 0, "wave 2 finds the program warm");
+        // stats() accumulated both waves.
+        assert_eq!(pool.stats().jobs, 2);
+        assert_eq!(pool.stats().cold_reloads(), 1);
+        assert_eq!(pool.stats().invocations(), 4);
+    }
+
+    #[test]
+    fn run_stream_delivers_outputs_with_job_indices() {
+        let kernels: Vec<BakedScaleKernel> =
+            [4, 5].iter().map(|&f| BakedScaleKernel::new(f)).collect();
+        let mut pool = Pool::new(2);
+        let mut seen: Vec<(usize, i32)> = Vec::new();
+        let window = [10i32, 20];
+        let report = pool
+            .run_stream(
+                (0..3).map(|j| (&kernels[j % 2], [window.as_slice()])),
+                |job, out| {
+                    seen.push((job, out[0]));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(seen, vec![(0, 40), (1, 50), (2, 40)]);
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.invocations(), 3);
+    }
+
+    #[test]
+    fn sink_error_aborts_the_fan_out_but_the_pool_stays_usable() {
+        let kernel = BakedScaleKernel::new(3);
+        let mut pool = Pool::new(2);
+        let ws = windows(3, 0);
+        let err = pool
+            .run_stream([(&kernel, ws.iter().map(Vec::as_slice))], |_, _| {
+                Err(RuntimeError::sink("downstream is full"))
+            })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Sink { .. }));
+        // The aborted wave's work is not lost from the fleet statistics:
+        // the cold configuration stream physically ran.
+        assert_eq!(pool.stats().jobs, 1);
+        assert_eq!(pool.stats().cold_reloads(), 1);
+        assert_eq!(pool.stats().invocations(), 1);
+        assert!(pool.stats().busy().compute > 0);
+        // The placed program stays resident; the next wave runs warm.
+        let (_, report) = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        assert_eq!(report.cold_reloads(), 0);
+    }
+
+    #[test]
+    fn rogue_placement_fails_cleanly() {
+        #[derive(Debug)]
+        struct OutOfRange;
+        impl Placement for OutOfRange {
+            fn name(&self) -> &'static str {
+                "out-of-range"
+            }
+            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
+                arrays.len() + 3
+            }
+        }
+        let kernel = BakedScaleKernel::new(2);
+        let mut pool = Pool::new(2).with_placement(OutOfRange);
+        let ws = windows(1, 0);
+        let err = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Placement {
+                    index: 5,
+                    arrays: 2
+                }
+            ),
+            "expected Placement, got {err:?}"
+        );
+        // Nothing ran, and the pool recovers with a sane strategy.
+        pool.set_placement(ResidencyAware);
+        assert_eq!(pool.placement_name(), "residency-aware");
+        pool.run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_fan_out_is_free() {
+        let mut pool = Pool::new(3);
+        let (outputs, report) = pool
+            .run_batch(std::iter::empty::<(&BakedScaleKernel, Vec<&[i32]>)>())
+            .unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(report.jobs, 0);
+        assert_eq!(report.wall_cycles(), 0);
+        assert_eq!(report.occupancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn zero_array_pools_are_rejected() {
+        let _ = Pool::new(0);
+    }
+}

@@ -125,6 +125,154 @@ impl std::fmt::Display for RunReport {
     }
 }
 
+/// Accounting of one array (one [`crate::Session`]) inside a
+/// [`crate::pool::Pool`] fan-out.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArrayReport {
+    /// Index of the array in the pool.
+    pub array: usize,
+    /// Jobs the placement strategy routed to this array.
+    pub jobs: u64,
+    /// The array's aggregated run accounting: `wall_cycles`/`busy` come
+    /// from replaying the array's own [`crate::pipeline::StreamSchedule`],
+    /// so they describe the array's *local* pipelined timeline.
+    pub report: RunReport,
+}
+
+/// The merged fleet-level accounting of a [`crate::pool::Pool`] fan-out:
+/// one [`ArrayReport`] per array, with the fleet wall clock, occupancy and
+/// cold-reload totals derived across them.
+///
+/// Arrays run concurrently, so [`FleetReport::wall_cycles`] is the *maximum*
+/// of the per-array wall clocks (the fleet is done when its slowest array
+/// is), while [`FleetReport::busy`] *sums* the per-array busy cycles — the
+/// fleet does all of its arrays' work, however the placement distributed
+/// it.  Together they give the work-conservation invariant the pool's
+/// property tests enforce: `wall_cycles() >=` every array's wall clock, and
+/// `busy().total()` equals the sum of the per-array spans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetReport {
+    /// Total jobs fanned out (a job is one `(kernel, windows)` workload).
+    pub jobs: u64,
+    /// Per-array accounting, indexed by array.
+    pub arrays: Vec<ArrayReport>,
+}
+
+impl FleetReport {
+    /// An empty report over `arrays` arrays.
+    pub fn new(arrays: usize) -> Self {
+        Self {
+            jobs: 0,
+            arrays: (0..arrays)
+                .map(|array| ArrayReport {
+                    array,
+                    jobs: 0,
+                    report: RunReport::new(format!("array-{array}")),
+                })
+                .collect(),
+        }
+    }
+
+    /// Fleet wall clock: the largest per-array wall clock, because the
+    /// arrays run concurrently.
+    pub fn wall_cycles(&self) -> u64 {
+        self.arrays
+            .iter()
+            .map(|a| a.report.wall_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Summed per-engine busy cycles across all arrays.
+    pub fn busy(&self) -> Occupancy {
+        self.arrays
+            .iter()
+            .map(|a| a.report.busy)
+            .fold(Occupancy::default(), |acc, b| acc + b)
+    }
+
+    /// Cost of the whole fan-out executed strictly serially on one engine
+    /// lane: the sum of every array's busy cycles.
+    pub fn serial_cycles(&self) -> u64 {
+        self.busy().total()
+    }
+
+    /// Total kernel invocations (windows) across the fleet.
+    pub fn invocations(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.invocations).sum()
+    }
+
+    /// Launches that had to stream configuration words — the pool-level
+    /// *cold reload* count placement strategies compete on.  Under
+    /// residency-aware placement a program goes cold once per array it is
+    /// first routed to (plus once per eviction); placement that ignores
+    /// residency pays it over and over.
+    pub fn cold_reloads(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.cold_launches).sum()
+    }
+
+    /// Warm launches across the fleet.
+    pub fn warm_launches(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.warm_launches).sum()
+    }
+
+    /// Programs evicted across the fleet to make room for new loads.
+    pub fn evictions(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.evictions).sum()
+    }
+
+    /// Fleet compute occupancy in `[0, 1]`: the fraction of the fleet's
+    /// array-cycles (`arrays × wall_cycles()`) spent computing.  Higher is
+    /// better — cold configuration streaming, DMA stalls and load imbalance
+    /// all push it down.  `0.0` for an empty or idle fleet.
+    pub fn occupancy(&self) -> f64 {
+        let wall = self.wall_cycles();
+        if wall == 0 || self.arrays.is_empty() {
+            return 0.0;
+        }
+        self.busy().compute as f64 / (wall as f64 * self.arrays.len() as f64)
+    }
+
+    /// Folds another fleet report into this one, array by array (used by
+    /// [`crate::pool::Pool::stats`] to accumulate waves run one after the
+    /// other; per-array wall clocks add, so the combined report describes
+    /// sequential waves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports describe pools of different sizes.
+    pub fn absorb(&mut self, other: &FleetReport) {
+        assert_eq!(
+            self.arrays.len(),
+            other.arrays.len(),
+            "fleet reports of different pool sizes cannot be merged"
+        );
+        self.jobs += other.jobs;
+        for (mine, theirs) in self.arrays.iter_mut().zip(&other.arrays) {
+            mine.jobs += theirs.jobs;
+            mine.report.absorb(&theirs.report);
+        }
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet: {} job(s) / {} invocation(s) over {} array(s), {} wall cycles, \
+             {:.0} % occupancy ({} cold reloads / {} warm launches, {} evictions)",
+            self.jobs,
+            self.invocations(),
+            self.arrays.len(),
+            self.wall_cycles(),
+            100.0 * self.occupancy(),
+            self.cold_reloads(),
+            self.warm_launches(),
+            self.evictions()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,13 +319,88 @@ mod tests {
 
     #[test]
     fn overlap_ratio_degenerates_to_zero() {
+        // Empty stream: nothing ran, nothing overlapped — and no NaN from
+        // the 0/0.
         let report = RunReport::new("k");
+        assert_eq!(report.serial_cycles(), 0);
         assert_eq!(report.overlap_ratio(), 0.0);
+        // Single window: the wall clock equals the serial schedule.
         let mut serial = RunReport::new("k");
         serial.wall_cycles = 500;
         serial.busy.compute = 400;
         serial.busy.dma = 100;
         assert_eq!(serial.overlap_ratio(), 0.0);
+        // Sequential waves folded by `absorb` can push the summed wall
+        // clock past the summed serial cost; the ratio stays at zero (one
+        // definition in `vwr2a_core::timeline::overlap_ratio`, with a
+        // saturating numerator, covers every caller).
+        let mut folded = RunReport::new("k");
+        folded.wall_cycles = 900;
+        folded.busy.compute = 400;
+        assert_eq!(folded.overlap_ratio(), 0.0);
+        // And the ratio never exceeds 1.
+        let mut wide = RunReport::new("k");
+        wide.wall_cycles = 1;
+        wide.busy.compute = 1_000_000;
+        assert!((0.0..=1.0).contains(&wide.overlap_ratio()));
+    }
+
+    fn array_report(array: usize, wall: u64, compute: u64, dma: u64, cold: u64) -> ArrayReport {
+        let mut report = RunReport::new(format!("array-{array}"));
+        report.invocations = 2;
+        report.cold_launches = cold;
+        report.warm_launches = 2 - cold.min(2);
+        report.wall_cycles = wall;
+        report.busy.compute = compute;
+        report.busy.dma = dma;
+        ArrayReport {
+            array,
+            jobs: 1,
+            report,
+        }
+    }
+
+    #[test]
+    fn fleet_report_merges_concurrent_arrays() {
+        let mut fleet = FleetReport::new(2);
+        assert_eq!(fleet.wall_cycles(), 0);
+        assert_eq!(fleet.occupancy(), 0.0);
+        fleet.jobs = 2;
+        fleet.arrays[0] = array_report(0, 1_000, 700, 100, 1);
+        fleet.arrays[1] = array_report(1, 800, 600, 50, 2);
+        // Concurrency: the fleet finishes with its slowest array...
+        assert_eq!(fleet.wall_cycles(), 1_000);
+        // ...but does the sum of all arrays' work.
+        assert_eq!(fleet.busy().compute, 1_300);
+        assert_eq!(fleet.serial_cycles(), 1_450);
+        assert_eq!(fleet.invocations(), 4);
+        assert_eq!(fleet.cold_reloads(), 3);
+        assert_eq!(fleet.warm_launches(), 1);
+        // Occupancy: 1300 compute cycles of 2 × 1000 array-cycles.
+        assert!((fleet.occupancy() - 0.65).abs() < 1e-12);
+        assert!(fleet.to_string().contains("2 array(s)"));
+    }
+
+    #[test]
+    fn fleet_absorb_accumulates_waves_per_array() {
+        let mut a = FleetReport::new(2);
+        a.jobs = 1;
+        a.arrays[0] = array_report(0, 500, 400, 50, 1);
+        let mut b = FleetReport::new(2);
+        b.jobs = 3;
+        b.arrays[1] = array_report(1, 900, 800, 0, 0);
+        a.absorb(&b);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.arrays[0].report.wall_cycles, 500);
+        assert_eq!(a.arrays[1].report.wall_cycles, 900);
+        assert_eq!(a.wall_cycles(), 900);
+        assert_eq!(a.busy().compute, 1_200);
+    }
+
+    #[test]
+    #[should_panic(expected = "different pool sizes")]
+    fn fleet_absorb_rejects_mismatched_pools() {
+        FleetReport::new(2).absorb(&FleetReport::new(3));
     }
 
     #[test]

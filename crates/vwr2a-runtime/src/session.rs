@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use vwr2a_core::config_mem::KernelId;
 use vwr2a_core::geometry::Geometry;
 use vwr2a_core::program::KernelProgram;
-use vwr2a_core::timeline::{Engine, Timeline};
+use vwr2a_core::timeline::{Engine, Occupancy, Timeline};
 use vwr2a_core::Vwr2a;
 
 use crate::error::{Result, RuntimeError};
@@ -422,6 +422,9 @@ pub struct Session {
     policy: Box<dyn EvictionPolicy>,
     clock: u64,
     evictions: u64,
+    /// Per-engine busy cycles accumulated over the session's lifetime
+    /// (interrupt servicing is schedule-level and not included).
+    busy: Occupancy,
 }
 
 impl Session {
@@ -445,6 +448,7 @@ impl Session {
             policy: Box::new(policy),
             clock: 0,
             evictions: 0,
+            busy: Occupancy::default(),
         }
     }
 
@@ -482,6 +486,40 @@ impl Session {
         self.programs
             .get(&kernel.cache_key())
             .is_some_and(|p| p.launches > 0)
+    }
+
+    /// `true` if the kernel's program is resident in the configuration
+    /// memory (loaded, whether or not it has launched yet).  This is the
+    /// residency query behind the pool's [`crate::pool::ResidencyAware`]
+    /// placement: an array with the program resident serves the next
+    /// launch without re-streaming configuration words.
+    pub fn is_resident<K: Kernel>(&self, kernel: &K) -> bool {
+        self.is_resident_key(&kernel.cache_key())
+    }
+
+    /// [`Session::is_resident`] by raw [`Kernel::cache_key`], for callers
+    /// that track programs by key (the pool's placement strategies).
+    pub fn is_resident_key(&self, key: &str) -> bool {
+        self.programs.contains_key(key)
+    }
+
+    /// Per-engine busy cycles accumulated over every invocation of the
+    /// session's lifetime (configuration streaming, DMA staging and
+    /// draining, array compute; schedule-level interrupt servicing is not
+    /// included).
+    pub fn busy(&self) -> Occupancy {
+        self.busy
+    }
+
+    /// The cycle at which the session's compute engine would free if its
+    /// lifetime of array work ran back-to-back from cycle 0 — shorthand
+    /// for [`Session::busy`]`().compute`, the cumulative compute-busy
+    /// cycles.  This is a *load metric* (used by the pool's
+    /// [`crate::pool::LeastLoaded`] placement), not a schedule time: for
+    /// the busy-until cycle of an actual overlapped schedule, ask its
+    /// [`crate::pipeline::StreamSchedule::free_at`].
+    pub fn free_compute_at(&self) -> u64 {
+        self.busy.compute
     }
 
     /// Registers a kernel without running it: validates its resource needs
@@ -650,8 +688,10 @@ impl Session {
 
     /// Runs one invocation, folding its counts into `report` (except the
     /// schedule-dependent `wall_cycles`/`busy`, which the caller derives
-    /// from the returned [`WindowPhases`]).
-    fn run_into<K: Kernel>(
+    /// from the returned [`WindowPhases`]).  Shared by the session's own
+    /// stream executor and the pool's fan-out, which replays the phases on
+    /// per-array schedules.
+    pub(crate) fn run_into<K: Kernel>(
         &mut self,
         kernel: &K,
         input: &K::Input,
@@ -677,6 +717,11 @@ impl Session {
         let (cold, warm, phases) = (ctx.cold_launches, ctx.warm_launches, ctx.phases);
         let cycles = ctx.timeline.wall_cycles();
         self.evictions += ctx_evictions;
+        // Like the eviction count, the lifetime busy cycles cover work the
+        // accelerator model performed even when the invocation then fails.
+        self.busy.config_load += phases.config;
+        self.busy.dma += phases.stage + phases.drain;
+        self.busy.compute += phases.compute;
         let output = result?;
         report.invocations += 1;
         report.cold_launches += cold;
@@ -1248,6 +1293,42 @@ mod tests {
             .unwrap();
         assert_eq!(report.cold_launches, 0, "still warm after the abort");
         assert_eq!(outputs[3], vec![20; 16]);
+    }
+
+    #[test]
+    fn residency_and_load_hooks_track_the_session_lifetime() {
+        let mut session = Session::new();
+        let kernel = ScaleKernel::new(6);
+        assert!(!session.is_resident(&kernel));
+        assert!(!session.is_resident_key("scale"));
+        assert_eq!(session.free_compute_at(), 0);
+        assert_eq!(session.busy(), Occupancy::default());
+
+        // Registration loads the program: resident but not yet warm.
+        session.register(&kernel).unwrap();
+        assert!(session.is_resident(&kernel));
+        assert!(session.is_resident_key("scale"));
+        assert!(!session.is_warm(&kernel));
+        assert_eq!(session.free_compute_at(), 0, "no compute ran yet");
+
+        let input: Vec<i32> = (0..64).collect();
+        let (_, first) = session.run(&kernel, &input).unwrap();
+        let after_first = session.free_compute_at();
+        assert!(after_first > 0);
+        let (_, second) = session.run(&kernel, &input).unwrap();
+        // The load metric accumulates monotonically across invocations and
+        // conserves the per-report busy split.
+        assert!(session.free_compute_at() > after_first);
+        let busy = session.busy();
+        assert_eq!(busy.compute, session.free_compute_at());
+        assert_eq!(
+            busy.total(),
+            (first.busy + second.busy).total() - first.busy.interrupt - second.busy.interrupt
+        );
+
+        // Eviction (here: explicit unload) drops residency again.
+        session.unload(&kernel).unwrap();
+        assert!(!session.is_resident(&kernel));
     }
 
     #[test]

@@ -16,8 +16,31 @@ use vwr2a_core::isa::{
 };
 use vwr2a_core::program::KernelProgram;
 
+use vwr2a_core::Vwr2a;
+
 use crate::error::{Result, RuntimeError};
-use crate::session::{Kernel, LaunchCtx, Resources};
+use crate::session::{Kernel, LaunchCtx, Resources, Session};
+
+/// Builds `arrays` independent sessions whose configuration memories hold
+/// exactly `config_words` words (paper geometry otherwise) — the shared
+/// fixture of the capacity-pressure and pool tests, benches and examples:
+/// a working set larger than `config_words` forces evictions on one array,
+/// while a fleet of such arrays can still hold it collectively.
+///
+/// # Panics
+///
+/// Panics if the resulting geometry is rejected by the simulator.
+pub fn constrained_sessions(arrays: usize, config_words: usize) -> Vec<Session> {
+    let mut geometry = Geometry::paper();
+    geometry.config_words = config_words;
+    (0..arrays)
+        .map(|_| {
+            Session::with_accelerator(
+                Vwr2a::with_geometry(geometry).expect("valid constrained geometry"),
+            )
+        })
+        .collect()
+}
 
 /// Words per SPM line / VWR of the paper geometry.
 const LINE: usize = 128;

@@ -334,6 +334,91 @@ fn runtime_reexports_cover_tuning_without_a_core_dependency() {
 }
 
 #[test]
+fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
+    // The fleet acceptance scenario: four FIR programs over a two-array
+    // pool with two-program configuration memories.  Every placement
+    // strategy must produce outputs bit-identical to serial single-session
+    // execution, and the residency-aware scheduler must pay strictly fewer
+    // cold reloads than round-robin on the same job list.
+    use vwr2a::runtime::pool::{LeastLoaded, Pool, ResidencyAware, RoundRobin};
+
+    let n = 256;
+    let kernels: Vec<FirKernel> = [0.06, 0.12, 0.2, 0.3]
+        .iter()
+        .map(|&fc| {
+            let taps: Vec<i32> = design_lowpass(11, fc)
+                .unwrap()
+                .iter()
+                .map(|&v| Q15::from_f64(v).0 as i32)
+                .collect();
+            FirKernel::new(&taps, n).unwrap()
+        })
+        .collect();
+    let picks = [0usize, 1, 2, 3, 2, 0, 1, 3, 0, 2, 3, 1];
+    let jobs: Vec<(usize, Vec<Vec<i32>>)> = picks
+        .iter()
+        .enumerate()
+        .map(|(j, &pick)| {
+            let windows = (0..3)
+                .map(|w| {
+                    (0..n)
+                        .map(|i| (4800.0 * ((i + 19 * (j + w)) as f64 * 0.151).sin()) as i32)
+                        .collect()
+                })
+                .collect();
+            (pick, windows)
+        })
+        .collect();
+
+    let (serial, _) = Pool::run_serial_reference(
+        jobs.iter()
+            .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+    )
+    .unwrap();
+
+    let program_words = kernels[0]
+        .program(&vwr2a::core::Geometry::paper())
+        .unwrap()
+        .config_words();
+    let make_pool = || {
+        Pool::with_sessions(vwr2a::runtime::testing::constrained_sessions(
+            2,
+            2 * program_words,
+        ))
+    };
+    let check = |mut pool: Pool| {
+        let name = pool.placement_name();
+        let (outputs, fleet) = pool
+            .run_batch(
+                jobs.iter()
+                    .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+            )
+            .unwrap();
+        assert_eq!(outputs, serial, "{name} diverged from serial execution");
+        fleet
+    };
+    let residency_aware = check(make_pool().with_placement(ResidencyAware));
+    let round_robin = check(make_pool().with_placement(RoundRobin));
+    check(make_pool().with_placement(LeastLoaded));
+
+    assert!(
+        residency_aware.cold_reloads() < round_robin.cold_reloads(),
+        "residency-aware {} cold reloads must beat round-robin {}",
+        residency_aware.cold_reloads(),
+        round_robin.cold_reloads()
+    );
+    assert_eq!(residency_aware.evictions(), 0, "the fleet holds the set");
+    assert!(round_robin.evictions() > 0, "4 programs thrash 2 slots");
+    assert!(residency_aware.wall_cycles() <= round_robin.wall_cycles());
+    // The fleet wall clock is the slowest array, and the fan-out beats
+    // running the same jobs serially on one array lane.
+    for array in &residency_aware.arrays {
+        assert!(array.report.wall_cycles <= residency_aware.wall_cycles());
+    }
+    assert!(residency_aware.wall_cycles() < residency_aware.serial_cycles());
+}
+
+#[test]
 fn fft_adapts_to_a_one_column_geometry() {
     // The stage flow declares a one-column minimum and adapts to whatever
     // the geometry offers; a 512-point transform (two blocks per stage)

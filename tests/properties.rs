@@ -1,6 +1,7 @@
 //! Workspace-level property-based tests on the core invariants.
 
 use proptest::prelude::*;
+use vwr2a::core::geometry::Geometry;
 use vwr2a::core::geometry::VwrId;
 use vwr2a::core::isa::encode::{
     decode_lcu, decode_lsu, decode_mxcu, decode_rc, encode_lcu, encode_lsu, encode_mxcu, encode_rc,
@@ -14,6 +15,53 @@ use vwr2a::dsp::complex::Complex;
 use vwr2a::dsp::fft::{fft, ifft};
 use vwr2a::dsp::fir::fir_f64;
 use vwr2a::dsp::fixed::{from_q16, mul_fxp, to_q16};
+use vwr2a::runtime::pool::{LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+use vwr2a::runtime::testing::{constrained_sessions, BakedScaleKernel};
+use vwr2a::runtime::{FleetReport, Kernel};
+
+/// The kernel palette of the pool properties: four distinct
+/// configuration-memory programs.
+fn pool_kernels() -> Vec<BakedScaleKernel> {
+    [2i16, 3, 5, 7]
+        .iter()
+        .map(|&f| BakedScaleKernel::new(f))
+        .collect()
+}
+
+/// Builds a `(kernel pick, windows)` job list from a random mix.
+fn pool_jobs(mix: &[(usize, usize, i32)]) -> Vec<(usize, Vec<Vec<i32>>)> {
+    mix.iter()
+        .map(|&(pick, windows, seed)| {
+            (
+                pick,
+                (0..windows)
+                    .map(|w| (0..64).map(|i| i + seed + 13 * w as i32).collect())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Fans the job list across a two-array pool whose configuration memories
+/// hold two programs each (the four-program palette does not fit one
+/// array), returning the outputs grouped by job and the fleet report.
+fn run_pool(
+    jobs: &[(usize, Vec<Vec<i32>>)],
+    placement: impl Placement + 'static,
+) -> (Vec<Vec<Vec<i32>>>, FleetReport) {
+    let kernels = pool_kernels();
+    let program_words = kernels[0]
+        .program(&Geometry::paper())
+        .unwrap()
+        .config_words();
+    let mut pool =
+        Pool::with_sessions(constrained_sessions(2, 2 * program_words)).with_placement(placement);
+    pool.run_batch(
+        jobs.iter()
+            .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+    )
+    .expect("pool fan-out must absorb capacity pressure")
+}
 
 fn arb_rc_src() -> impl Strategy<Value = RcSrc> {
     prop_oneof![
@@ -175,5 +223,85 @@ proptest! {
         prop_assert!(timeline.wall_cycles() <= timeline.serial_cycles());
         // ...and the overlap ratio stays a valid fraction.
         prop_assert!((0.0..=1.0).contains(&timeline.overlap_ratio()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pool_outputs_are_bit_identical_to_serial_execution(
+        mix in prop::collection::vec((0usize..4, 1usize..4, -500i32..500), 8),
+        jobs in 1usize..9,
+    ) {
+        // Random job mixes under genuine capacity pressure (4 programs,
+        // 2-slot memories): for every placement strategy, the pool's
+        // outputs must equal running every job serially, in submission
+        // order, on one fresh session — placement and pipelining must
+        // never change a single bit.
+        let kernels = pool_kernels();
+        let job_list = pool_jobs(&mix[..jobs]);
+        let (serial, _) = Pool::run_serial_reference(
+            job_list
+                .iter()
+                .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+        )
+        .expect("serial reference runs");
+
+        let (residency, _) = run_pool(&job_list, ResidencyAware);
+        prop_assert_eq!(&residency, &serial);
+        let (round_robin, _) = run_pool(&job_list, RoundRobin);
+        prop_assert_eq!(&round_robin, &serial);
+        let (least_loaded, _) = run_pool(&job_list, LeastLoaded);
+        prop_assert_eq!(&least_loaded, &serial);
+    }
+
+    #[test]
+    fn fleet_reports_conserve_work_and_bound_the_wall_clock(
+        mix in prop::collection::vec((0usize..4, 1usize..4, -500i32..500), 8),
+        jobs in 1usize..9,
+    ) {
+        // The fleet-level mirror of the schedule-conservation proptest:
+        // arrays run concurrently, so the fleet wall clock is the maximum
+        // per-array wall clock (never below any array, never below the
+        // busiest engine), while the fleet busy cycles are the *sum* of
+        // the per-array spans — no work may be lost or invented by the
+        // merge, for any placement strategy.
+        let job_list = pool_jobs(&mix[..jobs]);
+        for fleet in [
+            run_pool(&job_list, ResidencyAware).1,
+            run_pool(&job_list, RoundRobin).1,
+            run_pool(&job_list, LeastLoaded).1,
+        ] {
+            let max_wall = fleet
+                .arrays
+                .iter()
+                .map(|a| a.report.wall_cycles)
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(fleet.wall_cycles(), max_wall);
+            let mut busy_sum = 0u64;
+            for array in &fleet.arrays {
+                prop_assert!(fleet.wall_cycles() >= array.report.wall_cycles);
+                // Per-array work conservation: every phase cycle the
+                // session accounted appears exactly once in the array's
+                // engine occupancy (interrupt servicing rides on top).
+                prop_assert_eq!(
+                    array.report.busy.config_load
+                        + array.report.busy.dma
+                        + array.report.busy.compute,
+                    array.report.cycles
+                );
+                prop_assert!(array.report.wall_cycles <= array.report.busy.total());
+                busy_sum += array.report.busy.total();
+            }
+            prop_assert_eq!(fleet.busy().total(), busy_sum);
+            prop_assert_eq!(fleet.serial_cycles(), busy_sum);
+            prop_assert!((0.0..=1.0).contains(&fleet.occupancy()));
+            prop_assert_eq!(
+                fleet.invocations(),
+                job_list.iter().map(|(_, ws)| ws.len() as u64).sum::<u64>()
+            );
+        }
     }
 }
