@@ -1,27 +1,35 @@
 //! Multi-accelerator pool sweep: array count × kernel mix × placement
-//! strategy.
+//! strategy, with and without speculative configuration prefetch.
 //!
 //! The workload fans a fixed job list — `(kernel, windows)` pairs drawn
 //! from a mix of distinct FIR programs in an irregular order — across a
 //! `Pool` of `Session`s whose configuration memories hold only two
 //! programs each.  For every combination the table reports the fleet wall
-//! clock, compute occupancy, cold reloads and evictions, for all three
-//! placement strategies.
+//! clock, compute occupancy, cold reloads, prefetched reloads (and how
+//! many of those were fully hidden inside compute backlogs) and
+//! evictions, for all four placement strategies.
 //!
 //! The point the sweep makes: with more distinct programs than one array's
 //! configuration memory can hold, *where* a job runs decides whether its
-//! launch is warm.  `ResidencyAware` spreads the programs across the fleet
-//! once and then keeps every job warm on "its" array; `RoundRobin` and
-//! `LeastLoaded` keep re-streaming configuration words, which sits on each
-//! array's critical path and drags the fleet occupancy down.
+//! launch is warm — and *when* its reload streams decides whether anyone
+//! waits for it.  `CostAware` weighs each reload against the candidate
+//! arrays' backlogs and prefetches it off the launch's critical path, so
+//! no launch ever goes cold; `ResidencyAware` (PR 4's scheduler) places
+//! warm but reloads on the critical path; `RoundRobin` and `LeastLoaded`
+//! keep re-streaming configuration words, which sits on each array's
+//! critical path and drags the fleet occupancy down.
 //!
-//! Run with `--smoke` for the fast CI configuration.
+//! Run with `--smoke` for the fast CI configuration.  In every mode the
+//! binary *fails fast* (non-zero exit) if `CostAware` ever pays more cold
+//! reloads than `RoundRobin`, or if the headline 4-array × 6-kernel cell
+//! (non-smoke) does not show `CostAware` strictly beating `ResidencyAware`
+//! on both cold reloads and fleet wall cycles.
 
 use vwr2a_core::geometry::Geometry;
 use vwr2a_dsp::fir::design_lowpass;
 use vwr2a_dsp::fixed::Q15;
 use vwr2a_kernels::fir::FirKernel;
-use vwr2a_runtime::pool::{LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+use vwr2a_runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
 use vwr2a_runtime::testing::constrained_sessions;
 use vwr2a_runtime::{FleetReport, Kernel};
 
@@ -89,6 +97,16 @@ fn run_sweep(
     fleet
 }
 
+/// One sweep cell: the four strategies on the same job list.
+struct Cell {
+    arrays: usize,
+    mix: usize,
+    cost_aware: FleetReport,
+    residency: FleetReport,
+    least_loaded: FleetReport,
+    round_robin: FleetReport,
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (array_counts, mixes, jobs, windows_per_job): (&[usize], &[usize], usize, usize) = if smoke
@@ -103,61 +121,110 @@ fn main() {
          configuration memories per array"
     );
     println!();
-    println!("  arrays  mix  placement        cold  evict  wall-cycles  occupancy");
-    println!("  ------  ---  ---------------  ----  -----  -----------  ---------");
+    println!(
+        "  arrays  mix  placement        cold  prefetch  hidden  evict  wall-cycles  occupancy"
+    );
+    println!(
+        "  ------  ---  ---------------  ----  --------  ------  -----  -----------  ---------"
+    );
 
-    let mut residency_vs_round_robin: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
     for &arrays in array_counts {
         for &mix in mixes {
-            let residency = run_sweep(arrays, mix, jobs, windows_per_job, ResidencyAware);
-            let least_loaded = run_sweep(arrays, mix, jobs, windows_per_job, LeastLoaded);
-            let round_robin = run_sweep(arrays, mix, jobs, windows_per_job, RoundRobin);
+            let cell = Cell {
+                arrays,
+                mix,
+                cost_aware: run_sweep(arrays, mix, jobs, windows_per_job, CostAware),
+                residency: run_sweep(arrays, mix, jobs, windows_per_job, ResidencyAware),
+                least_loaded: run_sweep(arrays, mix, jobs, windows_per_job, LeastLoaded),
+                round_robin: run_sweep(arrays, mix, jobs, windows_per_job, RoundRobin),
+            };
             for (name, fleet) in [
-                (ResidencyAware.name(), &residency),
-                (LeastLoaded.name(), &least_loaded),
-                (RoundRobin.name(), &round_robin),
+                (CostAware.name(), &cell.cost_aware),
+                (ResidencyAware.name(), &cell.residency),
+                (LeastLoaded.name(), &cell.least_loaded),
+                (RoundRobin.name(), &cell.round_robin),
             ] {
                 println!(
-                    "  {:>6}  {:>3}  {:<15}  {:>4}  {:>5}  {:>11}  {:>8.1}%",
+                    "  {:>6}  {:>3}  {:<15}  {:>4}  {:>8}  {:>6}  {:>5}  {:>11}  {:>8.1}%",
                     arrays,
                     mix,
                     name,
                     fleet.cold_reloads(),
+                    fleet.prefetched(),
+                    fleet.hidden_reloads(),
                     fleet.evictions(),
                     fleet.wall_cycles(),
                     100.0 * fleet.occupancy(),
                 );
             }
-            residency_vs_round_robin.push((
-                arrays,
-                mix,
-                residency.occupancy(),
-                round_robin.occupancy(),
-            ));
+            cells.push(cell);
         }
     }
 
     println!();
-    println!("Residency-aware vs round-robin fleet occupancy on the mixed-kernel sweep:");
-    for (arrays, mix, ra, rr) in residency_vs_round_robin {
-        let verdict = if arrays == 1 {
-            "(single array: placement is moot)"
-        } else if mix <= 2 {
-            "(working set fits one array)"
-        } else if ra > rr {
-            "higher, as required"
-        } else if mix % arrays != 0 {
-            "(uneven program spread: affinity trades balance for warmth)"
+    println!("Cost-aware + prefetch vs PR 4's residency-aware, cold reloads and wall cycles:");
+    for cell in &cells {
+        let (ca, ra) = (&cell.cost_aware, &cell.residency);
+        let wall_delta = 100.0 * (1.0 - ca.wall_cycles() as f64 / ra.wall_cycles().max(1) as f64);
+        let verdict = if cell.arrays == 1 && cell.mix <= 2 {
+            "(single warm array: nothing left to hide)"
+        } else if ca.cold_reloads() < ra.cold_reloads() && ca.wall_cycles() < ra.wall_cycles() {
+            "both better, as required"
+        } else if ca.cold_reloads() < ra.cold_reloads() {
+            "fewer cold reloads"
         } else {
-            "NOT higher (unexpected)"
+            "NO IMPROVEMENT (unexpected)"
         };
         println!(
-            "  {arrays} array(s), {mix}-kernel mix: {:.1}% vs {:.1}% {verdict}",
-            100.0 * ra,
-            100.0 * rr
+            "  {} array(s), {}-kernel mix: cold {} -> {}, wall {} -> {} ({wall_delta:+.1}%) {verdict}",
+            cell.arrays,
+            cell.mix,
+            ra.cold_reloads(),
+            ca.cold_reloads(),
+            ra.wall_cycles(),
+            ca.wall_cycles(),
         );
     }
     println!();
     println!("Outputs are bit-identical to serial single-session execution in every cell;");
-    println!("placement only decides where (and the pipeline when) the work runs.");
+    println!("placement decides where, prefetch and the pipeline when, the work runs.");
+
+    // Fail-fast gates (CI runs the smoke configuration; the full sweep
+    // additionally checks the headline 4-array x 6-kernel cell).
+    let mut failures = Vec::new();
+    for cell in &cells {
+        if cell.cost_aware.cold_reloads() > cell.round_robin.cold_reloads() {
+            failures.push(format!(
+                "{} array(s), {}-kernel mix: cost-aware paid {} cold reloads vs round-robin {}",
+                cell.arrays,
+                cell.mix,
+                cell.cost_aware.cold_reloads(),
+                cell.round_robin.cold_reloads()
+            ));
+        }
+        if cell.arrays == 4 && cell.mix == 6 {
+            if cell.cost_aware.cold_reloads() >= cell.residency.cold_reloads() {
+                failures.push(format!(
+                    "4x6 cell: cost-aware cold reloads {} not strictly below residency-aware {}",
+                    cell.cost_aware.cold_reloads(),
+                    cell.residency.cold_reloads()
+                ));
+            }
+            if cell.cost_aware.wall_cycles() >= cell.residency.wall_cycles() {
+                failures.push(format!(
+                    "4x6 cell: cost-aware wall cycles {} not strictly below residency-aware {}",
+                    cell.cost_aware.wall_cycles(),
+                    cell.residency.wall_cycles()
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!();
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -11,10 +11,12 @@
 //! has to re-stream configuration words (`cold / launches`) and the cycles
 //! that costs.
 //!
-//! Part 2 compares `LruPolicy` against `SizeAwareLru` on a working set
-//! that mixes three small (3-tap) programs with one large (11-tap) one
-//! under pressure: the size-aware policy prefers evicting the one large
-//! coldish program over cascading through the small warm ones.
+//! Part 2 compares `LruPolicy`, `LfuPolicy` and `SizeAwareLru` on a
+//! working set that mixes three small (3-tap) programs with two large
+//! (11-tap) ones under pressure: the size-aware policy prefers evicting
+//! one large coldish program over cascading through the small warm ones,
+//! and the frequency-aware policy protects the hot small working set from
+//! rarely-launched interlopers that recency alone would keep.
 //!
 //! Run with `--smoke` for the fast CI configuration.
 
@@ -23,7 +25,9 @@ use vwr2a_core::Vwr2a;
 use vwr2a_dsp::fir::design_lowpass;
 use vwr2a_dsp::fixed::Q15;
 use vwr2a_kernels::fir::FirKernel;
-use vwr2a_runtime::{EvictionPolicy, Kernel, LruPolicy, RunReport, Session, SizeAwareLru};
+use vwr2a_runtime::{
+    EvictionPolicy, Kernel, LfuPolicy, LruPolicy, RunReport, Session, SizeAwareLru,
+};
 
 const N: usize = 256;
 
@@ -128,16 +132,19 @@ fn capacity_sweep(invocations: usize) {
 }
 
 fn policy_comparison(invocations: usize) {
-    // Three small programs — one touched rarely, two hot — plus two large
-    // programs that alternate.  When a large program returns, the LRU
-    // victim is the rarely-used small program, which frees too few words:
-    // pure LRU flushes it *and* the old large program, while the
-    // size-aware policy spends its single eviction on the large one and
-    // keeps the small working set resident.
+    // Three small programs — one touched rarely (once per 16), two hot —
+    // plus two large programs that alternate.  When a large program
+    // returns, the recency order ranks a hot small program oldest (its
+    // next launch is imminent), so pure LRU evicts it and pays a cold
+    // reload every cycle.  The frequency-aware policy sees the launch
+    // counts and sacrifices the rare small program and the cold large one
+    // instead, keeping the hot working set resident; the size-aware
+    // policy attacks the same cascade from the size axis, preferring one
+    // large eviction over several small ones.
     let mixed: Vec<FirKernel> = vec![
-        fir(3, 0.08),  // s0: touched once per cycle
+        fir(3, 0.08),  // s0: hot (head of the cycle, oldest at evictions)
         fir(3, 0.15),  // s1: hot
-        fir(3, 0.25),  // s2: hot
+        fir(3, 0.25),  // s2: rare interloper, recent when evictions hit
         fir(11, 0.1),  // L1
         fir(11, 0.22), // L2
     ];
@@ -146,11 +153,11 @@ fn policy_comparison(invocations: usize) {
     // All three small programs plus one large program fit; the second
     // large program forces evictions.
     let capacity = 3 * small + large;
-    let pick = |i: usize| match i % 8 {
-        0 => 0,
-        3 => 3,
-        6 => 4,
-        2 | 5 => 2,
+    let pick = |i: usize| match i % 16 {
+        0 | 7 | 8 | 13 | 15 => 0,
+        3 | 11 => 3,
+        5 => 2,
+        6 | 14 => 4,
         _ => 1,
     };
 
@@ -163,8 +170,13 @@ fn policy_comparison(invocations: usize) {
     println!("  policy        evictions  cold  warm  cold-rate  cycles");
     println!("  ------------  ---------  ----  ----  ---------  ---------");
     let lru = run_workload(&mixed, capacity, LruPolicy, invocations, pick);
+    let lfu = run_workload(&mixed, capacity, LfuPolicy, invocations, pick);
     let size_aware = run_workload(&mixed, capacity, SizeAwareLru, invocations, pick);
-    for (name, report) in [("LruPolicy", &lru), ("SizeAwareLru", &size_aware)] {
+    for (name, report) in [
+        ("LruPolicy", &lru),
+        ("LfuPolicy", &lfu),
+        ("SizeAwareLru", &size_aware),
+    ] {
         println!(
             "  {:<12}  {:>9}  {:>4}  {:>4}  {:>8.1}%  {:>9}",
             name,
@@ -177,7 +189,8 @@ fn policy_comparison(invocations: usize) {
     }
     println!();
     println!("SizeAwareLru spends one eviction on the large coldish program instead of");
-    println!("cascading through the small warm working set.");
+    println!("cascading through the small warm working set; LfuPolicy protects the");
+    println!("frequently-launched programs from recent-but-rare interlopers.");
 }
 
 fn main() {

@@ -544,17 +544,20 @@ pub fn run_cpu_with_vwr2a(window: &[i32]) -> Result<AppReport> {
 }
 
 /// Preprocesses several concurrent signal streams on a fleet of VWR2A
-/// arrays behind the pool's residency-aware scheduler.
+/// arrays behind the pool's cost-aware, prefetching scheduler.
 ///
 /// Stream `i` is one pool job: its windows (each [`WINDOW`] samples, e.g.
 /// one per patient channel) are filtered by the channel's FIR — cutoffs
 /// cycle through [`CHANNEL_CUTOFFS`], so every fourth stream shares a
 /// program and the rest compete for configuration-memory residency.  The
-/// pool routes each stream to an array that already holds its program
-/// (see `vwr2a_runtime::pool`), and the filtered windows are returned
+/// pool weighs each channel's FIR reload against the arrays' backlogs and
+/// *prefetches* the program onto the chosen array before the channel's
+/// first window (see `vwr2a_runtime::pool`): a channel's filter streams
+/// its configuration while earlier channels still compute, so no window
+/// ever waits on a cold reload.  The filtered windows are returned
 /// grouped by stream, **bit-identical** to filtering every stream
 /// serially on one session.  The [`FleetReport`] carries the fleet wall
-/// clock and occupancy of the fan-out.
+/// clock, occupancy and prefetch accounting of the fan-out.
 ///
 /// # Errors
 ///
@@ -741,6 +744,14 @@ mod tests {
         assert_eq!(fleet.invocations(), 12);
         assert_eq!(fleet.arrays.len(), 2);
         assert!(fleet.occupancy() > 0.0);
+        // The cost-aware scheduler stages every channel's FIR program
+        // ahead of its first window: three distinct programs, three
+        // prefetches, zero launches waiting on configuration streaming.
+        assert_eq!(fleet.cold_reloads(), 0);
+        assert_eq!(fleet.prefetched(), 3);
+        // Every launch (the FIR launches once per block, several per
+        // window) found its program staged.
+        assert!(fleet.warm_launches() >= fleet.invocations());
         assert!(
             fleet.wall_cycles() > 0
                 && fleet

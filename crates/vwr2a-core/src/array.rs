@@ -325,6 +325,51 @@ impl Vwr2a {
         self.execute_at(&kernel, config_words, timeline, not_before)
     }
 
+    /// Streams a stored kernel's configuration words into the per-slot
+    /// program memories *without* launching it, returning the streaming
+    /// cycles — the cold half of a launch, paid ahead of time.
+    ///
+    /// Convenience wrapper over [`Vwr2a::prefetch_kernel_at`] for callers
+    /// that execute strictly serially and only want the duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`] for a stale or invalid id.
+    pub fn prefetch_kernel(&mut self, id: KernelId) -> Result<u64> {
+        let mut scratch = Timeline::new();
+        self.prefetch_kernel_at(id, &mut scratch, 0)
+            .map(|span| span.duration())
+    }
+
+    /// Streams a stored kernel's configuration words into the per-slot
+    /// program memories without launching it, reporting the streaming as a
+    /// [`Span`] on `timeline` ([`Engine::ConfigLoad`], no earlier than
+    /// `not_before`).
+    ///
+    /// This is a *prefetch*: a runtime that knows which kernel launches
+    /// next can hide the configuration load behind other engines' work —
+    /// the span rides the configuration streamer, which is idle while the
+    /// array computes and the DMA stages — and then relaunch the kernel
+    /// with [`Vwr2a::run_kernel_warm_at`], paying execution cycles only.
+    /// The activity counters charge the streamed words exactly as a cold
+    /// launch would, so `prefetch + warm launch` costs the same total work
+    /// as one cold launch; only the schedule differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`] for a stale or invalid id.
+    pub fn prefetch_kernel_at(
+        &mut self,
+        id: KernelId,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<Span> {
+        let config_words = self.config_mem.kernel_words(id)? as u64;
+        self.counters.config_words_loaded += config_words;
+        self.counters.cycles += config_words;
+        Ok(timeline.schedule(Engine::ConfigLoad, not_before, config_words))
+    }
+
     /// Re-runs a kernel whose configuration is already resident in the
     /// per-slot program memories (a *warm* launch): only the execution
     /// cycles are charged, not the configuration-word streaming.
@@ -609,6 +654,49 @@ mod tests {
         ));
         assert!(accel.unload_kernel(id).is_err());
         accel.run_kernel(fresh).unwrap();
+    }
+
+    #[test]
+    fn prefetch_plus_warm_launch_costs_the_same_work_as_one_cold_launch() {
+        let input: Vec<i32> = (0..128).map(|i| i << 16).collect();
+        let kernel = vector_scale_kernel(0);
+
+        let mut cold = Vwr2a::new();
+        cold.dma_to_spm(&input, 0).unwrap();
+        cold.write_srf(0, 0, 1 << 15).unwrap();
+        let id = cold.load_kernel(&kernel).unwrap();
+        let cold_stats = cold.run_kernel(id).unwrap();
+        let (cold_out, _) = cold.dma_from_spm(128, 128).unwrap();
+
+        let mut prefetched = Vwr2a::new();
+        prefetched.dma_to_spm(&input, 0).unwrap();
+        prefetched.write_srf(0, 0, 1 << 15).unwrap();
+        let id = prefetched.load_kernel(&kernel).unwrap();
+        let streamed = prefetched.prefetch_kernel(id).unwrap();
+        assert_eq!(streamed, kernel.config_words() as u64);
+        let warm_stats = prefetched.run_kernel_warm(id).unwrap();
+        let (warm_out, _) = prefetched.dma_from_spm(128, 128).unwrap();
+
+        // Identical outputs, identical total work: the prefetch only moves
+        // the configuration streaming ahead of the launch.
+        assert_eq!(warm_out, cold_out);
+        assert_eq!(streamed + warm_stats.cycles, cold_stats.cycles);
+        assert_eq!(
+            prefetched.counters().config_words_loaded,
+            cold.counters().config_words_loaded
+        );
+        assert_eq!(prefetched.counters().cycles, cold.counters().cycles);
+    }
+
+    #[test]
+    fn prefetch_rejects_stale_kernel_ids() {
+        let mut accel = Vwr2a::new();
+        let id = accel.load_kernel(&vector_scale_kernel(0)).unwrap();
+        accel.unload_kernel(id).unwrap();
+        assert!(matches!(
+            accel.prefetch_kernel(id),
+            Err(CoreError::UnknownKernel { .. })
+        ));
     }
 
     #[test]

@@ -152,6 +152,20 @@ impl Span {
     pub fn duration(&self) -> u64 {
         self.end - self.start
     }
+
+    /// `true` if the two spans occupy the *same* engine during at least one
+    /// common cycle.  Spans on different engines never collide (they model
+    /// genuinely concurrent units), and zero-length spans collide with
+    /// nothing.
+    ///
+    /// [`Timeline::schedule`] can never produce two colliding spans —
+    /// per-engine placement is monotonic — so this is a *verification*
+    /// helper: schedules that mix speculative work (configuration
+    /// prefetches) with pinned launch spans on the same engine assert their
+    /// invariants with it.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.engine == other.engine && self.start.max(other.start) < self.end.min(other.end)
+    }
 }
 
 /// Per-engine busy-cycle totals of a [`Timeline`] (or of one invocation).
@@ -352,6 +366,36 @@ mod tests {
         // An empty timeline's wall clock never ran.
         assert_eq!(Timeline::new().wall_cycles(), 0);
         assert_eq!(Timeline::new().overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn span_overlap_requires_a_shared_engine_and_a_shared_cycle() {
+        let span = |engine, start, end| Span { engine, start, end };
+        let a = span(Engine::ConfigLoad, 10, 20);
+        // Same engine, shared cycles: collision (in both orders).
+        assert!(a.overlaps(&span(Engine::ConfigLoad, 15, 25)));
+        assert!(span(Engine::ConfigLoad, 15, 25).overlaps(&a));
+        assert!(a.overlaps(&span(Engine::ConfigLoad, 0, 11)));
+        // Half-open intervals: touching end-to-start is not a collision.
+        assert!(!a.overlaps(&span(Engine::ConfigLoad, 20, 30)));
+        assert!(!a.overlaps(&span(Engine::ConfigLoad, 0, 10)));
+        // Different engines run concurrently by construction.
+        assert!(!a.overlaps(&span(Engine::Compute, 10, 20)));
+        // Zero-length spans occupy no cycle.
+        assert!(!a.overlaps(&span(Engine::ConfigLoad, 15, 15)));
+    }
+
+    #[test]
+    fn monotonic_scheduling_never_collides_on_an_engine() {
+        // The guarantee prefetch scheduling relies on: a speculative span
+        // placed on ConfigLoad ahead of a launch can never be overlapped by
+        // the launch's own (pinned) config span, because per-engine
+        // placement is monotonic.
+        let mut t = Timeline::new();
+        let prefetch = t.schedule(Engine::ConfigLoad, 0, 120);
+        let launch_config = t.schedule(Engine::ConfigLoad, 30, 80);
+        assert!(!prefetch.overlaps(&launch_config));
+        assert_eq!(launch_config.start, prefetch.end);
     }
 
     #[test]

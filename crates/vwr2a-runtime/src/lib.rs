@@ -25,18 +25,28 @@
 //! * **Residency management** — the configuration memory is finite, so a
 //!   session serving unbounded kernel diversity evicts cold programs (via a
 //!   pluggable [`EvictionPolicy`]: default [`LruPolicy`], also
-//!   [`SizeAwareLru`] and [`NeverEvict`], see [`policy`]) instead of
-//!   failing with `ConfigMemoryFull`.  Programs the active invocation
-//!   depends on are pinned; an evicted program is rebuilt on next use and
-//!   launches cold again.
+//!   [`LfuPolicy`], [`SizeAwareLru`] and [`NeverEvict`], see [`policy`])
+//!   instead of failing with `ConfigMemoryFull`.  Programs the active
+//!   invocation depends on are pinned; an evicted program is rebuilt on
+//!   next use and launches cold again.
+//! * **Speculative prefetch** — [`Session::prefetch`] streams a program's
+//!   configuration words *ahead* of its launch (which then counts warm)
+//!   and soft-pins the program against eviction until that launch (a
+//!   stale prefetch is evicted only as a last resort); schedules
+//!   replay the streaming on the otherwise-idle configuration-load lane
+//!   ([`StreamSchedule::prefetch`]), where it overlaps the compute
+//!   backlog instead of delaying the launch.
 //! * **Fleet scheduling** — a [`Pool`] owns N sessions (each its own
-//!   array) behind a pluggable [`Placement`] strategy: the default
-//!   [`ResidencyAware`] routes every `(kernel, windows)` job to an array
-//!   that already holds the program (tie-breaking on the earliest-free
-//!   compute engine), next to the [`RoundRobin`] and [`LeastLoaded`]
-//!   baselines.  [`Pool::run_batch`] / [`Pool::run_stream`] fan jobs
-//!   across the fleet bit-identically to serial execution and merge the
-//!   per-array schedules into one [`FleetReport`] (see [`pool`]).
+//!   array) behind a pluggable [`Placement`] strategy returning a
+//!   [`PlacementPlan`] (target array + optional [`PrefetchDirective`]):
+//!   the default [`CostAware`] weighs each candidate's reload cost
+//!   against its compute backlog and prefetches would-be cold reloads off
+//!   the critical path, next to the prefetch-less [`ResidencyAware`],
+//!   [`RoundRobin`] and [`LeastLoaded`] baselines.  [`Pool::run_batch`] /
+//!   [`Pool::run_stream`] fan jobs across the fleet bit-identically to
+//!   serial execution and merge the per-array schedules into one
+//!   [`FleetReport`] (with cold-reload, prefetch and hidden-reload
+//!   counters; see [`pool`]).
 //! * [`RunReport`] — the single accounting type for all kernels: wall and
 //!   serial cycles, per-engine occupancy, cold/warm launch counts,
 //!   evictions, [`vwr2a_core::ActivityCounters`] and derived time/energy —
@@ -64,10 +74,15 @@ pub mod testing;
 
 pub use error::{Result, RuntimeError};
 pub use pipeline::{StreamSchedule, WindowPhases};
-pub use policy::{EvictionPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
-pub use pool::{ArrayView, JobView, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+pub use policy::{EvictionPolicy, LfuPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
+pub use pool::{
+    ArrayView, CostAware, JobView, LeastLoaded, Placement, PlacementPlan, Pool, PrefetchDirective,
+    ResidencyAware, RoundRobin,
+};
 pub use report::{ArrayReport, FleetReport, RunReport};
-pub use session::{Kernel, LaunchCtx, Resources, Session, SRF_READ_CYCLES, SRF_WRITE_CYCLES};
+pub use session::{
+    Kernel, LaunchCtx, Prefetch, Resources, Session, SRF_READ_CYCLES, SRF_WRITE_CYCLES,
+};
 pub use vwr2a_core::dma::DmaConfig;
 pub use vwr2a_core::timeline::{
     fleet_occupancy, fleet_wall_cycles, Engine, LaunchSpans, Occupancy, Span, Timeline,

@@ -140,6 +140,22 @@ impl StreamSchedule {
         &self.timeline
     }
 
+    /// Stages a speculative configuration-word stream (a *prefetch*) onto
+    /// the schedule's [`Engine::ConfigLoad`] lane at the lane's earliest
+    /// free cycle, returning the placed [`Span`].
+    ///
+    /// The configuration streamer is idle while the array computes and the
+    /// DMA stages, so a prefetch placed *before* its job's first window
+    /// overlaps whatever backlog the schedule already carries — the reload
+    /// leaves the launch's critical path.  Because per-engine placement is
+    /// monotonic ([`vwr2a_core::timeline::Timeline::schedule`]), the span
+    /// can never collide with the config span of a launch already pinned on
+    /// the lane, and every later [`StreamSchedule::push`] queues its own
+    /// config span behind the prefetch.
+    pub fn prefetch(&mut self, config_cycles: u64) -> Span {
+        self.timeline.schedule(Engine::ConfigLoad, 0, config_cycles)
+    }
+
     /// Services one completion interrupt on the interrupt engine: the
     /// peripheral raises its line (`vwr2a_soc::irq::lines`) at
     /// `not_before`, and the host pays the Cortex-M4 entry/exit latency
@@ -340,6 +356,58 @@ mod tests {
         let w1 = s.push(phases(100, 0, 400, 50));
         assert_eq!(s.free_at(Engine::Compute), w1.compute.end);
         s.finish();
+    }
+
+    #[test]
+    fn prefetch_spans_hide_behind_the_compute_backlog() {
+        // An array with a compute backlog: the prefetched reload streams on
+        // the idle ConfigLoad lane entirely during the backlog, and the
+        // next job's first window launches warm (zero-length config span).
+        let mut s = StreamSchedule::new();
+        let backlog = s.push(phases(100, 0, 2_000, 100));
+        let before = s.free_at(Engine::Compute);
+        let prefetch = s.prefetch(300);
+        assert_eq!(prefetch.duration(), 300);
+        assert!(
+            prefetch.end <= before,
+            "prefetch [{}, {}) must end inside the backlog (compute free at {before})",
+            prefetch.start,
+            prefetch.end
+        );
+        // The compute lane is untouched by the prefetch.
+        assert_eq!(s.free_at(Engine::Compute), before);
+        let warm = s.push(phases(100, 0, 400, 100));
+        assert_eq!(warm.config.duration(), 0);
+        assert_eq!(warm.compute.start, backlog.compute.end);
+        // Monotonic lane order: the prefetch collides with neither the
+        // earlier launch's config span nor the warm window's.
+        assert!(!prefetch.overlaps(&backlog.config));
+        assert!(!prefetch.overlaps(&warm.config));
+        let t = s.finish();
+        assert_eq!(t.busy_cycles(Engine::ConfigLoad), 300);
+    }
+
+    #[test]
+    fn prefetch_on_an_idle_schedule_overlaps_the_first_stage() {
+        // Without a backlog the prefetch cannot hide behind compute, but it
+        // still runs concurrently with the first window's DMA staging
+        // instead of serialising stage -> config -> compute.
+        let mut cold = StreamSchedule::new();
+        cold.push(phases(200, 300, 400, 100));
+        let cold_t = cold.finish();
+
+        let mut prefetched = StreamSchedule::new();
+        let span = prefetched.prefetch(300);
+        assert_eq!((span.start, span.end), (0, 300));
+        let w = prefetched.push(phases(200, 0, 400, 100));
+        assert!(!span.overlaps(&w.config));
+        let t = prefetched.finish();
+        // config ∥ stage: the window computes at max(stage, prefetch) = 300
+        // instead of stage + config = 500.
+        assert_eq!(w.compute.start, 300);
+        assert!(t.wall_cycles() < cold_t.wall_cycles());
+        // Same total work either way.
+        assert_eq!(t.serial_cycles(), cold_t.serial_cycles());
     }
 
     #[test]

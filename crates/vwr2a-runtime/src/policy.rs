@@ -4,13 +4,18 @@
 //! remaining configuration memory, it consults its [`EvictionPolicy`] to
 //! pick resident *victims* to unload, one at a time, until the new program
 //! fits.  The policy only ever sees evictable candidates — programs pinned
-//! by the active invocation are withheld by the session — and must be
+//! by the active invocation are withheld by the session, and programs
+//! staged by [`crate::Session::prefetch`] but not yet launched are
+//! withheld until no other resident can make room — and must be
 //! deterministic so capacity experiments are reproducible.
 //!
-//! Three policies ship with the runtime:
+//! Four policies ship with the runtime:
 //!
 //! * [`LruPolicy`] (default) — evict the least recently loaded-or-launched
 //!   program, regardless of size.
+//! * [`LfuPolicy`] — evict the least *frequently* launched program
+//!   (recency breaks ties), so a long-lived hot working set survives
+//!   one-off interlopers that LRU would keep just for being recent.
 //! * [`SizeAwareLru`] — weigh a program's size against its recency, so one
 //!   large cold-ish program is evicted instead of several small warm-ish
 //!   ones.  A single eviction then frees enough room, and the small hot
@@ -64,6 +69,32 @@ pub struct LruPolicy;
 impl EvictionPolicy for LruPolicy {
     fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
         candidates.iter().min_by_key(|c| c.last_use).map(|c| c.key)
+    }
+}
+
+/// Frequency-aware eviction: evict the program with the fewest launches
+/// since it was (last) loaded, breaking ties toward the least recently
+/// used.
+///
+/// LRU protects whatever ran *last*; LFU protects whatever runs *often*.
+/// In a streaming workload where a stable set of hot kernels is
+/// occasionally interrupted by one-off programs (a calibration pass, a
+/// rare event handler), LRU ranks the interloper above the oldest hot
+/// program — and evicts a program that is about to be used again.  LFU
+/// sees the interloper's single launch and sacrifices it instead, keeping
+/// the hot set resident.  The flip side is the classic LFU weakness: a
+/// formerly hot program keeps its launch count after the workload shifts,
+/// so stale-but-once-popular programs outlive their usefulness (the
+/// recency tie-break only softens this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LfuPolicy;
+
+impl EvictionPolicy for LfuPolicy {
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        candidates
+            .iter()
+            .min_by_key(|c| (c.launches, c.last_use))
+            .map(|c| c.key)
     }
 }
 
@@ -134,6 +165,26 @@ mod tests {
         ];
         assert_eq!(LruPolicy.select_victim(&c), Some("b"));
         assert_eq!(LruPolicy.select_victim(&[]), None);
+    }
+
+    #[test]
+    fn lfu_picks_the_least_launched_with_recency_tie_break() {
+        let mut c = [
+            resident("hot", 10, 1),
+            resident("interloper", 10, 9),
+            resident("warm", 10, 5),
+        ];
+        c[0].launches = 40;
+        c[1].launches = 1;
+        c[2].launches = 12;
+        // LRU would sacrifice the oldest (hot!) program; LFU spots the
+        // one-off.
+        assert_eq!(LruPolicy.select_victim(&c), Some("hot"));
+        assert_eq!(LfuPolicy.select_victim(&c), Some("interloper"));
+        // Equal frequencies degrade to LRU.
+        let uniform = [resident("a", 10, 3), resident("b", 10, 1)];
+        assert_eq!(LfuPolicy.select_victim(&uniform), Some("b"));
+        assert_eq!(LfuPolicy.select_victim(&[]), None);
     }
 
     #[test]

@@ -17,14 +17,27 @@
 //! so routing a job to an array that already holds its program skips the
 //! configuration-word streaming entirely, while a residency-blind router
 //! keeps paying cold reloads (and, under capacity pressure, keeps evicting
-//! other jobs' programs).  Three strategies ship with the pool:
+//! other jobs' programs).  A strategy returns a [`PlacementPlan`]: the
+//! target array, plus an optional [`PrefetchDirective`] that makes the
+//! pool stage the job's configuration words *speculatively*
+//! ([`Session::prefetch`]) on the target's
+//! [`StreamSchedule`] before the job's first
+//! window — the reload streams on the otherwise-idle configuration-load
+//! lane, overlapping the array's compute backlog, and the launch itself
+//! finds the program warm.  Four strategies ship with the pool:
 //!
-//! * [`ResidencyAware`] — prefer arrays with the job's program resident,
-//!   tie-breaking on the earliest-free compute engine of the per-array
-//!   timeline; fall back to the earliest-free array when no one holds the
-//!   program yet, and replicate a program onto a still-idle array rather
-//!   than queue behind busy resident copies.  This is the scheduler the
-//!   ROADMAP's fleet item asks for, and the pool's default.
+//! * [`CostAware`] — the default: weighs each candidate's reload cost (the
+//!   program's configuration words, [`JobView::config_words`]) against its
+//!   compute backlog ([`ArrayView::free_compute_at`]) and routes the job to
+//!   the array whose first window could compute earliest, directing a
+//!   prefetch whenever the chosen array would otherwise reload cold.  This
+//!   subsumes [`ResidencyAware`]'s idle-array replication heuristic with
+//!   an explicit cost model: replication happens exactly when the reload
+//!   is cheaper than the backlog it avoids.
+//! * [`ResidencyAware`] — PR 4's scheduler, kept as the prefetch-less
+//!   comparison point: prefer arrays with the job's program resident,
+//!   tie-breaking on the earliest-free compute engine; replicate onto
+//!   fully idle arrays rather than queue behind busy resident copies.
 //! * [`RoundRobin`] — job *i* goes to array *i mod N*, residency-blind.
 //!   The baseline the `pool` bench bin compares against.
 //! * [`LeastLoaded`] — route to the array with the fewest cumulative
@@ -32,11 +45,13 @@
 //!   without looking at residency.
 //!
 //! Outputs are **bit-identical** to running every job serially on one
-//! session, for every strategy — placement only moves *where* (and
-//! overlap only *when*) the already-verified work executes.  The merged
-//! [`FleetReport`] exposes what placement changed: per-array busy and wall
-//! cycles, the fleet wall clock (max over arrays), compute occupancy and
-//! the cold-reload count.
+//! session, for every strategy, with or without prefetch — placement only
+//! moves *where* (and overlap and prefetch only *when*) the
+//! already-verified work executes.  The merged [`FleetReport`] exposes
+//! what placement changed: per-array busy and wall cycles, the fleet wall
+//! clock (max over arrays), compute occupancy, the cold-reload count, and
+//! how many reloads were prefetched ([`FleetReport::prefetched`]) or fully
+//! hidden inside compute backlogs ([`FleetReport::hidden_reloads`]).
 //!
 //! # Example
 //!
@@ -45,7 +60,7 @@
 //! use vwr2a_runtime::testing::BakedScaleKernel;
 //!
 //! # fn main() -> Result<(), vwr2a_runtime::RuntimeError> {
-//! let mut pool = Pool::new(2); // two arrays, residency-aware placement
+//! let mut pool = Pool::new(2); // two arrays, cost-aware placement
 //! let double = BakedScaleKernel::new(2);
 //! let triple = BakedScaleKernel::new(3);
 //! let windows: Vec<Vec<i32>> = (0..4).map(|w| vec![w; 32]).collect();
@@ -55,15 +70,18 @@
 //! let (outputs, fleet) = pool.run_batch(jobs)?;
 //! assert_eq!(outputs.len(), 4);
 //! assert_eq!(outputs[0][0], vec![0; 32]);
-//! // Each program went cold once, on the one array it now lives on; the
-//! // repeat jobs found it resident and launched warm.
-//! assert_eq!(fleet.cold_reloads(), 2);
-//! assert_eq!(fleet.warm_launches(), 14);
+//! // Each program's one reload was *prefetched* onto the array the job
+//! // was routed to, off the launch's critical path: no launch ever went
+//! // cold, and the repeat jobs found their programs resident and warm.
+//! assert_eq!(fleet.cold_reloads(), 0);
+//! assert_eq!(fleet.prefetched(), 2);
+//! assert_eq!(fleet.warm_launches(), 16);
 //! # Ok(())
 //! # }
 //! ```
 
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
 
 use vwr2a_core::timeline::Engine;
@@ -86,6 +104,11 @@ pub struct JobView<'a> {
     /// The pool iterates windows lazily, so the true count is only known
     /// once the job has run.
     pub windows: usize,
+    /// Configuration-word footprint of the job's program
+    /// ([`Kernel::config_words`], cached per cache key by the pool): the
+    /// cycles a reload streams, and therefore the cost a strategy weighs
+    /// against a resident array's compute backlog.
+    pub config_words: usize,
 }
 
 /// What a [`Placement`] strategy sees about one array of the pool at the
@@ -105,6 +128,12 @@ pub struct ArrayView {
     /// ([`StreamSchedule::free_at`](crate::pipeline::StreamSchedule::free_at)
     /// on [`Engine::Compute`]).
     pub free_compute_at: u64,
+    /// First cycle at which this array's configuration-load lane is free
+    /// on its current wave schedule ([`Engine::ConfigLoad`]): a prefetch
+    /// directed here streams no earlier than this, queueing behind the
+    /// wave's previous reloads — cost models that ignore it over-replicate
+    /// onto arrays whose configuration streamer is already the bottleneck.
+    pub free_config_at: u64,
     /// The array's cumulative compute-busy cycles over the session's whole
     /// lifetime ([`Session::free_compute_at`]) — the cross-wave load
     /// metric.
@@ -113,22 +142,77 @@ pub struct ArrayView {
     pub loaded_programs: usize,
 }
 
-/// Chooses which array of a [`Pool`] runs a job.
+/// Directs the pool to stage a job's program speculatively before the
+/// job's first window runs (see [`PlacementPlan`]).
+///
+/// The pool executes the directive by calling [`Session::prefetch`] on the
+/// named array and replaying the streamed cycles on that array's
+/// [`StreamSchedule::prefetch`] lane — where
+/// they overlap the array's compute backlog instead of sitting on the
+/// launch's critical path.  Staging an already-warm program is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchDirective {
+    /// Array whose session stages the program (normally the plan's target
+    /// array; a strategy may warm a different array, e.g. to replicate a
+    /// hot program ahead of anticipated load).
+    pub array: usize,
+}
+
+/// What a [`Placement`] strategy decides for one job: where it runs, and
+/// whether its configuration reload is staged speculatively first.
+///
+/// Returned by [`Placement::place`].  Both the target array and a
+/// directive's array must be valid indices; an out-of-range index aborts
+/// the fan-out with [`RuntimeError::Placement`] (the pool stays valid and
+/// reusable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Array that runs the job's windows.
+    pub array: usize,
+    /// Optional speculative configuration staging executed before the
+    /// job's first window.
+    pub prefetch: Option<PrefetchDirective>,
+}
+
+impl PlacementPlan {
+    /// A plan that just runs the job on `array`, reload (if any) on the
+    /// launch's critical path — the pre-prefetch behaviour.
+    pub fn run_on(array: usize) -> Self {
+        Self {
+            array,
+            prefetch: None,
+        }
+    }
+
+    /// A plan that stages the job's program on `array` ahead of running
+    /// the job there, so a would-be cold reload streams off the critical
+    /// path and the launch finds the program warm.
+    pub fn with_prefetch(array: usize) -> Self {
+        Self {
+            array,
+            prefetch: Some(PrefetchDirective { array }),
+        }
+    }
+}
+
+/// Chooses which array of a [`Pool`] runs a job — and whether the job's
+/// configuration reload is prefetched ahead of its launch.
 ///
 /// The strategy is consulted once per job, in submission order, with a
 /// fresh snapshot of every array — so residency and timeline effects of
-/// earlier placements are visible.  It must return an index into `arrays`;
-/// an out-of-range index aborts the fan-out with
-/// [`RuntimeError::Placement`] (the pool stays valid and reusable).
-/// Strategies must be deterministic so fleet experiments are reproducible.
+/// earlier placements (including prefetches) are visible.  It returns a
+/// [`PlacementPlan`]; any out-of-range array index in the plan aborts the
+/// fan-out with [`RuntimeError::Placement`] (the pool stays valid and
+/// reusable).  Strategies must be deterministic so fleet experiments are
+/// reproducible.
 pub trait Placement: fmt::Debug + Send {
     /// Short strategy name used in reports and bench tables.
     fn name(&self) -> &'static str;
 
-    /// Returns the index of the array that should run `job`.
+    /// Returns the plan for `job`: target array plus optional prefetch.
     ///
     /// `arrays` is never empty (a pool has at least one array).
-    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> usize;
+    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan;
 }
 
 /// Residency-aware placement: prefer arrays that already hold the job's
@@ -155,7 +239,7 @@ impl Placement for ResidencyAware {
         "residency-aware"
     }
 
-    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
+    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
         // Ties on the wave-local free time (e.g. every array idle at the
         // start of a wave) break on the lifetime compute load, so a
         // sequence of single-job waves still spreads first-seen programs
@@ -166,14 +250,77 @@ impl Placement for ResidencyAware {
                 .copied()
         };
         let best_any = earliest_free(&mut arrays.iter()).expect("a pool has at least one array");
-        match earliest_free(&mut arrays.iter().filter(|a| a.resident)) {
-            // Busy resident copies, but an idle array is available:
-            // replicate rather than queue.
-            Some(resident) if resident.free_compute_at > 0 && best_any.free_compute_at == 0 => {
-                best_any.index
-            }
-            Some(resident) => resident.index,
-            None => best_any.index,
+        PlacementPlan::run_on(
+            match earliest_free(&mut arrays.iter().filter(|a| a.resident)) {
+                // Busy resident copies, but an idle array is available:
+                // replicate rather than queue.
+                Some(resident) if resident.free_compute_at > 0 && best_any.free_compute_at == 0 => {
+                    best_any.index
+                }
+                Some(resident) => resident.index,
+                None => best_any.index,
+            },
+        )
+    }
+}
+
+/// Cost-based placement with speculative prefetch — the pool's default.
+///
+/// For every candidate array the strategy estimates when the job's first
+/// window could start computing: the array's compute backlog
+/// ([`ArrayView::free_compute_at`]), or the reload's streaming time
+/// ([`JobView::config_words`], one word per cycle) when the program is not
+/// warm there — whichever ends later, because a prefetched reload streams
+/// *concurrently* with the backlog on the configuration-load lane.  The
+/// job goes to the array with the smallest estimate (ties break on the
+/// lower combined pressure `backlog + reload`, then lifetime compute load,
+/// then index — deterministic), with a [`PrefetchDirective`] whenever that
+/// array would otherwise reload on the launch's critical path.
+///
+/// This replaces [`ResidencyAware`]'s *idle-array* replication heuristic
+/// with an explicit trade-off: a program is replicated onto another array
+/// exactly when its reload costs fewer cycles than the backlog it escapes
+/// — so small-program jobs replicate eagerly and spread, while a job
+/// whose program is expensive to stream waits for its resident array
+/// unless the queue is genuinely longer than the reload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostAware;
+
+impl Placement for CostAware {
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+
+    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+        let reload = |a: &ArrayView| if a.warm { 0 } else { job.config_words as u64 };
+        // Earliest estimated compute start on this array: a prefetched
+        // reload queues on the configuration-load lane (behind the wave's
+        // earlier reloads) and streams concurrently with the compute
+        // backlog — the job starts when the later of the two finishes.
+        let ready_at = |a: &ArrayView| {
+            let reload_done = if a.warm {
+                0
+            } else {
+                a.free_config_at + job.config_words as u64
+            };
+            a.free_compute_at.max(reload_done)
+        };
+        let chosen = arrays
+            .iter()
+            .min_by_key(|a| {
+                (
+                    ready_at(a),
+                    // Prefer the cheaper total pressure on ties.
+                    a.free_compute_at + reload(a),
+                    a.busy_compute,
+                    a.index,
+                )
+            })
+            .expect("a pool has at least one array");
+        if chosen.warm {
+            PlacementPlan::run_on(chosen.index)
+        } else {
+            PlacementPlan::with_prefetch(chosen.index)
         }
     }
 }
@@ -187,8 +334,8 @@ impl Placement for RoundRobin {
         "round-robin"
     }
 
-    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
-        job.index % arrays.len()
+    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+        PlacementPlan::run_on(job.index % arrays.len())
     }
 }
 
@@ -204,12 +351,14 @@ impl Placement for LeastLoaded {
         "least-loaded"
     }
 
-    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
-        arrays
-            .iter()
-            .min_by_key(|a| (a.busy_compute, a.index))
-            .map(|a| a.index)
-            .expect("a pool has at least one array")
+    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+        PlacementPlan::run_on(
+            arrays
+                .iter()
+                .min_by_key(|a| (a.busy_compute, a.index))
+                .map(|a| a.index)
+                .expect("a pool has at least one array"),
+        )
     }
 }
 
@@ -231,11 +380,15 @@ pub struct Pool {
     arrays: Vec<Session>,
     placement: Box<dyn Placement>,
     stats: FleetReport,
+    /// Configuration-word footprints by [`Kernel::cache_key`], so a
+    /// program's [`Kernel::config_words`] is computed once per key rather
+    /// than once per job (the hook may build the whole program to count).
+    footprints: HashMap<String, usize>,
 }
 
 impl Pool {
     /// Creates a pool of `arrays` default sessions (paper geometry, LRU
-    /// eviction) with the default [`ResidencyAware`] placement.
+    /// eviction) with the default [`CostAware`] placement.
     ///
     /// # Panics
     ///
@@ -245,18 +398,32 @@ impl Pool {
     }
 
     /// Creates a pool over custom sessions (constrained geometries, custom
-    /// eviction policies) with the default [`ResidencyAware`] placement.
+    /// eviction policies) with the default [`CostAware`] placement.
+    ///
+    /// A pool is a *homogeneous* fleet: every session must share one array
+    /// geometry, so any job can run on any array and one geometry prices
+    /// every program's reload ([`JobView::config_words`]).  Sessions may
+    /// still differ in eviction policy or DMA timing.
     ///
     /// # Panics
     ///
-    /// Panics if `sessions` is empty.
+    /// Panics if `sessions` is empty, or if the sessions' array geometries
+    /// differ.
     pub fn with_sessions(sessions: Vec<Session>) -> Self {
         assert!(!sessions.is_empty(), "a pool needs at least one array");
+        let geometry = *sessions[0].accelerator().geometry();
+        assert!(
+            sessions
+                .iter()
+                .all(|s| *s.accelerator().geometry() == geometry),
+            "a pool is a homogeneous fleet: every session must share one array geometry"
+        );
         let stats = FleetReport::new(sessions.len());
         Self {
             arrays: sessions,
-            placement: Box::new(ResidencyAware),
+            placement: Box::new(CostAware),
             stats,
+            footprints: HashMap::new(),
         }
     }
 
@@ -366,9 +533,23 @@ impl Pool {
         result.map(|()| wave)
     }
 
-    /// The job loop of [`Pool::run_stream`]: places and runs every job,
-    /// recording into `wave`/`schedules` as it goes so the caller can
-    /// salvage the accounting of an aborted fan-out.
+    /// Configuration-word footprint of `kernel`'s program, computed once
+    /// per cache key against the fleet's shared geometry (enforced by
+    /// [`Pool::with_sessions`], so one geometry prices the reload on every
+    /// array) and cached across jobs and waves.
+    fn footprint<K: Kernel>(&mut self, kernel: &K, key: &str) -> Result<usize> {
+        if let Some(&words) = self.footprints.get(key) {
+            return Ok(words);
+        }
+        let geometry = *self.arrays[0].accelerator().geometry();
+        let words = kernel.config_words(&geometry)?;
+        self.footprints.insert(key.to_string(), words);
+        Ok(words)
+    }
+
+    /// The job loop of [`Pool::run_stream`]: plans, prefetches and runs
+    /// every job, recording into `wave`/`schedules` as it goes so the
+    /// caller can salvage the accounting of an aborted fan-out.
     fn fan_out<'k, K, J, W, F>(
         &mut self,
         jobs: J,
@@ -384,8 +565,10 @@ impl Pool {
         F: FnMut(usize, K::Output) -> Result<()>,
     {
         let arrays = self.arrays.len();
+        let out_of_range = |index: usize| RuntimeError::Placement { index, arrays };
         for (index, (kernel, windows)) in jobs.into_iter().enumerate() {
             let key = kernel.cache_key();
+            let config_words = self.footprint(kernel, &key)?;
             // Windows are consumed lazily (constant memory in the window
             // count, like `Session::run_stream`); placement sees the
             // iterator's size hint.
@@ -400,6 +583,7 @@ impl Pool {
                     resident: session.is_resident_key(&key),
                     warm: session.is_warm(kernel),
                     free_compute_at: schedules[i].free_at(Engine::Compute),
+                    free_config_at: schedules[i].free_at(Engine::ConfigLoad),
                     busy_compute: session.free_compute_at(),
                     loaded_programs: session.loaded_programs(),
                 })
@@ -408,13 +592,41 @@ impl Pool {
                 index,
                 cache_key: &key,
                 windows: windows_hint,
+                config_words,
             };
-            let chosen = self.placement.place(&job, &views);
+            let plan = self.placement.place(&job, &views);
+            let chosen = plan.array;
             if chosen >= arrays {
-                return Err(RuntimeError::Placement {
-                    index: chosen,
-                    arrays,
-                });
+                return Err(out_of_range(chosen));
+            }
+            if let Some(directive) = plan.prefetch {
+                let target = directive.array;
+                if target >= arrays {
+                    return Err(out_of_range(target));
+                }
+                // The backlog *before* the prefetch decides whether the
+                // reload is fully hidden (the ConfigLoad lane leaves the
+                // compute lane untouched either way).
+                let backlog = schedules[target].free_at(Engine::Compute);
+                // Speculative staging is best-effort: a prefetch the
+                // target cannot satisfy (its configuration memory packed
+                // with pinned programs, say) is skipped, not fatal — the
+                // job's own launch then pays the reload, and a genuine
+                // error resurfaces there, on the authoritative path.
+                if let Ok(Some(staged)) = self.arrays[target].prefetch(kernel) {
+                    let span = schedules[target].prefetch(staged.config_cycles);
+                    let report = &mut wave.arrays[target].report;
+                    report.prefetched += 1;
+                    if span.end <= backlog {
+                        report.hidden_reloads += 1;
+                    }
+                    // The streamed words are real engine work: fold them
+                    // into the serial phase sum and the activity counters
+                    // so work conservation and energy accounting hold.
+                    report.cycles += staged.config_cycles;
+                    report.evictions += staged.evictions;
+                    report.counters += staged.counters;
+                }
             }
             wave.jobs += 1;
             wave.arrays[chosen].jobs += 1;
@@ -534,12 +746,38 @@ mod tests {
     #[test]
     fn pool_outputs_match_serial_execution_for_every_strategy() {
         let factors = [2i16, 3, 5];
+        let (ca, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, CostAware);
+        assert_eq!(ca, serial);
         let (ra, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, ResidencyAware);
         assert_eq!(ra, serial);
         let (rr, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, RoundRobin);
         assert_eq!(rr, serial);
         let (ll, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, LeastLoaded);
         assert_eq!(ll, serial);
+    }
+
+    #[test]
+    fn cost_aware_prefetch_turns_every_reload_warm() {
+        // Same capacity-pressure scenario as the residency-aware test: 2
+        // arrays, 3 distinct programs, 2-slot memories.  Cost-aware
+        // placement stages every first-per-array reload speculatively, so
+        // no launch ever pays configuration streaming on its critical
+        // path.
+        let factors = [2i16, 3, 5];
+        let (_, cost_aware, _) = run_mixed(&factors, &THREE_KERNEL_PICKS, CostAware);
+        assert_eq!(cost_aware.cold_reloads(), 0, "all reloads prefetched");
+        assert!(cost_aware.prefetched() >= 3, "one stage per program-array");
+        assert_eq!(
+            cost_aware.warm_launches(),
+            cost_aware.invocations(),
+            "every launch found its program warm"
+        );
+        // The total reload bill is visible: prefetches replace cold
+        // launches one for one, never silently disappear.
+        let (_, residency_aware, _) = run_mixed(&factors, &THREE_KERNEL_PICKS, ResidencyAware);
+        assert!(
+            cost_aware.cold_reloads() + cost_aware.prefetched() >= residency_aware.cold_reloads()
+        );
     }
 
     #[test]
@@ -659,33 +897,58 @@ mod tests {
             round_robin.occupancy()
         );
         assert!(residency_aware.wall_cycles() < round_robin.wall_cycles());
+
+        // The tentpole claim on the same workload: prefetching the reloads
+        // off the critical path beats even the residency-aware scheduler —
+        // strictly fewer cold reloads (none) and a strictly lower fleet
+        // wall clock, with some reloads fully hidden inside backlogs.
+        let cost_aware = run(Box::new(CostAware));
+        assert_eq!(cost_aware.cold_reloads(), 0);
+        assert!(cost_aware.prefetched() >= 4);
+        assert!(
+            cost_aware.wall_cycles() < residency_aware.wall_cycles(),
+            "cost-aware wall {} must beat residency-aware {}",
+            cost_aware.wall_cycles(),
+            residency_aware.wall_cycles()
+        );
+        assert_eq!(cost_aware.evictions(), 0);
     }
 
     #[test]
     fn fleet_wall_clock_and_busy_conserve_the_per_array_schedules() {
-        let (_, fleet, _) = run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, ResidencyAware);
-        let max_wall = fleet
-            .arrays
-            .iter()
-            .map(|a| a.report.wall_cycles)
-            .max()
-            .unwrap();
-        assert_eq!(fleet.wall_cycles(), max_wall);
-        for array in &fleet.arrays {
-            assert!(fleet.wall_cycles() >= array.report.wall_cycles);
-            // Per-array work conservation, as in the schedule proptest:
-            // every phase cycle appears exactly once in the occupancy.
-            assert_eq!(
-                array.report.busy.config_load + array.report.busy.dma + array.report.busy.compute,
-                array.report.cycles
-            );
+        // With prefetch (CostAware) the staged configuration cycles land on
+        // the schedules' ConfigLoad lanes *and* in the per-array `cycles`,
+        // so the same conservation identity must hold for both strategies.
+        for fleet in [
+            run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, ResidencyAware).1,
+            run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, CostAware).1,
+        ] {
+            let max_wall = fleet
+                .arrays
+                .iter()
+                .map(|a| a.report.wall_cycles)
+                .max()
+                .unwrap();
+            assert_eq!(fleet.wall_cycles(), max_wall);
+            for array in &fleet.arrays {
+                assert!(fleet.wall_cycles() >= array.report.wall_cycles);
+                // Per-array work conservation, as in the schedule proptest:
+                // every phase cycle — prefetched streaming included —
+                // appears exactly once in the occupancy.
+                assert_eq!(
+                    array.report.busy.config_load
+                        + array.report.busy.dma
+                        + array.report.busy.compute,
+                    array.report.cycles
+                );
+            }
+            let busy_sum = fleet
+                .arrays
+                .iter()
+                .map(|a| a.report.busy.total())
+                .sum::<u64>();
+            assert_eq!(fleet.busy().total(), busy_sum);
         }
-        let busy_sum = fleet
-            .arrays
-            .iter()
-            .map(|a| a.report.busy.total())
-            .sum::<u64>();
-        assert_eq!(fleet.busy().total(), busy_sum);
     }
 
     #[test]
@@ -702,8 +965,9 @@ mod tests {
         )
         .unwrap();
         // The two distinct programs must have been spread over the two
-        // arrays (the fallback path places the second program on the
-        // not-yet-busy array), and each repeat went back to its array.
+        // arrays (the second program's reload is cheaper than queueing
+        // behind the first job's backlog), and each repeat went back to
+        // its warm array.
         assert!(pool.array(0).is_resident(&kernels[0]));
         assert!(pool.array(1).is_resident(&kernels[1]));
         assert!(!pool.array(0).is_resident(&kernels[1]));
@@ -718,14 +982,19 @@ mod tests {
         let (_, first) = pool
             .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
             .unwrap();
-        assert_eq!(first.cold_reloads(), 1);
+        // The default cost-aware placement stages the one reload ahead of
+        // the launch: prefetched, never cold.
+        assert_eq!(first.cold_reloads(), 0);
+        assert_eq!(first.prefetched(), 1);
         let (_, second) = pool
             .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
             .unwrap();
-        assert_eq!(second.cold_reloads(), 0, "wave 2 finds the program warm");
+        assert_eq!(second.prefetched(), 0, "wave 2 finds the program warm");
+        assert_eq!(second.cold_reloads(), 0);
         // stats() accumulated both waves.
         assert_eq!(pool.stats().jobs, 2);
-        assert_eq!(pool.stats().cold_reloads(), 1);
+        assert_eq!(pool.stats().cold_reloads(), 0);
+        assert_eq!(pool.stats().prefetched(), 1);
         assert_eq!(pool.stats().invocations(), 4);
     }
 
@@ -762,16 +1031,19 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RuntimeError::Sink { .. }));
         // The aborted wave's work is not lost from the fleet statistics:
-        // the cold configuration stream physically ran.
+        // the (prefetched) configuration stream physically ran.
         assert_eq!(pool.stats().jobs, 1);
-        assert_eq!(pool.stats().cold_reloads(), 1);
+        assert_eq!(pool.stats().cold_reloads(), 0);
+        assert_eq!(pool.stats().prefetched(), 1);
         assert_eq!(pool.stats().invocations(), 1);
         assert!(pool.stats().busy().compute > 0);
+        assert!(pool.stats().busy().config_load > 0);
         // The placed program stays resident; the next wave runs warm.
         let (_, report) = pool
             .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
             .unwrap();
         assert_eq!(report.cold_reloads(), 0);
+        assert_eq!(report.prefetched(), 0);
     }
 
     #[test]
@@ -782,8 +1054,8 @@ mod tests {
             fn name(&self) -> &'static str {
                 "out-of-range"
             }
-            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> usize {
-                arrays.len() + 3
+            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+                PlacementPlan::run_on(arrays.len() + 3)
             }
         }
         let kernel = BakedScaleKernel::new(2);
@@ -807,6 +1079,223 @@ mod tests {
         assert_eq!(pool.placement_name(), "residency-aware");
         pool.run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
             .unwrap();
+    }
+
+    #[test]
+    fn rogue_prefetch_directive_fails_cleanly() {
+        // A directive naming a non-existent array must abort like a rogue
+        // target array — before any prefetch or window runs.
+        #[derive(Debug)]
+        struct RoguePrefetch;
+        impl Placement for RoguePrefetch {
+            fn name(&self) -> &'static str {
+                "rogue-prefetch"
+            }
+            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+                PlacementPlan {
+                    array: 0,
+                    prefetch: Some(PrefetchDirective {
+                        array: arrays.len(),
+                    }),
+                }
+            }
+        }
+        let kernel = BakedScaleKernel::new(2);
+        let mut pool = Pool::new(2).with_placement(RoguePrefetch);
+        let ws = windows(1, 0);
+        let err = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Placement {
+                    index: 2,
+                    arrays: 2
+                }
+            ),
+            "expected Placement, got {err:?}"
+        );
+        assert_eq!(pool.stats().jobs, 0);
+        assert_eq!(pool.stats().prefetched(), 0);
+        // The pool recovers with the default strategy.
+        pool.set_placement(CostAware);
+        pool.run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+    }
+
+    #[test]
+    fn prefetch_directives_may_warm_a_different_array() {
+        // A strategy can replicate a program onto another array ahead of
+        // anticipated load: the job runs on array 0, the directive warms
+        // array 1, and the next wave launches warm on either.
+        #[derive(Debug)]
+        struct WarmTheOther;
+        impl Placement for WarmTheOther {
+            fn name(&self) -> &'static str {
+                "warm-the-other"
+            }
+            fn place(&self, _job: &JobView<'_>, _arrays: &[ArrayView]) -> PlacementPlan {
+                PlacementPlan {
+                    array: 0,
+                    prefetch: Some(PrefetchDirective { array: 1 }),
+                }
+            }
+        }
+        let kernel = BakedScaleKernel::new(7);
+        let mut pool = Pool::new(2).with_placement(WarmTheOther);
+        let ws = windows(1, 0);
+        let (_, fleet) = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        // Array 1 was warmed speculatively; array 0 ran the job cold (its
+        // own reload was not staged).
+        assert_eq!(fleet.prefetched(), 1);
+        assert_eq!(fleet.cold_reloads(), 1);
+        assert!(pool.array(0).is_warm(&kernel));
+        assert!(pool.array(1).is_warm(&kernel));
+        assert_eq!(pool.array(1).prefetches(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_prefetches_are_skipped_not_fatal() {
+        // A program larger than the whole configuration memory: the
+        // directed prefetch cannot be satisfied and is skipped; the
+        // genuine error then surfaces from the job's own launch path, and
+        // no phantom prefetch is recorded.
+        let kernels: Vec<BakedScaleKernel> = [2i16, 3]
+            .iter()
+            .map(|&f| BakedScaleKernel::new(f))
+            .collect();
+        let mut pool = Pool::with_sessions(constrained_sessions(2, baked_words() - 1));
+        let ws = windows(1, 0);
+        let err = pool
+            .run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Core(vwr2a_core::CoreError::ConfigMemoryFull { .. })
+            ),
+            "expected ConfigMemoryFull from the launch path, got {err:?}"
+        );
+        assert_eq!(
+            pool.stats().prefetched(),
+            0,
+            "the failed stage is not counted"
+        );
+        // The pool stays reusable for jobs that do fit.
+        let mut roomy = Pool::new(1);
+        roomy
+            .run_batch([(&kernels[0], ws.iter().map(Vec::as_slice))])
+            .unwrap();
+    }
+
+    #[test]
+    fn compute_backlogs_hide_prefetched_reloads_completely() {
+        // One array, two compute-heavy jobs with distinct programs: the
+        // second job's reload streams on the ConfigLoad lane entirely
+        // inside the first job's compute backlog — a reload at zero
+        // wall-clock cost, which a cold launch could never be.
+        let first = BakedScaleKernel::new(2);
+        let second = BakedScaleKernel::new(3);
+        let ws = windows(6, 0);
+        let mut pool = Pool::new(1);
+        let (_, fleet) = pool
+            .run_batch([
+                (&first, ws.iter().map(Vec::as_slice)),
+                (&second, ws.iter().map(Vec::as_slice)),
+            ])
+            .unwrap();
+        assert_eq!(fleet.cold_reloads(), 0);
+        assert_eq!(fleet.prefetched(), 2);
+        assert_eq!(
+            fleet.hidden_reloads(),
+            1,
+            "the first reload has no backlog to hide in; the second does"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_consistently_across_waves_and_errors() {
+        let kernels: Vec<BakedScaleKernel> = [2i16, 3, 5]
+            .iter()
+            .map(|&f| BakedScaleKernel::new(f))
+            .collect();
+        let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * baked_words()));
+        let ws = windows(2, 0);
+
+        // Wave 1: two jobs over two programs.
+        pool.run_batch(
+            kernels[..2]
+                .iter()
+                .map(|k| (k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        let after_one = pool.stats().clone();
+        assert_eq!(after_one.jobs, 2);
+        assert_eq!(after_one.invocations(), 4);
+
+        // Wave 2: all three programs; counters strictly accumulate.
+        pool.run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
+            .unwrap();
+        let after_two = pool.stats().clone();
+        assert_eq!(after_two.jobs, 5);
+        assert_eq!(after_two.invocations(), 10);
+        assert!(after_two.prefetched() >= after_one.prefetched());
+        assert!(after_two.busy().total() > after_one.busy().total());
+
+        // Wave 3 aborts in the sink after one window: the partial work is
+        // still folded in (the first job's window ran).
+        let err = pool
+            .run_stream(
+                kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))),
+                |_, _| Err(RuntimeError::sink("full")),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Sink { .. }));
+        let after_abort = pool.stats().clone();
+        assert_eq!(after_abort.jobs, 6, "the aborted job still counts");
+        assert_eq!(after_abort.invocations(), 11);
+
+        // Wave 4 aborts in placement before anything runs: no counters
+        // move at all.
+        #[derive(Debug)]
+        struct Rogue;
+        impl Placement for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+                PlacementPlan::run_on(arrays.len())
+            }
+        }
+        pool.set_placement(Rogue);
+        assert!(pool
+            .run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
+            .is_err());
+        assert_eq!(pool.stats(), &after_abort, "a rogue wave adds nothing");
+
+        // The pool stays fully usable, and the invariants hold over the
+        // whole accumulated history: per-array jobs sum to the total, and
+        // every array's busy split matches its serial phase sum.
+        pool.set_placement(CostAware);
+        pool.run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
+            .unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 9);
+        assert_eq!(stats.invocations(), 17);
+        assert_eq!(stats.arrays.iter().map(|a| a.jobs).sum::<u64>(), stats.jobs);
+        for array in &stats.arrays {
+            assert_eq!(
+                array.report.busy.config_load + array.report.busy.dma + array.report.busy.compute,
+                array.report.cycles
+            );
+        }
+        assert_eq!(
+            stats.busy().total(),
+            stats.arrays.iter().map(|a| a.report.busy.total()).sum()
+        );
     }
 
     #[test]

@@ -31,10 +31,22 @@ pub struct RunReport {
     /// [`crate::session::EvictionPolicy`]).  Every eviction turns the
     /// victim's next launch cold again.
     pub evictions: u64,
+    /// Speculative configuration prefetches ([`crate::Session::prefetch`])
+    /// that streamed a program's words ahead of its launch: the launch
+    /// itself then counted as warm, because the reload left its critical
+    /// path.  `cold_launches + prefetched` is the total number of
+    /// configuration reloads paid, however they were scheduled.
+    pub prefetched: u64,
+    /// The subset of [`RunReport::prefetched`] whose streaming finished
+    /// entirely inside the array's existing compute backlog — reloads with
+    /// **zero** wall-clock cost.  The remaining prefetches still overlap
+    /// the first window's DMA staging, just not for free.
+    pub hidden_reloads: u64,
     /// Total cycles: DMA staging, SRF parameter writes, configuration
-    /// loading (cold launches only) and array execution, summed as if the
-    /// phases ran strictly one after the other (the pre-pipelining cost
-    /// metric; completion-interrupt latency is not included).
+    /// loading (cold launches and speculative prefetches — warm launches
+    /// stream nothing) and array execution, summed as if the phases ran
+    /// strictly one after the other (the pre-pipelining cost metric;
+    /// completion-interrupt latency is not included).
     pub cycles: u64,
     /// Overlapped end-to-end latency of the run on the pipelined execution
     /// engine: staging of window *i+1* hides behind the compute of window
@@ -100,6 +112,8 @@ impl RunReport {
         self.cold_launches += other.cold_launches;
         self.warm_launches += other.warm_launches;
         self.evictions += other.evictions;
+        self.prefetched += other.prefetched;
+        self.hidden_reloads += other.hidden_reloads;
         self.cycles += other.cycles;
         self.wall_cycles += other.wall_cycles;
         self.busy += other.busy;
@@ -112,7 +126,7 @@ impl std::fmt::Display for RunReport {
         write!(
             f,
             "{}: {} invocation(s), {} wall cycles ({} serial, {:.0} % overlapped; \
-             {} cold / {} warm launches, {} evictions)",
+             {} cold / {} warm launches, {} prefetched, {} evictions)",
             self.kernel,
             self.invocations,
             self.wall_cycles,
@@ -120,6 +134,7 @@ impl std::fmt::Display for RunReport {
             100.0 * self.overlap_ratio(),
             self.cold_launches,
             self.warm_launches,
+            self.prefetched,
             self.evictions
         )
     }
@@ -216,6 +231,22 @@ impl FleetReport {
         self.arrays.iter().map(|a| a.report.warm_launches).sum()
     }
 
+    /// Configuration reloads streamed speculatively, ahead of the launch
+    /// that needed them ([`RunReport::prefetched`]): those launches counted
+    /// warm, so `cold_reloads() + prefetched()` is the total reloads paid
+    /// however they were scheduled — what a prefetch-less scheduler would
+    /// have paid as cold reloads on the critical path.
+    pub fn prefetched(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.prefetched).sum()
+    }
+
+    /// Prefetches that streamed entirely inside their array's existing
+    /// compute backlog — reloads hidden at zero wall-clock cost
+    /// ([`RunReport::hidden_reloads`]).
+    pub fn hidden_reloads(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.hidden_reloads).sum()
+    }
+
     /// Programs evicted across the fleet to make room for new loads.
     pub fn evictions(&self) -> u64 {
         self.arrays.iter().map(|a| a.report.evictions).sum()
@@ -260,7 +291,8 @@ impl std::fmt::Display for FleetReport {
         write!(
             f,
             "fleet: {} job(s) / {} invocation(s) over {} array(s), {} wall cycles, \
-             {:.0} % occupancy ({} cold reloads / {} warm launches, {} evictions)",
+             {:.0} % occupancy ({} cold reloads / {} warm launches, {} prefetched \
+             of which {} hidden, {} evictions)",
             self.jobs,
             self.invocations(),
             self.arrays.len(),
@@ -268,6 +300,8 @@ impl std::fmt::Display for FleetReport {
             100.0 * self.occupancy(),
             self.cold_reloads(),
             self.warm_launches(),
+            self.prefetched(),
+            self.hidden_reloads(),
             self.evictions()
         )
     }
@@ -296,10 +330,13 @@ mod tests {
         a.busy.compute = 60;
         a.busy.dma = 40;
         a.counters.rc_alu_ops = 7;
+        a.prefetched = 1;
         let mut b = RunReport::new("k");
         b.invocations = 2;
         b.warm_launches = 5;
         b.evictions = 2;
+        b.prefetched = 2;
+        b.hidden_reloads = 1;
         b.cycles = 50;
         b.wall_cycles = 40;
         b.busy.compute = 30;
@@ -309,6 +346,8 @@ mod tests {
         assert_eq!(a.invocations, 3);
         assert_eq!(a.launches(), 6);
         assert_eq!(a.evictions, 2);
+        assert_eq!(a.prefetched, 3);
+        assert_eq!(a.hidden_reloads, 1);
         assert_eq!(a.cycles, 150);
         assert_eq!(a.wall_cycles, 130);
         assert_eq!(a.serial_cycles(), 150);
@@ -368,6 +407,9 @@ mod tests {
         fleet.jobs = 2;
         fleet.arrays[0] = array_report(0, 1_000, 700, 100, 1);
         fleet.arrays[1] = array_report(1, 800, 600, 50, 2);
+        fleet.arrays[0].report.prefetched = 2;
+        fleet.arrays[0].report.hidden_reloads = 1;
+        fleet.arrays[1].report.prefetched = 1;
         // Concurrency: the fleet finishes with its slowest array...
         assert_eq!(fleet.wall_cycles(), 1_000);
         // ...but does the sum of all arrays' work.
@@ -376,6 +418,8 @@ mod tests {
         assert_eq!(fleet.invocations(), 4);
         assert_eq!(fleet.cold_reloads(), 3);
         assert_eq!(fleet.warm_launches(), 1);
+        assert_eq!(fleet.prefetched(), 3);
+        assert_eq!(fleet.hidden_reloads(), 1);
         // Occupancy: 1300 compute cycles of 2 × 1000 array-cycles.
         assert!((fleet.occupancy() - 0.65).abs() < 1e-12);
         assert!(fleet.to_string().contains("2 array(s)"));

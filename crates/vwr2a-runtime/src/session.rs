@@ -38,7 +38,9 @@ use vwr2a_core::Vwr2a;
 
 use crate::error::{Result, RuntimeError};
 use crate::pipeline::{StreamSchedule, WindowPhases};
-pub use crate::policy::{EvictionPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
+pub use crate::policy::{
+    EvictionPolicy, LfuPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru,
+};
 use crate::report::RunReport;
 
 /// Estimated cycles for one host SRF write over the slave port.
@@ -102,6 +104,18 @@ pub trait Kernel {
     /// program evicted under capacity pressure is rebuilt on its next use.
     fn program(&self, geometry: &Geometry) -> Result<KernelProgram>;
 
+    /// Configuration-word footprint of the kernel's program on `geometry`
+    /// — both the words a load occupies in the configuration memory and
+    /// the cycles a cold reload streams (one word per cycle).
+    ///
+    /// The pool's cost-based placement weighs this reload cost against
+    /// each candidate array's compute backlog before routing a job.  The
+    /// default builds the program and counts its words; kernels that know
+    /// their footprint without constructing the program may override.
+    fn config_words(&self, geometry: &Geometry) -> Result<usize> {
+        Ok(self.program(geometry)?.config_words())
+    }
+
     /// Runs one invocation: stage inputs, launch (possibly repeatedly, e.g.
     /// once per FFT stage or per FIR block), collect outputs.
     fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &Self::Input) -> Result<Self::Output>;
@@ -113,6 +127,15 @@ struct Loaded {
     launches: u64,
     last_use: u64,
     words: usize,
+    /// `true` between a [`Session::prefetch`] and the program's next
+    /// launch: the configuration words are already streamed (the launch
+    /// will be warm), and the program is *soft-pinned* against eviction —
+    /// evicting a speculatively staged program before the launch it was
+    /// staged for would waste the hidden reload and silently turn the
+    /// launch cold, so it only happens as a last resort, when no other
+    /// resident can make room (a stale prefetch must not wedge the
+    /// memory permanently).
+    prefetched: bool,
 }
 
 /// Validates a built program's footprint (column count, program length,
@@ -125,6 +148,26 @@ fn validate_fit(geometry: &Geometry, program: &KernelProgram) -> Result<()> {
             kernel: program.name.clone(),
             what: e.to_string(),
         })
+}
+
+/// Accounting of one [`Session::prefetch`] that actually streamed
+/// configuration words.
+///
+/// The caller (typically a pool scheduling the prefetch onto an array's
+/// [`StreamSchedule`]) replays `config_cycles` on the schedule's
+/// configuration-load lane — where it overlaps the array's compute backlog
+/// instead of sitting on the next launch's critical path — and folds the
+/// counters into its report so work conservation holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefetch {
+    /// Cycles the configuration-word streaming occupied (one word per
+    /// cycle — also the words loaded).
+    pub config_cycles: u64,
+    /// Residents evicted to make room for the prefetched program.
+    pub evictions: u64,
+    /// Accelerator activity of the prefetch (configuration words, cycles),
+    /// for energy accounting.
+    pub counters: vwr2a_core::ActivityCounters,
 }
 
 /// Split-borrow view of the session state the residency manager mutates
@@ -160,27 +203,42 @@ impl Residency<'_> {
             capacity_words: accel.config_mem().capacity_words(),
             requested_words: needed,
         };
+        // Programs pinned by the active invocation are never evictable.
+        // Prefetched-but-not-yet-launched programs are *soft-pinned*:
+        // withheld while any other resident can make room, offered only
+        // as a last resort — a stale speculative staging must not wedge
+        // the memory the way an invocation pin legitimately can (evicting
+        // one merely wastes the staged words; its next use reloads cold).
+        let unpinned = |key: &String| !pinned.iter().any(|p| p == key);
         let evictable: usize = self
             .programs
             .iter()
-            .filter(|(key, _)| !pinned.iter().any(|p| p == *key))
+            .filter(|(key, _)| unpinned(key))
             .map(|(_, loaded)| loaded.words)
             .sum();
         if needed > self.accel.config_mem().free_words() + evictable {
             return Err(full(self.accel).into());
         }
         while needed > self.accel.config_mem().free_words() {
-            let candidates: Vec<ResidentProgram<'_>> = self
-                .programs
-                .iter()
-                .filter(|(key, _)| !pinned.iter().any(|p| p == *key))
-                .map(|(key, loaded)| ResidentProgram {
-                    key,
-                    words: loaded.words,
-                    launches: loaded.launches,
-                    last_use: loaded.last_use,
-                })
-                .collect();
+            let programs = &self.programs;
+            let snapshot = |include_prefetched: bool| -> Vec<ResidentProgram<'_>> {
+                programs
+                    .iter()
+                    .filter(|(key, loaded)| {
+                        unpinned(key) && (include_prefetched || !loaded.prefetched)
+                    })
+                    .map(|(key, loaded)| ResidentProgram {
+                        key,
+                        words: loaded.words,
+                        launches: loaded.launches,
+                        last_use: loaded.last_use,
+                    })
+                    .collect()
+            };
+            let mut candidates = snapshot(false);
+            if candidates.is_empty() {
+                candidates = snapshot(true);
+            }
             let victim = match self.policy.select_victim(&candidates) {
                 Some(victim) if candidates.iter().any(|c| c.key == victim) => victim.to_string(),
                 // Refusal — or a rogue policy naming a pinned or
@@ -204,6 +262,7 @@ impl Residency<'_> {
                 launches: 0,
                 last_use: *self.clock,
                 words: needed,
+                prefetched: false,
             },
         );
         Ok(())
@@ -358,7 +417,10 @@ impl LaunchCtx<'_> {
             "registry id must refer to a resident configuration-memory kernel"
         );
         let start = self.timeline.wall_cycles();
-        let (stats, spans) = if entry.launches == 0 {
+        // A never-launched program whose words were *prefetched* launches
+        // warm: the configuration streaming already happened, off the
+        // critical path.
+        let (stats, spans) = if entry.launches == 0 && !entry.prefetched {
             self.cold_launches += 1;
             self.accel
                 .run_kernel_at(entry.id, &mut self.timeline, start)?
@@ -368,6 +430,9 @@ impl LaunchCtx<'_> {
                 .run_kernel_warm_at(entry.id, &mut self.timeline, start)?
         };
         entry.launches += 1;
+        // The launch the prefetch was staged for has happened: the program
+        // competes for eviction normally again.
+        entry.prefetched = false;
         entry.last_use = now;
         self.phases.config += spans.config.duration();
         self.phases.compute += spans.compute.duration();
@@ -422,6 +487,7 @@ pub struct Session {
     policy: Box<dyn EvictionPolicy>,
     clock: u64,
     evictions: u64,
+    prefetches: u64,
     /// Per-engine busy cycles accumulated over the session's lifetime
     /// (interrupt servicing is schedule-level and not included).
     busy: Occupancy,
@@ -448,6 +514,7 @@ impl Session {
             policy: Box::new(policy),
             clock: 0,
             evictions: 0,
+            prefetches: 0,
             busy: Occupancy::default(),
         }
     }
@@ -478,14 +545,21 @@ impl Session {
         self.evictions
     }
 
-    /// `true` if the kernel's program is currently resident and has
-    /// launched before, i.e. its next launch will be warm.  A kernel that
-    /// was evicted under capacity pressure reports `false` until it is
-    /// reloaded and launched again.
+    /// Total [`Session::prefetch`] calls that actually streamed
+    /// configuration words over the session's lifetime.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// `true` if the kernel's next launch will be warm: its program is
+    /// resident and has either launched before or been staged by
+    /// [`Session::prefetch`].  A kernel that was evicted under capacity
+    /// pressure reports `false` until it is reloaded and launched (or
+    /// prefetched) again.
     pub fn is_warm<K: Kernel>(&self, kernel: &K) -> bool {
         self.programs
             .get(&kernel.cache_key())
-            .is_some_and(|p| p.launches > 0)
+            .is_some_and(|p| p.launches > 0 || p.prefetched)
     }
 
     /// `true` if the kernel's program is resident in the configuration
@@ -528,6 +602,51 @@ impl Session {
     /// pre-registering is useful to front-load validation errors.
     pub fn register<K: Kernel>(&mut self, kernel: &K) -> Result<()> {
         self.register_internal(kernel).map(|_| ())
+    }
+
+    /// Speculatively stages a kernel so its next launch is warm: loads the
+    /// program if absent (evicting cold residents as [`Session::register`]
+    /// would) and streams its configuration words into the per-slot program
+    /// memories ahead of the launch — the cold half of a launch, paid while
+    /// the array is busy with something else.
+    ///
+    /// Returns `Ok(None)` when there is nothing to stage (the program is
+    /// already warm, or already prefetched and awaiting its launch);
+    /// otherwise `Ok(Some(_))` with the [`Prefetch`] accounting.  Until it
+    /// launches (or is explicitly [`Session::unload`]ed) a prefetched
+    /// program is **soft-pinned against eviction**: evicting it would
+    /// waste the hidden reload and silently turn its launch cold again, so
+    /// the session only offers it as a victim when no other resident can
+    /// make room — a stale prefetch degrades back to a cold reload instead
+    /// of wedging the configuration memory.  The launch itself then counts
+    /// as warm — the reload happened, but off the launch's critical path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::register`] (resource misfits, `ConfigMemoryFull` when
+    /// eviction cannot make room).
+    pub fn prefetch<K: Kernel>(&mut self, kernel: &K) -> Result<Option<Prefetch>> {
+        let evictions = self.register_internal(kernel)?;
+        let entry = self
+            .programs
+            .get_mut(&kernel.cache_key())
+            .expect("program registered by prefetch");
+        if entry.launches > 0 || entry.prefetched {
+            return Ok(None);
+        }
+        let before = self.accel.counters();
+        let mut scratch = Timeline::new();
+        let span = self.accel.prefetch_kernel_at(entry.id, &mut scratch, 0)?;
+        entry.prefetched = true;
+        self.clock += 1;
+        entry.last_use = self.clock;
+        self.prefetches += 1;
+        self.busy.config_load += span.duration();
+        Ok(Some(Prefetch {
+            config_cycles: span.duration(),
+            evictions,
+            counters: self.accel.counters() - before,
+        }))
     }
 
     /// Explicitly unloads a kernel's program from the configuration memory,
@@ -1329,6 +1448,135 @@ mod tests {
         // Eviction (here: explicit unload) drops residency again.
         session.unload(&kernel).unwrap();
         assert!(!session.is_resident(&kernel));
+    }
+
+    #[test]
+    fn prefetch_makes_the_next_launch_warm_at_the_same_total_work() {
+        let kernel = BakedScaleKernel::new(6);
+        let input: Vec<i32> = (0..80).collect();
+
+        let mut cold_session = Session::new();
+        let (cold_out, cold) = cold_session.run(&kernel, &input).unwrap();
+
+        let mut session = Session::new();
+        let staged = session.prefetch(&kernel).unwrap().expect("streams words");
+        assert!(staged.config_cycles > 0);
+        assert_eq!(staged.evictions, 0);
+        assert_eq!(staged.counters.config_words_loaded, staged.config_cycles);
+        assert!(session.is_warm(&kernel), "prefetched => next launch warm");
+        assert_eq!(session.prefetches(), 1);
+
+        let (out, warm) = session.run(&kernel, &input).unwrap();
+        assert_eq!(out, cold_out, "prefetch must not change outputs");
+        assert_eq!(warm.cold_launches, 0);
+        assert_eq!(warm.warm_launches, 1);
+        assert_eq!(warm.counters.config_words_loaded, 0);
+        // Same total work as one cold launch, just split across the
+        // prefetch and the (now warm) launch.
+        assert_eq!(staged.config_cycles + warm.cycles, cold.cycles);
+
+        // A second prefetch of a warm program has nothing to stage.
+        assert!(session.prefetch(&kernel).unwrap().is_none());
+        assert_eq!(session.prefetches(), 1);
+    }
+
+    #[test]
+    fn repeated_prefetch_before_the_launch_streams_only_once() {
+        let mut session = Session::new();
+        let kernel = BakedScaleKernel::new(4);
+        assert!(session.prefetch(&kernel).unwrap().is_some());
+        assert!(session.prefetch(&kernel).unwrap().is_none());
+        assert_eq!(session.prefetches(), 1);
+        let words = session.accelerator().counters().config_words_loaded;
+        assert_eq!(words, baked_words() as u64, "streamed exactly once");
+    }
+
+    #[test]
+    fn prefetched_programs_are_pinned_until_their_launch() {
+        // Two-slot memory: a prefetched program and a warm bystander fill
+        // it.  Loading a third program must evict the *bystander* (LRU
+        // would pick the prefetched program — it is older), because the
+        // prefetched one is pinned until the launch it was staged for.
+        let mut session = constrained_session(2 * baked_words());
+        let staged = BakedScaleKernel::new(21);
+        let bystander = BakedScaleKernel::new(22);
+        let incoming = BakedScaleKernel::new(23);
+        let input = [1i32, 2, 3];
+
+        session.prefetch(&staged).unwrap().expect("streams words");
+        session.run(&bystander, &input[..]).unwrap();
+
+        let (_, report) = session.run(&incoming, &input[..]).unwrap();
+        assert_eq!(report.evictions, 1);
+        assert!(
+            session.is_warm(&staged),
+            "the prefetched program must survive the eviction"
+        );
+        assert!(!session.is_warm(&bystander), "the bystander was evicted");
+
+        // The staged launch is warm; afterwards the pin is released and
+        // the program competes for eviction normally again.
+        let (_, warm) = session.run(&staged, &input[..]).unwrap();
+        assert_eq!(warm.cold_launches, 0);
+        assert_eq!(warm.warm_launches, 1);
+        session.run(&incoming, &input[..]).unwrap();
+        let (_, after) = session.run(&bystander, &input[..]).unwrap();
+        assert_eq!(after.evictions, 1, "now the LRU victim is evictable");
+        assert!(!session.is_warm(&staged), "pin released after the launch");
+    }
+
+    #[test]
+    fn stale_prefetches_are_evicted_only_as_a_last_resort() {
+        // A prefetched program whose launch never comes must not wedge the
+        // memory: while other residents can make room they are preferred,
+        // but once the staged program is the only way to fit a load, it is
+        // sacrificed (wasting only its staged words) instead of failing
+        // with ConfigMemoryFull.
+        let mut session = constrained_session(2 * baked_words());
+        let stale = BakedScaleKernel::new(31);
+        let other = BakedScaleKernel::new(32);
+        let input = [1i32, 2];
+        session.prefetch(&stale).unwrap().expect("streams words");
+        session.run(&other, &input[..]).unwrap();
+
+        // A program too big for one freed slot: nothing but evicting
+        // *both* residents fits it, so even the soft-pinned stale
+        // prefetch must go.
+        let rows = (1..)
+            .find(|&r| PaddedKernel::words(r) > baked_words())
+            .unwrap();
+        let big = PaddedKernel::new(rows, "big");
+        assert!(
+            PaddedKernel::words(rows) <= 2 * baked_words(),
+            "the probe must still fit the whole memory"
+        );
+        session.run(&big, &()).unwrap();
+        assert!(
+            !session.is_warm(&stale),
+            "the stale prefetch was the last resort"
+        );
+        assert!(!session.is_warm(&other));
+        assert_eq!(session.evictions(), 2);
+    }
+
+    #[test]
+    fn prefetch_that_cannot_fit_fails_like_register() {
+        let mut session = constrained_session(baked_words() - 1);
+        let err = session.prefetch(&BakedScaleKernel::new(2)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
+            "expected ConfigMemoryFull, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn config_words_hook_matches_the_built_program() {
+        let kernel = BakedScaleKernel::new(2);
+        let geometry = Geometry::paper();
+        assert_eq!(
+            kernel.config_words(&geometry).unwrap(),
+            kernel.program(&geometry).unwrap().config_words()
+        );
     }
 
     #[test]

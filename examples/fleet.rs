@@ -3,9 +3,11 @@
 //!
 //! Four distinct FIR programs (different baked-in taps) serve twelve jobs
 //! on a two-array fleet whose configuration memories hold only two
-//! programs each.  The residency-aware scheduler spreads the programs
-//! across the fleet once and then keeps every job warm on "its" array;
-//! the residency-blind baselines keep re-streaming configuration words.
+//! programs each.  The cost-aware scheduler (the default) prefetches each
+//! program's reload off the launch's critical path and never goes cold;
+//! residency-aware placement spreads the programs across the fleet once
+//! but reloads in line; the residency-blind baselines keep re-streaming
+//! configuration words.
 //!
 //! Run with `cargo run --release --example fleet`.
 
@@ -13,7 +15,7 @@ use vwr2a::core::Geometry;
 use vwr2a::dsp::fir::design_lowpass;
 use vwr2a::dsp::fixed::Q15;
 use vwr2a::kernels::fir::FirKernel;
-use vwr2a::runtime::pool::{LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+use vwr2a::runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
 use vwr2a::runtime::testing::constrained_sessions;
 use vwr2a::runtime::{FleetReport, Kernel};
 
@@ -76,6 +78,7 @@ fn main() {
     println!("(2-program configuration memory per array)\n");
 
     for (name, report) in [
+        ("cost-aware + prefetch", fleet(CostAware, &kernels)),
         ("residency-aware", fleet(ResidencyAware, &kernels)),
         ("least-loaded", fleet(LeastLoaded, &kernels)),
         ("round-robin", fleet(RoundRobin, &kernels)),
@@ -84,18 +87,22 @@ fn main() {
         println!("  {report}");
         for array in &report.arrays {
             println!(
-                "    array {}: {} job(s), {} wall cycles, {} cold / {} warm, {} evictions",
+                "    array {}: {} job(s), {} wall cycles, {} cold / {} warm, \
+                 {} prefetched ({} hidden), {} evictions",
                 array.array,
                 array.jobs,
                 array.report.wall_cycles,
                 array.report.cold_launches,
                 array.report.warm_launches,
+                array.report.prefetched,
+                array.report.hidden_reloads,
                 array.report.evictions,
             );
         }
     }
 
     println!();
-    println!("Same jobs, same outputs — placement only decides which array's configuration");
-    println!("memory already holds the program, i.e. who launches warm.");
+    println!("Same jobs, same outputs — placement decides which array's configuration");
+    println!("memory already holds the program, and prefetch decides whether anyone");
+    println!("ever waits for the reload.");
 }

@@ -76,3 +76,12 @@ pub use vwr2a_fftaccel as fftaccel;
 pub use vwr2a_kernels as kernels;
 pub use vwr2a_runtime as runtime;
 pub use vwr2a_soc as soc;
+
+// The runtime workhorses, re-exported at the facade root so applications
+// can depend on `vwr2a` alone: the single-array session and kernel trait,
+// the multi-array pool with its placement strategies, and the unified
+// reports.
+pub use vwr2a_runtime::{
+    CostAware, FleetReport, Kernel, LeastLoaded, Placement, PlacementPlan, Pool, PrefetchDirective,
+    ResidencyAware, RoundRobin, RunReport, Session,
+};

@@ -340,7 +340,7 @@ fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
     // strategy must produce outputs bit-identical to serial single-session
     // execution, and the residency-aware scheduler must pay strictly fewer
     // cold reloads than round-robin on the same job list.
-    use vwr2a::runtime::pool::{LeastLoaded, Pool, ResidencyAware, RoundRobin};
+    use vwr2a::runtime::pool::{CostAware, LeastLoaded, Pool, ResidencyAware, RoundRobin};
 
     let n = 256;
     let kernels: Vec<FirKernel> = [0.06, 0.12, 0.2, 0.3]
@@ -397,6 +397,7 @@ fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
         assert_eq!(outputs, serial, "{name} diverged from serial execution");
         fleet
     };
+    let cost_aware = check(make_pool().with_placement(CostAware));
     let residency_aware = check(make_pool().with_placement(ResidencyAware));
     let round_robin = check(make_pool().with_placement(RoundRobin));
     check(make_pool().with_placement(LeastLoaded));
@@ -416,6 +417,57 @@ fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
         assert!(array.report.wall_cycles <= residency_aware.wall_cycles());
     }
     assert!(residency_aware.wall_cycles() < residency_aware.serial_cycles());
+
+    // The PR-5 acceptance on the same workload: cost-aware placement with
+    // speculative prefetch pays no cold reloads at all (every reload was
+    // staged off the critical path) and finishes the fleet strictly
+    // earlier than the prefetch-less residency-aware scheduler.
+    assert_eq!(cost_aware.cold_reloads(), 0, "all reloads prefetched");
+    assert!(cost_aware.prefetched() >= 4, "one stage per program placed");
+    assert!(
+        cost_aware.cold_reloads() < residency_aware.cold_reloads(),
+        "prefetch must beat residency-aware cold reloads"
+    );
+    assert!(
+        cost_aware.wall_cycles() < residency_aware.wall_cycles(),
+        "cost-aware wall {} must beat residency-aware {}",
+        cost_aware.wall_cycles(),
+        residency_aware.wall_cycles()
+    );
+}
+
+#[test]
+fn facade_root_reexports_the_fleet_api() {
+    // Applications can reach the whole scheduling surface from `vwr2a`
+    // alone: session, kernel trait, pool, strategies, plans and reports.
+    use vwr2a::{CostAware, Placement, PlacementPlan, Pool, ResidencyAware, Session};
+
+    let mut session: Session = Session::new();
+    let taps: Vec<i32> = design_lowpass(5, 0.2)
+        .unwrap()
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    let kernel = FirKernel::new(&taps, 128).unwrap();
+    let window = vec![250i32; 128];
+    let (serial, run_report): (Vec<i32>, vwr2a::RunReport) =
+        session.run(&kernel, window.as_slice()).unwrap();
+    assert!(run_report.cycles > 0);
+
+    let mut pool: Pool = Pool::new(2);
+    assert_eq!(pool.placement_name(), CostAware.name());
+    let windows = [window.clone(), window.clone()];
+    let (outputs, fleet): (_, vwr2a::FleetReport) = pool
+        .run_batch([(&kernel, windows.iter().map(Vec::as_slice))])
+        .unwrap();
+    assert_eq!(outputs[0][0], serial);
+    assert_eq!(fleet.cold_reloads(), 0, "the default strategy prefetches");
+    assert_eq!(fleet.prefetched(), 1);
+
+    // The plan vocabulary itself is part of the facade.
+    let plan: PlacementPlan = PlacementPlan::with_prefetch(0);
+    assert_eq!(plan.prefetch, Some(vwr2a::PrefetchDirective { array: 0 }));
+    assert_eq!(ResidencyAware.name(), "residency-aware");
 }
 
 #[test]

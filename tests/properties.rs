@@ -15,7 +15,7 @@ use vwr2a::dsp::complex::Complex;
 use vwr2a::dsp::fft::{fft, ifft};
 use vwr2a::dsp::fir::fir_f64;
 use vwr2a::dsp::fixed::{from_q16, mul_fxp, to_q16};
-use vwr2a::runtime::pool::{LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+use vwr2a::runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
 use vwr2a::runtime::testing::{constrained_sessions, BakedScaleKernel};
 use vwr2a::runtime::{FleetReport, Kernel};
 
@@ -235,10 +235,12 @@ proptest! {
         jobs in 1usize..9,
     ) {
         // Random job mixes under genuine capacity pressure (4 programs,
-        // 2-slot memories): for every placement strategy, the pool's
-        // outputs must equal running every job serially, in submission
-        // order, on one fresh session — placement and pipelining must
-        // never change a single bit.
+        // 2-slot memories): for every placement strategy — including the
+        // prefetching cost-aware default, whose speculative reloads must
+        // stay invisible to the data path — the pool's outputs must equal
+        // running every job serially, in submission order, on one fresh
+        // session.  Placement, pipelining and prefetch must never change a
+        // single bit.
         let kernels = pool_kernels();
         let job_list = pool_jobs(&mix[..jobs]);
         let (serial, _) = Pool::run_serial_reference(
@@ -248,6 +250,16 @@ proptest! {
         )
         .expect("serial reference runs");
 
+        let (cost_aware, cost_fleet) = run_pool(&job_list, CostAware);
+        prop_assert_eq!(&cost_aware, &serial);
+        // The prefetching strategy never pays a cold reload: every reload
+        // was staged ahead of its launch.
+        prop_assert_eq!(cost_fleet.cold_reloads(), 0);
+        prop_assert_eq!(
+            cost_fleet.warm_launches(),
+            cost_fleet.invocations(),
+            "every launch must find its program staged"
+        );
         let (residency, _) = run_pool(&job_list, ResidencyAware);
         prop_assert_eq!(&residency, &serial);
         let (round_robin, _) = run_pool(&job_list, RoundRobin);
@@ -266,9 +278,13 @@ proptest! {
         // per-array wall clock (never below any array, never below the
         // busiest engine), while the fleet busy cycles are the *sum* of
         // the per-array spans — no work may be lost or invented by the
-        // merge, for any placement strategy.
+        // merge, for any placement strategy.  With prefetch (the
+        // cost-aware default) the speculative configuration streaming must
+        // appear in both the ConfigLoad occupancy and the serial phase
+        // sum, or the identity breaks.
         let job_list = pool_jobs(&mix[..jobs]);
         for fleet in [
+            run_pool(&job_list, CostAware).1,
             run_pool(&job_list, ResidencyAware).1,
             run_pool(&job_list, RoundRobin).1,
             run_pool(&job_list, LeastLoaded).1,
