@@ -76,6 +76,7 @@ fn run_sweep(
         .expect("program builds")
         .config_words();
     let mut pool = Pool::with_sessions(constrained_sessions(arrays, 2 * program_words))
+        .expect("constrained sessions share one geometry")
         .with_placement(placement);
     let job_list: Vec<(usize, Vec<Vec<i32>>)> = picks(jobs, mix)
         .into_iter()

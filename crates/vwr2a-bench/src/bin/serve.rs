@@ -1,0 +1,320 @@
+//! Online serving sweep: a multi-tenant Poisson arrival stream served by
+//! the admission queue under every scheduling policy, with and without
+//! work stealing.
+//!
+//! The workload is a seeded Poisson process: a *chatty* batch tenant
+//! submits long multi-window FIR jobs with no deadlines while three
+//! *interactive* tenants submit short jobs that must finish within a
+//! fixed slack of their arrival.  Every job is arrival-stamped, admitted
+//! by the [`Server`], dispatched by the scheduling policy under test and
+//! placed by the pool's cost-aware strategy; the table reports p50/p95/p99
+//! end-to-end latency, deadline misses, steals and the fleet occupancy
+//! for five configurations: FIFO with and without stealing,
+//! earliest-deadline-first, and weighted-fair with and without stealing.
+//!
+//! The point the sweep makes: *who* is dispatched next decides whether a
+//! deadline holds, and *where* decides whether the tail waits.  FIFO lets
+//! the chatty tenant's backlog starve the interactive jobs queued behind
+//! it; weighted fair queueing caps the chatty tenant at its fair share so
+//! interactive jobs keep their deadlines, and the stealing pass re-routes
+//! queued jobs away from drifted-ahead arrays, which is what pulls the
+//! p99 tail in.  Outputs are bit-identical to serial single-session
+//! execution in every configuration — scheduling moves *when and where*,
+//! never *what*.
+//!
+//! Run with `--smoke` for the fast CI configuration and `--seed N` to
+//! re-seed the arrival process.  In every mode the binary *fails fast*
+//! (non-zero exit) if any configuration's outputs diverge from the serial
+//! reference, or if the headline 4-array × 6-kernel cell does not show
+//! weighted-fair + stealing meeting strictly more deadlines *and* a
+//! strictly lower p99 than FIFO without stealing.
+
+use vwr2a_bench::{poisson_arrivals, SplitMix64};
+use vwr2a_core::geometry::Geometry;
+use vwr2a_dsp::fir::design_lowpass;
+use vwr2a_dsp::fixed::Q15;
+use vwr2a_kernels::fir::FirKernel;
+use vwr2a_runtime::pool::Pool;
+use vwr2a_runtime::testing::constrained_sessions;
+use vwr2a_runtime::{
+    EarliestDeadlineFirst, Fifo, Kernel, SchedPolicy, ServeJob, ServeReport, Server, WeightedFair,
+};
+
+const N: usize = 256;
+/// The chatty batch tenant; tenants 1..=3 are interactive.
+const CHATTY: u32 = 0;
+
+fn fir(cutoff: f64) -> FirKernel {
+    let taps: Vec<i32> = design_lowpass(11, cutoff)
+        .expect("valid filter design")
+        .iter()
+        .map(|&v| Q15::from_f64(v).0 as i32)
+        .collect();
+    FirKernel::new(&taps, N).expect("valid kernel")
+}
+
+fn kernels(mix: usize) -> Vec<FirKernel> {
+    (0..mix).map(|k| fir(0.05 + 0.04 * k as f64)).collect()
+}
+
+fn window(i: usize) -> Vec<i32> {
+    (0..N)
+        .map(|s| (5500.0 * ((s + 31 * i) as f64 * 0.117).sin()) as i32)
+        .collect()
+}
+
+/// One synthesised job of the arrival stream (policy-independent, so all
+/// five configurations serve the identical workload).
+struct JobSpec {
+    pick: usize,
+    windows: Vec<Vec<i32>>,
+    tenant: u32,
+    arrival: u64,
+    priority: u8,
+    deadline: Option<u64>,
+}
+
+/// Synthesises the seeded Poisson workload: ~40 % of arrivals belong to
+/// the chatty tenant (long, deadline-free), the rest to the interactive
+/// tenants (short, deadlined at `arrival + slack`).
+fn workload(seed: u64, jobs: usize, mix: usize, mean_gap: f64, slack: u64) -> Vec<JobSpec> {
+    let mut rng = SplitMix64::new(seed);
+    let arrivals = poisson_arrivals(&mut rng, jobs, mean_gap);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(j, arrival)| {
+            let chatty = rng.next_below(5) < 2;
+            let (tenant, windows, priority, deadline) = if chatty {
+                let count = 4 + rng.next_below(4) as usize;
+                (CHATTY, count, 0, None)
+            } else {
+                (1 + rng.next_below(3) as u32, 1, 1, Some(arrival + slack))
+            };
+            JobSpec {
+                pick: rng.next_below(mix as u64) as usize,
+                windows: (0..windows).map(|w| window(j + 13 * w)).collect(),
+                tenant,
+                arrival,
+                priority,
+                deadline,
+            }
+        })
+        .collect()
+}
+
+/// Serves the workload under one policy/stealing configuration and checks
+/// the outputs against the serial reference.
+fn serve_run(
+    arrays: usize,
+    policy: impl SchedPolicy + 'static,
+    stealing: bool,
+    specs: &[JobSpec],
+    kernels: &[FirKernel],
+    serial: &[Vec<Vec<i32>>],
+) -> ServeReport {
+    let program_words = kernels[0]
+        .program(&Geometry::paper())
+        .expect("program builds")
+        .config_words();
+    // Two resident programs per array: the six-program working set fits
+    // the fleet, not a single array, so placement and prefetch matter.
+    let pool = Pool::with_sessions(constrained_sessions(arrays, 2 * program_words))
+        .expect("constrained sessions share one geometry");
+    let mut server = Server::new(pool)
+        .with_policy(policy)
+        .with_stealing(stealing);
+    let (outputs, report) = server
+        .run_batch(specs.iter().map(|s| ServeJob {
+            kernel: &kernels[s.pick],
+            windows: s.windows.iter().map(Vec::as_slice),
+            tenant: s.tenant,
+            arrival_cycle: s.arrival,
+            priority: s.priority,
+            deadline_cycle: s.deadline,
+        }))
+        .expect("serving runs");
+    assert_eq!(
+        &outputs, serial,
+        "served outputs must be bit-identical to the serial reference"
+    );
+    report
+}
+
+/// One sweep cell: the five configurations on the same arrival stream.
+struct Cell {
+    arrays: usize,
+    mix: usize,
+    fifo: ServeReport,
+    fifo_steal: ServeReport,
+    edf_steal: ServeReport,
+    wf: ServeReport,
+    wf_steal: ServeReport,
+}
+
+fn run_cell(arrays: usize, mix: usize, jobs: usize, seed: u64, mean_gap: f64, slack: u64) -> Cell {
+    let kernels = kernels(mix);
+    let specs = workload(seed, jobs, mix, mean_gap, slack);
+    let (serial, _) = Pool::run_serial_reference(
+        specs
+            .iter()
+            .map(|s| (&kernels[s.pick], s.windows.iter().map(Vec::as_slice))),
+    )
+    .expect("serial reference runs");
+    let run = |policy: &str, stealing: bool| match policy {
+        "fifo" => serve_run(arrays, Fifo, stealing, &specs, &kernels, &serial),
+        "edf" => serve_run(
+            arrays,
+            EarliestDeadlineFirst,
+            stealing,
+            &specs,
+            &kernels,
+            &serial,
+        ),
+        _ => serve_run(
+            arrays,
+            WeightedFair::new(),
+            stealing,
+            &specs,
+            &kernels,
+            &serial,
+        ),
+    };
+    Cell {
+        arrays,
+        mix,
+        fifo: run("fifo", false),
+        fifo_steal: run("fifo", true),
+        edf_steal: run("edf", true),
+        wf: run("wf", false),
+        wf_steal: run("wf", true),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(22);
+
+    // The headline cell: 4 arrays x 6 kernels under the seeded Poisson
+    // stream.  Smoke mode runs only this cell (it is what CI gates on);
+    // the full sweep adds smaller fleets for the table.
+    let (jobs, mean_gap, slack) = (32, 200.0, 9_000);
+    let cells: Vec<Cell> = if smoke {
+        vec![run_cell(4, 6, jobs, seed, mean_gap, slack)]
+    } else {
+        vec![
+            run_cell(2, 4, jobs, seed, mean_gap, slack),
+            run_cell(2, 6, jobs, seed, mean_gap, slack),
+            run_cell(4, 6, jobs, seed, mean_gap, slack),
+        ]
+    };
+
+    println!(
+        "Serving sweep: {jobs} Poisson-arrival jobs (seed {seed}, mean gap {mean_gap} cycles), \
+         1 chatty + 3 interactive tenants,"
+    );
+    println!(
+        "interactive deadline = arrival + {slack} cycles, 2-program configuration memories per \
+         array"
+    );
+    println!();
+    println!("  arrays  mix  policy          steal      p50      p95      p99  met/ddl  steals");
+    println!("  ------  ---  --------------  -----  -------  -------  -------  -------  ------");
+    for cell in &cells {
+        for (name, stealing, report) in [
+            ("fifo", false, &cell.fifo),
+            ("fifo", true, &cell.fifo_steal),
+            ("edf", true, &cell.edf_steal),
+            ("weighted-fair", false, &cell.wf),
+            ("weighted-fair", true, &cell.wf_steal),
+        ] {
+            let deadlined = report
+                .latencies
+                .iter()
+                .filter(|l| l.tenant != CHATTY)
+                .count() as u64;
+            println!(
+                "  {:>6}  {:>3}  {:<14}  {:<5}  {:>7}  {:>7}  {:>7}  {:>4}/{:<2}  {:>6}",
+                cell.arrays,
+                cell.mix,
+                name,
+                if stealing { "yes" } else { "no" },
+                report.p50(),
+                report.p95(),
+                report.p99(),
+                deadlined - report.deadline_misses(),
+                deadlined,
+                report.steals,
+            );
+        }
+    }
+
+    println!();
+    println!("Weighted-fair + stealing vs FIFO without stealing:");
+    for cell in &cells {
+        let (fifo, wf) = (&cell.fifo, &cell.wf_steal);
+        let p99_delta = 100.0 * (1.0 - wf.p99() as f64 / fifo.p99().max(1) as f64);
+        println!(
+            "  {} array(s), {}-kernel mix: misses {} -> {}, p99 {} -> {} ({p99_delta:+.1}%), \
+             {} steal(s)",
+            cell.arrays,
+            cell.mix,
+            fifo.deadline_misses(),
+            wf.deadline_misses(),
+            fifo.p99(),
+            wf.p99(),
+            wf.steals,
+        );
+    }
+    println!();
+    println!("Outputs are bit-identical to serial single-session execution in every cell;");
+    println!("the policy decides who runs next, stealing where — never what.");
+
+    // Fail-fast gates: the headline 4x6 cell must show weighted-fair +
+    // stealing strictly ahead of FIFO-without-stealing on both deadline
+    // hits and the p99 tail.  (Output equality is asserted inline above.)
+    let mut failures = Vec::new();
+    for cell in &cells {
+        if cell.arrays == 4 && cell.mix == 6 {
+            if cell.wf_steal.deadline_misses() >= cell.fifo.deadline_misses() {
+                failures.push(format!(
+                    "4x6 cell: weighted-fair+steal misses {} not strictly below fifo {}",
+                    cell.wf_steal.deadline_misses(),
+                    cell.fifo.deadline_misses()
+                ));
+            }
+            if cell.wf_steal.p99() >= cell.fifo.p99() {
+                failures.push(format!(
+                    "4x6 cell: weighted-fair+steal p99 {} not strictly below fifo {}",
+                    cell.wf_steal.p99(),
+                    cell.fifo.p99()
+                ));
+            }
+        }
+        // Everywhere: stealing must not meaningfully hurt the FIFO tail.
+        // Steal decisions use the online cost estimator, so a re-route can
+        // land a hair off the oracle choice — allow 2 % of noise, no more.
+        if cell.fifo_steal.p99() as f64 > 1.02 * cell.fifo.p99() as f64 {
+            failures.push(format!(
+                "{}x{} cell: stealing worsened fifo p99 {} -> {}",
+                cell.arrays,
+                cell.mix,
+                cell.fifo.p99(),
+                cell.fifo_steal.p99()
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!();
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,24 @@ pub enum RuntimeError {
         /// Number of arrays in the pool.
         arrays: usize,
     },
+    /// A [`crate::serve::SchedPolicy`] returned a queue slot outside the
+    /// admission queue, aborting the serve run (the server itself stays
+    /// valid and reusable).
+    Sched {
+        /// The offending queue slot the policy returned.
+        index: usize,
+        /// Number of jobs queued at the time.
+        queued: usize,
+    },
+    /// [`crate::pool::Pool::with_sessions`] was handed sessions whose
+    /// array geometries differ.  A pool is a homogeneous fleet: any job
+    /// must be able to run on any array, and one geometry must price every
+    /// program's reload.
+    MixedGeometry {
+        /// Index of the first session whose geometry differs from
+        /// session 0's.
+        array: usize,
+    },
 }
 
 impl RuntimeError {
@@ -66,6 +84,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Placement { index, arrays } => write!(
                 f,
                 "placement strategy chose array {index} of a {arrays}-array pool"
+            ),
+            RuntimeError::Sched { index, queued } => write!(
+                f,
+                "scheduling policy chose queue slot {index} of {queued} queued job(s)"
+            ),
+            RuntimeError::MixedGeometry { array } => write!(
+                f,
+                "a pool is a homogeneous fleet: session {array}'s array geometry \
+                 differs from session 0's"
             ),
         }
     }
@@ -119,6 +146,15 @@ mod tests {
             arrays: 2,
         };
         assert!(e.to_string().contains("array 7"));
+        assert!(e.source().is_none());
+        let e = RuntimeError::Sched {
+            index: 9,
+            queued: 4,
+        };
+        assert!(e.to_string().contains("queue slot 9"));
+        assert!(e.source().is_none());
+        let e = RuntimeError::MixedGeometry { array: 1 };
+        assert!(e.to_string().contains("session 1"));
         assert!(e.source().is_none());
     }
 }

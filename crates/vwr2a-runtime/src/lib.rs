@@ -47,6 +47,17 @@
 //!   serial execution and merge the per-array schedules into one
 //!   [`FleetReport`] (with cold-reload, prefetch and hidden-reload
 //!   counters; see [`pool`]).
+//! * **Online serving** — a [`Server`] wraps a [`Pool`] behind a
+//!   multi-tenant admission queue consuming an *arrival-stamped* job
+//!   stream: each [`ServeJob`] carries a [`TenantId`], arrival cycle,
+//!   priority and optional deadline; dispatch order is a pluggable
+//!   [`SchedPolicy`] ([`Fifo`], [`EarliestDeadlineFirst`], or
+//!   [`WeightedFair`] deficit-round-robin across tenants), a
+//!   work-stealing pass re-routes queued jobs away from drifted-ahead
+//!   arrays, and the [`ServeReport`] adds per-job [`JobLatency`],
+//!   p50/p95/p99 percentiles, per-tenant totals ([`TenantStats`]) and
+//!   deadline/steal counts on top of the fleet accounting (see
+//!   [`serve`]).
 //! * [`RunReport`] — the single accounting type for all kernels: wall and
 //!   serial cycles, per-engine occupancy, cold/warm launch counts,
 //!   evictions, [`vwr2a_core::ActivityCounters`] and derived time/energy —
@@ -69,6 +80,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod pool;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod testing;
 
@@ -79,7 +91,10 @@ pub use pool::{
     ArrayView, CostAware, JobView, LeastLoaded, Placement, PlacementPlan, Pool, PrefetchDirective,
     ResidencyAware, RoundRobin,
 };
-pub use report::{ArrayReport, FleetReport, RunReport};
+pub use report::{ArrayReport, FleetReport, JobLatency, RunReport, ServeReport, TenantStats};
+pub use serve::{
+    EarliestDeadlineFirst, Fifo, QueuedJob, SchedPolicy, ServeJob, Server, TenantId, WeightedFair,
+};
 pub use session::{
     Kernel, LaunchCtx, Prefetch, Resources, Session, SRF_READ_CYCLES, SRF_WRITE_CYCLES,
 };

@@ -153,7 +153,16 @@ impl StreamSchedule {
     /// the lane, and every later [`StreamSchedule::push`] queues its own
     /// config span behind the prefetch.
     pub fn prefetch(&mut self, config_cycles: u64) -> Span {
-        self.timeline.schedule(Engine::ConfigLoad, 0, config_cycles)
+        self.prefetch_at(config_cycles, 0)
+    }
+
+    /// As [`StreamSchedule::prefetch`], but the staged stream starts no
+    /// earlier than `not_before` — the online serving layer stages a job's
+    /// reload when the job is *dispatched*, so the speculative streaming
+    /// must not be back-dated to before the dispatch decision existed.
+    pub fn prefetch_at(&mut self, config_cycles: u64, not_before: u64) -> Span {
+        self.timeline
+            .schedule(Engine::ConfigLoad, not_before, config_cycles)
     }
 
     /// Services one completion interrupt on the interrupt engine: the
@@ -189,10 +198,26 @@ impl StreamSchedule {
     /// spans placed for it (its drain is scheduled behind the *next*
     /// window's stage).
     pub fn push(&mut self, phases: WindowPhases) -> WindowSpans {
+        self.push_at(phases, 0)
+    }
+
+    /// As [`StreamSchedule::push`], but the window's staging starts no
+    /// earlier than `not_before`.
+    ///
+    /// This is how an *arrival-stamped* job lands on a schedule: a window
+    /// cannot stage before its job exists, so the serving layer clamps the
+    /// first phase to the job's arrival (the rest of the chain follows
+    /// from it).  On a backlogged schedule the clamp is usually moot — the
+    /// per-engine lanes are monotonic, so the stage queues behind earlier
+    /// work anyway — but on an idle array it keeps the timeline honest:
+    /// the gap until the arrival shows up as idle time, not as work
+    /// magically done in the past.
+    pub fn push_at(&mut self, phases: WindowPhases, not_before: u64) -> WindowSpans {
         let slot = self.windows % 2;
         // Stage into the half-buffer whose previous occupant (window w-2)
-        // must have been consumed by its compute.
-        let input_free = self.compute_end[slot];
+        // must have been consumed by its compute — and never before the
+        // window exists.
+        let input_free = self.compute_end[slot].max(not_before);
         let stage = self
             .timeline
             .schedule(Engine::Dma, input_free, phases.stage);
@@ -408,6 +433,47 @@ mod tests {
         assert!(t.wall_cycles() < cold_t.wall_cycles());
         // Same total work either way.
         assert_eq!(t.serial_cycles(), cold_t.serial_cycles());
+    }
+
+    #[test]
+    fn push_at_delays_an_idle_schedule_to_the_arrival() {
+        // An idle array must not stage a window before the window's job
+        // arrived: the gap is idle time, not back-dated work.
+        let mut s = StreamSchedule::new();
+        let w = s.push_at(phases(100, 0, 400, 50), 1_000);
+        assert_eq!(w.stage.start, 1_000);
+        assert_eq!(w.compute.start, 1_100);
+        let t = s.finish();
+        // The wall clock includes the arrival gap; the busy cycles do not.
+        assert!(t.wall_cycles() >= 1_500);
+        assert_eq!(t.busy_cycles(Engine::Compute), 400);
+    }
+
+    #[test]
+    fn push_at_is_a_no_op_behind_a_backlog() {
+        // With a backlog past the arrival, the clamped push places exactly
+        // what an unclamped push would: the lanes are already monotonic.
+        let p = phases(100, 0, 800, 100);
+        let mut clamped = StreamSchedule::new();
+        let mut plain = StreamSchedule::new();
+        plain.push(p);
+        clamped.push(p);
+        let a = plain.push(p);
+        let b = clamped.push_at(p, 50);
+        assert_eq!(a, b);
+        plain.finish();
+        clamped.finish();
+    }
+
+    #[test]
+    fn prefetch_at_respects_the_dispatch_cycle() {
+        let mut s = StreamSchedule::new();
+        let span = s.prefetch_at(300, 2_000);
+        assert_eq!((span.start, span.end), (2_000, 2_300));
+        // A later prefetch queues behind it on the ConfigLoad lane.
+        let next = s.prefetch_at(100, 0);
+        assert_eq!(next.start, 2_300);
+        s.finish();
     }
 
     #[test]

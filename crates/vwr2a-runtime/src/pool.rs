@@ -395,6 +395,7 @@ impl Pool {
     /// Panics if `arrays` is zero.
     pub fn new(arrays: usize) -> Self {
         Self::with_sessions((0..arrays).map(|_| Session::new()).collect())
+            .expect("default sessions share one geometry")
     }
 
     /// Creates a pool over custom sessions (constrained geometries, custom
@@ -405,26 +406,32 @@ impl Pool {
     /// every program's reload ([`JobView::config_words`]).  Sessions may
     /// still differ in eviction policy or DMA timing.
     ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::MixedGeometry`] if the sessions' array
+    /// geometries differ (naming the first mismatched session), so a
+    /// misconfigured fleet fails as a recoverable error instead of a
+    /// panic.
+    ///
     /// # Panics
     ///
-    /// Panics if `sessions` is empty, or if the sessions' array geometries
-    /// differ.
-    pub fn with_sessions(sessions: Vec<Session>) -> Self {
+    /// Panics if `sessions` is empty.
+    pub fn with_sessions(sessions: Vec<Session>) -> Result<Self> {
         assert!(!sessions.is_empty(), "a pool needs at least one array");
         let geometry = *sessions[0].accelerator().geometry();
-        assert!(
-            sessions
-                .iter()
-                .all(|s| *s.accelerator().geometry() == geometry),
-            "a pool is a homogeneous fleet: every session must share one array geometry"
-        );
+        if let Some(array) = sessions
+            .iter()
+            .position(|s| *s.accelerator().geometry() != geometry)
+        {
+            return Err(RuntimeError::MixedGeometry { array });
+        }
         let stats = FleetReport::new(sessions.len());
-        Self {
+        Ok(Self {
             arrays: sessions,
             placement: Box::new(CostAware),
             stats,
             footprints: HashMap::new(),
-        }
+        })
     }
 
     /// Replaces the placement strategy, builder-style.
@@ -456,6 +463,25 @@ impl Pool {
     /// Panics if `index` is out of range.
     pub fn array(&self, index: usize) -> &Session {
         &self.arrays[index]
+    }
+
+    /// Mutable session access for the serving layer's per-window executor
+    /// (which replays phases on its own schedules, like
+    /// [`Pool::fan_out`]).
+    pub(crate) fn session_mut(&mut self, index: usize) -> &mut Session {
+        &mut self.arrays[index]
+    }
+
+    /// The active placement strategy — the serving layer re-consults it on
+    /// dispatch and on every work-stealing re-route.
+    pub(crate) fn strategy(&self) -> &dyn Placement {
+        &*self.placement
+    }
+
+    /// Folds one externally-built wave (the serving layer's) into the
+    /// pool's accumulated [`Pool::stats`].
+    pub(crate) fn absorb_stats(&mut self, wave: &FleetReport) {
+        self.stats.absorb(wave);
     }
 
     /// Accumulated fleet accounting over every wave run so far (per-array
@@ -537,7 +563,7 @@ impl Pool {
     /// per cache key against the fleet's shared geometry (enforced by
     /// [`Pool::with_sessions`], so one geometry prices the reload on every
     /// array) and cached across jobs and waves.
-    fn footprint<K: Kernel>(&mut self, kernel: &K, key: &str) -> Result<usize> {
+    pub(crate) fn footprint<K: Kernel>(&mut self, kernel: &K, key: &str) -> Result<usize> {
         if let Some(&words) = self.footprints.get(key) {
             return Ok(words);
         }
@@ -545,6 +571,43 @@ impl Pool {
         let words = kernel.config_words(&geometry)?;
         self.footprints.insert(key.to_string(), words);
         Ok(words)
+    }
+
+    /// Executes one [`PrefetchDirective`]: stages `kernel`'s program on
+    /// array `target` no earlier than `not_before` (cycle 0 for a batch
+    /// fan-out, the dispatch cycle for the serving layer) and folds the
+    /// streamed cycles into `wave`.
+    ///
+    /// Speculative staging is best-effort: a prefetch the target cannot
+    /// satisfy (its configuration memory packed with pinned programs, say)
+    /// is skipped, not fatal — the job's own launch then pays the reload,
+    /// and a genuine error resurfaces there, on the authoritative path.
+    pub(crate) fn stage_prefetch<K: Kernel>(
+        &mut self,
+        target: usize,
+        kernel: &K,
+        not_before: u64,
+        schedules: &mut [StreamSchedule],
+        wave: &mut FleetReport,
+    ) {
+        // The backlog *before* the prefetch decides whether the reload is
+        // fully hidden (the ConfigLoad lane leaves the compute lane
+        // untouched either way).
+        let backlog = schedules[target].free_at(Engine::Compute);
+        if let Ok(Some(staged)) = self.arrays[target].prefetch(kernel) {
+            let span = schedules[target].prefetch_at(staged.config_cycles, not_before);
+            let report = &mut wave.arrays[target].report;
+            report.prefetched += 1;
+            if span.end <= backlog {
+                report.hidden_reloads += 1;
+            }
+            // The streamed words are real engine work: fold them into the
+            // serial phase sum and the activity counters so work
+            // conservation and energy accounting hold.
+            report.cycles += staged.config_cycles;
+            report.evictions += staged.evictions;
+            report.counters += staged.counters;
+        }
     }
 
     /// The job loop of [`Pool::run_stream`]: plans, prefetches and runs
@@ -604,29 +667,7 @@ impl Pool {
                 if target >= arrays {
                     return Err(out_of_range(target));
                 }
-                // The backlog *before* the prefetch decides whether the
-                // reload is fully hidden (the ConfigLoad lane leaves the
-                // compute lane untouched either way).
-                let backlog = schedules[target].free_at(Engine::Compute);
-                // Speculative staging is best-effort: a prefetch the
-                // target cannot satisfy (its configuration memory packed
-                // with pinned programs, say) is skipped, not fatal — the
-                // job's own launch then pays the reload, and a genuine
-                // error resurfaces there, on the authoritative path.
-                if let Ok(Some(staged)) = self.arrays[target].prefetch(kernel) {
-                    let span = schedules[target].prefetch(staged.config_cycles);
-                    let report = &mut wave.arrays[target].report;
-                    report.prefetched += 1;
-                    if span.end <= backlog {
-                        report.hidden_reloads += 1;
-                    }
-                    // The streamed words are real engine work: fold them
-                    // into the serial phase sum and the activity counters
-                    // so work conservation and energy accounting hold.
-                    report.cycles += staged.config_cycles;
-                    report.evictions += staged.evictions;
-                    report.counters += staged.counters;
-                }
+                self.stage_prefetch(target, kernel, 0, schedules, wave);
             }
             wave.jobs += 1;
             wave.arrays[chosen].jobs += 1;
@@ -720,6 +761,7 @@ mod tests {
         let kernels: Vec<BakedScaleKernel> =
             factors.iter().map(|&f| BakedScaleKernel::new(f)).collect();
         let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * baked_words()))
+            .unwrap()
             .with_placement(placement);
         let jobs = picked_jobs(&kernels, picks);
         let (outputs, fleet) = pool
@@ -870,7 +912,8 @@ mod tests {
             .map(|k| PaddedKernel::new(&format!("p{k}")))
             .collect();
         let run = |placement: Box<dyn Placement>| {
-            let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * PaddedKernel::words()));
+            let mut pool =
+                Pool::with_sessions(constrained_sessions(2, 2 * PaddedKernel::words())).unwrap();
             pool.placement = placement;
             let (_, fleet) = pool
                 .run_batch(
@@ -1167,7 +1210,7 @@ mod tests {
             .iter()
             .map(|&f| BakedScaleKernel::new(f))
             .collect();
-        let mut pool = Pool::with_sessions(constrained_sessions(2, baked_words() - 1));
+        let mut pool = Pool::with_sessions(constrained_sessions(2, baked_words() - 1)).unwrap();
         let ws = windows(1, 0);
         let err = pool
             .run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
@@ -1222,7 +1265,7 @@ mod tests {
             .iter()
             .map(|&f| BakedScaleKernel::new(f))
             .collect();
-        let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * baked_words()));
+        let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * baked_words())).unwrap();
         let ws = windows(2, 0);
 
         // Wave 1: two jobs over two programs.
@@ -1314,5 +1357,20 @@ mod tests {
     #[should_panic(expected = "at least one array")]
     fn zero_array_pools_are_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn mixed_geometry_fleets_fail_as_a_typed_error() {
+        // Sessions whose geometries differ (here: configuration-memory
+        // capacity) cannot form a pool — one geometry must price every
+        // reload — and the error names the first mismatched session.
+        let mut sessions = constrained_sessions(2, 2 * baked_words());
+        sessions.extend(constrained_sessions(1, baked_words()));
+        let err = Pool::with_sessions(sessions).unwrap_err();
+        assert_eq!(err, RuntimeError::MixedGeometry { array: 2 });
+        assert!(err.to_string().contains("session 2"));
+        // A homogeneous fleet of the same constrained sessions is fine.
+        let pool = Pool::with_sessions(constrained_sessions(3, baked_words())).unwrap();
+        assert_eq!(pool.arrays(), 3);
     }
 }

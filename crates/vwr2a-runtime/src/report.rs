@@ -307,6 +307,135 @@ impl std::fmt::Display for FleetReport {
     }
 }
 
+/// Per-job latency decomposition recorded by the serving layer
+/// ([`crate::serve::Server`]) — the operator-facing view of one job's trip
+/// through the admission queue and an array's pipelined schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLatency {
+    /// Submission index of the job in the arrival stream.
+    pub job: usize,
+    /// Tenant that submitted the job.
+    pub tenant: crate::serve::TenantId,
+    /// Cycles from the job's arrival to its first window starting to
+    /// compute — admission queueing plus any backlog and reload ahead of
+    /// it on the chosen array.
+    pub queue_cycles: u64,
+    /// Cycles from the first window's compute start to the last window's
+    /// completion interrupt.
+    pub service_cycles: u64,
+    /// End-to-end latency: `queue_cycles + service_cycles`.
+    pub total: u64,
+    /// `true` if the job completed by its deadline — vacuously `true` for
+    /// jobs submitted without one.
+    pub deadline_met: bool,
+}
+
+/// Per-tenant aggregate derived from a [`ServeReport`]'s job latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: crate::serve::TenantId,
+    /// Jobs the tenant completed.
+    pub jobs: u64,
+    /// Summed end-to-end latency over the tenant's jobs.
+    pub total_cycles: u64,
+    /// The tenant's jobs that missed their deadline.
+    pub deadline_misses: u64,
+}
+
+/// What one [`crate::serve::Server`] run reports: the underlying fleet
+/// accounting plus the serving layer's operator numbers — per-job
+/// latencies (in submission order), tail percentiles, deadline misses and
+/// the work-stealing count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The run's fleet-level accounting (per-array wall/busy cycles,
+    /// reload and prefetch counters), exactly as a [`FleetReport`] wave.
+    pub fleet: FleetReport,
+    /// Per-job latency decompositions, ordered by submission index.
+    pub latencies: Vec<JobLatency>,
+    /// Queued jobs the stealing pass re-routed away from a drifted-ahead
+    /// array before they materialised.
+    pub steals: u64,
+}
+
+impl ServeReport {
+    /// The `p`-th percentile of end-to-end job latency, by the
+    /// *nearest-rank* definition: the smallest recorded total such that at
+    /// least `p` percent of jobs finished within it.  `0` when no job ran.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut totals: Vec<u64> = self.latencies.iter().map(|l| l.total).collect();
+        totals.sort_unstable();
+        let rank = ((p / 100.0) * totals.len() as f64).ceil() as usize;
+        totals[rank.clamp(1, totals.len()) - 1]
+    }
+
+    /// Median end-to-end latency ([`ServeReport::percentile`] at 50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile end-to-end latency.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile end-to-end latency — the tail number an operator
+    /// watches under load.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Jobs that blew their deadline (jobs without one never miss).
+    pub fn deadline_misses(&self) -> u64 {
+        self.latencies.iter().filter(|l| !l.deadline_met).count() as u64
+    }
+
+    /// Per-tenant aggregates, sorted by tenant id (deterministic table
+    /// order for benches and logs).
+    pub fn tenants(&self) -> Vec<TenantStats> {
+        let mut stats: Vec<TenantStats> = Vec::new();
+        for latency in &self.latencies {
+            match stats.iter_mut().find(|s| s.tenant == latency.tenant) {
+                Some(s) => {
+                    s.jobs += 1;
+                    s.total_cycles += latency.total;
+                    s.deadline_misses += u64::from(!latency.deadline_met);
+                }
+                None => stats.push(TenantStats {
+                    tenant: latency.tenant,
+                    jobs: 1,
+                    total_cycles: latency.total,
+                    deadline_misses: u64::from(!latency.deadline_met),
+                }),
+            }
+        }
+        stats.sort_unstable_by_key(|s| s.tenant);
+        stats
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serve: {} job(s) from {} tenant(s), p50/p95/p99 latency {}/{}/{} cycles, \
+             {} deadline miss(es), {} steal(s); {}",
+            self.latencies.len(),
+            self.tenants().len(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.deadline_misses(),
+            self.steals,
+            self.fleet
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,5 +582,83 @@ mod tests {
         report.counters.cycles = 10_000;
         report.counters.rc_alu_ops = 5_000;
         assert!(report.energy().total_uj() > 0.0);
+    }
+
+    fn latency(job: usize, total: u64, deadline_met: bool) -> JobLatency {
+        JobLatency {
+            job,
+            tenant: (job % 2) as crate::serve::TenantId,
+            queue_cycles: total / 2,
+            service_cycles: total - total / 2,
+            total,
+            deadline_met,
+        }
+    }
+
+    fn serve_report(totals: &[u64]) -> ServeReport {
+        ServeReport {
+            fleet: FleetReport::new(1),
+            latencies: totals
+                .iter()
+                .enumerate()
+                .map(|(job, &t)| latency(job, t, true))
+                .collect(),
+            steals: 0,
+        }
+    }
+
+    #[test]
+    fn percentiles_of_an_empty_run_are_zero() {
+        let report = serve_report(&[]);
+        assert_eq!(report.p50(), 0);
+        assert_eq!(report.p95(), 0);
+        assert_eq!(report.p99(), 0);
+        assert_eq!(report.deadline_misses(), 0);
+        assert!(report.tenants().is_empty());
+    }
+
+    #[test]
+    fn percentiles_of_a_single_job_are_its_latency() {
+        let report = serve_report(&[420]);
+        assert_eq!(report.p50(), 420);
+        assert_eq!(report.p95(), 420);
+        assert_eq!(report.p99(), 420);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_and_survive_ties() {
+        // 10 samples: nearest-rank p50 is the 5th smallest, p95/p99 the
+        // 10th.  Ties collapse to the same value without interpolation —
+        // every percentile is a latency some job actually saw.
+        let report = serve_report(&[100, 100, 100, 200, 200, 300, 300, 300, 300, 900]);
+        assert_eq!(report.p50(), 200);
+        assert_eq!(report.p95(), 900);
+        assert_eq!(report.p99(), 900);
+        assert_eq!(report.percentile(0.0), 100, "p0 clamps to the minimum");
+        assert_eq!(report.percentile(100.0), 900);
+        // All-ties degenerate case.
+        let flat = serve_report(&[7, 7, 7, 7]);
+        assert_eq!(flat.p50(), 7);
+        assert_eq!(flat.p99(), 7);
+    }
+
+    #[test]
+    fn deadline_misses_and_tenant_totals_add_up() {
+        let mut report = serve_report(&[100, 200, 300, 400]);
+        report.latencies[1].deadline_met = false;
+        report.latencies[3].deadline_met = false;
+        assert_eq!(report.deadline_misses(), 2);
+        let tenants = report.tenants();
+        // Jobs alternate tenants 0 and 1 (see `latency`).
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].tenant, 0);
+        assert_eq!(tenants[0].jobs, 2);
+        assert_eq!(tenants[0].total_cycles, 400);
+        assert_eq!(tenants[0].deadline_misses, 0);
+        assert_eq!(tenants[1].tenant, 1);
+        assert_eq!(tenants[1].jobs, 2);
+        assert_eq!(tenants[1].total_cycles, 600);
+        assert_eq!(tenants[1].deadline_misses, 2);
+        assert!(report.to_string().contains("2 deadline miss(es)"));
     }
 }

@@ -1,0 +1,1329 @@
+//! Online serving layer: a multi-tenant admission queue in front of the
+//! [`Pool`], with deadline-aware dispatch, work stealing and latency
+//! percentiles.
+//!
+//! # The serving model
+//!
+//! A [`Pool`] fan-out executes a *fixed job list* handed over up front.
+//! Real traffic is an **arrival stream**: jobs land over time from many
+//! tenants, each stamped with an arrival cycle, a priority and an
+//! optional deadline — and an operator watches p99 latency, not batch
+//! wall cycles.  A [`Server`] wraps a pool and consumes exactly that
+//! stream:
+//!
+//! 1. **Admission** — a [`ServeJob`] enters the admission queue at its
+//!    [`ServeJob::arrival_cycle`]; nothing about it is scheduled before
+//!    then (the per-array schedules clamp every phase to the dispatch
+//!    cycle, so an idle array shows the wait as idle time, not work done
+//!    in the past).
+//! 2. **Dispatch** — whenever an array has room in its (bounded) run
+//!    queue, the pluggable [`SchedPolicy`] picks which admitted job goes
+//!    next: [`Fifo`] in arrival order, [`EarliestDeadlineFirst`] by
+//!    deadline, or [`WeightedFair`] deficit-round-robin across tenants so
+//!    one chatty tenant cannot starve the rest.  The pool's
+//!    [`Placement`](crate::pool::Placement) strategy then chooses the array — over *projected*
+//!    backlogs (schedule horizon plus the estimated cost of jobs already
+//!    queued there) — and any [`PlacementPlan`] prefetch directive stages
+//!    the job's reload speculatively from the dispatch cycle on.
+//! 3. **Stealing** — placement decisions go stale: backlog estimates are
+//!    learned online, so an array can drift ahead of the fleet with jobs
+//!    still queued behind it.  The stealing pass re-routes queued (not
+//!    yet started) jobs from the most backlogged array to the earliest
+//!    free one, re-consulting [`Placement`](crate::pool::Placement) so cost-aware prefetch
+//!    directives fire on the new target.  Every move must strictly
+//!    improve the pair's projected finish.
+//! 4. **Reporting** — each completed job yields a
+//!    [`JobLatency`] split into queueing and
+//!    service cycles plus a deadline verdict; the run's
+//!    [`ServeReport`] derives p50/p95/p99
+//!    percentiles, per-tenant totals, the deadline-miss count and the
+//!    steal count on top of the usual fleet accounting.
+//!
+//! Outputs are **bit-identical** to running every job serially in
+//! submission order ([`Pool::run_serial_reference`]) for every policy,
+//! with or without stealing — scheduling only moves *where and when* the
+//! already-verified work executes.
+//!
+//! # Example
+//!
+//! ```
+//! use vwr2a_runtime::pool::Pool;
+//! use vwr2a_runtime::serve::{ServeJob, Server, WeightedFair};
+//! use vwr2a_runtime::testing::BakedScaleKernel;
+//!
+//! # fn main() -> Result<(), vwr2a_runtime::RuntimeError> {
+//! let mut server = Server::new(Pool::new(2)).with_policy(WeightedFair::new());
+//! let double = BakedScaleKernel::new(2);
+//! let windows: Vec<Vec<i32>> = (0..3).map(|w| vec![w; 32]).collect();
+//!
+//! // Four jobs from two tenants, arriving 500 cycles apart; the last one
+//! // carries a deadline.
+//! let jobs = (0..4u64).map(|j| {
+//!     let job = ServeJob::new(
+//!         &double,
+//!         windows.iter().map(Vec::as_slice),
+//!         (j % 2) as u32,
+//!         j * 500,
+//!     );
+//!     if j == 3 {
+//!         job.with_deadline(60_000)
+//!     } else {
+//!         job
+//!     }
+//! });
+//! let (outputs, report) = server.run_batch(jobs)?;
+//! assert_eq!(outputs.len(), 4);
+//! assert_eq!(report.deadline_misses(), 0);
+//! assert!(report.p99() >= report.p50());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::borrow::Borrow;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use vwr2a_core::timeline::Engine;
+
+use crate::error::{Result, RuntimeError};
+use crate::pipeline::StreamSchedule;
+use crate::pool::{ArrayView, JobView, PlacementPlan, Pool};
+use crate::report::{FleetReport, JobLatency, ServeReport};
+use crate::session::Kernel;
+
+/// Identifies the tenant a [`ServeJob`] belongs to.  Tenants are the unit
+/// of fairness for [`WeightedFair`] scheduling and of the per-tenant
+/// aggregates in a [`ServeReport`].
+pub type TenantId = u32;
+
+/// One arrival-stamped job of a serving stream: a kernel, its window
+/// stream, and the scheduling metadata the admission queue orders by.
+#[derive(Debug, Clone)]
+pub struct ServeJob<K, W> {
+    /// The kernel to run (for [`Server::run_stream`]: a `&K` reference,
+    /// mirroring the pool's job tuples).
+    pub kernel: K,
+    /// The job's window stream, consumed lazily at execution time.
+    pub windows: W,
+    /// Tenant that submitted the job.
+    pub tenant: TenantId,
+    /// Cycle at which the job enters the admission queue.  Nothing about
+    /// the job is scheduled before this cycle.
+    pub arrival_cycle: u64,
+    /// Scheduling priority (higher is more urgent; `0` by default).
+    /// [`EarliestDeadlineFirst`] and [`WeightedFair`] use it to order
+    /// jobs that tie on their primary key; [`Fifo`] ignores it.
+    pub priority: u8,
+    /// Optional completion deadline.  A job finishing after this cycle
+    /// counts as a deadline miss; jobs without one never miss.
+    pub deadline_cycle: Option<u64>,
+}
+
+impl<K, W> ServeJob<K, W> {
+    /// A default-priority job with no deadline.
+    pub fn new(kernel: K, windows: W, tenant: TenantId, arrival_cycle: u64) -> Self {
+        Self {
+            kernel,
+            windows,
+            tenant,
+            arrival_cycle,
+            priority: 0,
+            deadline_cycle: None,
+        }
+    }
+
+    /// Sets the scheduling priority, builder-style.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the completion deadline, builder-style.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_cycle: u64) -> Self {
+        self.deadline_cycle = Some(deadline_cycle);
+        self
+    }
+}
+
+/// What a [`SchedPolicy`] sees about one admitted job when asked to pick
+/// the next dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob<'a> {
+    /// Submission index of the job in the arrival stream.
+    pub seq: usize,
+    /// Tenant that submitted the job.
+    pub tenant: TenantId,
+    /// The job's arrival cycle.
+    pub arrival_cycle: u64,
+    /// The job's priority (higher is more urgent).
+    pub priority: u8,
+    /// The job's deadline, if any.
+    pub deadline_cycle: Option<u64>,
+    /// Lower-bound size hint of the job's window stream (exact for
+    /// slice- and `Vec`-backed streams) — the cost proxy
+    /// [`WeightedFair`]'s deficit counters charge against.
+    pub windows: usize,
+    /// The job kernel's [`Kernel::cache_key`].
+    pub cache_key: &'a str,
+}
+
+/// Orders the admission queue: picks which admitted job is dispatched
+/// next.
+///
+/// The policy is consulted once per dispatch with the current cycle and
+/// the full admission queue (never empty), and returns the index of the
+/// chosen job in that slice.  An out-of-range index aborts the run with
+/// [`RuntimeError::Sched`] (the server stays valid and reusable).
+/// Policies may keep state across calls (deficit counters, aging) but
+/// must be deterministic so serving experiments are reproducible.
+pub trait SchedPolicy: fmt::Debug + Send {
+    /// Short policy name used in reports and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Returns the queue index of the job to dispatch next.
+    ///
+    /// `queue` is never empty; `now` is the current cycle (for policies
+    /// that age or expire entries — the built-in three ignore it).
+    fn select(&mut self, now: u64, queue: &[QueuedJob<'_>]) -> usize;
+}
+
+/// First-come, first-served: dispatch in arrival order (ties on the
+/// submission index).  Ignores priorities and deadlines — the baseline
+/// the serve bench compares against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fifo;
+
+impl SchedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(&mut self, _now: u64, queue: &[QueuedJob<'_>]) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (q.arrival_cycle, q.seq))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Deadline-aware dispatch: the job with the earliest deadline goes
+/// first; jobs without a deadline queue behind every deadlined one.
+/// Ties break on priority (higher first), then arrival, then submission
+/// index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarliestDeadlineFirst;
+
+impl SchedPolicy for EarliestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn select(&mut self, _now: u64, queue: &[QueuedJob<'_>]) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| {
+                (
+                    q.deadline_cycle.unwrap_or(u64::MAX),
+                    std::cmp::Reverse(q.priority),
+                    q.arrival_cycle,
+                    q.seq,
+                )
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Deficit-round-robin fairness across tenants: each tenant's queue is
+/// served in proportion to its weight, so one chatty tenant cannot
+/// starve the rest.
+///
+/// Every time the round-robin cursor visits a tenant, the tenant's
+/// *deficit* counter grows by `quantum × weight`; the tenant's head job
+/// (highest priority, then earliest arrival) dispatches once the deficit
+/// covers its cost — the job's window count, so long jobs drain
+/// proportionally more of their tenant's budget than short ones.  A
+/// tenant that keeps the cursor (its deficit still covers its next head
+/// job) is served without new quantum, and deficits of tenants with
+/// nothing queued are dropped, so credit cannot be hoarded while idle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeightedFair {
+    quantum: u64,
+    weights: HashMap<TenantId, u64>,
+    deficits: HashMap<TenantId, u64>,
+    current: Option<TenantId>,
+}
+
+impl WeightedFair {
+    /// Equal-weight deficit round-robin with a quantum of 1.
+    pub fn new() -> Self {
+        Self {
+            quantum: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets a tenant's weight (default 1), builder-style.  A tenant of
+    /// weight *w* accrues *w×* the quantum per round-robin visit, i.e.
+    /// *w×* the service share of a weight-1 tenant under saturation.
+    /// Zero-weight tenants are clamped to 1 (every tenant makes
+    /// progress — this is fairness, not starvation).
+    #[must_use]
+    pub fn with_weight(mut self, tenant: TenantId, weight: u64) -> Self {
+        self.weights.insert(tenant, weight.max(1));
+        self
+    }
+
+    /// Sets the per-visit quantum (default 1), builder-style.  Larger
+    /// quanta let a tenant burst longer before the cursor moves on.
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    fn weight(&self, tenant: TenantId) -> u64 {
+        self.weights.get(&tenant).copied().unwrap_or(1)
+    }
+
+    /// Index of `tenant`'s head job: highest priority, then earliest
+    /// arrival, then submission order.
+    fn head(queue: &[QueuedJob<'_>], tenant: TenantId) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.tenant == tenant)
+            .min_by_key(|(_, q)| (std::cmp::Reverse(q.priority), q.arrival_cycle, q.seq))
+            .map(|(i, _)| i)
+            .expect("tenant has a queued job")
+    }
+
+    /// A job's cost in deficit units: its window count, floored at 1 so
+    /// even an opaque (hint-less) stream drains some budget.
+    fn cost(job: &QueuedJob<'_>) -> u64 {
+        (job.windows as u64).max(1)
+    }
+}
+
+impl SchedPolicy for WeightedFair {
+    fn name(&self) -> &'static str {
+        "weighted-fair"
+    }
+
+    fn select(&mut self, _now: u64, queue: &[QueuedJob<'_>]) -> usize {
+        let tenants: BTreeSet<TenantId> = queue.iter().map(|q| q.tenant).collect();
+        // Idle tenants lose their credit: deficits only persist while a
+        // tenant has work queued.
+        self.deficits.retain(|t, _| tenants.contains(t));
+        // A tenant mid-burst keeps the cursor while its deficit covers
+        // its next head job — no new quantum.
+        if let Some(current) = self.current.filter(|t| tenants.contains(t)) {
+            let head = Self::head(queue, current);
+            let cost = Self::cost(&queue[head]);
+            let deficit = self.deficits.entry(current).or_insert(0);
+            if *deficit >= cost {
+                *deficit -= cost;
+                return head;
+            }
+        }
+        // Round-robin over the active tenants (deterministic BTreeSet
+        // order), starting after the cursor, adding quantum × weight per
+        // visit until some tenant affords its head job.  Deficits grow
+        // every round, so this terminates.
+        let order: Vec<TenantId> = tenants
+            .iter()
+            .filter(|&&t| Some(t) > self.current)
+            .chain(tenants.iter().filter(|&&t| Some(t) <= self.current))
+            .copied()
+            .collect();
+        loop {
+            for &tenant in &order {
+                let grant = self.quantum * self.weight(tenant);
+                let head = Self::head(queue, tenant);
+                let cost = Self::cost(&queue[head]);
+                let deficit = self.deficits.entry(tenant).or_insert(0);
+                *deficit += grant;
+                if *deficit >= cost {
+                    *deficit -= cost;
+                    self.current = Some(tenant);
+                    return head;
+                }
+            }
+        }
+    }
+}
+
+/// One admitted-but-not-yet-started job inside the serve loop.
+struct Ticket<'k, K, I> {
+    seq: usize,
+    kernel: &'k K,
+    windows: I,
+    key: String,
+    config_words: usize,
+    windows_hint: usize,
+    tenant: TenantId,
+    arrival: u64,
+    priority: u8,
+    deadline: Option<u64>,
+}
+
+/// How many dispatched jobs an array may hold while still busy.  Jobs in
+/// this run queue are *committed but not started* — stealable until the
+/// array actually materialises them.  Depth 1 would leave arrays idle
+/// between jobs; unbounded depth would commit placement far into an
+/// unknown future and leave the stealing pass nothing early to fix.
+const DISPATCH_DEPTH: usize = 2;
+
+/// An online serving layer over a [`Pool`]: admits an arrival-stamped
+/// [`ServeJob`] stream, dispatches by a pluggable [`SchedPolicy`],
+/// re-balances queued jobs by work stealing, and reports per-job latency
+/// percentiles.
+///
+/// See the [module docs](crate::serve) for the serving model and a
+/// runnable example.
+#[derive(Debug)]
+pub struct Server {
+    pool: Pool,
+    policy: Box<dyn SchedPolicy>,
+    stealing: bool,
+    /// Online per-program cost model: cumulative `(compute_cycles,
+    /// windows)` by cache key, learned from completed jobs.  Backs the
+    /// projected backlogs that placement and stealing reason over.
+    estimates: HashMap<String, (u64, u64)>,
+}
+
+impl Server {
+    /// Wraps `pool` with [`Fifo`] dispatch and work stealing enabled.
+    pub fn new(pool: Pool) -> Self {
+        Self {
+            pool,
+            policy: Box::new(Fifo),
+            stealing: true,
+            estimates: HashMap::new(),
+        }
+    }
+
+    /// Replaces the scheduling policy, builder-style.
+    #[must_use]
+    pub fn with_policy(mut self, policy: impl SchedPolicy + 'static) -> Self {
+        self.set_policy(policy);
+        self
+    }
+
+    /// Replaces the scheduling policy (queued state such as deficit
+    /// counters starts fresh; the pool's residency is unaffected).
+    pub fn set_policy(&mut self, policy: impl SchedPolicy + 'static) {
+        self.policy = Box::new(policy);
+    }
+
+    /// Name of the active scheduling policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Enables or disables the work-stealing pass, builder-style.
+    #[must_use]
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
+        self
+    }
+
+    /// `true` if the work-stealing pass is enabled.
+    pub fn stealing(&self) -> bool {
+        self.stealing
+    }
+
+    /// The wrapped pool (residency inspection, accumulated stats).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Mutable access to the wrapped pool (e.g. to swap the placement
+    /// strategy between serving runs).
+    pub fn pool_mut(&mut self) -> &mut Pool {
+        &mut self.pool
+    }
+
+    /// Unwraps the server, returning the pool with all residency and
+    /// accumulated statistics intact.
+    pub fn into_pool(self) -> Pool {
+        self.pool
+    }
+
+    /// Serves a batch of arrival-stamped jobs and collects each job's
+    /// outputs, in window order, grouped by job in submission order.
+    ///
+    /// Outputs are bit-identical to running the jobs serially in
+    /// submission order ([`Pool::run_serial_reference`]) — for every
+    /// policy, with or without stealing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run_stream`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_batch<'k, K, J, W>(&mut self, jobs: J) -> Result<(Vec<Vec<K::Output>>, ServeReport)>
+    where
+        K: Kernel + 'k,
+        J: IntoIterator<Item = ServeJob<&'k K, W>>,
+        W: IntoIterator,
+        W::Item: Borrow<K::Input>,
+    {
+        let jobs: Vec<ServeJob<&K, W>> = jobs.into_iter().collect();
+        let mut outputs: Vec<Vec<K::Output>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+        let report = self.run_stream(jobs, |job, output| {
+            outputs[job].push(output);
+            Ok(())
+        })?;
+        Ok((outputs, report))
+    }
+
+    /// Serves a stream of arrival-stamped jobs, handing each output to
+    /// `sink` with its job's submission index as soon as it is computed.
+    ///
+    /// Jobs are admitted at their arrival cycles, dispatched by the
+    /// server's [`SchedPolicy`] and placed by the pool's [`Placement`](crate::pool::Placement)
+    /// strategy; the stealing pass (if enabled) re-routes queued jobs
+    /// away from arrays whose backlog drifted ahead of the fleet.  The
+    /// returned [`ServeReport`] carries the
+    /// run's fleet accounting, per-job latencies (in submission order),
+    /// and the steal count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pool::run_stream`], plus [`RuntimeError::Sched`] if the
+    /// policy returns an out-of-range queue index.  The first error
+    /// aborts the run; completed work is still folded into
+    /// [`Pool::stats`], and the server stays valid and reusable.
+    pub fn run_stream<'k, K, J, W, F>(&mut self, jobs: J, sink: F) -> Result<ServeReport>
+    where
+        K: Kernel + 'k,
+        J: IntoIterator<Item = ServeJob<&'k K, W>>,
+        W: IntoIterator,
+        W::Item: Borrow<K::Input>,
+        F: FnMut(usize, K::Output) -> Result<()>,
+    {
+        let arrays = self.pool.arrays();
+        let mut pending: VecDeque<Ticket<'k, K, W::IntoIter>> = VecDeque::new();
+        for (seq, job) in jobs.into_iter().enumerate() {
+            let key = job.kernel.cache_key();
+            let config_words = self.pool.footprint(job.kernel, &key)?;
+            let windows = job.windows.into_iter();
+            let windows_hint = windows.size_hint().0;
+            pending.push_back(Ticket {
+                seq,
+                kernel: job.kernel,
+                windows,
+                key,
+                config_words,
+                windows_hint,
+                tenant: job.tenant,
+                arrival: job.arrival_cycle,
+                priority: job.priority,
+                deadline: job.deadline_cycle,
+            });
+        }
+        // Admission happens in arrival order, stable on ties (submission
+        // order), regardless of how the caller interleaved the stream.
+        pending
+            .make_contiguous()
+            .sort_by_key(|t| (t.arrival, t.seq));
+
+        let mut schedules: Vec<StreamSchedule> =
+            (0..arrays).map(|_| StreamSchedule::new()).collect();
+        let mut wave = FleetReport::new(arrays);
+        let mut latencies: Vec<JobLatency> = Vec::new();
+        let mut steals = 0u64;
+
+        let result = self.serve_loop(
+            pending,
+            sink,
+            &mut wave,
+            &mut schedules,
+            &mut latencies,
+            &mut steals,
+        );
+        for (array, schedule) in wave.arrays.iter_mut().zip(schedules) {
+            let timeline = schedule.finish();
+            array.report.wall_cycles = timeline.wall_cycles();
+            array.report.busy = timeline.occupancy();
+        }
+        // The run's accounting survives an abort: the sessions did the
+        // work, so the fleet statistics must show it.
+        self.pool.absorb_stats(&wave);
+        latencies.sort_unstable_by_key(|l| l.job);
+        result.map(|()| ServeReport {
+            fleet: wave,
+            latencies,
+            steals,
+        })
+    }
+
+    /// Estimated compute cycles of one window of `key`'s program: the
+    /// key's learned mean, else the global mean over all programs seen,
+    /// else the program's reload footprint as a cold-start proxy.
+    fn per_window_estimate(&self, key: &str, config_words: usize) -> u64 {
+        if let Some(mean) = self
+            .estimates
+            .get(key)
+            .and_then(|&(cycles, windows)| cycles.checked_div(windows))
+        {
+            return mean.max(1);
+        }
+        let (cycles, windows) = self
+            .estimates
+            .values()
+            .fold((0u64, 0u64), |acc, &(c, w)| (acc.0 + c, acc.1 + w));
+        match cycles.checked_div(windows) {
+            Some(mean) => mean.max(1),
+            None => (config_words as u64).max(1),
+        }
+    }
+
+    /// Estimated compute cost of a queued job (its window hint times the
+    /// per-window estimate; an opaque hint-less stream estimates free —
+    /// the estimator corrects itself once the job has actually run).
+    fn est_cost<K: Kernel, I>(&self, ticket: &Ticket<'_, K, I>) -> u64 {
+        ticket.windows_hint as u64 * self.per_window_estimate(&ticket.key, ticket.config_words)
+    }
+
+    /// Projected compute horizon of one array: its schedule's compute
+    /// backlog (clamped to `now`) plus the estimated cost of every job
+    /// queued on it.
+    fn projection<K: Kernel, I>(
+        &self,
+        array: usize,
+        now: u64,
+        schedules: &[StreamSchedule],
+        assigned: &[VecDeque<(Ticket<'_, K, I>, u64)>],
+    ) -> u64 {
+        schedules[array].free_at(Engine::Compute).max(now)
+            + assigned[array]
+                .iter()
+                .map(|(t, _)| self.est_cost(t))
+                .sum::<u64>()
+    }
+
+    /// One array's [`ArrayView`] over the *projected* backlogs — what
+    /// placement sees at dispatch and steal time.
+    fn array_view<K: Kernel, I>(
+        &self,
+        array: usize,
+        ticket: &Ticket<'_, K, I>,
+        now: u64,
+        schedules: &[StreamSchedule],
+        assigned: &[VecDeque<(Ticket<'_, K, I>, u64)>],
+    ) -> ArrayView {
+        let session = self.pool.array(array);
+        ArrayView {
+            index: array,
+            resident: session.is_resident_key(&ticket.key),
+            warm: session.is_warm(ticket.kernel),
+            free_compute_at: self.projection(array, now, schedules, assigned),
+            free_config_at: schedules[array].free_at(Engine::ConfigLoad).max(now),
+            busy_compute: session.free_compute_at(),
+            loaded_programs: session.loaded_programs(),
+        }
+    }
+
+    /// The event loop of [`Server::run_stream`]: admits, dispatches,
+    /// steals and executes until the stream drains, recording into
+    /// `wave`/`schedules`/`latencies` as it goes so the caller can
+    /// salvage the accounting of an aborted run.
+    fn serve_loop<'k, K, I, F>(
+        &mut self,
+        mut pending: VecDeque<Ticket<'k, K, I>>,
+        mut sink: F,
+        wave: &mut FleetReport,
+        schedules: &mut [StreamSchedule],
+        latencies: &mut Vec<JobLatency>,
+        steals: &mut u64,
+    ) -> Result<()>
+    where
+        K: Kernel,
+        I: Iterator,
+        I::Item: Borrow<K::Input>,
+        F: FnMut(usize, K::Output) -> Result<()>,
+    {
+        let arrays = self.pool.arrays();
+        let mut queue: Vec<Ticket<'k, K, I>> = Vec::new();
+        let mut assigned: Vec<VecDeque<(Ticket<'k, K, I>, u64)>> =
+            (0..arrays).map(|_| VecDeque::new()).collect();
+        let mut now = 0u64;
+
+        loop {
+            // Admit every job that has arrived by `now`.
+            while pending.front().is_some_and(|t| t.arrival <= now) {
+                queue.push(pending.pop_front().unwrap());
+            }
+
+            // Dispatch: while the queue has jobs and some array has room,
+            // the policy picks the job and placement picks the array.
+            while !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH) {
+                let views: Vec<QueuedJob<'_>> = queue
+                    .iter()
+                    .map(|t| QueuedJob {
+                        seq: t.seq,
+                        tenant: t.tenant,
+                        arrival_cycle: t.arrival,
+                        priority: t.priority,
+                        deadline_cycle: t.deadline,
+                        windows: t.windows_hint,
+                        cache_key: &t.key,
+                    })
+                    .collect();
+                let index = self.policy.select(now, &views);
+                if index >= queue.len() {
+                    return Err(RuntimeError::Sched {
+                        index,
+                        queued: queue.len(),
+                    });
+                }
+                let ticket = queue.remove(index);
+                let plan = {
+                    let views: Vec<ArrayView> = (0..arrays)
+                        .map(|i| self.array_view(i, &ticket, now, schedules, &assigned))
+                        .collect();
+                    let job = JobView {
+                        index: ticket.seq,
+                        cache_key: &ticket.key,
+                        windows: ticket.windows_hint,
+                        config_words: ticket.config_words,
+                    };
+                    self.pool.strategy().place(&job, &views)
+                };
+                let mut chosen = plan.array;
+                if chosen >= arrays {
+                    return Err(RuntimeError::Placement {
+                        index: chosen,
+                        arrays,
+                    });
+                }
+                if assigned[chosen].len() >= DISPATCH_DEPTH {
+                    // The preferred array's run queue is full: fall back
+                    // to the least-projected array with room (one exists
+                    // by the loop condition).  The stealing pass can
+                    // still re-route the job before it starts.
+                    chosen = (0..arrays)
+                        .filter(|&i| assigned[i].len() < DISPATCH_DEPTH)
+                        .min_by_key(|&i| (self.projection(i, now, schedules, &assigned), i))
+                        .expect("some array has room");
+                }
+                if let Some(directive) = plan.prefetch {
+                    if directive.array >= arrays {
+                        return Err(RuntimeError::Placement {
+                            index: directive.array,
+                            arrays,
+                        });
+                    }
+                    self.pool
+                        .stage_prefetch(directive.array, ticket.kernel, now, schedules, wave);
+                }
+                wave.jobs += 1;
+                wave.arrays[chosen].jobs += 1;
+                assigned[chosen].push_back((ticket, now));
+            }
+
+            // Steal: re-route queued jobs away from the array whose
+            // projected backlog drifted furthest ahead of the fleet.
+            if self.stealing {
+                self.steal_pass(now, schedules, &mut assigned, wave, steals);
+            }
+
+            // Execute: materialise the front job of every array whose
+            // compute engine has caught up with the clock.
+            for i in 0..arrays {
+                while !assigned[i].is_empty() && schedules[i].free_at(Engine::Compute) <= now {
+                    let (ticket, assign_cycle) = assigned[i].pop_front().unwrap();
+                    let mut first_compute: Option<u64> = None;
+                    let mut completed = assign_cycle;
+                    let mut compute_cycles = 0u64;
+                    let mut count = 0u64;
+                    for window in ticket.windows {
+                        let (output, phases) = self.pool.session_mut(i).run_into(
+                            ticket.kernel,
+                            window.borrow(),
+                            &mut wave.arrays[i].report,
+                        )?;
+                        let spans = schedules[i].push_at(phases, assign_cycle);
+                        first_compute.get_or_insert(spans.compute.start);
+                        completed = spans.irq.end;
+                        compute_cycles += phases.compute;
+                        count += 1;
+                        sink(ticket.seq, output)?;
+                    }
+                    let entry = self.estimates.entry(ticket.key).or_insert((0, 0));
+                    entry.0 += compute_cycles;
+                    entry.1 += count;
+                    // The host knows the job is done once the last
+                    // window's completion interrupt was serviced.
+                    let service_start = first_compute.unwrap_or(completed);
+                    latencies.push(JobLatency {
+                        job: ticket.seq,
+                        tenant: ticket.tenant,
+                        queue_cycles: service_start - ticket.arrival,
+                        service_cycles: completed - service_start,
+                        total: completed - ticket.arrival,
+                        deadline_met: ticket.deadline.is_none_or(|d| completed <= d),
+                    });
+                }
+            }
+
+            // Re-dispatch at the same cycle if execution freed room for
+            // still-queued jobs (progress: the queue strictly shrinks).
+            if !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH) {
+                continue;
+            }
+            if pending.is_empty() && queue.is_empty() && assigned.iter().all(VecDeque::is_empty) {
+                return Ok(());
+            }
+            // Advance to the next event: an arrival, or an array's
+            // compute engine catching up with its front job.  Both are
+            // strictly ahead of `now` (admission drained arrivals <= now;
+            // execution drained arrays free at <= now).
+            let next_arrival = pending.front().map(|t| t.arrival);
+            let next_free = (0..arrays)
+                .filter(|&i| !assigned[i].is_empty())
+                .map(|i| schedules[i].free_at(Engine::Compute))
+                .min();
+            now = match (next_arrival, next_free) {
+                (Some(a), Some(f)) => a.min(f),
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (None, None) => unreachable!("drained stream handled above"),
+            };
+        }
+    }
+
+    /// The work-stealing pass: while the most backlogged array still has
+    /// queued (unstarted) jobs, try to move its *last-committed* job to
+    /// an array that would finish it earlier, re-consulting [`Placement`](crate::pool::Placement)
+    /// so prefetch directives fire on the new target.  Every move must
+    /// strictly improve the donor/target pair's projected finish, and the
+    /// pass is bounded, so it terminates.
+    fn steal_pass<'k, K, I>(
+        &mut self,
+        now: u64,
+        schedules: &mut [StreamSchedule],
+        assigned: &mut [VecDeque<(Ticket<'k, K, I>, u64)>],
+        wave: &mut FleetReport,
+        steals: &mut u64,
+    ) where
+        K: Kernel,
+        I: Iterator,
+    {
+        let arrays = assigned.len();
+        let mut budget = arrays * DISPATCH_DEPTH;
+        while budget > 0 {
+            budget -= 1;
+            let projections: Vec<u64> = (0..arrays)
+                .map(|i| self.projection(i, now, schedules, assigned))
+                .collect();
+            let Some(donor) = (0..arrays)
+                .filter(|&i| !assigned[i].is_empty())
+                .max_by_key(|&i| (projections[i], i))
+            else {
+                return;
+            };
+            let (cost, plan) = {
+                let (ticket, _) = assigned[donor].back().expect("donor has a queued job");
+                let views: Vec<ArrayView> = (0..arrays)
+                    .filter(|&i| i != donor)
+                    .map(|i| self.array_view(i, ticket, now, schedules, assigned))
+                    .collect();
+                if views.is_empty() {
+                    return; // single-array pool: nowhere to steal to
+                }
+                let job = JobView {
+                    index: ticket.seq,
+                    cache_key: &ticket.key,
+                    windows: ticket.windows_hint,
+                    config_words: ticket.config_words,
+                };
+                (
+                    self.est_cost(ticket),
+                    self.pool.strategy().place(&job, &views),
+                )
+            };
+            let target = if plan.array != donor
+                && plan.array < arrays
+                && assigned[plan.array].len() < DISPATCH_DEPTH
+            {
+                plan.array
+            } else {
+                // The strategy pointed back at the donor (or out of the
+                // masked view): fall back to the least-projected array
+                // with room.
+                match (0..arrays)
+                    .filter(|&i| i != donor && assigned[i].len() < DISPATCH_DEPTH)
+                    .min_by_key(|&i| (projections[i], i))
+                {
+                    Some(t) => t,
+                    None => return,
+                }
+            };
+            // Only steal if the move strictly improves the pair: the
+            // target (with the job) must still finish before the donor
+            // (whose projection includes the job) does today.
+            if projections[target] + cost >= projections[donor] {
+                return;
+            }
+            let (ticket, _) = assigned[donor].pop_back().expect("donor checked non-empty");
+            if let Some(directive) = Self::steal_prefetch_target(&plan, donor, arrays, target) {
+                self.pool
+                    .stage_prefetch(directive, ticket.kernel, now, schedules, wave);
+            }
+            // The job now counts on the thief array.
+            wave.arrays[donor].jobs -= 1;
+            wave.arrays[target].jobs += 1;
+            assigned[target].push_back((ticket, now));
+            *steals += 1;
+        }
+    }
+
+    /// Where a stolen job's prefetch directive should fire: the plan's
+    /// directive if it names a valid non-donor array, else the actual
+    /// steal target.
+    fn steal_prefetch_target(
+        plan: &PlacementPlan,
+        donor: usize,
+        arrays: usize,
+        target: usize,
+    ) -> Option<usize> {
+        let directive = plan.prefetch?;
+        if directive.array < arrays && directive.array != donor {
+            Some(directive.array)
+        } else {
+            Some(target)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::BakedScaleKernel;
+
+    fn windows(count: usize, seed: i32) -> Vec<Vec<i32>> {
+        (0..count)
+            .map(|w| (0..96).map(|i| i + seed + 7 * w as i32).collect())
+            .collect()
+    }
+
+    fn queued(seq: usize, tenant: TenantId, arrival: u64) -> QueuedJob<'static> {
+        QueuedJob {
+            seq,
+            tenant,
+            arrival_cycle: arrival,
+            priority: 0,
+            deadline_cycle: None,
+            windows: 1,
+            cache_key: "k",
+        }
+    }
+
+    #[test]
+    fn fifo_selects_the_earliest_arrival() {
+        let mut fifo = Fifo;
+        let queue = [queued(2, 0, 500), queued(0, 1, 100), queued(1, 0, 100)];
+        // Earliest arrival wins; ties break on submission order.
+        assert_eq!(fifo.select(0, &queue), 1);
+        assert_eq!(fifo.name(), "fifo");
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_priority_then_arrival() {
+        let mut edf = EarliestDeadlineFirst;
+        let mut queue = vec![queued(0, 0, 0), queued(1, 0, 10), queued(2, 0, 20)];
+        queue[0].deadline_cycle = None;
+        queue[1].deadline_cycle = Some(9_000);
+        queue[2].deadline_cycle = Some(5_000);
+        // The tightest deadline wins even though it arrived last...
+        assert_eq!(edf.select(0, &queue), 2);
+        // ...deadline-less jobs queue behind every deadlined one...
+        queue.remove(2);
+        assert_eq!(edf.select(0, &queue), 1);
+        // ...and among deadline-less jobs, priority then arrival decides.
+        queue.remove(1);
+        queue.push(queued(3, 0, 99).with_prio(5));
+        assert_eq!(edf.select(0, &queue), 1);
+    }
+
+    impl QueuedJob<'_> {
+        fn with_prio(mut self, priority: u8) -> Self {
+            self.priority = priority;
+            self
+        }
+    }
+
+    #[test]
+    fn weighted_fair_alternates_equal_tenants() {
+        let mut wf = WeightedFair::new();
+        let queue = [
+            queued(0, 0, 0),
+            queued(1, 0, 1),
+            queued(2, 1, 2),
+            queued(3, 1, 3),
+        ];
+        // Round-robin across tenants despite tenant 0 arriving first.
+        let first = wf.select(0, &queue);
+        assert_eq!(queue[first].tenant, 0);
+        let rest: Vec<QueuedJob> = queue[1..].to_vec();
+        let second = wf.select(0, &rest);
+        assert_eq!(rest[second].tenant, 1);
+    }
+
+    #[test]
+    fn weighted_fair_weights_scale_the_service_share() {
+        let mut wf = WeightedFair::new().with_weight(1, 2);
+        // Saturated queues for both tenants; replay selections and count.
+        let mut queue: Vec<QueuedJob> = (0..12)
+            .map(|seq| queued(seq, (seq % 2) as TenantId, seq as u64))
+            .collect();
+        let mut served = [0u32; 2];
+        for _ in 0..6 {
+            let index = wf.select(0, &queue);
+            served[queue[index].tenant as usize] += 1;
+            queue.remove(index);
+        }
+        // Weight 2 earns (about) twice the dispatches of weight 1.
+        assert_eq!(served[1], 4, "weight-2 tenant gets 2/3 of the service");
+        assert_eq!(served[0], 2);
+    }
+
+    #[test]
+    fn weighted_fair_charges_long_jobs_more() {
+        let mut wf = WeightedFair::new();
+        // Tenant 0's only job is 3 windows long; tenant 1 queues 1-window
+        // jobs.  Tenant 0 must accrue 3 rounds of credit before its job
+        // dispatches, so tenant 1's short jobs go first — window counts,
+        // not job counts, are what the deficit counters charge.
+        let mut long = queued(0, 0, 0);
+        long.windows = 3;
+        let queue = [long, queued(1, 1, 1), queued(2, 1, 2)];
+        assert_eq!(queue[wf.select(0, &queue)].seq, 1);
+        let queue = [long, queued(2, 1, 2)];
+        assert_eq!(queue[wf.select(0, &queue)].seq, 2);
+        let queue = [long];
+        assert_eq!(queue[wf.select(0, &queue)].seq, 0);
+    }
+
+    #[test]
+    fn served_outputs_match_the_serial_reference_for_every_policy() {
+        let kernels: Vec<BakedScaleKernel> = [2i16, 3, 5]
+            .iter()
+            .map(|&f| BakedScaleKernel::new(f))
+            .collect();
+        let picks = [0usize, 1, 2, 0, 1, 2, 0, 1];
+        let jobs: Vec<(&BakedScaleKernel, Vec<Vec<i32>>)> = picks
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| (&kernels[p], windows(2, j as i32)))
+            .collect();
+        let (serial, _) = Pool::run_serial_reference(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+
+        let policies: Vec<Box<dyn SchedPolicy>> = vec![
+            Box::new(Fifo),
+            Box::new(EarliestDeadlineFirst),
+            Box::new(WeightedFair::new()),
+        ];
+        for policy in policies {
+            for stealing in [false, true] {
+                let name = policy.name();
+                let mut server = Server::new(Pool::new(2)).with_stealing(stealing);
+                server.policy = dyn_clone(&*policy);
+                let (outputs, report) = server
+                    .run_batch(jobs.iter().enumerate().map(|(j, (k, ws))| {
+                        ServeJob::new(*k, ws.iter().map(Vec::as_slice), (j % 3) as u32, 0)
+                            .with_priority((j % 4) as u8)
+                    }))
+                    .unwrap();
+                assert_eq!(
+                    outputs, serial,
+                    "{name} (stealing={stealing}) must match serial"
+                );
+                assert_eq!(report.latencies.len(), jobs.len());
+                assert_eq!(report.fleet.jobs, jobs.len() as u64);
+            }
+        }
+    }
+
+    /// Fresh boxed instance of one of the three built-in policies (the
+    /// trait is deliberately not `Clone`; tests only need the built-ins).
+    fn dyn_clone(policy: &dyn SchedPolicy) -> Box<dyn SchedPolicy> {
+        match policy.name() {
+            "fifo" => Box::new(Fifo),
+            "edf" => Box::new(EarliestDeadlineFirst),
+            "weighted-fair" => Box::new(WeightedFair::new()),
+            other => unreachable!("unknown built-in policy {other}"),
+        }
+    }
+
+    #[test]
+    fn edf_urgent_jobs_jump_the_queue() {
+        let kernel = BakedScaleKernel::new(2);
+        let ws = windows(1, 0);
+        let mut server = Server::new(Pool::new(1)).with_policy(EarliestDeadlineFirst);
+        let mut order: Vec<usize> = Vec::new();
+        // Three jobs arrive together; the tightest deadline (job 2) must
+        // start first, the deadline-less job (0) last.
+        server
+            .run_stream(
+                [
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0),
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0)
+                        .with_deadline(90_000),
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0)
+                        .with_deadline(50_000),
+                ],
+                |job, _| {
+                    order.push(job);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn weighted_fair_protects_a_quiet_tenant_from_a_chatty_one() {
+        let kernel = BakedScaleKernel::new(3);
+        let ws = windows(1, 0);
+        let latency_of = |policy: Box<dyn SchedPolicy>| {
+            let mut server = Server::new(Pool::new(1));
+            server.policy = policy;
+            // Tenant 0 floods 6 jobs at cycle 0; tenant 1 submits 2.
+            let (_, report) = server
+                .run_batch((0..8).map(|j| {
+                    let tenant = if j < 6 { 0 } else { 1 };
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), tenant, 0)
+                }))
+                .unwrap();
+            let tenants = report.tenants();
+            assert_eq!(tenants.len(), 2);
+            (tenants[0].total_cycles, tenants[1].total_cycles)
+        };
+        let (_, quiet_fifo) = latency_of(Box::new(Fifo));
+        let (_, quiet_fair) = latency_of(Box::new(WeightedFair::new()));
+        assert!(
+            quiet_fair < quiet_fifo,
+            "the quiet tenant must wait less under weighted-fair \
+             ({quiet_fair} vs {quiet_fifo} total cycles)"
+        );
+    }
+
+    #[test]
+    fn deadline_misses_are_accounted_per_job() {
+        let kernel = BakedScaleKernel::new(2);
+        let ws = windows(1, 0);
+        let mut server = Server::new(Pool::new(1));
+        let (_, report) = server
+            .run_batch([
+                // Impossible deadline: 1 cycle after arrival.
+                ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0).with_deadline(1),
+                // Generous deadline: met.
+                ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0).with_deadline(1_000_000),
+                // No deadline: vacuously met.
+                ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 1, 0),
+            ])
+            .unwrap();
+        assert_eq!(report.deadline_misses(), 1);
+        assert!(!report.latencies[0].deadline_met);
+        assert!(report.latencies[1].deadline_met);
+        assert!(report.latencies[2].deadline_met);
+        let tenants = report.tenants();
+        assert_eq!(tenants[0].deadline_misses, 1);
+        assert_eq!(tenants[1].deadline_misses, 0);
+    }
+
+    #[test]
+    fn latency_decomposition_is_consistent() {
+        let kernel = BakedScaleKernel::new(5);
+        let ws = windows(3, 0);
+        let mut server = Server::new(Pool::new(2));
+        let (_, report) = server
+            .run_batch((0..5u64).map(|j| {
+                ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), j as u32 % 2, j * 800)
+            }))
+            .unwrap();
+        assert_eq!(report.latencies.len(), 5);
+        for (j, latency) in report.latencies.iter().enumerate() {
+            assert_eq!(latency.job, j, "latencies come back in submission order");
+            assert_eq!(latency.total, latency.queue_cycles + latency.service_cycles);
+            assert!(latency.service_cycles > 0, "3 windows actually computed");
+        }
+        assert_eq!(
+            report.tenants().iter().map(|t| t.jobs).sum::<u64>(),
+            5,
+            "every job belongs to exactly one tenant"
+        );
+        assert_eq!(report.fleet.invocations(), 15);
+        // Percentiles are monotone and drawn from actual latencies.
+        assert!(report.p50() <= report.p95());
+        assert!(report.p95() <= report.p99());
+        assert!(report.latencies.iter().any(|l| l.total == report.p99()));
+    }
+
+    #[test]
+    fn arrival_gaps_surface_as_idle_time_not_backdated_work() {
+        let kernel = BakedScaleKernel::new(2);
+        let ws = windows(1, 0);
+        let mut server = Server::new(Pool::new(1));
+        let (_, report) = server
+            .run_batch([ServeJob::new(
+                &kernel,
+                ws.iter().map(Vec::as_slice),
+                0,
+                10_000,
+            )])
+            .unwrap();
+        // The job could not run before it arrived: the fleet wall clock
+        // covers the idle gap, but the job's own latency does not.
+        assert!(report.fleet.wall_cycles() >= 10_000);
+        assert!(report.latencies[0].total < 10_000);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_drifted_backlog() {
+        // One heavy job (8 windows) and a train of light ones, all
+        // arriving at once on a 2-array fleet: the estimator knows
+        // nothing yet, so dispatch piles jobs behind the heavy one; once
+        // it materialises, the drift is visible and the stealing pass
+        // re-routes the queued job to the other array.
+        let heavy = BakedScaleKernel::new(2);
+        let light = BakedScaleKernel::new(3);
+        let heavy_ws = windows(8, 0);
+        let light_ws = windows(1, 1);
+        let jobs = |server: &mut Server| {
+            let mut order = Vec::new();
+            let report = server
+                .run_stream(
+                    (0..6).map(|j| {
+                        if j == 0 {
+                            ServeJob::new(&heavy, heavy_ws.iter().map(Vec::as_slice), 0, 0)
+                        } else {
+                            ServeJob::new(&light, light_ws.iter().map(Vec::as_slice), 1, 0)
+                        }
+                    }),
+                    |job, _| {
+                        order.push(job);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            (report, order)
+        };
+        let (stolen, _) = jobs(&mut Server::new(Pool::new(2)));
+        assert!(stolen.steals > 0, "the drifted backlog must be rebalanced");
+        let (kept, _) = jobs(&mut Server::new(Pool::new(2)).with_stealing(false));
+        assert_eq!(kept.steals, 0);
+        // Stealing strictly helps the tail here: the queued light jobs
+        // escape the heavy job's backlog.
+        assert!(
+            stolen.p99() <= kept.p99(),
+            "stealing p99 {} must not exceed no-steal p99 {}",
+            stolen.p99(),
+            kept.p99()
+        );
+        // And the re-routing never changes results: both match serial.
+        let reference_jobs: Vec<(&BakedScaleKernel, &Vec<Vec<i32>>)> = (0..6)
+            .map(|j| {
+                if j == 0 {
+                    (&heavy, &heavy_ws)
+                } else {
+                    (&light, &light_ws)
+                }
+            })
+            .collect();
+        let (serial, _) = Pool::run_serial_reference(
+            reference_jobs
+                .iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        let (outputs, _) = Server::new(Pool::new(2))
+            .run_batch((0..6).map(|j| {
+                if j == 0 {
+                    ServeJob::new(&heavy, heavy_ws.iter().map(Vec::as_slice), 0, 0)
+                } else {
+                    ServeJob::new(&light, light_ws.iter().map(Vec::as_slice), 1, 0)
+                }
+            }))
+            .unwrap();
+        assert_eq!(outputs, serial);
+    }
+
+    #[test]
+    fn rogue_policy_fails_cleanly() {
+        #[derive(Debug)]
+        struct OutOfRange;
+        impl SchedPolicy for OutOfRange {
+            fn name(&self) -> &'static str {
+                "out-of-range"
+            }
+            fn select(&mut self, _now: u64, queue: &[QueuedJob<'_>]) -> usize {
+                queue.len() + 5
+            }
+        }
+        let kernel = BakedScaleKernel::new(2);
+        let ws = windows(1, 0);
+        let mut server = Server::new(Pool::new(2)).with_policy(OutOfRange);
+        assert_eq!(server.policy_name(), "out-of-range");
+        let err = server
+            .run_batch([ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0)])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Sched {
+                    index: 6,
+                    queued: 1
+                }
+            ),
+            "expected Sched, got {err:?}"
+        );
+        // The server recovers with a sane policy.
+        server.set_policy(Fifo);
+        server
+            .run_batch([ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, 0)])
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_streams_serve_nothing() {
+        let mut server = Server::new(Pool::new(2));
+        let (outputs, report) = server
+            .run_batch(std::iter::empty::<ServeJob<&BakedScaleKernel, Vec<&[i32]>>>())
+            .unwrap();
+        assert!(outputs.is_empty());
+        assert!(report.latencies.is_empty());
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.p99(), 0);
+        assert_eq!(report.fleet.wall_cycles(), 0);
+    }
+
+    #[test]
+    fn the_server_accumulates_into_the_pool_stats() {
+        let kernel = BakedScaleKernel::new(2);
+        let ws = windows(2, 0);
+        let mut server = Server::new(Pool::new(2));
+        server
+            .run_batch(
+                (0..3).map(|j| {
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, j as u64 * 100)
+                }),
+            )
+            .unwrap();
+        let pool = server.into_pool();
+        assert_eq!(pool.stats().jobs, 3);
+        assert_eq!(pool.stats().invocations(), 6);
+    }
+}

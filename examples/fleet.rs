@@ -45,8 +45,9 @@ fn fleet(placement: impl Placement + 'static, kernels: &[FirKernel]) -> FleetRep
         .program(&Geometry::paper())
         .expect("program builds")
         .config_words();
-    let mut pool =
-        Pool::with_sessions(constrained_sessions(2, 2 * program_words)).with_placement(placement);
+    let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * program_words))
+        .expect("constrained sessions share one geometry")
+        .with_placement(placement);
 
     // An irregular kernel order, as concurrent streams would produce.
     let picks = [0usize, 1, 2, 3, 2, 0, 1, 3, 0, 2, 3, 1];

@@ -79,9 +79,10 @@ pub use vwr2a_soc as soc;
 
 // The runtime workhorses, re-exported at the facade root so applications
 // can depend on `vwr2a` alone: the single-array session and kernel trait,
-// the multi-array pool with its placement strategies, and the unified
-// reports.
+// the multi-array pool with its placement strategies, the online serving
+// layer with its scheduling policies, and the unified reports.
 pub use vwr2a_runtime::{
-    CostAware, FleetReport, Kernel, LeastLoaded, Placement, PlacementPlan, Pool, PrefetchDirective,
-    ResidencyAware, RoundRobin, RunReport, Session,
+    CostAware, EarliestDeadlineFirst, Fifo, FleetReport, JobLatency, Kernel, LeastLoaded,
+    Placement, PlacementPlan, Pool, PrefetchDirective, ResidencyAware, RoundRobin, RunReport,
+    SchedPolicy, ServeJob, ServeReport, Server, Session, TenantId, TenantStats, WeightedFair,
 };

@@ -385,6 +385,7 @@ fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
             2,
             2 * program_words,
         ))
+        .expect("constrained sessions share one geometry")
     };
     let check = |mut pool: Pool| {
         let name = pool.placement_name();
@@ -437,6 +438,94 @@ fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
 }
 
 #[test]
+fn online_server_meets_deadlines_with_bit_identical_outputs() {
+    // The serving acceptance scenario: a multi-tenant arrival stream over
+    // the constrained two-array fleet.  Whatever the admission queue and
+    // the stealing pass decide, the outputs must equal serial execution,
+    // the latency ledger must decompose consistently, and the per-tenant
+    // totals must add up to the stream.
+    use vwr2a::runtime::pool::Pool;
+    use vwr2a::runtime::{ServeJob, Server, WeightedFair};
+
+    let n = 256;
+    let kernels: Vec<FirKernel> = [0.06, 0.12, 0.2, 0.3]
+        .iter()
+        .map(|&fc| {
+            let taps: Vec<i32> = design_lowpass(11, fc)
+                .unwrap()
+                .iter()
+                .map(|&v| Q15::from_f64(v).0 as i32)
+                .collect();
+            FirKernel::new(&taps, n).unwrap()
+        })
+        .collect();
+    let jobs: Vec<(usize, u32, u64, Vec<Vec<i32>>)> = (0..10)
+        .map(|j| {
+            let windows = (0..1 + j % 3)
+                .map(|w| {
+                    (0..n)
+                        .map(|i| (5200.0 * ((i + 23 * (j + w)) as f64 * 0.131).sin()) as i32)
+                        .collect()
+                })
+                .collect();
+            (j % kernels.len(), (j % 3) as u32, 400 * j as u64, windows)
+        })
+        .collect();
+
+    let (serial, _) = Pool::run_serial_reference(
+        jobs.iter()
+            .map(|(pick, _, _, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+    )
+    .unwrap();
+
+    let program_words = kernels[0]
+        .program(&vwr2a::core::Geometry::paper())
+        .unwrap()
+        .config_words();
+    let pool = Pool::with_sessions(vwr2a::runtime::testing::constrained_sessions(
+        2,
+        2 * program_words,
+    ))
+    .expect("constrained sessions share one geometry");
+    let mut server = Server::new(pool).with_policy(WeightedFair::new());
+    let (outputs, report) = server
+        .run_batch(jobs.iter().map(|(pick, tenant, arrival, ws)| {
+            ServeJob::new(
+                &kernels[*pick],
+                ws.iter().map(Vec::as_slice),
+                *tenant,
+                *arrival,
+            )
+            .with_deadline(arrival + 1_000_000)
+        }))
+        .unwrap();
+    assert_eq!(outputs, serial, "serving diverged from serial execution");
+
+    assert_eq!(report.latencies.len(), jobs.len());
+    for latency in &report.latencies {
+        assert_eq!(
+            latency.queue_cycles + latency.service_cycles,
+            latency.total,
+            "job {} latency must decompose exactly",
+            latency.job
+        );
+        assert!(latency.deadline_met, "the slack is far beyond the makespan");
+    }
+    assert_eq!(report.deadline_misses(), 0);
+    assert!(report.p50() <= report.p95() && report.p95() <= report.p99());
+    let tenants = report.tenants();
+    assert_eq!(tenants.iter().map(|t| t.jobs).sum::<u64>(), 10);
+    assert_eq!(
+        report.fleet.invocations(),
+        jobs.iter()
+            .map(|(_, _, _, ws)| ws.len() as u64)
+            .sum::<u64>()
+    );
+    // The report narrates itself (percentiles, misses, steals).
+    assert!(format!("{report}").contains("p99"));
+}
+
+#[test]
 fn facade_root_reexports_the_fleet_api() {
     // Applications can reach the whole scheduling surface from `vwr2a`
     // alone: session, kernel trait, pool, strategies, plans and reports.
@@ -468,6 +557,29 @@ fn facade_root_reexports_the_fleet_api() {
     let plan: PlacementPlan = PlacementPlan::with_prefetch(0);
     assert_eq!(plan.prefetch, Some(vwr2a::PrefetchDirective { array: 0 }));
     assert_eq!(ResidencyAware.name(), "residency-aware");
+
+    // The serving layer is reachable from the facade root too: server,
+    // job, policies and the latency report vocabulary.
+    use vwr2a::{
+        EarliestDeadlineFirst, Fifo, SchedPolicy, ServeJob, ServeReport, Server, TenantId,
+        WeightedFair,
+    };
+    let tenant: TenantId = 1;
+    let mut server: Server = Server::new(Pool::new(2)).with_policy(WeightedFair::new());
+    let (served, serve_report): (_, ServeReport) = server
+        .run_batch([
+            ServeJob::new(&kernel, windows.iter().map(Vec::as_slice), tenant, 0),
+            ServeJob::new(&kernel, windows.iter().map(Vec::as_slice), 2, 50)
+                .with_priority(1)
+                .with_deadline(2_000_000),
+        ])
+        .unwrap();
+    assert_eq!(served[0][0], serial);
+    assert_eq!(serve_report.latencies.len(), 2);
+    assert_eq!(serve_report.deadline_misses(), 0);
+    assert_eq!(Fifo.name(), "fifo");
+    assert_eq!(EarliestDeadlineFirst.name(), "edf");
+    assert_eq!(server.policy_name(), "weighted-fair");
 }
 
 #[test]

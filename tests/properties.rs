@@ -17,7 +17,9 @@ use vwr2a::dsp::fir::fir_f64;
 use vwr2a::dsp::fixed::{from_q16, mul_fxp, to_q16};
 use vwr2a::runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
 use vwr2a::runtime::testing::{constrained_sessions, BakedScaleKernel};
-use vwr2a::runtime::{FleetReport, Kernel};
+use vwr2a::runtime::{
+    EarliestDeadlineFirst, Fifo, FleetReport, Kernel, SchedPolicy, ServeJob, WeightedFair,
+};
 
 /// The kernel palette of the pool properties: four distinct
 /// configuration-memory programs.
@@ -54,13 +56,57 @@ fn run_pool(
         .program(&Geometry::paper())
         .unwrap()
         .config_words();
-    let mut pool =
-        Pool::with_sessions(constrained_sessions(2, 2 * program_words)).with_placement(placement);
+    let mut pool = Pool::with_sessions(constrained_sessions(2, 2 * program_words))
+        .expect("constrained sessions share one geometry")
+        .with_placement(placement);
     pool.run_batch(
         jobs.iter()
             .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
     )
     .expect("pool fan-out must absorb capacity pressure")
+}
+
+/// One random serve job: `(pick, windows, seed, arrival, tenant,
+/// priority, deadline slack)` — slack 0 encodes "no deadline" (the
+/// vendored proptest has no `Option` strategy).
+type ServeMix = (usize, usize, i32, u64, u32, u8, u64);
+
+/// Serves the random mix through a two-array `Server` under the given
+/// policy, returning the outputs grouped by submission order.
+fn run_server(
+    mix: &[ServeMix],
+    policy: impl SchedPolicy + 'static,
+    stealing: bool,
+) -> Vec<Vec<Vec<i32>>> {
+    let kernels = pool_kernels();
+    let job_list = pool_jobs(
+        &mix.iter()
+            .map(|&(pick, windows, seed, ..)| (pick, windows, seed))
+            .collect::<Vec<_>>(),
+    );
+    let program_words = kernels[0]
+        .program(&Geometry::paper())
+        .unwrap()
+        .config_words();
+    let pool = Pool::with_sessions(constrained_sessions(2, 2 * program_words))
+        .expect("constrained sessions share one geometry");
+    let mut server = vwr2a::runtime::Server::new(pool)
+        .with_policy(policy)
+        .with_stealing(stealing);
+    let (outputs, report) = server
+        .run_batch(job_list.iter().zip(mix).map(
+            |((pick, ws), &(_, _, _, arrival, tenant, priority, slack))| ServeJob {
+                kernel: &kernels[*pick],
+                windows: ws.iter().map(Vec::as_slice),
+                tenant,
+                arrival_cycle: arrival,
+                priority,
+                deadline_cycle: (slack > 0).then(|| arrival + slack),
+            },
+        ))
+        .expect("serving must absorb capacity pressure");
+    assert_eq!(report.latencies.len(), job_list.len());
+    outputs
 }
 
 fn arb_rc_src() -> impl Strategy<Value = RcSrc> {
@@ -266,6 +312,43 @@ proptest! {
         prop_assert_eq!(&round_robin, &serial);
         let (least_loaded, _) = run_pool(&job_list, LeastLoaded);
         prop_assert_eq!(&least_loaded, &serial);
+    }
+
+    #[test]
+    fn served_outputs_are_bit_identical_to_serial_execution(
+        mix in prop::collection::vec(
+            (0usize..4, 1usize..4, -500i32..500, 0u64..5_000, 0u32..3, 0u8..4, 0u64..3_000),
+            8,
+        ),
+        jobs in 1usize..9,
+    ) {
+        // The serving layer's core honesty property: however the admission
+        // queue reorders dispatches (FIFO, deadline-driven, deficit
+        // round-robin), whatever priorities, arrival stamps and deadlines
+        // the tenants attach, and whether or not the stealing pass
+        // re-routes queued jobs between the arrays, the outputs must be
+        // bit-identical to running every job serially in submission order
+        // on one fresh session.  Scheduling moves when and where the work
+        // runs — never what it computes.
+        let mix = &mix[..jobs];
+        let kernels = pool_kernels();
+        let job_list = pool_jobs(
+            &mix.iter()
+                .map(|&(pick, windows, seed, ..)| (pick, windows, seed))
+                .collect::<Vec<_>>(),
+        );
+        let (serial, _) = Pool::run_serial_reference(
+            job_list
+                .iter()
+                .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+        )
+        .expect("serial reference runs");
+
+        for stealing in [false, true] {
+            prop_assert_eq!(&run_server(mix, Fifo, stealing), &serial);
+            prop_assert_eq!(&run_server(mix, EarliestDeadlineFirst, stealing), &serial);
+            prop_assert_eq!(&run_server(mix, WeightedFair::new(), stealing), &serial);
+        }
     }
 
     #[test]
