@@ -17,6 +17,19 @@ pub enum FftAccelError {
         /// The maximum supported length.
         max: usize,
     },
+    /// The accelerator configuration is degenerate (non-finite or
+    /// non-positive rates, a `max_points` the address generators cannot
+    /// express) — running it would silently saturate the cycle model.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        what: String,
+    },
+    /// The cycle model overflowed the `u64` cycle counter for this
+    /// configuration × size; earlier revisions saturated silently here.
+    CostOverflow {
+        /// The quantity that overflowed.
+        what: String,
+    },
 }
 
 impl fmt::Display for FftAccelError {
@@ -26,6 +39,12 @@ impl fmt::Display for FftAccelError {
                 f,
                 "fft size {n} not supported (power of two of 8..={max} required)"
             ),
+            FftAccelError::InvalidConfig { what } => {
+                write!(f, "invalid accelerator configuration: {what}")
+            }
+            FftAccelError::CostOverflow { what } => {
+                write!(f, "cycle model overflow: {what}")
+            }
         }
     }
 }
@@ -121,7 +140,33 @@ impl FftAccelerator {
         self.config
     }
 
+    fn check_config(&self) -> Result<(), FftAccelError> {
+        let c = &self.config;
+        let invalid = |what: &str| {
+            Err(FftAccelError::InvalidConfig {
+                what: what.to_string(),
+            })
+        };
+        if !(2..=32).contains(&c.datapath_bits) {
+            return invalid("datapath_bits must be in 2..=32");
+        }
+        if c.max_points < 8 || !c.max_points.is_power_of_two() {
+            return invalid("max_points must be a power of two >= 8");
+        }
+        if c.max_points > 1 << 32 {
+            return invalid("max_points exceeds the engine's 32-bit address generators");
+        }
+        if !c.radix2_butterflies_per_cycle.is_finite() || c.radix2_butterflies_per_cycle <= 0.0 {
+            return invalid("radix2_butterflies_per_cycle must be finite and positive");
+        }
+        if !c.io_cycles_per_word.is_finite() || c.io_cycles_per_word < 0.0 {
+            return invalid("io_cycles_per_word must be finite and non-negative");
+        }
+        Ok(())
+    }
+
     fn check_size(&self, n: usize) -> Result<(), FftAccelError> {
+        self.check_config()?;
         if n < 8 || !n.is_power_of_two() || n > self.config.max_points {
             return Err(FftAccelError::UnsupportedSize {
                 n,
@@ -129,6 +174,76 @@ impl FftAccelerator {
             });
         }
         Ok(())
+    }
+
+    /// Converts a modelled cycle quantity to `u64`, refusing the silent
+    /// saturation `as u64` would perform on non-finite or oversized values.
+    fn cycles_u64(value: f64, what: &str) -> Result<u64, FftAccelError> {
+        if !value.is_finite() || value < 0.0 || value >= u64::MAX as f64 {
+            return Err(FftAccelError::CostOverflow {
+                what: what.to_string(),
+            });
+        }
+        Ok(value as u64)
+    }
+
+    /// The cycle model of one `n`-point complex pass: `(compute, io)`
+    /// cycles, exclusive of the programming overhead.
+    fn complex_cycle_model(&self, n: usize) -> Result<(u64, u64), FftAccelError> {
+        // The mixed radix-2/4 engine retires roughly two radix-2-equivalent
+        // butterflies per cycle; odd log2 sizes need one extra radix-2 pass
+        // which is slightly less efficient (visible in Table 2 as the
+        // non-monotonic speed-up across sizes).
+        let stages = n.trailing_zeros();
+        let butterflies = (n as u64 / 2) * u64::from(stages);
+        let radix2_pass_penalty = if stages % 2 == 1 { 1.15 } else { 1.0 };
+        let compute_cycles = Self::cycles_u64(
+            butterflies as f64 / self.config.radix2_butterflies_per_cycle * radix2_pass_penalty,
+            "butterfly cycles",
+        )?;
+        let io_words = 4 * n as u64; // complex in + complex out
+        let io_cycles = Self::cycles_u64(
+            io_words as f64 * self.config.io_cycles_per_word,
+            "io cycles",
+        )?;
+        Ok((compute_cycles, io_cycles))
+    }
+
+    /// Projects the total cycles of one `n`-point run — setup, butterfly
+    /// passes and IO, plus the recombination pass for the real-valued flow —
+    /// without touching any data.  This is the accelerator's admission cost
+    /// model: schedulers use it to price an FFT job against other backends.
+    ///
+    /// # Errors
+    ///
+    /// [`FftAccelError::UnsupportedSize`] for unsupported lengths,
+    /// [`FftAccelError::InvalidConfig`] / [`FftAccelError::CostOverflow`]
+    /// for degenerate configurations instead of a silently saturated count.
+    pub fn projected_cycles(&self, n: usize, real: bool) -> Result<u64, FftAccelError> {
+        self.check_size(n)?;
+        let overflow = || FftAccelError::CostOverflow {
+            what: "total cycles".to_string(),
+        };
+        if real {
+            // The real flow runs an n/2-point complex FFT plus one
+            // recombination cycle per output bin (see `run_real`).
+            let half = n / 2;
+            self.check_size(half)?;
+            let (compute, io) = self.complex_cycle_model(half)?;
+            self.config
+                .setup_cycles
+                .checked_add(compute)
+                .and_then(|c| c.checked_add(io))
+                .and_then(|c| c.checked_add(half as u64 + 1))
+                .ok_or_else(overflow)
+        } else {
+            let (compute, io) = self.complex_cycle_model(n)?;
+            self.config
+                .setup_cycles
+                .checked_add(compute)
+                .and_then(|c| c.checked_add(io))
+                .ok_or_else(overflow)
+        }
     }
 
     /// Runs a complex FFT on interleaved floating-point data (the host view
@@ -153,7 +268,6 @@ impl FftAccelerator {
         let mut im: Vec<i64> = input.iter().map(|c| (c.im * scale_in) as i64).collect();
         let mut block_exponent = 0i32;
 
-        let stages = n.trailing_zeros();
         vwr2a_dsp::fft::bit_reverse_permute(&mut re);
         vwr2a_dsp::fft::bit_reverse_permute(&mut im);
         let mut len = 2usize;
@@ -204,19 +318,18 @@ impl FftAccelerator {
             .map(|(&r, &i)| Complex::new(r as f64 * out_scale, i as f64 * out_scale))
             .collect();
 
-        // Cycle model: programming + IO + butterfly passes.  The mixed
-        // radix-2/4 engine retires roughly two radix-2-equivalent
-        // butterflies per cycle; odd log2 sizes need one extra radix-2 pass
-        // which is slightly less efficient (visible in Table 2 as the
-        // non-monotonic speed-up across sizes).
-        let butterflies = (n as u64 / 2) * u64::from(stages);
-        let radix2_pass_penalty = if stages % 2 == 1 { 1.15 } else { 1.0 };
-        let compute_cycles = (butterflies as f64 / self.config.radix2_butterflies_per_cycle
-            * radix2_pass_penalty) as u64;
-        let io_words = 4 * n as u64; // complex in + complex out
-        let io_cycles = (io_words as f64 * self.config.io_cycles_per_word) as u64;
-        stats.io_words = io_words;
-        stats.cycles = self.config.setup_cycles + compute_cycles + io_cycles;
+        // Cycle model: programming + IO + butterfly passes (shared with
+        // `projected_cycles`, so scheduler projections match executions).
+        let (compute_cycles, io_cycles) = self.complex_cycle_model(n)?;
+        stats.io_words = 4 * n as u64;
+        stats.cycles = self
+            .config
+            .setup_cycles
+            .checked_add(compute_cycles)
+            .and_then(|c| c.checked_add(io_cycles))
+            .ok_or_else(|| FftAccelError::CostOverflow {
+                what: "total cycles".to_string(),
+            })?;
         Ok((spectrum, stats))
     }
 
@@ -247,7 +360,11 @@ impl FftAccelerator {
             let w = Complex::from_angle(-std::f64::consts::TAU * k as f64 / n as f64);
             out.push((e + w * odd).scale(0.5));
         }
-        stats.cycles += (half + 1) as u64;
+        stats.cycles = stats.cycles.checked_add(half as u64 + 1).ok_or_else(|| {
+            FftAccelError::CostOverflow {
+                what: "total cycles".to_string(),
+            }
+        })?;
         stats.memory_accesses += 3 * (half as u64 + 1);
         stats.twiddle_reads += half as u64 + 1;
         stats.io_words += half as u64 + 1;
@@ -345,5 +462,112 @@ mod tests {
         let input: Vec<Complex> = (0..64).map(|_| Complex::new(0.99, -0.99)).collect();
         let (_, stats) = accel.run_complex(&input).unwrap();
         assert!(stats.scaling_events > 0);
+    }
+
+    #[test]
+    fn projected_cycles_match_executed_cycles() {
+        let accel = FftAccelerator::new();
+        for n in [64usize, 256, 512, 1024] {
+            let sig_c: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin() * 0.4, 0.0))
+                .collect();
+            let (_, stats) = accel.run_complex(&sig_c).unwrap();
+            assert_eq!(accel.projected_cycles(n, false).unwrap(), stats.cycles);
+            let sig_r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 0.4).collect();
+            let (_, stats) = accel.run_real(&sig_r).unwrap();
+            assert_eq!(accel.projected_cycles(n, true).unwrap(), stats.cycles);
+        }
+    }
+
+    #[test]
+    fn projected_cycles_reject_unsupported_sizes() {
+        let accel = FftAccelerator::new();
+        for n in [0usize, 4, 7, 100, 8192] {
+            assert!(matches!(
+                accel.projected_cycles(n, false),
+                Err(FftAccelError::UnsupportedSize { .. })
+            ));
+        }
+        // The real flow needs its half-size complex pass to be supported
+        // too: n = 8 packs into a 4-point complex FFT, below the floor.
+        assert!(matches!(
+            accel.projected_cycles(8, true),
+            Err(FftAccelError::UnsupportedSize { n: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors_not_saturation() {
+        // A zero butterfly rate used to divide to infinity and saturate the
+        // `as u64` cast to u64::MAX; it must surface as a typed error now.
+        let zero_rate = FftAccelerator::with_config(FftAccelConfig {
+            radix2_butterflies_per_cycle: 0.0,
+            ..FftAccelConfig::default()
+        });
+        let sig: Vec<Complex> = (0..64).map(|_| Complex::new(0.1, 0.0)).collect();
+        assert!(matches!(
+            zero_rate.run_complex(&sig),
+            Err(FftAccelError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            zero_rate.projected_cycles(64, false),
+            Err(FftAccelError::InvalidConfig { .. })
+        ));
+
+        // A NaN IO rate is equally degenerate.
+        let nan_io = FftAccelerator::with_config(FftAccelConfig {
+            io_cycles_per_word: f64::NAN,
+            ..FftAccelConfig::default()
+        });
+        assert!(matches!(
+            nan_io.projected_cycles(64, false),
+            Err(FftAccelError::InvalidConfig { .. })
+        ));
+
+        // `max_points` beyond the address generators, or not a power of
+        // two, is rejected before any size check can "pass" against it.
+        for max_points in [0usize, 6, 1 << 40] {
+            let bad_max = FftAccelerator::with_config(FftAccelConfig {
+                max_points,
+                ..FftAccelConfig::default()
+            });
+            assert!(matches!(
+                bad_max.projected_cycles(64, false),
+                Err(FftAccelError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn tiny_rates_overflow_loudly_not_silently() {
+        // A denormal-small (but still positive and finite) rate pushes the
+        // butterfly cycle count past u64::MAX: the model must say so.
+        let slow = FftAccelerator::with_config(FftAccelConfig {
+            radix2_butterflies_per_cycle: 1e-18,
+            ..FftAccelConfig::default()
+        });
+        assert!(matches!(
+            slow.projected_cycles(4096, false),
+            Err(FftAccelError::CostOverflow { .. })
+        ));
+        let sig: Vec<Complex> = (0..4096).map(|_| Complex::new(0.1, 0.0)).collect();
+        assert!(matches!(
+            slow.run_complex(&sig),
+            Err(FftAccelError::CostOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn error_displays_name_the_failure() {
+        let err = FftAccelError::InvalidConfig {
+            what: "x".to_string(),
+        };
+        assert!(err
+            .to_string()
+            .contains("invalid accelerator configuration"));
+        let err = FftAccelError::CostOverflow {
+            what: "total cycles".to_string(),
+        };
+        assert!(err.to_string().contains("overflow"));
     }
 }

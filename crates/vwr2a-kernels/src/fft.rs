@@ -34,9 +34,11 @@ use vwr2a_core::builder::ColumnProgramBuilder;
 use vwr2a_core::geometry::Geometry;
 use vwr2a_core::isa::RcOpcode;
 use vwr2a_core::program::{ColumnProgram, KernelProgram};
+use vwr2a_dsp::complex::Complex;
 use vwr2a_dsp::fft::bit_reverse;
-use vwr2a_dsp::fixed::{mul_fxp, to_q16};
-use vwr2a_runtime::{Kernel, LaunchCtx, Resources};
+use vwr2a_dsp::fixed::{from_q16, mul_fxp, to_q16};
+use vwr2a_fftaccel::{FftAccelStats, FftAccelerator};
+use vwr2a_runtime::{FftShape, Kernel, LaunchCtx, Offload, Resources};
 
 /// Words per SPM line / VWR.
 const LINE: usize = 128;
@@ -390,6 +392,49 @@ impl Kernel for FftKernel {
         let (re, im) = complex_flow(n, &self.twiddles, ctx, &input.re, &input.im)?;
         Ok(Spectrum::new(re, im))
     }
+
+    fn offload(&self) -> Offload {
+        Offload {
+            fft: Some(FftShape {
+                points: self.n,
+                real: false,
+            }),
+            cpu_cycles: None,
+        }
+    }
+
+    fn execute_fft(
+        &self,
+        accel: &FftAccelerator,
+        input: &Spectrum,
+    ) -> vwr2a_runtime::Result<(Spectrum, FftAccelStats)> {
+        let n = self.n;
+        if input.re.len() != n || input.im.len() != n {
+            return Err(KernelError::InvalidParameter {
+                what: format!(
+                    "expected {n} samples, got {}/{}",
+                    input.re.len(),
+                    input.im.len()
+                ),
+            }
+            .into());
+        }
+        let packed: Vec<Complex> = input
+            .re
+            .iter()
+            .zip(&input.im)
+            .map(|(&re, &im)| Complex::new(from_q16(re), from_q16(im)))
+            .collect();
+        let (bins, stats) = accel
+            .run_complex(&packed)
+            .map_err(|e| vwr2a_runtime::RuntimeError::invalid_input(e.to_string()))?;
+        // The engine renormalises to `X[k]/N`; undo that so magnitudes sit
+        // on the same unnormalised-DFT scale as the array's stage flow.
+        let scale = n as f64;
+        let re = bins.iter().map(|c| to_q16(c.re * scale)).collect();
+        let im = bins.iter().map(|c| to_q16(c.im * scale)).collect();
+        Ok((Spectrum::new(re, im), stats))
+    }
 }
 
 /// The real-valued FFT kernel of Sec. 3.4: even/odd packing, an `n/2`-point
@@ -587,6 +632,40 @@ impl Kernel for RealFftKernel {
         out_im.push(0);
         Ok(Spectrum::new(out_re, out_im))
     }
+
+    fn offload(&self) -> Offload {
+        Offload {
+            fft: Some(FftShape {
+                points: 2 * self.half,
+                real: true,
+            }),
+            cpu_cycles: None,
+        }
+    }
+
+    fn execute_fft(
+        &self,
+        accel: &FftAccelerator,
+        input: &[i32],
+    ) -> vwr2a_runtime::Result<(Spectrum, FftAccelStats)> {
+        let n_real = 2 * self.half;
+        if input.len() != n_real {
+            return Err(KernelError::InvalidParameter {
+                what: format!("expected {n_real} real samples, got {}", input.len()),
+            }
+            .into());
+        }
+        let samples: Vec<f64> = input.iter().map(|&v| from_q16(v)).collect();
+        let (bins, stats) = accel
+            .run_real(&samples)
+            .map_err(|e| vwr2a_runtime::RuntimeError::invalid_input(e.to_string()))?;
+        // The engine's split flow lands on `X[k]/N`; restore the
+        // unnormalised scale the array recombination produces.
+        let scale = n_real as f64;
+        let re = bins.iter().map(|c| to_q16(c.re * scale)).collect();
+        let im = bins.iter().map(|c| to_q16(c.im * scale)).collect();
+        Ok((Spectrum::new(re, im), stats))
+    }
 }
 
 /// Emits a pass that arithmetic-shifts a line right by one and stores it to
@@ -773,5 +852,59 @@ mod tests {
         assert_eq!(r.len(), 512);
         assert!(!r.is_empty());
         assert!(session.run(&r, &[0i32; 100][..]).is_err());
+    }
+
+    #[test]
+    fn accel_offload_tracks_the_golden_transform_and_is_bit_stable() {
+        let n = 256;
+        let (re, im, float) = q16_signal(n, 9.0);
+        let kernel = FftKernel::new(n).unwrap();
+        let shape = kernel.offload().fft.expect("complex FFT offloads");
+        assert_eq!((shape.points, shape.real), (n, false));
+        let accel = FftAccelerator::new();
+        let input = Spectrum::new(re, im);
+        let (spectrum, stats) = kernel.execute_fft(&accel, &input).unwrap();
+        assert_eq!(spectrum.len(), n);
+        assert_eq!(stats.cycles, accel.projected_cycles(n, false).unwrap());
+        // The engine's 18-bit block-scaled datapath quantises, but the peak
+        // bins must land where the golden model puts them.
+        let reference = fft(&float).unwrap();
+        for (k, golden) in reference.iter().enumerate() {
+            assert!(
+                (from_q16(spectrum.re[k]) - golden.re).abs() < 1.5,
+                "bin {k}"
+            );
+        }
+        // Same window on a fresh engine: bit-identical, as the scheduler's
+        // replay guarantee requires.
+        let (again, _) = kernel.execute_fft(&FftAccelerator::new(), &input).unwrap();
+        assert_eq!(again.re, spectrum.re);
+        assert_eq!(again.im, spectrum.im);
+        // Length mismatches are rejected before touching the engine.
+        let short = Spectrum::new(vec![0; 16], vec![0; 16]);
+        assert!(kernel.execute_fft(&accel, &short).is_err());
+    }
+
+    #[test]
+    fn real_accel_offload_produces_the_packed_spectrum_bins() {
+        let n_real = 512;
+        let (samples, _, _) = q16_signal(n_real, 20.0);
+        let kernel = RealFftKernel::new(n_real).unwrap();
+        let shape = kernel.offload().fft.expect("real FFT offloads");
+        assert_eq!((shape.points, shape.real), (n_real, true));
+        let accel = FftAccelerator::new();
+        let (spectrum, stats) = kernel.execute_fft(&accel, &samples[..]).unwrap();
+        assert_eq!(spectrum.len(), n_real / 2 + 1);
+        assert_eq!(stats.cycles, accel.projected_cycles(n_real, true).unwrap());
+        let float: Vec<f64> = samples.iter().map(|&v| from_q16(v)).collect();
+        let reference = rfft(&float).unwrap();
+        for (k, r) in reference.iter().enumerate() {
+            assert!(
+                (from_q16(spectrum.re[k]) - r.re).abs() < 2.0
+                    && (from_q16(spectrum.im[k]) - r.im).abs() < 2.0,
+                "bin {k}"
+            );
+        }
+        assert!(kernel.execute_fft(&accel, &samples[..100]).is_err());
     }
 }

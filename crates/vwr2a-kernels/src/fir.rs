@@ -27,7 +27,9 @@ use vwr2a_core::isa::{
     LcuCond, LcuInstr, LcuSrc, LsuAddr, LsuInstr, MxcuInstr, RcDst, RcInstr, RcOpcode, RcSrc,
 };
 use vwr2a_core::program::KernelProgram;
-use vwr2a_runtime::{Kernel, LaunchCtx, Resources, Session};
+use vwr2a_runtime::{Kernel, LaunchCtx, Offload, Resources, RuntimeError, Session};
+use vwr2a_soc::cpu::{Cpu, CpuInstr};
+use vwr2a_soc::sram::Sram;
 
 /// Payload samples produced per RC slice and per block pass.
 const PAYLOAD_PER_SLICE: usize = 32 - 10;
@@ -225,6 +227,72 @@ impl FirKernel {
         line
     }
 
+    /// Emits the Cortex-M4 mirror of the column program: one `Lw`/`Li`/
+    /// `Mla` triple per tap walking the same zero-padded window, the same
+    /// final arithmetic `>> 15`, and a store per output sample.
+    ///
+    /// The SRAM image the program expects is `taps.len() - 1` zero words,
+    /// the `n` input samples, then the `n`-word output region; all
+    /// arithmetic is wrapping 32-bit in tap order, so the outputs are
+    /// bit-identical to the array's reconfigurable-cell datapath.
+    fn cpu_program(&self) -> Vec<CpuInstr> {
+        let k = self.taps.len();
+        let pad = (k - 1) as i32;
+        let out_base = pad + self.n as i32;
+        let mut prog = vec![
+            CpuInstr::Li { rd: 1, imm: 0 },
+            CpuInstr::Li {
+                rd: 2,
+                imm: self.n as i32,
+            },
+        ];
+        let loop_top = prog.len();
+        for (tap_idx, &tap) in self.taps.iter().enumerate() {
+            // x[i - k] lives at word `i + (pad - k)` of the padded image.
+            prog.push(CpuInstr::Lw {
+                rd: 4,
+                rs1: 1,
+                offset: pad - tap_idx as i32,
+            });
+            prog.push(CpuInstr::Li { rd: 5, imm: tap });
+            prog.push(if tap_idx == 0 {
+                CpuInstr::Mul {
+                    rd: 3,
+                    rs1: 4,
+                    rs2: 5,
+                }
+            } else {
+                CpuInstr::Mla {
+                    rd: 3,
+                    rs1: 4,
+                    rs2: 5,
+                }
+            });
+        }
+        prog.push(CpuInstr::Sra {
+            rd: 3,
+            rs1: 3,
+            shamt: 15,
+        });
+        prog.push(CpuInstr::Sw {
+            rs2: 3,
+            rs1: 1,
+            offset: out_base,
+        });
+        prog.push(CpuInstr::Addi {
+            rd: 1,
+            rs1: 1,
+            imm: 1,
+        });
+        prog.push(CpuInstr::Blt {
+            rs1: 1,
+            rs2: 2,
+            target: loop_top,
+        });
+        prog.push(CpuInstr::Halt);
+        prog
+    }
+
     /// Convenience wrapper: runs the filter in a throwaway [`Session`].
     ///
     /// Repeated-invocation workloads should hold their own session so the
@@ -300,6 +368,42 @@ impl Kernel for FirKernel {
             }
         }
         Ok(output)
+    }
+
+    fn offload(&self) -> Offload {
+        // Per output: one load/immediate/MAC triple per tap plus the
+        // shift/store/bump/branch epilogue.  A placement-grade estimate —
+        // execution charges the ISS's actual cycle count.
+        let per_output = 4 * self.taps.len() as u64 + 8;
+        Offload {
+            fft: None,
+            cpu_cycles: Some(self.n as u64 * per_output + 8),
+        }
+    }
+
+    fn execute_cpu(
+        &self,
+        cpu: &mut Cpu,
+        sram: &mut Sram,
+        input: &[i32],
+    ) -> vwr2a_runtime::Result<(Vec<i32>, u64)> {
+        if input.len() != self.n {
+            return Err(KernelError::InvalidParameter {
+                what: format!("expected {} samples, got {}", self.n, input.len()),
+            }
+            .into());
+        }
+        let as_runtime_err = |e: vwr2a_soc::SocError| RuntimeError::invalid_input(e.to_string());
+        // The host SRAM persists across jobs, so (re)stage the whole image:
+        // the zero halo the negative-index taps read, then the samples.
+        let pad = self.taps.len() - 1;
+        if pad > 0 {
+            sram.load(0, &vec![0i32; pad]).map_err(as_runtime_err)?;
+        }
+        sram.load(pad, input).map_err(as_runtime_err)?;
+        let stats = cpu.run(&self.cpu_program(), sram).map_err(as_runtime_err)?;
+        let output = sram.dump(pad + self.n, self.n).map_err(as_runtime_err)?;
+        Ok((output, stats.cycles))
     }
 }
 
@@ -395,5 +499,45 @@ mod tests {
         assert_eq!(k.taps(), &[1, 2, 3]);
         assert_eq!(k.len(), 64);
         assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn cpu_offload_matches_the_array_bit_exactly() {
+        // Both datapaths compute (sum taps[k] * x[i-k]) >> 15 with wrapping
+        // 32-bit arithmetic in tap order, so the ISS mirror must agree on
+        // every word, including the zero-padded left edge.
+        let taps = paper_taps();
+        let kernel = FirKernel::new(&taps, 96).unwrap();
+        let input: Vec<i32> = (0..96).map(|i| (i * 2731) % 65536 - 32768).collect();
+        let array_out = kernel.run_once(&input).unwrap();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        let (cpu_out, cycles) = kernel.execute_cpu(&mut cpu, &mut sram, &input).unwrap();
+        assert_eq!(cpu_out, array_out);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn cpu_offload_is_independent_of_prior_sram_contents() {
+        // The hook contract: every word the program reads is reloaded, so
+        // a dirty SRAM from an earlier job cannot leak into the output.
+        let kernel = FirKernel::new(&[4096, -8192, 16384], 40).unwrap();
+        let input: Vec<i32> = (0..40).map(|i| (i - 20) * 999).collect();
+        let mut cpu = Cpu::new();
+        let mut sram = Sram::paper();
+        let (fresh, _) = kernel.execute_cpu(&mut cpu, &mut sram, &input).unwrap();
+        let poison: Vec<i32> = (0..128).map(|i| i32::MIN + i).collect();
+        sram.load(0, &poison).unwrap();
+        let (dirty, _) = kernel.execute_cpu(&mut cpu, &mut sram, &input).unwrap();
+        assert_eq!(dirty, fresh);
+    }
+
+    #[test]
+    fn offload_declares_a_cpu_estimate_and_no_fft_shape() {
+        let kernel = FirKernel::new(&paper_taps(), 64).unwrap();
+        let offload = kernel.offload();
+        assert!(offload.fft.is_none());
+        let estimate = offload.cpu_cycles.expect("FIR advertises a CPU fallback");
+        assert!(estimate > 64, "estimate scales with the sample count");
     }
 }

@@ -47,14 +47,25 @@ pub enum RuntimeError {
         /// Number of jobs queued at the time.
         queued: usize,
     },
-    /// [`crate::pool::Pool::with_sessions`] was handed sessions whose
-    /// array geometries differ.  A pool is a homogeneous fleet: any job
-    /// must be able to run on any array, and one geometry must price every
-    /// program's reload.
+    /// A kernel cannot be built for a CGRA backend's array geometry.
+    /// Mixed-geometry fleets are legal — reloads are priced per geometry —
+    /// but a kernel whose program does not map onto a given geometry is
+    /// *genuinely incompatible* with that backend: routing it there (or
+    /// finding no backend at all that can take it) aborts the fan-out, and
+    /// the pool stays valid and reusable.
     MixedGeometry {
-        /// Index of the first session whose geometry differs from
-        /// session 0's.
+        /// Index of the backend whose geometry cannot build the program.
         array: usize,
+    },
+    /// A job was routed to a backend that cannot serve it: the backend's
+    /// capability mask does not cover the kernel's execution classes (e.g.
+    /// a non-FFT job on the fixed-function FFT engine), or a kernel's
+    /// default offload hook was invoked without an implementation.
+    Capability {
+        /// Name of the kernel.
+        kernel: String,
+        /// The backend (kind or index) that cannot serve it.
+        backend: String,
     },
 }
 
@@ -91,8 +102,12 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::MixedGeometry { array } => write!(
                 f,
-                "a pool is a homogeneous fleet: session {array}'s array geometry \
-                 differs from session 0's"
+                "kernel cannot be mapped onto backend {array}'s array geometry \
+                 in this mixed-geometry fleet"
+            ),
+            RuntimeError::Capability { kernel, backend } => write!(
+                f,
+                "kernel `{kernel}` is not servable by the {backend} backend"
             ),
         }
     }
@@ -154,7 +169,14 @@ mod tests {
         assert!(e.to_string().contains("queue slot 9"));
         assert!(e.source().is_none());
         let e = RuntimeError::MixedGeometry { array: 1 };
-        assert!(e.to_string().contains("session 1"));
+        assert!(e.to_string().contains("backend 1"));
+        assert!(e.source().is_none());
+        let e = RuntimeError::Capability {
+            kernel: "scale".into(),
+            backend: "fft-accel".into(),
+        };
+        assert!(e.to_string().contains("scale"));
+        assert!(e.to_string().contains("fft-accel"));
         assert!(e.source().is_none());
     }
 }

@@ -36,17 +36,24 @@
 //!   replay the streaming on the otherwise-idle configuration-load lane
 //!   ([`StreamSchedule::prefetch`]), where it overlaps the compute
 //!   backlog instead of delaying the launch.
-//! * **Fleet scheduling** — a [`Pool`] owns N sessions (each its own
-//!   array) behind a pluggable [`Placement`] strategy returning a
-//!   [`PlacementPlan`] (target array + optional [`PrefetchDirective`]):
-//!   the default [`CostAware`] weighs each candidate's reload cost
-//!   against its compute backlog and prefetches would-be cold reloads off
-//!   the critical path, next to the prefetch-less [`ResidencyAware`],
+//! * **Heterogeneous fleet scheduling** — a [`Pool`] owns N [`Backend`]s:
+//!   CGRA arrays ([`ArrayBackend`], each a full session), and optionally
+//!   the fixed-function FFT engine ([`FftBackend`]) and the Cortex-M4
+//!   host ([`CpuBackend`]).  A kernel advertises non-CGRA
+//!   implementations via [`Kernel::offload`]; a pluggable [`Placement`]
+//!   strategy returns a [`PlacementPlan`] (target backend + optional
+//!   [`PrefetchDirective`]) over capability-filtered [`BackendView`]s.
+//!   The default [`CostAware`] weighs each candidate's reload cost
+//!   against its compute backlog and modelled per-window cycles —
+//!   prefetching would-be cold array reloads off the critical path,
+//!   sending FFT-shaped jobs to the engine and reload-dominated crumbs
+//!   to the CPU — next to the prefetch-less [`ResidencyAware`],
 //!   [`RoundRobin`] and [`LeastLoaded`] baselines.  [`Pool::run_batch`] /
 //!   [`Pool::run_stream`] fan jobs across the fleet bit-identically to
-//!   serial execution and merge the per-array schedules into one
+//!   serial execution and merge the per-backend schedules into one
 //!   [`FleetReport`] (with cold-reload, prefetch and hidden-reload
-//!   counters; see [`pool`]).
+//!   counters, per-job [`JobRoute`]s and per-kind [`BackendKindStats`]
+//!   attribution; see [`pool`] and [`backend`]).
 //! * **Online serving** — a [`Server`] wraps a [`Pool`] behind a
 //!   multi-tenant admission queue consuming an *arrival-stamped* job
 //!   stream: each [`ServeJob`] carries a [`TenantId`], arrival cycle,
@@ -75,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod pipeline;
 pub mod policy;
@@ -84,14 +92,21 @@ pub mod serve;
 pub mod session;
 pub mod testing;
 
+pub use backend::{
+    ArrayBackend, Backend, BackendKind, CpuBackend, FftBackend, FftShape, Offload, CAP_CGRA,
+    CAP_CPU, CAP_FFT,
+};
 pub use error::{Result, RuntimeError};
 pub use pipeline::{StreamSchedule, WindowPhases};
 pub use policy::{EvictionPolicy, LfuPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
 pub use pool::{
-    ArrayView, CostAware, JobView, LeastLoaded, Placement, PlacementPlan, Pool, PrefetchDirective,
-    ResidencyAware, RoundRobin,
+    BackendView, CostAware, JobView, LeastLoaded, Placement, PlacementPlan, Pool,
+    PrefetchDirective, ResidencyAware, RoundRobin,
 };
-pub use report::{ArrayReport, FleetReport, JobLatency, RunReport, ServeReport, TenantStats};
+pub use report::{
+    ArrayReport, BackendKindStats, FleetReport, JobLatency, JobRoute, RunReport, ServeReport,
+    TenantStats,
+};
 pub use serve::{
     EarliestDeadlineFirst, Fifo, QueuedJob, SchedPolicy, ServeJob, Server, TenantId, WeightedFair,
 };

@@ -1,57 +1,73 @@
-//! Multi-accelerator pool: fan `(kernel, windows)` jobs across a fleet of
-//! [`Session`]s behind one residency-aware scheduler.
+//! Heterogeneous backend pool: fan `(kernel, windows)` jobs across CGRA
+//! arrays, the fixed-function FFT engine and the host CPU behind one
+//! residency-aware scheduler.
 //!
 //! # The scheduling model
 //!
-//! A [`Pool`] owns N independent arrays — each a full [`Session`] with its
-//! own `Vwr2a`, configuration memory and eviction policy.  A *job* is one
+//! A [`Pool`] owns N independent [`Backend`]s — CGRA arrays (each a full
+//! [`Session`] with its own `Vwr2a`, configuration memory and eviction
+//! policy, see [`crate::backend::ArrayBackend`]), and optionally the
+//! fixed-function FFT engine ([`crate::backend::FftBackend`]) and the
+//! Cortex-M4 host ([`crate::backend::CpuBackend`]).  A *job* is one
 //! `(kernel, windows)` workload: a kernel plus the window stream to run
 //! through it.  [`Pool::run_batch`] / [`Pool::run_stream`] place each job
-//! on one array via the pool's [`Placement`] strategy and execute its
-//! windows there on the array's own pipelined
-//! [`StreamSchedule`] (staging overlapped
-//! with compute, exactly like [`Session::run_stream`]).
+//! on one backend via the pool's [`Placement`] strategy and execute its
+//! windows there on the backend's own pipelined [`StreamSchedule`]
+//! (staging overlapped with compute, exactly like
+//! [`Session::run_stream`]).
 //!
 //! Placement is where the fleet either wins or loses: a kernel's program
 //! must be *resident* in an array's configuration memory to launch warm,
 //! so routing a job to an array that already holds its program skips the
 //! configuration-word streaming entirely, while a residency-blind router
 //! keeps paying cold reloads (and, under capacity pressure, keeps evicting
-//! other jobs' programs).  A strategy returns a [`PlacementPlan`]: the
-//! target array, plus an optional [`PrefetchDirective`] that makes the
-//! pool stage the job's configuration words *speculatively*
-//! ([`Session::prefetch`]) on the target's
-//! [`StreamSchedule`] before the job's first
-//! window — the reload streams on the otherwise-idle configuration-load
-//! lane, overlapping the array's compute backlog, and the launch itself
-//! finds the program warm.  Four strategies ship with the pool:
+//! other jobs' programs).  A kernel may additionally advertise non-CGRA
+//! implementations through [`Kernel::offload`] — an FFT shape the
+//! fixed-function engine can run, a host-CPU routine for jobs too small to
+//! amortise an array reload — and the pool prices those backends from
+//! their own cycle models next to the arrays.  A strategy returns a
+//! [`PlacementPlan`]: the target backend, plus an optional
+//! [`PrefetchDirective`] that makes the pool stage the job's configuration
+//! words *speculatively* ([`Session::prefetch`]) on the target's
+//! [`StreamSchedule`] before the job's first window — the reload streams
+//! on the otherwise-idle configuration-load lane, overlapping the array's
+//! compute backlog, and the launch itself finds the program warm.  Four
+//! strategies ship with the pool:
 //!
-//! * [`CostAware`] — the default: weighs each candidate's reload cost (the
-//!   program's configuration words, [`JobView::config_words`]) against its
-//!   compute backlog ([`ArrayView::free_compute_at`]) and routes the job to
-//!   the array whose first window could compute earliest, directing a
-//!   prefetch whenever the chosen array would otherwise reload cold.  This
-//!   subsumes [`ResidencyAware`]'s idle-array replication heuristic with
-//!   an explicit cost model: replication happens exactly when the reload
-//!   is cheaper than the backlog it avoids.
+//! * [`CostAware`] — the default: estimates, for every backend the job is
+//!   *eligible* on ([`BackendView::eligible`]), when the job would
+//!   complete — reload cost ([`BackendView::reload_cycles`]) against
+//!   compute backlog ([`BackendView::free_compute_at`]), plus the
+//!   backend's modelled per-window cycles
+//!   ([`BackendView::window_cycles`], the pool's learned per-key estimate
+//!   for arrays) — and routes the job to the cheapest completion,
+//!   directing a prefetch whenever a chosen *array* would otherwise
+//!   reload cold.  On an all-array fleet this reduces exactly to PR 5's
+//!   cost model; with offload backends present it is what routes FFT jobs
+//!   to the FFT engine and reload-dominated crumbs to the CPU.
 //! * [`ResidencyAware`] — PR 4's scheduler, kept as the prefetch-less
-//!   comparison point: prefer arrays with the job's program resident,
+//!   comparison point: prefer backends with the job's program resident,
 //!   tie-breaking on the earliest-free compute engine; replicate onto
-//!   fully idle arrays rather than queue behind busy resident copies.
-//! * [`RoundRobin`] — job *i* goes to array *i mod N*, residency-blind.
-//!   The baseline the `pool` bench bin compares against.
-//! * [`LeastLoaded`] — route to the array with the fewest cumulative
-//!   compute-busy cycles ([`Session::free_compute_at`]), balancing load
-//!   without looking at residency.
+//!   fully idle backends rather than queue behind busy resident copies.
+//! * [`RoundRobin`] — job *i* goes to eligible backend *i mod E*,
+//!   residency-blind.  The baseline the `pool` bench bin compares against.
+//! * [`LeastLoaded`] — route to the eligible backend with the fewest
+//!   cumulative compute-busy cycles, balancing load without looking at
+//!   residency.
 //!
 //! Outputs are **bit-identical** to running every job serially on one
 //! session, for every strategy, with or without prefetch — placement only
 //! moves *where* (and overlap and prefetch only *when*) the
-//! already-verified work executes.  The merged [`FleetReport`] exposes
-//! what placement changed: per-array busy and wall cycles, the fleet wall
-//! clock (max over arrays), compute occupancy, the cold-reload count, and
-//! how many reloads were prefetched ([`FleetReport::prefetched`]) or fully
-//! hidden inside compute backlogs ([`FleetReport::hidden_reloads`]).
+//! already-verified work executes.  Kernels implementing
+//! [`Kernel::execute_fft`] / [`Kernel::execute_cpu`] owe the same
+//! guarantee per backend, and [`FleetReport::routes`] records which
+//! backend served each job so equivalence tests can hold them to it.  The
+//! merged [`FleetReport`] exposes what placement changed: per-backend busy
+//! and wall cycles, the fleet wall clock (max over backends), compute
+//! occupancy, the cold-reload count, how many reloads were prefetched
+//! ([`FleetReport::prefetched`]) or fully hidden inside compute backlogs
+//! ([`FleetReport::hidden_reloads`]), and per-kind attribution rows
+//! ([`FleetReport::per_kind`]).
 //!
 //! # Example
 //!
@@ -86,9 +102,10 @@ use std::fmt;
 
 use vwr2a_core::timeline::Engine;
 
+use crate::backend::{run_window_on, ArrayBackend, Backend, BackendKind};
 use crate::error::{Result, RuntimeError};
 use crate::pipeline::StreamSchedule;
-use crate::report::{FleetReport, RunReport};
+use crate::report::{ArrayReport, FleetReport, JobRoute, RunReport};
 use crate::session::{Kernel, Session};
 
 /// What a [`Placement`] strategy sees about the job being placed.
@@ -104,133 +121,186 @@ pub struct JobView<'a> {
     /// The pool iterates windows lazily, so the true count is only known
     /// once the job has run.
     pub windows: usize,
-    /// Configuration-word footprint of the job's program
-    /// ([`Kernel::config_words`], cached per cache key by the pool): the
-    /// cycles a reload streams, and therefore the cost a strategy weighs
-    /// against a resident array's compute backlog.
+    /// Configuration-word footprint of the job's program on the first
+    /// array backend whose geometry can build it ([`Kernel::config_words`],
+    /// cached per cache key and backend by the pool) — the scalar reload
+    /// cost for strategies that do not price per backend.  Per-backend
+    /// pricing lives in [`BackendView::reload_cycles`]; in a
+    /// mixed-geometry fleet the two may differ.
     pub config_words: usize,
+    /// Capability classes the job belongs to, as a mask of
+    /// [`crate::backend::CAP_CGRA`] / [`crate::backend::CAP_FFT`] /
+    /// [`crate::backend::CAP_CPU`] bits ([`crate::backend::Offload::classes`]).
+    pub classes: u32,
+    /// The pool's learned per-window compute estimate for this cache key
+    /// on a CGRA array (mean observed compute cycles; `0` before the key
+    /// has ever run) — what [`CostAware`] compares against an offload
+    /// backend's modelled [`BackendView::window_cycles`].
+    pub window_cycles_hint: u64,
 }
 
-/// What a [`Placement`] strategy sees about one array of the pool at the
+/// What a [`Placement`] strategy sees about one backend of the pool at the
 /// moment a job is placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ArrayView {
-    /// Index of the array in the pool.
+pub struct BackendView {
+    /// Index of the backend in the pool.
     pub index: usize,
-    /// `true` if the job's program is resident in this array's
-    /// configuration memory ([`Session::is_resident_key`]).
+    /// What kind of execution substrate this backend is.
+    pub kind: BackendKind,
+    /// The backend's capability mask ([`Backend::capabilities`]).
+    pub capabilities: u32,
+    /// `true` if the job's program is resident on this backend
+    /// ([`Backend::is_resident`]).
     pub resident: bool,
-    /// `true` if the program is resident *and* has launched on this array
-    /// before (its next launch is warm).
+    /// `true` if a launch of the job here would pay no configuration
+    /// reload ([`Backend::is_warm`]).
     pub warm: bool,
-    /// First cycle at which this array's compute engine is free on its
+    /// First cycle at which this backend's compute engine is free on its
     /// current wave schedule
     /// ([`StreamSchedule::free_at`](crate::pipeline::StreamSchedule::free_at)
     /// on [`Engine::Compute`]).
     pub free_compute_at: u64,
-    /// First cycle at which this array's configuration-load lane is free
+    /// First cycle at which this backend's configuration-load lane is free
     /// on its current wave schedule ([`Engine::ConfigLoad`]): a prefetch
     /// directed here streams no earlier than this, queueing behind the
     /// wave's previous reloads — cost models that ignore it over-replicate
     /// onto arrays whose configuration streamer is already the bottleneck.
     pub free_config_at: u64,
-    /// The array's cumulative compute-busy cycles over the session's whole
-    /// lifetime ([`Session::free_compute_at`]) — the cross-wave load
-    /// metric.
+    /// The backend's cumulative compute-busy cycles over its whole
+    /// lifetime ([`Backend::busy_compute`]) — the cross-wave load metric.
     pub busy_compute: u64,
-    /// Distinct programs resident in the array's configuration memory.
+    /// Distinct programs resident on the backend.
     pub loaded_programs: usize,
+    /// Cycles a cold configuration reload of this job would stream *on
+    /// this backend* (per-geometry for arrays; `Some(0)` for offload
+    /// backends, which have no configuration memory) — or `None` if the
+    /// backend cannot serve this job at all: its capability mask misses
+    /// the job's classes, or its array geometry cannot build the program.
+    pub reload_cycles: Option<u64>,
+    /// The backend's own modelled cycles for one window of this job
+    /// ([`Backend::window_cycles`]; `None` for arrays, whose per-window
+    /// cost is learned from observation — see
+    /// [`JobView::window_cycles_hint`]).
+    pub window_cycles: Option<u64>,
+}
+
+impl BackendView {
+    /// `true` if this backend can serve the job being placed (see
+    /// [`BackendView::reload_cycles`]).  Routing a job to an ineligible
+    /// backend aborts the fan-out with a typed error
+    /// ([`RuntimeError::MixedGeometry`] for arrays,
+    /// [`RuntimeError::Capability`] otherwise).
+    pub fn eligible(&self) -> bool {
+        self.reload_cycles.is_some()
+    }
+}
+
+/// The views a strategy may actually route the job to: backends that are
+/// [`BackendView::eligible`].  Falls back to the full slice if nothing is
+/// eligible — the pool rejects such jobs before consulting the strategy,
+/// so the fallback is purely defensive.
+fn serviceable(backends: &[BackendView]) -> Vec<BackendView> {
+    let eligible: Vec<BackendView> = backends.iter().filter(|b| b.eligible()).copied().collect();
+    if eligible.is_empty() {
+        backends.to_vec()
+    } else {
+        eligible
+    }
 }
 
 /// Directs the pool to stage a job's program speculatively before the
 /// job's first window runs (see [`PlacementPlan`]).
 ///
 /// The pool executes the directive by calling [`Session::prefetch`] on the
-/// named array and replaying the streamed cycles on that array's
-/// [`StreamSchedule::prefetch`] lane — where
-/// they overlap the array's compute backlog instead of sitting on the
-/// launch's critical path.  Staging an already-warm program is a no-op.
+/// named backend's session and replaying the streamed cycles on that
+/// backend's [`StreamSchedule::prefetch`] lane — where they overlap the
+/// array's compute backlog instead of sitting on the launch's critical
+/// path.  Staging an already-warm program is a no-op, and a directive
+/// naming an offload backend (which has no configuration memory to stage
+/// into) is skipped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchDirective {
-    /// Array whose session stages the program (normally the plan's target
-    /// array; a strategy may warm a different array, e.g. to replicate a
+    /// Backend whose session stages the program (normally the plan's
+    /// target; a strategy may warm a different array, e.g. to replicate a
     /// hot program ahead of anticipated load).
-    pub array: usize,
+    pub backend: usize,
 }
 
 /// What a [`Placement`] strategy decides for one job: where it runs, and
 /// whether its configuration reload is staged speculatively first.
 ///
-/// Returned by [`Placement::place`].  Both the target array and a
-/// directive's array must be valid indices; an out-of-range index aborts
+/// Returned by [`Placement::place`].  Both the target backend and a
+/// directive's backend must be valid indices; an out-of-range index aborts
 /// the fan-out with [`RuntimeError::Placement`] (the pool stays valid and
 /// reusable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlacementPlan {
-    /// Array that runs the job's windows.
-    pub array: usize,
+    /// Backend that runs the job's windows.
+    pub backend: usize,
     /// Optional speculative configuration staging executed before the
     /// job's first window.
     pub prefetch: Option<PrefetchDirective>,
 }
 
 impl PlacementPlan {
-    /// A plan that just runs the job on `array`, reload (if any) on the
+    /// A plan that just runs the job on `backend`, reload (if any) on the
     /// launch's critical path — the pre-prefetch behaviour.
-    pub fn run_on(array: usize) -> Self {
+    pub fn run_on(backend: usize) -> Self {
         Self {
-            array,
+            backend,
             prefetch: None,
         }
     }
 
-    /// A plan that stages the job's program on `array` ahead of running
+    /// A plan that stages the job's program on `backend` ahead of running
     /// the job there, so a would-be cold reload streams off the critical
     /// path and the launch finds the program warm.
-    pub fn with_prefetch(array: usize) -> Self {
+    pub fn with_prefetch(backend: usize) -> Self {
         Self {
-            array,
-            prefetch: Some(PrefetchDirective { array }),
+            backend,
+            prefetch: Some(PrefetchDirective { backend }),
         }
     }
 }
 
-/// Chooses which array of a [`Pool`] runs a job — and whether the job's
+/// Chooses which backend of a [`Pool`] runs a job — and whether the job's
 /// configuration reload is prefetched ahead of its launch.
 ///
 /// The strategy is consulted once per job, in submission order, with a
-/// fresh snapshot of every array — so residency and timeline effects of
-/// earlier placements (including prefetches) are visible.  It returns a
-/// [`PlacementPlan`]; any out-of-range array index in the plan aborts the
-/// fan-out with [`RuntimeError::Placement`] (the pool stays valid and
-/// reusable).  Strategies must be deterministic so fleet experiments are
-/// reproducible.
+/// fresh snapshot of every backend — so residency and timeline effects of
+/// earlier placements (including prefetches) are visible.  Views with
+/// [`BackendView::eligible`] `false` cannot serve the job; the shipped
+/// strategies filter them out, and custom strategies should too (routing
+/// to one is a typed error).  It returns a [`PlacementPlan`]; any
+/// out-of-range backend index in the plan aborts the fan-out with
+/// [`RuntimeError::Placement`] (the pool stays valid and reusable).
+/// Strategies must be deterministic so fleet experiments are reproducible.
 pub trait Placement: fmt::Debug + Send {
     /// Short strategy name used in reports and bench tables.
     fn name(&self) -> &'static str;
 
-    /// Returns the plan for `job`: target array plus optional prefetch.
+    /// Returns the plan for `job`: target backend plus optional prefetch.
     ///
-    /// `arrays` is never empty (a pool has at least one array).
-    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan;
+    /// `backends` is never empty (a pool has at least one backend).
+    fn place(&self, job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan;
 }
 
-/// Residency-aware placement: prefer arrays that already hold the job's
+/// Residency-aware placement: prefer backends that already hold the job's
 /// program, tie-break on the earliest-free compute engine.
 ///
-/// A job whose program is resident *somewhere* goes to the resident array
-/// whose compute engine frees earliest (warm launch, no configuration
-/// streaming).  A program nobody holds yet goes to the earliest-free array
-/// overall — which both balances load and spreads distinct programs across
-/// the fleet, so the steady state keeps every program resident on "its"
-/// array instead of thrashing one configuration memory.  One refinement
-/// keeps affinity from starving the fleet: when every resident array is
-/// busy but some array is still completely *idle* this wave, the job is
-/// placed there instead — the cold reload replicates the program onto the
-/// idle array, and from then on both copies serve warm launches (without
-/// this, a two-program workload would leave half of a four-array fleet
-/// permanently idle).  Ties resolve to the lowest array index, keeping
-/// placement deterministic.
+/// A job whose program is resident *somewhere* goes to the resident
+/// backend whose compute engine frees earliest (warm launch, no
+/// configuration streaming).  A program nobody holds yet goes to the
+/// earliest-free eligible backend overall — which both balances load and
+/// spreads distinct programs across the fleet, so the steady state keeps
+/// every program resident on "its" array instead of thrashing one
+/// configuration memory.  One refinement keeps affinity from starving the
+/// fleet: when every resident backend is busy but some backend is still
+/// completely *idle* this wave, the job is placed there instead — the cold
+/// reload replicates the program onto the idle array, and from then on
+/// both copies serve warm launches (without this, a two-program workload
+/// would leave half of a four-array fleet permanently idle).  Ties resolve
+/// to the lowest backend index, keeping placement deterministic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResidencyAware;
 
@@ -239,20 +309,22 @@ impl Placement for ResidencyAware {
         "residency-aware"
     }
 
-    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
-        // Ties on the wave-local free time (e.g. every array idle at the
+    fn place(&self, _job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
+        let candidates = serviceable(backends);
+        // Ties on the wave-local free time (e.g. every backend idle at the
         // start of a wave) break on the lifetime compute load, so a
         // sequence of single-job waves still spreads first-seen programs
-        // across the fleet instead of piling them onto array 0.
-        let earliest_free = |candidates: &mut dyn Iterator<Item = &ArrayView>| {
+        // across the fleet instead of piling them onto backend 0.
+        let earliest_free = |candidates: &mut dyn Iterator<Item = &BackendView>| {
             candidates
                 .min_by_key(|a| (a.free_compute_at, a.busy_compute, a.index))
                 .copied()
         };
-        let best_any = earliest_free(&mut arrays.iter()).expect("a pool has at least one array");
+        let best_any =
+            earliest_free(&mut candidates.iter()).expect("a pool has at least one backend");
         PlacementPlan::run_on(
-            match earliest_free(&mut arrays.iter().filter(|a| a.resident)) {
-                // Busy resident copies, but an idle array is available:
+            match earliest_free(&mut candidates.iter().filter(|a| a.resident)) {
+                // Busy resident copies, but an idle backend is available:
                 // replicate rather than queue.
                 Some(resident) if resident.free_compute_at > 0 && best_any.free_compute_at == 0 => {
                     best_any.index
@@ -266,23 +338,30 @@ impl Placement for ResidencyAware {
 
 /// Cost-based placement with speculative prefetch — the pool's default.
 ///
-/// For every candidate array the strategy estimates when the job's first
-/// window could start computing: the array's compute backlog
-/// ([`ArrayView::free_compute_at`]), or the reload's streaming time
-/// ([`JobView::config_words`], one word per cycle) when the program is not
-/// warm there — whichever ends later, because a prefetched reload streams
-/// *concurrently* with the backlog on the configuration-load lane.  The
-/// job goes to the array with the smallest estimate (ties break on the
-/// lower combined pressure `backlog + reload`, then lifetime compute load,
-/// then index — deterministic), with a [`PrefetchDirective`] whenever that
-/// array would otherwise reload on the launch's critical path.
+/// For every eligible backend the strategy estimates when the job would
+/// *complete*: first the earliest cycle its first window could start
+/// computing — the backend's compute backlog
+/// ([`BackendView::free_compute_at`]), or the reload's streaming time
+/// ([`BackendView::reload_cycles`], one word per cycle on an array; zero
+/// on offload backends) when the program is not warm there — whichever
+/// ends later, because a prefetched reload streams *concurrently* with
+/// the backlog on the configuration-load lane; then the windows
+/// themselves, at the backend's modelled per-window cost
+/// ([`BackendView::window_cycles`]) or, for arrays, the pool's learned
+/// estimate for the kernel ([`JobView::window_cycles_hint`]).  The job
+/// goes to the backend with the earliest completion (ties break on the
+/// earlier compute start, then the lower combined pressure
+/// `backlog + reload`, then lifetime compute load, then index —
+/// deterministic), with a [`PrefetchDirective`] whenever a chosen *array*
+/// would otherwise reload on the launch's critical path.
 ///
-/// This replaces [`ResidencyAware`]'s *idle-array* replication heuristic
-/// with an explicit trade-off: a program is replicated onto another array
-/// exactly when its reload costs fewer cycles than the backlog it escapes
-/// — so small-program jobs replicate eagerly and spread, while a job
-/// whose program is expensive to stream waits for its resident array
-/// unless the queue is genuinely longer than the reload.
+/// On an all-array fleet every candidate prices windows at the same
+/// learned hint, so the completion term cancels and the choice reduces
+/// exactly to the PR 5 cost model (reload versus backlog, prefetch the
+/// rest).  With offload backends present, the completion term is what
+/// sends an FFT-shaped job to the fixed-function engine when the arrays
+/// are cold or backlogged, and a tiny job to the always-warm CPU when its
+/// array reload would dominate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostAware;
 
@@ -291,24 +370,31 @@ impl Placement for CostAware {
         "cost-aware"
     }
 
-    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
-        let reload = |a: &ArrayView| if a.warm { 0 } else { job.config_words as u64 };
-        // Earliest estimated compute start on this array: a prefetched
+    fn place(&self, job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
+        let candidates = serviceable(backends);
+        let reload_price = |a: &BackendView| a.reload_cycles.unwrap_or(job.config_words as u64);
+        let reload = |a: &BackendView| if a.warm { 0 } else { reload_price(a) };
+        // Earliest estimated compute start on this backend: a prefetched
         // reload queues on the configuration-load lane (behind the wave's
         // earlier reloads) and streams concurrently with the compute
         // backlog — the job starts when the later of the two finishes.
-        let ready_at = |a: &ArrayView| {
+        let ready_at = |a: &BackendView| {
             let reload_done = if a.warm {
                 0
             } else {
-                a.free_config_at + job.config_words as u64
+                a.free_config_at + reload_price(a)
             };
             a.free_compute_at.max(reload_done)
         };
-        let chosen = arrays
+        let completion = |a: &BackendView| {
+            let per_window = a.window_cycles.unwrap_or(job.window_cycles_hint);
+            ready_at(a) + job.windows as u64 * per_window
+        };
+        let chosen = candidates
             .iter()
             .min_by_key(|a| {
                 (
+                    completion(a),
                     ready_at(a),
                     // Prefer the cheaper total pressure on ties.
                     a.free_compute_at + reload(a),
@@ -316,8 +402,8 @@ impl Placement for CostAware {
                     a.index,
                 )
             })
-            .expect("a pool has at least one array");
-        if chosen.warm {
+            .expect("a pool has at least one backend");
+        if chosen.warm || chosen.kind != BackendKind::Array {
             PlacementPlan::run_on(chosen.index)
         } else {
             PlacementPlan::with_prefetch(chosen.index)
@@ -325,7 +411,8 @@ impl Placement for CostAware {
     }
 }
 
-/// Residency-blind baseline: job *i* runs on array *i mod N*.
+/// Residency-blind baseline: job *i* runs on eligible backend *i mod E*
+/// (of the E backends that can serve it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundRobin;
 
@@ -334,15 +421,16 @@ impl Placement for RoundRobin {
         "round-robin"
     }
 
-    fn place(&self, job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
-        PlacementPlan::run_on(job.index % arrays.len())
+    fn place(&self, job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
+        let candidates = serviceable(backends);
+        PlacementPlan::run_on(candidates[job.index % candidates.len()].index)
     }
 }
 
-/// Load-balancing placement: route to the array with the fewest cumulative
-/// compute-busy cycles (ties to the lowest index).  Ignores residency —
-/// useful as the "balanced but residency-blind" comparison point between
-/// [`RoundRobin`] and [`ResidencyAware`].
+/// Load-balancing placement: route to the eligible backend with the
+/// fewest cumulative compute-busy cycles (ties to the lowest index).
+/// Ignores residency — useful as the "balanced but residency-blind"
+/// comparison point between [`RoundRobin`] and [`ResidencyAware`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LeastLoaded;
 
@@ -351,39 +439,62 @@ impl Placement for LeastLoaded {
         "least-loaded"
     }
 
-    fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+    fn place(&self, _job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
         PlacementPlan::run_on(
-            arrays
+            serviceable(backends)
                 .iter()
                 .min_by_key(|a| (a.busy_compute, a.index))
                 .map(|a| a.index)
-                .expect("a pool has at least one array"),
+                .expect("a pool has at least one backend"),
         )
     }
 }
 
-/// A fleet of [`Session`]s behind one [`Placement`] scheduler.
+/// Per-job, per-backend pricing computed once at admission: which
+/// backends can serve the job, and at what reload / per-window cost (the
+/// raw material of [`BackendView`]; shared with the serving layer, which
+/// prices at admission and places at dispatch).
+#[derive(Debug, Clone)]
+pub(crate) struct JobPricing {
+    /// Capability classes of the job ([`crate::backend::Offload::classes`]).
+    pub classes: u32,
+    /// Scalar reload cost: the footprint on the first array backend whose
+    /// geometry builds the program (`0` in an all-offload fleet).
+    pub config_words: usize,
+    /// Per backend, in pool order:
+    /// `(reload cycles if eligible, modelled window cycles)` — see
+    /// [`BackendView::reload_cycles`] / [`BackendView::window_cycles`].
+    pub per_backend: Vec<(Option<u64>, Option<u64>)>,
+}
+
+/// A fleet of [`Backend`]s behind one [`Placement`] scheduler.
 ///
 /// Every fan-out call ([`Pool::run_batch`] / [`Pool::run_stream`]) is one
-/// *wave*: each array starts the wave with an empty
-/// [`StreamSchedule`] (its engines free at
-/// cycle 0), jobs are placed and run in submission order, and the wave's
-/// merged [`FleetReport`] is returned.  *Residency persists across waves*:
-/// the sessions keep their loaded programs, so a later wave's jobs launch
-/// warm wherever earlier waves already placed their programs.
-/// [`Pool::stats`] accumulates the per-array accounting over all waves.
+/// *wave*: each backend starts the wave with an empty [`StreamSchedule`]
+/// (its engines free at cycle 0), jobs are placed and run in submission
+/// order, and the wave's merged [`FleetReport`] is returned.  *Residency
+/// persists across waves*: the sessions keep their loaded programs, so a
+/// later wave's jobs launch warm wherever earlier waves already placed
+/// their programs.  [`Pool::stats`] accumulates the per-backend accounting
+/// over all waves.
 ///
 /// See the [module docs](crate::pool) for the scheduling model and a
 /// runnable example.
 #[derive(Debug)]
 pub struct Pool {
-    arrays: Vec<Session>,
+    backends: Vec<Box<dyn Backend>>,
     placement: Box<dyn Placement>,
     stats: FleetReport,
-    /// Configuration-word footprints by [`Kernel::cache_key`], so a
-    /// program's [`Kernel::config_words`] is computed once per key rather
-    /// than once per job (the hook may build the whole program to count).
-    footprints: HashMap<String, usize>,
+    /// Per-backend configuration-word footprints by [`Kernel::cache_key`]
+    /// (`None` = the backend's geometry cannot build the program), so a
+    /// program's [`Kernel::config_words`] is computed once per key and
+    /// geometry rather than once per job (the hook may build the whole
+    /// program to count).
+    footprints: Vec<HashMap<String, Option<usize>>>,
+    /// Observed per-window compute cycles by cache key on CGRA arrays:
+    /// `(total cycles, windows)` — the learned estimate [`CostAware`]
+    /// weighs against offload backends' modelled costs.
+    estimates: HashMap<String, (u64, u64)>,
 }
 
 impl Pool {
@@ -395,43 +506,78 @@ impl Pool {
     /// Panics if `arrays` is zero.
     pub fn new(arrays: usize) -> Self {
         Self::with_sessions((0..arrays).map(|_| Session::new()).collect())
-            .expect("default sessions share one geometry")
+            .expect("all-array fleets are always legal")
     }
 
-    /// Creates a pool over custom sessions (constrained geometries, custom
-    /// eviction policies) with the default [`CostAware`] placement.
+    /// Creates an all-array pool over custom sessions (constrained or
+    /// mixed geometries, custom eviction policies) with the default
+    /// [`CostAware`] placement.
     ///
-    /// A pool is a *homogeneous* fleet: every session must share one array
-    /// geometry, so any job can run on any array and one geometry prices
-    /// every program's reload ([`JobView::config_words`]).  Sessions may
-    /// still differ in eviction policy or DMA timing.
+    /// Mixed geometries across the fleet are legal: each backend prices a
+    /// kernel's reload against *its own* geometry
+    /// ([`BackendView::reload_cycles`]), and a kernel whose program cannot
+    /// be built for some backend's geometry is simply ineligible there.  A
+    /// kernel no backend can take fails per job, as
+    /// [`RuntimeError::MixedGeometry`].
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::MixedGeometry`] if the sessions' array
-    /// geometries differ (naming the first mismatched session), so a
-    /// misconfigured fleet fails as a recoverable error instead of a
-    /// panic.
+    /// Never errs today; the `Result` is kept so fleet-construction
+    /// validation can return typed errors without breaking callers.
     ///
     /// # Panics
     ///
     /// Panics if `sessions` is empty.
     pub fn with_sessions(sessions: Vec<Session>) -> Result<Self> {
-        assert!(!sessions.is_empty(), "a pool needs at least one array");
-        let geometry = *sessions[0].accelerator().geometry();
-        if let Some(array) = sessions
-            .iter()
-            .position(|s| *s.accelerator().geometry() != geometry)
-        {
-            return Err(RuntimeError::MixedGeometry { array });
-        }
-        let stats = FleetReport::new(sessions.len());
-        Ok(Self {
-            arrays: sessions,
+        Ok(Self::with_backends(
+            sessions
+                .into_iter()
+                .map(|s| Box::new(ArrayBackend::new(s)) as Box<dyn Backend>)
+                .collect(),
+        ))
+    }
+
+    /// Creates a pool over an explicit set of backends (arrays, the FFT
+    /// engine, the host CPU — in any mix) with the default [`CostAware`]
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn with_backends(backends: Vec<Box<dyn Backend>>) -> Self {
+        assert!(!backends.is_empty(), "a pool needs at least one backend");
+        let kinds: Vec<BackendKind> = backends.iter().map(|b| b.kind()).collect();
+        let footprints = backends.iter().map(|_| HashMap::new()).collect();
+        Self {
+            backends,
             placement: Box::new(CostAware),
-            stats,
-            footprints: HashMap::new(),
-        })
+            stats: FleetReport::for_kinds(&kinds),
+            footprints,
+            estimates: HashMap::new(),
+        }
+    }
+
+    /// Appends a backend to the fleet, builder-style — how the FFT engine
+    /// and the host CPU join an array pool.
+    #[must_use]
+    pub fn with_backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.push_backend(Box::new(backend));
+        self
+    }
+
+    /// Appends a backend to the fleet.  Existing residency, accumulated
+    /// statistics and the placement strategy are unaffected; the new
+    /// backend starts idle.
+    pub fn push_backend(&mut self, backend: Box<dyn Backend>) {
+        let index = self.backends.len();
+        self.stats.arrays.push(ArrayReport {
+            array: index,
+            kind: backend.kind(),
+            jobs: 0,
+            report: RunReport::new(format!("{}-{index}", backend.kind().label())),
+        });
+        self.footprints.push(HashMap::new());
+        self.backends.push(backend);
     }
 
     /// Replaces the placement strategy, builder-style.
@@ -451,25 +597,38 @@ impl Pool {
         self.placement.name()
     }
 
-    /// Number of arrays in the pool.
+    /// Number of backends in the pool (kept under its historical name —
+    /// before PR 7 every backend was an array).
     pub fn arrays(&self) -> usize {
-        self.arrays.len()
+        self.backends.len()
     }
 
-    /// The session behind one array (residency inspection, tests).
+    /// One backend of the fleet (kind, residency and capability
+    /// inspection).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn array(&self, index: usize) -> &Session {
-        &self.arrays[index]
+    pub fn backend(&self, index: usize) -> &dyn Backend {
+        self.backends[index].as_ref()
     }
 
-    /// Mutable session access for the serving layer's per-window executor
-    /// (which replays phases on its own schedules, like
-    /// [`Pool::fan_out`]).
-    pub(crate) fn session_mut(&mut self, index: usize) -> &mut Session {
-        &mut self.arrays[index]
+    /// The session behind one CGRA-array backend (residency inspection,
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the backend is not an array.
+    pub fn array(&self, index: usize) -> &Session {
+        self.backends[index]
+            .as_session()
+            .expect("backend is a CGRA array")
+    }
+
+    /// Mutable backend access for the serving layer's per-window executor
+    /// (which replays phases on its own schedules, like [`Pool::fan_out`]).
+    pub(crate) fn backend_mut(&mut self, index: usize) -> &mut dyn Backend {
+        self.backends[index].as_mut()
     }
 
     /// The active placement strategy — the serving layer re-consults it on
@@ -478,13 +637,20 @@ impl Pool {
         &*self.placement
     }
 
+    /// An empty wave report shaped like this fleet (one entry per backend,
+    /// labelled by kind).
+    pub(crate) fn blank_wave(&self) -> FleetReport {
+        let kinds: Vec<BackendKind> = self.backends.iter().map(|b| b.kind()).collect();
+        FleetReport::for_kinds(&kinds)
+    }
+
     /// Folds one externally-built wave (the serving layer's) into the
     /// pool's accumulated [`Pool::stats`].
     pub(crate) fn absorb_stats(&mut self, wave: &FleetReport) {
         self.stats.absorb(wave);
     }
 
-    /// Accumulated fleet accounting over every wave run so far (per-array
+    /// Accumulated fleet accounting over every wave run so far (per-backend
     /// wall clocks add across waves, as if the waves ran back to back).
     pub fn stats(&self) -> &FleetReport {
         &self.stats
@@ -495,16 +661,21 @@ impl Pool {
     /// submission order.
     ///
     /// Outputs are bit-identical to running every job serially on one
-    /// [`Session`] — for any placement strategy.  The returned
-    /// [`FleetReport`] carries this wave's per-array and fleet-level
-    /// accounting.
+    /// [`Session`] — for any placement strategy, on whichever backend each
+    /// job lands (kernels owe the same equivalence on their offload paths;
+    /// see [`Kernel::execute_fft`] / [`Kernel::execute_cpu`]).  The
+    /// returned [`FleetReport`] carries this wave's per-backend and
+    /// fleet-level accounting, including the per-job routing record.
     ///
     /// # Errors
     ///
-    /// As [`Session::run`] on the chosen array, plus
+    /// As [`Session::run`] on the chosen backend, plus
     /// [`RuntimeError::Placement`] if the strategy returns an out-of-range
-    /// array index.  The first error aborts the fan-out; the pool and its
-    /// sessions stay valid and reusable.
+    /// backend index, [`RuntimeError::MixedGeometry`] if a job is routed
+    /// to (or servable by no) array whose geometry cannot build its
+    /// program, and [`RuntimeError::Capability`] if a job is routed to an
+    /// offload backend that cannot serve it.  The first error aborts the
+    /// fan-out; the pool and its backends stay valid and reusable.
     #[allow(clippy::type_complexity)]
     pub fn run_batch<'k, K, J, W>(&mut self, jobs: J) -> Result<(Vec<Vec<K::Output>>, FleetReport)>
     where
@@ -542,46 +713,123 @@ impl Pool {
         W::Item: Borrow<K::Input>,
         F: FnMut(usize, K::Output) -> Result<()>,
     {
-        let arrays = self.arrays.len();
+        let backends = self.backends.len();
         let mut schedules: Vec<StreamSchedule> =
-            (0..arrays).map(|_| StreamSchedule::new()).collect();
-        let mut wave = FleetReport::new(arrays);
+            (0..backends).map(|_| StreamSchedule::new()).collect();
+        let mut wave = self.blank_wave();
 
         let result = self.fan_out(jobs, sink, &mut wave, &mut schedules);
-        for (array, schedule) in wave.arrays.iter_mut().zip(schedules) {
+        for (backend, schedule) in wave.arrays.iter_mut().zip(schedules) {
             let timeline = schedule.finish();
-            array.report.wall_cycles = timeline.wall_cycles();
-            array.report.busy = timeline.occupancy();
+            backend.report.wall_cycles = timeline.wall_cycles();
+            backend.report.busy = timeline.occupancy();
         }
-        // The wave's accounting survives an abort: the sessions did the
+        // The wave's accounting survives an abort: the backends did the
         // work, so the fleet statistics must show it.
         self.stats.absorb(&wave);
         result.map(|()| wave)
     }
 
-    /// Configuration-word footprint of `kernel`'s program, computed once
-    /// per cache key against the fleet's shared geometry (enforced by
-    /// [`Pool::with_sessions`], so one geometry prices the reload on every
-    /// array) and cached across jobs and waves.
-    pub(crate) fn footprint<K: Kernel>(&mut self, kernel: &K, key: &str) -> Result<usize> {
-        if let Some(&words) = self.footprints.get(key) {
-            return Ok(words);
+    /// Configuration-word footprint of `kernel`'s program against backend
+    /// `index`'s own geometry, cached per cache key and backend across
+    /// jobs and waves.  `None` if the backend has no geometry (offload
+    /// backends) or its geometry cannot build the program.
+    fn footprint<K: Kernel>(&mut self, index: usize, kernel: &K, key: &str) -> Option<usize> {
+        if let Some(&cached) = self.footprints[index].get(key) {
+            return cached;
         }
-        let geometry = *self.arrays[0].accelerator().geometry();
-        let words = kernel.config_words(&geometry)?;
-        self.footprints.insert(key.to_string(), words);
-        Ok(words)
+        let geometry = self.backends[index].geometry().copied();
+        let words = geometry.and_then(|g| kernel.config_words(&g).ok());
+        self.footprints[index].insert(key.to_string(), words);
+        words
+    }
+
+    /// The pool's learned per-window compute estimate for `key` on a CGRA
+    /// array (mean observed compute cycles; `0` before the key has run).
+    fn window_hint(&self, key: &str) -> u64 {
+        self.estimates
+            .get(key)
+            .map(|&(cycles, windows)| (cycles / windows.max(1)).max(1))
+            .unwrap_or(0)
+    }
+
+    /// Prices `kernel` against every backend of the fleet (see
+    /// [`JobPricing`]).  Errs if *no* backend can serve the job:
+    /// [`RuntimeError::MixedGeometry`] naming the first array whose
+    /// geometry failed, or [`RuntimeError::Capability`] when the fleet has
+    /// no backend matching the job's classes at all.
+    pub(crate) fn price_job<K: Kernel>(&mut self, kernel: &K, key: &str) -> Result<JobPricing> {
+        let offload = kernel.offload();
+        let classes = offload.classes();
+        let mut per_backend = Vec::with_capacity(self.backends.len());
+        let mut config_words = None;
+        let mut geometry_failure = None;
+        for index in 0..self.backends.len() {
+            let entry = match self.backends[index].kind() {
+                BackendKind::Array => {
+                    let words = self.footprint(index, kernel, key);
+                    if words.is_none() && geometry_failure.is_none() {
+                        geometry_failure = Some(index);
+                    }
+                    if config_words.is_none() {
+                        config_words = words;
+                    }
+                    (words.map(|w| w as u64), None)
+                }
+                _ => {
+                    if self.backends[index].capabilities() & classes == 0 {
+                        (None, None)
+                    } else {
+                        // An offload backend has no configuration memory:
+                        // eligibility and per-window cost both come from
+                        // its own model.
+                        let window = self.backends[index].window_cycles(&offload);
+                        (window.map(|_| 0), window)
+                    }
+                }
+            };
+            per_backend.push(entry);
+        }
+        if per_backend.iter().all(|(reload, _)| reload.is_none()) {
+            return Err(match geometry_failure {
+                Some(array) => RuntimeError::MixedGeometry { array },
+                None => RuntimeError::Capability {
+                    kernel: kernel.name().to_string(),
+                    backend: self.backends[0].kind().label().to_string(),
+                },
+            });
+        }
+        Ok(JobPricing {
+            classes,
+            config_words: config_words.unwrap_or(0),
+            per_backend,
+        })
+    }
+
+    /// The typed error for routing a job to backend `index`, which cannot
+    /// serve it.
+    fn unservable(&self, index: usize, kernel: &str) -> RuntimeError {
+        if self.backends[index].kind() == BackendKind::Array {
+            RuntimeError::MixedGeometry { array: index }
+        } else {
+            RuntimeError::Capability {
+                kernel: kernel.to_string(),
+                backend: self.backends[index].kind().label().to_string(),
+            }
+        }
     }
 
     /// Executes one [`PrefetchDirective`]: stages `kernel`'s program on
-    /// array `target` no earlier than `not_before` (cycle 0 for a batch
+    /// backend `target` no earlier than `not_before` (cycle 0 for a batch
     /// fan-out, the dispatch cycle for the serving layer) and folds the
     /// streamed cycles into `wave`.
     ///
     /// Speculative staging is best-effort: a prefetch the target cannot
     /// satisfy (its configuration memory packed with pinned programs, say)
-    /// is skipped, not fatal — the job's own launch then pays the reload,
-    /// and a genuine error resurfaces there, on the authoritative path.
+    /// — or directed at an offload backend, which has no configuration
+    /// memory — is skipped, not fatal.  The job's own launch then pays the
+    /// reload, and a genuine error resurfaces there, on the authoritative
+    /// path.
     pub(crate) fn stage_prefetch<K: Kernel>(
         &mut self,
         target: usize,
@@ -594,7 +842,10 @@ impl Pool {
         // fully hidden (the ConfigLoad lane leaves the compute lane
         // untouched either way).
         let backlog = schedules[target].free_at(Engine::Compute);
-        if let Ok(Some(staged)) = self.arrays[target].prefetch(kernel) {
+        let Some(session) = self.backends[target].as_session_mut() else {
+            return;
+        };
+        if let Ok(Some(staged)) = session.prefetch(kernel) {
             let span = schedules[target].prefetch_at(staged.config_cycles, not_before);
             let report = &mut wave.arrays[target].report;
             report.prefetched += 1;
@@ -610,8 +861,8 @@ impl Pool {
         }
     }
 
-    /// The job loop of [`Pool::run_stream`]: plans, prefetches and runs
-    /// every job, recording into `wave`/`schedules` as it goes so the
+    /// The job loop of [`Pool::run_stream`]: prices, plans, prefetches and
+    /// runs every job, recording into `wave`/`schedules` as it goes so the
     /// caller can salvage the accounting of an aborted fan-out.
     fn fan_out<'k, K, J, W, F>(
         &mut self,
@@ -627,57 +878,85 @@ impl Pool {
         W::Item: Borrow<K::Input>,
         F: FnMut(usize, K::Output) -> Result<()>,
     {
-        let arrays = self.arrays.len();
-        let out_of_range = |index: usize| RuntimeError::Placement { index, arrays };
+        let backends = self.backends.len();
+        let out_of_range = |index: usize| RuntimeError::Placement {
+            index,
+            arrays: backends,
+        };
         for (index, (kernel, windows)) in jobs.into_iter().enumerate() {
             let key = kernel.cache_key();
-            let config_words = self.footprint(kernel, &key)?;
+            let pricing = self.price_job(kernel, &key)?;
             // Windows are consumed lazily (constant memory in the window
             // count, like `Session::run_stream`); placement sees the
             // iterator's size hint.
             let windows = windows.into_iter();
             let windows_hint = windows.size_hint().0;
-            let views: Vec<ArrayView> = self
-                .arrays
+            let hint = self.window_hint(&key);
+            let views: Vec<BackendView> = self
+                .backends
                 .iter()
                 .enumerate()
-                .map(|(i, session)| ArrayView {
+                .map(|(i, backend)| BackendView {
                     index: i,
-                    resident: session.is_resident_key(&key),
-                    warm: session.is_warm(kernel),
+                    kind: backend.kind(),
+                    capabilities: backend.capabilities(),
+                    resident: backend.is_resident(&key),
+                    warm: backend.is_warm(&key),
                     free_compute_at: schedules[i].free_at(Engine::Compute),
                     free_config_at: schedules[i].free_at(Engine::ConfigLoad),
-                    busy_compute: session.free_compute_at(),
-                    loaded_programs: session.loaded_programs(),
+                    busy_compute: backend.busy_compute(),
+                    loaded_programs: backend.loaded_programs(),
+                    reload_cycles: pricing.per_backend[i].0,
+                    window_cycles: pricing.per_backend[i].1,
                 })
                 .collect();
             let job = JobView {
                 index,
                 cache_key: &key,
                 windows: windows_hint,
-                config_words,
+                config_words: pricing.config_words,
+                classes: pricing.classes,
+                window_cycles_hint: hint,
             };
             let plan = self.placement.place(&job, &views);
-            let chosen = plan.array;
-            if chosen >= arrays {
+            let chosen = plan.backend;
+            if chosen >= backends {
                 return Err(out_of_range(chosen));
             }
+            if views[chosen].reload_cycles.is_none() {
+                return Err(self.unservable(chosen, kernel.name()));
+            }
             if let Some(directive) = plan.prefetch {
-                let target = directive.array;
-                if target >= arrays {
+                let target = directive.backend;
+                if target >= backends {
                     return Err(out_of_range(target));
                 }
                 self.stage_prefetch(target, kernel, 0, schedules, wave);
             }
             wave.jobs += 1;
             wave.arrays[chosen].jobs += 1;
+            let kind = self.backends[chosen].kind();
+            wave.routes.push(JobRoute {
+                job: index,
+                backend: chosen,
+                kind,
+            });
             for window in windows {
-                let (output, phases) = self.arrays[chosen].run_into(
+                let (output, phases) = run_window_on(
+                    self.backends[chosen].as_mut(),
                     kernel,
+                    &key,
                     window.borrow(),
                     &mut wave.arrays[chosen].report,
                 )?;
                 schedules[chosen].push(phases);
+                if kind == BackendKind::Array {
+                    // Learn the kernel's observed array cost, so later
+                    // placements can weigh arrays against offload models.
+                    let entry = self.estimates.entry(key.clone()).or_insert((0, 0));
+                    entry.0 += phases.compute;
+                    entry.1 += 1;
+                }
                 sink(index, output)?;
             }
         }
@@ -719,6 +998,7 @@ impl Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{CpuBackend, FftBackend, FftShape, Offload};
     use crate::testing::{constrained_sessions, BakedScaleKernel};
     use vwr2a_core::geometry::Geometry;
 
@@ -1034,11 +1314,14 @@ mod tests {
             .unwrap();
         assert_eq!(second.prefetched(), 0, "wave 2 finds the program warm");
         assert_eq!(second.cold_reloads(), 0);
-        // stats() accumulated both waves.
+        // stats() accumulated both waves, with per-wave routes offset so
+        // job indices keep counting.
         assert_eq!(pool.stats().jobs, 2);
         assert_eq!(pool.stats().cold_reloads(), 0);
         assert_eq!(pool.stats().prefetched(), 1);
         assert_eq!(pool.stats().invocations(), 4);
+        assert_eq!(pool.stats().routes.len(), 2);
+        assert_eq!(pool.stats().routes[1].job, 1);
     }
 
     #[test]
@@ -1060,6 +1343,8 @@ mod tests {
         assert_eq!(seen, vec![(0, 40), (1, 50), (2, 40)]);
         assert_eq!(report.jobs, 3);
         assert_eq!(report.invocations(), 3);
+        assert_eq!(report.routes.len(), 3, "one route record per job");
+        assert!(report.routes.iter().all(|r| r.kind == BackendKind::Array));
     }
 
     #[test]
@@ -1097,8 +1382,8 @@ mod tests {
             fn name(&self) -> &'static str {
                 "out-of-range"
             }
-            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
-                PlacementPlan::run_on(arrays.len() + 3)
+            fn place(&self, _job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
+                PlacementPlan::run_on(backends.len() + 3)
             }
         }
         let kernel = BakedScaleKernel::new(2);
@@ -1126,19 +1411,19 @@ mod tests {
 
     #[test]
     fn rogue_prefetch_directive_fails_cleanly() {
-        // A directive naming a non-existent array must abort like a rogue
-        // target array — before any prefetch or window runs.
+        // A directive naming a non-existent backend must abort like a
+        // rogue target — before any prefetch or window runs.
         #[derive(Debug)]
         struct RoguePrefetch;
         impl Placement for RoguePrefetch {
             fn name(&self) -> &'static str {
                 "rogue-prefetch"
             }
-            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
+            fn place(&self, _job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
                 PlacementPlan {
-                    array: 0,
+                    backend: 0,
                     prefetch: Some(PrefetchDirective {
-                        array: arrays.len(),
+                        backend: backends.len(),
                     }),
                 }
             }
@@ -1170,18 +1455,18 @@ mod tests {
     #[test]
     fn prefetch_directives_may_warm_a_different_array() {
         // A strategy can replicate a program onto another array ahead of
-        // anticipated load: the job runs on array 0, the directive warms
-        // array 1, and the next wave launches warm on either.
+        // anticipated load: the job runs on backend 0, the directive warms
+        // backend 1, and the next wave launches warm on either.
         #[derive(Debug)]
         struct WarmTheOther;
         impl Placement for WarmTheOther {
             fn name(&self) -> &'static str {
                 "warm-the-other"
             }
-            fn place(&self, _job: &JobView<'_>, _arrays: &[ArrayView]) -> PlacementPlan {
+            fn place(&self, _job: &JobView<'_>, _backends: &[BackendView]) -> PlacementPlan {
                 PlacementPlan {
-                    array: 0,
-                    prefetch: Some(PrefetchDirective { array: 1 }),
+                    backend: 0,
+                    prefetch: Some(PrefetchDirective { backend: 1 }),
                 }
             }
         }
@@ -1309,8 +1594,8 @@ mod tests {
             fn name(&self) -> &'static str {
                 "rogue"
             }
-            fn place(&self, _job: &JobView<'_>, arrays: &[ArrayView]) -> PlacementPlan {
-                PlacementPlan::run_on(arrays.len())
+            fn place(&self, _job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
+                PlacementPlan::run_on(backends.len())
             }
         }
         pool.set_placement(Rogue);
@@ -1354,23 +1639,315 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one array")]
-    fn zero_array_pools_are_rejected() {
+    #[should_panic(expected = "at least one backend")]
+    fn zero_backend_pools_are_rejected() {
         let _ = Pool::new(0);
     }
 
+    /// Pins every job to one backend — the deterministic routing probe of
+    /// the heterogeneous tests.
+    #[derive(Debug)]
+    struct Pin(usize);
+    impl Placement for Pin {
+        fn name(&self) -> &'static str {
+            "pin"
+        }
+        fn place(&self, _job: &JobView<'_>, _backends: &[BackendView]) -> PlacementPlan {
+            PlacementPlan::run_on(self.0)
+        }
+    }
+
     #[test]
-    fn mixed_geometry_fleets_fail_as_a_typed_error() {
-        // Sessions whose geometries differ (here: configuration-memory
-        // capacity) cannot form a pool — one geometry must price every
-        // reload — and the error names the first mismatched session.
-        let mut sessions = constrained_sessions(2, 2 * baked_words());
+    fn mixed_geometry_fleets_price_reloads_per_geometry() {
+        // PR 7 retires the blanket MixedGeometry rejection: sessions with
+        // different configuration-memory capacities form a legal fleet,
+        // each backend pricing reloads against its own geometry, and
+        // outputs stay bit-identical to the serial reference.
+        let mut sessions = constrained_sessions(1, 3 * baked_words());
         sessions.extend(constrained_sessions(1, baked_words()));
-        let err = Pool::with_sessions(sessions).unwrap_err();
-        assert_eq!(err, RuntimeError::MixedGeometry { array: 2 });
-        assert!(err.to_string().contains("session 2"));
-        // A homogeneous fleet of the same constrained sessions is fine.
-        let pool = Pool::with_sessions(constrained_sessions(3, baked_words())).unwrap();
-        assert_eq!(pool.arrays(), 3);
+        let mut pool = Pool::with_sessions(sessions).unwrap();
+        let kernels: Vec<BakedScaleKernel> = [2i16, 3, 5]
+            .iter()
+            .map(|&f| BakedScaleKernel::new(f))
+            .collect();
+        let jobs = picked_jobs(&kernels, &THREE_KERNEL_PICKS);
+        let (outputs, fleet) = pool
+            .run_batch(
+                jobs.iter()
+                    .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+            )
+            .unwrap();
+        let (serial, _) = Pool::run_serial_reference(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        assert_eq!(outputs, serial);
+        assert_eq!(fleet.jobs, 12);
+        assert!(fleet.routes.iter().all(|r| r.kind == BackendKind::Array));
+    }
+
+    /// A scale kernel that refuses to map onto configuration memories
+    /// smaller than two of its programs — the "genuinely incompatible
+    /// kernel" of the mixed-geometry regression test.
+    #[derive(Debug)]
+    struct PickyKernel(BakedScaleKernel);
+    impl Kernel for PickyKernel {
+        type Input = [i32];
+        type Output = Vec<i32>;
+        fn name(&self) -> &str {
+            "picky"
+        }
+        fn cache_key(&self) -> String {
+            "picky".to_string()
+        }
+        fn resources(&self) -> crate::session::Resources {
+            self.0.resources()
+        }
+        fn config_words(&self, g: &Geometry) -> Result<usize> {
+            if g.config_words < 2 * baked_words() {
+                return Err(RuntimeError::invalid_input(
+                    "picky does not map onto small configuration memories",
+                ));
+            }
+            self.0.config_words(g)
+        }
+        fn program(&self, g: &Geometry) -> Result<vwr2a_core::program::KernelProgram> {
+            self.0.program(g)
+        }
+        fn execute(
+            &self,
+            ctx: &mut crate::session::LaunchCtx<'_>,
+            input: &[i32],
+        ) -> Result<Vec<i32>> {
+            self.0.execute(ctx, input)
+        }
+    }
+
+    #[test]
+    fn incompatible_kernels_still_fail_as_mixed_geometry() {
+        // The regression guard for the old rejection case: a kernel whose
+        // program cannot be built for some backend's geometry is
+        // ineligible there — routed around under cost-aware placement,
+        // and a typed MixedGeometry error when pinned there or when no
+        // backend can take it at all.
+        let picky = PickyKernel(BakedScaleKernel::new(4));
+        let ws = windows(1, 0);
+        let mut sessions = constrained_sessions(1, 2 * baked_words());
+        sessions.extend(constrained_sessions(1, baked_words()));
+        let mut pool = Pool::with_sessions(sessions).unwrap();
+        let (outputs, fleet) = pool
+            .run_batch([(&picky, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        let (serial, _) =
+            Pool::run_serial_reference([(&picky, ws.iter().map(Vec::as_slice))]).unwrap();
+        assert_eq!(outputs, serial);
+        assert_eq!(fleet.routes[0].backend, 0, "routed around the small array");
+
+        pool.set_placement(Pin(1));
+        let err = pool
+            .run_batch([(&picky, ws.iter().map(Vec::as_slice))])
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::MixedGeometry { array: 1 });
+        assert!(err.to_string().contains("backend 1"));
+
+        // A fleet with no compatible geometry fails at admission, naming
+        // the first failing array; the pool stays reusable.
+        let mut tiny = Pool::with_sessions(constrained_sessions(1, baked_words())).unwrap();
+        let err = tiny
+            .run_batch([(&picky, ws.iter().map(Vec::as_slice))])
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::MixedGeometry { array: 0 });
+        assert_eq!(tiny.stats().jobs, 0);
+        tiny.run_batch([(&picky.0, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+    }
+
+    /// A kernel servable by both the arrays and the FFT engine: the CGRA
+    /// path is a baked scale program; the FFT path computes the same
+    /// scaled output host-side while running the engine's real-FFT flow
+    /// for genuine cycle accounting — outputs are bit-identical across
+    /// backends by construction, like the real FFT kernels in
+    /// `vwr2a-kernels` (whose numerical equivalence is pinned there).
+    #[derive(Debug)]
+    struct FftishKernel(BakedScaleKernel);
+    impl FftishKernel {
+        const POINTS: usize = 256;
+    }
+    impl Kernel for FftishKernel {
+        type Input = [i32];
+        type Output = Vec<i32>;
+        fn name(&self) -> &str {
+            "fftish"
+        }
+        fn cache_key(&self) -> String {
+            format!("fftish:{}", self.0.factor())
+        }
+        fn resources(&self) -> crate::session::Resources {
+            self.0.resources()
+        }
+        fn program(&self, g: &Geometry) -> Result<vwr2a_core::program::KernelProgram> {
+            self.0.program(g)
+        }
+        fn execute(
+            &self,
+            ctx: &mut crate::session::LaunchCtx<'_>,
+            input: &[i32],
+        ) -> Result<Vec<i32>> {
+            self.0.execute(ctx, input)
+        }
+        fn offload(&self) -> Offload {
+            Offload {
+                fft: Some(FftShape {
+                    points: Self::POINTS,
+                    real: true,
+                }),
+                cpu_cycles: None,
+            }
+        }
+        fn execute_fft(
+            &self,
+            accel: &vwr2a_fftaccel::FftAccelerator,
+            input: &[i32],
+        ) -> Result<(Vec<i32>, vwr2a_fftaccel::FftAccelStats)> {
+            let samples: Vec<f64> = (0..Self::POINTS)
+                .map(|i| f64::from(input.get(i).copied().unwrap_or(0)))
+                .collect();
+            let (_, stats) = accel
+                .run_real(&samples)
+                .map_err(|e| RuntimeError::invalid_input(e.to_string()))?;
+            let out = input
+                .iter()
+                .map(|&v| v.wrapping_mul(i32::from(self.0.factor())))
+                .collect();
+            Ok((out, stats))
+        }
+    }
+
+    #[test]
+    fn fft_routed_jobs_execute_on_the_engine_and_stay_bit_identical() {
+        let kernel = FftishKernel(BakedScaleKernel::new(3));
+        let ws = windows(2, 0);
+        let mut pool = Pool::with_sessions(constrained_sessions(1, 2 * baked_words()))
+            .unwrap()
+            .with_backend(FftBackend::new())
+            .with_placement(Pin(1));
+        let (outputs, fleet) = pool
+            .run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        let (serial, _) =
+            Pool::run_serial_reference([(&kernel, ws.iter().map(Vec::as_slice))]).unwrap();
+        assert_eq!(outputs, serial, "FFT-routed outputs match the CGRA serial");
+        assert_eq!(
+            fleet.routes,
+            vec![JobRoute {
+                job: 0,
+                backend: 1,
+                kind: BackendKind::FftAccel
+            }]
+        );
+        let kinds = fleet.per_kind();
+        let fft_row = kinds
+            .iter()
+            .find(|k| k.kind == BackendKind::FftAccel)
+            .unwrap();
+        assert_eq!(fft_row.jobs, 1);
+        assert_eq!(fft_row.invocations, 2);
+        // First window programs the engine (cold); the second finds the
+        // same shape programmed (warm).  The engine's projection is exact.
+        assert_eq!(fleet.cold_reloads(), 1);
+        assert_eq!(fleet.warm_launches(), 1);
+        let projected = FftBackend::new().window_cycles(&kernel.offload()).unwrap();
+        assert_eq!(fft_row.cycles, 2 * projected);
+        assert!(pool.backend(1).is_warm(&kernel.cache_key()));
+
+        // A kernel without an FFT offload pinned to the engine is a typed
+        // capability error, and the pool stays reusable.
+        let plain = BakedScaleKernel::new(2);
+        let err = pool
+            .run_batch([(&plain, ws.iter().map(Vec::as_slice))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Capability {
+                kernel: "baked-scale".to_string(),
+                backend: "fft".to_string(),
+            }
+        );
+        // Cost-aware placement routes the CGRA-only job around the engine.
+        pool.set_placement(CostAware);
+        let (_, fleet) = pool
+            .run_batch([(&plain, ws.iter().map(Vec::as_slice))])
+            .unwrap();
+        assert_eq!(fleet.routes[0].backend, 0);
+        assert_eq!(fleet.routes[0].kind, BackendKind::Array);
+    }
+
+    #[test]
+    fn cost_aware_offloads_tiny_jobs_to_the_cpu_and_keeps_bulk_on_arrays() {
+        let words = baked_words() as u64;
+        // Estimate of 2 host cycles per window: far below the array's
+        // cold-reload streaming, so a one-window job belongs on the CPU.
+        let kernel = BakedScaleKernel::new(5).with_cpu_offload(2);
+        let tiny: Vec<Vec<i32>> = vec![vec![3, -4, 7]];
+        let mut pool = Pool::with_sessions(constrained_sessions(1, 2 * baked_words()))
+            .unwrap()
+            .with_backend(CpuBackend::new());
+        let (outputs, fleet) = pool
+            .run_batch([(&kernel, tiny.iter().map(Vec::as_slice))])
+            .unwrap();
+        let (serial, _) =
+            Pool::run_serial_reference([(&kernel, tiny.iter().map(Vec::as_slice))]).unwrap();
+        assert_eq!(outputs, serial, "CPU-routed outputs match the CGRA serial");
+        assert_eq!(fleet.routes[0].kind, BackendKind::Cpu);
+        let kinds = fleet.per_kind();
+        let cpu_row = kinds.iter().find(|k| k.kind == BackendKind::Cpu).unwrap();
+        assert_eq!(cpu_row.jobs, 1);
+        assert!(cpu_row.cycles > 0, "the ISS charged real cycles");
+        assert_eq!(fleet.cold_reloads(), 0, "the CPU never reloads");
+
+        // Enough windows that the modelled CPU total strictly exceeds the
+        // one-off array reload: the bulk job stays on the array (and its
+        // reload is prefetched), whatever the program's footprint.
+        let bulk: Vec<Vec<i32>> = (0..2 * words).map(|w| vec![w as i32, 1, 2]).collect();
+        let (outputs, fleet) = pool
+            .run_batch([(&kernel, bulk.iter().map(Vec::as_slice))])
+            .unwrap();
+        let (serial, _) =
+            Pool::run_serial_reference([(&kernel, bulk.iter().map(Vec::as_slice))]).unwrap();
+        assert_eq!(outputs, serial);
+        assert_eq!(fleet.routes[0].kind, BackendKind::Array);
+        assert_eq!(fleet.cold_reloads(), 0);
+        assert_eq!(fleet.prefetched(), 1);
+    }
+
+    #[test]
+    fn baseline_strategies_skip_ineligible_backends() {
+        // Round-robin over [array, array, fft] with CGRA-only jobs must
+        // rotate over the two arrays only — the engine cannot take them.
+        let kernels: Vec<BakedScaleKernel> = [2i16, 3, 5, 7]
+            .iter()
+            .map(|&f| BakedScaleKernel::new(f))
+            .collect();
+        let ws = windows(1, 0);
+        for placement in [
+            Box::new(RoundRobin) as Box<dyn Placement>,
+            Box::new(LeastLoaded),
+            Box::new(ResidencyAware),
+        ] {
+            let mut pool = Pool::with_sessions(constrained_sessions(2, 4 * baked_words()))
+                .unwrap()
+                .with_backend(FftBackend::new());
+            pool.placement = placement;
+            let (_, fleet) = pool
+                .run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
+                .unwrap();
+            assert_eq!(fleet.jobs, 4);
+            assert!(
+                fleet.routes.iter().all(|r| r.backend < 2),
+                "{}: CGRA-only jobs must never land on the engine",
+                pool.placement_name()
+            );
+        }
     }
 }

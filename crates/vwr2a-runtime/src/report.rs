@@ -5,6 +5,8 @@ use vwr2a_core::timeline::Occupancy;
 use vwr2a_core::ActivityCounters;
 use vwr2a_energy::{vwr2a_energy, EnergyBreakdown};
 
+use crate::backend::BackendKind;
+
 /// Cycle, launch and activity accounting of one or more kernel invocations
 /// through a [`crate::Session`].
 ///
@@ -140,18 +142,58 @@ impl std::fmt::Display for RunReport {
     }
 }
 
-/// Accounting of one array (one [`crate::Session`]) inside a
-/// [`crate::pool::Pool`] fan-out.
+/// Accounting of one backend (a CGRA array [`crate::Session`], the FFT
+/// engine, or the host CPU) inside a [`crate::pool::Pool`] fan-out.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ArrayReport {
-    /// Index of the array in the pool.
+    /// Index of the backend in the pool.
     pub array: usize,
-    /// Jobs the placement strategy routed to this array.
+    /// What kind of execution substrate this backend is — the per-backend
+    /// attribution key heterogeneous fleets aggregate by
+    /// ([`FleetReport::per_kind`]).
+    pub kind: BackendKind,
+    /// Jobs the placement strategy routed to this backend.
     pub jobs: u64,
-    /// The array's aggregated run accounting: `wall_cycles`/`busy` come
-    /// from replaying the array's own [`crate::pipeline::StreamSchedule`],
-    /// so they describe the array's *local* pipelined timeline.
+    /// The backend's aggregated run accounting: `wall_cycles`/`busy` come
+    /// from replaying the backend's own [`crate::pipeline::StreamSchedule`],
+    /// so they describe the backend's *local* pipelined timeline.
     pub report: RunReport,
+}
+
+/// Which backend one fanned-out job actually landed on — recorded per job
+/// in [`FleetReport::routes`], so equivalence tests can replay each job
+/// against the serial model of the backend that served it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRoute {
+    /// The job's submission index ([`crate::pool::JobView::index`]; for
+    /// accumulated [`crate::pool::Pool::stats`], offset so indices keep
+    /// counting across waves).
+    pub job: usize,
+    /// Index of the backend that executed the job's windows.
+    pub backend: usize,
+    /// The executing backend's kind.
+    pub kind: BackendKind,
+}
+
+/// Per-kind aggregate over a [`FleetReport`]'s backends — the
+/// heterogeneous fleet's attribution row (how much of the work each
+/// substrate absorbed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendKindStats {
+    /// The backend kind the row aggregates.
+    pub kind: BackendKind,
+    /// Number of backends of this kind in the fleet.
+    pub backends: usize,
+    /// Jobs routed to backends of this kind.
+    pub jobs: u64,
+    /// Kernel invocations (windows) executed on this kind.
+    pub invocations: u64,
+    /// Serial phase-sum cycles spent on this kind.
+    pub cycles: u64,
+    /// Summed per-engine busy cycles on this kind.
+    pub busy: Occupancy,
+    /// Largest per-backend wall clock among this kind's backends.
+    pub wall_cycles: u64,
 }
 
 /// The merged fleet-level accounting of a [`crate::pool::Pool`] fan-out:
@@ -169,23 +211,66 @@ pub struct ArrayReport {
 pub struct FleetReport {
     /// Total jobs fanned out (a job is one `(kernel, windows)` workload).
     pub jobs: u64,
-    /// Per-array accounting, indexed by array.
+    /// Per-backend accounting, indexed by backend.
     pub arrays: Vec<ArrayReport>,
+    /// Which backend each job landed on, in execution order — the
+    /// per-job routing record heterogeneous equivalence tests replay.
+    pub routes: Vec<JobRoute>,
 }
 
 impl FleetReport {
-    /// An empty report over `arrays` arrays.
+    /// An empty report over `arrays` CGRA-array backends (the homogeneous
+    /// fleet; see [`FleetReport::for_kinds`] for mixed ones).
     pub fn new(arrays: usize) -> Self {
+        Self::for_kinds(&vec![BackendKind::Array; arrays])
+    }
+
+    /// An empty report over one backend per entry of `kinds`, named
+    /// `{kind}-{index}`.
+    pub fn for_kinds(kinds: &[BackendKind]) -> Self {
         Self {
             jobs: 0,
-            arrays: (0..arrays)
-                .map(|array| ArrayReport {
+            arrays: kinds
+                .iter()
+                .enumerate()
+                .map(|(array, &kind)| ArrayReport {
                     array,
+                    kind,
                     jobs: 0,
-                    report: RunReport::new(format!("array-{array}")),
+                    report: RunReport::new(format!("{}-{array}", kind.label())),
                 })
                 .collect(),
+            routes: Vec::new(),
         }
+    }
+
+    /// Per-kind attribution rows (jobs, invocations, cycles, busy split,
+    /// wall clock), in [`BackendKind`] declaration order, covering only
+    /// the kinds present in the fleet.
+    pub fn per_kind(&self) -> Vec<BackendKindStats> {
+        [BackendKind::Array, BackendKind::FftAccel, BackendKind::Cpu]
+            .into_iter()
+            .filter_map(|kind| {
+                let mut stats = BackendKindStats {
+                    kind,
+                    backends: 0,
+                    jobs: 0,
+                    invocations: 0,
+                    cycles: 0,
+                    busy: Occupancy::default(),
+                    wall_cycles: 0,
+                };
+                for array in self.arrays.iter().filter(|a| a.kind == kind) {
+                    stats.backends += 1;
+                    stats.jobs += array.jobs;
+                    stats.invocations += array.report.invocations;
+                    stats.cycles += array.report.cycles;
+                    stats.busy += array.report.busy;
+                    stats.wall_cycles = stats.wall_cycles.max(array.report.wall_cycles);
+                }
+                (stats.backends > 0).then_some(stats)
+            })
+            .collect()
     }
 
     /// Fleet wall clock: the largest per-array wall clock, because the
@@ -278,6 +363,13 @@ impl FleetReport {
             other.arrays.len(),
             "fleet reports of different pool sizes cannot be merged"
         );
+        // Later waves' job indices restart at 0; offset their routes so
+        // the accumulated record keeps one monotone index space.
+        let base = self.jobs as usize;
+        self.routes.extend(other.routes.iter().map(|r| JobRoute {
+            job: r.job + base,
+            ..*r
+        }));
         self.jobs += other.jobs;
         for (mine, theirs) in self.arrays.iter_mut().zip(&other.arrays) {
             mine.jobs += theirs.jobs;
@@ -303,7 +395,21 @@ impl std::fmt::Display for FleetReport {
             self.prefetched(),
             self.hidden_reloads(),
             self.evictions()
-        )
+        )?;
+        // Heterogeneous fleets get the per-kind attribution inline.
+        if self.arrays.iter().any(|a| a.kind != BackendKind::Array) {
+            for stats in self.per_kind() {
+                write!(
+                    f,
+                    "; {} x{}: {} job(s), {} busy cycles",
+                    stats.kind,
+                    stats.backends,
+                    stats.jobs,
+                    stats.busy.total()
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -523,9 +629,81 @@ mod tests {
         report.busy.dma = dma;
         ArrayReport {
             array,
+            kind: BackendKind::Array,
             jobs: 1,
             report,
         }
+    }
+
+    #[test]
+    fn per_kind_attribution_splits_a_mixed_fleet() {
+        let mut fleet = FleetReport::for_kinds(&[
+            BackendKind::Array,
+            BackendKind::Array,
+            BackendKind::FftAccel,
+        ]);
+        fleet.jobs = 3;
+        fleet.arrays[0] = array_report(0, 1_000, 700, 100, 1);
+        fleet.arrays[1] = array_report(1, 800, 600, 50, 0);
+        fleet.arrays[2].kind = BackendKind::FftAccel;
+        fleet.arrays[2].jobs = 1;
+        fleet.arrays[2].report.invocations = 4;
+        fleet.arrays[2].report.cycles = 3_000;
+        fleet.arrays[2].report.wall_cycles = 2_500;
+        fleet.arrays[2].report.busy.compute = 3_000;
+        fleet.routes = vec![
+            JobRoute {
+                job: 0,
+                backend: 0,
+                kind: BackendKind::Array,
+            },
+            JobRoute {
+                job: 1,
+                backend: 1,
+                kind: BackendKind::Array,
+            },
+            JobRoute {
+                job: 2,
+                backend: 2,
+                kind: BackendKind::FftAccel,
+            },
+        ];
+        let kinds = fleet.per_kind();
+        assert_eq!(kinds.len(), 2, "only present kinds are listed");
+        assert_eq!(kinds[0].kind, BackendKind::Array);
+        assert_eq!(kinds[0].backends, 2);
+        assert_eq!(kinds[0].jobs, 2);
+        assert_eq!(kinds[0].busy.compute, 1_300);
+        assert_eq!(kinds[0].wall_cycles, 1_000);
+        assert_eq!(kinds[1].kind, BackendKind::FftAccel);
+        assert_eq!(kinds[1].invocations, 4);
+        assert!(fleet.to_string().contains("fft x1"));
+
+        // Absorbing a second wave offsets its routes past this one's jobs.
+        let mut next = FleetReport::for_kinds(&[
+            BackendKind::Array,
+            BackendKind::Array,
+            BackendKind::FftAccel,
+        ]);
+        next.jobs = 2;
+        next.routes = vec![
+            JobRoute {
+                job: 0,
+                backend: 2,
+                kind: BackendKind::FftAccel,
+            },
+            JobRoute {
+                job: 1,
+                backend: 0,
+                kind: BackendKind::Array,
+            },
+        ];
+        fleet.absorb(&next);
+        assert_eq!(fleet.jobs, 5);
+        assert_eq!(fleet.routes.len(), 5);
+        assert_eq!(fleet.routes[3].job, 3);
+        assert_eq!(fleet.routes[4].job, 4);
+        assert_eq!(fleet.routes[3].backend, 2);
     }
 
     #[test]

@@ -16,22 +16,29 @@
 //!    then (the per-array schedules clamp every phase to the dispatch
 //!    cycle, so an idle array shows the wait as idle time, not work done
 //!    in the past).
-//! 2. **Dispatch** — whenever an array has room in its (bounded) run
+//! 2. **Dispatch** — whenever a backend has room in its (bounded) run
 //!    queue, the pluggable [`SchedPolicy`] picks which admitted job goes
 //!    next: [`Fifo`] in arrival order, [`EarliestDeadlineFirst`] by
 //!    deadline, or [`WeightedFair`] deficit-round-robin across tenants so
 //!    one chatty tenant cannot starve the rest.  The pool's
-//!    [`Placement`](crate::pool::Placement) strategy then chooses the array — over *projected*
+//!    [`Placement`](crate::pool::Placement) strategy then chooses the
+//!    backend — CGRA array, FFT engine or host CPU, over *projected*
 //!    backlogs (schedule horizon plus the estimated cost of jobs already
-//!    queued there) — and any [`PlacementPlan`] prefetch directive stages
-//!    the job's reload speculatively from the dispatch cycle on.
+//!    queued there) and the per-backend reload/window pricing computed
+//!    once at admission ([`Pool::price_job`](crate::pool::Pool)) — and
+//!    any [`PlacementPlan`] prefetch directive stages the job's reload
+//!    speculatively from the dispatch cycle on.  A job is only ever
+//!    committed to a backend that can actually serve it; when every such
+//!    backend is depth-full the job waits in the queue.
 //! 3. **Stealing** — placement decisions go stale: backlog estimates are
-//!    learned online, so an array can drift ahead of the fleet with jobs
+//!    learned online, so a backend can drift ahead of the fleet with jobs
 //!    still queued behind it.  The stealing pass re-routes queued (not
-//!    yet started) jobs from the most backlogged array to the earliest
+//!    yet started) jobs from the most backlogged backend to the earliest
 //!    free one, re-consulting [`Placement`](crate::pool::Placement) so cost-aware prefetch
 //!    directives fire on the new target.  Every move must strictly
-//!    improve the pair's projected finish.
+//!    improve the pair's projected finish, and steals respect the job's
+//!    capability classes — a CGRA-only job is never stolen onto the FFT
+//!    engine, nor an FFT-only job onto an array.
 //! 4. **Reporting** — each completed job yields a
 //!    [`JobLatency`] split into queueing and
 //!    service cycles plus a deadline verdict; the run's
@@ -85,10 +92,11 @@ use std::fmt;
 
 use vwr2a_core::timeline::Engine;
 
+use crate::backend::{run_window_on, BackendKind};
 use crate::error::{Result, RuntimeError};
 use crate::pipeline::StreamSchedule;
-use crate::pool::{ArrayView, JobView, PlacementPlan, Pool};
-use crate::report::{FleetReport, JobLatency, ServeReport};
+use crate::pool::{BackendView, JobView, PlacementPlan, Pool};
+use crate::report::{FleetReport, JobLatency, JobRoute, ServeReport};
 use crate::session::Kernel;
 
 /// Identifies the tenant a [`ServeJob`] belongs to.  Tenants are the unit
@@ -365,6 +373,13 @@ struct Ticket<'k, K, I> {
     windows: I,
     key: String,
     config_words: usize,
+    /// Capability classes of the job
+    /// ([`crate::backend::Offload::classes`]).
+    classes: u32,
+    /// Per-backend `(reload_cycles, window_cycles)` pricing, computed
+    /// once at admission.  A `None` reload marks a backend that cannot
+    /// serve this job; dispatch and stealing never commit the job there.
+    prices: Vec<(Option<u64>, Option<u64>)>,
     windows_hint: usize,
     tenant: TenantId,
     arrival: u64,
@@ -372,9 +387,16 @@ struct Ticket<'k, K, I> {
     deadline: Option<u64>,
 }
 
-/// How many dispatched jobs an array may hold while still busy.  Jobs in
+impl<K, I> Ticket<'_, K, I> {
+    /// `true` if backend `index` can serve this job at all.
+    fn eligible(&self, index: usize) -> bool {
+        self.prices[index].0.is_some()
+    }
+}
+
+/// How many dispatched jobs a backend may hold while still busy.  Jobs in
 /// this run queue are *committed but not started* — stealable until the
-/// array actually materialises them.  Depth 1 would leave arrays idle
+/// backend actually materialises them.  Depth 1 would leave backends idle
 /// between jobs; unbounded depth would commit placement far into an
 /// unknown future and leave the stealing pass nothing early to fix.
 const DISPATCH_DEPTH: usize = 2;
@@ -392,8 +414,10 @@ pub struct Server {
     policy: Box<dyn SchedPolicy>,
     stealing: bool,
     /// Online per-program cost model: cumulative `(compute_cycles,
-    /// windows)` by cache key, learned from completed jobs.  Backs the
-    /// projected backlogs that placement and stealing reason over.
+    /// windows)` by cache key, learned from jobs completed on CGRA
+    /// arrays (offload backends carry their own closed-form models).
+    /// Backs the projected backlogs that placement and stealing reason
+    /// over.
     estimates: HashMap<String, (u64, u64)>,
 }
 
@@ -488,7 +512,7 @@ impl Server {
     /// Jobs are admitted at their arrival cycles, dispatched by the
     /// server's [`SchedPolicy`] and placed by the pool's [`Placement`](crate::pool::Placement)
     /// strategy; the stealing pass (if enabled) re-routes queued jobs
-    /// away from arrays whose backlog drifted ahead of the fleet.  The
+    /// away from backends whose backlog drifted ahead of the fleet.  The
     /// returned [`ServeReport`] carries the
     /// run's fleet accounting, per-job latencies (in submission order),
     /// and the steal count.
@@ -507,11 +531,14 @@ impl Server {
         W::Item: Borrow<K::Input>,
         F: FnMut(usize, K::Output) -> Result<()>,
     {
-        let arrays = self.pool.arrays();
+        let backends = self.pool.arrays();
         let mut pending: VecDeque<Ticket<'k, K, W::IntoIter>> = VecDeque::new();
         for (seq, job) in jobs.into_iter().enumerate() {
             let key = job.kernel.cache_key();
-            let config_words = self.pool.footprint(job.kernel, &key)?;
+            // Admission prices the job against every backend once; the
+            // ticket carries the pricing through dispatch and stealing.
+            // A job no backend can serve fails here, before any work.
+            let pricing = self.pool.price_job(job.kernel, &key)?;
             let windows = job.windows.into_iter();
             let windows_hint = windows.size_hint().0;
             pending.push_back(Ticket {
@@ -519,7 +546,9 @@ impl Server {
                 kernel: job.kernel,
                 windows,
                 key,
-                config_words,
+                config_words: pricing.config_words,
+                classes: pricing.classes,
+                prices: pricing.per_backend,
                 windows_hint,
                 tenant: job.tenant,
                 arrival: job.arrival_cycle,
@@ -534,8 +563,8 @@ impl Server {
             .sort_by_key(|t| (t.arrival, t.seq));
 
         let mut schedules: Vec<StreamSchedule> =
-            (0..arrays).map(|_| StreamSchedule::new()).collect();
-        let mut wave = FleetReport::new(arrays);
+            (0..backends).map(|_| StreamSchedule::new()).collect();
+        let mut wave = self.pool.blank_wave();
         let mut latencies: Vec<JobLatency> = Vec::new();
         let mut steals = 0u64;
 
@@ -591,42 +620,60 @@ impl Server {
         ticket.windows_hint as u64 * self.per_window_estimate(&ticket.key, ticket.config_words)
     }
 
-    /// Projected compute horizon of one array: its schedule's compute
+    /// Projected compute horizon of one backend: its schedule's compute
     /// backlog (clamped to `now`) plus the estimated cost of every job
     /// queued on it.
     fn projection<K: Kernel, I>(
         &self,
-        array: usize,
+        backend: usize,
         now: u64,
         schedules: &[StreamSchedule],
         assigned: &[VecDeque<(Ticket<'_, K, I>, u64)>],
     ) -> u64 {
-        schedules[array].free_at(Engine::Compute).max(now)
-            + assigned[array]
+        schedules[backend].free_at(Engine::Compute).max(now)
+            + assigned[backend]
                 .iter()
                 .map(|(t, _)| self.est_cost(t))
                 .sum::<u64>()
     }
 
-    /// One array's [`ArrayView`] over the *projected* backlogs — what
-    /// placement sees at dispatch and steal time.
-    fn array_view<K: Kernel, I>(
+    /// One backend's [`BackendView`] over the *projected* backlogs — what
+    /// placement sees at dispatch and steal time.  Reload and per-window
+    /// pricing come from the ticket's admission-time pricing, so the view
+    /// carries the same eligibility mask batch fan-outs see.
+    fn backend_view<K: Kernel, I>(
         &self,
-        array: usize,
+        backend: usize,
         ticket: &Ticket<'_, K, I>,
         now: u64,
         schedules: &[StreamSchedule],
         assigned: &[VecDeque<(Ticket<'_, K, I>, u64)>],
-    ) -> ArrayView {
-        let session = self.pool.array(array);
-        ArrayView {
-            index: array,
-            resident: session.is_resident_key(&ticket.key),
-            warm: session.is_warm(ticket.kernel),
-            free_compute_at: self.projection(array, now, schedules, assigned),
-            free_config_at: schedules[array].free_at(Engine::ConfigLoad).max(now),
-            busy_compute: session.free_compute_at(),
-            loaded_programs: session.loaded_programs(),
+    ) -> BackendView {
+        let b = self.pool.backend(backend);
+        BackendView {
+            index: backend,
+            kind: b.kind(),
+            capabilities: b.capabilities(),
+            resident: b.is_resident(&ticket.key),
+            warm: b.is_warm(&ticket.key),
+            free_compute_at: self.projection(backend, now, schedules, assigned),
+            free_config_at: schedules[backend].free_at(Engine::ConfigLoad).max(now),
+            busy_compute: b.busy_compute(),
+            loaded_programs: b.loaded_programs(),
+            reload_cycles: ticket.prices[backend].0,
+            window_cycles: ticket.prices[backend].1,
+        }
+    }
+
+    /// The [`JobView`] a ticket presents to the placement strategy.
+    fn job_view<'t, K: Kernel, I>(&self, ticket: &'t Ticket<'_, K, I>) -> JobView<'t> {
+        JobView {
+            index: ticket.seq,
+            cache_key: &ticket.key,
+            windows: ticket.windows_hint,
+            config_words: ticket.config_words,
+            classes: ticket.classes,
+            window_cycles_hint: self.per_window_estimate(&ticket.key, ticket.config_words),
         }
     }
 
@@ -649,10 +696,10 @@ impl Server {
         I::Item: Borrow<K::Input>,
         F: FnMut(usize, K::Output) -> Result<()>,
     {
-        let arrays = self.pool.arrays();
+        let backends = self.pool.arrays();
         let mut queue: Vec<Ticket<'k, K, I>> = Vec::new();
         let mut assigned: Vec<VecDeque<(Ticket<'k, K, I>, u64)>> =
-            (0..arrays).map(|_| VecDeque::new()).collect();
+            (0..backends).map(|_| VecDeque::new()).collect();
         let mut now = 0u64;
 
         loop {
@@ -661,8 +708,18 @@ impl Server {
                 queue.push(pending.pop_front().unwrap());
             }
 
-            // Dispatch: while the queue has jobs and some array has room,
-            // the policy picks the job and placement picks the array.
+            // Whether this iteration committed or materialised any job —
+            // the guard against re-dispatching in place at the same cycle
+            // forever when the only backends with queue room cannot serve
+            // the jobs that are waiting.
+            let mut progressed = false;
+
+            // Dispatch: while the queue has jobs and some backend has
+            // room, the policy picks the job and placement picks the
+            // backend.  A job whose every *eligible* backend is depth-full
+            // parks for this pass (room elsewhere is no use to it), so the
+            // loop strictly consumes the queue and terminates.
+            let mut parked: Vec<Ticket<'k, K, I>> = Vec::new();
             while !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH) {
                 let views: Vec<QueuedJob<'_>> = queue
                     .iter()
@@ -685,67 +742,90 @@ impl Server {
                 }
                 let ticket = queue.remove(index);
                 let plan = {
-                    let views: Vec<ArrayView> = (0..arrays)
-                        .map(|i| self.array_view(i, &ticket, now, schedules, &assigned))
+                    let views: Vec<BackendView> = (0..backends)
+                        .map(|i| self.backend_view(i, &ticket, now, schedules, &assigned))
                         .collect();
-                    let job = JobView {
-                        index: ticket.seq,
-                        cache_key: &ticket.key,
-                        windows: ticket.windows_hint,
-                        config_words: ticket.config_words,
-                    };
+                    let job = self.job_view(&ticket);
                     self.pool.strategy().place(&job, &views)
                 };
-                let mut chosen = plan.array;
-                if chosen >= arrays {
+                let preferred = plan.backend;
+                if preferred >= backends {
                     return Err(RuntimeError::Placement {
-                        index: chosen,
-                        arrays,
+                        index: preferred,
+                        arrays: backends,
                     });
                 }
-                if assigned[chosen].len() >= DISPATCH_DEPTH {
-                    // The preferred array's run queue is full: fall back
-                    // to the least-projected array with room (one exists
-                    // by the loop condition).  The stealing pass can
-                    // still re-route the job before it starts.
-                    chosen = (0..arrays)
-                        .filter(|&i| assigned[i].len() < DISPATCH_DEPTH)
-                        .min_by_key(|&i| (self.projection(i, now, schedules, &assigned), i))
-                        .expect("some array has room");
-                }
+                let chosen =
+                    if ticket.eligible(preferred) && assigned[preferred].len() < DISPATCH_DEPTH {
+                        preferred
+                    } else {
+                        // The preferred backend's run queue is full (or the
+                        // strategy pointed at a backend that cannot serve the
+                        // job): fall back to the least-projected *eligible*
+                        // backend with room.  The stealing pass can still
+                        // re-route the job before it starts.
+                        match (0..backends)
+                            .filter(|&i| ticket.eligible(i) && assigned[i].len() < DISPATCH_DEPTH)
+                            .min_by_key(|&i| (self.projection(i, now, schedules, &assigned), i))
+                        {
+                            Some(i) => i,
+                            None => {
+                                // Every backend this job can run on is full.
+                                parked.push(ticket);
+                                continue;
+                            }
+                        }
+                    };
                 if let Some(directive) = plan.prefetch {
-                    if directive.array >= arrays {
+                    if directive.backend >= backends {
                         return Err(RuntimeError::Placement {
-                            index: directive.array,
-                            arrays,
+                            index: directive.backend,
+                            arrays: backends,
                         });
                     }
-                    self.pool
-                        .stage_prefetch(directive.array, ticket.kernel, now, schedules, wave);
+                    self.pool.stage_prefetch(
+                        directive.backend,
+                        ticket.kernel,
+                        now,
+                        schedules,
+                        wave,
+                    );
                 }
                 wave.jobs += 1;
                 wave.arrays[chosen].jobs += 1;
                 assigned[chosen].push_back((ticket, now));
+                progressed = true;
             }
+            queue.extend(parked);
 
-            // Steal: re-route queued jobs away from the array whose
+            // Steal: re-route queued jobs away from the backend whose
             // projected backlog drifted furthest ahead of the fleet.
             if self.stealing {
                 self.steal_pass(now, schedules, &mut assigned, wave, steals);
             }
 
-            // Execute: materialise the front job of every array whose
+            // Execute: materialise the front job of every backend whose
             // compute engine has caught up with the clock.
-            for i in 0..arrays {
+            for i in 0..backends {
                 while !assigned[i].is_empty() && schedules[i].free_at(Engine::Compute) <= now {
                     let (ticket, assign_cycle) = assigned[i].pop_front().unwrap();
+                    let kind = self.pool.backend(i).kind();
+                    // The route is final only now: stealing may have moved
+                    // the ticket since dispatch.
+                    wave.routes.push(JobRoute {
+                        job: ticket.seq,
+                        backend: i,
+                        kind,
+                    });
                     let mut first_compute: Option<u64> = None;
                     let mut completed = assign_cycle;
                     let mut compute_cycles = 0u64;
                     let mut count = 0u64;
                     for window in ticket.windows {
-                        let (output, phases) = self.pool.session_mut(i).run_into(
+                        let (output, phases) = run_window_on(
+                            self.pool.backend_mut(i),
                             ticket.kernel,
+                            &ticket.key,
                             window.borrow(),
                             &mut wave.arrays[i].report,
                         )?;
@@ -756,9 +836,13 @@ impl Server {
                         count += 1;
                         sink(ticket.seq, output)?;
                     }
-                    let entry = self.estimates.entry(ticket.key).or_insert((0, 0));
-                    entry.0 += compute_cycles;
-                    entry.1 += count;
+                    if kind == BackendKind::Array {
+                        // Learn the kernel's observed array cost; offload
+                        // backends price themselves through their models.
+                        let entry = self.estimates.entry(ticket.key).or_insert((0, 0));
+                        entry.0 += compute_cycles;
+                        entry.1 += count;
+                    }
                     // The host knows the job is done once the last
                     // window's completion interrupt was serviced.
                     let service_start = first_compute.unwrap_or(completed);
@@ -770,23 +854,28 @@ impl Server {
                         total: completed - ticket.arrival,
                         deadline_met: ticket.deadline.is_none_or(|d| completed <= d),
                     });
+                    progressed = true;
                 }
             }
 
-            // Re-dispatch at the same cycle if execution freed room for
-            // still-queued jobs (progress: the queue strictly shrinks).
-            if !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH) {
+            // Re-dispatch at the same cycle if this iteration made
+            // progress and left room for still-queued jobs.  The progress
+            // guard matters in a heterogeneous fleet: room on a backend
+            // the queued jobs cannot run on is not progress, and looping
+            // on it would spin forever at the same cycle.
+            if progressed && !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH)
+            {
                 continue;
             }
             if pending.is_empty() && queue.is_empty() && assigned.iter().all(VecDeque::is_empty) {
                 return Ok(());
             }
-            // Advance to the next event: an arrival, or an array's
+            // Advance to the next event: an arrival, or a backend's
             // compute engine catching up with its front job.  Both are
             // strictly ahead of `now` (admission drained arrivals <= now;
-            // execution drained arrays free at <= now).
+            // execution drained backends free at <= now).
             let next_arrival = pending.front().map(|t| t.arrival);
-            let next_free = (0..arrays)
+            let next_free = (0..backends)
                 .filter(|&i| !assigned[i].is_empty())
                 .map(|i| schedules[i].free_at(Engine::Compute))
                 .min();
@@ -799,12 +888,13 @@ impl Server {
         }
     }
 
-    /// The work-stealing pass: while the most backlogged array still has
-    /// queued (unstarted) jobs, try to move its *last-committed* job to
-    /// an array that would finish it earlier, re-consulting [`Placement`](crate::pool::Placement)
+    /// The work-stealing pass: while the most backlogged backend still
+    /// has queued (unstarted) jobs, try to move its *last-committed* job
+    /// to a backend that would finish it earlier, re-consulting [`Placement`](crate::pool::Placement)
     /// so prefetch directives fire on the new target.  Every move must
-    /// strictly improve the donor/target pair's projected finish, and the
-    /// pass is bounded, so it terminates.
+    /// strictly improve the donor/target pair's projected finish, must
+    /// respect the job's capability classes (the thief has to be able to
+    /// serve it), and the pass is bounded, so it terminates.
     fn steal_pass<'k, K, I>(
         &mut self,
         now: u64,
@@ -816,50 +906,49 @@ impl Server {
         K: Kernel,
         I: Iterator,
     {
-        let arrays = assigned.len();
-        let mut budget = arrays * DISPATCH_DEPTH;
+        let backends = assigned.len();
+        let mut budget = backends * DISPATCH_DEPTH;
         while budget > 0 {
             budget -= 1;
-            let projections: Vec<u64> = (0..arrays)
+            let projections: Vec<u64> = (0..backends)
                 .map(|i| self.projection(i, now, schedules, assigned))
                 .collect();
-            let Some(donor) = (0..arrays)
+            let Some(donor) = (0..backends)
                 .filter(|&i| !assigned[i].is_empty())
                 .max_by_key(|&i| (projections[i], i))
             else {
                 return;
             };
-            let (cost, plan) = {
+            let (cost, plan, eligible) = {
                 let (ticket, _) = assigned[donor].back().expect("donor has a queued job");
-                let views: Vec<ArrayView> = (0..arrays)
+                let views: Vec<BackendView> = (0..backends)
                     .filter(|&i| i != donor)
-                    .map(|i| self.array_view(i, ticket, now, schedules, assigned))
+                    .map(|i| self.backend_view(i, ticket, now, schedules, assigned))
                     .collect();
                 if views.is_empty() {
-                    return; // single-array pool: nowhere to steal to
+                    return; // single-backend pool: nowhere to steal to
                 }
-                let job = JobView {
-                    index: ticket.seq,
-                    cache_key: &ticket.key,
-                    windows: ticket.windows_hint,
-                    config_words: ticket.config_words,
-                };
+                let job = self.job_view(ticket);
+                let eligible: Vec<bool> = (0..backends).map(|i| ticket.eligible(i)).collect();
                 (
                     self.est_cost(ticket),
                     self.pool.strategy().place(&job, &views),
+                    eligible,
                 )
             };
-            let target = if plan.array != donor
-                && plan.array < arrays
-                && assigned[plan.array].len() < DISPATCH_DEPTH
+            let target = if plan.backend != donor
+                && plan.backend < backends
+                && eligible[plan.backend]
+                && assigned[plan.backend].len() < DISPATCH_DEPTH
             {
-                plan.array
+                plan.backend
             } else {
                 // The strategy pointed back at the donor (or out of the
-                // masked view): fall back to the least-projected array
-                // with room.
-                match (0..arrays)
-                    .filter(|&i| i != donor && assigned[i].len() < DISPATCH_DEPTH)
+                // masked view, or at a backend the job cannot run on):
+                // fall back to the least-projected eligible backend with
+                // room.
+                match (0..backends)
+                    .filter(|&i| i != donor && eligible[i] && assigned[i].len() < DISPATCH_DEPTH)
                     .min_by_key(|&i| (projections[i], i))
                 {
                     Some(t) => t,
@@ -873,11 +962,11 @@ impl Server {
                 return;
             }
             let (ticket, _) = assigned[donor].pop_back().expect("donor checked non-empty");
-            if let Some(directive) = Self::steal_prefetch_target(&plan, donor, arrays, target) {
+            if let Some(directive) = Self::steal_prefetch_target(&plan, donor, backends, target) {
                 self.pool
                     .stage_prefetch(directive, ticket.kernel, now, schedules, wave);
             }
-            // The job now counts on the thief array.
+            // The job now counts on the thief backend.
             wave.arrays[donor].jobs -= 1;
             wave.arrays[target].jobs += 1;
             assigned[target].push_back((ticket, now));
@@ -886,17 +975,18 @@ impl Server {
     }
 
     /// Where a stolen job's prefetch directive should fire: the plan's
-    /// directive if it names a valid non-donor array, else the actual
-    /// steal target.
+    /// directive if it names a valid non-donor backend, else the actual
+    /// steal target.  [`Pool::stage_prefetch`] itself skips backends with
+    /// no configuration memory, so no capability check is needed here.
     fn steal_prefetch_target(
         plan: &PlacementPlan,
         donor: usize,
-        arrays: usize,
+        backends: usize,
         target: usize,
     ) -> Option<usize> {
         let directive = plan.prefetch?;
-        if directive.array < arrays && directive.array != donor {
-            Some(directive.array)
+        if directive.backend < backends && directive.backend != donor {
+            Some(directive.backend)
         } else {
             Some(target)
         }
@@ -1308,6 +1398,95 @@ mod tests {
         assert_eq!(report.steals, 0);
         assert_eq!(report.p99(), 0);
         assert_eq!(report.fleet.wall_cycles(), 0);
+    }
+
+    #[test]
+    fn serving_never_routes_cgra_only_jobs_onto_offload_backends() {
+        use crate::backend::{BackendKind, FftBackend};
+
+        // 2 arrays + the FFT engine; plain BakedScale jobs are CGRA-only,
+        // so the FFT backend must stay untouched no matter how saturated
+        // the arrays get — dispatch, fallback and stealing all filter by
+        // the job's capability classes.
+        let kernel = BakedScaleKernel::new(3);
+        let ws = windows(2, 0);
+        let jobs: Vec<(&BakedScaleKernel, Vec<Vec<i32>>)> =
+            (0..6).map(|_| (&kernel, ws.clone())).collect();
+        let (serial, _) = Pool::run_serial_reference(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        let pool = Pool::new(2).with_backend(FftBackend::new());
+        let mut server = Server::new(pool);
+        let (outputs, report) = server
+            .run_batch(
+                jobs.iter()
+                    .map(|(k, ws)| ServeJob::new(*k, ws.iter().map(Vec::as_slice), 0, 0)),
+            )
+            .unwrap();
+        assert_eq!(outputs, serial);
+        assert_eq!(report.fleet.routes.len(), 6);
+        assert!(
+            report
+                .fleet
+                .routes
+                .iter()
+                .all(|r| r.backend < 2 && r.kind == BackendKind::Array),
+            "CGRA-only jobs must stay on the arrays: {:?}",
+            report.fleet.routes
+        );
+        assert_eq!(report.fleet.arrays[2].jobs, 0);
+        assert_eq!(report.fleet.arrays[2].report.invocations, 0);
+    }
+
+    #[test]
+    fn serving_offloads_tiny_jobs_to_the_cpu_bit_identically() {
+        use crate::backend::{BackendKind, CpuBackend};
+
+        // A 1-window crumb advertising a 2-cycle CPU implementation: the
+        // cost-aware strategy must send it to the host CPU rather than pay
+        // a cold array reload, and the outputs must still match the serial
+        // single-session reference.
+        let kernel = BakedScaleKernel::new(4).with_cpu_offload(2);
+        let ws = windows(1, 3);
+        let jobs: Vec<(&BakedScaleKernel, Vec<Vec<i32>>)> =
+            (0..3).map(|_| (&kernel, ws.clone())).collect();
+        let (serial, _) = Pool::run_serial_reference(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+        let pool = Pool::new(1).with_backend(CpuBackend::new());
+        let mut server = Server::new(pool);
+        // Arrivals are spaced wider than one ISS run, so each crumb finds
+        // the CPU idle again (a busy CPU is a real cost the model must
+        // weigh; the point here is the cold-reload-versus-offload call).
+        let (outputs, report) = server
+            .run_batch(jobs.iter().enumerate().map(|(j, (k, ws))| {
+                ServeJob::new(*k, ws.iter().map(Vec::as_slice), 0, j as u64 * 5_000)
+            }))
+            .unwrap();
+        assert_eq!(outputs, serial);
+        assert!(
+            report
+                .fleet
+                .routes
+                .iter()
+                .all(|r| r.kind == BackendKind::Cpu),
+            "tiny jobs belong on the CPU: {:?}",
+            report.fleet.routes
+        );
+        let per_kind = report.fleet.per_kind();
+        let cpu = per_kind
+            .iter()
+            .find(|s| s.kind == BackendKind::Cpu)
+            .expect("cpu row");
+        assert_eq!(cpu.jobs, 3);
+        assert_eq!(cpu.invocations, 3);
+        assert!(cpu.cycles > 0, "the ISS actually ran");
+        // Nothing touched the array's configuration memory.
+        assert_eq!(report.fleet.arrays[0].report.cold_launches, 0);
     }
 
     #[test]

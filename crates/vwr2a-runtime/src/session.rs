@@ -119,6 +119,57 @@ pub trait Kernel {
     /// Runs one invocation: stage inputs, launch (possibly repeatedly, e.g.
     /// once per FFT stage or per FIR block), collect outputs.
     fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &Self::Input) -> Result<Self::Output>;
+
+    /// Which non-CGRA backends could serve this kernel, and at what
+    /// modelled cost (see [`crate::backend::Offload`]).  The default —
+    /// CGRA-only — keeps every existing kernel's behaviour unchanged; a
+    /// kernel that can also run on the fixed-function FFT engine or the
+    /// Cortex-M4 host advertises it here, and the pool's placement then
+    /// weighs those backends against the arrays.
+    fn offload(&self) -> crate::backend::Offload {
+        crate::backend::Offload::default()
+    }
+
+    /// Runs one invocation on the fixed-function FFT accelerator,
+    /// returning the output and the accelerator's run statistics.
+    ///
+    /// Only called for kernels whose [`Kernel::offload`] declares an FFT
+    /// shape; the default refuses with [`RuntimeError::Capability`].  An
+    /// implementation must produce output **bit-identical** to running the
+    /// same window on a fresh accelerator with the same configuration —
+    /// the heterogeneous conformance tests hold it to that.
+    fn execute_fft(
+        &self,
+        accel: &vwr2a_fftaccel::FftAccelerator,
+        input: &Self::Input,
+    ) -> Result<(Self::Output, vwr2a_fftaccel::FftAccelStats)> {
+        let _ = (accel, input);
+        Err(RuntimeError::Capability {
+            kernel: self.name().to_string(),
+            backend: "fft-accel".to_string(),
+        })
+    }
+
+    /// Runs one invocation on the Cortex-M4 host CPU, returning the output
+    /// and the instruction-set simulator's cycle count.
+    ///
+    /// Only called for kernels whose [`Kernel::offload`] declares a CPU
+    /// cost; the default refuses with [`RuntimeError::Capability`].  An
+    /// implementation must (re)load every input word it reads into `sram`
+    /// itself — the host's SRAM persists across jobs, and outputs must be
+    /// bit-identical regardless of what ran before.
+    fn execute_cpu(
+        &self,
+        cpu: &mut vwr2a_soc::cpu::Cpu,
+        sram: &mut vwr2a_soc::sram::Sram,
+        input: &Self::Input,
+    ) -> Result<(Self::Output, u64)> {
+        let _ = (cpu, sram, input);
+        Err(RuntimeError::Capability {
+            kernel: self.name().to_string(),
+            backend: "cpu".to_string(),
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -575,6 +626,14 @@ impl Session {
     /// that track programs by key (the pool's placement strategies).
     pub fn is_resident_key(&self, key: &str) -> bool {
         self.programs.contains_key(key)
+    }
+
+    /// [`Session::is_warm`] by raw [`Kernel::cache_key`], for callers that
+    /// track programs by key (the pool's backend views).
+    pub fn is_warm_key(&self, key: &str) -> bool {
+        self.programs
+            .get(key)
+            .is_some_and(|p| p.launches > 0 || p.prefetched)
     }
 
     /// Per-engine busy cycles accumulated over every invocation of the

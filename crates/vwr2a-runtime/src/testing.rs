@@ -178,6 +178,7 @@ impl Kernel for ScaleKernel {
 pub struct BakedScaleKernel {
     factor: i16,
     key: String,
+    cpu_cycles: Option<u64>,
 }
 
 impl BakedScaleKernel {
@@ -186,7 +187,20 @@ impl BakedScaleKernel {
         Self {
             factor,
             key: format!("baked-scale:{factor}"),
+            cpu_cycles: None,
         }
+    }
+
+    /// Advertises the kernel's host-CPU implementation to heterogeneous
+    /// pools at an estimated `cycles` per window
+    /// ([`crate::backend::Offload::cpu_cycles`]), builder-style.  The
+    /// CGRA path is unchanged; with the default `None` the kernel stays
+    /// CGRA-only, so every homogeneous test and bench keeps its exact
+    /// behaviour.
+    #[must_use]
+    pub fn with_cpu_offload(mut self, cycles: u64) -> Self {
+        self.cpu_cycles = Some(cycles);
+        self
     }
 
     /// The baked-in factor.
@@ -221,6 +235,80 @@ impl Kernel for BakedScaleKernel {
 
     fn execute(&self, ctx: &mut LaunchCtx<'_>, input: &[i32]) -> Result<Vec<i32>> {
         scale_execute(ctx, "baked-scale", input)
+    }
+
+    fn offload(&self) -> crate::backend::Offload {
+        crate::backend::Offload {
+            fft: None,
+            cpu_cycles: self.cpu_cycles,
+        }
+    }
+
+    fn execute_cpu(
+        &self,
+        cpu: &mut vwr2a_soc::cpu::Cpu,
+        sram: &mut vwr2a_soc::sram::Sram,
+        input: &[i32],
+    ) -> Result<(Vec<i32>, u64)> {
+        use vwr2a_soc::cpu::CpuInstr;
+        if input.is_empty() || input.len() > LINE {
+            return Err(RuntimeError::invalid_input(format!(
+                "baked-scale kernel takes 1..={LINE} words, got {}",
+                input.len()
+            )));
+        }
+        // Reload the window into SRAM every time: the host's memory
+        // persists across jobs, and outputs must not depend on what ran
+        // before.
+        let n = input.len();
+        sram.load(0, input)
+            .map_err(|e| RuntimeError::invalid_input(e.to_string()))?;
+        // r1 = factor, r2 = index, r3 = n; sram[n + i] = sram[i] * r1.
+        // `Mul` keeps the low 32 bits, matching the RC datapath.
+        let program = [
+            CpuInstr::Li {
+                rd: 1,
+                imm: i32::from(self.factor),
+            },
+            CpuInstr::Li { rd: 2, imm: 0 },
+            CpuInstr::Li {
+                rd: 3,
+                imm: n as i32,
+            },
+            CpuInstr::Lw {
+                rd: 4,
+                rs1: 2,
+                offset: 0,
+            },
+            CpuInstr::Mul {
+                rd: 4,
+                rs1: 4,
+                rs2: 1,
+            },
+            CpuInstr::Sw {
+                rs2: 4,
+                rs1: 2,
+                offset: n as i32,
+            },
+            CpuInstr::Addi {
+                rd: 2,
+                rs1: 2,
+                imm: 1,
+            },
+            CpuInstr::Blt {
+                rs1: 2,
+                rs2: 3,
+                target: 3,
+            },
+            CpuInstr::Halt,
+        ];
+        let stats = cpu
+            .run(&program, sram)
+            .map_err(|e| RuntimeError::invalid_input(e.to_string()))?;
+        let out = sram
+            .dump(n, n)
+            .map_err(|e| RuntimeError::invalid_input(e.to_string()))?;
+        Ok((out, stats.cycles))
     }
 }
 

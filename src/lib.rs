@@ -79,10 +79,14 @@ pub use vwr2a_soc as soc;
 
 // The runtime workhorses, re-exported at the facade root so applications
 // can depend on `vwr2a` alone: the single-array session and kernel trait,
-// the multi-array pool with its placement strategies, the online serving
-// layer with its scheduling policies, and the unified reports.
+// the heterogeneous pool (CGRA arrays, the FFT engine and the host CPU
+// behind one `Backend` abstraction) with its placement strategies, the
+// online serving layer with its scheduling policies, and the unified
+// reports with per-backend attribution.
 pub use vwr2a_runtime::{
-    CostAware, EarliestDeadlineFirst, Fifo, FleetReport, JobLatency, Kernel, LeastLoaded,
-    Placement, PlacementPlan, Pool, PrefetchDirective, ResidencyAware, RoundRobin, RunReport,
-    SchedPolicy, ServeJob, ServeReport, Server, Session, TenantId, TenantStats, WeightedFair,
+    ArrayBackend, Backend, BackendKind, BackendKindStats, BackendView, CostAware, CpuBackend,
+    EarliestDeadlineFirst, FftBackend, FftShape, Fifo, FleetReport, JobLatency, JobRoute, Kernel,
+    LeastLoaded, Offload, Placement, PlacementPlan, Pool, PrefetchDirective, ResidencyAware,
+    RoundRobin, RunReport, SchedPolicy, ServeJob, ServeReport, Server, Session, TenantId,
+    TenantStats, WeightedFair,
 };

@@ -555,8 +555,17 @@ fn facade_root_reexports_the_fleet_api() {
 
     // The plan vocabulary itself is part of the facade.
     let plan: PlacementPlan = PlacementPlan::with_prefetch(0);
-    assert_eq!(plan.prefetch, Some(vwr2a::PrefetchDirective { array: 0 }));
+    assert_eq!(plan.prefetch, Some(vwr2a::PrefetchDirective { backend: 0 }));
     assert_eq!(ResidencyAware.name(), "residency-aware");
+
+    // So is the heterogeneous backend vocabulary: kinds, capability
+    // masks, per-job routes and the backend implementations themselves.
+    use vwr2a::{Backend, BackendKind, CpuBackend, FftBackend};
+    assert_eq!(BackendKind::Array.label(), "array");
+    assert_eq!(FftBackend::new().kind(), BackendKind::FftAccel);
+    assert_eq!(CpuBackend::new().capabilities(), vwr2a::runtime::CAP_CPU);
+    let hetero: Pool = Pool::new(1).with_backend(FftBackend::new());
+    assert_eq!(hetero.arrays(), 2, "the fleet counts every backend");
 
     // The serving layer is reachable from the facade root too: server,
     // job, policies and the latency report vocabulary.

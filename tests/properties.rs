@@ -15,11 +15,17 @@ use vwr2a::dsp::complex::Complex;
 use vwr2a::dsp::fft::{fft, ifft};
 use vwr2a::dsp::fir::fir_f64;
 use vwr2a::dsp::fixed::{from_q16, mul_fxp, to_q16};
+use vwr2a::fftaccel::FftAccelerator;
+use vwr2a::kernels::fft::FftKernel;
+use vwr2a::kernels::Spectrum;
 use vwr2a::runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
 use vwr2a::runtime::testing::{constrained_sessions, BakedScaleKernel};
 use vwr2a::runtime::{
     EarliestDeadlineFirst, Fifo, FleetReport, Kernel, SchedPolicy, ServeJob, WeightedFair,
 };
+use vwr2a::soc::cpu::Cpu;
+use vwr2a::soc::sram::Sram;
+use vwr2a::{BackendKind, CpuBackend, FftBackend};
 
 /// The kernel palette of the pool properties: four distinct
 /// configuration-memory programs.
@@ -107,6 +113,127 @@ fn run_server(
         .expect("serving must absorb capacity pressure");
     assert_eq!(report.latencies.len(), job_list.len());
     outputs
+}
+
+/// A heterogeneous fleet: two full arrays, the FFT engine and the host CPU.
+fn hetero_pool(placement: impl Placement + 'static) -> Pool {
+    Pool::new(2)
+        .with_backend(FftBackend::new())
+        .with_backend(CpuBackend::new())
+        .with_placement(placement)
+}
+
+/// The scale-kernel palette with an advertised host-CPU fallback, so the
+/// placement strategies may legally route any job to the CPU backend.
+fn hetero_kernels() -> Vec<BakedScaleKernel> {
+    [2i16, 3, 5, 7]
+        .iter()
+        .map(|&f| BakedScaleKernel::new(f).with_cpu_offload(600))
+        .collect()
+}
+
+/// Checks a heterogeneous wave of scale jobs against each landed backend's
+/// own serial model: array-landed jobs must equal the single-session serial
+/// reference, CPU-landed jobs must equal a fresh-ISS run of every window,
+/// and the FFT engine must never see a job whose kernel has no FFT shape.
+fn check_hetero_scale_outputs(
+    tag: &str,
+    outputs: &[Vec<Vec<i32>>],
+    fleet: &FleetReport,
+    job_list: &[(usize, Vec<Vec<i32>>)],
+    kernels: &[BakedScaleKernel],
+    serial: &[Vec<Vec<i32>>],
+) {
+    assert_eq!(
+        fleet.routes.len(),
+        job_list.len(),
+        "{tag}: every job is routed exactly once"
+    );
+    for route in &fleet.routes {
+        let (pick, windows) = &job_list[route.job];
+        match route.kind {
+            BackendKind::FftAccel => {
+                panic!("{tag}: scale job {} landed on the FFT engine", route.job)
+            }
+            BackendKind::Array => assert_eq!(
+                outputs[route.job], serial[route.job],
+                "{tag}: array-landed job {} diverged from the serial reference",
+                route.job
+            ),
+            BackendKind::Cpu => {
+                let expected: Vec<Vec<i32>> = windows
+                    .iter()
+                    .map(|w| {
+                        kernels[*pick]
+                            .execute_cpu(&mut Cpu::new(), &mut Sram::paper(), w)
+                            .expect("the CPU model accepts every window it was routed")
+                            .0
+                    })
+                    .collect();
+                assert_eq!(
+                    outputs[route.job], expected,
+                    "{tag}: CPU-landed job {} diverged from a fresh ISS run",
+                    route.job
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic q15.16 spectra for the FFT routing property.
+fn fft_windows(windows: usize, seed: i32) -> Vec<Spectrum> {
+    (0..windows)
+        .map(|w| {
+            let re = (0..256)
+                .map(|i: i32| (i * 37 + seed * 11 + w as i32 * 13) % 20_000)
+                .collect();
+            let im = (0..256)
+                .map(|i: i32| (i * 53 + seed * 7 - w as i32 * 29) % 20_000)
+                .collect();
+            Spectrum::new(re, im)
+        })
+        .collect()
+}
+
+/// Fans the scale-job list across the heterogeneous fleet.
+fn run_hetero_pool(
+    job_list: &[(usize, Vec<Vec<i32>>)],
+    kernels: &[BakedScaleKernel],
+    placement: impl Placement + 'static,
+) -> (Vec<Vec<Vec<i32>>>, FleetReport) {
+    let mut pool = hetero_pool(placement);
+    pool.run_batch(
+        job_list
+            .iter()
+            .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+    )
+    .expect("heterogeneous pool fan-out runs")
+}
+
+/// Serves the random mix through the heterogeneous fleet under the given
+/// policy, returning outputs grouped by submission order plus the report.
+fn run_hetero_server(
+    mix: &[ServeMix],
+    kernels: &[BakedScaleKernel],
+    job_list: &[(usize, Vec<Vec<i32>>)],
+    policy: impl SchedPolicy + 'static,
+    stealing: bool,
+) -> (Vec<Vec<Vec<i32>>>, vwr2a::ServeReport) {
+    let mut server = vwr2a::runtime::Server::new(hetero_pool(CostAware))
+        .with_policy(policy)
+        .with_stealing(stealing);
+    server
+        .run_batch(job_list.iter().zip(mix).map(
+            |((pick, ws), &(_, _, _, arrival, tenant, priority, slack))| ServeJob {
+                kernel: &kernels[*pick],
+                windows: ws.iter().map(Vec::as_slice),
+                tenant,
+                arrival_cycle: arrival,
+                priority,
+                deadline_cycle: (slack > 0).then(|| arrival + slack),
+            },
+        ))
+        .expect("heterogeneous serving runs")
 }
 
 fn arb_rc_src() -> impl Strategy<Value = RcSrc> {
@@ -401,6 +528,145 @@ proptest! {
                 fleet.invocations(),
                 job_list.iter().map(|(_, ws)| ws.len() as u64).sum::<u64>()
             );
+        }
+    }
+
+    #[test]
+    fn hetero_outputs_are_bit_identical_per_landed_backend(
+        mix in prop::collection::vec(
+            (0usize..4, 1usize..4, -500i32..500, 0u64..5_000, 0u32..3, 0u8..4, 0u64..3_000),
+            6,
+        ),
+        jobs in 1usize..7,
+    ) {
+        // The heterogeneous honesty property: on a fleet of two arrays, the
+        // FFT engine and the host CPU, every placement strategy and every
+        // serving policy (with and without stealing) may route a job
+        // anywhere its capability classes allow — but the output of each
+        // job must be bit-identical to the landed backend's own serial
+        // model, and a backend must never receive a job it cannot serve.
+        let mix = &mix[..jobs];
+        let kernels = hetero_kernels();
+        let job_list = pool_jobs(
+            &mix.iter()
+                .map(|&(pick, windows, seed, ..)| (pick, windows, seed))
+                .collect::<Vec<_>>(),
+        );
+        let (serial, _) = Pool::run_serial_reference(
+            job_list
+                .iter()
+                .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+        )
+        .expect("serial reference runs");
+
+        for (tag, fleet_run) in [
+            ("pool/cost-aware", run_hetero_pool(&job_list, &kernels, CostAware)),
+            ("pool/residency", run_hetero_pool(&job_list, &kernels, ResidencyAware)),
+            ("pool/round-robin", run_hetero_pool(&job_list, &kernels, RoundRobin)),
+            ("pool/least-loaded", run_hetero_pool(&job_list, &kernels, LeastLoaded)),
+        ] {
+            let (outputs, fleet) = fleet_run;
+            check_hetero_scale_outputs(tag, &outputs, &fleet, &job_list, &kernels, &serial);
+        }
+        for stealing in [false, true] {
+            for (tag, served) in [
+                ("serve/fifo", run_hetero_server(mix, &kernels, &job_list, Fifo, stealing)),
+                (
+                    "serve/edf",
+                    run_hetero_server(mix, &kernels, &job_list, EarliestDeadlineFirst, stealing),
+                ),
+                (
+                    "serve/wfq",
+                    run_hetero_server(mix, &kernels, &job_list, WeightedFair::new(), stealing),
+                ),
+            ] {
+                let (outputs, report) = served;
+                check_hetero_scale_outputs(tag, &outputs, &report.fleet, &job_list, &kernels, &serial);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fft_jobs_route_across_the_fleet_bit_identically(
+        mix in prop::collection::vec((1usize..3, -120i32..120), 3),
+        jobs in 1usize..4,
+    ) {
+        // FFT-shaped jobs may land on a CGRA array (bit-identical to the
+        // serial single-session reference) or on the fixed-function engine
+        // (bit-identical to the kernel's own accelerator model on fresh
+        // hardware) — and nowhere else.  The two backends disagree
+        // numerically (18-bit engine datapath vs q15.16 stage flow), which
+        // is exactly why the comparison must follow the recorded routes.
+        let kernel = FftKernel::new(256).unwrap();
+        let job_list: Vec<Vec<Spectrum>> = mix[..jobs]
+            .iter()
+            .map(|&(windows, seed)| fft_windows(windows, seed))
+            .collect();
+        let (serial, _) =
+            Pool::run_serial_reference(job_list.iter().map(|ws| (&kernel, ws.iter())))
+                .expect("serial reference runs");
+
+        let check = |tag: &str, outputs: &[Vec<Spectrum>], fleet: &FleetReport| {
+            assert_eq!(fleet.routes.len(), job_list.len(), "{tag}: one route per job");
+            for route in &fleet.routes {
+                match route.kind {
+                    BackendKind::Cpu => {
+                        panic!("{tag}: FFT job {} landed on the CPU", route.job)
+                    }
+                    BackendKind::Array => assert_eq!(
+                        outputs[route.job], serial[route.job],
+                        "{tag}: array-landed job {} diverged",
+                        route.job
+                    ),
+                    BackendKind::FftAccel => {
+                        let expected: Vec<Spectrum> = job_list[route.job]
+                            .iter()
+                            .map(|w| {
+                                kernel
+                                    .execute_fft(&FftAccelerator::new(), w)
+                                    .expect("the engine accepts every routed window")
+                                    .0
+                            })
+                            .collect();
+                        assert_eq!(
+                            outputs[route.job], expected,
+                            "{tag}: engine-landed job {} diverged",
+                            route.job
+                        );
+                    }
+                }
+            }
+        };
+
+        for placement in ["cost-aware", "round-robin"] {
+            let mut pool = match placement {
+                "cost-aware" => hetero_pool(CostAware),
+                _ => hetero_pool(RoundRobin),
+            };
+            let (outputs, fleet) = pool
+                .run_batch(job_list.iter().map(|ws| (&kernel, ws.iter())))
+                .expect("heterogeneous pool absorbs the FFT wave");
+            check(&format!("pool/{placement}"), &outputs, &fleet);
+        }
+        for stealing in [false, true] {
+            let mut server = vwr2a::runtime::Server::new(hetero_pool(CostAware))
+                .with_policy(Fifo)
+                .with_stealing(stealing);
+            let (outputs, report) = server
+                .run_batch(job_list.iter().enumerate().map(|(j, ws)| ServeJob {
+                    kernel: &kernel,
+                    windows: ws.iter(),
+                    tenant: 0,
+                    arrival_cycle: j as u64 * 1_000,
+                    priority: 0,
+                    deadline_cycle: None,
+                }))
+                .expect("heterogeneous serving absorbs the FFT wave");
+            check(&format!("serve/steal:{stealing}"), &outputs, &report.fleet);
         }
     }
 }
