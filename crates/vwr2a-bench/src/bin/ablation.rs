@@ -11,6 +11,7 @@ use vwr2a_kernels::fir::FirKernel;
 use vwr2a_runtime::Session;
 
 fn main() {
+    let host = std::time::Instant::now();
     println!("Ablation 1: VWR/SPM access energy sensitivity (512-point real FFT)");
     println!();
     let row = run_fft_comparison(512, true);
@@ -61,4 +62,9 @@ fn main() {
         stream.counters.config_words_loaded * stream.invocations
     );
     println!("  ≈{per_window_warm} cycles per warm window");
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 }

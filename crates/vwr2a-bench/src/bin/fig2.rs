@@ -3,6 +3,7 @@
 use vwr2a_bench::run_fft_comparison;
 
 fn main() {
+    let host = std::time::Instant::now();
     println!("Fig. 2: FFT kernel energy comparison (accelerator-only energy, µJ)");
     println!();
     println!(
@@ -45,4 +46,9 @@ fn main() {
         );
         println!("(paper: 86.0 % and 40.8 %)");
     }
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 }

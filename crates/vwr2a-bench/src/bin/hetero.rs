@@ -25,8 +25,14 @@
 //! stream in strictly fewer wall cycles than the arrays-only baseline, if
 //! any output diverges from the landed backend's model, or if the engine
 //! and the CPU both sat idle (no job routed off the arrays).
+//!
+//! `--windows K` multiplies every job's window count by `K` — a host-side
+//! soak knob (scaled runs keep the inline per-route bit-identity checks
+//! but skip the fleet-comparison gates, which are calibrated for the ×1
+//! workload).  Host wall-clock per served window is reported next to the
+//! modelled numbers.
 
-use vwr2a_bench::{poisson_arrivals, SplitMix64};
+use vwr2a_bench::{poisson_arrivals, time_host, SplitMix64};
 use vwr2a_core::geometry::Geometry;
 use vwr2a_dsp::fir::design_lowpass;
 use vwr2a_dsp::fixed::Q15;
@@ -204,7 +210,8 @@ struct JobSpec {
 
 /// Synthesises the seeded Poisson stream: ~half heavy FFT jobs (1–2
 /// windows), half one-window FIR crumbs cycling through the tap variants.
-fn workload(seed: u64, jobs: usize, mean_gap: f64) -> Vec<JobSpec> {
+/// `wscale` multiplies every job's window count (the `--windows` knob).
+fn workload(seed: u64, jobs: usize, mean_gap: f64, wscale: usize) -> Vec<JobSpec> {
     let mut rng = SplitMix64::new(seed);
     let arrivals = poisson_arrivals(&mut rng, jobs, mean_gap);
     arrivals
@@ -212,7 +219,7 @@ fn workload(seed: u64, jobs: usize, mean_gap: f64) -> Vec<JobSpec> {
         .enumerate()
         .map(|(j, arrival)| {
             if rng.next_below(2) == 0 {
-                let count = 1 + rng.next_below(2) as usize;
+                let count = (1 + rng.next_below(2) as usize) * wscale;
                 JobSpec {
                     pick: 0,
                     windows: (0..count)
@@ -223,7 +230,9 @@ fn workload(seed: u64, jobs: usize, mean_gap: f64) -> Vec<JobSpec> {
             } else {
                 JobSpec {
                     pick: 1 + rng.next_below(CRUMB_VARIANTS as u64) as usize,
-                    windows: vec![MixWindow::Samples(crumb_window(j))],
+                    windows: (0..wscale)
+                        .map(|w| MixWindow::Samples(crumb_window(j + 11 * w)))
+                        .collect(),
                     arrival,
                 }
             }
@@ -312,13 +321,17 @@ fn check_routes(
 /// One sweep cell: the same stream on both fleets.
 struct Cell {
     seed: u64,
+    /// Windows pushed through the admission queue across both fleets (the
+    /// host-speed denominator).
+    windows_served: u64,
     hetero: ServeReport,
     baseline: ServeReport,
 }
 
-fn run_cell(seed: u64, jobs: usize, mean_gap: f64) -> Cell {
+fn run_cell(seed: u64, jobs: usize, mean_gap: f64, wscale: usize) -> Cell {
     let kernels = palette();
-    let specs = workload(seed, jobs, mean_gap);
+    let specs = workload(seed, jobs, mean_gap, wscale);
+    let windows_served = 2 * specs.iter().map(|s| s.windows.len() as u64).sum::<u64>();
     let capacity = config_capacity(&kernels);
     let hetero_pool = Pool::with_sessions(constrained_sessions(2, capacity))
         .expect("constrained sessions share one geometry")
@@ -328,6 +341,7 @@ fn run_cell(seed: u64, jobs: usize, mean_gap: f64) -> Cell {
         .expect("constrained sessions share one geometry");
     Cell {
         seed,
+        windows_served,
         hetero: serve_on(hetero_pool, &specs, &kernels),
         baseline: serve_on(baseline_pool, &specs, &kernels),
     }
@@ -360,19 +374,30 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--seed takes an integer"))
         .unwrap_or(22);
+    let wscale: usize = args
+        .iter()
+        .position(|a| a == "--windows")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .expect("--windows takes a window-count multiplier")
+        })
+        .unwrap_or(1);
 
     // The headline cell CI gates on; the full sweep adds two more seeds to
     // show the win is not one lucky arrival pattern.
     let (jobs, mean_gap) = (24, 400.0);
-    let cells: Vec<Cell> = if smoke {
-        vec![run_cell(seed, jobs, mean_gap)]
-    } else {
-        vec![
-            run_cell(seed, jobs, mean_gap),
-            run_cell(seed + 1, jobs, mean_gap),
-            run_cell(seed + 2, jobs, mean_gap),
-        ]
-    };
+    let (cells, host_us): (Vec<Cell>, f64) = time_host(|| {
+        if smoke {
+            vec![run_cell(seed, jobs, mean_gap, wscale)]
+        } else {
+            vec![
+                run_cell(seed, jobs, mean_gap, wscale),
+                run_cell(seed + 1, jobs, mean_gap, wscale),
+                run_cell(seed + 2, jobs, mean_gap, wscale),
+            ]
+        }
+    });
 
     println!(
         "Heterogeneous fleet sweep: {jobs} Poisson-arrival jobs per cell (mean gap {mean_gap} \
@@ -398,9 +423,32 @@ fn main() {
     println!("Outputs are bit-identical to each landed backend's own serial model in every");
     println!("cell; routing moves where a job runs — never what it computes.");
 
+    let windows_served: u64 = cells.iter().map(|c| c.windows_served).sum();
+    println!();
+    println!(
+        "Host time: {:.0} us for {windows_served} served windows ({:.1} us/window, \
+         window scale x{wscale}).",
+        host_us,
+        host_us / windows_served as f64,
+    );
+    if wscale == 1 {
+        println!(
+            "For a million-window soak (not run in CI), try: hetero --windows 20000 \
+             (~{:.1}M served windows)",
+            20_000.0 * windows_served as f64 / 1e6,
+        );
+    }
+
     // Fail-fast gates: the heterogeneous fleet must strictly beat the
     // bigger arrays-only baseline on the headline stream, and the win must
-    // actually come from heterogeneity (some job left the arrays).
+    // actually come from heterogeneity (some job left the arrays).  The
+    // gates are calibrated for the x1 workload; a scaled run is a
+    // host-speed soak, where the inline per-route bit-identity checks
+    // still apply but the fleet comparison does not.
+    if wscale != 1 {
+        println!("Window scale x{wscale}: fleet-comparison gates skipped (soak run).");
+        return;
+    }
     let mut failures = Vec::new();
     for cell in &cells {
         if cell.hetero.fleet.wall_cycles() >= cell.baseline.fleet.wall_cycles() {

@@ -109,6 +109,7 @@ struct Cell {
 }
 
 fn main() {
+    let host = std::time::Instant::now();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (array_counts, mixes, jobs, windows_per_job): (&[usize], &[usize], usize, usize) = if smoke
     {
@@ -190,6 +191,11 @@ fn main() {
     println!();
     println!("Outputs are bit-identical to serial single-session execution in every cell;");
     println!("placement decides where, prefetch and the pipeline when, the work runs.");
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 
     // Fail-fast gates (CI runs the smoke configuration; the full sweep
     // additionally checks the headline 4-array x 6-kernel cell).

@@ -1,0 +1,138 @@
+//! Warm-window replay benchmark: host simulation speed of the replay cache
+//! (`vwr2a_core::replay`) on a warm FIR stream.
+//!
+//! The workload is the steady state the cache targets: one session, one
+//! 11-tap FIR kernel, a long stream of warm windows whose *data* differs
+//! per window but whose control flow and SRF addressing parameters repeat.
+//! The first (unmeasured) window pays the cold load and records the trace;
+//! the measured phase then runs twice — once with the cache disabled
+//! (cycle-by-cycle interpretation) and once enabled — and the binary checks
+//! that the cache changed host wall-clock only: outputs, modelled cycles
+//! and activity counters must be bit-identical, and every measured launch
+//! must hit the cache (a 100 % warm hit rate).
+//!
+//! Full runs write `BENCH_replay.json`.  Run with `--smoke` for the fast
+//! CI gate (fails on any hit-rate miss or if replay-on host time does not
+//! beat replay-off; leaves the checked-in artifact alone); the full run
+//! additionally enforces the >= 10x host speed-up target.  `--windows N`
+//! overrides the stream length.
+
+use vwr2a_bench::{cycles_to_us, run_fir_replay_stream, ReplayMeasurement};
+
+const N: usize = 256;
+
+/// Host-clock noise (scheduler preemption, frequency scaling) only ever
+/// *inflates* a wall-clock sample, so the minimum over a few repeats is
+/// the standard low-noise estimator.  Outputs and reports are identical
+/// across repeats — the simulator is deterministic — so only the timing
+/// of the kept measurement differs.
+fn best_of(repeats: usize, n: usize, windows: usize, replay: bool) -> ReplayMeasurement {
+    let mut best = run_fir_replay_stream(n, windows, replay);
+    for _ in 1..repeats {
+        let next = run_fir_replay_stream(n, windows, replay);
+        assert_eq!(next.outputs, best.outputs, "non-deterministic outputs");
+        assert_eq!(next.report, best.report, "non-deterministic report");
+        if next.host_us < best.host_us {
+            best = next;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let windows: usize = args
+        .iter()
+        .position(|a| a == "--windows")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 200 } else { 1000 });
+
+    println!("Warm-window replay: {windows} warm {N}-sample FIR windows through one Session");
+    println!("(cache off = cycle-by-cycle interpretation; cache on = trace replay;");
+    println!(" both phases follow one unmeasured cold window that records the trace;");
+    println!(" host times are the best of 3 repeats)");
+    println!();
+
+    // Interpretation first, so the replay run cannot have warmed anything
+    // for it (each measurement uses its own fresh session anyway).
+    let off = best_of(3, N, windows, false);
+    let on = best_of(3, N, windows, true);
+
+    // Correctness is non-negotiable: the cache may only change host time.
+    assert_eq!(on.outputs, off.outputs, "replay changed an output bit");
+    let mut on_report = on.report.clone();
+    let mut off_report = off.report.clone();
+    on_report.replayed = 0;
+    off_report.replayed = 0;
+    assert_eq!(
+        on_report, off_report,
+        "replay changed a modelled number (cycles, counters or launch mix)"
+    );
+    assert_eq!(off.report.replayed, 0, "disabled cache served a launch");
+
+    // The FIR kernel may launch more than once per window (per-column
+    // passes), so the hit rate is over array launches, not windows.
+    let launches = on.report.launches();
+    let hit_rate = on.report.replayed as f64 / launches as f64;
+    let speedup = off.host_us / on.host_us;
+    let modelled_us = cycles_to_us(on.report.cycles);
+
+    println!("  cache  modelled-us     host-us  us/window  hit-rate");
+    println!("  -----  -----------  ----------  ---------  --------");
+    for (tag, m, rate) in [("off", &off, 0.0), ("on", &on, hit_rate)] {
+        println!(
+            "  {:>5}  {:>11.1}  {:>10.1}  {:>9.3}  {:>7.1}%",
+            tag,
+            cycles_to_us(m.report.cycles),
+            m.host_us,
+            m.host_us / windows as f64,
+            100.0 * rate,
+        );
+    }
+    println!();
+    println!(
+        "Replay served {}/{} warm launches and cut host time {speedup:.1}x \
+         ({:.1} -> {:.1} us); outputs and modelled costs are bit-identical.",
+        on.report.replayed, launches, off.host_us, on.host_us,
+    );
+
+    // Smoke runs gate but do not overwrite the checked-in full-run artifact.
+    if !smoke {
+        let json = format!(
+            "{{\n  \"benchmark\": \"replay\",\n  \"n\": {N},\n  \"windows\": {windows},\n  \
+             \"modelled_cycles\": {},\n  \"modelled_us\": {modelled_us:.1},\n  \
+             \"host_us_replay_off\": {:.1},\n  \"host_us_replay_on\": {:.1},\n  \
+             \"host_us_per_window_on\": {:.3},\n  \"speedup\": {speedup:.2},\n  \
+             \"hit_rate\": {hit_rate:.4}\n}}\n",
+            on.report.cycles,
+            off.host_us,
+            on.host_us,
+            on.host_us / windows as f64,
+        );
+        std::fs::write("BENCH_replay.json", json).expect("write BENCH_replay.json");
+        println!("Wrote BENCH_replay.json");
+    }
+
+    if hit_rate < 1.0 {
+        eprintln!(
+            "FAIL: warm-stream hit rate {:.1}% < 100% ({}/{} launches replayed)",
+            100.0 * hit_rate,
+            on.report.replayed,
+            launches,
+        );
+        std::process::exit(1);
+    }
+    if on.host_us >= off.host_us {
+        eprintln!(
+            "FAIL: replay-on host time {:.1} us does not beat replay-off {:.1} us",
+            on.host_us, off.host_us,
+        );
+        std::process::exit(1);
+    }
+    if !smoke && speedup < 10.0 {
+        eprintln!("FAIL: host speed-up {speedup:.1}x below the 10x target");
+        std::process::exit(1);
+    }
+}

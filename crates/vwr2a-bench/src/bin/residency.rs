@@ -194,8 +194,14 @@ fn policy_comparison(invocations: usize) {
 }
 
 fn main() {
+    let host = std::time::Instant::now();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let invocations = if smoke { 16 } else { 64 };
     capacity_sweep(invocations);
     policy_comparison(invocations);
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 }

@@ -45,6 +45,7 @@ fn run_stream(count: usize) -> RunReport {
 }
 
 fn main() {
+    let host = std::time::Instant::now();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let counts: &[usize] = if smoke {
         &[1, 4, 8]
@@ -83,4 +84,9 @@ fn main() {
         FREQUENCY_HZ / 1e6,
     );
     println!("outputs are bit-identical to the synchronous path in every row.");
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 }

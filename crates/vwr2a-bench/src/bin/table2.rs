@@ -3,6 +3,7 @@
 use vwr2a_bench::run_fft_comparison;
 
 fn main() {
+    let host = std::time::Instant::now();
     println!("Table 2: FFT kernel performance comparison for various sizes");
     println!("(cycles; speed-ups relative to the CPU)");
     println!();
@@ -37,4 +38,9 @@ fn main() {
         "* the 2048-point complex working set (data + ping-pong buffer) exceeds the 32 KiB SPM;"
     );
     println!("  see EXPERIMENTS.md for the discussion of this mapping limit.");
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 }

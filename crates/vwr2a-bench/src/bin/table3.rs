@@ -36,6 +36,7 @@ fn print_column(name: &str, energy: &EnergyBreakdown, cycles: u64) {
 }
 
 fn main() {
+    let host = std::time::Instant::now();
     println!("Table 3: FFT accelerator and VWR2A power breakdown (512-point real-valued FFT)");
     println!();
     let row = run_fft_comparison(512, true);
@@ -47,4 +48,9 @@ fn main() {
     let ratio = v.energy.power_mw(v.cycles, FREQUENCY_HZ)
         / row.accel.energy.power_mw(row.accel.cycles, FREQUENCY_HZ);
     println!("Total power ratio VWR2A / FFT ACCEL: {ratio:.1} (paper: 5.5)");
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
+    );
 }

@@ -5,6 +5,7 @@ use vwr2a_bioapp::pipeline::{run_cpu_only, run_cpu_with_fft_accel, run_cpu_with_
 use vwr2a_bioapp::signal::RespirationGenerator;
 
 fn main() {
+    let host = std::time::Instant::now();
     let window = RespirationGenerator::new(2024).window(WINDOW);
     let cpu = run_cpu_only(&window).expect("CPU pipeline");
     let accel = run_cpu_with_fft_accel(&window).expect("CPU+FFT pipeline");
@@ -76,5 +77,10 @@ fn main() {
     println!(
         "Predictions: CPU {}, CPU+FFT {}, CPU+VWR2A {}",
         cpu.prediction, accel.prediction, vwr2a.prediction
+    );
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
     );
 }

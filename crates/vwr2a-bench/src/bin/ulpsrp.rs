@@ -13,6 +13,7 @@ const ULP_SRP_TIME_US: f64 = 839.1;
 const ULP_SRP_ENERGY_UJ: f64 = 19.9;
 
 fn main() {
+    let host = std::time::Instant::now();
     let n = 256;
     let kernel = FftKernel::new(n).expect("256-point complex FFT is supported");
     let signal = Spectrum::new(
@@ -41,5 +42,10 @@ fn main() {
         "  Improvement: {:.0}x in performance, {:.0}x in energy (paper: 23x and 66x)",
         ULP_SRP_TIME_US / time_us,
         ULP_SRP_ENERGY_UJ / energy_uj
+    );
+    println!();
+    println!(
+        "Host time: {:.0} us (modelled cycles above are simulator output)",
+        host.elapsed().as_secs_f64() * 1e6
     );
 }

@@ -226,6 +226,70 @@ pub fn cycles_to_us(cycles: u64) -> f64 {
     vwr2a_core::stats::time_us(cycles, FREQUENCY_HZ)
 }
 
+/// Runs `f` and returns its result next to the host wall-clock microseconds
+/// it took.  Every bench binary reports this number beside the modelled
+/// cycle counts, so simulator-speed regressions are as visible as
+/// modelled-cost regressions.
+pub fn time_host<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// One measured warm FIR stream for the replay benchmark: the aggregated
+/// report and outputs of the measured phase, plus the host microseconds the
+/// phase took.
+#[derive(Debug, Clone)]
+pub struct ReplayMeasurement {
+    /// Aggregated report of the measured (all-warm) phase.
+    pub report: RunReport,
+    /// Outputs of every measured window, for bit-identity checks.
+    pub outputs: Vec<Vec<i32>>,
+    /// Host wall-clock microseconds of the measured phase.
+    pub host_us: f64,
+}
+
+/// Streams `windows` warm windows of the 11-tap FIR over `n` points through
+/// one [`Session`] with the warm-window replay cache on or off, and measures
+/// the host wall-clock of the warm phase.
+///
+/// One unmeasured warm-up window first pays the cold configuration load
+/// (and, with `replay` on, records the trace), so the measured phase is the
+/// steady state the replay cache targets: every launch warm, every window's
+/// data different.
+///
+/// # Panics
+///
+/// Panics on simulator errors (harness bug).
+pub fn run_fir_replay_stream(n: usize, windows: usize, replay: bool) -> ReplayMeasurement {
+    let taps_f = vwr2a_dsp::fir::design_lowpass(11, 0.1).unwrap();
+    let taps: Vec<i32> = taps_f.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+    let kernel = FirKernel::new(&taps, n).unwrap();
+    let signal = test_signal(n);
+    let inputs: Vec<Vec<i32>> = (0..windows)
+        .map(|w| {
+            signal
+                .iter()
+                .map(|&v| Q15::from_f64(v * (1.0 - 0.1 * (w % 7) as f64)).0 as i32)
+                .collect()
+        })
+        .collect();
+    let mut session = Session::new();
+    session.set_replay(replay);
+    let warmup: Vec<i32> = signal.iter().map(|&v| Q15::from_f64(v).0 as i32).collect();
+    session.run(&kernel, warmup.as_slice()).unwrap();
+    let ((outputs, report), host_us) = time_host(|| {
+        session
+            .run_batch(&kernel, inputs.iter().map(Vec::as_slice))
+            .unwrap()
+    });
+    ReplayMeasurement {
+        report,
+        outputs,
+        host_us,
+    }
+}
+
 /// A seeded SplitMix64 pseudo-random generator.
 ///
 /// The workspace vendors no random-number crate, and the serving benchmark

@@ -14,10 +14,12 @@ use crate::dma::{Dma, DmaConfig};
 use crate::error::{CoreError, Result};
 use crate::geometry::Geometry;
 use crate::program::KernelProgram;
+use crate::replay::{ReplayScratch, ReplayTrace, TraceRecorder};
 use crate::spm::Spm;
 use crate::stats::RunStats;
 use crate::timeline::{Engine, LaunchSpans, Span, Timeline};
 use crate::trace::ActivityCounters;
+use std::sync::Arc;
 
 /// Default cycle budget per kernel launch before the simulator declares the
 /// kernel hung.
@@ -56,6 +58,14 @@ pub struct Vwr2a {
     dma: Dma,
     counters: ActivityCounters,
     cycle_limit: u64,
+    /// Replay cache on/off (see [`Vwr2a::set_replay_enabled`]).
+    replay_enabled: bool,
+    /// Lifetime count of launches served from the replay cache.
+    replays: u64,
+    /// Reused per-launch `running` flags (one per column used).
+    running_scratch: Vec<bool>,
+    /// Reused replay-executor pending-write buffers.
+    replay_scratch: ReplayScratch,
 }
 
 impl Vwr2a {
@@ -94,6 +104,10 @@ impl Vwr2a {
             dma: Dma::new(dma),
             counters: ActivityCounters::new(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            replay_enabled: true,
+            replays: 0,
+            running_scratch: Vec::new(),
+            replay_scratch: ReplayScratch::default(),
         })
     }
 
@@ -153,6 +167,29 @@ impl Vwr2a {
     /// [`CoreError::CycleLimitExceeded`] is reported.
     pub fn set_cycle_limit(&mut self, limit: u64) {
         self.cycle_limit = limit;
+    }
+
+    /// Turns the warm-window replay cache on or off (on by default).
+    ///
+    /// With replay enabled, launches of a stored kernel record a
+    /// [`crate::replay::ReplayTrace`] and later launches whose SRF guard
+    /// snapshot still matches are served as a straight-line replay instead
+    /// of cycle-by-cycle interpretation — bit-identical outputs, cycles
+    /// and counters, at a fraction of the host cost.  Disabling it forces
+    /// every launch through the interpreter; conformance tests flip this
+    /// knob to compare the two paths.
+    pub fn set_replay_enabled(&mut self, enabled: bool) {
+        self.replay_enabled = enabled;
+    }
+
+    /// `true` while the warm-window replay cache is active.
+    pub fn replay_enabled(&self) -> bool {
+        self.replay_enabled
+    }
+
+    /// Number of launches served from the replay cache since construction.
+    pub fn replays(&self) -> u64 {
+        self.replays
     }
 
     /// Writes one kernel parameter into a column's SRF, as the host CPU does
@@ -320,9 +357,8 @@ impl Vwr2a {
         timeline: &mut Timeline,
         not_before: u64,
     ) -> Result<(RunStats, LaunchSpans)> {
-        let kernel = self.config_mem.fetch(id)?;
         let config_words = self.config_mem.kernel_words(id)?;
-        self.execute_at(&kernel, config_words, timeline, not_before)
+        self.launch_at(id, config_words, timeline, not_before)
     }
 
     /// Streams a stored kernel's configuration words into the per-slot
@@ -401,8 +437,108 @@ impl Vwr2a {
         timeline: &mut Timeline,
         not_before: u64,
     ) -> Result<(RunStats, LaunchSpans)> {
-        let kernel = self.config_mem.fetch(id)?;
-        self.execute_at(&kernel, 0, timeline, not_before)
+        self.config_mem.kernel_words(id)?;
+        self.launch_at(id, 0, timeline, not_before)
+    }
+
+    /// Common body of the stored-kernel launch paths: serve the launch
+    /// from the replay cache when a recorded trace's guards match the live
+    /// SRF state, otherwise interpret through the per-slot decode cache —
+    /// recording a fresh trace as a side effect so the *next* matching
+    /// launch replays.
+    fn launch_at(
+        &mut self,
+        id: KernelId,
+        config_words: usize,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(RunStats, LaunchSpans)> {
+        if self.replay_enabled {
+            if let Some(trace) = self.find_trace(id, config_words) {
+                return self.replay_at(&trace, config_words, timeline, not_before);
+            }
+        }
+        let kernel = self.config_mem.fetch_decoded(id)?;
+        let record = self.replay_enabled;
+        let (stats, spans, trace) =
+            self.execute_recorded(&kernel, config_words, timeline, not_before, record)?;
+        if let Some(trace) = trace {
+            self.config_mem.push_trace(id, Arc::new(trace));
+        }
+        Ok((stats, spans))
+    }
+
+    /// Finds a cached trace whose SRF guards all match the live SRF state
+    /// and whose recorded length fits the cycle budget (newest first).  A
+    /// launch that would exceed the cycle limit falls back to the
+    /// interpreter so it reports [`CoreError::CycleLimitExceeded`] exactly
+    /// as an uncached launch would.
+    fn find_trace(&self, id: KernelId, config_words: usize) -> Option<Arc<ReplayTrace>> {
+        'candidate: for trace in self.config_mem.traces(id).iter().rev() {
+            if config_words as u64 + trace.exec_cycles > self.cycle_limit {
+                continue;
+            }
+            for guard in &trace.guards {
+                match self.columns[guard.column].srf().read(guard.index) {
+                    Ok(value) if value == guard.value => {}
+                    _ => continue 'candidate,
+                }
+            }
+            return Some(Arc::clone(trace));
+        }
+        None
+    }
+
+    /// Replays a recorded trace: the schedule runs as a straight-line pass
+    /// over the live SPM/VWR/SRF data path, and the recorded cycles and
+    /// counters are credited verbatim (plus the configuration streaming of
+    /// this launch, which is not part of the trace).
+    fn replay_at(
+        &mut self,
+        trace: &ReplayTrace,
+        config_words: usize,
+        timeline: &mut Timeline,
+        not_before: u64,
+    ) -> Result<(RunStats, LaunchSpans)> {
+        let before = self.counters;
+        self.counters.config_words_loaded += config_words as u64;
+        for column in self.columns.iter_mut().take(trace.columns_used) {
+            column.reset_execution();
+        }
+        let mut start = 0usize;
+        for segment in &trace.segments {
+            let ops = &trace.ops[start..start + segment.len];
+            start += segment.len;
+            self.columns[segment.column].replay_segment(
+                ops,
+                &mut self.spm,
+                &mut self.replay_scratch,
+            )?;
+        }
+        for (column, finish) in self
+            .columns
+            .iter_mut()
+            .zip(&trace.finish)
+            .take(trace.columns_used)
+        {
+            column.apply_replay_finish(finish);
+        }
+        let cycles = config_words as u64 + trace.exec_cycles;
+        self.counters += trace.counters;
+        self.counters.cycles += config_words as u64;
+        self.replays += 1;
+
+        let config = timeline.schedule(Engine::ConfigLoad, not_before, config_words as u64);
+        let compute = timeline.schedule(Engine::Compute, config.end, trace.exec_cycles);
+        Ok((
+            RunStats {
+                kernel_name: trace.name.clone(),
+                cycles,
+                columns_used: trace.columns_used,
+                counters: self.counters - before,
+            },
+            LaunchSpans { config, compute },
+        ))
     }
 
     /// Validates and runs a kernel directly, without persisting it in the
@@ -433,6 +569,22 @@ impl Vwr2a {
         timeline: &mut Timeline,
         not_before: u64,
     ) -> Result<(RunStats, LaunchSpans)> {
+        self.execute_recorded(kernel, config_words, timeline, not_before, false)
+            .map(|(stats, spans, _)| (stats, spans))
+    }
+
+    /// [`Vwr2a::execute_at`] with optional trace recording: when `record`
+    /// is set, the interpreter drives a [`TraceRecorder`] and the resolved
+    /// schedule is returned alongside the stats (or `None` if the
+    /// execution proved non-replayable — see [`crate::replay`]).
+    fn execute_recorded(
+        &mut self,
+        kernel: &KernelProgram,
+        config_words: usize,
+        timeline: &mut Timeline,
+        not_before: u64,
+        record: bool,
+    ) -> Result<(RunStats, LaunchSpans, Option<ReplayTrace>)> {
         let before = self.counters;
         let columns_used = kernel.columns.len();
 
@@ -446,29 +598,67 @@ impl Vwr2a {
             column.reset_execution();
         }
 
-        let mut running: Vec<bool> = vec![true; columns_used];
+        let mut recorder = if record {
+            Some(TraceRecorder::new(columns_used))
+        } else {
+            None
+        };
+
+        let mut running = std::mem::take(&mut self.running_scratch);
+        running.clear();
+        running.resize(columns_used, true);
         while running.iter().any(|&r| r) {
             cycles += 1;
             if cycles > self.cycle_limit {
+                self.running_scratch = running;
                 return Err(CoreError::CycleLimitExceeded {
                     limit: self.cycle_limit,
                 });
             }
             for (idx, program) in kernel.columns.iter().enumerate() {
                 if running[idx] {
-                    running[idx] = self.columns[idx].step(
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.begin_segment(idx);
+                    }
+                    let stepped = self.columns[idx].step_traced(
                         program,
                         &mut self.spm,
                         &mut self.counters,
                         cycles,
-                    )?;
+                        recorder.as_mut(),
+                    );
+                    match stepped {
+                        Ok(r) => running[idx] = r,
+                        Err(e) => {
+                            self.running_scratch = running;
+                            return Err(e);
+                        }
+                    }
                 }
             }
         }
+        self.running_scratch = running;
         self.counters.cycles += cycles;
 
+        let exec_cycles = cycles - config_words as u64;
+        let trace = recorder.and_then(|recorder| {
+            // The trace stores the execution-only counter delta so the same
+            // recording serves both cold and warm launches; the replay path
+            // re-adds whatever configuration streaming its launch charges.
+            let mut exec_counters = self.counters - before;
+            exec_counters.cycles -= config_words as u64;
+            exec_counters.config_words_loaded -= config_words as u64;
+            let finish = self
+                .columns
+                .iter()
+                .take(columns_used)
+                .map(Column::replay_finish)
+                .collect();
+            recorder.finish(kernel.name.clone(), exec_cycles, exec_counters, finish)
+        });
+
         let config = timeline.schedule(Engine::ConfigLoad, not_before, config_words as u64);
-        let compute = timeline.schedule(Engine::Compute, config.end, cycles - config_words as u64);
+        let compute = timeline.schedule(Engine::Compute, config.end, exec_cycles);
         Ok((
             RunStats {
                 kernel_name: kernel.name.clone(),
@@ -477,6 +667,7 @@ impl Vwr2a {
                 counters: self.counters - before,
             },
             LaunchSpans { config, compute },
+            trace,
         ))
     }
 }
@@ -569,7 +760,7 @@ mod tests {
         accel.dma_to_spm(&input, 0).unwrap();
         accel.write_srf(0, 0, 2 << 16).unwrap(); // scale by 2.0
         let stats = accel.run_program(&vector_scale_kernel(0)).unwrap();
-        assert_eq!(stats.kernel_name, "vector-scale");
+        assert_eq!(&*stats.kernel_name, "vector-scale");
         let (out, _) = accel.dma_from_spm(128, 128).unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i as i32 - 64) << 17);
@@ -697,6 +888,151 @@ mod tests {
             accel.prefetch_kernel(id),
             Err(CoreError::UnknownKernel { .. })
         ));
+    }
+
+    /// Like [`vector_scale_kernel`] but the input/output SPM lines come
+    /// from SRF[1]/SRF[2], so the trace carries SRF guards.
+    fn vector_scale_kernel_srf_lines() -> KernelProgram {
+        let g = Geometry::paper();
+        let mut b = ColumnProgramBuilder::new(g.rcs_per_column);
+        b.push(b.row().lsu(LsuInstr::LoadVwr {
+            vwr: VwrId::A,
+            line: LsuAddr::Srf(1),
+        }));
+        b.push(
+            b.row()
+                .lcu(LcuInstr::Li { r: 0, value: 0 })
+                .mxcu(MxcuInstr::SetIdx(0)),
+        );
+        for rc in 0..4u8 {
+            b.push(
+                b.row()
+                    .rc(rc as usize, RcInstr::mov(RcDst::Reg(0), RcSrc::Srf(0))),
+            );
+        }
+        let top = b.new_label();
+        b.bind_label(top);
+        b.push(
+            b.row()
+                .lcu(LcuInstr::Add {
+                    r: 0,
+                    src: LcuSrc::Imm(1),
+                })
+                .mxcu(MxcuInstr::AddIdx(1))
+                .rc_all(RcInstr::new(
+                    RcOpcode::MulFxp,
+                    RcDst::Vwr(VwrId::C),
+                    RcSrc::Vwr(VwrId::A),
+                    RcSrc::Reg(0),
+                )),
+        );
+        b.push_branch(b.row(), LcuCond::Lt, 0, LcuSrc::Imm(32), top);
+        b.push(b.row().lsu(LsuInstr::StoreVwr {
+            vwr: VwrId::C,
+            line: LsuAddr::Srf(2),
+        }));
+        b.push_exit();
+        KernelProgram::new("vector-scale-srf", vec![b.build().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn warm_replay_is_bit_identical_to_interpretation() {
+        let kernel = vector_scale_kernel(0);
+        let mut replay = Vwr2a::new();
+        let mut interp = Vwr2a::new();
+        interp.set_replay_enabled(false);
+        for accel in [&mut replay, &mut interp] {
+            accel.write_srf(0, 0, 1 << 15).unwrap();
+        }
+        let id_r = replay.load_kernel(&kernel).unwrap();
+        let id_i = interp.load_kernel(&kernel).unwrap();
+        for window in 0..4 {
+            let input: Vec<i32> = (0..128).map(|i| (i + window) << 16).collect();
+            for accel in [&mut replay, &mut interp] {
+                accel.dma_to_spm(&input, 0).unwrap();
+            }
+            let stats_r = if window == 0 {
+                replay.run_kernel(id_r).unwrap()
+            } else {
+                replay.run_kernel_warm(id_r).unwrap()
+            };
+            let stats_i = if window == 0 {
+                interp.run_kernel(id_i).unwrap()
+            } else {
+                interp.run_kernel_warm(id_i).unwrap()
+            };
+            assert_eq!(stats_r, stats_i, "window {window}");
+            let (out_r, _) = replay.dma_from_spm(128, 128).unwrap();
+            let (out_i, _) = interp.dma_from_spm(128, 128).unwrap();
+            assert_eq!(out_r, out_i, "window {window}");
+        }
+        assert_eq!(replay.counters(), interp.counters());
+        assert_eq!(replay.column(0).unwrap(), interp.column(0).unwrap());
+        // The cold launch recorded; every warm window replayed.
+        assert_eq!(replay.replays(), 3);
+        assert_eq!(interp.replays(), 0);
+    }
+
+    #[test]
+    fn changed_guard_parameter_re_records_and_stays_correct() {
+        // The SPM line pointers live in the SRF, so they become trace
+        // guards; the scale factor is a data read and replays live.
+        let kernel = vector_scale_kernel_srf_lines();
+        let mut accel = Vwr2a::new();
+        let input: Vec<i32> = (0..128).map(|i| i << 16).collect();
+        accel.dma_to_spm(&input, 0).unwrap();
+        accel.write_srf(0, 0, 1 << 15).unwrap(); // scale 0.5
+        accel.write_srf(0, 1, 0).unwrap(); // input line
+        accel.write_srf(0, 2, 1).unwrap(); // output line
+        let id = accel.load_kernel(&kernel).unwrap();
+        accel.run_kernel(id).unwrap();
+        accel.run_kernel_warm(id).unwrap();
+        assert_eq!(accel.replays(), 1, "same parameters replay");
+
+        // A data parameter change must NOT invalidate the trace — the
+        // replayed pass reads the live SRF value.
+        accel.write_srf(0, 0, 1 << 16).unwrap(); // scale 1.0
+        accel.run_kernel_warm(id).unwrap();
+        assert_eq!(accel.replays(), 2, "data parameter change still replays");
+        let (out, _) = accel.dma_from_spm(128, 128).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as i32) << 16, "word {i} at scale 1.0");
+        }
+
+        // A guarded (addressing) parameter change must miss and re-record.
+        accel.write_srf(0, 2, 2).unwrap(); // move the output line
+        accel.run_kernel_warm(id).unwrap();
+        assert_eq!(accel.replays(), 2, "changed guard misses the cache");
+        let (out, _) = accel.dma_from_spm(256, 128).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as i32) << 16, "word {i} after line move");
+        }
+        // ...and the re-recorded snapshot replays again.
+        accel.run_kernel_warm(id).unwrap();
+        assert_eq!(accel.replays(), 3);
+        // The original snapshot is still cached too.
+        accel.write_srf(0, 2, 1).unwrap();
+        accel.run_kernel_warm(id).unwrap();
+        assert_eq!(accel.replays(), 4, "reverted guard hits the older trace");
+    }
+
+    #[test]
+    fn unload_discards_replay_state_with_the_slot() {
+        let kernel = vector_scale_kernel(0);
+        let mut accel = Vwr2a::new();
+        accel.write_srf(0, 0, 1 << 15).unwrap();
+        let id = accel.load_kernel(&kernel).unwrap();
+        accel.run_kernel(id).unwrap();
+        assert!(!accel.config_mem().traces(id).is_empty());
+        accel.unload_kernel(id).unwrap();
+        assert!(accel.config_mem().traces(id).is_empty());
+        // Reloading into the reused slot starts from a clean cache.
+        let fresh = accel.load_kernel(&kernel).unwrap();
+        assert_eq!(fresh.slot(), id.slot());
+        assert!(accel.config_mem().traces(fresh).is_empty());
+        accel.run_kernel(fresh).unwrap();
+        accel.run_kernel_warm(fresh).unwrap();
+        assert_eq!(accel.replays(), 1);
     }
 
     #[test]

@@ -16,12 +16,36 @@ use crate::isa::lsu::{LsuAddr, LsuInstr};
 use crate::isa::mxcu::MxcuInstr;
 use crate::isa::rc::{RcDst, RcSrc};
 use crate::program::ColumnProgram;
+use crate::replay::ReplayScratch;
+use crate::replay::{ColumnFinish, ReplayDst, ReplayOp, ReplaySrc, TraceRecorder};
 use crate::shuffle;
 use crate::spm::Spm;
 use crate::srf::Srf;
 use crate::trace::ActivityCounters;
 use crate::vwr::Vwr;
 use serde::{Deserialize, Serialize};
+
+/// Resolves an RC operand source into its replay form: all multiplexing
+/// (slice offset, MXCU index, neighbour selection) is folded in so the
+/// replayed op only performs the data read.
+fn replay_src(src: RcSrc, i: usize, slice_words: usize, k: usize, num_rcs: usize) -> ReplaySrc {
+    match src {
+        RcSrc::Zero => ReplaySrc::Const(0),
+        RcSrc::Imm(v) => ReplaySrc::Const(v as i32),
+        RcSrc::Reg(r) => ReplaySrc::Reg {
+            rc: i,
+            reg: r as usize,
+        },
+        RcSrc::Vwr(v) => ReplaySrc::VwrWord {
+            vwr: v.index(),
+            word: i * slice_words + k,
+        },
+        RcSrc::Srf(s) => ReplaySrc::Srf(s as usize),
+        RcSrc::RcAbove => ReplaySrc::Prev((i + num_rcs - 1) % num_rcs),
+        RcSrc::RcBelow => ReplaySrc::Prev((i + 1) % num_rcs),
+        RcSrc::SelfPrev => ReplaySrc::Prev(i),
+    }
+}
 
 /// Architectural state of one reconfigurable cell.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -146,12 +170,22 @@ impl Column {
         }
     }
 
-    fn resolve_lsu_addr(&self, addr: LsuAddr, counters: &mut ActivityCounters) -> Result<usize> {
+    fn resolve_lsu_addr(
+        &self,
+        addr: LsuAddr,
+        counters: &mut ActivityCounters,
+        rec: Option<&mut TraceRecorder>,
+    ) -> Result<usize> {
         match addr {
             LsuAddr::Imm(v) => Ok(v as usize),
             LsuAddr::Srf(s) => {
                 counters.srf_reads += 1;
                 let v = self.srf.read(s as usize)?;
+                // The SRF value becomes an SPM address baked into the
+                // replay schedule, so it must be guarded.
+                if let Some(r) = rec {
+                    r.guard_srf(s as usize, v);
+                }
                 if v < 0 {
                     return Err(CoreError::InvalidDmaTransfer {
                         detail: format!("negative SPM address {v} in SRF {s}"),
@@ -162,13 +196,24 @@ impl Column {
         }
     }
 
-    fn resolve_lcu_src(&self, src: LcuSrc, counters: &mut ActivityCounters) -> Result<i32> {
+    fn resolve_lcu_src(
+        &self,
+        src: LcuSrc,
+        counters: &mut ActivityCounters,
+        rec: Option<&mut TraceRecorder>,
+    ) -> Result<i32> {
         Ok(match src {
             LcuSrc::Imm(v) => v,
             LcuSrc::Reg(r) => self.lcu_regs[r as usize % LCU_REGISTERS],
             LcuSrc::Srf(s) => {
                 counters.srf_reads += 1;
-                self.srf.read(s as usize)?
+                let v = self.srf.read(s as usize)?;
+                // The SRF value feeds the LCU (loop bounds, branch
+                // operands) and thus the baked control flow.
+                if let Some(r) = rec {
+                    r.guard_srf(s as usize, v);
+                }
+                v
             }
         })
     }
@@ -191,6 +236,20 @@ impl Column {
         spm: &mut Spm,
         counters: &mut ActivityCounters,
         cycle: u64,
+    ) -> Result<bool> {
+        self.step_traced(program, spm, counters, cycle, None)
+    }
+
+    /// [`Column::step`] with an optional [`TraceRecorder`] attached: the
+    /// resolved ops and SRF guard observations of this cycle are appended
+    /// to the recorder's current segment (the caller opens the segment).
+    pub(crate) fn step_traced(
+        &mut self,
+        program: &ColumnProgram,
+        spm: &mut Spm,
+        counters: &mut ActivityCounters,
+        cycle: u64,
+        mut rec: Option<&mut TraceRecorder>,
     ) -> Result<bool> {
         if self.halted {
             return Ok(false);
@@ -273,20 +332,38 @@ impl Column {
                 counters.rc_multiplies += 1;
             }
             new_results[i] = result;
-            match instr.dst {
-                RcDst::None => {}
+            let replay_dst = match instr.dst {
+                RcDst::None => ReplayDst::None,
                 RcDst::Reg(r) => {
                     counters.rc_reg_writes += 1;
                     rc_reg_writes.push((i, r as usize, result));
+                    ReplayDst::Reg {
+                        rc: i,
+                        reg: r as usize,
+                    }
                 }
                 RcDst::Vwr(v) => {
                     counters.vwr_word_writes += 1;
                     vwr_word_writes.push((v.index(), i * slice_words + k, result));
+                    ReplayDst::VwrWord {
+                        vwr: v.index(),
+                        word: i * slice_words + k,
+                    }
                 }
                 RcDst::Srf(s) => {
                     counters.srf_writes += 1;
                     srf_writes.push((s as usize, result));
+                    ReplayDst::Srf(s as usize)
                 }
+            };
+            if let Some(r) = rec.as_deref_mut() {
+                r.push_op(ReplayOp::Rc {
+                    rc: i,
+                    op: instr.op,
+                    a: replay_src(instr.src_a, i, slice_words, k, num_rcs),
+                    b: replay_src(instr.src_b, i, slice_words, k, num_rcs),
+                    dst: replay_dst,
+                });
             }
         }
 
@@ -296,14 +373,20 @@ impl Column {
         match row.lsu {
             LsuInstr::Nop => {}
             LsuInstr::LoadVwr { vwr, line } => {
-                let addr = self.resolve_lsu_addr(line, counters)?;
+                let addr = self.resolve_lsu_addr(line, counters, rec.as_deref_mut())?;
                 let data = spm.read_line(addr)?.to_vec();
                 counters.spm_line_reads += 1;
                 counters.vwr_line_transfers += 1;
                 vwr_line_writes.push((vwr.index(), data));
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::LoadVwrLine {
+                        vwr: vwr.index(),
+                        line: addr,
+                    });
+                }
             }
             LsuInstr::StoreVwr { vwr, line } => {
-                let addr = self.resolve_lsu_addr(line, counters)?;
+                let addr = self.resolve_lsu_addr(line, counters, rec.as_deref_mut())?;
                 let data = self
                     .vwrs
                     .get(vwr.index())
@@ -315,26 +398,50 @@ impl Column {
                 spm.write_line(addr, &data)?;
                 counters.spm_line_writes += 1;
                 counters.vwr_line_transfers += 1;
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::StoreVwrLine {
+                        vwr: vwr.index(),
+                        line: addr,
+                    });
+                }
             }
             LsuInstr::LoadSrf { srf, word } => {
-                let addr = self.resolve_lsu_addr(word, counters)?;
+                let addr = self.resolve_lsu_addr(word, counters, rec.as_deref_mut())?;
                 let value = spm.read_word(addr)?;
                 counters.spm_word_reads += 1;
                 counters.srf_writes += 1;
                 srf_writes.push((srf as usize, value));
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::LoadSrfWord {
+                        srf: srf as usize,
+                        word: addr,
+                    });
+                }
             }
             LsuInstr::StoreSrf { srf, word } => {
-                let addr = self.resolve_lsu_addr(word, counters)?;
+                let addr = self.resolve_lsu_addr(word, counters, rec.as_deref_mut())?;
                 counters.srf_reads += 1;
                 let value = self.srf.read(srf as usize)?;
                 spm.write_word(addr, value)?;
                 counters.spm_word_writes += 1;
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::StoreSrfWord {
+                        srf: srf as usize,
+                        word: addr,
+                    });
+                }
             }
             LsuInstr::AddSrf { srf, imm } => {
                 counters.srf_reads += 1;
                 counters.srf_writes += 1;
                 let value = self.srf.read(srf as usize)?.wrapping_add(imm as i32);
                 srf_writes.push((srf as usize, value));
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::AddSrf {
+                        srf: srf as usize,
+                        imm: imm as i32,
+                    });
+                }
             }
             LsuInstr::Shuffle(op) => {
                 let a = self.vwrs[VwrId::A.index()].words();
@@ -343,6 +450,9 @@ impl Column {
                 counters.shuffle_ops += 1;
                 counters.vwr_line_transfers += 3;
                 vwr_line_writes.push((VwrId::C.index(), out));
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::Shuffle { op });
+                }
             }
         }
 
@@ -359,16 +469,32 @@ impl Column {
             MxcuInstr::LoadIdxSrf(s) => {
                 counters.srf_reads += 1;
                 let v = self.srf.read(s as usize)?;
+                // The SRF value becomes the MXCU index, i.e. baked VWR
+                // word addressing.
+                if let Some(r) = rec.as_deref_mut() {
+                    r.guard_srf(s as usize, v);
+                }
                 new_mxcu_idx = (v as i64).rem_euclid(slice_words as i64) as usize;
             }
             MxcuInstr::AndIdxSrf(s) => {
                 counters.srf_reads += 1;
-                let v = self.srf.read(s as usize)? as usize;
-                new_mxcu_idx = (self.mxcu_idx & v) % slice_words;
+                let v = self.srf.read(s as usize)?;
+                if let Some(r) = rec.as_deref_mut() {
+                    r.guard_srf(s as usize, v);
+                }
+                new_mxcu_idx = (self.mxcu_idx & v as usize) % slice_words;
             }
             MxcuInstr::StoreIdxSrf(s) => {
                 counters.srf_writes += 1;
                 srf_writes.push((s as usize, self.mxcu_idx as i32));
+                // The index value is schedule-determined, so the write
+                // replays as a constant store.
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push_op(ReplayOp::WriteSrfConst {
+                        srf: s as usize,
+                        value: self.mxcu_idx as i32,
+                    });
+                }
             }
         }
 
@@ -379,17 +505,21 @@ impl Column {
             LcuInstr::Nop => {}
             LcuInstr::Li { r, value } => new_lcu_regs[r as usize % LCU_REGISTERS] = value,
             LcuInstr::Add { r, src } => {
-                let v = self.resolve_lcu_src(src, counters)?;
+                let v = self.resolve_lcu_src(src, counters, rec.as_deref_mut())?;
                 let idx = r as usize % LCU_REGISTERS;
                 new_lcu_regs[idx] = self.lcu_regs[idx].wrapping_add(v);
             }
             LcuInstr::LoadSrf { r, srf } => {
                 counters.srf_reads += 1;
-                new_lcu_regs[r as usize % LCU_REGISTERS] = self.srf.read(srf as usize)?;
+                let v = self.srf.read(srf as usize)?;
+                if let Some(rr) = rec.as_deref_mut() {
+                    rr.guard_srf(srf as usize, v);
+                }
+                new_lcu_regs[r as usize % LCU_REGISTERS] = v;
             }
             LcuInstr::Branch { cond, a, b, target } => {
                 let av = self.lcu_regs[a as usize % LCU_REGISTERS];
-                let bv = self.resolve_lcu_src(b, counters)?;
+                let bv = self.resolve_lcu_src(b, counters, rec.as_deref_mut())?;
                 if cond.eval(av, bv) {
                     counters.lcu_branches += 1;
                     next_pc = target as usize;
@@ -448,6 +578,12 @@ impl Column {
         }
         for (srf, value) in srf_writes {
             self.srf.write(srf, value)?;
+            // Mark the entry as execution-written: a later control or
+            // addressing read of it would make the schedule data-dependent
+            // and must poison the trace.
+            if let Some(r) = rec.as_deref_mut() {
+                r.note_srf_write(srf);
+            }
         }
         for (rc, result) in self.rcs.iter_mut().zip(new_results) {
             rc.prev_result = result;
@@ -467,6 +603,121 @@ impl Column {
         }
         self.pc = next_pc;
         Ok(true)
+    }
+
+    /// End-of-run control state for a [`ReplayTrace`] (captured right
+    /// after a recorded execution halts).
+    pub(crate) fn replay_finish(&self) -> ColumnFinish {
+        ColumnFinish {
+            pc: self.pc,
+            mxcu_idx: self.mxcu_idx,
+            lcu_regs: self.lcu_regs,
+        }
+    }
+
+    /// Restores the recorded end-of-run control state after a replay and
+    /// halts the column, so the architectural state matches an interpreted
+    /// execution exactly.
+    pub(crate) fn apply_replay_finish(&mut self, finish: &ColumnFinish) {
+        self.pc = finish.pc;
+        self.mxcu_idx = finish.mxcu_idx;
+        self.lcu_regs = finish.lcu_regs;
+        self.halted = true;
+    }
+
+    fn replay_read(&self, src: ReplaySrc) -> Result<i32> {
+        Ok(match src {
+            ReplaySrc::Const(v) => v,
+            ReplaySrc::Reg { rc, reg } => self.rcs[rc].regs[reg],
+            ReplaySrc::VwrWord { vwr, word } => self.vwrs[vwr].read_word(word)?,
+            ReplaySrc::Srf(s) => self.srf.read(s)?,
+            ReplaySrc::Prev(rc) => self.rcs[rc].prev_result,
+        })
+    }
+
+    /// Replays one recorded segment with the interpreter's two-phase
+    /// semantics: reads see segment-start state, writes commit at segment
+    /// end in interpreter order, SPM accesses are immediate.  Counters are
+    /// not touched — the trace credits the recorded delta verbatim.
+    pub(crate) fn replay_segment(
+        &mut self,
+        ops: &[ReplayOp],
+        spm: &mut Spm,
+        scratch: &mut ReplayScratch,
+    ) -> Result<()> {
+        for op in ops {
+            match *op {
+                ReplayOp::Rc { rc, op, a, b, dst } => {
+                    let av = self.replay_read(a)?;
+                    let bv = self.replay_read(b)?;
+                    let result = alu::execute(op, av, bv);
+                    scratch.prev.push((rc, result));
+                    match dst {
+                        ReplayDst::None => {}
+                        ReplayDst::Reg { rc, reg } => scratch.rc_reg.push((rc, reg, result)),
+                        ReplayDst::VwrWord { vwr, word } => {
+                            scratch.vwr_word.push((vwr, word, result))
+                        }
+                        ReplayDst::Srf(s) => scratch.srf.push((s, result)),
+                    }
+                }
+                ReplayOp::LoadVwrLine { vwr, line } => {
+                    scratch.line_buf.clear();
+                    scratch.line_buf.extend_from_slice(spm.read_line(line)?);
+                    scratch.line_target = Some(vwr);
+                }
+                ReplayOp::StoreVwrLine { vwr, line } => {
+                    spm.write_line(line, self.vwrs[vwr].words())?;
+                }
+                ReplayOp::LoadSrfWord { srf, word } => {
+                    scratch.srf.push((srf, spm.read_word(word)?));
+                }
+                ReplayOp::StoreSrfWord { srf, word } => {
+                    spm.write_word(word, self.srf.read(srf)?)?;
+                }
+                ReplayOp::AddSrf { srf, imm } => {
+                    scratch
+                        .srf
+                        .push((srf, self.srf.read(srf)?.wrapping_add(imm)));
+                }
+                ReplayOp::WriteSrfConst { srf, value } => {
+                    scratch.srf.push((srf, value));
+                }
+                ReplayOp::Shuffle { op } => {
+                    let out = shuffle::apply(
+                        op,
+                        self.vwrs[VwrId::A.index()].words(),
+                        self.vwrs[VwrId::B.index()].words(),
+                        self.geometry.slice_words(),
+                    );
+                    scratch.line_buf.clear();
+                    scratch.line_buf.extend_from_slice(&out);
+                    scratch.line_target = Some(VwrId::C.index());
+                }
+            }
+        }
+        // Commit in interpreter order: RC registers, VWR words, VWR lines,
+        // SRF entries, previous-result latches.
+        for &(rc, reg, value) in &scratch.rc_reg {
+            self.rcs[rc].regs[reg] = value;
+        }
+        for &(vwr, word, value) in &scratch.vwr_word {
+            self.vwrs[vwr].write_word(word, value)?;
+        }
+        if let Some(vwr) = scratch.line_target.take() {
+            self.vwrs[vwr].load_line(&scratch.line_buf)?;
+        }
+        for &(srf, value) in &scratch.srf {
+            self.srf.write(srf, value)?;
+        }
+        for &(rc, value) in &scratch.prev {
+            self.rcs[rc].prev_result = value;
+        }
+        scratch.rc_reg.clear();
+        scratch.vwr_word.clear();
+        scratch.srf.clear();
+        scratch.prev.clear();
+        Ok(())
     }
 }
 

@@ -26,7 +26,15 @@ use crate::isa::encode::{
     ConfigWord,
 };
 use crate::program::{ColumnProgram, KernelProgram, Row};
+use crate::replay::ReplayTrace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Replay traces kept per slot.  A small FIFO window is enough to cover
+/// kernels whose hosts cycle through a few parameter snapshots (e.g. the
+/// per-block line pointers of a multi-block FIR pass or per-stage FFT
+/// twiddle bases) without letting a parameter sweep hoard memory.
+const TRACES_PER_SLOT: usize = 16;
 
 /// Generational handle to a kernel stored in the configuration memory.
 ///
@@ -78,7 +86,7 @@ struct StoredColumn {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct StoredKernel {
-    name: String,
+    name: Arc<str>,
     columns: Vec<StoredColumn>,
     /// Total configuration words, cached so [`ConfigMemory::remove`] can
     /// reclaim exactly what [`ConfigMemory::store`] charged.
@@ -86,10 +94,18 @@ struct StoredKernel {
 }
 
 /// One slot of the generational map.
+///
+/// Besides the encoded kernel, a slot carries two host-side caches that do
+/// not exist architecturally and are invalidated together with the handle
+/// on every `store`/`remove`/`clear` generation transition: the decoded
+/// [`KernelProgram`] (so warm launches stop re-decoding configuration
+/// words) and the recorded [`ReplayTrace`]s of the replay cache.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Slot {
     generation: u32,
     kernel: Option<StoredKernel>,
+    decoded: Option<Arc<KernelProgram>>,
+    traces: Vec<Arc<ReplayTrace>>,
 }
 
 /// The configuration memory holding encoded kernels.
@@ -107,7 +123,7 @@ struct Slot {
 /// let kernel = KernelProgram::new("noop", vec![col])?;
 /// let id = cm.store(&kernel)?;
 /// let loaded = cm.fetch(id)?;
-/// assert_eq!(loaded.name, "noop");
+/// assert_eq!(&*loaded.name, "noop");
 ///
 /// // Removing the kernel reclaims its words and invalidates the handle.
 /// let freed = cm.remove(id)?;
@@ -215,13 +231,18 @@ impl ConfigMemory {
         self.used_words += needed;
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.slots[slot].kernel = Some(stored);
+                let s = &mut self.slots[slot];
+                s.kernel = Some(stored);
+                s.decoded = None;
+                s.traces.clear();
                 slot
             }
             None => {
                 self.slots.push(Slot {
                     generation: 0,
                     kernel: Some(stored),
+                    decoded: None,
+                    traces: Vec::new(),
                 });
                 self.slots.len() - 1
             }
@@ -260,6 +281,58 @@ impl ConfigMemory {
         KernelProgram::new(stored.name.clone(), columns)
     }
 
+    /// [`ConfigMemory::fetch`] through the per-slot decode cache: the
+    /// first call decodes the stored words and caches the program; later
+    /// calls return the cached [`Arc`] without touching the words.  The
+    /// cache is dropped whenever the slot's generation moves (`store` into
+    /// a reused slot, `remove`, `clear`), so a stale handle can never see
+    /// a newer slot's program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownKernel`] for a stale or invalid id, or a
+    /// decoding error if the stored words are corrupt.
+    pub fn fetch_decoded(&mut self, id: KernelId) -> Result<Arc<KernelProgram>> {
+        self.resident(id)?;
+        if let Some(decoded) = &self.slots[id.slot()].decoded {
+            return Ok(Arc::clone(decoded));
+        }
+        let decoded = Arc::new(self.fetch(id)?);
+        self.slots[id.slot()].decoded = Some(Arc::clone(&decoded));
+        Ok(decoded)
+    }
+
+    /// The recorded replay traces of a kernel, oldest first.  Empty for a
+    /// stale handle or a kernel with no recordings yet.
+    pub(crate) fn traces(&self, id: KernelId) -> &[Arc<ReplayTrace>] {
+        self.slots
+            .get(id.slot())
+            .filter(|s| s.generation == id.generation && s.kernel.is_some())
+            .map(|s| s.traces.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Caches a freshly recorded replay trace on the kernel's slot.  A
+    /// trace with the same guard set replaces the stale recording; the
+    /// per-slot window is FIFO-bounded.  Stale handles are ignored.
+    pub(crate) fn push_trace(&mut self, id: KernelId, trace: Arc<ReplayTrace>) {
+        let Some(slot) = self
+            .slots
+            .get_mut(id.slot())
+            .filter(|s| s.generation == id.generation && s.kernel.is_some())
+        else {
+            return;
+        };
+        if let Some(existing) = slot.traces.iter_mut().find(|t| t.guards == trace.guards) {
+            *existing = trace;
+            return;
+        }
+        if slot.traces.len() == TRACES_PER_SLOT {
+            slot.traces.remove(0);
+        }
+        slot.traces.push(trace);
+    }
+
     /// Number of configuration words a stored kernel occupies (the kernel
     /// loader streams this many words at launch).
     ///
@@ -294,6 +367,8 @@ impl ConfigMemory {
             })?;
         let stored = slot.kernel.take().expect("filtered on occupancy");
         slot.generation = slot.generation.wrapping_add(1);
+        slot.decoded = None;
+        slot.traces.clear();
         self.used_words -= stored.words;
         self.free.push(id.slot());
         Ok(stored.words)
@@ -308,6 +383,8 @@ impl ConfigMemory {
                 slot.generation = slot.generation.wrapping_add(1);
                 self.free.push(i);
             }
+            slot.decoded = None;
+            slot.traces.clear();
         }
         self.used_words = 0;
     }
@@ -430,8 +507,8 @@ mod tests {
         assert!(matches!(cm.fetch(a), Err(CoreError::UnknownKernel { .. })));
         assert!(cm.kernel_words(a).is_err());
         // Live handles are unaffected.
-        assert_eq!(cm.fetch(b).unwrap().name, "b");
-        assert_eq!(cm.fetch(c).unwrap().name, "c");
+        assert_eq!(&*cm.fetch(b).unwrap().name, "b");
+        assert_eq!(&*cm.fetch(c).unwrap().name, "c");
         assert_eq!(cm.kernel_count(), 2);
     }
 
@@ -444,6 +521,23 @@ mod tests {
         let ids: Vec<KernelId> = cm.kernel_ids().collect();
         assert_eq!(ids, vec![b]);
         assert_eq!(format!("{b}"), "1v0");
+    }
+
+    #[test]
+    fn fetch_decoded_caches_and_respects_generations() {
+        let mut cm = ConfigMemory::new(1000);
+        let id = cm.store(&sample_kernel()).unwrap();
+        let first = cm.fetch_decoded(id).unwrap();
+        let second = cm.fetch_decoded(id).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second fetch hits the cache");
+        assert_eq!(*first, cm.fetch(id).unwrap());
+        // Removing the kernel drops the cache with the slot; a new kernel
+        // in the reused slot decodes fresh.
+        cm.remove(id).unwrap();
+        assert!(cm.fetch_decoded(id).is_err());
+        let other = cm.store(&tiny_kernel("other")).unwrap();
+        assert_eq!(other.slot(), id.slot());
+        assert_eq!(&*cm.fetch_decoded(other).unwrap().name, "other");
     }
 
     #[test]

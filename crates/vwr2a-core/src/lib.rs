@@ -80,6 +80,7 @@ pub mod error;
 pub mod geometry;
 pub mod isa;
 pub mod program;
+pub mod replay;
 pub mod shuffle;
 pub mod spm;
 pub mod srf;

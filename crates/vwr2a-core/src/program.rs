@@ -341,10 +341,14 @@ impl ColumnProgram {
 
 /// A kernel: one program per column it uses, plus a name used in
 /// diagnostics and experiment reports.
+///
+/// The name is an [`Arc<str>`](std::sync::Arc) so per-window artefacts (every
+/// [`crate::stats::RunStats`]) share it by reference count instead of
+/// deep-copying a `String` on the hot path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelProgram {
     /// Kernel name (e.g. `"fft-radix2-512"`).
-    pub name: String,
+    pub name: std::sync::Arc<str>,
     /// Per-column programs; index 0 runs on column 0, index 1 on column 1.
     pub columns: Vec<ColumnProgram>,
 }
@@ -355,7 +359,7 @@ impl KernelProgram {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidColumn`] if `columns` is empty.
-    pub fn new(name: impl Into<String>, columns: Vec<ColumnProgram>) -> Result<Self> {
+    pub fn new(name: impl Into<std::sync::Arc<str>>, columns: Vec<ColumnProgram>) -> Result<Self> {
         if columns.is_empty() {
             return Err(CoreError::InvalidColumn {
                 column: 0,

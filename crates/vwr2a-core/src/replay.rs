@@ -1,0 +1,461 @@
+//! Warm-window replay cache: record one interpreted execution, replay it
+//! as a straight-line native pass.
+//!
+//! The paper's workloads are thousands of *identical* warm windows per
+//! kernel: the program, the geometry and the control/addressing SRF
+//! parameters do not change from window to window — only the data in the
+//! SPM does.  Interpreting the same instruction schedule again and again
+//! is therefore pure host overhead.  This module removes it:
+//!
+//! * The **first** execution of a stored kernel runs through the normal
+//!   interpreter with a [`TraceRecorder`] attached.  The recorder captures
+//!   the *resolved* per-cycle schedule — every ALU operation with its
+//!   operand locations already multiplexed (VWR word indices folded with
+//!   the MXCU index, SPM line/word addresses resolved), the final cycle
+//!   count, the activity-counter delta and the end-of-run control state.
+//! * Every **subsequent** warm window whose replay key still matches skips
+//!   decode and control-flow interpretation entirely: the recorded
+//!   schedule is replayed as a straight-line pass over the live SPM/VWR/
+//!   SRF data path ([`ReplayOp`]), and the recorded cycles and counters
+//!   are credited verbatim.
+//!
+//! # Correctness model
+//!
+//! A trace bakes in *control flow and addressing* but never *data*: ALU
+//! results, SPM/VWR/SRF contents all flow through the live architectural
+//! state at replay time, so replayed outputs are bit-identical to
+//! interpretation even though every window carries different samples.
+//! Baking the schedule is sound only if control flow and addressing are
+//! reproducible.  Two mechanisms enforce that:
+//!
+//! * **SRF guards**: every SRF entry consumed for control or addressing
+//!   (an LSU address, a loop bound, an MXCU index load) while still
+//!   *pristine* — unwritten so far in the execution — becomes a guard
+//!   `(column, index, value)`.  A trace replays only if every guard still
+//!   matches the live SRF at launch; a host parameter write that changes a
+//!   guarded entry simply misses the cache and re-records.  This is the
+//!   SRF-write tracking that invalidates keys whose parameters changed.
+//! * **Poisoning**: if control or addressing ever consumes an SRF entry
+//!   the execution itself has already written (data-dependent control
+//!   flow), the trace is poisoned and discarded — such launches always
+//!   fall back to interpretation.
+//!
+//! Traces hang off the configuration-memory slot that owns the kernel
+//! ([`crate::config_mem::ConfigMemory`]), so the generational store/
+//! remove/clear invalidation the slot map already performs applies to
+//! traces (and cached decoded programs) for free.
+//!
+//! The opt-out knob is [`crate::Vwr2a::set_replay_enabled`]; conformance
+//! tests flip it to compare replayed and interpreted executions
+//! bit-for-bit.
+
+use crate::isa::lcu::LCU_REGISTERS;
+use crate::isa::lsu::ShuffleOp;
+use crate::isa::rc::RcOpcode;
+use crate::trace::ActivityCounters;
+use std::sync::Arc;
+
+/// Maximum SRF entries a recorder can track per column (one bit each).
+/// Geometries beyond this poison the trace instead of recording.
+const MAX_TRACKED_SRF: usize = 64;
+
+/// A resolved operand source of a replayed RC operation.  All multiplexing
+/// (MXCU index, slice offsets, neighbour selection) happened at record
+/// time; values are read from the live state at replay time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaySrc {
+    /// An immediate (or the hard-wired zero input).
+    Const(i32),
+    /// An RC-local register.
+    Reg {
+        /// RC index within the column.
+        rc: usize,
+        /// Register index within the RC.
+        reg: usize,
+    },
+    /// A VWR word, index fully resolved.
+    VwrWord {
+        /// VWR index.
+        vwr: usize,
+        /// Word index within the VWR.
+        word: usize,
+    },
+    /// An SRF entry (data read — not a guard).
+    Srf(usize),
+    /// The previous-cycle result latch of an RC (self or neighbour,
+    /// already resolved to an absolute RC index).
+    Prev(usize),
+}
+
+/// A resolved destination of a replayed RC operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayDst {
+    /// Result discarded (only the previous-result latch updates).
+    None,
+    /// An RC-local register.
+    Reg {
+        /// RC index within the column.
+        rc: usize,
+        /// Register index within the RC.
+        reg: usize,
+    },
+    /// A VWR word, index fully resolved.
+    VwrWord {
+        /// VWR index.
+        vwr: usize,
+        /// Word index within the VWR.
+        word: usize,
+    },
+    /// An SRF entry.
+    Srf(usize),
+}
+
+/// One resolved operation of a recorded schedule.  Addresses and indices
+/// are baked; data flows through the live architectural state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOp {
+    /// An RC ALU operation with resolved operands.
+    Rc {
+        /// RC index within the column (for the previous-result latch).
+        rc: usize,
+        /// The ALU opcode.
+        op: RcOpcode,
+        /// Resolved first operand.
+        a: ReplaySrc,
+        /// Resolved second operand.
+        b: ReplaySrc,
+        /// Resolved destination.
+        dst: ReplayDst,
+    },
+    /// LSU: fill a VWR from an SPM line (commits at segment end).
+    LoadVwrLine {
+        /// Destination VWR index.
+        vwr: usize,
+        /// Resolved SPM line address.
+        line: usize,
+    },
+    /// LSU: store a VWR to an SPM line (immediate, mid-segment).
+    StoreVwrLine {
+        /// Source VWR index.
+        vwr: usize,
+        /// Resolved SPM line address.
+        line: usize,
+    },
+    /// LSU: load an SPM word into an SRF entry (commits at segment end).
+    LoadSrfWord {
+        /// Destination SRF entry.
+        srf: usize,
+        /// Resolved SPM word address.
+        word: usize,
+    },
+    /// LSU: store an SRF entry to an SPM word (immediate, mid-segment).
+    StoreSrfWord {
+        /// Source SRF entry.
+        srf: usize,
+        /// Resolved SPM word address.
+        word: usize,
+    },
+    /// LSU: add an immediate to an SRF entry (commits at segment end).
+    AddSrf {
+        /// SRF entry.
+        srf: usize,
+        /// Immediate addend.
+        imm: i32,
+    },
+    /// LSU: run the shuffle unit over VWRs A and B into C.
+    Shuffle {
+        /// The shuffle operation.
+        op: ShuffleOp,
+    },
+    /// Write a constant into an SRF entry (a `StoreIdxSrf` whose index
+    /// value was resolved at record time; commits at segment end).
+    WriteSrfConst {
+        /// Destination SRF entry.
+        srf: usize,
+        /// The resolved value.
+        value: i32,
+    },
+}
+
+/// One guard of a trace: the SRF entry `(column, index)` must still hold
+/// `value` for the trace to replay (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrfGuard {
+    /// Column owning the SRF.
+    pub column: usize,
+    /// SRF entry index.
+    pub index: usize,
+    /// Value observed (and baked into the schedule) at record time.
+    pub value: i32,
+}
+
+/// One segment of a trace: `len` consecutive ops of [`ReplayTrace::ops`]
+/// executed on `column` with the interpreter's two-phase cycle semantics
+/// (reads see segment-start state, writes commit at segment end; SPM
+/// accesses are immediate, as in [`crate::column::Column::step`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySegment {
+    /// Column the segment executes on.
+    pub column: usize,
+    /// Number of ops in the segment.
+    pub len: usize,
+}
+
+/// End-of-run control state of one column, restored verbatim after a
+/// replay so the architectural state matches interpretation exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnFinish {
+    /// Final program counter (the row that executed `EXIT`).
+    pub pc: usize,
+    /// Final MXCU index.
+    pub mxcu_idx: usize,
+    /// Final LCU register file.
+    pub lcu_regs: [i32; LCU_REGISTERS],
+}
+
+/// A recorded execution of one stored kernel under one SRF-parameter
+/// snapshot: the resolved straight-line schedule plus everything needed to
+/// credit the run without interpreting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayTrace {
+    /// Kernel name (for the replayed [`crate::stats::RunStats`]).
+    pub name: Arc<str>,
+    /// Columns the kernel uses.
+    pub columns_used: usize,
+    /// Execution cycles (excluding any configuration-word streaming).
+    pub exec_cycles: u64,
+    /// Activity-counter delta of the execution (excluding configuration
+    /// streaming), credited verbatim on replay.
+    pub counters: ActivityCounters,
+    /// SRF guards that must hold for the trace to replay.
+    pub guards: Vec<SrfGuard>,
+    /// The per-(cycle, column) segments, in interpreter execution order.
+    pub segments: Vec<ReplaySegment>,
+    /// The flattened resolved ops, indexed by the segments.
+    pub ops: Vec<ReplayOp>,
+    /// Final control state per used column.
+    pub finish: Vec<ColumnFinish>,
+}
+
+impl ReplayTrace {
+    /// Approximate host-memory footprint indicator: the number of resolved
+    /// ops in the schedule.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` for a trace with no ops (a kernel that only exits).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Records one interpreted execution into a [`ReplayTrace`].
+///
+/// The recorder is driven by the interpreter: the array begins a segment
+/// per (cycle, column), the column pushes resolved ops and guard
+/// observations as it executes, and the commit phase reports SRF writes so
+/// later guard observations of the same entry poison the trace (see the
+/// module docs).  [`TraceRecorder::finish`] yields the trace, or `None`
+/// if the execution turned out to be non-replayable.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    poisoned: bool,
+    guards: Vec<SrfGuard>,
+    /// Per-column bitmask of SRF entries written so far by the execution.
+    written: Vec<u64>,
+    segments: Vec<ReplaySegment>,
+    ops: Vec<ReplayOp>,
+    /// Column of the currently open segment.
+    cur_column: usize,
+    /// Op index where the currently open segment began.
+    seg_start: usize,
+    /// `true` while a segment is open.
+    seg_open: bool,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for a kernel using `columns_used` columns.
+    pub fn new(columns_used: usize) -> Self {
+        Self {
+            poisoned: false,
+            guards: Vec::new(),
+            written: vec![0; columns_used],
+            segments: Vec::new(),
+            ops: Vec::new(),
+            cur_column: 0,
+            seg_start: 0,
+            seg_open: false,
+        }
+    }
+
+    /// `true` once the execution proved non-replayable.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn close_segment(&mut self) {
+        if self.seg_open && self.ops.len() > self.seg_start {
+            self.segments.push(ReplaySegment {
+                column: self.cur_column,
+                len: self.ops.len() - self.seg_start,
+            });
+        }
+        self.seg_open = false;
+    }
+
+    /// Opens the segment for one column-step (closing the previous one).
+    /// Segments that record no ops are dropped — they have no
+    /// architectural effect to replay.
+    pub(crate) fn begin_segment(&mut self, column: usize) {
+        self.close_segment();
+        self.cur_column = column;
+        self.seg_start = self.ops.len();
+        self.seg_open = true;
+    }
+
+    /// Appends a resolved op to the open segment.
+    pub(crate) fn push_op(&mut self, op: ReplayOp) {
+        if !self.poisoned {
+            self.ops.push(op);
+        }
+    }
+
+    /// Observes an SRF entry consumed for control or addressing in the
+    /// current column.  Pristine entries become guards; entries the
+    /// execution already wrote poison the trace.
+    pub(crate) fn guard_srf(&mut self, index: usize, value: i32) {
+        if self.poisoned {
+            return;
+        }
+        let column = self.cur_column;
+        if index >= MAX_TRACKED_SRF || self.written[column] & (1u64 << index) != 0 {
+            self.poisoned = true;
+            return;
+        }
+        if !self
+            .guards
+            .iter()
+            .any(|g| g.column == column && g.index == index)
+        {
+            self.guards.push(SrfGuard {
+                column,
+                index,
+                value,
+            });
+        }
+    }
+
+    /// Reports the SRF entries the current column's commit phase wrote
+    /// this cycle (kernel-side writes only — host parameter writes happen
+    /// between executions and are covered by the guard check instead).
+    pub(crate) fn note_srf_write(&mut self, index: usize) {
+        if index >= MAX_TRACKED_SRF {
+            self.poisoned = true;
+            return;
+        }
+        self.written[self.cur_column] |= 1u64 << index;
+    }
+
+    /// Seals the recording into a trace, or `None` if it was poisoned.
+    ///
+    /// `exec_cycles` and `counters` are the execution-only cycle count and
+    /// counter delta (configuration streaming excluded); `finish` is the
+    /// end-of-run control state of each used column.
+    pub fn finish(
+        mut self,
+        name: Arc<str>,
+        exec_cycles: u64,
+        counters: ActivityCounters,
+        finish: Vec<ColumnFinish>,
+    ) -> Option<ReplayTrace> {
+        self.close_segment();
+        if self.poisoned {
+            return None;
+        }
+        let columns_used = self.written.len();
+        Some(ReplayTrace {
+            name,
+            columns_used,
+            exec_cycles,
+            counters,
+            guards: self.guards,
+            segments: self.segments,
+            ops: self.ops,
+            finish,
+        })
+    }
+}
+
+/// Reusable scratch buffers of the replay executor: the pending write sets
+/// of one segment's two-phase commit.  Owned by [`crate::Vwr2a`] so a warm
+/// replayed window performs no per-window heap allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReplayScratch {
+    /// Pending RC register writes `(rc, reg, value)`.
+    pub rc_reg: Vec<(usize, usize, i32)>,
+    /// Pending VWR word writes `(vwr, word, value)`.
+    pub vwr_word: Vec<(usize, usize, i32)>,
+    /// Pending whole-VWR line write (at most one per segment: `LoadVwr`
+    /// and `Shuffle` share the single LSU slot).
+    pub line_target: Option<usize>,
+    /// The pending line data for `line_target`.
+    pub line_buf: Vec<i32>,
+    /// Pending SRF writes `(index, value)`.
+    pub srf: Vec<(usize, i32)>,
+    /// Pending previous-result latch updates `(rc, value)`.
+    pub prev: Vec<(usize, i32)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_of_written_entry_poisons() {
+        let mut rec = TraceRecorder::new(1);
+        rec.begin_segment(0);
+        rec.guard_srf(2, 7);
+        assert!(!rec.poisoned());
+        rec.note_srf_write(3);
+        rec.guard_srf(3, 9);
+        assert!(rec.poisoned());
+        assert!(rec
+            .finish("k".into(), 1, ActivityCounters::new(), Vec::new())
+            .is_none());
+    }
+
+    #[test]
+    fn guards_deduplicate_per_column() {
+        let mut rec = TraceRecorder::new(2);
+        rec.begin_segment(0);
+        rec.guard_srf(1, 5);
+        rec.guard_srf(1, 5);
+        rec.begin_segment(1);
+        rec.guard_srf(1, 6);
+        let trace = rec
+            .finish("k".into(), 3, ActivityCounters::new(), Vec::new())
+            .expect("not poisoned");
+        assert_eq!(trace.guards.len(), 2);
+        assert_eq!(trace.guards[0].column, 0);
+        assert_eq!(trace.guards[1].column, 1);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn empty_segments_are_dropped() {
+        let mut rec = TraceRecorder::new(1);
+        rec.begin_segment(0);
+        rec.begin_segment(0);
+        rec.push_op(ReplayOp::Shuffle {
+            op: ShuffleOp::EvenPrune,
+        });
+        rec.begin_segment(0);
+        let trace = rec
+            .finish("k".into(), 3, ActivityCounters::new(), Vec::new())
+            .expect("not poisoned");
+        assert_eq!(trace.segments.len(), 1);
+        assert_eq!(trace.segments[0].len, 1);
+        assert_eq!(trace.len(), 1);
+    }
+}

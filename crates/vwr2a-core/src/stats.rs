@@ -36,8 +36,9 @@ pub fn time_us(cycles: u64, frequency_hz: f64) -> f64 {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunStats {
-    /// Name of the kernel that ran.
-    pub kernel_name: String,
+    /// Name of the kernel that ran (shared with the program it came from —
+    /// cloning per window is a reference-count bump, not a string copy).
+    pub kernel_name: std::sync::Arc<str>,
     /// Total cycles from kernel launch (including configuration loading) to
     /// the last column's `EXIT`.
     pub cycles: u64,

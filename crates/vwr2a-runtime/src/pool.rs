@@ -1170,7 +1170,7 @@ mod tests {
             let mut rows = vec![Row::new(g.rcs_per_column); Self::ROWS];
             rows.push(Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit));
             Ok(vwr2a_core::program::KernelProgram::new(
-                &self.key,
+                self.key.as_str(),
                 vec![ColumnProgram::new(rows)?],
             )?)
         }

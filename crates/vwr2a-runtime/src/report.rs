@@ -28,6 +28,11 @@ pub struct RunReport {
     /// Array launches that found their program resident in the per-slot
     /// program memories and paid execution cycles only.
     pub warm_launches: u64,
+    /// Launches (cold or warm) the host simulator served from the array's
+    /// warm-window replay cache instead of cycle-by-cycle interpretation.
+    /// A host-speed statistic only: modelled cycles, counters and outputs
+    /// are bit-identical either way (see `vwr2a_core::replay`).
+    pub replayed: u64,
     /// Programs evicted from the configuration memory during these
     /// invocations to make room for new loads (see
     /// [`crate::session::EvictionPolicy`]).  Every eviction turns the
@@ -113,6 +118,7 @@ impl RunReport {
         self.invocations += other.invocations;
         self.cold_launches += other.cold_launches;
         self.warm_launches += other.warm_launches;
+        self.replayed += other.replayed;
         self.evictions += other.evictions;
         self.prefetched += other.prefetched;
         self.hidden_reloads += other.hidden_reloads;
@@ -128,7 +134,7 @@ impl std::fmt::Display for RunReport {
         write!(
             f,
             "{}: {} invocation(s), {} wall cycles ({} serial, {:.0} % overlapped; \
-             {} cold / {} warm launches, {} prefetched, {} evictions)",
+             {} cold / {} warm launches, {} replayed, {} prefetched, {} evictions)",
             self.kernel,
             self.invocations,
             self.wall_cycles,
@@ -136,6 +142,7 @@ impl std::fmt::Display for RunReport {
             100.0 * self.overlap_ratio(),
             self.cold_launches,
             self.warm_launches,
+            self.replayed,
             self.prefetched,
             self.evictions
         )
@@ -314,6 +321,13 @@ impl FleetReport {
     /// Warm launches across the fleet.
     pub fn warm_launches(&self) -> u64 {
         self.arrays.iter().map(|a| a.report.warm_launches).sum()
+    }
+
+    /// Launches served from the arrays' warm-window replay caches
+    /// ([`RunReport::replayed`]) — a host simulation speed statistic; the
+    /// modelled cycles are identical with replay disabled.
+    pub fn replayed(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.replayed).sum()
     }
 
     /// Configuration reloads streamed speculatively, ahead of the launch
@@ -569,6 +583,7 @@ mod tests {
         let mut b = RunReport::new("k");
         b.invocations = 2;
         b.warm_launches = 5;
+        b.replayed = 4;
         b.evictions = 2;
         b.prefetched = 2;
         b.hidden_reloads = 1;
@@ -580,6 +595,7 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.invocations, 3);
         assert_eq!(a.launches(), 6);
+        assert_eq!(a.replayed, 4);
         assert_eq!(a.evictions, 2);
         assert_eq!(a.prefetched, 3);
         assert_eq!(a.hidden_reloads, 1);

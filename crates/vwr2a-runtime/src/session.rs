@@ -196,7 +196,7 @@ fn validate_fit(geometry: &Geometry, program: &KernelProgram) -> Result<()> {
     program
         .validate(geometry)
         .map_err(|e| RuntimeError::Resources {
-            kernel: program.name.clone(),
+            kernel: program.name.to_string(),
             what: e.to_string(),
         })
 }
@@ -350,6 +350,7 @@ pub struct LaunchCtx<'a> {
     phases: WindowPhases,
     cold_launches: u64,
     warm_launches: u64,
+    replayed: u64,
     evictions: u64,
 }
 
@@ -468,6 +469,7 @@ impl LaunchCtx<'_> {
             "registry id must refer to a resident configuration-memory kernel"
         );
         let start = self.timeline.wall_cycles();
+        let replays_before = self.accel.replays();
         // A never-launched program whose words were *prefetched* launches
         // warm: the configuration streaming already happened, off the
         // critical path.
@@ -481,6 +483,7 @@ impl LaunchCtx<'_> {
                 .run_kernel_warm_at(entry.id, &mut self.timeline, start)?
         };
         entry.launches += 1;
+        self.replayed += self.accel.replays() - replays_before;
         // The launch the prefetch was staged for has happened: the program
         // competes for eviction normally again.
         entry.prefetched = false;
@@ -573,6 +576,20 @@ impl Session {
     /// Replaces the eviction policy (resident programs are unaffected).
     pub fn set_eviction_policy(&mut self, policy: impl EvictionPolicy + 'static) {
         self.policy = Box::new(policy);
+    }
+
+    /// Enables or disables the accelerator's warm-window replay cache
+    /// (see [`vwr2a_core::replay`]).  On by default; disabling forces every
+    /// launch through cycle-by-cycle interpretation.  A host-speed knob
+    /// only — modelled cycles, counters and outputs are identical either
+    /// way, which is exactly what the conformance property tests assert.
+    pub fn set_replay(&mut self, enabled: bool) {
+        self.accel.set_replay_enabled(enabled);
+    }
+
+    /// Whether the warm-window replay cache is enabled.
+    pub fn replay_enabled(&self) -> bool {
+        self.accel.replay_enabled()
     }
 
     /// The underlying accelerator.
@@ -888,10 +905,12 @@ impl Session {
             phases: WindowPhases::default(),
             cold_launches: 0,
             warm_launches: 0,
+            replayed: 0,
             evictions: 0,
         };
         let result = kernel.execute(&mut ctx, input);
         let ctx_evictions = ctx.evictions;
+        let replayed = ctx.replayed;
         let (cold, warm, phases) = (ctx.cold_launches, ctx.warm_launches, ctx.phases);
         let cycles = ctx.timeline.wall_cycles();
         self.evictions += ctx_evictions;
@@ -904,6 +923,7 @@ impl Session {
         report.invocations += 1;
         report.cold_launches += cold;
         report.warm_launches += warm;
+        report.replayed += replayed;
         report.cycles += cycles;
         report.evictions += register_evictions + ctx_evictions;
         report.counters += self.accel.counters() - before;
@@ -1297,7 +1317,7 @@ mod tests {
             let mut rows = vec![Row::new(g.rcs_per_column); self.rows];
             rows.push(Row::new(g.rcs_per_column).lcu(vwr2a_core::isa::LcuInstr::Exit));
             Ok(KernelProgram::new(
-                &self.key,
+                self.key.as_str(),
                 vec![ColumnProgram::new(rows)?],
             )?)
         }
@@ -1442,6 +1462,41 @@ mod tests {
             let (isolated, _) = Session::new().run(&kernel, window.as_slice()).unwrap();
             assert_eq!(&isolated, out);
         }
+    }
+
+    #[test]
+    fn replay_cache_serves_warm_launches_and_changes_no_modelled_numbers() {
+        let kernel = ScaleKernel::new(7);
+        let windows: Vec<Vec<i32>> = (0..5)
+            .map(|w| (0..128).map(|i| i * 3 - 40 * w).collect())
+            .collect();
+
+        let mut replay = Session::new();
+        assert!(replay.replay_enabled(), "replay is on by default");
+        let mut interp = Session::new();
+        interp.set_replay(false);
+        assert!(!interp.replay_enabled());
+
+        let (out_replay, rep_replay) = replay
+            .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+            .unwrap();
+        let (out_interp, rep_interp) = interp
+            .run_batch(&kernel, windows.iter().map(Vec::as_slice))
+            .unwrap();
+
+        // The cold launch records; every warm launch replays.
+        assert_eq!(rep_replay.warm_launches, 4);
+        assert_eq!(rep_replay.replayed, 4);
+        assert_eq!(replay.accelerator().replays(), 4);
+        assert_eq!(rep_interp.replayed, 0);
+        assert_eq!(interp.accelerator().replays(), 0);
+
+        // Replay is a host-speed detail: outputs and every modelled number
+        // agree with the interpreted run.
+        assert_eq!(out_replay, out_interp);
+        assert_eq!(rep_replay.cycles, rep_interp.cycles);
+        assert_eq!(rep_replay.wall_cycles, rep_interp.wall_cycles);
+        assert_eq!(rep_replay.counters, rep_interp.counters);
     }
 
     #[test]

@@ -236,6 +236,52 @@ fn run_hetero_server(
         .expect("heterogeneous serving runs")
 }
 
+/// Caps a random RC instruction at one SRF access (the SRF is
+/// single-ported, so a row with more is a static structural hazard):
+/// surplus SRF operands become the zero source, keeping the row legal
+/// while preserving the instruction's shape otherwise.
+fn cap_srf_accesses(mut instr: RcInstr) -> RcInstr {
+    let mut used = matches!(instr.dst, RcDst::Srf(_));
+    if matches!(instr.src_a, RcSrc::Srf(_)) {
+        if used {
+            instr.src_a = RcSrc::Zero;
+        } else {
+            used = true;
+        }
+    }
+    if matches!(instr.src_b, RcSrc::Srf(_)) && used {
+        instr.src_b = RcSrc::Zero;
+    }
+    instr
+}
+
+/// Builds a single-column kernel around a random RC body: the VWR loads
+/// and the final store take their line addresses from `SRF[6]`/`SRF[7]`
+/// (addressing parameters the replay cache must guard), while the body's
+/// own SRF reads and writes land anywhere — including on those pointers,
+/// which exercises the recorder's write-then-consume poisoning.
+fn replay_kernel(name: &str, body: &[RcInstr]) -> vwr2a::core::KernelProgram {
+    use vwr2a::core::builder::ColumnProgramBuilder;
+    let mut b = ColumnProgramBuilder::new(4);
+    b.push(b.row().lsu(LsuInstr::LoadVwr {
+        vwr: VwrId::A,
+        line: LsuAddr::Srf(6),
+    }));
+    b.push(b.row().lsu(LsuInstr::LoadVwr {
+        vwr: VwrId::B,
+        line: LsuAddr::Imm(0),
+    }));
+    for (i, instr) in body.iter().enumerate() {
+        b.push(b.row().rc(i % 4, cap_srf_accesses(*instr)));
+    }
+    b.push(b.row().lsu(LsuInstr::StoreVwr {
+        vwr: VwrId::C,
+        line: LsuAddr::Srf(7),
+    }));
+    b.push_exit();
+    vwr2a::core::KernelProgram::new(name.to_string(), vec![b.build().unwrap()]).unwrap()
+}
+
 fn arb_rc_src() -> impl Strategy<Value = RcSrc> {
     prop_oneof![
         Just(RcSrc::Zero),
@@ -401,6 +447,88 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replay_cache_is_invisible_under_random_kernels_params_and_evictions(
+        bodies in prop::collection::vec(prop::collection::vec(arb_rc_instr(), 4), 3),
+        body_lens in prop::collection::vec(1usize..5, 3),
+        script in prop::collection::vec(
+            (0usize..4, 0usize..8, -2_000i32..2_000, any::<bool>()),
+            12,
+        ),
+        steps in 1usize..13,
+    ) {
+        // The replay tentpole's honesty property: drive two accelerators —
+        // replay cache on (the default) and forced interpretation — through
+        // an identical random history of kernel loads, SRF parameter
+        // writes (including writes to the guarded line pointers, which must
+        // invalidate any trace recorded under the old value), launches and
+        // slot evictions.  After every step the two machines must agree on
+        // everything observable: the launch result, the lifetime activity
+        // counters, the whole SPM and the whole column state.  The cache
+        // may only ever change host wall-clock, never a modelled bit.
+        use vwr2a::core::config_mem::KernelId;
+        use vwr2a::core::Vwr2a;
+
+        let mut on = Vwr2a::new();
+        let mut off = Vwr2a::new();
+        off.set_replay_enabled(false);
+        let seed: Vec<i32> = (0..256).map(|i| (i * 31 - 300) % 997).collect();
+        on.dma_to_spm(&seed, 0).unwrap();
+        off.dma_to_spm(&seed, 0).unwrap();
+
+        let kernels: Vec<_> = bodies
+            .iter()
+            .zip(&body_lens)
+            .enumerate()
+            .map(|(i, (body, &len))| replay_kernel(&format!("rand-{i}"), &body[..len]))
+            .collect();
+        let mut ids: Vec<Option<(KernelId, KernelId)>> = vec![None; kernels.len()];
+        let lines = on.spm().lines();
+
+        for &(pick, srf, value, evict) in &script[..steps] {
+            let pick = pick % kernels.len();
+            if evict {
+                if let Some((a, b)) = ids[pick].take() {
+                    on.unload_kernel(a).unwrap();
+                    off.unload_kernel(b).unwrap();
+                }
+            }
+            // SRF 6/7 are the kernels' line pointers: keep those in range
+            // so the launches make progress; the rest is free-form data.
+            let value = if srf >= 6 {
+                (value.unsigned_abs() as usize % lines) as i32
+            } else {
+                value
+            };
+            on.write_srf(0, srf, value).unwrap();
+            off.write_srf(0, srf, value).unwrap();
+            if ids[pick].is_none() {
+                ids[pick] = Some((
+                    on.load_kernel(&kernels[pick]).unwrap(),
+                    off.load_kernel(&kernels[pick]).unwrap(),
+                ));
+            }
+            let (id_on, id_off) = ids[pick].unwrap();
+            match (on.run_kernel(id_on), off.run_kernel(id_off)) {
+                (Ok(sa), Ok(sb)) => prop_assert_eq!(sa, sb),
+                // A random body may compute an out-of-range line pointer;
+                // then both machines must fail identically.
+                (Err(ea), Err(eb)) => {
+                    prop_assert_eq!(format!("{ea:?}"), format!("{eb:?}"))
+                }
+                (ra, rb) => prop_assert!(
+                    false,
+                    "replay on/off diverged: {:?} vs {:?}",
+                    ra,
+                    rb
+                ),
+            }
+            prop_assert_eq!(on.counters(), off.counters());
+            prop_assert_eq!(on.spm(), off.spm());
+            prop_assert_eq!(on.column(0).unwrap(), off.column(0).unwrap());
+        }
+    }
 
     #[test]
     fn pool_outputs_are_bit_identical_to_serial_execution(
