@@ -19,12 +19,25 @@
 //! cost model actually favours it.  Outputs stay bit-identical to each
 //! landed backend's own serial model, checked per recorded route.
 //!
+//! Every fleet row also reports its measured energy (µJ, priced from the
+//! per-backend activity counters) and energy-delay product, and the same
+//! heterogeneous fleet is served twice more — once under
+//! [`Objective::Cycles`] and once under [`Objective::EnergyDelayProduct`],
+//! with run queues deep enough that the objective (not the depth-full
+//! spill fallback) routes every job, and stealing off — to isolate what
+//! the energy knob buys on the identical stream: the EDP objective keeps
+//! queueing FFT jobs behind the ~10×-cheaper engine where the cycles
+//! objective spills them onto the arrays the moment the engine backlog
+//! grows.
+//!
 //! Run with `--smoke` for the fast CI configuration and `--seed N` to
 //! re-seed the arrival process.  In every mode the binary *fails fast*
 //! (non-zero exit) if the heterogeneous fleet does not finish the headline
-//! stream in strictly fewer wall cycles than the arrays-only baseline, if
-//! any output diverges from the landed backend's model, or if the engine
-//! and the CPU both sat idle (no job routed off the arrays).
+//! stream in strictly fewer wall cycles *and* a strictly lower energy-delay
+//! product than the arrays-only baseline, if the EDP objective does not
+//! strictly cut the measured joules versus cycles-only placement, if any
+//! output diverges from the landed backend's model, or if the engine and
+//! the CPU both sat idle (no job routed off the arrays).
 //!
 //! `--windows K` multiplies every job's window count by `K` — a host-side
 //! soak knob (scaled runs keep the inline per-route bit-identity checks
@@ -43,8 +56,8 @@ use vwr2a_kernels::Spectrum;
 use vwr2a_runtime::pool::Pool;
 use vwr2a_runtime::testing::constrained_sessions;
 use vwr2a_runtime::{
-    BackendKind, CpuBackend, FftBackend, Fifo, FleetReport, Kernel, LaunchCtx, Offload, Resources,
-    RuntimeError, ServeJob, ServeReport, Server,
+    BackendKind, CostAware, CpuBackend, FftBackend, Fifo, FleetReport, Kernel, LaunchCtx,
+    Objective, Offload, Resources, RuntimeError, ServeJob, ServeReport, Server,
 };
 use vwr2a_soc::cpu::Cpu;
 use vwr2a_soc::sram::Sram;
@@ -156,11 +169,11 @@ impl Kernel for MixKernel {
         cpu: &mut Cpu,
         sram: &mut Sram,
         input: &MixWindow,
-    ) -> vwr2a_runtime::Result<(MixOutput, u64)> {
+    ) -> vwr2a_runtime::Result<(MixOutput, vwr2a_soc::cpu::CpuRunStats)> {
         match (self, input) {
             (MixKernel::Fir(k), MixWindow::Samples(v)) => k
                 .execute_cpu(cpu, sram, v)
-                .map(|(out, cycles)| (MixOutput::Samples(out), cycles)),
+                .map(|(out, stats)| (MixOutput::Samples(out), stats)),
             _ => Err(shape_mismatch(self)),
         }
     }
@@ -255,8 +268,17 @@ fn config_capacity(kernels: &[MixKernel]) -> usize {
 
 /// Serves the stream on one fleet and checks every output against the
 /// landed backend's own serial model.
-fn serve_on(pool: Pool, specs: &[JobSpec], kernels: &[MixKernel]) -> ServeReport {
-    let mut server = Server::new(pool).with_policy(Fifo).with_stealing(true);
+fn serve_on(
+    pool: Pool,
+    stealing: bool,
+    depth: usize,
+    specs: &[JobSpec],
+    kernels: &[MixKernel],
+) -> ServeReport {
+    let mut server = Server::new(pool)
+        .with_policy(Fifo)
+        .with_stealing(stealing)
+        .with_depth(depth);
     let (outputs, report) = server
         .run_batch(specs.iter().map(|s| ServeJob {
             kernel: &kernels[s.pick],
@@ -318,37 +340,71 @@ fn check_routes(
     }
 }
 
-/// One sweep cell: the same stream on both fleets.
+/// Run-queue depth of the placement-objective comparison pair.  Deep
+/// enough that no backend's queue fills on the 24-job stream: every job
+/// is routed by the [`Objective`] under test, never by the depth-full
+/// least-projected fallback (which is objective-blind and would launder
+/// the comparison through identical spill decisions).
+const OBJECTIVE_DEPTH: usize = 12;
+
+/// One sweep cell: the same stream on both fleets, plus the heterogeneous
+/// fleet served twice more — once per placement objective, with deep run
+/// queues and no stealing — to isolate what the energy knob changes.
 struct Cell {
     seed: u64,
-    /// Windows pushed through the admission queue across both fleets (the
-    /// host-speed denominator).
+    /// Windows pushed through the admission queue across the four fleet
+    /// configurations (the host-speed denominator).
     windows_served: u64,
     hetero: ServeReport,
     baseline: ServeReport,
+    /// The heterogeneous fleet under [`Objective::Cycles`], deep queues,
+    /// no stealing — the comparison baseline for the energy gate.
+    obj_cycles: ServeReport,
+    /// The same fleet and serving configuration under
+    /// [`Objective::EnergyDelayProduct`].
+    obj_edp: ServeReport,
+}
+
+fn hetero_pool(capacity: usize) -> Pool {
+    Pool::with_sessions(constrained_sessions(2, capacity))
+        .expect("constrained sessions share one geometry")
+        .with_backend(FftBackend::new())
+        .with_backend(CpuBackend::new())
 }
 
 fn run_cell(seed: u64, jobs: usize, mean_gap: f64, wscale: usize) -> Cell {
     let kernels = palette();
     let specs = workload(seed, jobs, mean_gap, wscale);
-    let windows_served = 2 * specs.iter().map(|s| s.windows.len() as u64).sum::<u64>();
+    let windows_served = 4 * specs.iter().map(|s| s.windows.len() as u64).sum::<u64>();
     let capacity = config_capacity(&kernels);
-    let hetero_pool = Pool::with_sessions(constrained_sessions(2, capacity))
-        .expect("constrained sessions share one geometry")
-        .with_backend(FftBackend::new())
-        .with_backend(CpuBackend::new());
     let baseline_pool = Pool::with_sessions(constrained_sessions(3, capacity))
         .expect("constrained sessions share one geometry");
+    let objective_run = |objective: Objective| {
+        serve_on(
+            hetero_pool(capacity).with_placement(CostAware::with_objective(objective)),
+            false,
+            OBJECTIVE_DEPTH,
+            &specs,
+            &kernels,
+        )
+    };
     Cell {
         seed,
         windows_served,
-        hetero: serve_on(hetero_pool, &specs, &kernels),
-        baseline: serve_on(baseline_pool, &specs, &kernels),
+        hetero: serve_on(hetero_pool(capacity), true, 2, &specs, &kernels),
+        baseline: serve_on(baseline_pool, true, 2, &specs, &kernels),
+        obj_cycles: objective_run(Objective::Cycles),
+        obj_edp: objective_run(Objective::EnergyDelayProduct),
     }
 }
 
+/// Energy-delay product of a served fleet, in exact nJ x cycles.
+fn edp(report: &ServeReport) -> u128 {
+    u128::from(report.fleet.energy_nj()) * u128::from(report.fleet.wall_cycles())
+}
+
 fn print_fleet(label: &str, report: &ServeReport) {
-    print!("  {label:<22}");
+    print!("  {label:<26}");
     for row in report.fleet.per_kind() {
         print!(
             "  {}:{} jobs={:<2} inv={:<2}",
@@ -359,9 +415,11 @@ fn print_fleet(label: &str, report: &ServeReport) {
         );
     }
     println!(
-        "  cold={:<2} wall={}",
+        "  cold={:<2} wall={}  energy={:.2} uJ  edp={:.1} uJ*Mcyc",
         report.fleet.cold_reloads(),
-        report.fleet.wall_cycles()
+        report.fleet.wall_cycles(),
+        report.fleet.energy_uj(),
+        edp(report) as f64 / 1e9,
     );
 }
 
@@ -413,11 +471,16 @@ fn main() {
         println!("seed {}:", cell.seed);
         print_fleet("2 arrays + fft + cpu", &cell.hetero);
         print_fleet("3 arrays (baseline)", &cell.baseline);
+        print_fleet("objective=cycles (deep q)", &cell.obj_cycles);
+        print_fleet("objective=edp    (deep q)", &cell.obj_edp);
         let speedup = 100.0
             * (1.0
                 - cell.hetero.fleet.wall_cycles() as f64
                     / cell.baseline.fleet.wall_cycles().max(1) as f64);
         println!("  wall-cycle win: {speedup:+.1}% vs the arrays-only baseline");
+        let joule_win = 100.0
+            * (1.0 - cell.obj_edp.fleet.energy_uj() / cell.obj_cycles.fleet.energy_uj().max(1e-9));
+        println!("  energy win of the edp objective: {joule_win:+.1}% vs cycles-only placement");
         println!();
     }
     println!("Outputs are bit-identical to each landed backend's own serial model in every");
@@ -471,6 +534,26 @@ fn main() {
             failures.push(format!(
                 "seed {}: no job routed to the engine or the CPU",
                 cell.seed
+            ));
+        }
+        // Energy gates: measured joules come from the per-backend activity
+        // counters, so the capability mix must also win on energy-delay
+        // product, and switching the placement objective to EDP must
+        // strictly cut the measured total joules of the same stream.
+        if edp(&cell.hetero) >= edp(&cell.baseline) {
+            failures.push(format!(
+                "seed {}: heterogeneous EDP {} not strictly below arrays-only {}",
+                cell.seed,
+                edp(&cell.hetero),
+                edp(&cell.baseline)
+            ));
+        }
+        if cell.obj_edp.fleet.energy_nj() >= cell.obj_cycles.fleet.energy_nj() {
+            failures.push(format!(
+                "seed {}: edp-objective energy {} nJ not strictly below cycles-objective {} nJ",
+                cell.seed,
+                cell.obj_edp.fleet.energy_nj(),
+                cell.obj_cycles.fleet.energy_nj()
             ));
         }
     }

@@ -136,13 +136,13 @@ fn main() {
             let cell = Cell {
                 arrays,
                 mix,
-                cost_aware: run_sweep(arrays, mix, jobs, windows_per_job, CostAware),
+                cost_aware: run_sweep(arrays, mix, jobs, windows_per_job, CostAware::default()),
                 residency: run_sweep(arrays, mix, jobs, windows_per_job, ResidencyAware),
                 least_loaded: run_sweep(arrays, mix, jobs, windows_per_job, LeastLoaded),
                 round_robin: run_sweep(arrays, mix, jobs, windows_per_job, RoundRobin),
             };
             for (name, fleet) in [
-                (CostAware.name(), &cell.cost_aware),
+                (CostAware::default().name(), &cell.cost_aware),
                 (ResidencyAware.name(), &cell.residency),
                 (LeastLoaded.name(), &cell.least_loaded),
                 (RoundRobin.name(), &cell.round_robin),

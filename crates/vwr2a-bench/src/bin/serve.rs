@@ -8,9 +8,12 @@
 //! fixed slack of their arrival.  Every job is arrival-stamped, admitted
 //! by the [`Server`], dispatched by the scheduling policy under test and
 //! placed by the pool's cost-aware strategy; the table reports p50/p95/p99
-//! end-to-end latency, deadline misses, steals and the fleet occupancy
-//! for five configurations: FIFO with and without stealing,
-//! earliest-deadline-first, and weighted-fair with and without stealing.
+//! end-to-end latency, deadline misses, steals, measured fleet energy and
+//! the fleet occupancy for six configurations: FIFO with and without
+//! stealing, earliest-deadline-first, weighted-fair with and without
+//! stealing, and weighted-fair + stealing placed by
+//! [`Objective::EnergyUnderDeadline`] (minimise joules among the backends
+//! whose projected completion still meets the deadline).
 //!
 //! The point the sweep makes: *who* is dispatched next decides whether a
 //! deadline holds, and *where* decides whether the tail waits.  FIFO lets
@@ -25,9 +28,11 @@
 //! Run with `--smoke` for the fast CI configuration and `--seed N` to
 //! re-seed the arrival process.  In every mode the binary *fails fast*
 //! (non-zero exit) if any configuration's outputs diverge from the serial
-//! reference, or if the headline 4-array × 6-kernel cell does not show
+//! reference, if the headline 4-array × 6-kernel cell does not show
 //! weighted-fair + stealing meeting strictly more deadlines *and* a
-//! strictly lower p99 than FIFO without stealing.
+//! strictly lower p99 than FIFO without stealing, or if the
+//! energy-under-deadline objective misses more deadlines than the same
+//! policy placed on cycles in any cell.
 //!
 //! `--windows K` multiplies every job's window count by `K` — a host-side
 //! soak knob (scaled runs keep the inline bit-identity checks but skip the
@@ -43,7 +48,8 @@ use vwr2a_kernels::fir::FirKernel;
 use vwr2a_runtime::pool::Pool;
 use vwr2a_runtime::testing::constrained_sessions;
 use vwr2a_runtime::{
-    EarliestDeadlineFirst, Fifo, Kernel, SchedPolicy, ServeJob, ServeReport, Server, WeightedFair,
+    CostAware, EarliestDeadlineFirst, Fifo, Kernel, Objective, SchedPolicy, ServeJob, ServeReport,
+    Server, WeightedFair,
 };
 
 const N: usize = 256;
@@ -123,6 +129,7 @@ fn serve_run(
     arrays: usize,
     policy: impl SchedPolicy + 'static,
     stealing: bool,
+    objective: Objective,
     specs: &[JobSpec],
     kernels: &[FirKernel],
     serial: &[Vec<Vec<i32>>],
@@ -134,7 +141,8 @@ fn serve_run(
     // Two resident programs per array: the six-program working set fits
     // the fleet, not a single array, so placement and prefetch matter.
     let pool = Pool::with_sessions(constrained_sessions(arrays, 2 * program_words))
-        .expect("constrained sessions share one geometry");
+        .expect("constrained sessions share one geometry")
+        .with_placement(CostAware::with_objective(objective));
     let mut server = Server::new(pool)
         .with_policy(policy)
         .with_stealing(stealing);
@@ -155,11 +163,11 @@ fn serve_run(
     report
 }
 
-/// One sweep cell: the five configurations on the same arrival stream.
+/// One sweep cell: the six configurations on the same arrival stream.
 struct Cell {
     arrays: usize,
     mix: usize,
-    /// Windows pushed through the admission queue across the five
+    /// Windows pushed through the admission queue across the six
     /// configurations (the host-speed denominator).
     windows_served: u64,
     fifo: ServeReport,
@@ -167,6 +175,10 @@ struct Cell {
     edf_steal: ServeReport,
     wf: ServeReport,
     wf_steal: ServeReport,
+    /// Weighted-fair + stealing again, but placed by
+    /// [`Objective::EnergyUnderDeadline`]: minimise joules among the
+    /// backends that still meet the job's deadline.
+    wf_steal_eud: ServeReport,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -181,19 +193,20 @@ fn run_cell(
 ) -> Cell {
     let kernels = kernels(mix);
     let specs = workload(seed, jobs, mix, mean_gap, slack, wscale);
-    let windows_served = 5 * specs.iter().map(|s| s.windows.len() as u64).sum::<u64>();
+    let windows_served = 6 * specs.iter().map(|s| s.windows.len() as u64).sum::<u64>();
     let (serial, _) = Pool::run_serial_reference(
         specs
             .iter()
             .map(|s| (&kernels[s.pick], s.windows.iter().map(Vec::as_slice))),
     )
     .expect("serial reference runs");
-    let run = |policy: &str, stealing: bool| match policy {
-        "fifo" => serve_run(arrays, Fifo, stealing, &specs, &kernels, &serial),
+    let run = |policy: &str, stealing: bool, objective: Objective| match policy {
+        "fifo" => serve_run(arrays, Fifo, stealing, objective, &specs, &kernels, &serial),
         "edf" => serve_run(
             arrays,
             EarliestDeadlineFirst,
             stealing,
+            objective,
             &specs,
             &kernels,
             &serial,
@@ -202,6 +215,7 @@ fn run_cell(
             arrays,
             WeightedFair::new(),
             stealing,
+            objective,
             &specs,
             &kernels,
             &serial,
@@ -211,11 +225,12 @@ fn run_cell(
         arrays,
         mix,
         windows_served,
-        fifo: run("fifo", false),
-        fifo_steal: run("fifo", true),
-        edf_steal: run("edf", true),
-        wf: run("wf", false),
-        wf_steal: run("wf", true),
+        fifo: run("fifo", false, Objective::Cycles),
+        fifo_steal: run("fifo", true, Objective::Cycles),
+        edf_steal: run("edf", true, Objective::Cycles),
+        wf: run("wf", false, Objective::Cycles),
+        wf_steal: run("wf", true, Objective::Cycles),
+        wf_steal_eud: run("wf", true, Objective::EnergyUnderDeadline),
     }
 }
 
@@ -263,8 +278,14 @@ fn main() {
          array"
     );
     println!();
-    println!("  arrays  mix  policy          steal      p50      p95      p99  met/ddl  steals");
-    println!("  ------  ---  --------------  -----  -------  -------  -------  -------  ------");
+    println!(
+        "  arrays  mix  policy          steal      p50      p95      p99  met/ddl  steals  \
+         energy"
+    );
+    println!(
+        "  ------  ---  --------------  -----  -------  -------  -------  -------  ------  \
+         ------"
+    );
     for cell in &cells {
         for (name, stealing, report) in [
             ("fifo", false, &cell.fifo),
@@ -272,6 +293,7 @@ fn main() {
             ("edf", true, &cell.edf_steal),
             ("weighted-fair", false, &cell.wf),
             ("weighted-fair", true, &cell.wf_steal),
+            ("wf energy-ddl", true, &cell.wf_steal_eud),
         ] {
             let deadlined = report
                 .latencies
@@ -279,7 +301,7 @@ fn main() {
                 .filter(|l| l.tenant != CHATTY)
                 .count() as u64;
             println!(
-                "  {:>6}  {:>3}  {:<14}  {:<5}  {:>7}  {:>7}  {:>7}  {:>4}/{:<2}  {:>6}",
+                "  {:>6}  {:>3}  {:<14}  {:<5}  {:>7}  {:>7}  {:>7}  {:>4}/{:<2}  {:>6}  {:>4.2} uJ",
                 cell.arrays,
                 cell.mix,
                 name,
@@ -290,6 +312,7 @@ fn main() {
                 deadlined - report.deadline_misses(),
                 deadlined,
                 report.steals,
+                report.fleet.energy_uj(),
             );
         }
     }
@@ -369,6 +392,20 @@ fn main() {
                 cell.mix,
                 cell.fifo.p99(),
                 cell.fifo_steal.p99()
+            ));
+        }
+        // Everywhere: switching the placement objective to
+        // energy-under-deadline must not cost deadline hits — the
+        // objective minimises joules only among backends whose projected
+        // completion still makes the deadline, so misses may not regress
+        // versus the same policy placed on cycles.
+        if cell.wf_steal_eud.deadline_misses() > cell.wf_steal.deadline_misses() {
+            failures.push(format!(
+                "{}x{} cell: energy-under-deadline misses {} regressed vs weighted-fair+steal {}",
+                cell.arrays,
+                cell.mix,
+                cell.wf_steal_eud.deadline_misses(),
+                cell.wf_steal.deadline_misses()
             ));
         }
     }

@@ -37,9 +37,11 @@
 
 pub mod breakdown;
 pub mod coefficients;
+pub mod model;
 
 pub use breakdown::EnergyBreakdown;
 use coefficients::{CpuCoefficients, FftAccelCoefficients, Vwr2aCoefficients};
+pub use model::EnergyModel;
 use vwr2a_core::ActivityCounters;
 use vwr2a_fftaccel::FftAccelStats;
 use vwr2a_soc::cpu::CpuRunStats;

@@ -386,7 +386,7 @@ impl Kernel for FirKernel {
         cpu: &mut Cpu,
         sram: &mut Sram,
         input: &[i32],
-    ) -> vwr2a_runtime::Result<(Vec<i32>, u64)> {
+    ) -> vwr2a_runtime::Result<(Vec<i32>, vwr2a_soc::cpu::CpuRunStats)> {
         if input.len() != self.n {
             return Err(KernelError::InvalidParameter {
                 what: format!("expected {} samples, got {}", self.n, input.len()),
@@ -403,7 +403,7 @@ impl Kernel for FirKernel {
         sram.load(pad, input).map_err(as_runtime_err)?;
         let stats = cpu.run(&self.cpu_program(), sram).map_err(as_runtime_err)?;
         let output = sram.dump(pad + self.n, self.n).map_err(as_runtime_err)?;
-        Ok((output, stats.cycles))
+        Ok((output, stats))
     }
 }
 
@@ -512,9 +512,9 @@ mod tests {
         let array_out = kernel.run_once(&input).unwrap();
         let mut cpu = Cpu::new();
         let mut sram = Sram::paper();
-        let (cpu_out, cycles) = kernel.execute_cpu(&mut cpu, &mut sram, &input).unwrap();
+        let (cpu_out, stats) = kernel.execute_cpu(&mut cpu, &mut sram, &input).unwrap();
         assert_eq!(cpu_out, array_out);
-        assert!(cycles > 0);
+        assert!(stats.cycles > 0);
     }
 
     #[test]

@@ -167,6 +167,17 @@ pub trait Backend: fmt::Debug + Send {
     /// from observed execution instead).
     fn window_cycles(&self, offload: &Offload) -> Option<u64>;
 
+    /// Modelled energy for one window of a job with the given offload
+    /// declaration, in nanojoules — `None` under the same conditions as
+    /// [`Backend::window_cycles`].  Offload backends derive it from their
+    /// own cycle model through the [`vwr2a_energy::EnergyModel`]
+    /// calibration; arrays return `None` (their estimate comes from the
+    /// pool's observed per-window cycles instead).
+    fn window_energy_nj(&self, offload: &Offload) -> Option<u64> {
+        let _ = offload;
+        None
+    }
+
     /// Mutable handle onto the substrate, for window execution.
     fn exec(&mut self) -> ExecHandle<'_>;
 
@@ -298,6 +309,7 @@ impl FftBackend {
     ) -> Result<(K::Output, WindowPhases)> {
         let warm = self.programmed.as_deref() == Some(key);
         let (output, stats) = kernel.execute_fft(&self.accel, input)?;
+        report.energy_nj += vwr2a_energy::EnergyModel::calibrated().price_fft(&stats);
         self.programmed = Some(key.to_string());
         // The engine pays its register programming on every run; splitting
         // it onto the config lane lets it overlap the previous window's
@@ -362,6 +374,11 @@ impl Backend for FftBackend {
         self.accel.projected_cycles(shape.points, shape.real).ok()
     }
 
+    fn window_energy_nj(&self, offload: &Offload) -> Option<u64> {
+        self.window_cycles(offload)
+            .map(|cycles| vwr2a_energy::EnergyModel::calibrated().fft_window_nj(cycles))
+    }
+
     fn exec(&mut self) -> ExecHandle<'_> {
         ExecHandle::Fft(self)
     }
@@ -398,14 +415,15 @@ impl CpuBackend {
         input: &K::Input,
         report: &mut RunReport,
     ) -> Result<(K::Output, WindowPhases)> {
-        let (output, cycles) = kernel.execute_cpu(&mut self.cpu, &mut self.sram, input)?;
+        let (output, stats) = kernel.execute_cpu(&mut self.cpu, &mut self.sram, input)?;
+        report.energy_nj += vwr2a_energy::EnergyModel::calibrated().price_cpu(&stats);
         let phases = WindowPhases {
             stage: 0,
             config: 0,
-            compute: cycles,
+            compute: stats.cycles,
             drain: 0,
         };
-        self.busy_compute += cycles;
+        self.busy_compute += stats.cycles;
         report.invocations += 1;
         report.warm_launches += 1;
         report.cycles += phases.total();
@@ -452,6 +470,12 @@ impl Backend for CpuBackend {
         offload.cpu_cycles
     }
 
+    fn window_energy_nj(&self, offload: &Offload) -> Option<u64> {
+        offload
+            .cpu_cycles
+            .map(|cycles| vwr2a_energy::EnergyModel::calibrated().cpu_window_nj(cycles))
+    }
+
     fn exec(&mut self) -> ExecHandle<'_> {
         ExecHandle::Cpu(self)
     }
@@ -460,18 +484,22 @@ impl Backend for CpuBackend {
 /// Runs one window of `kernel` on `backend`, folding launch and cycle
 /// accounting into `report` and returning the output with its per-engine
 /// phase split (which the caller replays on the backend's stream
-/// schedule).  The generic bridge between the pool's typed fan-out and
-/// the type-erased backend vector.
+/// schedule) and the window's measured energy in nanojoules (the delta
+/// each substrate's executor priced into [`RunReport::energy_nj`], which
+/// the caller attributes to the landed job's route).  The generic bridge
+/// between the pool's typed fan-out and the type-erased backend vector.
 pub(crate) fn run_window_on<K: Kernel>(
     backend: &mut dyn Backend,
     kernel: &K,
     key: &str,
     input: &K::Input,
     report: &mut RunReport,
-) -> Result<(K::Output, WindowPhases)> {
-    match backend.exec() {
+) -> Result<(K::Output, WindowPhases, u64)> {
+    let priced_before = report.energy_nj;
+    let (output, phases) = match backend.exec() {
         ExecHandle::Array(session) => session.run_into(kernel, input, report),
         ExecHandle::Fft(fft) => fft.run_into(kernel, key, input, report),
         ExecHandle::Cpu(cpu) => cpu.run_into(kernel, input, report),
-    }
+    }?;
+    Ok((output, phases, report.energy_nj - priced_before))
 }

@@ -44,7 +44,8 @@
 //!   strategy returns a [`PlacementPlan`] (target backend + optional
 //!   [`PrefetchDirective`]) over capability-filtered [`BackendView`]s.
 //!   The default [`CostAware`] weighs each candidate's reload cost
-//!   against its compute backlog and modelled per-window cycles —
+//!   against its compute backlog and modelled per-window cycles (or, by
+//!   [`Objective`], its estimated joules and energy-delay product) —
 //!   prefetching would-be cold array reloads off the critical path,
 //!   sending FFT-shaped jobs to the engine and reload-dominated crumbs
 //!   to the CPU — next to the prefetch-less [`ResidencyAware`],
@@ -100,7 +101,7 @@ pub use error::{Result, RuntimeError};
 pub use pipeline::{StreamSchedule, WindowPhases};
 pub use policy::{EvictionPolicy, LfuPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
 pub use pool::{
-    BackendView, CostAware, JobView, LeastLoaded, Placement, PlacementPlan, Pool,
+    BackendView, CostAware, JobView, LeastLoaded, Objective, Placement, PlacementPlan, Pool,
     PrefetchDirective, ResidencyAware, RoundRobin,
 };
 pub use report::{

@@ -101,6 +101,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use vwr2a_core::timeline::Engine;
+use vwr2a_energy::EnergyModel;
 
 use crate::backend::{run_window_on, ArrayBackend, Backend, BackendKind};
 use crate::error::{Result, RuntimeError};
@@ -137,6 +138,18 @@ pub struct JobView<'a> {
     /// has ever run) — what [`CostAware`] compares against an offload
     /// backend's modelled [`BackendView::window_cycles`].
     pub window_cycles_hint: u64,
+    /// Estimated energy of one window of this job on a CGRA array, in
+    /// nanojoules — the learned [`JobView::window_cycles_hint`] priced at
+    /// the calibrated array power ([`vwr2a_energy::EnergyModel::
+    /// array_window_nj`]; `0` before the key has ever run).  The array
+    /// counterpart of [`BackendView::window_energy_nj`].
+    pub window_energy_hint_nj: u64,
+    /// Absolute deadline cycle of the job on the caller's timeline, when
+    /// one exists — the serving layer passes each ticket's deadline so
+    /// [`Objective::EnergyUnderDeadline`] can minimise joules among the
+    /// backends that still meet it.  `None` for batch fan-outs and
+    /// deadline-less tickets.
+    pub deadline: Option<u64>,
 }
 
 /// What a [`Placement`] strategy sees about one backend of the pool at the
@@ -182,6 +195,15 @@ pub struct BackendView {
     /// cost is learned from observation — see
     /// [`JobView::window_cycles_hint`]).
     pub window_cycles: Option<u64>,
+    /// Estimated energy of streaming this job's cold configuration reload
+    /// on this backend, in nanojoules (`Some(0)` for offload backends,
+    /// which have no configuration memory; `None` when the backend cannot
+    /// serve the job — mirrors [`BackendView::reload_cycles`]).
+    pub reload_energy_nj: Option<u64>,
+    /// The backend's own modelled energy for one window of this job, in
+    /// nanojoules ([`Backend::window_energy_nj`]; `None` for arrays —
+    /// their estimate is [`JobView::window_energy_hint_nj`]).
+    pub window_energy_nj: Option<u64>,
 }
 
 impl BackendView {
@@ -192,6 +214,12 @@ impl BackendView {
     /// [`RuntimeError::Capability`] otherwise).
     pub fn eligible(&self) -> bool {
         self.reload_cycles.is_some()
+    }
+
+    /// The modelled per-window energy in microjoules
+    /// ([`BackendView::window_energy_nj`] scaled for display).
+    pub fn window_energy_uj(&self) -> Option<f64> {
+        self.window_energy_nj.map(|nj| nj as f64 / 1e3)
     }
 }
 
@@ -336,6 +364,34 @@ impl Placement for ResidencyAware {
     }
 }
 
+/// What [`CostAware`] minimises when it ranks a job's capable backends.
+///
+/// Every variant prices the same two per-backend estimates — completion
+/// (cycles until the job's last window finishes there) and energy (the
+/// cold reload if the program is not warm, plus windows at the backend's
+/// modelled or learned per-window energy) — and differs only in how the
+/// two are combined.  The default [`Objective::Cycles`] reproduces the
+/// pre-energy behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Earliest estimated completion — wall cycles alone (the historical
+    /// behaviour, and the default).
+    #[default]
+    Cycles,
+    /// Fewest estimated nanojoules, ties broken by earlier completion.
+    /// Ignores backlog-induced waiting entirely — throughput may suffer.
+    Energy,
+    /// Smallest energy × completion product — the paper's headline
+    /// figure of merit, trading a little latency for large energy wins
+    /// (and vice versa) without a tuning knob.
+    EnergyDelayProduct,
+    /// Fewest estimated nanojoules *among the backends that still meet
+    /// the job's deadline* ([`JobView::deadline`]); if no backend can, the
+    /// earliest completion limits the damage, and deadline-less jobs fall
+    /// back to [`Objective::EnergyDelayProduct`].
+    EnergyUnderDeadline,
+}
+
 /// Cost-based placement with speculative prefetch — the pool's default.
 ///
 /// For every eligible backend the strategy estimates when the job would
@@ -348,12 +404,19 @@ impl Placement for ResidencyAware {
 /// the backlog on the configuration-load lane; then the windows
 /// themselves, at the backend's modelled per-window cost
 /// ([`BackendView::window_cycles`]) or, for arrays, the pool's learned
-/// estimate for the kernel ([`JobView::window_cycles_hint`]).  The job
-/// goes to the backend with the earliest completion (ties break on the
-/// earlier compute start, then the lower combined pressure
-/// `backlog + reload`, then lifetime compute load, then index —
-/// deterministic), with a [`PrefetchDirective`] whenever a chosen *array*
-/// would otherwise reload on the launch's critical path.
+/// estimate for the kernel ([`JobView::window_cycles_hint`]).  It also
+/// estimates what the job would *cost in joules* there: the cold reload's
+/// streaming energy ([`BackendView::reload_energy_nj`]) plus windows at
+/// the backend's modelled per-window energy
+/// ([`BackendView::window_energy_nj`] /
+/// [`JobView::window_energy_hint_nj`]).  The [`Objective`] decides how
+/// the two estimates rank the candidates; under the default
+/// [`Objective::Cycles`] the job goes to the backend with the earliest
+/// completion (ties break on the earlier compute start, then the lower
+/// combined pressure `backlog + reload`, then lifetime compute load, then
+/// index — deterministic).  Whatever the objective, a chosen *array* that
+/// would otherwise reload on the launch's critical path gets a
+/// [`PrefetchDirective`].
 ///
 /// On an all-array fleet every candidate prices windows at the same
 /// learned hint, so the completion term cancels and the choice reduces
@@ -361,13 +424,34 @@ impl Placement for ResidencyAware {
 /// rest).  With offload backends present, the completion term is what
 /// sends an FFT-shaped job to the fixed-function engine when the arrays
 /// are cold or backlogged, and a tiny job to the always-warm CPU when its
-/// array reload would dominate.
+/// array reload would dominate — and the energy objectives keep FFT jobs
+/// on the engine (≈ 5× fewer nJ per cycle than an array) even when a
+/// backlogged queue makes an array finish sooner.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CostAware;
+pub struct CostAware {
+    objective: Objective,
+}
+
+impl CostAware {
+    /// Cost-aware placement minimising the given [`Objective`].
+    pub fn with_objective(objective: Objective) -> Self {
+        Self { objective }
+    }
+
+    /// The objective this strategy minimises.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+}
 
 impl Placement for CostAware {
     fn name(&self) -> &'static str {
-        "cost-aware"
+        match self.objective {
+            Objective::Cycles => "cost-aware",
+            Objective::Energy => "cost-aware/energy",
+            Objective::EnergyDelayProduct => "cost-aware/edp",
+            Objective::EnergyUnderDeadline => "cost-aware/energy-deadline",
+        }
     }
 
     fn place(&self, job: &JobView<'_>, backends: &[BackendView]) -> PlacementPlan {
@@ -390,19 +474,52 @@ impl Placement for CostAware {
             let per_window = a.window_cycles.unwrap_or(job.window_cycles_hint);
             ready_at(a) + job.windows as u64 * per_window
         };
-        let chosen = candidates
-            .iter()
-            .min_by_key(|a| {
-                (
-                    completion(a),
-                    ready_at(a),
-                    // Prefer the cheaper total pressure on ties.
-                    a.free_compute_at + reload(a),
-                    a.busy_compute,
-                    a.index,
-                )
-            })
-            .expect("a pool has at least one backend");
+        let energy = |a: &BackendView| {
+            let per_window = a.window_energy_nj.unwrap_or(job.window_energy_hint_nj);
+            let reload_nj = if a.warm {
+                0
+            } else {
+                a.reload_energy_nj.unwrap_or(0)
+            };
+            reload_nj + job.windows as u64 * per_window
+        };
+        // Energy × delay in u128: both factors are u64, the product must
+        // not wrap for long backlogs.
+        let edp = |a: &BackendView| u128::from(energy(a)) * u128::from(completion(a));
+        // The deterministic tail every objective tie-breaks through (the
+        // historical cycles ordering).
+        let tail = |a: &BackendView| {
+            (
+                completion(a),
+                ready_at(a),
+                // Prefer the cheaper total pressure on ties.
+                a.free_compute_at + reload(a),
+                a.busy_compute,
+                a.index,
+            )
+        };
+        let min_energy = |views: &mut dyn Iterator<Item = &BackendView>| {
+            views.min_by_key(|a| (energy(a), tail(a))).copied()
+        };
+        let min_edp = |views: &mut dyn Iterator<Item = &BackendView>| {
+            views.min_by_key(|a| (edp(a), tail(a))).copied()
+        };
+        let chosen = match self.objective {
+            Objective::Cycles => candidates.iter().min_by_key(|a| tail(a)).copied(),
+            Objective::Energy => min_energy(&mut candidates.iter()),
+            Objective::EnergyDelayProduct => min_edp(&mut candidates.iter()),
+            Objective::EnergyUnderDeadline => match job.deadline {
+                // Cheapest joules among the backends that still make the
+                // deadline; nobody can -> earliest completion limits the
+                // damage.
+                Some(deadline) => {
+                    min_energy(&mut candidates.iter().filter(|a| completion(a) <= deadline))
+                        .or_else(|| candidates.iter().min_by_key(|a| tail(a)).copied())
+                }
+                None => min_edp(&mut candidates.iter()),
+            },
+        }
+        .expect("a pool has at least one backend");
         if chosen.warm || chosen.kind != BackendKind::Array {
             PlacementPlan::run_on(chosen.index)
         } else {
@@ -450,6 +567,38 @@ impl Placement for LeastLoaded {
     }
 }
 
+/// One backend's admission-time price for a job — the cycles *and*
+/// joules columns that seed [`BackendView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BackendPrice {
+    /// Cold-reload streaming cycles; `None` = the backend cannot serve
+    /// the job, `Some(0)` = eligible with no reload (offload backends).
+    pub reload_cycles: Option<u64>,
+    /// Modelled per-window cycles (offload backends; arrays use the
+    /// pool's learned hint instead).
+    pub window_cycles: Option<u64>,
+    /// Energy of the cold reload in nanojoules (config-word streaming on
+    /// an array; `Some(0)` on eligible offload backends).
+    pub reload_energy_nj: Option<u64>,
+    /// Modelled per-window energy in nanojoules (offload backends).
+    pub window_energy_nj: Option<u64>,
+}
+
+impl BackendPrice {
+    /// The "cannot serve" price.
+    pub(crate) const INELIGIBLE: Self = Self {
+        reload_cycles: None,
+        window_cycles: None,
+        reload_energy_nj: None,
+        window_energy_nj: None,
+    };
+
+    /// Whether the backend can serve the job at all.
+    pub(crate) fn eligible(&self) -> bool {
+        self.reload_cycles.is_some()
+    }
+}
+
 /// Per-job, per-backend pricing computed once at admission: which
 /// backends can serve the job, and at what reload / per-window cost (the
 /// raw material of [`BackendView`]; shared with the serving layer, which
@@ -461,10 +610,8 @@ pub(crate) struct JobPricing {
     /// Scalar reload cost: the footprint on the first array backend whose
     /// geometry builds the program (`0` in an all-offload fleet).
     pub config_words: usize,
-    /// Per backend, in pool order:
-    /// `(reload cycles if eligible, modelled window cycles)` — see
-    /// [`BackendView::reload_cycles`] / [`BackendView::window_cycles`].
-    pub per_backend: Vec<(Option<u64>, Option<u64>)>,
+    /// Per backend, in pool order — see [`BackendPrice`].
+    pub per_backend: Vec<BackendPrice>,
 }
 
 /// A fleet of [`Backend`]s behind one [`Placement`] scheduler.
@@ -550,7 +697,7 @@ impl Pool {
         let footprints = backends.iter().map(|_| HashMap::new()).collect();
         Self {
             backends,
-            placement: Box::new(CostAware),
+            placement: Box::new(CostAware::default()),
             stats: FleetReport::for_kinds(&kinds),
             footprints,
             estimates: HashMap::new(),
@@ -753,6 +900,16 @@ impl Pool {
             .unwrap_or(0)
     }
 
+    /// The learned hint's energy companion: the mean observed array window,
+    /// priced at the array's average power (`0` before the key has run, like
+    /// [`Pool::window_hint`]).
+    fn window_energy_hint(&self, key: &str) -> u64 {
+        match self.window_hint(key) {
+            0 => 0,
+            cycles => EnergyModel::calibrated().array_window_nj(cycles),
+        }
+    }
+
     /// Prices `kernel` against every backend of the fleet (see
     /// [`JobPricing`]).  Errs if *no* backend can serve the job:
     /// [`RuntimeError::MixedGeometry`] naming the first array whose
@@ -761,6 +918,7 @@ impl Pool {
     pub(crate) fn price_job<K: Kernel>(&mut self, kernel: &K, key: &str) -> Result<JobPricing> {
         let offload = kernel.offload();
         let classes = offload.classes();
+        let model = EnergyModel::calibrated();
         let mut per_backend = Vec::with_capacity(self.backends.len());
         let mut config_words = None;
         let mut geometry_failure = None;
@@ -774,23 +932,33 @@ impl Pool {
                     if config_words.is_none() {
                         config_words = words;
                     }
-                    (words.map(|w| w as u64), None)
+                    BackendPrice {
+                        reload_cycles: words.map(|w| w as u64),
+                        window_cycles: None,
+                        reload_energy_nj: words.map(|w| model.array_reload_nj(w as u64)),
+                        window_energy_nj: None,
+                    }
                 }
                 _ => {
                     if self.backends[index].capabilities() & classes == 0 {
-                        (None, None)
+                        BackendPrice::INELIGIBLE
                     } else {
                         // An offload backend has no configuration memory:
                         // eligibility and per-window cost both come from
                         // its own model.
                         let window = self.backends[index].window_cycles(&offload);
-                        (window.map(|_| 0), window)
+                        BackendPrice {
+                            reload_cycles: window.map(|_| 0),
+                            window_cycles: window,
+                            reload_energy_nj: window.map(|_| 0),
+                            window_energy_nj: self.backends[index].window_energy_nj(&offload),
+                        }
                     }
                 }
             };
             per_backend.push(entry);
         }
-        if per_backend.iter().all(|(reload, _)| reload.is_none()) {
+        if !per_backend.iter().any(BackendPrice::eligible) {
             return Err(match geometry_failure {
                 Some(array) => RuntimeError::MixedGeometry { array },
                 None => RuntimeError::Capability {
@@ -854,9 +1022,14 @@ impl Pool {
             }
             // The streamed words are real engine work: fold them into the
             // serial phase sum and the activity counters so work
-            // conservation and energy accounting hold.
+            // conservation and energy accounting hold.  The joules go to
+            // the backend (and to the prefetch sub-total) but to no job:
+            // per-job routes account execution only.
             report.cycles += staged.config_cycles;
             report.evictions += staged.evictions;
+            let staged_nj = EnergyModel::calibrated().price_array(&staged.counters);
+            report.energy_nj += staged_nj;
+            report.prefetch_energy_nj += staged_nj;
             report.counters += staged.counters;
         }
     }
@@ -892,6 +1065,7 @@ impl Pool {
             let windows = windows.into_iter();
             let windows_hint = windows.size_hint().0;
             let hint = self.window_hint(&key);
+            let energy_hint = self.window_energy_hint(&key);
             let views: Vec<BackendView> = self
                 .backends
                 .iter()
@@ -906,8 +1080,10 @@ impl Pool {
                     free_config_at: schedules[i].free_at(Engine::ConfigLoad),
                     busy_compute: backend.busy_compute(),
                     loaded_programs: backend.loaded_programs(),
-                    reload_cycles: pricing.per_backend[i].0,
-                    window_cycles: pricing.per_backend[i].1,
+                    reload_cycles: pricing.per_backend[i].reload_cycles,
+                    window_cycles: pricing.per_backend[i].window_cycles,
+                    reload_energy_nj: pricing.per_backend[i].reload_energy_nj,
+                    window_energy_nj: pricing.per_backend[i].window_energy_nj,
                 })
                 .collect();
             let job = JobView {
@@ -917,6 +1093,8 @@ impl Pool {
                 config_words: pricing.config_words,
                 classes: pricing.classes,
                 window_cycles_hint: hint,
+                window_energy_hint_nj: energy_hint,
+                deadline: None,
             };
             let plan = self.placement.place(&job, &views);
             let chosen = plan.backend;
@@ -940,15 +1118,23 @@ impl Pool {
                 job: index,
                 backend: chosen,
                 kind,
+                energy_nj: 0,
             });
             for window in windows {
-                let (output, phases) = run_window_on(
+                let (output, phases, window_nj) = run_window_on(
                     self.backends[chosen].as_mut(),
                     kernel,
                     &key,
                     window.borrow(),
                     &mut wave.arrays[chosen].report,
                 )?;
+                // Attribute the window's measured joules to the job as
+                // they land, so even an aborted fan-out's routes price the
+                // work actually done.
+                wave.routes
+                    .last_mut()
+                    .expect("route pushed above")
+                    .energy_nj += window_nj;
                 schedules[chosen].push(phases);
                 if kind == BackendKind::Array {
                     // Learn the kernel's observed array cost, so later
@@ -1068,7 +1254,7 @@ mod tests {
     #[test]
     fn pool_outputs_match_serial_execution_for_every_strategy() {
         let factors = [2i16, 3, 5];
-        let (ca, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, CostAware);
+        let (ca, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, CostAware::default());
         assert_eq!(ca, serial);
         let (ra, _, serial) = run_mixed(&factors, &THREE_KERNEL_PICKS, ResidencyAware);
         assert_eq!(ra, serial);
@@ -1086,7 +1272,7 @@ mod tests {
         // no launch ever pays configuration streaming on its critical
         // path.
         let factors = [2i16, 3, 5];
-        let (_, cost_aware, _) = run_mixed(&factors, &THREE_KERNEL_PICKS, CostAware);
+        let (_, cost_aware, _) = run_mixed(&factors, &THREE_KERNEL_PICKS, CostAware::default());
         assert_eq!(cost_aware.cold_reloads(), 0, "all reloads prefetched");
         assert!(cost_aware.prefetched() >= 3, "one stage per program-array");
         assert_eq!(
@@ -1225,7 +1411,7 @@ mod tests {
         // off the critical path beats even the residency-aware scheduler —
         // strictly fewer cold reloads (none) and a strictly lower fleet
         // wall clock, with some reloads fully hidden inside backlogs.
-        let cost_aware = run(Box::new(CostAware));
+        let cost_aware = run(Box::<CostAware>::default());
         assert_eq!(cost_aware.cold_reloads(), 0);
         assert!(cost_aware.prefetched() >= 4);
         assert!(
@@ -1244,7 +1430,7 @@ mod tests {
         // so the same conservation identity must hold for both strategies.
         for fleet in [
             run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, ResidencyAware).1,
-            run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, CostAware).1,
+            run_mixed(&[2i16, 3, 5], &THREE_KERNEL_PICKS, CostAware::default()).1,
         ] {
             let max_wall = fleet
                 .arrays
@@ -1447,7 +1633,7 @@ mod tests {
         assert_eq!(pool.stats().jobs, 0);
         assert_eq!(pool.stats().prefetched(), 0);
         // The pool recovers with the default strategy.
-        pool.set_placement(CostAware);
+        pool.set_placement(CostAware::default());
         pool.run_batch([(&kernel, ws.iter().map(Vec::as_slice))])
             .unwrap();
     }
@@ -1607,7 +1793,7 @@ mod tests {
         // The pool stays fully usable, and the invariants hold over the
         // whole accumulated history: per-array jobs sum to the total, and
         // every array's busy split matches its serial phase sum.
-        pool.set_placement(CostAware);
+        pool.set_placement(CostAware::default());
         pool.run_batch(kernels.iter().map(|k| (k, ws.iter().map(Vec::as_slice))))
             .unwrap();
         let stats = pool.stats();
@@ -1825,6 +2011,139 @@ mod tests {
     }
 
     #[test]
+    fn objectives_rank_the_same_candidates_differently() {
+        use crate::backend::{CAP_CGRA, CAP_FFT};
+        // One warm array and the FFT engine, deliberately priced so the
+        // array finishes a touch sooner while the engine costs ~5x fewer
+        // joules — the canonical trade the objectives disagree on.
+        let job = JobView {
+            index: 0,
+            cache_key: "k",
+            windows: 2,
+            config_words: 100,
+            classes: CAP_CGRA | CAP_FFT,
+            window_cycles_hint: 1_000,
+            window_energy_hint_nj: 67_000,
+            deadline: None,
+        };
+        let array = BackendView {
+            index: 0,
+            kind: BackendKind::Array,
+            capabilities: CAP_CGRA,
+            resident: true,
+            warm: true,
+            free_compute_at: 0,
+            free_config_at: 0,
+            busy_compute: 0,
+            loaded_programs: 1,
+            reload_cycles: Some(100),
+            window_cycles: None,
+            reload_energy_nj: Some(500),
+            window_energy_nj: None,
+        };
+        let engine = BackendView {
+            index: 1,
+            kind: BackendKind::FftAccel,
+            capabilities: CAP_FFT,
+            resident: false,
+            warm: true,
+            free_compute_at: 0,
+            free_config_at: 0,
+            busy_compute: 0,
+            loaded_programs: 0,
+            reload_cycles: Some(0),
+            window_cycles: Some(1_100),
+            reload_energy_nj: Some(0),
+            window_energy_nj: Some(13_000),
+        };
+        let views = [array, engine];
+        let place =
+            |obj: Objective, job: &JobView| CostAware::with_objective(obj).place(job, &views);
+        // Cycles: the warm array completes first (2 000 vs 2 200).
+        assert_eq!(place(Objective::Cycles, &job).backend, 0);
+        // Energy: 2 x 13 000 nJ on the engine vs 2 x 67 000 nJ warm on
+        // the array.
+        assert_eq!(place(Objective::Energy, &job).backend, 1);
+        // EDP: 26 000 x 2 200 beats 134 000 x 2 000 comfortably.
+        assert_eq!(place(Objective::EnergyDelayProduct, &job).backend, 1);
+        // No deadline: EnergyUnderDeadline falls back to EDP.
+        assert_eq!(place(Objective::EnergyUnderDeadline, &job).backend, 1);
+        // A deadline both meet: take the cheaper joules.
+        let loose = JobView {
+            deadline: Some(2_500),
+            ..job
+        };
+        assert_eq!(place(Objective::EnergyUnderDeadline, &loose).backend, 1);
+        // A deadline only the array meets: joules yield to feasibility.
+        let tight = JobView {
+            deadline: Some(2_100),
+            ..job
+        };
+        assert_eq!(place(Objective::EnergyUnderDeadline, &tight).backend, 0);
+        // A deadline nobody meets: earliest completion limits the damage.
+        let hopeless = JobView {
+            deadline: Some(10),
+            ..job
+        };
+        assert_eq!(place(Objective::EnergyUnderDeadline, &hopeless).backend, 0);
+        // Objectives surface in the strategy name for reports and benches.
+        assert_eq!(CostAware::default().name(), "cost-aware");
+        assert_eq!(
+            CostAware::with_objective(Objective::EnergyDelayProduct).name(),
+            "cost-aware/edp"
+        );
+        assert_eq!(
+            CostAware::with_objective(Objective::EnergyDelayProduct).objective(),
+            Objective::EnergyDelayProduct
+        );
+    }
+
+    #[test]
+    fn energy_objective_still_prefetches_cold_array_choices() {
+        use crate::backend::CAP_CGRA;
+        // A cold array chosen by an energy objective must still get the
+        // reload staged off the critical path, exactly like Cycles does.
+        let job = JobView {
+            index: 0,
+            cache_key: "k",
+            windows: 4,
+            config_words: 60,
+            classes: CAP_CGRA,
+            window_cycles_hint: 500,
+            window_energy_hint_nj: 30_000,
+            deadline: None,
+        };
+        let cold = BackendView {
+            index: 0,
+            kind: BackendKind::Array,
+            capabilities: CAP_CGRA,
+            resident: false,
+            warm: false,
+            free_compute_at: 0,
+            free_config_at: 0,
+            busy_compute: 0,
+            loaded_programs: 0,
+            reload_cycles: Some(60),
+            window_cycles: None,
+            reload_energy_nj: Some(300),
+            window_energy_nj: None,
+        };
+        for objective in [
+            Objective::Cycles,
+            Objective::Energy,
+            Objective::EnergyDelayProduct,
+            Objective::EnergyUnderDeadline,
+        ] {
+            let plan = CostAware::with_objective(objective).place(&job, &[cold]);
+            assert_eq!(plan.backend, 0);
+            assert!(
+                plan.prefetch.is_some(),
+                "{objective:?} must stage the cold reload"
+            );
+        }
+    }
+
+    #[test]
     fn fft_routed_jobs_execute_on_the_engine_and_stay_bit_identical() {
         let kernel = FftishKernel(BakedScaleKernel::new(3));
         let ws = windows(2, 0);
@@ -1838,13 +2157,13 @@ mod tests {
         let (serial, _) =
             Pool::run_serial_reference([(&kernel, ws.iter().map(Vec::as_slice))]).unwrap();
         assert_eq!(outputs, serial, "FFT-routed outputs match the CGRA serial");
-        assert_eq!(
-            fleet.routes,
-            vec![JobRoute {
-                job: 0,
-                backend: 1,
-                kind: BackendKind::FftAccel
-            }]
+        assert_eq!(fleet.routes.len(), 1);
+        assert_eq!(fleet.routes[0].job, 0);
+        assert_eq!(fleet.routes[0].backend, 1);
+        assert_eq!(fleet.routes[0].kind, BackendKind::FftAccel);
+        assert!(
+            fleet.routes[0].energy_nj > 0,
+            "the engine's measured joules land on the job's route"
         );
         let kinds = fleet.per_kind();
         let fft_row = kinds
@@ -1875,7 +2194,7 @@ mod tests {
             }
         );
         // Cost-aware placement routes the CGRA-only job around the engine.
-        pool.set_placement(CostAware);
+        pool.set_placement(CostAware::default());
         let (_, fleet) = pool
             .run_batch([(&plain, ws.iter().map(Vec::as_slice))])
             .unwrap();

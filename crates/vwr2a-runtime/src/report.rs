@@ -68,6 +68,18 @@ pub struct RunReport {
     pub busy: Occupancy,
     /// Activity accumulated on the array (and its DMA) during the runs.
     pub counters: ActivityCounters,
+    /// Measured energy of the runs in integer nanojoules: every
+    /// invocation's activity delta priced through the calibrated
+    /// [`vwr2a_energy::EnergyModel`] as it executes (plus speculative
+    /// prefetch streaming — see [`RunReport::prefetch_energy_nj`]).
+    /// Integer nJ so per-job energies sum *exactly* to per-backend and
+    /// fleet totals; [`RunReport::energy_uj`] converts for display.
+    pub energy_nj: u64,
+    /// The subset of [`RunReport::energy_nj`] spent streaming speculative
+    /// configuration prefetches — backend energy no single job's route
+    /// accounts for (`energy_nj - prefetch_energy_nj` is the job-attributed
+    /// part).
+    pub prefetch_energy_nj: u64,
 }
 
 impl RunReport {
@@ -87,6 +99,12 @@ impl RunReport {
     /// Energy of the accumulated activity under the calibrated VWR2A model.
     pub fn energy(&self) -> EnergyBreakdown {
         vwr2a_energy(&self.counters)
+    }
+
+    /// Measured energy in microjoules ([`RunReport::energy_nj`] scaled for
+    /// display).
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_nj as f64 / 1e3
     }
 
     /// Total array launches, cold and warm.
@@ -126,6 +144,8 @@ impl RunReport {
         self.wall_cycles += other.wall_cycles;
         self.busy += other.busy;
         self.counters += other.counters;
+        self.energy_nj += other.energy_nj;
+        self.prefetch_energy_nj += other.prefetch_energy_nj;
     }
 }
 
@@ -180,6 +200,20 @@ pub struct JobRoute {
     pub backend: usize,
     /// The executing backend's kind.
     pub kind: BackendKind,
+    /// Measured energy of the job's executed windows in nanojoules — the
+    /// landed backend's actual activity priced through the calibrated
+    /// [`vwr2a_energy::EnergyModel`] (counters on arrays, run statistics
+    /// on the engine and the CPU).  Summing routes per kind recovers each
+    /// [`BackendKindStats`]'s job-attributed energy exactly.
+    pub energy_nj: u64,
+}
+
+impl JobRoute {
+    /// The job's measured energy in microjoules ([`JobRoute::energy_nj`]
+    /// scaled for display).
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_nj as f64 / 1e3
+    }
 }
 
 /// Per-kind aggregate over a [`FleetReport`]'s backends — the
@@ -201,6 +235,21 @@ pub struct BackendKindStats {
     pub busy: Occupancy,
     /// Largest per-backend wall clock among this kind's backends.
     pub wall_cycles: u64,
+    /// Measured energy spent on this kind in nanojoules
+    /// ([`RunReport::energy_nj`] summed over the kind's backends —
+    /// includes speculative prefetch streaming).
+    pub energy_nj: u64,
+    /// The prefetch-streaming subset of [`BackendKindStats::energy_nj`]
+    /// (energy not attributed to any job's route).
+    pub prefetch_energy_nj: u64,
+}
+
+impl BackendKindStats {
+    /// The kind's measured energy in microjoules
+    /// ([`BackendKindStats::energy_nj`] scaled for display).
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_nj as f64 / 1e3
+    }
 }
 
 /// The merged fleet-level accounting of a [`crate::pool::Pool`] fan-out:
@@ -266,6 +315,8 @@ impl FleetReport {
                     cycles: 0,
                     busy: Occupancy::default(),
                     wall_cycles: 0,
+                    energy_nj: 0,
+                    prefetch_energy_nj: 0,
                 };
                 for array in self.arrays.iter().filter(|a| a.kind == kind) {
                     stats.backends += 1;
@@ -274,6 +325,8 @@ impl FleetReport {
                     stats.cycles += array.report.cycles;
                     stats.busy += array.report.busy;
                     stats.wall_cycles = stats.wall_cycles.max(array.report.wall_cycles);
+                    stats.energy_nj += array.report.energy_nj;
+                    stats.prefetch_energy_nj += array.report.prefetch_energy_nj;
                 }
                 (stats.backends > 0).then_some(stats)
             })
@@ -351,6 +404,20 @@ impl FleetReport {
         self.arrays.iter().map(|a| a.report.evictions).sum()
     }
 
+    /// Total measured energy across the fleet in nanojoules
+    /// ([`RunReport::energy_nj`] summed over every backend): the
+    /// job-attributed window energies of [`FleetReport::routes`] plus
+    /// speculative prefetch streaming.
+    pub fn energy_nj(&self) -> u64 {
+        self.arrays.iter().map(|a| a.report.energy_nj).sum()
+    }
+
+    /// Fleet energy in microjoules ([`FleetReport::energy_nj`] scaled for
+    /// display).
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_nj() as f64 / 1e3
+    }
+
     /// Fleet compute occupancy in `[0, 1]`: the fraction of the fleet's
     /// array-cycles (`arrays × wall_cycles()`) spent computing.  Higher is
     /// better — cold configuration streaming, DMA stalls and load imbalance
@@ -397,13 +464,14 @@ impl std::fmt::Display for FleetReport {
         write!(
             f,
             "fleet: {} job(s) / {} invocation(s) over {} array(s), {} wall cycles, \
-             {:.0} % occupancy ({} cold reloads / {} warm launches, {} prefetched \
-             of which {} hidden, {} evictions)",
+             {:.0} % occupancy, {:.2} uJ ({} cold reloads / {} warm launches, \
+             {} prefetched of which {} hidden, {} evictions)",
             self.jobs,
             self.invocations(),
             self.arrays.len(),
             self.wall_cycles(),
             100.0 * self.occupancy(),
+            self.energy_uj(),
             self.cold_reloads(),
             self.warm_launches(),
             self.prefetched(),
@@ -415,11 +483,12 @@ impl std::fmt::Display for FleetReport {
             for stats in self.per_kind() {
                 write!(
                     f,
-                    "; {} x{}: {} job(s), {} busy cycles",
+                    "; {} x{}: {} job(s), {} busy cycles, {:.2} uJ",
                     stats.kind,
                     stats.backends,
                     stats.jobs,
-                    stats.busy.total()
+                    stats.busy.total(),
+                    stats.energy_uj()
                 )?;
             }
         }
@@ -543,7 +612,7 @@ impl std::fmt::Display for ServeReport {
         write!(
             f,
             "serve: {} job(s) from {} tenant(s), p50/p95/p99 latency {}/{}/{} cycles, \
-             {} deadline miss(es), {} steal(s); {}",
+             {} deadline miss(es), {} steal(s), {:.2} uJ; {}",
             self.latencies.len(),
             self.tenants().len(),
             self.p50(),
@@ -551,6 +620,7 @@ impl std::fmt::Display for ServeReport {
             self.p99(),
             self.deadline_misses(),
             self.steals,
+            self.fleet.energy_uj(),
             self.fleet
         )
     }
@@ -580,6 +650,8 @@ mod tests {
         a.busy.dma = 40;
         a.counters.rc_alu_ops = 7;
         a.prefetched = 1;
+        a.energy_nj = 120;
+        a.prefetch_energy_nj = 20;
         let mut b = RunReport::new("k");
         b.invocations = 2;
         b.warm_launches = 5;
@@ -592,7 +664,11 @@ mod tests {
         b.busy.compute = 30;
         b.busy.interrupt = 20;
         b.counters.rc_alu_ops = 3;
+        b.energy_nj = 80;
         a.absorb(&b);
+        assert_eq!(a.energy_nj, 200);
+        assert_eq!(a.prefetch_energy_nj, 20);
+        assert!((a.energy_uj() - 0.2).abs() < 1e-12);
         assert_eq!(a.invocations, 3);
         assert_eq!(a.launches(), 6);
         assert_eq!(a.replayed, 4);
@@ -643,6 +719,7 @@ mod tests {
         report.wall_cycles = wall;
         report.busy.compute = compute;
         report.busy.dma = dma;
+        report.energy_nj = 10 * compute;
         ArrayReport {
             array,
             kind: BackendKind::Array,
@@ -667,21 +744,25 @@ mod tests {
         fleet.arrays[2].report.cycles = 3_000;
         fleet.arrays[2].report.wall_cycles = 2_500;
         fleet.arrays[2].report.busy.compute = 3_000;
+        fleet.arrays[2].report.energy_nj = 4_200;
         fleet.routes = vec![
             JobRoute {
                 job: 0,
                 backend: 0,
                 kind: BackendKind::Array,
+                energy_nj: 7_000,
             },
             JobRoute {
                 job: 1,
                 backend: 1,
                 kind: BackendKind::Array,
+                energy_nj: 6_000,
             },
             JobRoute {
                 job: 2,
                 backend: 2,
                 kind: BackendKind::FftAccel,
+                energy_nj: 4_200,
             },
         ];
         let kinds = fleet.per_kind();
@@ -691,9 +772,17 @@ mod tests {
         assert_eq!(kinds[0].jobs, 2);
         assert_eq!(kinds[0].busy.compute, 1_300);
         assert_eq!(kinds[0].wall_cycles, 1_000);
+        // Per-kind energy is the sum of the kind's backend reports — and
+        // with no prefetch streaming, exactly the kind's route energies.
+        assert_eq!(kinds[0].energy_nj, 13_000);
+        assert_eq!(kinds[0].prefetch_energy_nj, 0);
+        assert!((kinds[0].energy_uj() - 13.0).abs() < 1e-12);
         assert_eq!(kinds[1].kind, BackendKind::FftAccel);
         assert_eq!(kinds[1].invocations, 4);
+        assert_eq!(kinds[1].energy_nj, 4_200);
+        assert_eq!(fleet.energy_nj(), 17_200);
         assert!(fleet.to_string().contains("fft x1"));
+        assert!(fleet.to_string().contains("uJ"));
 
         // Absorbing a second wave offsets its routes past this one's jobs.
         let mut next = FleetReport::for_kinds(&[
@@ -707,11 +796,13 @@ mod tests {
                 job: 0,
                 backend: 2,
                 kind: BackendKind::FftAccel,
+                energy_nj: 0,
             },
             JobRoute {
                 job: 1,
                 backend: 0,
                 kind: BackendKind::Array,
+                energy_nj: 0,
             },
         ];
         fleet.absorb(&next);

@@ -91,11 +91,12 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
 use vwr2a_core::timeline::Engine;
+use vwr2a_energy::EnergyModel;
 
 use crate::backend::{run_window_on, BackendKind};
 use crate::error::{Result, RuntimeError};
 use crate::pipeline::StreamSchedule;
-use crate::pool::{BackendView, JobView, PlacementPlan, Pool};
+use crate::pool::{BackendPrice, BackendView, JobView, PlacementPlan, Pool};
 use crate::report::{FleetReport, JobLatency, JobRoute, ServeReport};
 use crate::session::Kernel;
 
@@ -376,10 +377,10 @@ struct Ticket<'k, K, I> {
     /// Capability classes of the job
     /// ([`crate::backend::Offload::classes`]).
     classes: u32,
-    /// Per-backend `(reload_cycles, window_cycles)` pricing, computed
-    /// once at admission.  A `None` reload marks a backend that cannot
-    /// serve this job; dispatch and stealing never commit the job there.
-    prices: Vec<(Option<u64>, Option<u64>)>,
+    /// Per-backend cycles-and-joules pricing, computed once at admission.
+    /// A `None` reload marks a backend that cannot serve this job;
+    /// dispatch and stealing never commit the job there.
+    prices: Vec<BackendPrice>,
     windows_hint: usize,
     tenant: TenantId,
     arrival: u64,
@@ -390,15 +391,16 @@ struct Ticket<'k, K, I> {
 impl<K, I> Ticket<'_, K, I> {
     /// `true` if backend `index` can serve this job at all.
     fn eligible(&self, index: usize) -> bool {
-        self.prices[index].0.is_some()
+        self.prices[index].eligible()
     }
 }
 
-/// How many dispatched jobs a backend may hold while still busy.  Jobs in
-/// this run queue are *committed but not started* — stealable until the
-/// backend actually materialises them.  Depth 1 would leave backends idle
-/// between jobs; unbounded depth would commit placement far into an
-/// unknown future and leave the stealing pass nothing early to fix.
+/// Default for how many dispatched jobs a backend may hold while still
+/// busy ([`Server::with_depth`] overrides it).  Jobs in this run queue are
+/// *committed but not started* — stealable until the backend actually
+/// materialises them.  Depth 1 would leave backends idle between jobs;
+/// unbounded depth would commit placement far into an unknown future and
+/// leave the stealing pass nothing early to fix.
 const DISPATCH_DEPTH: usize = 2;
 
 /// An online serving layer over a [`Pool`]: admits an arrival-stamped
@@ -413,12 +415,20 @@ pub struct Server {
     pool: Pool,
     policy: Box<dyn SchedPolicy>,
     stealing: bool,
+    /// Per-backend run-queue depth (committed-but-unstarted jobs).  A
+    /// deeper queue gives the placement strategy room to express a
+    /// preference (e.g. queueing behind a busy engine because it is
+    /// cheaper in joules) where a shallow queue forces the objective-blind
+    /// least-projected fallback the moment a backend fills.
+    depth: usize,
     /// Online per-program cost model: cumulative `(compute_cycles,
-    /// windows)` by cache key, learned from jobs completed on CGRA
-    /// arrays (offload backends carry their own closed-form models).
-    /// Backs the projected backlogs that placement and stealing reason
-    /// over.
-    estimates: HashMap<String, (u64, u64)>,
+    /// windows)` keyed by *backend kind and* cache key, learned from
+    /// every completed job.  The kind in the key keeps the substrates'
+    /// very different per-window costs from polluting each other's means
+    /// (a CGRA window and an FFT-engine window of the same program differ
+    /// by orders of magnitude).  Backs the projected backlogs that
+    /// placement and stealing reason over.
+    estimates: HashMap<(BackendKind, String), (u64, u64)>,
 }
 
 impl Server {
@@ -428,6 +438,7 @@ impl Server {
             pool,
             policy: Box::new(Fifo),
             stealing: true,
+            depth: DISPATCH_DEPTH,
             estimates: HashMap::new(),
         }
     }
@@ -460,6 +471,20 @@ impl Server {
     /// `true` if the work-stealing pass is enabled.
     pub fn stealing(&self) -> bool {
         self.stealing
+    }
+
+    /// Sets the per-backend run-queue depth, builder-style (default 2).
+    /// Depth 0 is clamped to 1 — a backend that can hold no job at all
+    /// could never make progress.
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// The per-backend run-queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// The wrapped pool (residency inspection, accumulated stats).
@@ -592,32 +617,91 @@ impl Server {
         })
     }
 
-    /// Estimated compute cycles of one window of `key`'s program: the
-    /// key's learned mean, else the global mean over all programs seen,
-    /// else the program's reload footprint as a cold-start proxy.
-    fn per_window_estimate(&self, key: &str, config_words: usize) -> u64 {
-        if let Some(mean) = self
-            .estimates
-            .get(key)
+    /// The learned per-window mean for `key` on backends of `kind`
+    /// (`None` before any job of that key has completed on that kind).
+    fn learned_mean(&self, kind: BackendKind, key: &str) -> Option<u64> {
+        self.estimates
+            .get(&(kind, key.to_string()))
             .and_then(|&(cycles, windows)| cycles.checked_div(windows))
-        {
-            return mean.max(1);
-        }
+            .map(|mean| mean.max(1))
+    }
+
+    /// The learned per-window mean over *every* program seen on backends
+    /// of `kind` — the same-substrate cold-start fallback.
+    fn kind_mean(&self, kind: BackendKind) -> Option<u64> {
         let (cycles, windows) = self
             .estimates
-            .values()
-            .fold((0u64, 0u64), |acc, &(c, w)| (acc.0 + c, acc.1 + w));
-        match cycles.checked_div(windows) {
-            Some(mean) => mean.max(1),
-            None => (config_words as u64).max(1),
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .fold((0u64, 0u64), |acc, (_, &(c, w))| (acc.0 + c, acc.1 + w));
+        cycles.checked_div(windows).map(|mean| mean.max(1))
+    }
+
+    /// Lower bound on an array's per-window cycles for `ticket`'s
+    /// program: the best modelled window of a *fixed-function* offload
+    /// backend the job is priced on.  Dedicated silicon is never slower
+    /// than the reconfigurable array at its own kernel (Sec. 2: ~3 k
+    /// engine cycles vs 5–7 k array cycles for the 256-pt FFT), so a cold
+    /// array estimate below the accelerator's modelled window is certainly
+    /// wrong.  The CPU's modelled window is *not* a bound — beating the
+    /// CPU is the array's whole point.
+    fn accel_floor<K: Kernel, I>(&self, ticket: &Ticket<'_, K, I>) -> u64 {
+        ticket
+            .prices
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.pool.backend(i).kind() == BackendKind::FftAccel)
+            .filter_map(|(_, price)| price.window_cycles)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Estimated compute cycles of one window of `ticket`'s program *on
+    /// backend `backend`*: the backend's own modelled per-window cost
+    /// first (offload backends priced at admission — the same model
+    /// placement ranked the backend by, so projections stay consistent
+    /// with the dispatch decision), else the key's learned mean on that
+    /// backend's kind, else the kind-wide learned mean, else — for
+    /// arrays only — the program's reload footprint as a cold-start
+    /// proxy.  Consulting the model first is what keeps a cold FFT-heavy
+    /// run queue from projecting a near-zero horizon: the engine's
+    /// modelled cycles price its queue even before any job has
+    /// completed, where the old footprint proxy priced an engine-capable
+    /// key (zero config footprint) at 1 cycle per window.  The cold
+    /// array fallbacks (kind mean, footprint) are additionally floored
+    /// by [`Self::accel_floor`] so a crumb-dominated array mean cannot
+    /// underprice an accelerator-class kernel on the array.
+    fn per_window_estimate_on<K: Kernel, I>(
+        &self,
+        ticket: &Ticket<'_, K, I>,
+        backend: usize,
+    ) -> u64 {
+        if let Some(modelled) = ticket.prices[backend].window_cycles {
+            return modelled.max(1);
+        }
+        let kind = self.pool.backend(backend).kind();
+        if let Some(mean) = self.learned_mean(kind, &ticket.key) {
+            return mean;
+        }
+        let floor = match kind {
+            BackendKind::Array => self.accel_floor(ticket),
+            _ => 0,
+        };
+        if let Some(mean) = self.kind_mean(kind) {
+            return mean.max(floor);
+        }
+        match kind {
+            BackendKind::Array => (ticket.config_words as u64).max(1).max(floor),
+            _ => 1,
         }
     }
 
-    /// Estimated compute cost of a queued job (its window hint times the
-    /// per-window estimate; an opaque hint-less stream estimates free —
-    /// the estimator corrects itself once the job has actually run).
-    fn est_cost<K: Kernel, I>(&self, ticket: &Ticket<'_, K, I>) -> u64 {
-        ticket.windows_hint as u64 * self.per_window_estimate(&ticket.key, ticket.config_words)
+    /// Estimated compute cost of a queued job on the backend it is queued
+    /// on (its window hint times the per-window estimate; an opaque
+    /// hint-less stream estimates free — the estimator corrects itself
+    /// once the job has actually run).
+    fn est_cost<K: Kernel, I>(&self, ticket: &Ticket<'_, K, I>, backend: usize) -> u64 {
+        ticket.windows_hint as u64 * self.per_window_estimate_on(ticket, backend)
     }
 
     /// Projected compute horizon of one backend: its schedule's compute
@@ -633,7 +717,7 @@ impl Server {
         schedules[backend].free_at(Engine::Compute).max(now)
             + assigned[backend]
                 .iter()
-                .map(|(t, _)| self.est_cost(t))
+                .map(|(t, _)| self.est_cost(t, backend))
                 .sum::<u64>()
     }
 
@@ -660,20 +744,35 @@ impl Server {
             free_config_at: schedules[backend].free_at(Engine::ConfigLoad).max(now),
             busy_compute: b.busy_compute(),
             loaded_programs: b.loaded_programs(),
-            reload_cycles: ticket.prices[backend].0,
-            window_cycles: ticket.prices[backend].1,
+            reload_cycles: ticket.prices[backend].reload_cycles,
+            window_cycles: ticket.prices[backend].window_cycles,
+            reload_energy_nj: ticket.prices[backend].reload_energy_nj,
+            window_energy_nj: ticket.prices[backend].window_energy_nj,
         }
     }
 
-    /// The [`JobView`] a ticket presents to the placement strategy.
+    /// The [`JobView`] a ticket presents to the placement strategy.  The
+    /// hints fill the array columns a [`BackendView`] leaves open: the
+    /// key's learned array mean (else the array-wide mean, else the
+    /// footprint proxy) and that mean priced at the array's average
+    /// power.
     fn job_view<'t, K: Kernel, I>(&self, ticket: &'t Ticket<'_, K, I>) -> JobView<'t> {
+        let hint = self
+            .learned_mean(BackendKind::Array, &ticket.key)
+            .unwrap_or_else(|| {
+                self.kind_mean(BackendKind::Array)
+                    .unwrap_or_else(|| (ticket.config_words as u64).max(1))
+                    .max(self.accel_floor(ticket))
+            });
         JobView {
             index: ticket.seq,
             cache_key: &ticket.key,
             windows: ticket.windows_hint,
             config_words: ticket.config_words,
             classes: ticket.classes,
-            window_cycles_hint: self.per_window_estimate(&ticket.key, ticket.config_words),
+            window_cycles_hint: hint,
+            window_energy_hint_nj: EnergyModel::calibrated().array_window_nj(hint),
+            deadline: ticket.deadline,
         }
     }
 
@@ -720,7 +819,7 @@ impl Server {
             // parks for this pass (room elsewhere is no use to it), so the
             // loop strictly consumes the queue and terminates.
             let mut parked: Vec<Ticket<'k, K, I>> = Vec::new();
-            while !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH) {
+            while !queue.is_empty() && assigned.iter().any(|a| a.len() < self.depth) {
                 let views: Vec<QueuedJob<'_>> = queue
                     .iter()
                     .map(|t| QueuedJob {
@@ -755,27 +854,27 @@ impl Server {
                         arrays: backends,
                     });
                 }
-                let chosen =
-                    if ticket.eligible(preferred) && assigned[preferred].len() < DISPATCH_DEPTH {
-                        preferred
-                    } else {
-                        // The preferred backend's run queue is full (or the
-                        // strategy pointed at a backend that cannot serve the
-                        // job): fall back to the least-projected *eligible*
-                        // backend with room.  The stealing pass can still
-                        // re-route the job before it starts.
-                        match (0..backends)
-                            .filter(|&i| ticket.eligible(i) && assigned[i].len() < DISPATCH_DEPTH)
-                            .min_by_key(|&i| (self.projection(i, now, schedules, &assigned), i))
-                        {
-                            Some(i) => i,
-                            None => {
-                                // Every backend this job can run on is full.
-                                parked.push(ticket);
-                                continue;
-                            }
+                let chosen = if ticket.eligible(preferred) && assigned[preferred].len() < self.depth
+                {
+                    preferred
+                } else {
+                    // The preferred backend's run queue is full (or the
+                    // strategy pointed at a backend that cannot serve the
+                    // job): fall back to the least-projected *eligible*
+                    // backend with room.  The stealing pass can still
+                    // re-route the job before it starts.
+                    match (0..backends)
+                        .filter(|&i| ticket.eligible(i) && assigned[i].len() < self.depth)
+                        .min_by_key(|&i| (self.projection(i, now, schedules, &assigned), i))
+                    {
+                        Some(i) => i,
+                        None => {
+                            // Every backend this job can run on is full.
+                            parked.push(ticket);
+                            continue;
                         }
-                    };
+                    }
+                };
                 if let Some(directive) = plan.prefetch {
                     if directive.backend >= backends {
                         return Err(RuntimeError::Placement {
@@ -816,19 +915,27 @@ impl Server {
                         job: ticket.seq,
                         backend: i,
                         kind,
+                        energy_nj: 0,
                     });
                     let mut first_compute: Option<u64> = None;
                     let mut completed = assign_cycle;
                     let mut compute_cycles = 0u64;
                     let mut count = 0u64;
                     for window in ticket.windows {
-                        let (output, phases) = run_window_on(
+                        let (output, phases, window_nj) = run_window_on(
                             self.pool.backend_mut(i),
                             ticket.kernel,
                             &ticket.key,
                             window.borrow(),
                             &mut wave.arrays[i].report,
                         )?;
+                        // Attribute the window's measured joules to the
+                        // job as they land, so even an aborted run's
+                        // routes price the work actually done.
+                        wave.routes
+                            .last_mut()
+                            .expect("route pushed above")
+                            .energy_nj += window_nj;
                         let spans = schedules[i].push_at(phases, assign_cycle);
                         first_compute.get_or_insert(spans.compute.start);
                         completed = spans.irq.end;
@@ -836,13 +943,12 @@ impl Server {
                         count += 1;
                         sink(ticket.seq, output)?;
                     }
-                    if kind == BackendKind::Array {
-                        // Learn the kernel's observed array cost; offload
-                        // backends price themselves through their models.
-                        let entry = self.estimates.entry(ticket.key).or_insert((0, 0));
-                        entry.0 += compute_cycles;
-                        entry.1 += count;
-                    }
+                    // Learn the kernel's observed cost *on this kind of
+                    // backend* — offload substrates included, so their
+                    // queued jobs project real horizons too.
+                    let entry = self.estimates.entry((kind, ticket.key)).or_insert((0, 0));
+                    entry.0 += compute_cycles;
+                    entry.1 += count;
                     // The host knows the job is done once the last
                     // window's completion interrupt was serviced.
                     let service_start = first_compute.unwrap_or(completed);
@@ -863,8 +969,7 @@ impl Server {
             // guard matters in a heterogeneous fleet: room on a backend
             // the queued jobs cannot run on is not progress, and looping
             // on it would spin forever at the same cycle.
-            if progressed && !queue.is_empty() && assigned.iter().any(|a| a.len() < DISPATCH_DEPTH)
-            {
+            if progressed && !queue.is_empty() && assigned.iter().any(|a| a.len() < self.depth) {
                 continue;
             }
             if pending.is_empty() && queue.is_empty() && assigned.iter().all(VecDeque::is_empty) {
@@ -907,7 +1012,7 @@ impl Server {
         I: Iterator,
     {
         let backends = assigned.len();
-        let mut budget = backends * DISPATCH_DEPTH;
+        let mut budget = backends * self.depth;
         while budget > 0 {
             budget -= 1;
             let projections: Vec<u64> = (0..backends)
@@ -919,7 +1024,7 @@ impl Server {
             else {
                 return;
             };
-            let (cost, plan, eligible) = {
+            let (plan, eligible) = {
                 let (ticket, _) = assigned[donor].back().expect("donor has a queued job");
                 let views: Vec<BackendView> = (0..backends)
                     .filter(|&i| i != donor)
@@ -930,16 +1035,12 @@ impl Server {
                 }
                 let job = self.job_view(ticket);
                 let eligible: Vec<bool> = (0..backends).map(|i| ticket.eligible(i)).collect();
-                (
-                    self.est_cost(ticket),
-                    self.pool.strategy().place(&job, &views),
-                    eligible,
-                )
+                (self.pool.strategy().place(&job, &views), eligible)
             };
             let target = if plan.backend != donor
                 && plan.backend < backends
                 && eligible[plan.backend]
-                && assigned[plan.backend].len() < DISPATCH_DEPTH
+                && assigned[plan.backend].len() < self.depth
             {
                 plan.backend
             } else {
@@ -948,7 +1049,7 @@ impl Server {
                 // fall back to the least-projected eligible backend with
                 // room.
                 match (0..backends)
-                    .filter(|&i| i != donor && eligible[i] && assigned[i].len() < DISPATCH_DEPTH)
+                    .filter(|&i| i != donor && eligible[i] && assigned[i].len() < self.depth)
                     .min_by_key(|&i| (projections[i], i))
                 {
                     Some(t) => t,
@@ -956,8 +1057,13 @@ impl Server {
                 }
             };
             // Only steal if the move strictly improves the pair: the
-            // target (with the job) must still finish before the donor
-            // (whose projection includes the job) does today.
+            // target (with the job, at the job's cost *on the target*)
+            // must still finish before the donor (whose projection
+            // includes the job) does today.
+            let cost = {
+                let (ticket, _) = assigned[donor].back().expect("donor has a queued job");
+                self.est_cost(ticket, target)
+            };
             if projections[target] + cost >= projections[donor] {
                 return;
             }
@@ -996,6 +1102,7 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use crate::testing::BakedScaleKernel;
 
     fn windows(count: usize, seed: i32) -> Vec<Vec<i32>> {
@@ -1504,5 +1611,231 @@ mod tests {
         let pool = server.into_pool();
         assert_eq!(pool.stats().jobs, 3);
         assert_eq!(pool.stats().invocations(), 6);
+    }
+
+    /// A ticket with explicit admission prices, as the estimator tests
+    /// need — never materialised, so the empty windows iterator is fine.
+    fn priced_ticket<'k>(
+        kernel: &'k BakedScaleKernel,
+        key: &str,
+        config_words: usize,
+        windows_hint: usize,
+        prices: Vec<BackendPrice>,
+    ) -> Ticket<'k, BakedScaleKernel, std::iter::Empty<Vec<i32>>> {
+        Ticket {
+            seq: 0,
+            kernel,
+            windows: std::iter::empty(),
+            key: key.to_string(),
+            config_words,
+            classes: 0,
+            prices,
+            windows_hint,
+            tenant: 0,
+            arrival: 0,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn cold_fft_queue_projects_the_engines_modelled_horizon() {
+        // Regression: an engine-capable key has a zero config-word
+        // footprint, and the old cold-start fallback (footprint proxy for
+        // every backend) priced its windows at 1 cycle each — a queued
+        // FFT job projected a near-zero horizon, starving the stealing
+        // pass of drift it should have seen.  The fix consults the placed
+        // backend's modelled per-window cycles first.
+        let server = Server::new(
+            Pool::with_sessions(vec![Session::new()])
+                .unwrap()
+                .with_backend(crate::backend::FftBackend::new()),
+        );
+        let kernel = BakedScaleKernel::new(2);
+        let modelled = 3_523;
+        let ticket = priced_ticket(
+            &kernel,
+            "fft-512",
+            0, // engine-capable: no config footprint
+            4,
+            vec![
+                BackendPrice::INELIGIBLE,
+                BackendPrice {
+                    reload_cycles: Some(0),
+                    window_cycles: Some(modelled),
+                    reload_energy_nj: Some(0),
+                    window_energy_nj: Some(43_000),
+                },
+            ],
+        );
+        // Cold server: no learned estimates anywhere.
+        assert_eq!(server.per_window_estimate_on(&ticket, 1), modelled);
+        assert_eq!(server.est_cost(&ticket, 1), 4 * modelled);
+        assert!(
+            server.est_cost(&ticket, 1) > 1_000,
+            "a cold FFT-heavy queue no longer projects a near-zero horizon"
+        );
+    }
+
+    #[test]
+    fn cold_array_keys_keep_the_footprint_proxy() {
+        let server = Server::new(Pool::new(1));
+        let kernel = BakedScaleKernel::new(2);
+        let ticket = priced_ticket(
+            &kernel,
+            "arrayish",
+            57,
+            2,
+            vec![BackendPrice {
+                reload_cycles: Some(57),
+                window_cycles: None,
+                reload_energy_nj: Some(100),
+                window_energy_nj: None,
+            }],
+        );
+        assert_eq!(server.per_window_estimate_on(&ticket, 0), 57);
+    }
+
+    #[test]
+    fn estimator_means_stay_separated_by_backend_kind() {
+        // Regression: the global-mean fallback used to pool observed
+        // cycles across every key regardless of which substrate they ran
+        // on, so one engine job (thousands of cycles per window) would
+        // poison the projection of every light array crumb, and vice
+        // versa.  Means are now tracked and pooled per backend kind.
+        let mut server = Server::new(
+            Pool::with_sessions(vec![Session::new()])
+                .unwrap()
+                .with_backend(crate::backend::FftBackend::new()),
+        );
+        server
+            .estimates
+            .insert((BackendKind::Array, "k".to_string()), (10_000, 10));
+        server
+            .estimates
+            .insert((BackendKind::FftAccel, "k".to_string()), (70_000, 20));
+        assert_eq!(server.learned_mean(BackendKind::Array, "k"), Some(1_000));
+        assert_eq!(server.learned_mean(BackendKind::FftAccel, "k"), Some(3_500));
+        assert_eq!(server.learned_mean(BackendKind::Cpu, "k"), None);
+
+        // The kind-wide fallback pools same-kind entries only.
+        server
+            .estimates
+            .insert((BackendKind::Array, "other".to_string()), (2_000, 10));
+        assert_eq!(server.kind_mean(BackendKind::Array), Some(600));
+        assert_eq!(server.kind_mean(BackendKind::FftAccel), Some(3_500));
+        assert_eq!(server.kind_mean(BackendKind::Cpu), None);
+
+        // An unseen key on the array prices at the array mean, untouched
+        // by the engine's much heavier observations.
+        let kernel = BakedScaleKernel::new(2);
+        let ticket = priced_ticket(
+            &kernel,
+            "fresh",
+            40,
+            1,
+            vec![
+                BackendPrice {
+                    reload_cycles: Some(40),
+                    window_cycles: None,
+                    reload_energy_nj: Some(80),
+                    window_energy_nj: None,
+                },
+                BackendPrice::INELIGIBLE,
+            ],
+        );
+        assert_eq!(server.per_window_estimate_on(&ticket, 0), 600);
+    }
+
+    #[test]
+    fn accelerator_model_floors_cold_array_estimates() {
+        // An accelerator-capable key's cold array fallbacks (kind-wide
+        // mean, footprint proxy) can be dominated by light crumb
+        // programs; the dedicated engine's modelled window is a lower
+        // bound for the array running the same kernel, so cold array
+        // estimates are floored by it.
+        let mut server = Server::new(
+            Pool::with_sessions(vec![Session::new()])
+                .unwrap()
+                .with_backend(crate::backend::FftBackend::new()),
+        );
+        let kernel = BakedScaleKernel::new(2);
+        let modelled = 3_523;
+        let prices = vec![
+            BackendPrice {
+                reload_cycles: Some(800),
+                window_cycles: None,
+                reload_energy_nj: Some(1_000),
+                window_energy_nj: None,
+            },
+            BackendPrice {
+                reload_cycles: Some(0),
+                window_cycles: Some(modelled),
+                reload_energy_nj: Some(0),
+                window_energy_nj: Some(43_000),
+            },
+        ];
+        let ticket = priced_ticket(&kernel, "fft-256", 800, 1, prices);
+        // Cold server: the footprint proxy (800) would underprice the
+        // array — the engine's modelled window floors it.
+        assert_eq!(server.per_window_estimate_on(&ticket, 0), modelled);
+        // A crumb-dominated array-wide mean is floored the same way.
+        server
+            .estimates
+            .insert((BackendKind::Array, "crumb".to_string()), (3_000, 10));
+        assert_eq!(server.per_window_estimate_on(&ticket, 0), modelled);
+        // A learned mean for the key itself is a measurement: trusted
+        // as-is, even above the floor.
+        server
+            .estimates
+            .insert((BackendKind::Array, "fft-256".to_string()), (40_000, 10));
+        assert_eq!(server.per_window_estimate_on(&ticket, 0), 4_000);
+    }
+
+    #[test]
+    fn run_queue_depth_moves_scheduling_never_outputs() {
+        let kernel = BakedScaleKernel::new(3);
+        let ws = windows(2, 0);
+        let (serial, _) =
+            Pool::run_serial_reference((0..4).map(|_| (&kernel, ws.iter().map(Vec::as_slice))))
+                .unwrap();
+        for depth in [1, 2, 6] {
+            let mut server = Server::new(Pool::new(2)).with_depth(depth);
+            assert_eq!(server.depth(), depth);
+            let (outputs, _) = server
+                .run_batch((0..4).map(|j| {
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, j as u64 * 60)
+                }))
+                .unwrap();
+            assert_eq!(outputs, serial, "depth {depth} changed an output");
+        }
+        // Depth 0 could never make progress: clamped to 1.
+        assert_eq!(Server::new(Pool::new(1)).with_depth(0).depth(), 1);
+    }
+
+    #[test]
+    fn served_routes_carry_the_jobs_measured_joules() {
+        let kernel = BakedScaleKernel::new(2);
+        let ws = windows(2, 0);
+        let mut server = Server::new(Pool::new(2));
+        let (_, report) =
+            server
+                .run_batch((0..3).map(|j| {
+                    ServeJob::new(&kernel, ws.iter().map(Vec::as_slice), 0, j as u64 * 50)
+                }))
+                .unwrap();
+        assert_eq!(report.fleet.routes.len(), 3);
+        for route in &report.fleet.routes {
+            assert!(route.energy_nj > 0, "every served job priced its windows");
+        }
+        let routed: u64 = report.fleet.routes.iter().map(|r| r.energy_nj).sum();
+        let per_kind = report.fleet.per_kind();
+        let attributed: u64 = per_kind
+            .iter()
+            .map(|k| k.energy_nj - k.prefetch_energy_nj)
+            .sum();
+        assert_eq!(routed, attributed, "job joules sum exactly to kind totals");
+        let display = format!("{report}");
+        assert!(display.contains("uJ"), "the serve summary prints joules");
     }
 }

@@ -151,7 +151,8 @@ pub trait Kernel {
     }
 
     /// Runs one invocation on the Cortex-M4 host CPU, returning the output
-    /// and the instruction-set simulator's cycle count.
+    /// and the instruction-set simulator's full run statistics (cycle
+    /// count plus the per-event counts the energy model prices).
     ///
     /// Only called for kernels whose [`Kernel::offload`] declares a CPU
     /// cost; the default refuses with [`RuntimeError::Capability`].  An
@@ -163,7 +164,7 @@ pub trait Kernel {
         cpu: &mut vwr2a_soc::cpu::Cpu,
         sram: &mut vwr2a_soc::sram::Sram,
         input: &Self::Input,
-    ) -> Result<(Self::Output, u64)> {
+    ) -> Result<(Self::Output, vwr2a_soc::cpu::CpuRunStats)> {
         let _ = (cpu, sram, input);
         Err(RuntimeError::Capability {
             kernel: self.name().to_string(),
@@ -926,7 +927,12 @@ impl Session {
         report.replayed += replayed;
         report.cycles += cycles;
         report.evictions += register_evictions + ctx_evictions;
-        report.counters += self.accel.counters() - before;
+        let delta = self.accel.counters() - before;
+        // Price the invocation's own activity delta (not the running
+        // total): per-window nJ then sum *exactly* to per-backend and
+        // fleet totals, which the routing reports rely on.
+        report.energy_nj += vwr2a_energy::EnergyModel::calibrated().price_array(&delta);
+        report.counters += delta;
         Ok((output, phases))
     }
 }
@@ -1497,6 +1503,62 @@ mod tests {
         assert_eq!(rep_replay.cycles, rep_interp.cycles);
         assert_eq!(rep_replay.wall_cycles, rep_interp.wall_cycles);
         assert_eq!(rep_replay.counters, rep_interp.counters);
+        assert_eq!(
+            rep_replay.energy_nj, rep_interp.energy_nj,
+            "energy priced from replayed counters matches interpretation"
+        );
+    }
+
+    #[test]
+    fn replayed_launch_energy_is_bit_identical_even_across_evictions() {
+        // Satellite audit of the replay cache's energy story: a replayed
+        // launch credits the recorded execution-counter delta verbatim and
+        // re-adds the config streaming of the launch itself, so energy
+        // priced from the counters must match interpretation bit for bit —
+        // including after an eviction forces a cold rebuild, which changes
+        // the per-launch config-word count but not the execution delta.
+        use crate::testing::{constrained_sessions, BakedScaleKernel};
+        use vwr2a_core::geometry::Geometry;
+
+        let a = BakedScaleKernel::new(2);
+        let b = BakedScaleKernel::new(3);
+        let windows: Vec<Vec<i32>> = (0..3)
+            .map(|w| (0..96).map(|i| i + 5 * w).collect())
+            .collect();
+        // Room for exactly one program: each switch of kernel evicts the
+        // other and rebuilds cold.
+        let words = a.program(&Geometry::paper()).unwrap().config_words();
+
+        let run_sequence = |replay: bool| {
+            let mut session = constrained_sessions(1, words).pop().unwrap();
+            session.set_replay(replay);
+            let mut energy_nj = 0u64;
+            let mut counters = vwr2a_core::ActivityCounters::default();
+            let mut evictions = 0u64;
+            let mut replayed = 0u64;
+            for kernel in [&a, &a, &b, &a, &a] {
+                for w in &windows {
+                    let (_, report) = session.run(kernel, w.as_slice()).unwrap();
+                    energy_nj += report.energy_nj;
+                    counters += report.counters;
+                    evictions += report.evictions;
+                    replayed += report.replayed;
+                }
+            }
+            (energy_nj, counters, evictions, replayed)
+        };
+
+        let (e_on, c_on, ev_on, replays) = run_sequence(true);
+        let (e_off, c_off, ev_off, _) = run_sequence(false);
+        assert!(ev_on > 0, "the sequence forces evictions and cold rebuilds");
+        assert!(replays > 0, "warm relaunches actually replayed");
+        assert_eq!(ev_on, ev_off, "eviction behaviour is replay-independent");
+        assert_eq!(c_on, c_off, "replay credits the recorded deltas verbatim");
+        assert!(e_on > 0);
+        assert_eq!(
+            e_on, e_off,
+            "energy from counters is bit-identical replay-on vs replay-off"
+        );
     }
 
     #[test]

@@ -249,7 +249,7 @@ impl Kernel for BakedScaleKernel {
         cpu: &mut vwr2a_soc::cpu::Cpu,
         sram: &mut vwr2a_soc::sram::Sram,
         input: &[i32],
-    ) -> Result<(Vec<i32>, u64)> {
+    ) -> Result<(Vec<i32>, vwr2a_soc::cpu::CpuRunStats)> {
         use vwr2a_soc::cpu::CpuInstr;
         if input.is_empty() || input.len() > LINE {
             return Err(RuntimeError::invalid_input(format!(
@@ -308,7 +308,7 @@ impl Kernel for BakedScaleKernel {
         let out = sram
             .dump(n, n)
             .map_err(|e| RuntimeError::invalid_input(e.to_string()))?;
-        Ok((out, stats.cycles))
+        Ok((out, stats))
     }
 }
 

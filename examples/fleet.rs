@@ -79,7 +79,10 @@ fn main() {
     println!("(2-program configuration memory per array)\n");
 
     for (name, report) in [
-        ("cost-aware + prefetch", fleet(CostAware, &kernels)),
+        (
+            "cost-aware + prefetch",
+            fleet(CostAware::default(), &kernels),
+        ),
         ("residency-aware", fleet(ResidencyAware, &kernels)),
         ("least-loaded", fleet(LeastLoaded, &kernels)),
         ("round-robin", fleet(RoundRobin, &kernels)),

@@ -42,20 +42,22 @@ fn print_routes(label: &str, fleet: &FleetReport) {
     println!("{label}:");
     for route in &fleet.routes {
         println!(
-            "  job {} -> backend {} ({})",
+            "  job {} -> backend {} ({}), {:.3} uJ",
             route.job,
             route.backend,
-            route.kind.label()
+            route.kind.label(),
+            route.energy_uj()
         );
     }
     for row in fleet.per_kind() {
         println!(
-            "  {:>5}: {} backend(s), {} job(s), {} invocation(s), wall {} cycles",
+            "  {:>5}: {} backend(s), {} job(s), {} invocation(s), wall {} cycles, {:.3} uJ",
             row.kind.label(),
             row.backends,
             row.jobs,
             row.invocations,
-            row.wall_cycles
+            row.wall_cycles,
+            row.energy_uj()
         );
     }
 }
@@ -65,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pool = Pool::new(2)
         .with_backend(FftBackend::new())
         .with_backend(CpuBackend::new())
-        .with_placement(CostAware);
+        .with_placement(CostAware::default());
 
     // Wave 1: four 256-point FFT jobs.  The engine needs no configuration
     // streaming, so the cost model routes most of the wave there while

@@ -86,7 +86,7 @@ pub use vwr2a_soc as soc;
 pub use vwr2a_runtime::{
     ArrayBackend, Backend, BackendKind, BackendKindStats, BackendView, CostAware, CpuBackend,
     EarliestDeadlineFirst, FftBackend, FftShape, Fifo, FleetReport, JobLatency, JobRoute, Kernel,
-    LeastLoaded, Offload, Placement, PlacementPlan, Pool, PrefetchDirective, ResidencyAware,
-    RoundRobin, RunReport, SchedPolicy, ServeJob, ServeReport, Server, Session, TenantId,
-    TenantStats, WeightedFair,
+    LeastLoaded, Objective, Offload, Placement, PlacementPlan, Pool, PrefetchDirective,
+    ResidencyAware, RoundRobin, RunReport, SchedPolicy, ServeJob, ServeReport, Server, Session,
+    TenantId, TenantStats, WeightedFair,
 };

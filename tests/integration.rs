@@ -398,7 +398,7 @@ fn fleet_pool_serves_a_mixed_fir_workload_bit_identically_and_warmer() {
         assert_eq!(outputs, serial, "{name} diverged from serial execution");
         fleet
     };
-    let cost_aware = check(make_pool().with_placement(CostAware));
+    let cost_aware = check(make_pool().with_placement(CostAware::default()));
     let residency_aware = check(make_pool().with_placement(ResidencyAware));
     let round_robin = check(make_pool().with_placement(RoundRobin));
     check(make_pool().with_placement(LeastLoaded));
@@ -544,7 +544,7 @@ fn facade_root_reexports_the_fleet_api() {
     assert!(run_report.cycles > 0);
 
     let mut pool: Pool = Pool::new(2);
-    assert_eq!(pool.placement_name(), CostAware.name());
+    assert_eq!(pool.placement_name(), CostAware::default().name());
     let windows = [window.clone(), window.clone()];
     let (outputs, fleet): (_, vwr2a::FleetReport) = pool
         .run_batch([(&kernel, windows.iter().map(Vec::as_slice))])

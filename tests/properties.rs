@@ -18,7 +18,9 @@ use vwr2a::dsp::fixed::{from_q16, mul_fxp, to_q16};
 use vwr2a::fftaccel::FftAccelerator;
 use vwr2a::kernels::fft::FftKernel;
 use vwr2a::kernels::Spectrum;
-use vwr2a::runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
+use vwr2a::runtime::pool::{
+    CostAware, LeastLoaded, Objective, Placement, Pool, ResidencyAware, RoundRobin,
+};
 use vwr2a::runtime::testing::{constrained_sessions, BakedScaleKernel};
 use vwr2a::runtime::{
     EarliestDeadlineFirst, Fifo, FleetReport, Kernel, SchedPolicy, ServeJob, WeightedFair,
@@ -180,6 +182,41 @@ fn check_hetero_scale_outputs(
     }
 }
 
+/// Checks the energy attribution invariant on one wave: each job's routed
+/// joules sum *exactly* (integer nanojoules, no float drift) to its landed
+/// kind's execution total, and the kinds plus non-job-attributed prefetch
+/// staging sum to the fleet total.
+fn check_energy_attribution(tag: &str, fleet: &FleetReport) {
+    let kinds = fleet.per_kind();
+    for stats in &kinds {
+        let routed: u64 = fleet
+            .routes
+            .iter()
+            .filter(|r| r.kind == stats.kind)
+            .map(|r| r.energy_nj)
+            .sum();
+        assert_eq!(
+            routed,
+            stats.energy_nj - stats.prefetch_energy_nj,
+            "{tag}: {} job joules must sum to the kind's execution total",
+            stats.kind.label()
+        );
+    }
+    assert_eq!(
+        kinds.iter().map(|k| k.energy_nj).sum::<u64>(),
+        fleet.energy_nj(),
+        "{tag}: kind totals must sum to the fleet total"
+    );
+    let routed: u64 = fleet.routes.iter().map(|r| r.energy_nj).sum();
+    let prefetch: u64 = kinds.iter().map(|k| k.prefetch_energy_nj).sum();
+    assert_eq!(
+        routed + prefetch,
+        fleet.energy_nj(),
+        "{tag}: job joules plus prefetch staging must sum to the fleet total"
+    );
+    assert!(fleet.energy_nj() > 0, "{tag}: real work costs real joules");
+}
+
 /// Deterministic q15.16 spectra for the FFT routing property.
 fn fft_windows(windows: usize, seed: i32) -> Vec<Spectrum> {
     (0..windows)
@@ -219,7 +256,7 @@ fn run_hetero_server(
     policy: impl SchedPolicy + 'static,
     stealing: bool,
 ) -> (Vec<Vec<Vec<i32>>>, vwr2a::ServeReport) {
-    let mut server = vwr2a::runtime::Server::new(hetero_pool(CostAware))
+    let mut server = vwr2a::runtime::Server::new(hetero_pool(CostAware::default()))
         .with_policy(policy)
         .with_stealing(stealing);
     server
@@ -551,7 +588,7 @@ proptest! {
         )
         .expect("serial reference runs");
 
-        let (cost_aware, cost_fleet) = run_pool(&job_list, CostAware);
+        let (cost_aware, cost_fleet) = run_pool(&job_list, CostAware::default());
         prop_assert_eq!(&cost_aware, &serial);
         // The prefetching strategy never pays a cold reload: every reload
         // was staged ahead of its launch.
@@ -622,7 +659,7 @@ proptest! {
         // sum, or the identity breaks.
         let job_list = pool_jobs(&mix[..jobs]);
         for fleet in [
-            run_pool(&job_list, CostAware).1,
+            run_pool(&job_list, CostAware::default()).1,
             run_pool(&job_list, ResidencyAware).1,
             run_pool(&job_list, RoundRobin).1,
             run_pool(&job_list, LeastLoaded).1,
@@ -688,7 +725,7 @@ proptest! {
         .expect("serial reference runs");
 
         for (tag, fleet_run) in [
-            ("pool/cost-aware", run_hetero_pool(&job_list, &kernels, CostAware)),
+            ("pool/cost-aware", run_hetero_pool(&job_list, &kernels, CostAware::default())),
             ("pool/residency", run_hetero_pool(&job_list, &kernels, ResidencyAware)),
             ("pool/round-robin", run_hetero_pool(&job_list, &kernels, RoundRobin)),
             ("pool/least-loaded", run_hetero_pool(&job_list, &kernels, LeastLoaded)),
@@ -710,6 +747,74 @@ proptest! {
             ] {
                 let (outputs, report) = served;
                 check_hetero_scale_outputs(tag, &outputs, &report.fleet, &job_list, &kernels, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn job_energy_sums_exactly_to_kind_and_fleet_totals(
+        mix in prop::collection::vec(
+            (0usize..4, 1usize..4, -500i32..500, 0u64..5_000, 0u32..3, 0u8..4, 0u64..3_000),
+            6,
+        ),
+        jobs in 1usize..7,
+    ) {
+        // The energy ledger balances for every placement strategy (all
+        // four CostAware objectives included), every serving policy, and
+        // stealing on or off: per-job routed joules sum bit-exactly to
+        // per-kind execution totals, and kinds (plus prefetch staging)
+        // to the fleet total.  Integer nanojoule accounting is what makes
+        // the equalities exact rather than within-epsilon.
+        let mix = &mix[..jobs];
+        let kernels = hetero_kernels();
+        let job_list = pool_jobs(
+            &mix.iter()
+                .map(|&(pick, windows, seed, ..)| (pick, windows, seed))
+                .collect::<Vec<_>>(),
+        );
+        for (tag, run) in [
+            ("pool/cycles", run_hetero_pool(&job_list, &kernels, CostAware::default())),
+            (
+                "pool/energy",
+                run_hetero_pool(&job_list, &kernels, CostAware::with_objective(Objective::Energy)),
+            ),
+            (
+                "pool/edp",
+                run_hetero_pool(
+                    &job_list,
+                    &kernels,
+                    CostAware::with_objective(Objective::EnergyDelayProduct),
+                ),
+            ),
+            (
+                "pool/energy-deadline",
+                run_hetero_pool(
+                    &job_list,
+                    &kernels,
+                    CostAware::with_objective(Objective::EnergyUnderDeadline),
+                ),
+            ),
+            ("pool/residency", run_hetero_pool(&job_list, &kernels, ResidencyAware)),
+            ("pool/round-robin", run_hetero_pool(&job_list, &kernels, RoundRobin)),
+            ("pool/least-loaded", run_hetero_pool(&job_list, &kernels, LeastLoaded)),
+        ] {
+            let (_, fleet) = run;
+            check_energy_attribution(tag, &fleet);
+        }
+        for stealing in [false, true] {
+            for (tag, served) in [
+                ("serve/fifo", run_hetero_server(mix, &kernels, &job_list, Fifo, stealing)),
+                (
+                    "serve/edf",
+                    run_hetero_server(mix, &kernels, &job_list, EarliestDeadlineFirst, stealing),
+                ),
+                (
+                    "serve/wfq",
+                    run_hetero_server(mix, &kernels, &job_list, WeightedFair::new(), stealing),
+                ),
+            ] {
+                let (_, report) = served;
+                check_energy_attribution(&format!("{tag}/steal:{stealing}"), &report.fleet);
             }
         }
     }
@@ -772,7 +877,7 @@ proptest! {
 
         for placement in ["cost-aware", "round-robin"] {
             let mut pool = match placement {
-                "cost-aware" => hetero_pool(CostAware),
+                "cost-aware" => hetero_pool(CostAware::default()),
                 _ => hetero_pool(RoundRobin),
             };
             let (outputs, fleet) = pool
@@ -781,7 +886,7 @@ proptest! {
             check(&format!("pool/{placement}"), &outputs, &fleet);
         }
         for stealing in [false, true] {
-            let mut server = vwr2a::runtime::Server::new(hetero_pool(CostAware))
+            let mut server = vwr2a::runtime::Server::new(hetero_pool(CostAware::default()))
                 .with_policy(Fifo)
                 .with_stealing(stealing);
             let (outputs, report) = server
