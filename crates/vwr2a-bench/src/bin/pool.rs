@@ -19,11 +19,21 @@
 //! keep re-streaming configuration words, which sits on each array's
 //! critical path and drags the fleet occupancy down.
 //!
+//! A second table scales the *serving* layer to large fleets: a
+//! near-simultaneous burst of single-window jobs served by weighted-fair +
+//! stealing across 100–1000 arrays (100 in smoke mode), with and without
+//! the whole-queue lookahead planner + ARC adaptive eviction.  The
+//! warm-window replay cache is what makes a thousand simulated arrays
+//! affordable on the host — repeated `(program, window)` launches replay
+//! instead of re-interpreting (see `BENCH_replay.json`).
+//!
 //! Run with `--smoke` for the fast CI configuration.  In every mode the
 //! binary *fails fast* (non-zero exit) if `CostAware` ever pays more cold
-//! reloads than `RoundRobin`, or if the headline 4-array × 6-kernel cell
+//! reloads than `RoundRobin`, if the headline 4-array × 6-kernel cell
 //! (non-smoke) does not show `CostAware` strictly beating `ResidencyAware`
-//! on both cold reloads and fleet wall cycles.
+//! on both cold reloads and fleet wall cycles, or if the lookahead planner
+//! ever pays more cold reloads (or hides fewer) than the plain serving
+//! configuration at any fleet scale.
 
 use vwr2a_core::geometry::Geometry;
 use vwr2a_dsp::fir::design_lowpass;
@@ -31,7 +41,7 @@ use vwr2a_dsp::fixed::Q15;
 use vwr2a_kernels::fir::FirKernel;
 use vwr2a_runtime::pool::{CostAware, LeastLoaded, Placement, Pool, ResidencyAware, RoundRobin};
 use vwr2a_runtime::testing::constrained_sessions;
-use vwr2a_runtime::{FleetReport, Kernel};
+use vwr2a_runtime::{ArcPolicy, FleetReport, Kernel, ServeJob, ServeReport, Server, WeightedFair};
 
 const N: usize = 256;
 
@@ -106,6 +116,76 @@ struct Cell {
     residency: FleetReport,
     least_loaded: FleetReport,
     round_robin: FleetReport,
+}
+
+/// One large-fleet cell: weighted-fair + stealing, with and without the
+/// whole-queue lookahead planner + ARC eviction, on the same burst.
+struct FleetCell {
+    arrays: usize,
+    jobs: usize,
+    baseline: ServeReport,
+    planned: ServeReport,
+}
+
+/// Serves one `jobs`-deep burst (single-window FIR jobs over a 6-program
+/// mix, near-simultaneous arrivals) across `arrays` two-program arrays,
+/// with and without lookahead planning.  The warm-window replay cache is
+/// what keeps a thousand simulated arrays affordable on the host — every
+/// repeated `(program, window)` launch replays instead of re-interpreting.
+fn large_fleet(arrays: usize, jobs: usize) -> FleetCell {
+    let mix = 6;
+    let kernels = kernels(mix);
+    let program_words = kernels[0]
+        .program(&Geometry::paper())
+        .expect("program builds")
+        .config_words();
+    let job_list: Vec<(usize, Vec<i32>, u32, u64)> = picks(jobs, mix)
+        .into_iter()
+        .enumerate()
+        .map(|(j, pick)| (pick, window(j), (j % 4) as u32, (j as u64 % 97) * 53))
+        .collect();
+    let (serial, _) = Pool::run_serial_reference(
+        job_list
+            .iter()
+            .map(|(pick, w, _, _)| (&kernels[*pick], std::iter::once(w.as_slice()))),
+    )
+    .expect("serial reference runs");
+    let run = |plan: bool| -> ServeReport {
+        let mut sessions = constrained_sessions(arrays, 2 * program_words);
+        if plan {
+            for session in &mut sessions {
+                session.set_eviction_policy(ArcPolicy::new());
+            }
+        }
+        let pool = Pool::with_sessions(sessions)
+            .expect("constrained sessions share one geometry")
+            .with_placement(CostAware::default());
+        let mut server = Server::new(pool)
+            .with_policy(WeightedFair::new())
+            .with_stealing(true)
+            .with_lookahead(plan);
+        let (outputs, report) = server
+            .run_batch(job_list.iter().map(|(pick, w, tenant, arrival)| {
+                ServeJob::new(
+                    &kernels[*pick],
+                    std::iter::once(w.as_slice()),
+                    *tenant,
+                    *arrival,
+                )
+            }))
+            .expect("large-fleet burst serves");
+        assert_eq!(
+            outputs, serial,
+            "served outputs must be bit-identical to the serial reference"
+        );
+        report
+    };
+    FleetCell {
+        arrays,
+        jobs,
+        baseline: run(false),
+        planned: run(true),
+    }
 }
 
 fn main() {
@@ -188,6 +268,47 @@ fn main() {
             ca.wall_cycles(),
         );
     }
+    // Large-fleet planner scaling: the serving layer's whole-queue
+    // lookahead planner at 100-1000 arrays.
+    let fleet_scales: &[(usize, usize)] = if smoke {
+        &[(100, 200)]
+    } else {
+        &[(100, 200), (400, 800), (1000, 2000)]
+    };
+    println!();
+    println!("Large-fleet planner scaling: weighted-fair + stealing burst, 6-kernel mix,");
+    println!("one window per job, with and without whole-queue lookahead + ARC eviction");
+    println!();
+    println!(
+        "  arrays  jobs   config     p99  cold  prefetch  hidden  plan-pf  runs/batched  averted  wall-cycles"
+    );
+    println!(
+        "  ------  ----  ---------  ----  ----  --------  ------  -------  ------------  -------  -----------"
+    );
+    let fleet_cells: Vec<FleetCell> = fleet_scales
+        .iter()
+        .map(|&(arrays, jobs)| large_fleet(arrays, jobs))
+        .collect();
+    for cell in &fleet_cells {
+        for (name, report) in [("baseline", &cell.baseline), ("lookahead", &cell.planned)] {
+            println!(
+                "  {:>6}  {:>4}  {:<9}  {:>4}  {:>4}  {:>8}  {:>6}  {:>7}  {:>6}/{:<5}  {:>7}  {:>11}",
+                cell.arrays,
+                cell.jobs,
+                name,
+                report.p99(),
+                report.fleet.cold_reloads(),
+                report.fleet.prefetched(),
+                report.fleet.hidden_reloads(),
+                report.plan.planned_prefetches,
+                report.plan.affinity_runs,
+                report.plan.batched_jobs,
+                report.plan.evictions_averted,
+                report.fleet.wall_cycles(),
+            );
+        }
+    }
+
     println!();
     println!("Outputs are bit-identical to serial single-session execution in every cell;");
     println!("placement decides where, prefetch and the pipeline when, the work runs.");
@@ -225,6 +346,26 @@ fn main() {
                     cell.residency.wall_cycles()
                 ));
             }
+        }
+    }
+    for cell in &fleet_cells {
+        if cell.planned.fleet.cold_reloads() > cell.baseline.fleet.cold_reloads() {
+            failures.push(format!(
+                "{} arrays, {} jobs: lookahead cold reloads {} worse than baseline {}",
+                cell.arrays,
+                cell.jobs,
+                cell.planned.fleet.cold_reloads(),
+                cell.baseline.fleet.cold_reloads()
+            ));
+        }
+        if cell.planned.fleet.hidden_reloads() < cell.baseline.fleet.hidden_reloads() {
+            failures.push(format!(
+                "{} arrays, {} jobs: lookahead hid {} reloads vs baseline {}",
+                cell.arrays,
+                cell.jobs,
+                cell.planned.fleet.hidden_reloads(),
+                cell.baseline.fleet.hidden_reloads()
+            ));
         }
     }
     if !failures.is_empty() {

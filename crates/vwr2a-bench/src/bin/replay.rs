@@ -16,10 +16,33 @@
 //! beat replay-off; leaves the checked-in artifact alone); the full run
 //! additionally enforces the >= 10x host speed-up target.  `--windows N`
 //! overrides the stream length.
+//!
+//! `--baseline PATH` regresses the measured replay-on host time per
+//! window against the `host_us_per_window_on` recorded in a checked-in
+//! `BENCH_replay.json`: the run fails if it exceeds the baseline by more
+//! than the tolerance factor.  The tolerance is deliberately loose — CI
+//! runners are slower and noisier than the machine that wrote the
+//! artifact — so the gate catches gross host-speed regressions (a broken
+//! replay path re-interpreting warm windows), not single-digit drift.
+//! The scheduled soak CI job uses this.
 
 use vwr2a_bench::{cycles_to_us, run_fir_replay_stream, ReplayMeasurement};
 
 const N: usize = 256;
+
+/// How many times slower than the recorded baseline the measured
+/// per-window host time may be before `--baseline` fails the run.
+const HOST_REGRESSION_TOLERANCE: f64 = 3.0;
+
+/// Pulls `"key": <number>` out of the flat single-object artifact without
+/// a JSON dependency (the artifact is written with `format!` for the same
+/// reason).
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &json[json.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
 
 /// Host-clock noise (scheduler preemption, frequency scaling) only ever
 /// *inflates* a wall-clock sample, so the minimum over a few repeats is
@@ -134,5 +157,30 @@ fn main() {
     if !smoke && speedup < 10.0 {
         eprintln!("FAIL: host speed-up {speedup:.1}x below the 10x target");
         std::process::exit(1);
+    }
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+    {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--baseline {path} is not readable: {e}"));
+        let per_window = extract_f64(&text, "host_us_per_window_on")
+            .expect("baseline artifact records host_us_per_window_on");
+        let measured = on.host_us / windows as f64;
+        let ceiling = per_window * HOST_REGRESSION_TOLERANCE;
+        println!();
+        println!(
+            "Baseline {path}: {per_window:.3} us/window; measured {measured:.3} us/window \
+             (ceiling {ceiling:.3}, tolerance x{HOST_REGRESSION_TOLERANCE})",
+        );
+        if measured > ceiling {
+            eprintln!(
+                "FAIL: replay-on host time {measured:.3} us/window regressed past \
+                 {ceiling:.3} (baseline {per_window:.3} x{HOST_REGRESSION_TOLERANCE})",
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -11,12 +11,25 @@
 //! has to re-stream configuration words (`cold / launches`) and the cycles
 //! that costs.
 //!
-//! Part 2 compares `LruPolicy`, `LfuPolicy` and `SizeAwareLru` on a
-//! working set that mixes three small (3-tap) programs with two large
-//! (11-tap) ones under pressure: the size-aware policy prefers evicting
-//! one large coldish program over cascading through the small warm ones,
-//! and the frequency-aware policy protects the hot small working set from
-//! rarely-launched interlopers that recency alone would keep.
+//! Part 2 compares `LruPolicy`, `LfuPolicy`, `SizeAwareLru` and the
+//! adaptive `ArcPolicy` on a working set that mixes three small (3-tap)
+//! programs with two large (11-tap) ones under pressure: the size-aware
+//! policy prefers evicting one large coldish program over cascading
+//! through the small warm ones, and the frequency-aware policy protects
+//! the hot small working set from rarely-launched interlopers that
+//! recency alone would keep.
+//!
+//! Part 3 is the adaptive policy's home turf: one continuous workload
+//! that *changes character* halfway — a recency-heavy drift phase (the
+//! working set keeps moving, so recency wins and launch counts mislead)
+//! followed by a frequency-heavy serving phase (a hot pair launched
+//! between streams of one-shot interlopers, so launch counts win and
+//! recency misleads).  Every static policy is wrong in one of the two
+//! phases; `ArcPolicy` watches its ghost lists and moves its
+//! recency/frequency balance across the change.  The binary *fails fast*
+//! (non-zero exit) if ArcPolicy pays more cold launches than the best
+//! static policy on the mixed working set, or is not strictly better
+//! than every static policy on the phase-change workload.
 //!
 //! Run with `--smoke` for the fast CI configuration.
 
@@ -26,7 +39,7 @@ use vwr2a_dsp::fir::design_lowpass;
 use vwr2a_dsp::fixed::Q15;
 use vwr2a_kernels::fir::FirKernel;
 use vwr2a_runtime::{
-    EvictionPolicy, Kernel, LfuPolicy, LruPolicy, RunReport, Session, SizeAwareLru,
+    ArcPolicy, EvictionPolicy, Kernel, LfuPolicy, LruPolicy, RunReport, Session, SizeAwareLru,
 };
 
 const N: usize = 256;
@@ -131,7 +144,15 @@ fn capacity_sweep(invocations: usize) {
     println!("only pay more cold configuration-word streaming after LRU evictions.");
 }
 
-fn policy_comparison(invocations: usize) {
+/// Cold-launch counts of part 2, returned so `main` can gate on them.
+struct PolicyColds {
+    lru: u64,
+    lfu: u64,
+    size_aware: u64,
+    arc: u64,
+}
+
+fn policy_comparison(invocations: usize) -> PolicyColds {
     // Three small programs — one touched rarely (once per 16), two hot —
     // plus two large programs that alternate.  When a large program
     // returns, the recency order ranks a hot small program oldest (its
@@ -172,10 +193,12 @@ fn policy_comparison(invocations: usize) {
     let lru = run_workload(&mixed, capacity, LruPolicy, invocations, pick);
     let lfu = run_workload(&mixed, capacity, LfuPolicy, invocations, pick);
     let size_aware = run_workload(&mixed, capacity, SizeAwareLru, invocations, pick);
+    let arc = run_workload(&mixed, capacity, ArcPolicy::new(), invocations, pick);
     for (name, report) in [
         ("LruPolicy", &lru),
         ("LfuPolicy", &lfu),
         ("SizeAwareLru", &size_aware),
+        ("ArcPolicy", &arc),
     ] {
         println!(
             "  {:<12}  {:>9}  {:>4}  {:>4}  {:>8.1}%  {:>9}",
@@ -190,7 +213,98 @@ fn policy_comparison(invocations: usize) {
     println!();
     println!("SizeAwareLru spends one eviction on the large coldish program instead of");
     println!("cascading through the small warm working set; LfuPolicy protects the");
-    println!("frequently-launched programs from recent-but-rare interlopers.");
+    println!("frequently-launched programs from recent-but-rare interlopers; ArcPolicy");
+    println!("learns the same protection online from its ghost lists.");
+    PolicyColds {
+        lru: lru.cold_launches,
+        lfu: lfu.cold_launches,
+        size_aware: size_aware.cold_launches,
+        arc: arc.cold_launches,
+    }
+}
+
+/// The phase-change workload: a recency-heavy drift phase, then a
+/// frequency-heavy serving phase, as one continuous launch schedule over
+/// equal-size programs in a three-program configuration memory.
+///
+/// * Drift phase: a stale-but-frequent anchor program (many early
+///   launches, never used again) followed by a working set of three
+///   programs that is replayed once and then *moves on*.  Recency is the
+///   truth here: LRU drops the anchor and serves the drift warm; a
+///   frequency-first policy keeps the anchor resident and cascades cold
+///   through every drift program.
+/// * Serving phase: a hot pair launched between pairs of one-shot
+///   interlopers.  Launch counts are the truth here: LFU drops the spent
+///   interlopers and keeps the pair warm; a recency-first policy sees the
+///   pair as oldest at every interloper load and cascades cold through
+///   the hot set.
+///
+/// Each static policy is right in one phase and wrong in the other;
+/// ArcPolicy pays a couple of adaptation reloads at each transition (the
+/// ghost-list hits that move its balance) and beats every static policy
+/// on the total.
+fn phase_change() -> Vec<(&'static str, RunReport)> {
+    // 21 equal-size 11-tap programs: 0 = anchor, 1..=6 = drift sets,
+    // 7..=8 = the hot pair, 9.. = one-shot interlopers.
+    let kernels: Vec<FirKernel> = (0..21).map(|k| fir(11, 0.04 + 0.02 * k as f64)).collect();
+    let words = program_words(&kernels[0]);
+    let capacity = 3 * words;
+
+    let mut schedule: Vec<usize> = Vec::new();
+    schedule.extend([0; 6]); // the anchor earns its launch count
+    schedule.extend([1, 2, 3, 1, 2, 3]); // drift: replayed once, then gone
+    schedule.extend([4, 5, 6, 4, 5, 6]);
+    schedule.extend([7, 8, 7, 8]); // the hot pair earns its launch count
+    for j in 0..6 {
+        // Two fresh interlopers, then the pair again.
+        schedule.extend([9 + 2 * j, 10 + 2 * j, 7, 8]);
+    }
+
+    let invocations = schedule.len();
+    let pick = move |i: usize| schedule[i];
+    println!();
+    println!(
+        "Phase change: {invocations} invocations over {} equal-size ({words}-word) programs",
+        kernels.len()
+    );
+    println!("in a {capacity}-word (3-program) memory: drift phase (recency wins), then hot pair");
+    println!("+ one-shot interlopers (frequency wins)");
+    println!();
+    println!("  policy        evictions  cold  warm  cold-rate  cycles");
+    println!("  ------------  ---------  ----  ----  ---------  ---------");
+    let rows = vec![
+        (
+            "LruPolicy",
+            run_workload(&kernels, capacity, LruPolicy, invocations, &pick),
+        ),
+        (
+            "LfuPolicy",
+            run_workload(&kernels, capacity, LfuPolicy, invocations, &pick),
+        ),
+        (
+            "SizeAwareLru",
+            run_workload(&kernels, capacity, SizeAwareLru, invocations, &pick),
+        ),
+        (
+            "ArcPolicy",
+            run_workload(&kernels, capacity, ArcPolicy::new(), invocations, &pick),
+        ),
+    ];
+    for (name, report) in &rows {
+        println!(
+            "  {:<12}  {:>9}  {:>4}  {:>4}  {:>8.1}%  {:>9}",
+            name,
+            report.evictions,
+            report.cold_launches,
+            report.warm_launches,
+            100.0 * report.cold_launches as f64 / report.launches() as f64,
+            report.cycles,
+        );
+    }
+    println!();
+    println!("LRU wins the drift and loses the serving phase; LFU the reverse.  ArcPolicy");
+    println!("re-balances at the transition and pays the fewest cold launches overall.");
+    rows
 }
 
 fn main() {
@@ -198,10 +312,45 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let invocations = if smoke { 16 } else { 64 };
     capacity_sweep(invocations);
-    policy_comparison(invocations);
+    let mixed = policy_comparison(invocations);
+    let phased = phase_change();
     println!();
     println!(
         "Host time: {:.0} us (modelled cycles above are simulator output)",
         host.elapsed().as_secs_f64() * 1e6
     );
+
+    // Fail-fast gates for the adaptive policy: never worse than the best
+    // static policy on the mixed working set, strictly better than every
+    // static policy across the phase change.
+    let mut failures = Vec::new();
+    let best_static = mixed.lru.min(mixed.lfu).min(mixed.size_aware);
+    if mixed.arc > best_static {
+        failures.push(format!(
+            "mixed working set: ArcPolicy cold launches {} worse than best static {}",
+            mixed.arc, best_static
+        ));
+    }
+    let arc_phased = phased
+        .iter()
+        .find(|(name, _)| *name == "ArcPolicy")
+        .expect("ArcPolicy row present")
+        .1
+        .cold_launches;
+    for (name, report) in &phased {
+        if *name != "ArcPolicy" && arc_phased >= report.cold_launches {
+            failures.push(format!(
+                "phase change: ArcPolicy cold launches {arc_phased} not strictly below \
+                 {name}'s {}",
+                report.cold_launches
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!();
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -99,14 +99,16 @@ pub use backend::{
 };
 pub use error::{Result, RuntimeError};
 pub use pipeline::{StreamSchedule, WindowPhases};
-pub use policy::{EvictionPolicy, LfuPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru};
+pub use policy::{
+    ArcPolicy, EvictionPolicy, LfuPolicy, LruPolicy, NeverEvict, ResidentProgram, SizeAwareLru,
+};
 pub use pool::{
     BackendView, CostAware, JobView, LeastLoaded, Objective, Placement, PlacementPlan, Pool,
     PrefetchDirective, ResidencyAware, RoundRobin,
 };
 pub use report::{
-    ArrayReport, BackendKindStats, FleetReport, JobLatency, JobRoute, RunReport, ServeReport,
-    TenantStats,
+    ArrayReport, BackendKindStats, FleetReport, JobLatency, JobRoute, PlannerStats, RunReport,
+    ServeReport, TenantStats,
 };
 pub use serve::{
     EarliestDeadlineFirst, Fifo, QueuedJob, SchedPolicy, ServeJob, Server, TenantId, WeightedFair,

@@ -9,7 +9,7 @@
 //! withheld until no other resident can make room — and must be
 //! deterministic so capacity experiments are reproducible.
 //!
-//! Four policies ship with the runtime:
+//! Five policies ship with the runtime:
 //!
 //! * [`LruPolicy`] (default) — evict the least recently loaded-or-launched
 //!   program, regardless of size.
@@ -20,13 +20,21 @@
 //!   large cold-ish program is evicted instead of several small warm-ish
 //!   ones.  A single eviction then frees enough room, and the small hot
 //!   programs keep their residency (fewer cold reloads downstream).
+//! * [`ArcPolicy`] — adaptive replacement: balances a recency side
+//!   (programs launched at most once since load) against a frequency side
+//!   (programs launched repeatedly), and *re-tunes* that balance from
+//!   ghost hits — reloads of recently evicted programs — so the policy
+//!   tracks a shifting mix instead of betting on one signal forever.
 //! * [`NeverEvict`] — refuse, restoring the hard
 //!   [`vwr2a_core::CoreError::ConfigMemoryFull`] failure.
 //!
 //! The `residency` bench binary compares the policies on a mixed-size
-//! working set.
+//! working set and on a phase-change workload where any static policy
+//! loses one of the phases.
 
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::sync::{Mutex, PoisonError};
 
 /// Snapshot of one resident program handed to an [`EvictionPolicy`] when
 /// the session must free configuration-memory words.
@@ -58,6 +66,33 @@ pub trait EvictionPolicy: fmt::Debug + Send {
     /// Called repeatedly until the pending program fits, so a policy only
     /// ever picks one victim at a time.
     fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str>;
+
+    /// Observation hook: the session is loading `key` into configuration
+    /// memory (cold load or prefetch stage).  Adaptive policies use this
+    /// to detect *ghost hits* — reloads of programs they recently chose to
+    /// evict; the static policies ignore it.
+    fn note_load(&self, key: &str) {
+        let _ = key;
+    }
+
+    /// Observation hook: a new invocation (or prefetch) asked for `key`
+    /// while its program was already resident — the program was *reused*
+    /// after the invocation that loaded it.  Fired once per invocation
+    /// regardless of how many launches the invocation issues, so adaptive
+    /// policies can classify residents by reuse where raw launch counts
+    /// would conflate one multi-launch invocation with many invocations.
+    /// The static policies ignore it.
+    fn note_use(&self, key: &str) {
+        let _ = key;
+    }
+
+    /// Observation hook: the session unloaded `key` (which had `launches`
+    /// launches since its last load) on this policy's advice.  Adaptive
+    /// policies record the victim as a ghost; the static policies ignore
+    /// it.
+    fn note_eviction(&self, key: &str, launches: u64) {
+        let _ = (key, launches);
+    }
 }
 
 /// The default policy: evict the program least recently loaded or
@@ -143,6 +178,190 @@ impl EvictionPolicy for SizeAwareLru {
     }
 }
 
+/// Ghost entries [`ArcPolicy`] remembers per side, and the clamp on its
+/// adaptive recency target.  Sized to comfortably cover the handful of
+/// programs a VWR2A configuration memory holds (the paper geometry fits
+/// tens of kernels, constrained bench geometries far fewer).
+const ARC_GHOST_CAPACITY: usize = 32;
+
+/// The adaptive state behind [`ArcPolicy`], guarded by a mutex because
+/// [`EvictionPolicy`] methods take `&self`.
+#[derive(Debug, Default)]
+struct ArcState {
+    /// The adaptive balance `p`: how many *recency-side* residents the
+    /// policy aims to protect.  `0` means "sacrifice seen-once programs
+    /// first" (pure frequency bias); larger values shift evictions onto
+    /// the frequency side.
+    recency_target: u64,
+    /// Ghosts of evicted recency-side programs (never reused after their
+    /// loading invocation), oldest first.  A reload of one of these means
+    /// the recency side was squeezed too hard.
+    ghost_recency: VecDeque<String>,
+    /// Ghosts of evicted frequency-side programs (reused at least once
+    /// since load), oldest first.
+    ghost_frequency: VecDeque<String>,
+    /// Residents observed *reused* since their load
+    /// ([`EvictionPolicy::note_use`]) — the frequency side.  Keyed on the
+    /// session's per-invocation reuse signal rather than raw launch
+    /// counts, because one invocation may issue several launches (FIR
+    /// kernels launch twice) and would otherwise promote itself.
+    reused: HashSet<String>,
+}
+
+impl ArcState {
+    fn forget(&mut self, key: &str) {
+        self.ghost_recency.retain(|g| g != key);
+        self.ghost_frequency.retain(|g| g != key);
+    }
+}
+
+/// ARC-style adaptive replacement: recency and frequency balanced by
+/// observed ghost hits.
+///
+/// Residents are split by the session's reuse signal
+/// ([`EvictionPolicy::note_use`]): programs never asked for again after the
+/// invocation that loaded them form the **recency side** (they are only as
+/// valuable as they are fresh), programs a later invocation came back for
+/// form the **frequency side** (their history argues they will run again).
+/// The split deliberately ignores raw launch counts — one invocation may
+/// issue several launches without proving any reuse.  An adaptive target
+/// `p` decides which side pays the next eviction: while the recency side
+/// holds more than `p` programs its LRU member is sacrificed, otherwise
+/// the frequency side's.
+///
+/// Each evicted key is remembered as a *ghost*.  When a load
+/// ([`EvictionPolicy::note_load`]) hits a recency-side ghost, evicting
+/// fresh programs was a mistake — `p` grows, shielding the recency side;
+/// a frequency-side ghost hit shrinks `p` again.  Under a stable mix the
+/// policy settles near the better static policy; across a **phase change**
+/// (scan-heavy traffic turning into hot-set traffic, or back) it re-tunes
+/// within a few ghost hits, where [`LruPolicy`] and [`LfuPolicy`] each
+/// keep losing one of the phases — the `residency` bench's phase-change
+/// table measures exactly this.
+///
+/// Within the side that pays, candidates are ranked by the same
+/// size-weighted age rank as [`SizeAwareLru`], so one large coldish
+/// eviction is preferred over a cascade through small warm programs;
+/// uniform footprints degrade to plain LRU order.  Like every
+/// [`EvictionPolicy`], selection is deterministic (the session's logical
+/// clock makes `last_use` unique) and picks one victim per call.
+#[derive(Debug, Default)]
+pub struct ArcPolicy {
+    state: Mutex<ArcState>,
+}
+
+impl ArcPolicy {
+    /// A fresh policy: balance fully on the frequency side (`p = 0`, evict
+    /// seen-once programs first), no ghosts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current adaptive balance `p`: how many recency-side residents
+    /// the policy protects before sacrificing the frequency side.  Starts
+    /// at `0`; grows on recency-ghost hits, shrinks on frequency-ghost
+    /// hits.  Exposed for benches and tests.
+    pub fn recency_target(&self) -> u64 {
+        self.lock().recency_target
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ArcState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl EvictionPolicy for ArcPolicy {
+    fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+        let state = self.lock();
+        // Within a side, age rank is weighted by footprint exactly like
+        // [`SizeAwareLru`]: one large coldish eviction frees more room
+        // than a cascade through small warm programs, and uniform sizes
+        // degrade to plain LRU order.
+        let pick = |side: Option<bool>| {
+            let mut members: Vec<&ResidentProgram<'a>> = candidates
+                .iter()
+                .filter(|c| side.is_none_or(|freq| state.reused.contains(c.key) == freq))
+                .collect();
+            members.sort_by_key(|c| std::cmp::Reverse(c.last_use));
+            members
+                .iter()
+                .enumerate()
+                .max_by_key(|(rank, c)| {
+                    (
+                        c.words as u64 * (*rank as u64 + 1),
+                        std::cmp::Reverse(c.last_use),
+                    )
+                })
+                .map(|(_, c)| c.key)
+        };
+        let recency_size = candidates
+            .iter()
+            .filter(|c| !state.reused.contains(c.key))
+            .count() as u64;
+        // The recency side pays while it exceeds its protected share `p`;
+        // otherwise the frequency side's oldest (size-weighted) member goes.
+        let victim = if recency_size > state.recency_target {
+            pick(Some(false))
+        } else {
+            pick(Some(true))
+        };
+        // The chosen side may be empty: fall back to ranking every
+        // candidate rather than refusing (refusal is NeverEvict's job).
+        victim.or_else(|| pick(None))
+    }
+
+    fn note_load(&self, key: &str) {
+        let mut state = self.lock();
+        // A (re)load starts the program on the recency side: it has yet to
+        // prove reuse in its new residency.
+        state.reused.remove(key);
+        let recency_ghosts = state.ghost_recency.len() as u64;
+        let frequency_ghosts = state.ghost_frequency.len() as u64;
+        if state.ghost_recency.iter().any(|g| g == key) {
+            // A seen-once program we evicted came straight back: protect
+            // the recency side harder, stepping faster when its ghost list
+            // is the smaller one (the classic ARC ratio rule).
+            let delta = (frequency_ghosts / recency_ghosts.max(1)).max(1);
+            state.recency_target = state
+                .recency_target
+                .saturating_add(delta)
+                .min(ARC_GHOST_CAPACITY as u64);
+            state.forget(key);
+            // A ghost hit is itself proof of reuse: the program survived
+            // its own eviction in the workload.  Like ARC moving B1/B2
+            // hits straight into T2, it re-enters on the frequency side.
+            state.reused.insert(key.to_string());
+        } else if state.ghost_frequency.iter().any(|g| g == key) {
+            let delta = (recency_ghosts / frequency_ghosts.max(1)).max(1);
+            state.recency_target = state.recency_target.saturating_sub(delta);
+            state.forget(key);
+            state.reused.insert(key.to_string());
+        }
+    }
+
+    fn note_use(&self, key: &str) {
+        let mut state = self.lock();
+        state.reused.insert(key.to_string());
+    }
+
+    fn note_eviction(&self, key: &str, launches: u64) {
+        let _ = launches;
+        let mut state = self.lock();
+        state.forget(key);
+        // The reuse signal, not the launch count, decides which ghost list
+        // remembers the victim (and the entry is retired with it).
+        let side = if state.reused.remove(key) {
+            &mut state.ghost_frequency
+        } else {
+            &mut state.ghost_recency
+        };
+        side.push_back(key.to_string());
+        if side.len() > ARC_GHOST_CAPACITY {
+            side.pop_front();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +444,160 @@ mod tests {
         let c = [resident("small-old", 30, 1), resident("large-hot", 35, 9)];
         // small-old: 30 * 2 = 60; large-hot: 35 * 1 = 35.
         assert_eq!(SizeAwareLru.select_victim(&c), Some("small-old"));
+    }
+
+    fn frequent(key: &str, launches: u64, last_use: u64) -> ResidentProgram<'_> {
+        ResidentProgram {
+            key,
+            words: 10,
+            launches,
+            last_use,
+        }
+    }
+
+    #[test]
+    fn arc_starts_by_sacrificing_seen_once_programs() {
+        let arc = ArcPolicy::new();
+        assert_eq!(arc.recency_target(), 0);
+        // "hot" proved reuse; the scans were loaded once and never asked
+        // for again.  With p = 0 the recency side always exceeds its
+        // protected share, so its LRU member goes — not the old hot one.
+        for key in ["hot", "scan-a", "scan-b"] {
+            arc.note_load(key);
+        }
+        arc.note_use("hot");
+        let c = [
+            frequent("hot", 9, 1),
+            frequent("scan-a", 1, 5),
+            frequent("scan-b", 1, 7),
+        ];
+        assert_eq!(arc.select_victim(&c), Some("scan-a"));
+    }
+
+    #[test]
+    fn arc_classifies_by_reuse_not_launch_count() {
+        // One invocation that issues several launches (a FIR invocation
+        // launches twice) proves nothing: the program stays on the recency
+        // side until a *later* invocation comes back for it.
+        let arc = ArcPolicy::new();
+        arc.note_load("fir");
+        arc.note_load("hot");
+        arc.note_use("hot");
+        let c = [frequent("fir", 2, 9), frequent("hot", 2, 1)];
+        assert_eq!(arc.select_victim(&c), Some("fir"));
+        // Once genuinely reused it joins the frequency side and survives.
+        arc.note_use("fir");
+        arc.note_load("scan");
+        let c = [
+            frequent("fir", 4, 9),
+            frequent("hot", 2, 1),
+            frequent("scan", 2, 5),
+        ];
+        assert_eq!(arc.select_victim(&c), Some("scan"));
+    }
+
+    #[test]
+    fn arc_ghost_hits_adapt_the_balance_both_ways() {
+        let arc = ArcPolicy::new();
+        // Evicting a never-reused program that comes straight back is a
+        // recency-ghost hit: the protected share grows, and the returning
+        // program re-enters on the frequency side (it just proved reuse).
+        arc.note_load("scan-a");
+        arc.note_eviction("scan-a", 1);
+        arc.note_load("scan-a");
+        assert_eq!(arc.recency_target(), 1);
+        // With p = 1 a lone fresh program is protected, so the frequency
+        // side pays instead (its LRU member, the warm program).
+        arc.note_load("hot");
+        arc.note_use("hot");
+        arc.note_load("warm");
+        arc.note_use("warm");
+        arc.note_load("fresh");
+        let c = [
+            frequent("hot", 9, 8),
+            frequent("fresh", 1, 5),
+            frequent("warm", 3, 2),
+        ];
+        assert_eq!(arc.select_victim(&c), Some("warm"));
+        // Evicting the reused program files a frequency ghost; its reload
+        // is a frequency-ghost hit and pulls the balance back...
+        arc.note_eviction("warm", 3);
+        arc.note_load("warm");
+        assert_eq!(arc.recency_target(), 0);
+        // ...so the fresh never-reused program pays again.
+        assert_eq!(arc.select_victim(&c), Some("fresh"));
+        // A load that hits no ghost moves nothing.
+        arc.note_load("never-seen");
+        assert_eq!(arc.recency_target(), 0);
+    }
+
+    #[test]
+    fn arc_ghost_hits_are_consumed_and_ghost_lists_are_bounded() {
+        let arc = ArcPolicy::new();
+        arc.note_eviction("scan", 1);
+        arc.note_load("scan");
+        arc.note_load("scan"); // second load: the ghost is gone
+        assert_eq!(arc.recency_target(), 1);
+        // Overflow the recency ghost list: the oldest ghost is forgotten,
+        // so its reload no longer adapts anything.
+        let arc = ArcPolicy::new();
+        arc.note_eviction("oldest", 1);
+        for i in 0..ARC_GHOST_CAPACITY {
+            arc.note_eviction(&format!("g{i}"), 1);
+        }
+        arc.note_load("oldest");
+        assert_eq!(arc.recency_target(), 0);
+        // The balance itself is clamped to the ghost capacity.
+        let arc = ArcPolicy::new();
+        for i in 0..2 * ARC_GHOST_CAPACITY {
+            let key = format!("k{i}");
+            arc.note_eviction(&key, 1);
+            arc.note_load(&key);
+        }
+        assert_eq!(arc.recency_target(), ARC_GHOST_CAPACITY as u64);
+    }
+
+    #[test]
+    fn arc_selection_is_deterministic_and_picks_one_candidate() {
+        let c = [
+            frequent("a", 1, 3),
+            frequent("b", 4, 1),
+            frequent("c", 1, 2),
+            frequent("d", 7, 4),
+        ];
+        // Two independently built policies fed the same history agree on
+        // every call, and each pick is a member of the candidate set.
+        let build = || {
+            let arc = ArcPolicy::new();
+            arc.note_eviction("c", 1);
+            arc.note_load("c");
+            arc
+        };
+        let (x, y) = (build(), build());
+        for _ in 0..3 {
+            let (vx, vy) = (x.select_victim(&c), y.select_victim(&c));
+            assert_eq!(vx, vy);
+            let victim = vx.expect("candidates are non-empty");
+            assert!(c.iter().any(|r| r.key == victim), "{victim} not offered");
+        }
+        assert_eq!(x.select_victim(&[]), None);
+        // Ties on last_use (impossible in a live session, possible in
+        // synthetic tests) break deterministically by key.
+        let tied = [frequent("z", 1, 5), frequent("m", 1, 5)];
+        assert_eq!(x.select_victim(&tied), x.select_victim(&tied));
+    }
+
+    #[test]
+    fn arc_falls_back_to_plain_lru_when_a_side_is_empty() {
+        let arc = ArcPolicy::new();
+        // Protect the recency side beyond its size; the frequency side is
+        // empty, so plain LRU decides.
+        for i in 0..4 {
+            let key = format!("p{i}");
+            arc.note_eviction(&key, 1);
+            arc.note_load(&key);
+        }
+        let all_once = [frequent("a", 1, 9), frequent("b", 0, 4)];
+        assert_eq!(arc.select_victim(&all_once), Some("b"));
     }
 }

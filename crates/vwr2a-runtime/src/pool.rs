@@ -784,6 +784,42 @@ impl Pool {
         &*self.placement
     }
 
+    /// Announces `keys` as needed-soon on every CGRA-array session of the
+    /// fleet (see [`Session::set_needed_soon`]); an empty set clears the
+    /// announcement.  Offload backends have no configuration memory and
+    /// ignore it.  The serving layer's lookahead planner derives the set
+    /// from its admission and run queues each scheduling round.
+    pub(crate) fn set_needed_soon(&mut self, keys: &std::collections::HashSet<String>) {
+        for backend in &mut self.backends {
+            if let Some(session) = backend.as_session_mut() {
+                session.set_needed_soon(keys.iter().cloned());
+            }
+        }
+    }
+
+    /// Announces the needed-soon set on a single backend (no-op for
+    /// backends without a session) — the serving planner announces each
+    /// backend's own run queue, not a fleet-wide union.
+    pub(crate) fn set_needed_soon_on(
+        &mut self,
+        index: usize,
+        keys: impl IntoIterator<Item = String>,
+    ) {
+        if let Some(session) = self.backends[index].as_session_mut() {
+            session.set_needed_soon(keys);
+        }
+    }
+
+    /// Evictions the needed-soon shield redirected, summed over the
+    /// fleet's array sessions (see [`Session::evictions_averted`]).
+    pub(crate) fn evictions_averted(&self) -> u64 {
+        self.backends
+            .iter()
+            .filter_map(|b| b.as_session())
+            .map(Session::evictions_averted)
+            .sum()
+    }
+
     /// An empty wave report shaped like this fleet (one entry per backend,
     /// labelled by kind).
     pub(crate) fn blank_wave(&self) -> FleetReport {

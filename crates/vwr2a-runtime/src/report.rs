@@ -532,10 +532,43 @@ pub struct TenantStats {
     pub deadline_misses: u64,
 }
 
+/// What the serving layer's whole-queue lookahead planner did during one
+/// [`crate::serve::Server`] run.  All zeros when lookahead planning is
+/// disabled ([`crate::serve::Server::with_lookahead`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Affinity runs formed: times the planner dispatched two or more
+    /// queued jobs sharing one cache key consecutively onto the backend
+    /// holding (or about to hold) their program.
+    pub affinity_runs: u64,
+    /// Jobs that rode an affinity run behind its policy-selected head
+    /// (the head itself is not counted — it was dispatched on the
+    /// scheduling policy's own authority).
+    pub batched_jobs: u64,
+    /// Prefetches the planner staged for jobs still waiting in a run
+    /// queue, overlapping the reload with the compute of the jobs ahead.
+    pub planned_prefetches: u64,
+    /// Evictions the queue-derived needed-soon shield redirected away
+    /// from a program a queued job needs (summed over the fleet's array
+    /// sessions; see [`crate::Session::evictions_averted`]).
+    pub evictions_averted: u64,
+}
+
+impl std::fmt::Display for PlannerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} affinity run(s) ({} batched job(s)), {} planned prefetch(es), \
+             {} eviction(s) averted",
+            self.affinity_runs, self.batched_jobs, self.planned_prefetches, self.evictions_averted
+        )
+    }
+}
+
 /// What one [`crate::serve::Server`] run reports: the underlying fleet
 /// accounting plus the serving layer's operator numbers — per-job
-/// latencies (in submission order), tail percentiles, deadline misses and
-/// the work-stealing count.
+/// latencies (in submission order), tail percentiles, deadline misses,
+/// the work-stealing count and the lookahead planner's ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// The run's fleet-level accounting (per-array wall/busy cycles,
@@ -546,6 +579,8 @@ pub struct ServeReport {
     /// Queued jobs the stealing pass re-routed away from a drifted-ahead
     /// array before they materialised.
     pub steals: u64,
+    /// The lookahead planner's ledger (all zeros when planning is off).
+    pub plan: PlannerStats,
 }
 
 impl ServeReport {
@@ -612,7 +647,7 @@ impl std::fmt::Display for ServeReport {
         write!(
             f,
             "serve: {} job(s) from {} tenant(s), p50/p95/p99 latency {}/{}/{} cycles, \
-             {} deadline miss(es), {} steal(s), {:.2} uJ; {}",
+             {} deadline miss(es), {} steal(s), {:.2} uJ; plan: {}; {}",
             self.latencies.len(),
             self.tenants().len(),
             self.p50(),
@@ -621,6 +656,7 @@ impl std::fmt::Display for ServeReport {
             self.deadline_misses(),
             self.steals,
             self.fleet.energy_uj(),
+            self.plan,
             self.fleet
         )
     }
@@ -889,6 +925,7 @@ mod tests {
                 .map(|(job, &t)| latency(job, t, true))
                 .collect(),
             steals: 0,
+            plan: PlannerStats::default(),
         }
     }
 

@@ -87,7 +87,7 @@
 //! ```
 
 use std::borrow::Borrow;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 use vwr2a_core::timeline::Engine;
@@ -97,7 +97,7 @@ use crate::backend::{run_window_on, BackendKind};
 use crate::error::{Result, RuntimeError};
 use crate::pipeline::StreamSchedule;
 use crate::pool::{BackendPrice, BackendView, JobView, PlacementPlan, Pool};
-use crate::report::{FleetReport, JobLatency, JobRoute, ServeReport};
+use crate::report::{FleetReport, JobLatency, JobRoute, PlannerStats, ServeReport};
 use crate::session::Kernel;
 
 /// Identifies the tenant a [`ServeJob`] belongs to.  Tenants are the unit
@@ -421,6 +421,9 @@ pub struct Server {
     /// cheaper in joules) where a shallow queue forces the objective-blind
     /// least-projected fallback the moment a backend fills.
     depth: usize,
+    /// Whether the whole-queue lookahead planner is active (see
+    /// [`Server::with_lookahead`]).
+    lookahead: bool,
     /// Online per-program cost model: cumulative `(compute_cycles,
     /// windows)` keyed by *backend kind and* cache key, learned from
     /// every completed job.  The kind in the key keeps the substrates'
@@ -439,6 +442,7 @@ impl Server {
             policy: Box::new(Fifo),
             stealing: true,
             depth: DISPATCH_DEPTH,
+            lookahead: false,
             estimates: HashMap::new(),
         }
     }
@@ -485,6 +489,42 @@ impl Server {
     /// The per-backend run-queue depth.
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// Enables or disables the whole-queue **lookahead planner**,
+    /// builder-style (default off, preserving the head-job-only dispatch
+    /// of earlier revisions).
+    ///
+    /// With lookahead on, every scheduling round plans over the *whole*
+    /// admitted queue instead of only the policy-selected head job:
+    ///
+    /// 1. **Affinity batching** — queued jobs sharing the head job's cache
+    ///    key ride along onto the same backend, back to back, while its
+    ///    run queue has room: one reload (if any) amortises over the whole
+    ///    run.
+    /// 2. **Pipelined prefetch** — the programs of jobs *waiting* in an
+    ///    array's run queue are staged on the configuration-load lane
+    ///    while the jobs ahead of them compute, so their reloads leave the
+    ///    launch critical path (see [`crate::Session::prefetch`]).
+    /// 3. **Eviction co-planning** — the cache keys of every queued job
+    ///    are announced to the fleet's array sessions as *needed soon*
+    ///    ([`crate::Session::set_needed_soon`]), so a prefetch or cold
+    ///    load never victimises a program a queued job is about to use
+    ///    while any other resident can make room.
+    ///
+    /// Like scheduling policies, placement, prefetch and stealing, the
+    /// planner moves only *where and when* jobs run — served outputs stay
+    /// bit-identical to [`Pool::run_serial_reference`].  The planner's
+    /// ledger is reported in [`ServeReport::plan`].
+    #[must_use]
+    pub fn with_lookahead(mut self, lookahead: bool) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// `true` if the whole-queue lookahead planner is active.
+    pub fn lookahead(&self) -> bool {
+        self.lookahead
     }
 
     /// The wrapped pool (residency inspection, accumulated stats).
@@ -592,7 +632,9 @@ impl Server {
         let mut wave = self.pool.blank_wave();
         let mut latencies: Vec<JobLatency> = Vec::new();
         let mut steals = 0u64;
+        let mut plan = PlannerStats::default();
 
+        let averted_before = self.pool.evictions_averted();
         let result = self.serve_loop(
             pending,
             sink,
@@ -600,7 +642,15 @@ impl Server {
             &mut schedules,
             &mut latencies,
             &mut steals,
+            &mut plan,
         );
+        if self.lookahead {
+            // The queue is drained (or the run aborted): clear the
+            // needed-soon announcement so later pool waves see an
+            // unshielded fleet, and account what the shield redirected.
+            self.pool.set_needed_soon(&HashSet::new());
+            plan.evictions_averted = self.pool.evictions_averted() - averted_before;
+        }
         for (array, schedule) in wave.arrays.iter_mut().zip(schedules) {
             let timeline = schedule.finish();
             array.report.wall_cycles = timeline.wall_cycles();
@@ -614,6 +664,7 @@ impl Server {
             fleet: wave,
             latencies,
             steals,
+            plan,
         })
     }
 
@@ -780,6 +831,7 @@ impl Server {
     /// steals and executes until the stream drains, recording into
     /// `wave`/`schedules`/`latencies` as it goes so the caller can
     /// salvage the accounting of an aborted run.
+    #[allow(clippy::too_many_arguments)]
     fn serve_loop<'k, K, I, F>(
         &mut self,
         mut pending: VecDeque<Ticket<'k, K, I>>,
@@ -788,6 +840,7 @@ impl Server {
         schedules: &mut [StreamSchedule],
         latencies: &mut Vec<JobLatency>,
         steals: &mut u64,
+        planner: &mut PlannerStats,
     ) -> Result<()>
     where
         K: Kernel,
@@ -892,8 +945,37 @@ impl Server {
                 }
                 wave.jobs += 1;
                 wave.arrays[chosen].jobs += 1;
+                let head_key = ticket.key.clone();
                 assigned[chosen].push_back((ticket, now));
                 progressed = true;
+                // Affinity batching: queued jobs sharing the head job's
+                // program ride along onto the same backend, back to back,
+                // while its run queue has room — the reload (if any)
+                // amortises over the whole run, and deeper riders become
+                // warm launches behind the head.  Riders keep their queue
+                // order; the head was dispatched on the policy's
+                // authority, so fairness is charged where it matters (the
+                // policy saw the head; the riders save everyone cycles).
+                if self.lookahead {
+                    let mut riders = 0u64;
+                    while assigned[chosen].len() < self.depth {
+                        let Some(next) = queue
+                            .iter()
+                            .position(|t| t.key == head_key && t.eligible(chosen))
+                        else {
+                            break;
+                        };
+                        let rider = queue.remove(next);
+                        wave.jobs += 1;
+                        wave.arrays[chosen].jobs += 1;
+                        assigned[chosen].push_back((rider, now));
+                        riders += 1;
+                    }
+                    if riders > 0 {
+                        planner.affinity_runs += 1;
+                        planner.batched_jobs += riders;
+                    }
+                }
             }
             queue.extend(parked);
 
@@ -901,6 +983,50 @@ impl Server {
             // projected backlog drifted furthest ahead of the fleet.
             if self.stealing {
                 self.steal_pass(now, schedules, &mut assigned, wave, steals);
+            }
+
+            // Eviction co-planning: announce, per backend, the programs
+            // of the jobs committed to *that* backend as needed-soon, so
+            // neither a sibling's prefetch nor a cold load victimises a
+            // program this backend's run queue is about to use.  The set
+            // is per-backend on purpose: a global announce would shield
+            // replicas on arrays that will never launch them, redirecting
+            // evictions onto programs those arrays actually need (and
+            // starving the speculative prefetches below, which refuse to
+            // evict shielded residents).  Runs after stealing, against
+            // each job's final backend.
+            if self.lookahead {
+                for (i, run_queue) in assigned.iter().enumerate() {
+                    let needed: HashSet<String> =
+                        run_queue.iter().map(|(t, _)| t.key.clone()).collect();
+                    self.pool.set_needed_soon_on(i, needed);
+                }
+            }
+
+            // Pipelined prefetch: stage the program of every job *waiting*
+            // in an array's run queue on the configuration-load lane,
+            // where it overlaps the compute of the jobs ahead of it (and,
+            // behind a backlog, costs zero wall cycles — a hidden reload).
+            // Runs after stealing so the stage lands on each job's final
+            // backend.  Best-effort, like every prefetch: a stage the
+            // session cannot satisfy is skipped and the job's own launch
+            // pays the reload.
+            if self.lookahead {
+                for (i, run_queue) in assigned.iter().enumerate() {
+                    if self.pool.backend(i).kind() != BackendKind::Array {
+                        continue;
+                    }
+                    for (ticket, _) in run_queue {
+                        let (kernel, key) = (ticket.kernel, &ticket.key);
+                        if self.pool.backend(i).is_warm(key) {
+                            continue;
+                        }
+                        self.pool.stage_prefetch(i, kernel, now, schedules, wave);
+                        if self.pool.backend(i).is_warm(key) {
+                            planner.planned_prefetches += 1;
+                        }
+                    }
+                }
             }
 
             // Execute: materialise the front job of every backend whose
@@ -1262,6 +1388,88 @@ mod tests {
             "weighted-fair" => Box::new(WeightedFair::new()),
             other => unreachable!("unknown built-in policy {other}"),
         }
+    }
+
+    #[test]
+    fn lookahead_batches_affinity_runs_at_identical_outputs() {
+        // Six jobs over two kernels arrive together on two arrays.  With
+        // lookahead on, queued jobs sharing a cache key ride the head
+        // job's dispatch as affinity runs; outputs stay bit-identical to
+        // the serial reference and the lookahead-off server, and the
+        // planner's counters surface in the report (all zero when off).
+        let k2 = BakedScaleKernel::new(2);
+        let k3 = BakedScaleKernel::new(3);
+        let picks = [&k2, &k2, &k2, &k3, &k3, &k3];
+        let jobs: Vec<(&BakedScaleKernel, Vec<Vec<i32>>)> = picks
+            .iter()
+            .enumerate()
+            .map(|(j, k)| (*k, windows(2, j as i32)))
+            .collect();
+        let (serial, _) = Pool::run_serial_reference(
+            jobs.iter()
+                .map(|(k, ws)| (*k, ws.iter().map(Vec::as_slice))),
+        )
+        .unwrap();
+
+        let run = |lookahead: bool| {
+            let mut server = Server::new(Pool::new(2))
+                .with_depth(3)
+                .with_lookahead(lookahead);
+            server
+                .run_batch(
+                    jobs.iter()
+                        .map(|(k, ws)| ServeJob::new(*k, ws.iter().map(Vec::as_slice), 0, 0)),
+                )
+                .unwrap()
+        };
+        let (plain_outputs, plain) = run(false);
+        let (planned_outputs, planned) = run(true);
+        assert_eq!(plain_outputs, serial);
+        assert_eq!(planned_outputs, serial, "planning moved an output");
+        assert_eq!(plain.plan, PlannerStats::default(), "off means all zeros");
+        assert!(
+            planned.plan.affinity_runs >= 1,
+            "same-key jobs must batch: {:?}",
+            planned.plan
+        );
+        assert!(planned.plan.batched_jobs >= planned.plan.affinity_runs);
+    }
+
+    #[test]
+    fn lookahead_prefetches_queued_programs_behind_the_running_job() {
+        // One array, two distinct kernels arriving together, under a
+        // placement strategy that issues no prefetch directives of its
+        // own (round-robin): while job 0 computes, the *planner* stages
+        // job 1's program on the idle configuration-load lane, so its
+        // would-be cold reload is paid off the critical path.
+        use crate::pool::RoundRobin;
+        let k2 = BakedScaleKernel::new(2);
+        let k3 = BakedScaleKernel::new(3);
+        let jobs: Vec<(&BakedScaleKernel, Vec<Vec<i32>>)> = [&k2, &k3]
+            .iter()
+            .enumerate()
+            .map(|(j, &k)| (k, windows(3, j as i32)))
+            .collect();
+        let run = |lookahead: bool| {
+            let mut server =
+                Server::new(Pool::new(1).with_placement(RoundRobin)).with_lookahead(lookahead);
+            server
+                .run_batch(
+                    jobs.iter()
+                        .map(|(k, ws)| ServeJob::new(*k, ws.iter().map(Vec::as_slice), 0, 0)),
+                )
+                .unwrap()
+        };
+        let (plain_outputs, plain) = run(false);
+        let (planned_outputs, planned) = run(true);
+        assert_eq!(plain_outputs, planned_outputs, "planning moved an output");
+        assert!(
+            planned.plan.planned_prefetches >= 1,
+            "the queued program must be staged: {:?}",
+            planned.plan
+        );
+        assert!(planned.fleet.prefetched() > plain.fleet.prefetched());
+        assert!(planned.fleet.hidden_reloads() >= plain.fleet.hidden_reloads());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! the session had to make room.
 
 use std::borrow::Borrow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use vwr2a_core::config_mem::KernelId;
 use vwr2a_core::geometry::Geometry;
 use vwr2a_core::program::KernelProgram;
@@ -230,6 +230,13 @@ struct Residency<'a> {
     programs: &'a mut HashMap<String, Loaded>,
     policy: &'a dyn EvictionPolicy,
     clock: &'a mut u64,
+    /// Keys a scheduler announced queued jobs will need (see
+    /// [`Session::set_needed_soon`]): shielded from eviction while any
+    /// other resident can make room.
+    needed_soon: &'a HashSet<String>,
+    /// Count of evictions the needed-soon shield redirected away from an
+    /// announced key (see [`Session::evictions_averted`]).
+    averted: &'a mut u64,
 }
 
 impl Residency<'_> {
@@ -243,11 +250,19 @@ impl Residency<'_> {
     /// refuses or returns a key outside the candidate set (pinned or not
     /// resident) also fails the load instead of breaking the pin
     /// guarantee.
+    ///
+    /// A `speculative` load (prefetch staging) additionally refuses to
+    /// fall past the shielded victim tier: sacrificing an already-staged
+    /// or needed-soon program to stage another speculatively is strictly
+    /// worse than letting the later job pay its own (authoritative)
+    /// reload, so the stage fails — and its best-effort caller skips it —
+    /// instead.
     fn load(
         &mut self,
         key: &str,
         program: &KernelProgram,
         pinned: &[String],
+        speculative: bool,
         evicted: &mut u64,
     ) -> Result<()> {
         let needed = program.config_words();
@@ -273,23 +288,42 @@ impl Residency<'_> {
         }
         while needed > self.accel.config_mem().free_words() {
             let programs = &self.programs;
-            let snapshot = |include_prefetched: bool| -> Vec<ResidentProgram<'_>> {
-                programs
-                    .iter()
-                    .filter(|(key, loaded)| {
-                        unpinned(key) && (include_prefetched || !loaded.prefetched)
-                    })
-                    .map(|(key, loaded)| ResidentProgram {
-                        key,
-                        words: loaded.words,
-                        launches: loaded.launches,
-                        last_use: loaded.last_use,
-                    })
-                    .collect()
+            let needed_soon = self.needed_soon;
+            let snapshot =
+                |include_needed: bool, include_prefetched: bool| -> Vec<ResidentProgram<'_>> {
+                    programs
+                        .iter()
+                        .filter(|(key, loaded)| {
+                            unpinned(key)
+                                && (include_prefetched || !loaded.prefetched)
+                                && (include_needed || !needed_soon.contains(*key))
+                        })
+                        .map(|(key, loaded)| ResidentProgram {
+                            key,
+                            words: loaded.words,
+                            launches: loaded.launches,
+                            last_use: loaded.last_use,
+                        })
+                        .collect()
+                };
+            // Victim tiers: first programs neither staged by a prefetch
+            // nor announced as needed-soon, then needed-soon programs (a
+            // planning hint, dropped before the prefetch soft pin — the
+            // staged words are already paid for), then everything
+            // unpinned.
+            let shielded = snapshot(false, false);
+            if speculative && shielded.is_empty() {
+                return Err(full(self.accel).into());
+            }
+            let unshielded = snapshot(true, false);
+            let used_shield = !shielded.is_empty() && shielded.len() < unshielded.len();
+            let mut candidates = if shielded.is_empty() {
+                unshielded.clone()
+            } else {
+                shielded
             };
-            let mut candidates = snapshot(false);
             if candidates.is_empty() {
-                candidates = snapshot(true);
+                candidates = snapshot(true, true);
             }
             let victim = match self.policy.select_victim(&candidates) {
                 Some(victim) if candidates.iter().any(|c| c.key == victim) => victim.to_string(),
@@ -298,14 +332,25 @@ impl Residency<'_> {
                 // guarantee.
                 _ => return Err(full(self.accel).into()),
             };
+            if used_shield {
+                // Count the shield's effect: without it the policy would
+                // have victimised a program a queued job needs.
+                if let Some(would) = self.policy.select_victim(&unshielded) {
+                    if would != victim && needed_soon.contains(would) {
+                        *self.averted += 1;
+                    }
+                }
+            }
             let entry = self
                 .programs
                 .remove(&victim)
                 .expect("victim validated against the candidate set");
             self.accel.unload_kernel(entry.id)?;
+            self.policy.note_eviction(&victim, entry.launches);
             *evicted += 1;
         }
         let id = self.accel.load_kernel(program)?;
+        self.policy.note_load(key);
         *self.clock += 1;
         self.programs.insert(
             key.to_string(),
@@ -341,6 +386,8 @@ pub struct LaunchCtx<'a> {
     programs: &'a mut HashMap<String, Loaded>,
     policy: &'a dyn EvictionPolicy,
     clock: &'a mut u64,
+    needed_soon: &'a HashSet<String>,
+    averted: &'a mut u64,
     /// The invocation's primary program (the kernel's own cache key).
     primary_key: String,
     /// Programs this invocation depends on; never offered for eviction.
@@ -449,8 +496,10 @@ impl LaunchCtx<'_> {
                 programs: &mut *self.programs,
                 policy: self.policy,
                 clock: &mut *self.clock,
+                needed_soon: self.needed_soon,
+                averted: &mut *self.averted,
             }
-            .load(key, &program, &self.pinned, &mut self.evictions)?;
+            .load(key, &program, &self.pinned, false, &mut self.evictions)?;
         }
         if !self.pinned.iter().any(|p| p == key) {
             self.pinned.push(key.to_string());
@@ -543,6 +592,11 @@ pub struct Session {
     clock: u64,
     evictions: u64,
     prefetches: u64,
+    /// Cache keys a scheduler announced queued jobs will need soon (see
+    /// [`Session::set_needed_soon`]).
+    needed_soon: HashSet<String>,
+    /// Evictions the needed-soon shield redirected onto another resident.
+    evictions_averted: u64,
     /// Per-engine busy cycles accumulated over the session's lifetime
     /// (interrupt servicing is schedule-level and not included).
     busy: Occupancy,
@@ -570,6 +624,8 @@ impl Session {
             clock: 0,
             evictions: 0,
             prefetches: 0,
+            needed_soon: HashSet::new(),
+            evictions_averted: 0,
             busy: Occupancy::default(),
         }
     }
@@ -618,6 +674,33 @@ impl Session {
     /// configuration words over the session's lifetime.
     pub fn prefetches(&self) -> u64 {
         self.prefetches
+    }
+
+    /// Announces the cache keys queued work will need soon, replacing any
+    /// previous announcement (an empty iterator clears it).
+    ///
+    /// While announced, a key's resident program is **shielded** from
+    /// eviction as long as any other resident can make room: a prefetch or
+    /// cold load then victimises a program no queued job needs, instead of
+    /// one the scheduler is about to launch.  The shield is a planning
+    /// hint, not a pin — when only needed-soon programs could free enough
+    /// words, they are offered for eviction after all (before the
+    /// [`Session::prefetch`] soft pin falls), so an over-announced set can
+    /// never wedge the configuration memory.  Outputs are unaffected
+    /// either way; only *which* program pays the next cold reload moves.
+    ///
+    /// The serving layer's lookahead planner derives this set from its
+    /// admission and run queues each scheduling round.
+    pub fn set_needed_soon(&mut self, keys: impl IntoIterator<Item = String>) {
+        self.needed_soon.clear();
+        self.needed_soon.extend(keys);
+    }
+
+    /// Evictions the needed-soon shield redirected over the session's
+    /// lifetime: times an eviction would have victimised an announced key
+    /// but took another resident instead.
+    pub fn evictions_averted(&self) -> u64 {
+        self.evictions_averted
     }
 
     /// `true` if the kernel's next launch will be warm: its program is
@@ -701,9 +784,14 @@ impl Session {
     /// # Errors
     ///
     /// As [`Session::register`] (resource misfits, `ConfigMemoryFull` when
-    /// eviction cannot make room).
+    /// eviction cannot make room).  The staging load is *speculative*:
+    /// it also fails with `ConfigMemoryFull` — instead of evicting — when
+    /// only prefetched or needed-soon residents (see
+    /// [`Session::set_needed_soon`]) could free enough words, so a
+    /// best-effort prefetch never cannibalises a program another staged
+    /// or queued launch depends on.
     pub fn prefetch<K: Kernel>(&mut self, kernel: &K) -> Result<Option<Prefetch>> {
-        let evictions = self.register_internal(kernel)?;
+        let evictions = self.register_internal_with(kernel, true)?;
         let entry = self
             .programs
             .get_mut(&kernel.cache_key())
@@ -744,8 +832,20 @@ impl Session {
     /// were evicted to make room.  Evictions are added to
     /// [`Session::evictions`] as they happen, even if the load then fails.
     fn register_internal<K: Kernel>(&mut self, kernel: &K) -> Result<u64> {
+        self.register_internal_with(kernel, false)
+    }
+
+    /// [`Session::register_internal`] with an explicit speculative flag:
+    /// a speculative load (prefetch staging) gives up instead of evicting
+    /// a prefetched or needed-soon resident.
+    fn register_internal_with<K: Kernel>(&mut self, kernel: &K, speculative: bool) -> Result<u64> {
         let key = kernel.cache_key();
         if self.programs.contains_key(&key) {
+            // An invocation (or prefetch) came back for a resident program:
+            // the once-per-invocation reuse signal adaptive policies
+            // promote on.  Raw launch counts cannot stand in for this —
+            // one FIR invocation issues two launches.
+            self.policy.note_use(&key);
             return Ok(0);
         }
         let geometry = *self.accel.geometry();
@@ -781,8 +881,10 @@ impl Session {
             programs: &mut self.programs,
             policy: &*self.policy,
             clock: &mut self.clock,
+            needed_soon: &self.needed_soon,
+            averted: &mut self.evictions_averted,
         }
-        .load(&key, &program, &[], &mut evicted);
+        .load(&key, &program, &[], speculative, &mut evicted);
         self.evictions += evicted;
         result.map(|()| evicted)
     }
@@ -900,6 +1002,8 @@ impl Session {
             programs: &mut self.programs,
             policy: &*self.policy,
             clock: &mut self.clock,
+            needed_soon: &self.needed_soon,
+            averted: &mut self.evictions_averted,
             primary_key: kernel.cache_key(),
             pinned: vec![kernel.cache_key()],
             timeline: Timeline::new(),
@@ -1742,6 +1846,132 @@ mod tests {
         assert!(
             matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
             "expected ConfigMemoryFull, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn needed_soon_shield_redirects_the_victim_and_counts_the_avert() {
+        // Two-slot memory holding A (the LRU victim) and B.  With A
+        // announced as needed soon, loading C sacrifices B instead, and
+        // the redirect is counted as an averted eviction.
+        let mut session = constrained_session(2 * baked_words());
+        let a = BakedScaleKernel::new(41);
+        let b = BakedScaleKernel::new(42);
+        let c = BakedScaleKernel::new(43);
+        let input = [1i32, 2];
+        session.run(&a, &input[..]).unwrap();
+        session.run(&b, &input[..]).unwrap();
+
+        session.set_needed_soon([a.cache_key()]);
+        session.run(&c, &input[..]).unwrap();
+        assert!(session.is_resident(&a), "the needed-soon program survived");
+        assert!(!session.is_resident(&b), "the shield redirected onto B");
+        assert_eq!(session.evictions_averted(), 1);
+
+        // Clearing the announcement restores plain LRU: reloading B now
+        // evicts A (oldest) without incrementing the averted counter.
+        session.set_needed_soon(std::iter::empty::<String>());
+        session.run(&b, &input[..]).unwrap();
+        assert!(!session.is_resident(&a));
+        assert_eq!(session.evictions_averted(), 1);
+    }
+
+    #[test]
+    fn an_over_announced_needed_soon_set_never_wedges_the_memory() {
+        // Every resident announced as needed: the shield must fall (it is
+        // a hint, not a pin) and the load proceeds as plain LRU would —
+        // with nothing counted as averted, since nothing was redirected.
+        let mut session = constrained_session(2 * baked_words());
+        let a = BakedScaleKernel::new(44);
+        let b = BakedScaleKernel::new(45);
+        let c = BakedScaleKernel::new(46);
+        let input = [1i32, 2];
+        session.run(&a, &input[..]).unwrap();
+        session.run(&b, &input[..]).unwrap();
+
+        session.set_needed_soon([a.cache_key(), b.cache_key()]);
+        session.run(&c, &input[..]).unwrap();
+        assert!(!session.is_resident(&a), "LRU order still applies");
+        assert!(session.is_resident(&b));
+        assert_eq!(session.evictions_averted(), 0);
+    }
+
+    #[test]
+    fn a_speculative_prefetch_never_evicts_a_needed_soon_resident() {
+        // A prefetch that could only fit by sacrificing needed-soon
+        // residents gives up (best-effort), while an authoritative launch
+        // of the same kernel still makes room.
+        let mut session = constrained_session(2 * baked_words());
+        let a = BakedScaleKernel::new(47);
+        let b = BakedScaleKernel::new(48);
+        let c = BakedScaleKernel::new(49);
+        let input = [1i32, 2];
+        session.run(&a, &input[..]).unwrap();
+        session.run(&b, &input[..]).unwrap();
+
+        session.set_needed_soon([a.cache_key(), b.cache_key()]);
+        let err = session.prefetch(&c).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Core(CoreError::ConfigMemoryFull { .. })),
+            "expected ConfigMemoryFull, got {err:?}"
+        );
+        assert!(session.is_resident(&a), "the refused stage evicted nothing");
+        assert!(session.is_resident(&b));
+
+        session.run(&c, &input[..]).unwrap();
+        assert!(session.is_resident(&c), "the launch itself still fits");
+    }
+
+    #[test]
+    fn eviction_policies_observe_loads_and_evictions() {
+        // The residency layer reports every successful program load and
+        // every eviction (with the victim's launch count) to the policy —
+        // the feedback channel adaptive policies like ArcPolicy learn from.
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Debug, Default)]
+        struct Recording {
+            events: Arc<Mutex<Vec<String>>>,
+        }
+        impl EvictionPolicy for Recording {
+            fn select_victim<'a>(&self, candidates: &[ResidentProgram<'a>]) -> Option<&'a str> {
+                candidates.iter().min_by_key(|c| c.last_use).map(|c| c.key)
+            }
+            fn note_load(&self, key: &str) {
+                self.events.lock().unwrap().push(format!("load {key}"));
+            }
+            fn note_eviction(&self, key: &str, launches: u64) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("evict {key} launches={launches}"));
+            }
+        }
+
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let policy = Recording {
+            events: Arc::clone(&events),
+        };
+        let mut geometry = Geometry::paper();
+        geometry.config_words = 2 * baked_words();
+        let mut session = Session::with_policy(Vwr2a::with_geometry(geometry).unwrap(), policy);
+        let a = BakedScaleKernel::new(51);
+        let b = BakedScaleKernel::new(52);
+        let c = BakedScaleKernel::new(53);
+        let input = [1i32, 2];
+        session.run(&a, &input[..]).unwrap();
+        session.run(&a, &input[..]).unwrap(); // warm: no load notification
+        session.run(&b, &input[..]).unwrap();
+        session.run(&c, &input[..]).unwrap(); // evicts A after two launches
+
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec![
+                format!("load {}", a.cache_key()),
+                format!("load {}", b.cache_key()),
+                format!("evict {} launches=2", a.cache_key()),
+                format!("load {}", c.cache_key()),
+            ]
         );
     }
 

@@ -23,7 +23,8 @@ use vwr2a::runtime::pool::{
 };
 use vwr2a::runtime::testing::{constrained_sessions, BakedScaleKernel};
 use vwr2a::runtime::{
-    EarliestDeadlineFirst, Fifo, FleetReport, Kernel, SchedPolicy, ServeJob, WeightedFair,
+    ArcPolicy, EarliestDeadlineFirst, Fifo, FleetReport, Kernel, SchedPolicy, ServeJob,
+    WeightedFair,
 };
 use vwr2a::soc::cpu::Cpu;
 use vwr2a::soc::sram::Sram;
@@ -113,6 +114,52 @@ fn run_server(
             },
         ))
         .expect("serving must absorb capacity pressure");
+    assert_eq!(report.latencies.len(), job_list.len());
+    outputs
+}
+
+/// As [`run_server`], but with the whole-queue lookahead planner enabled
+/// (affinity batching, pipelined prefetch, needed-soon eviction shielding)
+/// over ARC adaptive eviction, placed by the given cost objective.
+fn run_planned_server(
+    mix: &[ServeMix],
+    policy: impl SchedPolicy + 'static,
+    stealing: bool,
+    objective: Objective,
+) -> Vec<Vec<Vec<i32>>> {
+    let kernels = pool_kernels();
+    let job_list = pool_jobs(
+        &mix.iter()
+            .map(|&(pick, windows, seed, ..)| (pick, windows, seed))
+            .collect::<Vec<_>>(),
+    );
+    let program_words = kernels[0]
+        .program(&Geometry::paper())
+        .unwrap()
+        .config_words();
+    let mut sessions = constrained_sessions(2, 2 * program_words);
+    for session in &mut sessions {
+        session.set_eviction_policy(ArcPolicy::new());
+    }
+    let pool = Pool::with_sessions(sessions)
+        .expect("constrained sessions share one geometry")
+        .with_placement(CostAware::with_objective(objective));
+    let mut server = vwr2a::runtime::Server::new(pool)
+        .with_policy(policy)
+        .with_stealing(stealing)
+        .with_lookahead(true);
+    let (outputs, report) = server
+        .run_batch(job_list.iter().zip(mix).map(
+            |((pick, ws), &(_, _, _, arrival, tenant, priority, slack))| ServeJob {
+                kernel: &kernels[*pick],
+                windows: ws.iter().map(Vec::as_slice),
+                tenant,
+                arrival_cycle: arrival,
+                priority,
+                deadline_cycle: (slack > 0).then(|| arrival + slack),
+            },
+        ))
+        .expect("planned serving must absorb capacity pressure");
     assert_eq!(report.latencies.len(), job_list.len());
     outputs
 }
@@ -822,6 +869,59 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn lookahead_planned_outputs_are_bit_identical_to_serial_execution(
+        mix in prop::collection::vec(
+            (0usize..4, 1usize..4, -500i32..500, 0u64..5_000, 0u32..3, 0u8..4, 0u64..3_000),
+            8,
+        ),
+        jobs in 1usize..9,
+    ) {
+        // The lookahead planner's honesty property: affinity batching
+        // reorders dispatches, pipelined prefetch stages configuration
+        // words early, and the needed-soon shield redirects evictions —
+        // yet under every scheduling policy, with and without stealing,
+        // and under every placement objective, the served outputs must be
+        // bit-identical to running every job serially in submission order
+        // on one fresh session.  Planning moves when and where the work
+        // runs — never what it computes.
+        let mix = &mix[..jobs];
+        let kernels = pool_kernels();
+        let job_list = pool_jobs(
+            &mix.iter()
+                .map(|&(pick, windows, seed, ..)| (pick, windows, seed))
+                .collect::<Vec<_>>(),
+        );
+        let (serial, _) = Pool::run_serial_reference(
+            job_list
+                .iter()
+                .map(|(pick, ws)| (&kernels[*pick], ws.iter().map(Vec::as_slice))),
+        )
+        .expect("serial reference runs");
+
+        for objective in [
+            Objective::Cycles,
+            Objective::Energy,
+            Objective::EnergyDelayProduct,
+            Objective::EnergyUnderDeadline,
+        ] {
+            for stealing in [false, true] {
+                prop_assert_eq!(
+                    &run_planned_server(mix, Fifo, stealing, objective),
+                    &serial
+                );
+                prop_assert_eq!(
+                    &run_planned_server(mix, EarliestDeadlineFirst, stealing, objective),
+                    &serial
+                );
+                prop_assert_eq!(
+                    &run_planned_server(mix, WeightedFair::new(), stealing, objective),
+                    &serial
+                );
+            }
+        }
+    }
 
     #[test]
     fn fft_jobs_route_across_the_fleet_bit_identically(
